@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Extension bench: barren-plateau probing with full landscapes
+ * (paper Section 3.3: "with a full landscape, we could calculate the
+ * variance of gradient and probe directly into barren plateaus").
+ *
+ * For the hardware-efficient Two-local ansatz the gradient variance at
+ * random parameters decays exponentially with qubit count (McClean et
+ * al. 2018). We reproduce the probe OSCAR enables: reconstruct random
+ * 2-D slices of the landscape and compute VoG on the reconstruction --
+ * the decay is visible without running the full grid.
+ */
+
+#include <cstdio>
+#include <numbers>
+
+#include "bench_common.h"
+#include "src/ansatz/two_local.h"
+#include "src/backend/statevector_backend.h"
+#include "src/hamiltonian/maxcut.h"
+
+namespace {
+
+using namespace oscar;
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Barren-plateau probe: gradient variance vs qubit "
+                "count (Two-local, reps=n, normalized MaxCut)\n");
+    bench::columns("qubits", {"VoG(true)", "VoG(recon)", "speedup"});
+
+    const double pi = std::numbers::pi;
+    for (int n : {4, 6, 8, 10, 12}) {
+        Rng rng(70 + n);
+        const Graph g = random3RegularGraph(n, rng);
+        // Normalize the cost by edge count so the gradient scale is
+        // n-independent and the exponential decay is the ansatz's.
+        PauliSum ham(n);
+        {
+            const PauliSum raw = maxcutHamiltonian(g);
+            for (const PauliTerm& t : raw.terms())
+                ham.add(t.coeff / static_cast<double>(g.numEdges()),
+                        t.pauli);
+        }
+        // Linear-depth circuit: deep enough to form a 2-design, the
+        // regime where barren plateaus set in (McClean et al.).
+        const Circuit circuit = twoLocalCircuit(n, n);
+        StatevectorCost cost(circuit, ham);
+
+        // Average over random 2-D slices.
+        std::vector<double> vog_true, vog_recon;
+        for (int rep = 0; rep < 6; ++rep) {
+            std::vector<double> base(circuit.numParams());
+            for (auto& p : base)
+                p = rng.uniform(-pi, pi);
+            const int va = static_cast<int>(
+                rng.uniformInt(circuit.numParams()));
+            int vb = static_cast<int>(
+                rng.uniformInt(circuit.numParams() - 1));
+            if (vb >= va)
+                ++vb;
+            const GridSpec grid({{-pi, pi, 24}, {-pi, pi, 24}});
+            LambdaCost slice(2, [&](const std::vector<double>& p) {
+                auto full = base;
+                full[va] = p[0];
+                full[vb] = p[1];
+                return cost.evaluate(full);
+            });
+            const Landscape truth = Landscape::gridSearch(grid, slice);
+            OscarOptions options;
+            options.samplingFraction = 0.25;
+            options.seed = 900 + rep;
+            const auto recon =
+                Oscar::reconstructFromLandscape(truth, options);
+            vog_true.push_back(varianceOfGradients(truth.values()));
+            vog_recon.push_back(
+                varianceOfGradients(recon.reconstructed.values()));
+        }
+        bench::row(std::to_string(n) + " qubits",
+                   {stats::mean(vog_true), stats::mean(vog_recon), 4.0},
+                   " %10.6f");
+    }
+    std::printf("\nexpected: VoG decays by orders of magnitude from 4 "
+                "to 12 qubits (barren plateau), and the 25%%-sample "
+                "reconstruction tracks it at 4x fewer circuits\n");
+    return 0;
+}

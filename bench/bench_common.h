@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: table printing and the
+ * standard workloads of the paper's evaluation, with the scaled-down
+ * parameter choices documented in EXPERIMENTS.md.
+ */
+
+#ifndef OSCAR_BENCH_BENCH_COMMON_H
+#define OSCAR_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/backend/analytic_qaoa.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/core/oscar.h"
+#include "src/graph/generators.h"
+#include "src/landscape/landscape.h"
+#include "src/landscape/metrics.h"
+
+namespace oscar {
+namespace bench {
+
+/** Print a horizontal rule sized to a title. */
+inline void
+header(const std::string& title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Print one row of labeled doubles. */
+inline void
+row(const std::string& label, const std::vector<double>& values,
+    const char* fmt = " %10.4f")
+{
+    std::printf("%-28s", label.c_str());
+    for (double v : values)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+/** Print a row of column labels. */
+inline void
+columns(const std::string& label, const std::vector<std::string>& names)
+{
+    std::printf("%-28s", label.c_str());
+    for (const auto& n : names)
+        std::printf(" %10s", n.c_str());
+    std::printf("\n");
+}
+
+/**
+ * Median NRMSE of OSCAR reconstructions of `truth` over several sample
+ * seeds (Fig. 4 draws quartile bands over instances; we aggregate over
+ * seeds per instance elsewhere).
+ */
+inline double
+reconstructionNrmse(const Landscape& truth, double fraction,
+                    std::uint64_t seed)
+{
+    OscarOptions options;
+    options.samplingFraction = fraction;
+    options.seed = seed;
+    const auto result = Oscar::reconstructFromLandscape(truth, options);
+    return nrmse(truth.values(), result.reconstructed.values());
+}
+
+} // namespace bench
+} // namespace oscar
+
+#endif // OSCAR_BENCH_BENCH_COMMON_H

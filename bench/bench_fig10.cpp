@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 10 reproduction: the three landscape metrics (second
+ * derivative, variance of gradients, landscape variance) computed on
+ * original and OSCAR-reconstructed landscapes, for unmitigated and
+ * ZNE-mitigated (Richardson and linear) execution.
+ *
+ * Expected shape (paper): Richardson's D2 is dramatically larger than
+ * linear's and unmitigated's, on both original and reconstructed
+ * landscapes; VoG and variance are comparable between the two ZNE
+ * models (mitigation restores contrast that noise flattened), and the
+ * reconstruction preserves all three orderings.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "src/mitigation/zne.h"
+
+namespace {
+
+using namespace oscar;
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 10: landscape metrics, original vs "
+                "reconstructed (16 qubits, p=1, noise 0.001/0.02)\n");
+
+    Rng rng(10);
+    const Graph g = random3RegularGraph(16, rng);
+    const NoiseModel noise = NoiseModel::depolarizing(0.001, 0.02);
+    const GridSpec grid = GridSpec::qaoaP1(40, 80);
+    const std::size_t shots = 1024;
+    const double sigma1 = 2.0;
+
+    // Unmitigated noisy execution with shot noise.
+    auto unmitigated = std::make_shared<ShotNoiseCost>(
+        std::make_shared<AnalyticQaoaCost>(g, noise), shots, sigma1, 77);
+    auto richardson = makeZneAnalyticCost(
+        g, noise, {1.0, 2.0, 3.0}, ZneExtrapolation::Richardson, shots,
+        sigma1, 171);
+    auto linear = makeZneAnalyticCost(
+        g, noise, {1.0, 3.0}, ZneExtrapolation::Linear, shots, sigma1,
+        272);
+
+    struct Entry
+    {
+        const char* name;
+        Landscape original;
+        Landscape reconstructed;
+    };
+    OscarOptions options;
+    options.samplingFraction = 0.10;
+
+    std::vector<Entry> entries;
+    for (auto& [name, cost] :
+         std::vector<std::pair<const char*,
+                               std::shared_ptr<CostFunction>>>{
+             {"Unmitigated", unmitigated},
+             {"Richardson", richardson},
+             {"Linear", linear}}) {
+        Landscape original = Landscape::gridSearch(grid, *cost);
+        Landscape recon =
+            Oscar::reconstructFromLandscape(original, options)
+                .reconstructed;
+        entries.push_back({name, std::move(original), std::move(recon)});
+    }
+
+    bench::columns("metric / mitigation",
+                   {"Unmit.", "Richardson", "Linear"});
+    auto print_metric = [&](const char* metric,
+                            auto&& fn) {
+        std::vector<double> orig, recon;
+        for (const Entry& e : entries) {
+            orig.push_back(fn(e.original.values()));
+            recon.push_back(fn(e.reconstructed.values()));
+        }
+        bench::row(std::string(metric) + " original", orig);
+        bench::row(std::string(metric) + " reconstructed", recon);
+    };
+    print_metric("Second derivative",
+                 [](const NdArray& v) { return secondDerivativeMetric(v); });
+    print_metric("Variance of gradient",
+                 [](const NdArray& v) { return varianceOfGradients(v); });
+    print_metric("Variance of landscape",
+                 [](const NdArray& v) { return landscapeVariance(v); });
+
+    std::printf("\npaper reference: Richardson D2 >> others; VoG and "
+                "variance comparable across ZNE models; orderings "
+                "preserved by reconstruction\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 2 reproduction: the two debugging views of a VQA run.
+ *
+ * (A) the "default view": expected cost vs optimizer iteration -- all
+ *     a standard workflow shows, and useless for diagnosing *why* an
+ *     optimizer stalls;
+ * (B) the bird's-eye view: the same optimizer path overlaid on the
+ *     complete (OSCAR-reconstructed) landscape, rendered as ASCII.
+ *
+ * Workload matches the paper's aesthetic: depth-1 QAOA on a 16-qubit
+ * 3-regular MaxCut instance, ADAM from a deliberately poor start.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "src/interp/bicubic.h"
+#include "src/landscape/export.h"
+#include "src/optimize/adam.h"
+
+namespace {
+
+using namespace oscar;
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 2: optimizer-centric view vs bird's-eye "
+                "view\n\n");
+
+    Rng rng(2);
+    const Graph g = random3RegularGraph(16, rng);
+    AnalyticQaoaCost cost(g);
+    const GridSpec grid = GridSpec::qaoaP1();
+
+    OscarOptions options;
+    options.samplingFraction = 0.08;
+    const auto recon = Oscar::reconstruct(grid, cost, options);
+    InterpolatedLandscapeCost interp(recon.reconstructed);
+
+    AdamOptions adam_opts;
+    adam_opts.maxIterations = 60;
+    Adam adam(adam_opts);
+    const auto run = adam.minimize(interp, {0.05, 1.25});
+
+    std::printf("(A) cost value vs iteration (every 4th):\n");
+    for (std::size_t k = 0; k < run.path.size(); k += 4) {
+        std::printf("  iter %3zu: %9.4f\n", k,
+                    interp.evaluate(run.path[k]));
+    }
+    std::printf("  final   : %9.4f (grid optimum %9.4f)\n",
+                run.bestValue, recon.reconstructed.values().min());
+
+    std::printf("\n(B) bird's-eye view (o = path, landscape dark = "
+                "low cost):\n");
+    std::string art = renderAscii(recon.reconstructed, 20, 60);
+    // Overlay the optimizer path onto the ASCII canvas.
+    const std::size_t cols = 60;
+    const GridAxis& ax0 = grid.axis(0);
+    const GridAxis& ax1 = grid.axis(1);
+    for (const auto& point : run.path) {
+        const int r = static_cast<int>(
+            (point[0] - ax0.lo) / (ax0.hi - ax0.lo) * 19 + 0.5);
+        const int c = static_cast<int>(
+            (point[1] - ax1.lo) / (ax1.hi - ax1.lo) * 59 + 0.5);
+        if (r >= 0 && r < 20 && c >= 0 && c < 60)
+            art[static_cast<std::size_t>(r) * (cols + 3) + 1 +
+                static_cast<std::size_t>(c)] = 'o';
+    }
+    std::printf("%s", art.c_str());
+
+    // Contrast: the same optimizer started near the grid edge parks
+    // on a boundary plateau -- its (A) curve also flattens, and only
+    // the (B) view tells the two apart.
+    const auto stuck = adam.minimize(interp, {-0.7, 1.4});
+    std::printf("\nsame ADAM from (-0.7, 1.4): final %9.4f -- the "
+                "iteration curve flattens exactly like the good run's, "
+                "but the bird's-eye view shows it parked on a boundary "
+                "plateau, %0.1f away from the optimum it reports to "
+                "have 'converged' to.\n", stuck.bestValue,
+                paramDistance(stuck.bestParams, run.bestParams));
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Figure 4 reproduction: median reconstruction NRMSE vs. sampling
+ * fraction for depth-1 and depth-2 QAOA-MaxCut landscapes, ideal and
+ * with depolarizing noise (1q 0.003, 2q 0.007).
+ *
+ * Substitutions vs. the paper (see EXPERIMENTS.md):
+ *  - p=1 landscapes use the closed-form evaluator (validated against
+ *    state-vector simulation in tests), which is how 16-30 qubits fit
+ *    on one core; noisy p=1 uses the light-cone damping model.
+ *  - p=2 uses state-vector simulation on a reduced (8,8,10,10) grid
+ *    with 8-12 qubits; noisy p=2 uses the global-damping model.
+ *
+ * Expected shapes: error decreases steadily with sampling fraction,
+ * is insensitive to qubit count, p=1 errors are a few 0.01, p=2 errors
+ * are several times larger (reshape-induced artificial patterns).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "src/ansatz/qaoa.h"
+#include "src/backend/global_damping.h"
+#include "src/backend/statevector_backend.h"
+#include "src/hamiltonian/maxcut.h"
+
+namespace {
+
+using namespace oscar;
+
+const std::vector<double> kFractions{0.04, 0.05, 0.06, 0.07, 0.08};
+
+void
+panelP1(const char* title, const std::vector<int>& qubit_counts,
+        const NoiseModel& noise, int instances)
+{
+    bench::header(title);
+    bench::columns("qubits \\ fraction",
+                   {"4%", "5%", "6%", "7%", "8%"});
+    const GridSpec grid = GridSpec::qaoaP1();
+    for (int n : qubit_counts) {
+        std::vector<Landscape> truths;
+        for (int inst = 0; inst < instances; ++inst) {
+            Rng rng(7000 + 31 * n + inst);
+            const Graph g = random3RegularGraph(n, rng);
+            AnalyticQaoaCost cost(g, noise);
+            truths.push_back(Landscape::gridSearch(grid, cost));
+        }
+        std::vector<double> medians;
+        for (double fraction : kFractions) {
+            std::vector<double> errs;
+            for (int inst = 0; inst < instances; ++inst) {
+                errs.push_back(bench::reconstructionNrmse(
+                    truths[inst], fraction, 900 + inst));
+            }
+            medians.push_back(stats::median(errs));
+        }
+        bench::row(std::to_string(n) + " qubits", medians);
+    }
+}
+
+/** Per-qubit-count ideal p=2 truths, shared by panels C and D. */
+std::vector<std::vector<Landscape>>
+makeP2Truths(const std::vector<int>& qubit_counts, int instances,
+             const GridSpec& grid)
+{
+    std::vector<std::vector<Landscape>> all;
+    for (int n : qubit_counts) {
+        std::vector<Landscape> truths;
+        for (int inst = 0; inst < instances; ++inst) {
+            Rng rng(8000 + 37 * n + inst);
+            const Graph g = random3RegularGraph(n, rng);
+            StatevectorCost cost(qaoaCircuit(g, 2), maxcutHamiltonian(g));
+            truths.push_back(Landscape::gridSearch(grid, cost));
+        }
+        all.push_back(std::move(truths));
+    }
+    return all;
+}
+
+/**
+ * Landscape under the global-damping noise model, derived from the
+ * ideal one: E_noisy = lambda (E_ideal - E_mixed) + E_mixed with the
+ * gate counts of the depth-2 QAOA circuit for `n` qubits.
+ */
+Landscape
+dampLandscape(const Landscape& ideal, int n, const NoiseModel& noise)
+{
+    Rng rng(0); // graph structure only affects gate counts via n
+    const int edges = 3 * n / 2;
+    const std::size_t g2 = static_cast<std::size_t>(2 * edges);
+    const std::size_t g1 = static_cast<std::size_t>(n + 2 * n);
+    const double lambda =
+        std::pow(1.0 - noise.p1, static_cast<double>(g1)) *
+        std::pow(1.0 - noise.p2, static_cast<double>(g2));
+    const double mixed = -static_cast<double>(edges) / 2.0;
+    NdArray values = ideal.values();
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = lambda * (values[i] - mixed) + mixed;
+    (void)rng;
+    return Landscape(ideal.grid(), std::move(values));
+}
+
+void
+panelP2(const char* title,
+        const std::vector<int>& qubit_counts,
+        const std::vector<std::vector<Landscape>>& ideal_truths,
+        const NoiseModel& noise, std::uint64_t seed_base)
+{
+    bench::header(title);
+    bench::columns("qubits \\ fraction",
+                   {"4%", "5%", "6%", "7%", "8%"});
+    for (std::size_t k = 0; k < qubit_counts.size(); ++k) {
+        std::vector<double> medians;
+        for (double fraction : kFractions) {
+            std::vector<double> errs;
+            for (std::size_t inst = 0; inst < ideal_truths[k].size();
+                 ++inst) {
+                const Landscape truth =
+                    noise.ideal()
+                        ? ideal_truths[k][inst]
+                        : dampLandscape(ideal_truths[k][inst],
+                                        qubit_counts[k], noise);
+                errs.push_back(bench::reconstructionNrmse(
+                    truth, fraction, seed_base + inst));
+            }
+            medians.push_back(stats::median(errs));
+        }
+        bench::row(std::to_string(qubit_counts[k]) + " qubits", medians);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 4: median reconstruction NRMSE vs sampling "
+                "fraction\n");
+    const NoiseModel noisy = NoiseModel::depolarizing(0.003, 0.007);
+    panelP1("(A) p=1, ideal", {16, 20, 24, 30},
+            NoiseModel::idealModel(), 3);
+    panelP1("(B) p=1, noisy (0.003/0.007)", {12, 16, 20}, noisy, 3);
+
+    // Scaled-down Table 1 p=2 grid: (8, 8, 10, 10) = 6,400 points.
+    const std::vector<int> p2_qubits{8, 10, 12};
+    const GridSpec p2_grid = GridSpec::qaoaP2(8, 10);
+    const auto p2_truths = makeP2Truths(p2_qubits, 2, p2_grid);
+    panelP2("(C) p=2, ideal (8,8,10,10 grid)", p2_qubits, p2_truths,
+            NoiseModel::idealModel(), 1700);
+    panelP2("(D) p=2, noisy (0.003/0.007)", p2_qubits, p2_truths, noisy,
+            1800);
+    return 0;
+}

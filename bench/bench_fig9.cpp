@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 9 reproduction: Richardson vs. linear ZNE landscapes on a
+ * depth-1, 16-qubit MaxCut instance with depolarizing noise (1q 0.001,
+ * 2q 0.02) and finite shots.
+ *
+ * The figure's visual claim is that Richardson extrapolation ({1,2,3}
+ * scaling) produces "salt-like" jaggedness while linear extrapolation
+ * ({1,3}) stays smooth, and that OSCAR reconstructions (10% sampling)
+ * preserve the difference. We quantify the visual with the D2
+ * roughness metric and the distance from the ideal landscape.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "src/landscape/sparsity.h"
+#include "src/mitigation/zne.h"
+
+namespace {
+
+using namespace oscar;
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 9: ZNE extrapolation model comparison "
+                "(16 qubits, p=1, noise 0.001/0.02, 1024 shots)\n");
+
+    Rng rng(9);
+    const Graph g = random3RegularGraph(16, rng);
+    const NoiseModel noise = NoiseModel::depolarizing(0.001, 0.02);
+    const GridSpec grid = GridSpec::qaoaP1(40, 80);
+
+    // Ideal (noise-free, infinite shots) reference.
+    AnalyticQaoaCost ideal_cost(g);
+    const Landscape ideal = Landscape::gridSearch(grid, ideal_cost);
+
+    const std::size_t shots = 1024;
+    const double sigma1 = 2.0; // single-shot cost std for this scale
+
+    auto richardson = makeZneAnalyticCost(
+        g, noise, {1.0, 2.0, 3.0}, ZneExtrapolation::Richardson, shots,
+        sigma1, 101);
+    auto linear = makeZneAnalyticCost(
+        g, noise, {1.0, 3.0}, ZneExtrapolation::Linear, shots, sigma1,
+        202);
+
+    const Landscape ls_rich = Landscape::gridSearch(grid, *richardson);
+    const Landscape ls_lin = Landscape::gridSearch(grid, *linear);
+
+    OscarOptions options;
+    options.samplingFraction = 0.10;
+    const auto rec_rich = Oscar::reconstructFromLandscape(ls_rich,
+                                                          options);
+    const auto rec_lin = Oscar::reconstructFromLandscape(ls_lin, options);
+
+    bench::columns("landscape", {"D2", "vsIdeal"});
+    auto report = [&](const char* name, const NdArray& values) {
+        bench::row(name, {secondDerivativeMetric(values),
+                          nrmse(ideal.values(), values)});
+    };
+    report("(A) Richardson", ls_rich.values());
+    report("(B) Linear", ls_lin.values());
+    report("(C) Recon. Richardson", rec_rich.reconstructed.values());
+    report("(D) Recon. Linear", rec_lin.reconstructed.values());
+
+    std::printf("\npaper reference: Richardson salt-like (high D2), "
+                "linear smooth; reconstruction preserves the gap\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Extension bench: the full mitigation zoo of paper Section 2.3 on
+ * one problem, benchmarked the OSCAR way.
+ *
+ * For a 6-qubit depth-1 QAOA MaxCut instance under depolarizing +
+ * readout + coherent idle noise, we compare:
+ *   - unmitigated execution,
+ *   - Qubit Readout Mitigation (inversion),
+ *   - Dynamical Decoupling (X-X idle echoes),
+ *   - ZNE (linear, {1,3} folding),
+ *   - CDR (16 near-Clifford training circuits),
+ * reporting the mean absolute error against the ideal landscape over a
+ * coarse grid, plus each method's per-point circuit-execution cost.
+ *
+ * Expected shape: every method beats unmitigated; shot-frugal methods
+ * (QRM, DD) are cheap but partial; ZNE/CDR get closest at a multiple
+ * of the circuit cost -- the configuration tradeoff OSCAR exists to
+ * navigate.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "src/ansatz/qaoa.h"
+#include "src/backend/density_backend.h"
+#include "src/backend/statevector_backend.h"
+#include "src/hamiltonian/maxcut.h"
+#include "src/mitigation/cdr.h"
+#include "src/mitigation/dd.h"
+#include "src/mitigation/folding.h"
+#include "src/mitigation/pec.h"
+#include "src/mitigation/readout.h"
+#include "src/mitigation/zne.h"
+
+namespace {
+
+using namespace oscar;
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Mitigation zoo: mean |error| vs ideal on a 12x12 "
+                "grid (6-qubit depth-1 QAOA MaxCut)\n");
+    std::printf("noise: depolarizing 1q=0.002 2q=0.01, readout "
+                "e01=0.02 e10=0.03, idle dephasing 0.06/layer\n\n");
+    bench::columns("method", {"mean|err|", "circuits/pt"});
+
+    Rng rng(11);
+    const Graph g = random3RegularGraph(6, rng);
+    const PauliSum ham = maxcutHamiltonian(g);
+    const Circuit circuit = qaoaCircuit(g, 1);
+
+    NoiseModel noise = NoiseModel::depolarizing(0.002, 0.01);
+    noise.readout01 = 0.02;
+    noise.readout10 = 0.03;
+    const double idle_phase = 0.06;
+
+    const GridSpec grid = GridSpec::qaoaP1(12, 12);
+
+    StatevectorCost ideal(circuit, ham);
+
+    // Evaluator variants. Readout enters through DensityCost's
+    // smeared-diagonal path (readout.h), so the QRM row is simply the
+    // evaluator with the readout rates calibrated away; the DD rows
+    // use the layered evaluator with coherent idle dephasing.
+    DensityCost plain_noisy(circuit, ham, noise); // gates + readout
+    NoiseModel no_readout = NoiseModel::depolarizing(noise.p1, noise.p2);
+    DensityCost readout_mitigated(circuit, ham, no_readout);
+    LayeredDensityCost dd_off(circuit, ham, no_readout, idle_phase,
+                              false);
+    LayeredDensityCost dd_on(circuit, ham, no_readout, idle_phase, true);
+    auto zne = makeZneDensityCost(circuit, ham, noise, {1.0, 3.0},
+                                  ZneExtrapolation::Linear);
+    CircuitEvaluator noisy_exec = [&](const Circuit& c) {
+        DensityCost cost(c, ham, noise);
+        return cost.evaluate({});
+    };
+    CdrCost cdr(circuit, ham, noisy_exec, {16, 0.3, 5});
+    PecCost pec(circuit, ham, no_readout, {3000, 9});
+
+    struct Method
+    {
+        const char* name;
+        CostFunction* cost;
+        double circuits_per_point;
+    };
+    const Method methods[] = {
+        {"unmitigated (gates+ro)", &plain_noisy, 1.0},
+        {"QRM (readout inversion)", &readout_mitigated, 1.0},
+        {"DD off (gates+idle)", &dd_off, 1.0},
+        {"DD on  (gates+idle)", &dd_on, 1.0},
+        {"ZNE linear {1,3}", zne.get(), 2.0},
+        {"CDR (16 train)", &cdr, 18.0},
+        {"PEC (3k samples)", &pec, 3.0},
+    };
+
+    for (const Method& method : methods) {
+        double err = 0.0;
+        for (std::size_t i = 0; i < grid.numPoints(); ++i) {
+            const auto p = grid.pointAt(i);
+            err += std::abs(method.cost->evaluate(p) -
+                            ideal.evaluate(p));
+        }
+        err /= static_cast<double>(grid.numPoints());
+        bench::row(method.name, {err, method.circuits_per_point});
+    }
+
+    std::printf("\nexpected: QRM removes the readout bias, DD removes "
+                "the idle dephasing, ZNE/CDR cut the depolarizing "
+                "error several-fold at 2x / 18x circuit cost\n");
+    return 0;
+}

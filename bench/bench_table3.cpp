@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Table 3 reproduction: reconstruction errors for the hydrogen and
+ * lithium hydride molecules with Two-local and UCCSD ansatzes.
+ *
+ * Same 2-varying-parameter slice protocol as Table 2. The paper's
+ * headline contrast is the H2/UCCSD pair: 14 points per axis gives
+ * NRMSE 0.345 while 50 points gives 0.005 -- denser grids make the
+ * periodic structure resolvable. We reproduce all five rows.
+ */
+
+#include <cstdio>
+#include <numbers>
+
+#include "bench_common.h"
+#include "src/ansatz/two_local.h"
+#include "src/ansatz/uccsd.h"
+#include "src/backend/statevector_backend.h"
+#include "src/hamiltonian/molecules.h"
+
+namespace {
+
+using namespace oscar;
+
+double
+sliceError(const Circuit& circuit, const PauliSum& ham,
+           std::size_t points_per_dim, int repeats, std::uint64_t seed)
+{
+    const double pi = std::numbers::pi;
+    StatevectorCost cost(circuit, ham);
+    const int dim = circuit.numParams();
+    Rng rng(seed);
+    std::vector<double> errors;
+
+    for (int rep = 0; rep < repeats; ++rep) {
+        const int va = static_cast<int>(rng.uniformInt(dim));
+        int vb = static_cast<int>(rng.uniformInt(dim - 1));
+        if (vb >= va)
+            ++vb;
+        std::vector<double> base(dim);
+        for (auto& p : base)
+            p = rng.uniform(-pi, pi);
+
+        const GridSpec grid(
+            {{-pi, pi, points_per_dim}, {-pi, pi, points_per_dim}});
+        LambdaCost slice(2, [&](const std::vector<double>& p) {
+            std::vector<double> full = base;
+            full[va] = p[0];
+            full[vb] = p[1];
+            return cost.evaluate(full);
+        });
+        const Landscape truth = Landscape::gridSearch(grid, slice);
+
+        OscarOptions options;
+        options.samplingFraction = 0.3;
+        options.seed = seed + 1000 + rep;
+        const auto recon = Oscar::reconstructFromLandscape(truth, options);
+        if (stats::iqr(truth.values().flat()) < 1e-9)
+            continue;
+        errors.push_back(
+            nrmse(truth.values(), recon.reconstructed.values()));
+    }
+    return errors.empty() ? 0.0 : stats::mean(errors);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 3: molecular landscape reconstruction errors "
+                "(mean NRMSE, 20 slices, 30%% sampling)\n");
+    bench::columns("molecule/ansatz",
+                   {"qubits", "params", "grid/dim", "NRMSE"});
+
+    const PauliSum h2 = h2Hamiltonian();
+    const PauliSum lih = lihHamiltonian();
+
+    struct Row
+    {
+        const char* name;
+        Circuit circuit;
+        const PauliSum* ham;
+        std::size_t samples;
+    };
+    const Row rows[] = {
+        {"H2  Two-local", twoLocalCircuit(2, 1), &h2, 14},
+        {"LiH Two-local", twoLocalCircuit(4, 1), &lih, 7},
+        {"H2  UCCSD (14 pts)", uccsdCircuit(2), &h2, 14},
+        {"H2  UCCSD (50 pts)", uccsdCircuit(2), &h2, 50},
+        {"LiH UCCSD", uccsdCircuit(4), &lih, 7},
+    };
+
+    int row_id = 0;
+    for (const Row& r : rows) {
+        const double err =
+            sliceError(r.circuit, *r.ham, r.samples, 20, 7 + row_id);
+        std::printf("%-28s %10d %10d %10zu %10.4f\n", r.name,
+                    r.circuit.numQubits(), r.circuit.numParams(),
+                    r.samples, err);
+        ++row_id;
+    }
+    std::printf("\npaper reference: 0.171, 0.678, 0.345, 0.005, 0.856\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Use case 3 (paper Section 8 / Table 6): warm-starting the VQA
+ * optimizer from the minimizer of the interpolated reconstruction.
+ *
+ * For several random 16-qubit MaxCut instances we compare the number
+ * of circuit executions ADAM needs to converge from (a) a random
+ * initial point and (b) the OSCAR-suggested initial point, including
+ * the reconstruction's own sample budget. The example also shows the
+ * paper's caveat: for the query-frugal COBYLA the reconstruction
+ * overhead does not pay off.
+ */
+
+#include <cstdio>
+
+#include "src/backend/analytic_qaoa.h"
+#include "src/core/oscar.h"
+#include "src/graph/generators.h"
+#include "src/optimize/adam.h"
+#include "src/optimize/cobyla.h"
+
+int
+main()
+{
+    using namespace oscar;
+
+    const GridSpec grid = GridSpec::qaoaP1();
+    std::printf("Warm-start study: ADAM and COBYLA on 16-qubit "
+                "depth-1 QAOA MaxCut (5 instances)\n\n");
+    std::printf("%-10s %14s %14s %14s %14s\n", "instance",
+                "ADAM random", "ADAM oscar", "COBYLA random",
+                "COBYLA oscar");
+
+    double adam_cold = 0, adam_warm = 0, cob_cold = 0, cob_warm = 0,
+           recon_budget = 0;
+    const int instances = 5;
+    for (int inst = 0; inst < instances; ++inst) {
+        Rng rng(400 + inst);
+        const Graph graph = random3RegularGraph(16, rng);
+        AnalyticQaoaCost cost(graph);
+
+        OscarOptions options;
+        options.samplingFraction = 0.05;
+        options.seed = 40 + inst;
+        const auto recon = Oscar::reconstruct(grid, cost, options);
+        recon_budget += static_cast<double>(recon.queriesUsed);
+
+        Adam suggester;
+        const auto warm_start = suggestInitialPoint(
+            recon.reconstructed, suggester, {0.05, 0.05});
+        Rng init_rng(90 + inst);
+        const std::vector<double> cold_start{
+            init_rng.uniform(grid.axis(0).lo, grid.axis(0).hi),
+            init_rng.uniform(grid.axis(1).lo, grid.axis(1).hi)};
+
+        AdamOptions adam_opts;
+        adam_opts.learningRate = 0.01;
+        adam_opts.gradientTolerance = 0.02;
+        adam_opts.maxIterations = 2000;
+        Adam adam(adam_opts);
+        Cobyla cobyla;
+
+        cost.resetQueries();
+        const auto a_cold = adam.minimize(cost, cold_start);
+        cost.resetQueries();
+        const auto a_warm = adam.minimize(cost, warm_start);
+        cost.resetQueries();
+        const auto c_cold = cobyla.minimize(cost, cold_start);
+        cost.resetQueries();
+        const auto c_warm = cobyla.minimize(cost, warm_start);
+
+        std::printf("%-10d %14zu %14zu %14zu %14zu\n", inst,
+                    a_cold.numQueries, a_warm.numQueries,
+                    c_cold.numQueries, c_warm.numQueries);
+        adam_cold += static_cast<double>(a_cold.numQueries);
+        adam_warm += static_cast<double>(a_warm.numQueries);
+        cob_cold += static_cast<double>(c_cold.numQueries);
+        cob_warm += static_cast<double>(c_warm.numQueries);
+    }
+
+    adam_cold /= instances;
+    adam_warm /= instances;
+    cob_cold /= instances;
+    cob_warm /= instances;
+    recon_budget /= instances;
+
+    std::printf("\nmean queries:\n");
+    std::printf("  ADAM   random %.0f | oscar %.0f | oscar+recon %.0f "
+                "-> OSCAR %s\n",
+                adam_cold, adam_warm, adam_warm + recon_budget,
+                adam_warm + recon_budget < adam_cold ? "pays off"
+                                                     : "does not pay");
+    std::printf("  COBYLA random %.0f | oscar %.0f | oscar+recon %.0f "
+                "-> OSCAR %s\n",
+                cob_cold, cob_warm, cob_warm + recon_budget,
+                cob_warm + recon_budget < cob_cold ? "pays off"
+                                                   : "does not pay");
+    std::printf("\n(The reconstruction samples are embarrassingly "
+                "parallel, so the wall-clock verdict for ADAM is even "
+                "more favorable than the query count suggests.)\n");
+    return 0;
+}

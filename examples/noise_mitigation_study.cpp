@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Use case 1 (paper Section 6): benchmarking and tuning a noise
+ * mitigation method with OSCAR instead of exhaustive circuit runs.
+ *
+ * We compare Zero Noise Extrapolation configured with Richardson
+ * ({1,2,3} scaling) and linear ({1,3} scaling) extrapolation on a
+ * 16-qubit depth-1 QAOA MaxCut problem under depolarizing noise with
+ * finite shots. OSCAR reconstructs each mitigated landscape from 10%
+ * of the grid, and the roughness / flatness metrics computed on the
+ * reconstructions match the conclusions from the (10x more expensive)
+ * full landscapes: Richardson amplifies shot noise into salt-like
+ * jaggedness; linear extrapolation stays smooth.
+ */
+
+#include <cstdio>
+
+#include "src/backend/analytic_qaoa.h"
+#include "src/core/oscar.h"
+#include "src/graph/generators.h"
+#include "src/landscape/metrics.h"
+#include "src/mitigation/zne.h"
+
+int
+main()
+{
+    using namespace oscar;
+
+    Rng rng(6);
+    const Graph graph = random3RegularGraph(16, rng);
+    const NoiseModel noise = NoiseModel::depolarizing(0.001, 0.02);
+    const GridSpec grid = GridSpec::qaoaP1(40, 80);
+    const std::size_t shots = 1024;
+
+    std::printf("ZNE configuration study on 16-qubit QAOA MaxCut "
+                "(noise 1q=0.001, 2q=0.02, %zu shots)\n\n", shots);
+
+    struct Config
+    {
+        const char* name;
+        std::shared_ptr<CostFunction> cost;
+    };
+    const std::vector<Config> configs = {
+        {"unmitigated",
+         std::make_shared<ShotNoiseCost>(
+             std::make_shared<AnalyticQaoaCost>(graph, noise), shots,
+             2.0, 11)},
+        {"ZNE Richardson {1,2,3}",
+         makeZneAnalyticCost(graph, noise, {1.0, 2.0, 3.0},
+                             ZneExtrapolation::Richardson, shots, 2.0,
+                             22)},
+        {"ZNE linear {1,3}",
+         makeZneAnalyticCost(graph, noise, {1.0, 3.0},
+                             ZneExtrapolation::Linear, shots, 2.0, 33)},
+    };
+
+    AnalyticQaoaCost ideal(graph);
+    const Landscape ideal_ls = Landscape::gridSearch(grid, ideal);
+
+    std::printf("%-24s %12s %12s %12s %12s\n", "configuration",
+                "D2(recon)", "VoG(recon)", "Var(recon)", "vs ideal");
+    for (const Config& config : configs) {
+        OscarOptions options;
+        options.samplingFraction = 0.10;
+        const auto result =
+            Oscar::reconstruct(grid, *config.cost, options);
+        const NdArray& recon = result.reconstructed.values();
+        std::printf("%-24s %12.3f %12.4f %12.3f %12.4f\n", config.name,
+                    secondDerivativeMetric(recon),
+                    varianceOfGradients(recon), landscapeVariance(recon),
+                    nrmse(ideal_ls.values(), recon));
+    }
+
+    std::printf("\nReading the table: linear ZNE lands closest to the "
+                "ideal landscape with low roughness (D2); Richardson "
+                "recovers contrast but its D2 blow-up warns that "
+                "gradient-based optimizers will struggle. Each row cost "
+                "10%% of a grid search.\n");
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Use case 2 (paper Section 7 / Figs. 2 and 11): debugging an
+ * optimizer configuration against the reconstructed landscape instead
+ * of live circuit runs.
+ *
+ * The example reproduces the paper's motivating scenario: an ADAM
+ * configuration that looks stuck when all you see is the cost-vs-
+ * iteration curve. The bird's-eye view -- the optimizer path overlaid
+ * on the reconstructed landscape (rendered here as ASCII art) --
+ * immediately shows why: a too-small learning rate creeps along a
+ * plateau. Re-running with a sane learning rate on the SAME
+ * reconstruction (zero extra circuit executions) fixes it.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/backend/analytic_qaoa.h"
+#include "src/core/oscar.h"
+#include "src/graph/generators.h"
+#include "src/interp/bicubic.h"
+#include "src/optimize/adam.h"
+
+namespace {
+
+using namespace oscar;
+
+/** Render the landscape as ASCII with the optimizer path overlaid. */
+void
+renderPath(const Landscape& landscape, const OptimizerResult& run)
+{
+    const std::size_t rows = 18, cols = 48;
+    const GridSpec& grid = landscape.grid();
+    const double lo0 = grid.axis(0).lo, hi0 = grid.axis(0).hi;
+    const double lo1 = grid.axis(1).lo, hi1 = grid.axis(1).hi;
+    const double min = landscape.values().min();
+    const double max = landscape.values().max();
+    static const char shades[] = " .:-=+*#%@";
+
+    std::vector<std::string> canvas(rows, std::string(cols, ' '));
+    InterpolatedLandscapeCost interp(landscape);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const double b = lo0 + (hi0 - lo0) * r / (rows - 1);
+            const double g = lo1 + (hi1 - lo1) * c / (cols - 1);
+            const double v = interp.evaluate({b, g});
+            const int shade = static_cast<int>(
+                9.99 * (v - min) / (max - min + 1e-12));
+            canvas[r][c] = shades[std::min(9, std::max(0, shade))];
+        }
+    }
+    for (const auto& point : run.path) {
+        const int r = static_cast<int>(
+            (point[0] - lo0) / (hi0 - lo0) * (rows - 1) + 0.5);
+        const int c = static_cast<int>(
+            (point[1] - lo1) / (hi1 - lo1) * (cols - 1) + 0.5);
+        if (r >= 0 && r < static_cast<int>(rows) && c >= 0 &&
+            c < static_cast<int>(cols))
+            canvas[r][c] = 'o';
+    }
+    // Mark start and end.
+    auto mark = [&](const std::vector<double>& p, char ch) {
+        const int r = static_cast<int>(
+            (p[0] - lo0) / (hi0 - lo0) * (rows - 1) + 0.5);
+        const int c = static_cast<int>(
+            (p[1] - lo1) / (hi1 - lo1) * (cols - 1) + 0.5);
+        if (r >= 0 && r < static_cast<int>(rows) && c >= 0 &&
+            c < static_cast<int>(cols))
+            canvas[r][c] = ch;
+    };
+    mark(run.path.front(), 'S');
+    mark(run.path.back(), 'E');
+
+    for (const auto& line : canvas)
+        std::printf("  |%s|\n", line.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace oscar;
+
+    Rng rng(2);
+    const Graph graph = random3RegularGraph(16, rng);
+    AnalyticQaoaCost circuit_cost(graph);
+    const GridSpec grid = GridSpec::qaoaP1();
+
+    // One reconstruction, reused for every optimizer trial below.
+    OscarOptions options;
+    options.samplingFraction = 0.08;
+    const auto recon = Oscar::reconstruct(grid, circuit_cost, options);
+    std::printf("reconstruction used %zu circuit runs (%.0fx fewer "
+                "than the %zu-point grid search)\n\n",
+                recon.queriesUsed, recon.querySpeedup,
+                grid.numPoints());
+    InterpolatedLandscapeCost interp(recon.reconstructed);
+
+    const std::vector<double> start{0.05, 1.2};
+
+    // Misconfigured optimizer: learning rate 100x too small.
+    AdamOptions bad;
+    bad.learningRate = 0.001;
+    bad.maxIterations = 60;
+    Adam bad_adam(bad);
+    const auto bad_run = bad_adam.minimize(interp, start);
+    std::printf("ADAM lr=0.001: final cost %.4f after %zu iterations "
+                "(stuck -- path barely moves):\n", bad_run.bestValue,
+                bad_run.iterations);
+    renderPath(recon.reconstructed, bad_run);
+
+    // Fixed configuration, same reconstruction, zero circuit runs.
+    AdamOptions good;
+    good.learningRate = 0.1;
+    good.maxIterations = 60;
+    Adam good_adam(good);
+    const auto good_run = good_adam.minimize(interp, start);
+    std::printf("\nADAM lr=0.1: final cost %.4f (converged, E marks "
+                "the end point):\n", good_run.bestValue);
+    renderPath(recon.reconstructed, good_run);
+
+    std::printf("\ngrid-search optimum for reference: %.4f\n",
+                recon.reconstructed.values().min());
+    std::printf("Both debugging runs consumed 0 additional circuit "
+                "executions.\n");
+    return 0;
+}

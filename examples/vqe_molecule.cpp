@@ -1,0 +1,87 @@
+/**
+ * @file
+ * VQE on the H2 molecule with OSCAR-assisted initialization.
+ *
+ * The paper's molecular workloads (Tables 2-4) are VQE problems:
+ * minimize <psi(theta)|H|psi(theta)> for a molecular Hamiltonian.
+ * This example runs the full flow on H2 (2 qubits, exact FCI energy
+ * -1.8573 Ha at 0.735 A):
+ *
+ *   1. brute VQE: Nelder-Mead from a random start on the UCCSD ansatz;
+ *   2. OSCAR-assisted VQE: reconstruct a 2-parameter slice of the
+ *      landscape from 25% of a 40x40 grid, warm-start from the
+ *      reconstruction's minimizer, finish with Nelder-Mead.
+ *
+ * Both reach chemical-accuracy neighborhood; the OSCAR path shows how
+ * landscape reconstruction plugs into a chemistry workflow.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/ansatz/uccsd.h"
+#include "src/backend/statevector_backend.h"
+#include "src/core/oscar.h"
+#include "src/hamiltonian/molecules.h"
+#include "src/interp/bicubic.h"
+#include "src/landscape/metrics.h"
+#include "src/optimize/nelder_mead.h"
+
+int
+main()
+{
+    using namespace oscar;
+
+    const PauliSum h2 = h2Hamiltonian();
+    const Circuit ansatz = uccsdCircuit(2); // 3 parameters
+    StatevectorCost cost(ansatz, h2);
+    const double fci = -1.8573;
+
+    std::printf("VQE for H2 (UCCSD, %d parameters), FCI reference "
+                "%.4f Ha\n\n", ansatz.numParams(), fci);
+
+    // --- 1. Plain VQE from a random start. ---
+    NelderMead nm;
+    const auto plain = nm.minimize(cost, {0.8, -0.9, 0.7});
+    std::printf("plain VQE:  E = %.5f Ha after %zu queries\n",
+                plain.bestValue, plain.numQueries);
+
+    // --- 2. OSCAR-assisted: reconstruct a (p0, p2) slice at p1 = 0,
+    //        warm-start from its minimizer. ---
+    const GridSpec grid({{-1.0, 1.0, 40}, {-1.0, 1.0, 40}});
+    LambdaCost slice(2, [&](const std::vector<double>& p) {
+        return cost.evaluate({p[0], 0.0, p[1]});
+    });
+    cost.resetQueries();
+    OscarOptions options;
+    options.samplingFraction = 0.25;
+    const auto recon = Oscar::reconstruct(grid, slice, options);
+    std::printf("\nOSCAR slice reconstruction: %zu samples (speedup "
+                "%.1fx over the %zu-point grid)\n", recon.queriesUsed,
+                recon.querySpeedup, grid.numPoints());
+
+    InterpolatedLandscapeCost interp(recon.reconstructed);
+    NelderMead suggester;
+    const auto on_recon = suggester.minimize(interp, {0.1, 0.1});
+    // The interpolant clamps to the grid box; clamp the suggested
+    // point the same way before handing it to the real workflow.
+    auto clamp_axis = [&](double v, std::size_t d) {
+        return std::clamp(v, grid.axis(d).lo, grid.axis(d).hi);
+    };
+    const std::vector<double> warm{
+        clamp_axis(on_recon.bestParams[0], 0), 0.0,
+        clamp_axis(on_recon.bestParams[1], 1)};
+    std::printf("reconstruction minimizer: (%.3f, 0, %.3f) with "
+                "interpolated E = %.5f\n", warm[0], warm[2],
+                on_recon.bestValue);
+
+    cost.resetQueries();
+    const auto assisted = nm.minimize(cost, warm);
+    std::printf("warm VQE:   E = %.5f Ha after %zu queries\n",
+                assisted.bestValue, assisted.numQueries);
+
+    std::printf("\nboth runs vs FCI: plain %.2f mHa, assisted %.2f "
+                "mHa\n", 1e3 * (plain.bestValue - fci),
+                1e3 * (assisted.bestValue - fci));
+    return 0;
+}

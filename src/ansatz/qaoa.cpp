@@ -1,0 +1,48 @@
+#include "src/ansatz/qaoa.h"
+
+#include <stdexcept>
+
+namespace oscar {
+
+int
+qaoaBetaIndex(int layer, int depth)
+{
+    if (layer < 0 || layer >= depth)
+        throw std::out_of_range("qaoaBetaIndex: bad layer");
+    return layer;
+}
+
+int
+qaoaGammaIndex(int layer, int depth)
+{
+    if (layer < 0 || layer >= depth)
+        throw std::out_of_range("qaoaGammaIndex: bad layer");
+    return depth + layer;
+}
+
+Circuit
+qaoaCircuit(const Graph& graph, int depth)
+{
+    if (depth < 1)
+        throw std::invalid_argument("qaoaCircuit: depth must be >= 1");
+    const int n = graph.numVertices();
+    Circuit circuit(n, 2 * depth);
+
+    for (int q = 0; q < n; ++q)
+        circuit.append(Gate::h(q));
+
+    for (int layer = 0; layer < depth; ++layer) {
+        const int gi = qaoaGammaIndex(layer, depth);
+        const int bi = qaoaBetaIndex(layer, depth);
+        // U_C(gamma) = exp(-i gamma sum w (1 - ZZ)/2). Per edge, up to
+        // global phase: exp(+i gamma w ZZ / 2) = RZZ(-w * gamma).
+        for (const Edge& e : graph.edges())
+            circuit.append(Gate::rzzParam(e.u, e.v, gi, -e.weight));
+        // U_B(beta) = exp(-i beta X) per qubit = RX(2 beta).
+        for (int q = 0; q < n; ++q)
+            circuit.append(Gate::rxParam(q, bi, 2.0));
+    }
+    return circuit;
+}
+
+} // namespace oscar

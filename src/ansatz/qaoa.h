@@ -1,0 +1,41 @@
+/**
+ * @file
+ * QAOA ansatz builder.
+ *
+ * Convention (matches Farhi et al. and the closed-form p=1 expectation
+ * used by the analytic backend): the cost function is
+ *     C(z) = sum_{(u,v)} w_uv (1 - Z_u Z_v) / 2   (the cut value),
+ * the layer unitaries are U_C(gamma) = exp(-i gamma C) and
+ * U_B(beta) = exp(-i beta sum_q X_q), and the circuit is
+ *     |s> = H^n |0>,  prod_l U_B(beta_l) U_C(gamma_l) |s>.
+ *
+ * The parameter vector is [beta_0..beta_{p-1}, gamma_0..gamma_{p-1}],
+ * matching the (beta, gamma) grid-axis order of the paper's Table 1.
+ *
+ * VQA cost to MINIMIZE is <H_C> = -<C> (see maxcut.h), so landscapes
+ * have the negative-valued wells shown in the paper's Fig. 2.
+ */
+
+#ifndef OSCAR_ANSATZ_QAOA_H
+#define OSCAR_ANSATZ_QAOA_H
+
+#include "src/graph/graph.h"
+#include "src/quantum/circuit.h"
+
+namespace oscar {
+
+/** Index of beta_layer in the QAOA parameter vector. */
+int qaoaBetaIndex(int layer, int depth);
+
+/** Index of gamma_layer in the QAOA parameter vector. */
+int qaoaGammaIndex(int layer, int depth);
+
+/**
+ * Build the depth-p QAOA circuit for a (possibly weighted) graph.
+ * The circuit has 2p parameters ordered as documented above.
+ */
+Circuit qaoaCircuit(const Graph& graph, int depth);
+
+} // namespace oscar
+
+#endif // OSCAR_ANSATZ_QAOA_H

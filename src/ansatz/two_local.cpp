@@ -1,0 +1,32 @@
+#include "src/ansatz/two_local.h"
+
+#include <stdexcept>
+
+namespace oscar {
+
+int
+twoLocalNumParams(int num_qubits, int reps)
+{
+    return num_qubits * (reps + 1);
+}
+
+Circuit
+twoLocalCircuit(int num_qubits, int reps)
+{
+    if (reps < 0)
+        throw std::invalid_argument("twoLocalCircuit: negative reps");
+    Circuit circuit(num_qubits, twoLocalNumParams(num_qubits, reps));
+
+    int param = 0;
+    for (int q = 0; q < num_qubits; ++q)
+        circuit.append(Gate::ryParam(q, param++));
+    for (int rep = 0; rep < reps; ++rep) {
+        for (int q = 0; q + 1 < num_qubits; ++q)
+            circuit.append(Gate::cz(q, q + 1));
+        for (int q = 0; q < num_qubits; ++q)
+            circuit.append(Gate::ryParam(q, param++));
+    }
+    return circuit;
+}
+
+} // namespace oscar

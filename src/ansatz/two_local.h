@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Hardware-efficient "Two-local" ansatz (RY rotations + CZ
+ * entanglement), mirroring Qiskit's TwoLocal circuit used in the
+ * paper's Tables 2-4.
+ *
+ * Structure for `reps` repetitions on n qubits:
+ *     [RY layer] ( [linear CZ chain] [RY layer] ) x reps
+ * giving n * (reps + 1) parameters, one per RY gate, ordered layer by
+ * layer then qubit by qubit. reps == 0 yields a product ansatz.
+ */
+
+#ifndef OSCAR_ANSATZ_TWO_LOCAL_H
+#define OSCAR_ANSATZ_TWO_LOCAL_H
+
+#include "src/quantum/circuit.h"
+
+namespace oscar {
+
+/** Number of parameters of twoLocalCircuit(n, reps). */
+int twoLocalNumParams(int num_qubits, int reps);
+
+/** Build the Two-local ansatz circuit. */
+Circuit twoLocalCircuit(int num_qubits, int reps);
+
+} // namespace oscar
+
+#endif // OSCAR_ANSATZ_TWO_LOCAL_H

@@ -1,0 +1,100 @@
+#include "src/ansatz/uccsd.h"
+
+#include <stdexcept>
+
+namespace oscar {
+
+void
+appendPauliExponential(Circuit& circuit, const PauliString& pauli,
+                       int param_index, double coeff)
+{
+    if (pauli.numQubits() != circuit.numQubits())
+        throw std::invalid_argument(
+            "appendPauliExponential: qubit count mismatch");
+    if (pauli.isIdentity())
+        throw std::invalid_argument(
+            "appendPauliExponential: identity string");
+
+    std::vector<int> active;
+    for (int q = 0; q < pauli.numQubits(); ++q) {
+        if (pauli.op(q) != PauliOp::I)
+            active.push_back(q);
+    }
+
+    // Basis change: map each local X/Y to Z. For Y the change-of-basis
+    // unitary is W = S*H (W Z W^dag = Y); we apply W^dag = H after Sdg.
+    for (int q : active) {
+        switch (pauli.op(q)) {
+          case PauliOp::X:
+            circuit.append(Gate::h(q));
+            break;
+          case PauliOp::Y:
+            circuit.append(Gate::sdg(q));
+            circuit.append(Gate::h(q));
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Parity ladder onto the last active qubit.
+    for (std::size_t i = 0; i + 1 < active.size(); ++i)
+        circuit.append(Gate::cx(active[i], active[i + 1]));
+
+    circuit.append(Gate::rzParam(active.back(), param_index, coeff));
+
+    // Undo ladder and basis change.
+    for (std::size_t i = active.size() - 1; i-- > 0;)
+        circuit.append(Gate::cx(active[i], active[i + 1]));
+    for (int q : active) {
+        switch (pauli.op(q)) {
+          case PauliOp::X:
+            circuit.append(Gate::h(q));
+            break;
+          case PauliOp::Y:
+            circuit.append(Gate::h(q));
+            circuit.append(Gate::s(q));
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+std::vector<PauliString>
+uccsdExcitations(int num_qubits)
+{
+    if (num_qubits < 2)
+        throw std::invalid_argument("uccsdExcitations: need >= 2 qubits");
+    std::vector<PauliString> pool;
+    // Single excitations: Y on each qubit.
+    for (int q = 0; q < num_qubits; ++q)
+        pool.push_back(PauliString::single(num_qubits, q, PauliOp::Y));
+    // Double excitations: XY on a ring of adjacent pairs.
+    const int num_doubles = num_qubits == 2 ? 1 : num_qubits;
+    for (int k = 0; k < num_doubles; ++k) {
+        PauliString p(num_qubits);
+        p.setOp(k, PauliOp::X);
+        p.setOp((k + 1) % num_qubits, PauliOp::Y);
+        pool.push_back(p);
+    }
+    return pool;
+}
+
+int
+uccsdNumParams(int num_qubits)
+{
+    return static_cast<int>(uccsdExcitations(num_qubits).size());
+}
+
+Circuit
+uccsdCircuit(int num_qubits)
+{
+    const auto pool = uccsdExcitations(num_qubits);
+    Circuit circuit(num_qubits, static_cast<int>(pool.size()));
+    for (std::size_t k = 0; k < pool.size(); ++k)
+        appendPauliExponential(circuit, pool[k], static_cast<int>(k));
+    return circuit;
+}
+
+} // namespace oscar

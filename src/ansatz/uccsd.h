@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Chemistry-inspired UCCSD-style ansatz.
+ *
+ * A Trotterized unitary coupled-cluster ansatz is a product of Pauli
+ * exponentials exp(-i theta_k / 2 * P_k) for excitation strings P_k.
+ * We provide:
+ *
+ *  - pauliExponential(): the generic compilation of exp(-i theta/2 P)
+ *    into basis changes + CNOT ladder + RZ (the standard construction),
+ *  - uccsdCircuit(): a fixed excitation pool (Y single excitations on
+ *    each qubit plus XY double excitations on a ring of pairs), giving
+ *    the 3-parameter H2 and 8-parameter LiH ansaetze of Table 3.
+ */
+
+#ifndef OSCAR_ANSATZ_UCCSD_H
+#define OSCAR_ANSATZ_UCCSD_H
+
+#include <vector>
+
+#include "src/quantum/circuit.h"
+#include "src/quantum/pauli.h"
+
+namespace oscar {
+
+/**
+ * Append exp(-i angle / 2 * P) to `circuit`, where the rotation angle
+ * is coeff * params[param_index]. Identity strings are rejected.
+ */
+void appendPauliExponential(Circuit& circuit, const PauliString& pauli,
+                            int param_index, double coeff = 1.0);
+
+/** Excitation pool used by uccsdCircuit(), exposed for tests. */
+std::vector<PauliString> uccsdExcitations(int num_qubits);
+
+/** Number of parameters of uccsdCircuit(n). */
+int uccsdNumParams(int num_qubits);
+
+/**
+ * Build the UCCSD-style ansatz: one parameter per excitation string,
+ * applied to the |0...0> reference state.
+ */
+Circuit uccsdCircuit(int num_qubits);
+
+} // namespace oscar
+
+#endif // OSCAR_ANSATZ_UCCSD_H

@@ -1,0 +1,104 @@
+#include "src/backend/analytic_qaoa.h"
+
+#include <cmath>
+#include <set>
+
+namespace oscar {
+
+AnalyticQaoaCost::AnalyticQaoaCost(const Graph& graph)
+    : AnalyticQaoaCost(graph, NoiseModel::idealModel())
+{
+}
+
+AnalyticQaoaCost::AnalyticQaoaCost(const Graph& graph,
+                                   const NoiseModel& noise)
+    : graph_(graph)
+{
+    computeDamping(noise);
+}
+
+void
+AnalyticQaoaCost::computeDamping(const NoiseModel& noise)
+{
+    damping_.assign(graph_.numEdges(), 1.0);
+    if (noise.ideal())
+        return;
+    for (std::size_t e = 0; e < graph_.numEdges(); ++e) {
+        const Edge& edge = graph_.edges()[e];
+        // Backward light cone of observable Z_u Z_v for the p=1
+        // circuit H^n -> RZZ(edges) -> RX(all):
+        //  - RX on u and v (2 one-qubit gates),
+        //  - RZZ on every edge incident to u or v,
+        //  - H on u, v, and every neighbor of u or v.
+        std::set<int> cone_vertices = {edge.u, edge.v};
+        int rzz_count = 0;
+        for (const Edge& other : graph_.edges()) {
+            if (other.u == edge.u || other.u == edge.v ||
+                other.v == edge.u || other.v == edge.v) {
+                ++rzz_count;
+                cone_vertices.insert(other.u);
+                cone_vertices.insert(other.v);
+            }
+        }
+        const int h_count = static_cast<int>(cone_vertices.size());
+        const int rx_count = 2;
+        damping_[e] = std::pow(1.0 - noise.p1, h_count + rx_count) *
+                      std::pow(1.0 - noise.p2, rzz_count);
+    }
+}
+
+double
+AnalyticQaoaCost::edgeExpectation(std::size_t edge_index, double beta,
+                                  double gamma) const
+{
+    const Edge& edge = graph_.edges()[edge_index];
+    const int u = edge.u;
+    const int v = edge.v;
+
+    auto weight_to = [&](int from, int k) {
+        for (const Edge& e : graph_.edges()) {
+            if ((e.u == from && e.v == k) || (e.v == from && e.u == k))
+                return e.weight;
+        }
+        return 0.0;
+    };
+
+    double prod_u = 1.0, prod_v = 1.0, prod_plus = 1.0, prod_minus = 1.0;
+    for (int k = 0; k < graph_.numVertices(); ++k) {
+        if (k == u || k == v)
+            continue;
+        // Skip vertices not adjacent to either endpoint (all factors 1).
+        const bool near_u = graph_.hasEdge(u, k);
+        const bool near_v = graph_.hasEdge(v, k);
+        if (!near_u && !near_v)
+            continue;
+        const double wu = near_u ? weight_to(u, k) : 0.0;
+        const double wv = near_v ? weight_to(v, k) : 0.0;
+        prod_u *= std::cos(gamma * wu);
+        prod_v *= std::cos(gamma * wv);
+        prod_plus *= std::cos(gamma * (wu + wv));
+        prod_minus *= std::cos(gamma * (wu - wv));
+    }
+
+    const double s4b = std::sin(4.0 * beta);
+    const double s2b = std::sin(2.0 * beta);
+    const double zz =
+        -(s4b * std::sin(gamma * edge.weight) / 2.0) * (prod_u + prod_v) -
+        (s2b * s2b / 2.0) * (prod_plus - prod_minus);
+    return damping_[edge_index] * zz;
+}
+
+double
+AnalyticQaoaCost::evaluateImpl(const std::vector<double>& params)
+{
+    const double beta = params[0];
+    const double gamma = params[1];
+    double energy = 0.0;
+    for (std::size_t e = 0; e < graph_.numEdges(); ++e) {
+        const double w = graph_.edges()[e].weight;
+        energy += (w / 2.0) * (edgeExpectation(e, beta, gamma) - 1.0);
+    }
+    return energy;
+}
+
+} // namespace oscar

@@ -1,0 +1,46 @@
+#include "src/backend/density_backend.h"
+
+#include <stdexcept>
+
+#include "src/mitigation/readout.h"
+
+namespace oscar {
+
+DensityCost::DensityCost(Circuit circuit, PauliSum hamiltonian,
+                         NoiseModel noise)
+    : circuit_(std::move(circuit)), hamiltonian_(std::move(hamiltonian)),
+      noise_(noise), rho_(circuit_.numQubits())
+{
+    if (hamiltonian_.numQubits() != circuit_.numQubits())
+        throw std::invalid_argument(
+            "DensityCost: circuit/Hamiltonian qubit mismatch");
+    if (hamiltonian_.isDiagonal()) {
+        diagonal_ = hamiltonian_.diagonalTable();
+        if (noise_.readout01 > 0.0 || noise_.readout10 > 0.0) {
+            diagonal_ = applyReadoutToDiagonal(std::move(diagonal_),
+                                               circuit_.numQubits(),
+                                               noise_.readout01,
+                                               noise_.readout10);
+        }
+    } else if (noise_.readout01 > 0.0 || noise_.readout10 > 0.0) {
+        throw std::invalid_argument(
+            "DensityCost: readout noise requires a diagonal Hamiltonian");
+    }
+}
+
+double
+DensityCost::evaluateImpl(const std::vector<double>& params)
+{
+    rho_.reset();
+    rho_.run(circuit_, params, noise_);
+    if (!diagonal_.empty()) {
+        const auto probs = rho_.probabilities();
+        double acc = 0.0;
+        for (std::size_t z = 0; z < probs.size(); ++z)
+            acc += probs[z] * diagonal_[z];
+        return acc;
+    }
+    return hamiltonian_.expectation(rho_);
+}
+
+} // namespace oscar

@@ -1,0 +1,36 @@
+#include "src/backend/executor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oscar {
+
+double
+CostFunction::evaluate(const std::vector<double>& params)
+{
+    if (static_cast<int>(params.size()) != numParams())
+        throw std::invalid_argument(
+            "CostFunction::evaluate: wrong parameter count");
+    ++queries_;
+    return evaluateImpl(params);
+}
+
+ShotNoiseCost::ShotNoiseCost(std::shared_ptr<CostFunction> inner,
+                             std::size_t shots, double sigma_single_shot,
+                             std::uint64_t seed)
+    : inner_(std::move(inner)), shots_(shots), sigma1_(sigma_single_shot),
+      rng_(seed)
+{
+    if (shots_ == 0)
+        throw std::invalid_argument("ShotNoiseCost: shots must be > 0");
+}
+
+double
+ShotNoiseCost::evaluateImpl(const std::vector<double>& params)
+{
+    const double exact = inner_->evaluate(params);
+    const double sigma = sigma1_ / std::sqrt(static_cast<double>(shots_));
+    return exact + rng_.normal(0.0, sigma);
+}
+
+} // namespace oscar

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The cost-function abstraction shared by every execution substrate.
+ *
+ * In the paper's workflow a "circuit execution" turns circuit
+ * parameters into an expected cost value; everything downstream
+ * (grid search, OSCAR sampling, optimizers) only consumes this
+ * interface. Each evaluation is counted, because query counts are
+ * themselves a headline metric (Table 6).
+ */
+
+#ifndef OSCAR_BACKEND_EXECUTOR_H
+#define OSCAR_BACKEND_EXECUTOR_H
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace oscar {
+
+/** Abstract VQA cost evaluator: circuit parameters -> expected cost. */
+class CostFunction
+{
+  public:
+    virtual ~CostFunction() = default;
+
+    /** Dimension of the parameter vector. */
+    virtual int numParams() const = 0;
+
+    /** Evaluate the expected cost; increments the query counter. */
+    double evaluate(const std::vector<double>& params);
+
+    /** Number of evaluate() calls since construction / reset. */
+    std::size_t numQueries() const { return queries_; }
+
+    /** Reset the query counter. */
+    void resetQueries() { queries_ = 0; }
+
+  protected:
+    virtual double evaluateImpl(const std::vector<double>& params) = 0;
+
+  private:
+    std::size_t queries_ = 0;
+};
+
+/** Wrap a plain callable as a CostFunction (used by tests/optimizers). */
+class LambdaCost : public CostFunction
+{
+  public:
+    using Fn = std::function<double(const std::vector<double>&)>;
+
+    LambdaCost(int num_params, Fn fn)
+        : numParams_(num_params), fn_(std::move(fn))
+    {
+    }
+
+    int numParams() const override { return numParams_; }
+
+  protected:
+    double
+    evaluateImpl(const std::vector<double>& params) override
+    {
+        return fn_(params);
+    }
+
+  private:
+    int numParams_;
+    Fn fn_;
+};
+
+/**
+ * Decorator adding finite-shot sampling noise to an exact evaluator.
+ *
+ * The estimator of an expected cost from S shots is unbiased with
+ * standard deviation sigma_1 / sqrt(S), where sigma_1 is the
+ * single-shot cost standard deviation. We model the estimator as
+ * exact + Gaussian(0, sigma_1/sqrt(S)); sigma_1 is configurable (the
+ * true value depends on the observable's spectral range).
+ */
+class ShotNoiseCost : public CostFunction
+{
+  public:
+    ShotNoiseCost(std::shared_ptr<CostFunction> inner, std::size_t shots,
+                  double sigma_single_shot, std::uint64_t seed);
+
+    int numParams() const override { return inner_->numParams(); }
+
+  protected:
+    double evaluateImpl(const std::vector<double>& params) override;
+
+  private:
+    std::shared_ptr<CostFunction> inner_;
+    std::size_t shots_;
+    double sigma1_;
+    Rng rng_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_BACKEND_EXECUTOR_H

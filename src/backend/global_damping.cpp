@@ -1,0 +1,31 @@
+#include "src/backend/global_damping.h"
+
+#include <cmath>
+
+namespace oscar {
+
+GlobalDampingCost::GlobalDampingCost(Circuit circuit, PauliSum hamiltonian,
+                                     NoiseModel noise)
+    : ideal_(circuit, hamiltonian)
+{
+    const std::size_t g2 = circuit.countTwoQubitGates();
+    const std::size_t g1 = circuit.numGates() - g2;
+    damping_ = std::pow(1.0 - noise.p1, static_cast<double>(g1)) *
+               std::pow(1.0 - noise.p2, static_cast<double>(g2));
+
+    // Tr(H)/2^n: only identity strings contribute.
+    mixed_ = 0.0;
+    for (const PauliTerm& t : hamiltonian.terms()) {
+        if (t.pauli.isIdentity())
+            mixed_ += t.coeff;
+    }
+}
+
+double
+GlobalDampingCost::evaluateImpl(const std::vector<double>& params)
+{
+    const double ideal = ideal_.evaluate(params);
+    return damping_ * (ideal - mixed_) + mixed_;
+}
+
+} // namespace oscar

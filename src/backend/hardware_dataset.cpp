@@ -1,0 +1,65 @@
+#include "src/backend/hardware_dataset.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/backend/analytic_qaoa.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/cs/dct.h"
+
+namespace oscar {
+
+Landscape
+syntheticHardwareLandscape(const Graph& graph, const GridSpec& grid,
+                           const HardwareDatasetOptions& options)
+{
+    if (grid.rank() != 2)
+        throw std::invalid_argument(
+            "syntheticHardwareLandscape: need a rank-2 grid");
+
+    AnalyticQaoaCost ideal(graph);
+    NdArray values(grid.shape());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = ideal.evaluate(grid.pointAt(i));
+
+    // Contract toward the maximally-mixed energy.
+    double mixed = 0.0;
+    for (const Edge& e : graph.edges())
+        mixed -= e.weight / 2.0;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = options.damping * (values[i] - mixed) + mixed;
+
+    const double scale =
+        stats::stddev(values.flat()) > 0.0 ? stats::stddev(values.flat())
+                                           : 1.0;
+    Rng rng(options.seed);
+
+    // Smooth drift: random energy in the lowest 4x4 DCT modes.
+    if (options.correlatedNoise > 0.0) {
+        const std::size_t nr = grid.shape()[0];
+        const std::size_t nc = grid.shape()[1];
+        Dct2d dct(nr, nc);
+        NdArray coeffs({nr, nc});
+        for (std::size_t kr = 0; kr < 4 && kr < nr; ++kr) {
+            for (std::size_t kc = 0; kc < 4 && kc < nc; ++kc)
+                coeffs[kr * nc + kc] = rng.normal();
+        }
+        NdArray drift = dct.inverse(coeffs);
+        const double drift_std = stats::stddev(drift.flat());
+        const double target = options.correlatedNoise * scale;
+        if (drift_std > 0.0) {
+            drift *= target / drift_std;
+            values += drift;
+        }
+    }
+
+    // White per-point noise.
+    if (options.whiteNoise > 0.0) {
+        for (std::size_t i = 0; i < values.size(); ++i)
+            values[i] += rng.normal(0.0, options.whiteNoise * scale);
+    }
+    return Landscape(grid, std::move(values));
+}
+
+} // namespace oscar

@@ -1,0 +1,28 @@
+#include "src/backend/statevector_backend.h"
+
+#include <stdexcept>
+
+namespace oscar {
+
+StatevectorCost::StatevectorCost(Circuit circuit, PauliSum hamiltonian)
+    : circuit_(std::move(circuit)), hamiltonian_(std::move(hamiltonian)),
+      state_(circuit_.numQubits())
+{
+    if (hamiltonian_.numQubits() != circuit_.numQubits())
+        throw std::invalid_argument(
+            "StatevectorCost: circuit/Hamiltonian qubit mismatch");
+    if (hamiltonian_.isDiagonal())
+        diagonal_ = hamiltonian_.diagonalTable();
+}
+
+double
+StatevectorCost::evaluateImpl(const std::vector<double>& params)
+{
+    state_.reset();
+    state_.run(circuit_, params);
+    if (!diagonal_.empty())
+        return state_.expectationDiagonal(diagonal_);
+    return hamiltonian_.expectation(state_);
+}
+
+} // namespace oscar

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ideal (noise-free) cost evaluation via dense state-vector simulation.
+ */
+
+#ifndef OSCAR_BACKEND_STATEVECTOR_BACKEND_H
+#define OSCAR_BACKEND_STATEVECTOR_BACKEND_H
+
+#include "src/backend/executor.h"
+#include "src/hamiltonian/pauli_sum.h"
+#include "src/quantum/circuit.h"
+#include "src/quantum/statevector.h"
+
+namespace oscar {
+
+/**
+ * Exact expectation <psi(theta)|H|psi(theta)> where |psi(theta)> is
+ * the ansatz circuit run on |0...0>. Diagonal Hamiltonians use a
+ * precomputed per-basis-state value table.
+ */
+class StatevectorCost : public CostFunction
+{
+  public:
+    StatevectorCost(Circuit circuit, PauliSum hamiltonian);
+
+    int numParams() const override { return circuit_.numParams(); }
+
+  protected:
+    double evaluateImpl(const std::vector<double>& params) override;
+
+  private:
+    Circuit circuit_;
+    PauliSum hamiltonian_;
+    std::vector<double> diagonal_; // non-empty iff hamiltonian diagonal
+    Statevector state_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_BACKEND_STATEVECTOR_BACKEND_H

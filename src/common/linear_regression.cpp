@@ -1,0 +1,105 @@
+#include "src/common/linear_regression.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace oscar {
+
+LinearFit
+fitLinear(const std::vector<double>& x, const std::vector<double>& y)
+{
+    assert(x.size() == y.size());
+    assert(x.size() >= 2);
+    const double n = static_cast<double>(x.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    if (std::abs(denom) < 1e-300)
+        throw std::invalid_argument("fitLinear: constant x values");
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    return fit;
+}
+
+std::vector<double>
+fitPolynomial(const std::vector<double>& x, const std::vector<double>& y,
+              std::size_t degree)
+{
+    assert(x.size() == y.size());
+    const std::size_t n = degree + 1;
+    assert(x.size() >= n);
+
+    // Normal equations: (V^T V) c = V^T y with Vandermonde V.
+    std::vector<double> ata(n * n, 0.0);
+    std::vector<double> aty(n, 0.0);
+    for (std::size_t k = 0; k < x.size(); ++k) {
+        std::vector<double> pow(n);
+        pow[0] = 1.0;
+        for (std::size_t j = 1; j < n; ++j)
+            pow[j] = pow[j - 1] * x[k];
+        for (std::size_t i = 0; i < n; ++i) {
+            aty[i] += pow[i] * y[k];
+            for (std::size_t j = 0; j < n; ++j)
+                ata[i * n + j] += pow[i] * pow[j];
+        }
+    }
+    return solveDense(std::move(ata), std::move(aty), n);
+}
+
+double
+evalPolynomial(const std::vector<double>& coeffs, double x)
+{
+    double result = 0.0;
+    for (std::size_t i = coeffs.size(); i-- > 0;)
+        result = result * x + coeffs[i];
+    return result;
+}
+
+std::vector<double>
+solveDense(std::vector<double> a, std::vector<double> b, std::size_t n)
+{
+    assert(a.size() == n * n);
+    assert(b.size() == n);
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::abs(a[r * n + col]) > std::abs(a[pivot * n + col]))
+                pivot = r;
+        }
+        if (std::abs(a[pivot * n + col]) < 1e-12)
+            throw std::runtime_error("solveDense: singular system");
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a[col * n + c], a[pivot * n + c]);
+            std::swap(b[col], b[pivot]);
+        }
+        // Eliminate below.
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = a[r * n + col] / a[col * n + col];
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a[r * n + c] -= factor * a[col * n + c];
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t r = n; r-- > 0;) {
+        double acc = b[r];
+        for (std::size_t c = r + 1; c < n; ++c)
+            acc -= a[r * n + c] * x[c];
+        x[r] = acc / a[r * n + r];
+    }
+    return x;
+}
+
+} // namespace oscar

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ordinary least squares, used by two independent consumers:
+ *
+ *  1. The Noise Compensation Model (Section 5.1), which fits a 1-D
+ *     affine map from QPU-2 expectation values to QPU-1 values.
+ *  2. Zero Noise Extrapolation (Section 6), which fits polynomial
+ *     models of cost vs. noise-scale and evaluates them at scale 0.
+ */
+
+#ifndef OSCAR_COMMON_LINEAR_REGRESSION_H
+#define OSCAR_COMMON_LINEAR_REGRESSION_H
+
+#include <vector>
+
+namespace oscar {
+
+/** Result of a simple (1-D) least squares fit y = slope * x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+
+    /** Evaluate the fitted line at x. */
+    double operator()(double x) const { return slope * x + intercept; }
+};
+
+/**
+ * Fit y = slope * x + intercept by least squares.
+ * Requires x.size() == y.size() >= 2 and non-constant x.
+ */
+LinearFit fitLinear(const std::vector<double>& x,
+                    const std::vector<double>& y);
+
+/**
+ * Fit a degree-d polynomial c0 + c1 x + ... + cd x^d by least squares
+ * via normal equations with Gaussian elimination (sizes here are tiny:
+ * ZNE uses 2-4 scale factors). Returns coefficients lowest order first.
+ * Requires x.size() == y.size() >= degree + 1.
+ */
+std::vector<double> fitPolynomial(const std::vector<double>& x,
+                                  const std::vector<double>& y,
+                                  std::size_t degree);
+
+/** Evaluate a polynomial (coefficients lowest order first) at x. */
+double evalPolynomial(const std::vector<double>& coeffs, double x);
+
+/**
+ * Solve a dense linear system A x = b in place via Gaussian elimination
+ * with partial pivoting. A is row-major n x n. Throws on (numerically)
+ * singular systems.
+ */
+std::vector<double> solveDense(std::vector<double> a,
+                               std::vector<double> b,
+                               std::size_t n);
+
+} // namespace oscar
+
+#endif // OSCAR_COMMON_LINEAR_REGRESSION_H

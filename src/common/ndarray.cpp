@@ -1,0 +1,122 @@
+#include "src/common/ndarray.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace oscar {
+
+namespace {
+
+std::size_t
+shapeSize(const std::vector<std::size_t>& shape)
+{
+    return std::accumulate(shape.begin(), shape.end(), std::size_t{1},
+                           std::multiplies<>());
+}
+
+} // namespace
+
+NdArray::NdArray(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shapeSize(shape_), 0.0)
+{
+}
+
+NdArray::NdArray(std::vector<std::size_t> shape, std::vector<double> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    if (shapeSize(shape_) != data_.size())
+        throw std::invalid_argument("NdArray: shape does not match data size");
+}
+
+std::size_t
+NdArray::offset(const std::vector<std::size_t>& idx) const
+{
+    assert(idx.size() == shape_.size());
+    std::size_t off = 0;
+    for (std::size_t d = 0; d < shape_.size(); ++d) {
+        assert(idx[d] < shape_[d]);
+        off = off * shape_[d] + idx[d];
+    }
+    return off;
+}
+
+std::vector<std::size_t>
+NdArray::unravel(std::size_t flat_index) const
+{
+    assert(flat_index < size());
+    std::vector<std::size_t> idx(shape_.size());
+    for (std::size_t d = shape_.size(); d-- > 0;) {
+        idx[d] = flat_index % shape_[d];
+        flat_index /= shape_[d];
+    }
+    return idx;
+}
+
+double&
+NdArray::at(std::initializer_list<std::size_t> idx)
+{
+    return data_[offset(std::vector<std::size_t>(idx))];
+}
+
+double
+NdArray::at(std::initializer_list<std::size_t> idx) const
+{
+    return data_[offset(std::vector<std::size_t>(idx))];
+}
+
+NdArray
+NdArray::reshape(std::vector<std::size_t> new_shape) const
+{
+    if (shapeSize(new_shape) != size())
+        throw std::invalid_argument("NdArray::reshape: size mismatch");
+    return NdArray(std::move(new_shape), data_);
+}
+
+NdArray&
+NdArray::operator+=(const NdArray& other)
+{
+    assert(shape_ == other.shape_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+    return *this;
+}
+
+NdArray&
+NdArray::operator-=(const NdArray& other)
+{
+    assert(shape_ == other.shape_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= other.data_[i];
+    return *this;
+}
+
+NdArray&
+NdArray::operator*=(double scale)
+{
+    for (auto& x : data_)
+        x *= scale;
+    return *this;
+}
+
+void
+NdArray::fill(double value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+double
+NdArray::min() const
+{
+    assert(!data_.empty());
+    return *std::min_element(data_.begin(), data_.end());
+}
+
+double
+NdArray::max() const
+{
+    assert(!data_.empty());
+    return *std::max_element(data_.begin(), data_.end());
+}
+
+} // namespace oscar

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A minimal dense N-dimensional array of doubles.
+ *
+ * NdArray is the common currency for landscapes, DCT coefficient
+ * tensors, and sampled grids. It stores data in row-major
+ * (C-contiguous) order, mirroring the layout assumed by the separable
+ * DCT, the reshape-based dimensionality reduction of Section 4.2.4,
+ * and the flattening conventions of the NRMSE metric.
+ */
+
+#ifndef OSCAR_COMMON_NDARRAY_H
+#define OSCAR_COMMON_NDARRAY_H
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace oscar {
+
+/** Dense row-major N-dimensional array of doubles. */
+class NdArray
+{
+  public:
+    /** Empty (rank-0, size-0) array. */
+    NdArray() = default;
+
+    /** Zero-initialized array with the given shape. */
+    explicit NdArray(std::vector<std::size_t> shape);
+
+    /** Array with the given shape wrapping existing flat data. */
+    NdArray(std::vector<std::size_t> shape, std::vector<double> data);
+
+    /** Total number of elements. */
+    std::size_t size() const { return data_.size(); }
+
+    /** Number of dimensions. */
+    std::size_t rank() const { return shape_.size(); }
+
+    const std::vector<std::size_t>& shape() const { return shape_; }
+
+    /** Extent of dimension d. */
+    std::size_t dim(std::size_t d) const { return shape_[d]; }
+
+    double* data() { return data_.data(); }
+    const double* data() const { return data_.data(); }
+
+    std::vector<double>& flat() { return data_; }
+    const std::vector<double>& flat() const { return data_; }
+
+    double& operator[](std::size_t i) { return data_[i]; }
+    double operator[](std::size_t i) const { return data_[i]; }
+
+    /** Element access by multi-index. */
+    double& at(std::initializer_list<std::size_t> idx);
+    double at(std::initializer_list<std::size_t> idx) const;
+
+    /** Row-major flat offset of a multi-index. */
+    std::size_t offset(const std::vector<std::size_t>& idx) const;
+
+    /** Inverse of offset(): unravel a flat index into a multi-index. */
+    std::vector<std::size_t> unravel(std::size_t flat_index) const;
+
+    /**
+     * Reinterpret the data with a new shape (same total size). This is
+     * the "concatenation" operation of Section 4.2.4: a (a,b,c,d)
+     * landscape reshaped to (a*b, c*d) for 2-D compressed sensing.
+     */
+    NdArray reshape(std::vector<std::size_t> new_shape) const;
+
+    /** Elementwise in-place addition; shapes must match. */
+    NdArray& operator+=(const NdArray& other);
+
+    /** Elementwise in-place subtraction; shapes must match. */
+    NdArray& operator-=(const NdArray& other);
+
+    /** Multiply every element by a scalar. */
+    NdArray& operator*=(double scale);
+
+    /** Fill with a constant. */
+    void fill(double value);
+
+    /** Minimum element (requires non-empty). */
+    double min() const;
+
+    /** Maximum element (requires non-empty). */
+    double max() const;
+
+  private:
+    std::vector<std::size_t> shape_;
+    std::vector<double> data_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_COMMON_NDARRAY_H

@@ -1,0 +1,89 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace oscar {
+namespace stats {
+
+double
+mean(const std::vector<double>& v)
+{
+    assert(!v.empty());
+    return std::accumulate(v.begin(), v.end(), 0.0) / v.size();
+}
+
+double
+variance(const std::vector<double>& v)
+{
+    assert(!v.empty());
+    const double m = mean(v);
+    double acc = 0.0;
+    for (double x : v)
+        acc += (x - m) * (x - m);
+    return acc / v.size();
+}
+
+double
+stddev(const std::vector<double>& v)
+{
+    return std::sqrt(variance(v));
+}
+
+double
+quantile(std::vector<double> v, double q)
+{
+    assert(!v.empty());
+    assert(q >= 0.0 && q <= 1.0);
+    std::sort(v.begin(), v.end());
+    const double pos = q * (v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - lo;
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double
+median(const std::vector<double>& v)
+{
+    return quantile(v, 0.5);
+}
+
+double
+iqr(const std::vector<double>& v)
+{
+    return quantile(v, 0.75) - quantile(v, 0.25);
+}
+
+double
+rmse(const std::vector<double>& a, const std::vector<double>& b)
+{
+    assert(a.size() == b.size());
+    assert(!a.empty());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(acc / a.size());
+}
+
+double
+pearson(const std::vector<double>& a, const std::vector<double>& b)
+{
+    assert(a.size() == b.size());
+    assert(a.size() >= 2);
+    const double ma = mean(a);
+    const double mb = mean(b);
+    double num = 0.0, da = 0.0, db = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        num += (a[i] - ma) * (b[i] - mb);
+        da += (a[i] - ma) * (a[i] - ma);
+        db += (b[i] - mb) * (b[i] - mb);
+    }
+    const double denom = std::sqrt(da * db);
+    return denom == 0.0 ? 0.0 : num / denom;
+}
+
+} // namespace stats
+} // namespace oscar

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Descriptive statistics shared across metrics and benchmarks.
+ *
+ * These helpers implement exactly the statistical primitives the paper
+ * relies on: quartiles (for the IQR-normalized NRMSE of Eq. 1),
+ * variance (Eqs. 3-4), and medians (Fig. 4 reports per-instance
+ * medians and quartile bands).
+ */
+
+#ifndef OSCAR_COMMON_STATS_H
+#define OSCAR_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace oscar {
+namespace stats {
+
+/** Arithmetic mean. Requires non-empty input. */
+double mean(const std::vector<double>& v);
+
+/** Population variance (divides by N). Requires non-empty input. */
+double variance(const std::vector<double>& v);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double>& v);
+
+/**
+ * Linear-interpolated quantile, q in [0, 1], matching numpy's default
+ * "linear" method. Requires non-empty input.
+ */
+double quantile(std::vector<double> v, double q);
+
+/** Median (quantile 0.5). */
+double median(const std::vector<double>& v);
+
+/** Interquartile range Q3 - Q1. */
+double iqr(const std::vector<double>& v);
+
+/** Root mean squared difference between two equal-length vectors. */
+double rmse(const std::vector<double>& a, const std::vector<double>& b);
+
+/** Pearson correlation coefficient. Requires length >= 2. */
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+} // namespace stats
+} // namespace oscar
+
+#endif // OSCAR_COMMON_STATS_H

@@ -1,0 +1,100 @@
+#include "src/core/oscar.h"
+
+#include <stdexcept>
+
+#include "src/interp/bicubic.h"
+
+namespace oscar {
+
+namespace {
+
+OscarResult
+finalize(const GridSpec& grid, SampleSet samples, const CsOptions& cs)
+{
+    OscarResult result;
+    NdArray values = reconstructLandscape(grid.shape(), samples.indices,
+                                          samples.values, cs);
+    result.reconstructed = Landscape(grid, std::move(values));
+    result.queriesUsed = samples.size();
+    result.querySpeedup = static_cast<double>(grid.numPoints()) /
+                          static_cast<double>(samples.size());
+    result.samples = std::move(samples);
+    return result;
+}
+
+} // namespace
+
+OscarResult
+Oscar::reconstruct(const GridSpec& grid, CostFunction& cost,
+                   const OscarOptions& options)
+{
+    Rng rng(options.seed);
+    SampleSet samples =
+        sampleCost(grid, cost, options.samplingFraction, rng);
+    return finalize(grid, std::move(samples), options.cs);
+}
+
+OscarResult
+Oscar::reconstructFromLandscape(const Landscape& truth,
+                                const OscarOptions& options)
+{
+    Rng rng(options.seed);
+    SampleSet samples =
+        sampleLandscape(truth, options.samplingFraction, rng);
+    return finalize(truth.grid(), std::move(samples), options.cs);
+}
+
+Landscape
+Oscar::reconstructFromSamples(const GridSpec& grid,
+                              const SampleSet& samples, const CsOptions& cs)
+{
+    NdArray values = reconstructLandscape(grid.shape(), samples.indices,
+                                          samples.values, cs);
+    return Landscape(grid, std::move(values));
+}
+
+OscarResult
+Oscar::reconstructParallel(const GridSpec& grid,
+                           std::vector<QpuDevice>& devices,
+                           const std::vector<double>& fractions,
+                           bool use_ncm, double ncm_train_fraction,
+                           Rng& rng, const OscarOptions& options)
+{
+    if (devices.empty())
+        throw std::invalid_argument("reconstructParallel: no devices");
+
+    const auto indices = chooseSampleIndices(
+        grid.numPoints(), options.samplingFraction, rng);
+    ParallelRunResult run =
+        runParallelSampling(grid, devices, indices, rng,
+                            Assignment::FractionSplit, fractions);
+
+    // Train one NCM per non-reference device and transform its share.
+    SampleSet merged = run.deviceSamples(0);
+    for (std::size_t d = 1; d < devices.size(); ++d) {
+        SampleSet share = run.deviceSamples(d);
+        if (share.size() == 0)
+            continue;
+        if (use_ncm) {
+            const auto ncm = NoiseCompensationModel::trainOnDevices(
+                grid, devices[0], devices[d], ncm_train_fraction, rng);
+            share = ncm.transform(std::move(share));
+        }
+        merged.indices.insert(merged.indices.end(), share.indices.begin(),
+                              share.indices.end());
+        merged.values.insert(merged.values.end(), share.values.begin(),
+                             share.values.end());
+    }
+    return finalize(grid, std::move(merged), options.cs);
+}
+
+std::vector<double>
+suggestInitialPoint(const Landscape& reconstructed, Optimizer& optimizer,
+                    const std::vector<double>& start)
+{
+    InterpolatedLandscapeCost interp(reconstructed);
+    const OptimizerResult run = optimizer.minimize(interp, start);
+    return run.bestParams;
+}
+
+} // namespace oscar

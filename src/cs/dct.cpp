@@ -1,0 +1,106 @@
+#include "src/cs/dct.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace oscar {
+
+Dct1d::Dct1d(std::size_t length)
+    : n_(length)
+{
+    if (length == 0)
+        throw std::invalid_argument("Dct1d: zero length");
+    basis_.resize(n_ * n_);
+    const double pi = std::numbers::pi;
+    for (std::size_t k = 0; k < n_; ++k) {
+        const double a =
+            k == 0 ? std::sqrt(1.0 / n_) : std::sqrt(2.0 / n_);
+        for (std::size_t j = 0; j < n_; ++j) {
+            basis_[k * n_ + j] =
+                a * std::cos(pi * (2.0 * j + 1.0) * k / (2.0 * n_));
+        }
+    }
+}
+
+std::vector<double>
+Dct1d::forward(const std::vector<double>& x) const
+{
+    assert(x.size() == n_);
+    std::vector<double> c(n_, 0.0);
+    for (std::size_t k = 0; k < n_; ++k) {
+        double acc = 0.0;
+        const double* row = &basis_[k * n_];
+        for (std::size_t j = 0; j < n_; ++j)
+            acc += row[j] * x[j];
+        c[k] = acc;
+    }
+    return c;
+}
+
+std::vector<double>
+Dct1d::inverse(const std::vector<double>& c) const
+{
+    assert(c.size() == n_);
+    // Orthonormal: inverse is the transpose.
+    std::vector<double> x(n_, 0.0);
+    for (std::size_t k = 0; k < n_; ++k) {
+        const double ck = c[k];
+        if (ck == 0.0)
+            continue;
+        const double* row = &basis_[k * n_];
+        for (std::size_t j = 0; j < n_; ++j)
+            x[j] += row[j] * ck;
+    }
+    return x;
+}
+
+Dct2d::Dct2d(std::size_t rows, std::size_t cols)
+    : rowT_(rows), colT_(cols)
+{
+}
+
+NdArray
+Dct2d::applySeparable(const NdArray& x, bool forward) const
+{
+    const std::size_t nr = rows();
+    const std::size_t nc = cols();
+    assert(x.rank() == 2 && x.dim(0) == nr && x.dim(1) == nc);
+
+    NdArray out({nr, nc});
+
+    // Transform along columns dimension (each row independently).
+    std::vector<double> buf(nc);
+    for (std::size_t r = 0; r < nr; ++r) {
+        for (std::size_t c = 0; c < nc; ++c)
+            buf[c] = x[r * nc + c];
+        const auto t = forward ? colT_.forward(buf) : colT_.inverse(buf);
+        for (std::size_t c = 0; c < nc; ++c)
+            out[r * nc + c] = t[c];
+    }
+    // Transform along rows dimension (each column independently).
+    std::vector<double> col(nr);
+    for (std::size_t c = 0; c < nc; ++c) {
+        for (std::size_t r = 0; r < nr; ++r)
+            col[r] = out[r * nc + c];
+        const auto t = forward ? rowT_.forward(col) : rowT_.inverse(col);
+        for (std::size_t r = 0; r < nr; ++r)
+            out[r * nc + c] = t[r];
+    }
+    return out;
+}
+
+NdArray
+Dct2d::forward(const NdArray& x) const
+{
+    return applySeparable(x, true);
+}
+
+NdArray
+Dct2d::inverse(const NdArray& c) const
+{
+    return applySeparable(c, false);
+}
+
+} // namespace oscar

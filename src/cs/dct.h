@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Orthonormal DCT-II transforms (1-D and separable 2-D).
+ *
+ * The DCT is the sparsifying basis Psi of the paper's compressed
+ * sensing formulation (Appendix A): VQA landscapes are periodic and
+ * smooth, so their energy concentrates in a handful of low-frequency
+ * DCT coefficients (Table 4). We use the orthonormal scaling so the
+ * transform matrix satisfies Psi^T Psi = I, which makes the FISTA
+ * gradient step exactly the adjoint transform and gives the
+ * measurement operator unit spectral norm.
+ *
+ * Grid extents in this library are small (tens to hundreds per axis),
+ * so the direct O(n^2) matrix transform with a precomputed cosine
+ * table is both simple and fast enough; the 2-D transform is applied
+ * separably (rows then columns).
+ */
+
+#ifndef OSCAR_CS_DCT_H
+#define OSCAR_CS_DCT_H
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/ndarray.h"
+
+namespace oscar {
+
+/** Precomputed orthonormal 1-D DCT-II of a fixed length. */
+class Dct1d
+{
+  public:
+    explicit Dct1d(std::size_t length);
+
+    std::size_t length() const { return n_; }
+
+    /** Forward DCT-II: coefficients from samples. */
+    std::vector<double> forward(const std::vector<double>& x) const;
+
+    /** Inverse (DCT-III with orthonormal scaling): samples from
+     * coefficients. */
+    std::vector<double> inverse(const std::vector<double>& c) const;
+
+  private:
+    std::size_t n_;
+    std::vector<double> basis_; // basis_[k*n + j] = a_k cos(pi(2j+1)k/2n)
+};
+
+/** Separable 2-D orthonormal DCT over a (rows x cols) array. */
+class Dct2d
+{
+  public:
+    Dct2d(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rowT_.length(); }
+    std::size_t cols() const { return colT_.length(); }
+
+    /** Forward 2-D DCT of a (rows x cols) NdArray. */
+    NdArray forward(const NdArray& x) const;
+
+    /** Inverse 2-D DCT of a (rows x cols) coefficient array. */
+    NdArray inverse(const NdArray& c) const;
+
+  private:
+    NdArray applySeparable(const NdArray& x, bool forward) const;
+
+    Dct1d rowT_;
+    Dct1d colT_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_CS_DCT_H

@@ -1,0 +1,107 @@
+#include "src/cs/fista.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace oscar {
+
+double
+softThreshold(double x, double threshold)
+{
+    if (x > threshold)
+        return x - threshold;
+    if (x < -threshold)
+        return x + threshold;
+    return 0.0;
+}
+
+FistaResult
+fistaSolve(const Dct2d& dct, const std::vector<std::size_t>& sample_index,
+           const std::vector<double>& sample_value,
+           const FistaOptions& options)
+{
+    if (sample_index.size() != sample_value.size())
+        throw std::invalid_argument("fistaSolve: index/value size mismatch");
+    if (sample_index.empty())
+        throw std::invalid_argument("fistaSolve: no samples");
+
+    const std::size_t nr = dct.rows();
+    const std::size_t nc = dct.cols();
+    const std::size_t n = nr * nc;
+    for (std::size_t idx : sample_index) {
+        if (idx >= n)
+            throw std::out_of_range("fistaSolve: sample index out of grid");
+    }
+
+    // A^T y: scatter measurements onto the grid, then forward DCT.
+    NdArray scatter({nr, nc});
+    for (std::size_t m = 0; m < sample_index.size(); ++m)
+        scatter[sample_index[m]] = sample_value[m];
+    NdArray aty = dct.forward(scatter);
+    double max_aty = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        max_aty = std::max(max_aty, std::abs(aty[i]));
+    if (max_aty == 0.0)
+        return {NdArray({nr, nc}), 0, 0.0};
+
+    double lambda = options.lambdaInitFraction * max_aty;
+    const double lambda_final = options.lambdaFinalFraction * max_aty;
+
+    NdArray s({nr, nc});       // current iterate
+    NdArray s_prev({nr, nc});  // previous iterate
+    NdArray z = s;             // momentum point
+    double t = 1.0;
+
+    FistaResult result;
+    for (std::size_t iter = 0; iter < options.maxIters; ++iter) {
+        // Gradient of 1/2||A z - y||^2 at z: A^T (A z - y).
+        NdArray x = dct.inverse(z);
+        NdArray residual({nr, nc});
+        double res_norm2 = 0.0;
+        for (std::size_t m = 0; m < sample_index.size(); ++m) {
+            const double r = x[sample_index[m]] - sample_value[m];
+            residual[sample_index[m]] = r;
+            res_norm2 += r * r;
+        }
+        NdArray grad = dct.forward(residual);
+
+        // Proximal step (unit step size, ||A|| <= 1).
+        s_prev = s;
+        for (std::size_t i = 0; i < n; ++i)
+            s[i] = softThreshold(z[i] - grad[i], lambda);
+
+        // Nesterov momentum.
+        const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+        const double momentum = (t - 1.0) / t_next;
+        double change2 = 0.0, norm2 = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double d = s[i] - s_prev[i];
+            change2 += d * d;
+            norm2 += s[i] * s[i];
+            z[i] = s[i] + momentum * d;
+        }
+        t = t_next;
+        result.iterations = iter + 1;
+        result.residualNorm = std::sqrt(res_norm2);
+
+        // Lambda continuation toward the basis-pursuit limit.
+        if ((iter + 1) % options.continuationEvery == 0 &&
+            lambda > lambda_final) {
+            lambda = std::max(lambda * 0.7, lambda_final);
+            t = 1.0; // restart momentum after changing the objective
+            continue;
+        }
+
+        if (lambda <= lambda_final && norm2 > 0.0 &&
+            std::sqrt(change2 / norm2) < options.tolerance) {
+            break;
+        }
+    }
+
+    result.coefficients = std::move(s);
+    return result;
+}
+
+} // namespace oscar

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * FISTA solver for the LASSO form of the basis-pursuit problem.
+ *
+ * OSCAR's reconstruction step (paper Eq. 7) is
+ *     min ||s||_1   s.t.   y = C Psi s,
+ * which we solve in its Lagrangian (LASSO) form
+ *     min_s  lambda ||s||_1 + 1/2 ||A s - y||_2^2,
+ * with A = Sample_Omega o IDCT2 applied implicitly (never
+ * materialized). Because Psi is orthonormal and sampling selects rows,
+ * ||A|| <= 1, so a unit gradient step is valid and FISTA needs no line
+ * search. A geometric continuation schedule on lambda (standard for
+ * basis pursuit) drives the solution toward the constrained problem.
+ */
+
+#ifndef OSCAR_CS_FISTA_H
+#define OSCAR_CS_FISTA_H
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/ndarray.h"
+#include "src/cs/dct.h"
+
+namespace oscar {
+
+/** FISTA configuration. */
+struct FistaOptions
+{
+    /** Maximum proximal-gradient iterations. */
+    std::size_t maxIters = 800;
+
+    /** Stop when the relative change of s drops below this. */
+    double tolerance = 1e-6;
+
+    /** Initial lambda as a fraction of max |A^T y|. */
+    double lambdaInitFraction = 0.5;
+
+    /** Final lambda as a fraction of max |A^T y|. */
+    double lambdaFinalFraction = 1e-4;
+
+    /** Iterations between lambda decay steps (factor 0.7). */
+    std::size_t continuationEvery = 5;
+};
+
+/** Result of a FISTA solve. */
+struct FistaResult
+{
+    /** DCT coefficients of the reconstruction (rows x cols). */
+    NdArray coefficients;
+
+    /** Number of iterations executed. */
+    std::size_t iterations = 0;
+
+    /** Final residual norm ||A s - y||_2. */
+    double residualNorm = 0.0;
+};
+
+/**
+ * Solve the 2-D compressed-sensing problem.
+ *
+ * @param dct          transform pair for the target grid shape
+ * @param sample_index flat row-major indices of the measured grid points
+ * @param sample_value measured landscape values (same length)
+ * @param options      solver configuration
+ */
+FistaResult fistaSolve(const Dct2d& dct,
+                       const std::vector<std::size_t>& sample_index,
+                       const std::vector<double>& sample_value,
+                       const FistaOptions& options = {});
+
+/** Soft-thresholding operator applied elementwise (exposed for tests). */
+double softThreshold(double x, double threshold);
+
+} // namespace oscar
+
+#endif // OSCAR_CS_FISTA_H

@@ -1,0 +1,57 @@
+#include "src/cs/reconstructor.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace oscar {
+
+std::vector<std::size_t>
+csFoldedShape(const std::vector<std::size_t>& shape)
+{
+    if (shape.size() < 2 || shape.size() % 2 != 0)
+        throw std::invalid_argument(
+            "csFoldedShape: rank must be even and >= 2");
+    const std::size_t half = shape.size() / 2;
+    std::size_t rows = 1, cols = 1;
+    for (std::size_t d = 0; d < half; ++d)
+        rows *= shape[d];
+    for (std::size_t d = half; d < shape.size(); ++d)
+        cols *= shape[d];
+    return {rows, cols};
+}
+
+NdArray
+reconstructLandscape2d(const std::vector<std::size_t>& shape,
+                       const std::vector<std::size_t>& sample_index,
+                       const std::vector<double>& sample_value,
+                       const CsOptions& options)
+{
+    if (shape.size() != 2)
+        throw std::invalid_argument("reconstructLandscape2d: need rank 2");
+    const Dct2d dct(shape[0], shape[1]);
+    NdArray coeffs;
+    if (options.solver == CsSolver::Fista) {
+        coeffs = fistaSolve(dct, sample_index, sample_value, options.fista)
+                     .coefficients;
+    } else {
+        coeffs = ompSolve(dct, sample_index, sample_value, options.omp)
+                     .coefficients;
+    }
+    return dct.inverse(coeffs);
+}
+
+NdArray
+reconstructLandscape(const std::vector<std::size_t>& shape,
+                     const std::vector<std::size_t>& sample_index,
+                     const std::vector<double>& sample_value,
+                     const CsOptions& options)
+{
+    const auto folded = csFoldedShape(shape);
+    // Row-major flattening is invariant under the fold, so the flat
+    // sample indices are reused directly.
+    NdArray recon = reconstructLandscape2d(folded, sample_index,
+                                           sample_value, options);
+    return recon.reshape(shape);
+}
+
+} // namespace oscar

@@ -1,0 +1,103 @@
+#include "src/graph/generators.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oscar {
+
+Graph
+randomRegularGraph(int num_vertices, int degree, Rng& rng)
+{
+    if (degree >= num_vertices || (num_vertices * degree) % 2 != 0)
+        throw std::invalid_argument(
+            "randomRegularGraph: invalid (n, d) combination");
+
+    // Pairing model: create d stubs per vertex, shuffle, pair them up;
+    // restart whenever a pairing creates a self-loop or multi-edge.
+    // For small d this terminates quickly with high probability.
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        std::vector<int> stubs;
+        stubs.reserve(static_cast<std::size_t>(num_vertices) * degree);
+        for (int v = 0; v < num_vertices; ++v) {
+            for (int k = 0; k < degree; ++k)
+                stubs.push_back(v);
+        }
+        rng.shuffle(stubs);
+
+        Graph g(num_vertices);
+        bool ok = true;
+        for (std::size_t i = 0; i < stubs.size() && ok; i += 2) {
+            const int u = stubs[i];
+            const int v = stubs[i + 1];
+            if (u == v || g.hasEdge(u, v))
+                ok = false;
+            else
+                g.addEdge(u, v);
+        }
+        if (ok)
+            return g;
+    }
+    throw std::runtime_error("randomRegularGraph: pairing model failed");
+}
+
+Graph
+random3RegularGraph(int num_vertices, Rng& rng)
+{
+    return randomRegularGraph(num_vertices, 3, rng);
+}
+
+Graph
+meshGraph(int rows, int cols)
+{
+    if (rows < 1 || cols < 1)
+        throw std::invalid_argument("meshGraph: invalid dimensions");
+    Graph g(rows * cols);
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                g.addEdge(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                g.addEdge(id(r, c), id(r + 1, c));
+        }
+    }
+    return g;
+}
+
+Graph
+completeGraph(int num_vertices)
+{
+    Graph g(num_vertices);
+    for (int u = 0; u < num_vertices; ++u) {
+        for (int v = u + 1; v < num_vertices; ++v)
+            g.addEdge(u, v);
+    }
+    return g;
+}
+
+Graph
+skInstance(int num_vertices, Rng& rng)
+{
+    Graph g(num_vertices);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(num_vertices));
+    for (int u = 0; u < num_vertices; ++u) {
+        for (int v = u + 1; v < num_vertices; ++v)
+            g.addEdge(u, v, rng.normal() * scale);
+    }
+    return g;
+}
+
+Graph
+erdosRenyiGraph(int num_vertices, double edge_prob, Rng& rng)
+{
+    Graph g(num_vertices);
+    for (int u = 0; u < num_vertices; ++u) {
+        for (int v = u + 1; v < num_vertices; ++v) {
+            if (rng.bernoulli(edge_prob))
+                g.addEdge(u, v);
+        }
+    }
+    return g;
+}
+
+} // namespace oscar

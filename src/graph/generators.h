@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Problem-instance graph generators matching the paper's workloads:
+ * random 3-regular graphs (the primary MaxCut benchmark), mesh/grid
+ * graphs (the Google Sycamore hardware-grid workload), complete graphs
+ * with Gaussian couplings (the Sherrington-Kirkpatrick model), and
+ * Erdos-Renyi graphs for diversity in the test suite.
+ */
+
+#ifndef OSCAR_GRAPH_GENERATORS_H
+#define OSCAR_GRAPH_GENERATORS_H
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+
+namespace oscar {
+
+/**
+ * Uniform random d-regular simple graph via the pairing (configuration)
+ * model with restarts. Requires n * d even and d < n.
+ */
+Graph randomRegularGraph(int num_vertices, int degree, Rng& rng);
+
+/** Random 3-regular graph (paper's main MaxCut family). */
+Graph random3RegularGraph(int num_vertices, Rng& rng);
+
+/**
+ * Rows x cols grid ("mesh") graph with unit weights; matches the
+ * hardware-grid MaxCut instances in the Google dataset.
+ */
+Graph meshGraph(int rows, int cols);
+
+/** Complete graph with unit weights. */
+Graph completeGraph(int num_vertices);
+
+/**
+ * Sherrington-Kirkpatrick instance: complete graph with couplings
+ * J_ij drawn iid from N(0, 1), scaled by 1/sqrt(n) so the energy
+ * scale is n-independent.
+ */
+Graph skInstance(int num_vertices, Rng& rng);
+
+/** Erdos-Renyi G(n, p) graph with unit weights. */
+Graph erdosRenyiGraph(int num_vertices, double edge_prob, Rng& rng);
+
+} // namespace oscar
+
+#endif // OSCAR_GRAPH_GENERATORS_H

@@ -1,0 +1,85 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace oscar {
+
+Graph::Graph(int num_vertices)
+    : numVertices_(num_vertices),
+      adj_(static_cast<std::size_t>(num_vertices))
+{
+    if (num_vertices < 1)
+        throw std::invalid_argument("Graph: need at least one vertex");
+}
+
+void
+Graph::addEdge(int u, int v, double weight)
+{
+    if (u < 0 || u >= numVertices_ || v < 0 || v >= numVertices_)
+        throw std::out_of_range("Graph::addEdge: vertex out of range");
+    if (u == v)
+        throw std::invalid_argument("Graph::addEdge: self-loop");
+    if (hasEdge(u, v))
+        throw std::invalid_argument("Graph::addEdge: duplicate edge");
+    edges_.push_back({u, v, weight});
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+}
+
+bool
+Graph::hasEdge(int u, int v) const
+{
+    const auto& nu = adj_[u];
+    return std::find(nu.begin(), nu.end(), v) != nu.end();
+}
+
+int
+Graph::degree(int v) const
+{
+    return static_cast<int>(adj_[v].size());
+}
+
+const std::vector<int>&
+Graph::neighbors(int v) const
+{
+    return adj_[v];
+}
+
+int
+Graph::commonNeighbors(int u, int v) const
+{
+    int count = 0;
+    for (int w : adj_[u]) {
+        if (w != v && hasEdge(w, v))
+            ++count;
+    }
+    return count;
+}
+
+double
+Graph::cutValue(std::uint64_t assignment) const
+{
+    double cut = 0.0;
+    for (const Edge& e : edges_) {
+        const bool su = (assignment >> e.u) & 1ULL;
+        const bool sv = (assignment >> e.v) & 1ULL;
+        if (su != sv)
+            cut += e.weight;
+    }
+    return cut;
+}
+
+double
+Graph::maxCutBruteForce() const
+{
+    assert(numVertices_ <= 30);
+    double best = 0.0;
+    const std::uint64_t total = std::uint64_t{1} << numVertices_;
+    for (std::uint64_t a = 0; a < total; ++a)
+        best = std::max(best, cutValue(a));
+    return best;
+}
+
+} // namespace oscar

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Weighted undirected graphs for combinatorial problem instances.
+ *
+ * QAOA-MaxCut and the SK model are both defined over a weighted edge
+ * list; this module is the instance substrate for all of the paper's
+ * MaxCut / mesh / SK experiments.
+ */
+
+#ifndef OSCAR_GRAPH_GRAPH_H
+#define OSCAR_GRAPH_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace oscar {
+
+/** One weighted undirected edge. */
+struct Edge
+{
+    int u;
+    int v;
+    double weight = 1.0;
+};
+
+/** Simple undirected weighted graph with an adjacency index. */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /** Graph with n isolated vertices. */
+    explicit Graph(int num_vertices);
+
+    int numVertices() const { return numVertices_; }
+    std::size_t numEdges() const { return edges_.size(); }
+
+    const std::vector<Edge>& edges() const { return edges_; }
+
+    /** Add an undirected edge; duplicate and self edges are rejected. */
+    void addEdge(int u, int v, double weight = 1.0);
+
+    /** True when {u, v} is an edge. */
+    bool hasEdge(int u, int v) const;
+
+    /** Degree of vertex v. */
+    int degree(int v) const;
+
+    /** Neighbors of vertex v. */
+    const std::vector<int>& neighbors(int v) const;
+
+    /**
+     * Number of common neighbors of edge endpoints u and v (triangles
+     * through the edge) -- needed by the closed-form p=1 QAOA
+     * expectation.
+     */
+    int commonNeighbors(int u, int v) const;
+
+    /**
+     * Cut value of an assignment given as a bitmask (bit k = side of
+     * vertex k): total weight of edges crossing the cut.
+     */
+    double cutValue(std::uint64_t assignment) const;
+
+    /** Maximum cut value by brute force (n <= 30 recommended small). */
+    double maxCutBruteForce() const;
+
+  private:
+    int numVertices_ = 0;
+    std::vector<Edge> edges_;
+    std::vector<std::vector<int>> adj_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_GRAPH_GRAPH_H

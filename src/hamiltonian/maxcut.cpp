@@ -1,0 +1,29 @@
+#include "src/hamiltonian/maxcut.h"
+
+namespace oscar {
+
+PauliSum
+maxcutHamiltonian(const Graph& graph)
+{
+    PauliSum h(graph.numVertices());
+    double offset = 0.0;
+    for (const Edge& e : graph.edges()) {
+        h.add(e.weight / 2.0,
+              PauliString::zString(graph.numVertices(), {e.u, e.v}));
+        offset -= e.weight / 2.0;
+    }
+    // Constant term: identity string with the accumulated offset.
+    h.add(offset, PauliString(graph.numVertices()));
+    return h;
+}
+
+double
+maxcutOffset(const Graph& graph)
+{
+    double offset = 0.0;
+    for (const Edge& e : graph.edges())
+        offset -= e.weight / 2.0;
+    return offset;
+}
+
+} // namespace oscar

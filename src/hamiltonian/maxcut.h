@@ -1,0 +1,32 @@
+/**
+ * @file
+ * MaxCut cost Hamiltonian.
+ *
+ * For a weighted graph G = (V, E) the cut of an assignment z in {0,1}^n
+ * is C(z) = sum_{(u,v) in E} w_uv [z_u != z_v]. QAOA minimizes the
+ * energy of
+ *     H_C = sum_{(u,v) in E} (w_uv / 2) (Z_u Z_v - 1),
+ * whose ground energy is -maxcut and whose expectation is -<cut>. This
+ * matches the negative cost values plotted in the paper (Fig. 2).
+ */
+
+#ifndef OSCAR_HAMILTONIAN_MAXCUT_H
+#define OSCAR_HAMILTONIAN_MAXCUT_H
+
+#include "src/graph/graph.h"
+#include "src/hamiltonian/pauli_sum.h"
+
+namespace oscar {
+
+/** Build H_C = sum (w/2)(Z_u Z_v - 1) for a graph. */
+PauliSum maxcutHamiltonian(const Graph& graph);
+
+/**
+ * The identity offset of the MaxCut Hamiltonian:
+ * -sum_e w_e / 2. expectation(H_C) = <ZZ-part> + offset.
+ */
+double maxcutOffset(const Graph& graph);
+
+} // namespace oscar
+
+#endif // OSCAR_HAMILTONIAN_MAXCUT_H

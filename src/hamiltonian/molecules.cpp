@@ -1,0 +1,51 @@
+#include "src/hamiltonian/molecules.h"
+
+namespace oscar {
+
+PauliSum
+h2Hamiltonian()
+{
+    // O'Malley et al. (2016), bond length 0.735 A, coefficients in
+    // Hartree. Qubit 0 is the left label character.
+    // Five-term form; the Hartree-Fock state is |01> (qubit 0 = 1)
+    // with E_HF ~ -1.8370 Ha, the exact ground energy is ~ -1.8573 Ha.
+    PauliSum h(2);
+    h.add(-1.052373245772859, "II");
+    h.add(+0.39793742484318045, "ZI");
+    h.add(-0.39793742484318045, "IZ");
+    h.add(-0.01128010425623538, "ZZ");
+    h.add(+0.18093119978423156, "XX");
+    return h;
+}
+
+PauliSum
+lihHamiltonian()
+{
+    // Fixed LiH-structured 4-qubit Pauli sum (see header comment):
+    // strong identity/Z diagonal sector, weak exchange sector, values
+    // patterned after published 4-qubit freeze-core LiH reductions at
+    // bond length ~1.6 A.
+    PauliSum h(4);
+    h.add(-7.498946842056, "IIII");
+    h.add(+0.161198952277, "ZIII");
+    h.add(+0.161198952277, "IZII");
+    h.add(-0.013636399947, "IIZI");
+    h.add(-0.013636399947, "IIIZ");
+    h.add(+0.121563842093, "ZZII");
+    h.add(+0.011406349015, "ZIZI");
+    h.add(+0.056002231505, "ZIIZ");
+    h.add(+0.056002231505, "IZZI");
+    h.add(+0.011406349015, "IZIZ");
+    h.add(+0.084550326100, "IIZZ");
+    h.add(+0.010462385860, "XXII");
+    h.add(+0.010462385860, "YYII");
+    h.add(+0.002930512350, "IIXX");
+    h.add(+0.002930512350, "IIYY");
+    h.add(+0.007859003266, "XXZZ");
+    h.add(+0.007859003266, "YYZZ");
+    h.add(+0.003428964440, "ZZXX");
+    h.add(+0.003428964440, "ZZYY");
+    return h;
+}
+
+} // namespace oscar

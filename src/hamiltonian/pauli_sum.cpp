@@ -1,0 +1,78 @@
+#include "src/hamiltonian/pauli_sum.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oscar {
+
+PauliSum::PauliSum(int num_qubits)
+    : numQubits_(num_qubits)
+{
+    if (num_qubits < 1)
+        throw std::invalid_argument("PauliSum: need at least one qubit");
+}
+
+void
+PauliSum::add(double coeff, PauliString pauli)
+{
+    if (pauli.numQubits() != numQubits_)
+        throw std::invalid_argument("PauliSum::add: qubit count mismatch");
+    terms_.push_back({coeff, std::move(pauli)});
+}
+
+void
+PauliSum::add(double coeff, const std::string& label)
+{
+    add(coeff, PauliString::fromLabel(label));
+}
+
+bool
+PauliSum::isDiagonal() const
+{
+    return std::all_of(terms_.begin(), terms_.end(), [](const PauliTerm& t) {
+        return t.pauli.isDiagonal();
+    });
+}
+
+double
+PauliSum::expectation(const Statevector& state) const
+{
+    if (isDiagonal())
+        return state.expectationDiagonal(diagonalTable());
+    double acc = 0.0;
+    for (const PauliTerm& t : terms_)
+        acc += t.coeff * state.expectation(t.pauli);
+    return acc;
+}
+
+double
+PauliSum::expectation(const DensityMatrix& rho) const
+{
+    double acc = 0.0;
+    for (const PauliTerm& t : terms_)
+        acc += t.coeff * rho.expectation(t.pauli);
+    return acc;
+}
+
+std::vector<double>
+PauliSum::diagonalTable() const
+{
+    if (!isDiagonal())
+        throw std::logic_error("PauliSum::diagonalTable: not diagonal");
+    const std::size_t dim = std::size_t{1} << numQubits_;
+    std::vector<double> table(dim, 0.0);
+    for (const PauliTerm& t : terms_) {
+        for (std::size_t z = 0; z < dim; ++z)
+            table[z] += t.coeff * t.pauli.diagonalEigenvalue(z);
+    }
+    return table;
+}
+
+double
+PauliSum::diagonalMinimum() const
+{
+    const auto table = diagonalTable();
+    return *std::min_element(table.begin(), table.end());
+}
+
+} // namespace oscar

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Weighted sums of Pauli strings (observables / cost Hamiltonians).
+ *
+ * Every problem in the library -- MaxCut, SK, molecular ground states --
+ * is expressed as a PauliSum whose expectation value under the ansatz
+ * state is the VQA cost function. Diagonal sums (all I/Z) additionally
+ * expose a per-basis-state value table so executors can integrate the
+ * cost directly against the output distribution.
+ */
+
+#ifndef OSCAR_HAMILTONIAN_PAULI_SUM_H
+#define OSCAR_HAMILTONIAN_PAULI_SUM_H
+
+#include <string>
+#include <vector>
+
+#include "src/quantum/density_matrix.h"
+#include "src/quantum/pauli.h"
+#include "src/quantum/statevector.h"
+
+namespace oscar {
+
+/** One weighted Pauli string. */
+struct PauliTerm
+{
+    double coeff;
+    PauliString pauli;
+};
+
+/** A Hermitian observable H = sum_k c_k P_k. */
+class PauliSum
+{
+  public:
+    /** Zero observable on n qubits. */
+    explicit PauliSum(int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+    std::size_t numTerms() const { return terms_.size(); }
+    const std::vector<PauliTerm>& terms() const { return terms_; }
+
+    /** Add coeff * pauli. Qubit counts must match. */
+    void add(double coeff, PauliString pauli);
+
+    /** Add coeff * P where P is parsed from a label such as "ZZI". */
+    void add(double coeff, const std::string& label);
+
+    /** True when all terms are diagonal (I/Z only). */
+    bool isDiagonal() const;
+
+    /** Exact expectation <psi|H|psi>. */
+    double expectation(const Statevector& state) const;
+
+    /** Exact expectation Tr(rho H). */
+    double expectation(const DensityMatrix& rho) const;
+
+    /**
+     * Per-basis-state values H(z) of a diagonal observable, indexed by
+     * basis state. Requires isDiagonal().
+     */
+    std::vector<double> diagonalTable() const;
+
+    /**
+     * Minimum eigenvalue of a diagonal observable (brute force over
+     * basis states). Requires isDiagonal().
+     */
+    double diagonalMinimum() const;
+
+  private:
+    int numQubits_;
+    std::vector<PauliTerm> terms_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_HAMILTONIAN_PAULI_SUM_H

@@ -1,0 +1,24 @@
+#include "src/hamiltonian/sk_model.h"
+
+#include "src/graph/generators.h"
+
+namespace oscar {
+
+PauliSum
+skHamiltonian(const Graph& couplings)
+{
+    PauliSum h(couplings.numVertices());
+    for (const Edge& e : couplings.edges()) {
+        h.add(e.weight,
+              PauliString::zString(couplings.numVertices(), {e.u, e.v}));
+    }
+    return h;
+}
+
+PauliSum
+randomSkHamiltonian(int num_spins, Rng& rng)
+{
+    return skHamiltonian(skInstance(num_spins, rng));
+}
+
+} // namespace oscar

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Sherrington-Kirkpatrick spin-glass Hamiltonian.
+ *
+ * The SK model couples every spin pair with Gaussian couplings:
+ *     H_SK = sum_{i<j} J_ij Z_i Z_j,   J_ij ~ N(0, 1) / sqrt(n).
+ * The paper evaluates landscape reconstruction on SK instances both in
+ * simulation (Table 2) and on Google Sycamore data (Fig. 5/6).
+ */
+
+#ifndef OSCAR_HAMILTONIAN_SK_MODEL_H
+#define OSCAR_HAMILTONIAN_SK_MODEL_H
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+#include "src/hamiltonian/pauli_sum.h"
+
+namespace oscar {
+
+/** Build H_SK from a coupling graph (typically skInstance()). */
+PauliSum skHamiltonian(const Graph& couplings);
+
+/** Convenience: draw an SK instance and build its Hamiltonian. */
+PauliSum randomSkHamiltonian(int num_spins, Rng& rng);
+
+} // namespace oscar
+
+#endif // OSCAR_HAMILTONIAN_SK_MODEL_H

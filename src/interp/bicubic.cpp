@@ -1,0 +1,62 @@
+#include "src/interp/bicubic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oscar {
+
+BicubicSpline::BicubicSpline(std::vector<double> row_coords,
+                             std::vector<double> col_coords,
+                             const NdArray& values)
+    : rowCoords_(std::move(row_coords))
+{
+    if (values.rank() != 2)
+        throw std::invalid_argument("BicubicSpline: values must be rank 2");
+    const std::size_t nr = values.dim(0);
+    const std::size_t nc = values.dim(1);
+    if (rowCoords_.size() != nr || col_coords.size() != nc)
+        throw std::invalid_argument(
+            "BicubicSpline: coordinate/value size mismatch");
+
+    rowSplines_.reserve(nr);
+    for (std::size_t r = 0; r < nr; ++r) {
+        std::vector<double> row(nc);
+        for (std::size_t c = 0; c < nc; ++c)
+            row[c] = values[r * nc + c];
+        rowSplines_.emplace_back(col_coords, std::move(row));
+    }
+}
+
+double
+BicubicSpline::operator()(double r, double c) const
+{
+    std::vector<double> column(rowSplines_.size());
+    for (std::size_t i = 0; i < rowSplines_.size(); ++i)
+        column[i] = rowSplines_[i](c);
+    const CubicSpline cross(rowCoords_, std::move(column));
+    return cross(r);
+}
+
+InterpolatedLandscapeCost::InterpolatedLandscapeCost(
+    const Landscape& landscape)
+    : spline_(landscape.grid().axisValues(0),
+              landscape.grid().axisValues(1), landscape.values()),
+      rowLo_(landscape.grid().axis(0).lo),
+      rowHi_(landscape.grid().axis(0).hi),
+      colLo_(landscape.grid().axis(1).lo),
+      colHi_(landscape.grid().axis(1).hi)
+{
+    if (landscape.grid().rank() != 2)
+        throw std::invalid_argument(
+            "InterpolatedLandscapeCost: need a rank-2 landscape");
+}
+
+double
+InterpolatedLandscapeCost::evaluateImpl(const std::vector<double>& params)
+{
+    const double r = std::clamp(params[0], rowLo_, rowHi_);
+    const double c = std::clamp(params[1], colLo_, colHi_);
+    return spline_(r, c);
+}
+
+} // namespace oscar

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bicubic spline interpolation on a rectilinear 2-D grid.
+ *
+ * This is the library's equivalent of SciPy's RectBivariateSpline used
+ * by the paper (Section 7) to make a reconstructed landscape
+ * continuously queryable: optimizers then run against the interpolant
+ * instead of the QPU, which answers "an optimizer function query in an
+ * instant" (paper abstract).
+ *
+ * Construction precomputes one natural cubic spline per grid row
+ * (along the column axis); each evaluation splines the per-row results
+ * along the row axis.
+ */
+
+#ifndef OSCAR_INTERP_BICUBIC_H
+#define OSCAR_INTERP_BICUBIC_H
+
+#include <memory>
+#include <vector>
+
+#include "src/backend/executor.h"
+#include "src/common/ndarray.h"
+#include "src/interp/cubic_spline.h"
+#include "src/landscape/landscape.h"
+
+namespace oscar {
+
+/** Tensor-product natural-spline interpolant over a 2-D grid. */
+class BicubicSpline
+{
+  public:
+    /**
+     * @param row_coords grid values along axis 0 (size = values.dim(0))
+     * @param col_coords grid values along axis 1 (size = values.dim(1))
+     * @param values     2-D value array
+     */
+    BicubicSpline(std::vector<double> row_coords,
+                  std::vector<double> col_coords, const NdArray& values);
+
+    /** Interpolated value at (row coordinate, column coordinate). */
+    double operator()(double r, double c) const;
+
+  private:
+    std::vector<double> rowCoords_;
+    std::vector<CubicSpline> rowSplines_; // one per row, along columns
+};
+
+/**
+ * Build the interpolant of a rank-2 landscape and expose it as a
+ * CostFunction (parameter order = grid axis order). This is the
+ * "optimize on the reconstructed landscape" evaluator of paper
+ * Sections 7-8.
+ *
+ * Queries are clamped to the grid's bounding box: the reconstruction
+ * is only defined there, and spline extrapolation would otherwise
+ * hand optimizers an unbounded linear descent direction.
+ */
+class InterpolatedLandscapeCost : public CostFunction
+{
+  public:
+    explicit InterpolatedLandscapeCost(const Landscape& landscape);
+
+    int numParams() const override { return 2; }
+
+  protected:
+    double evaluateImpl(const std::vector<double>& params) override;
+
+  private:
+    BicubicSpline spline_;
+    double rowLo_, rowHi_, colLo_, colHi_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_INTERP_BICUBIC_H

@@ -1,0 +1,87 @@
+#include "src/interp/cubic_spline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace oscar {
+
+CubicSpline::CubicSpline(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y))
+{
+    const std::size_t n = x_.size();
+    if (n < 2 || y_.size() != n)
+        throw std::invalid_argument("CubicSpline: need >= 2 matching knots");
+    for (std::size_t i = 1; i < n; ++i) {
+        if (x_[i] <= x_[i - 1])
+            throw std::invalid_argument("CubicSpline: knots not increasing");
+    }
+
+    // Natural spline: solve the tridiagonal system for the second
+    // derivatives m with m_0 = m_{n-1} = 0 (Thomas algorithm).
+    m_.assign(n, 0.0);
+    if (n == 2)
+        return;
+
+    std::vector<double> diag(n, 0.0), upper(n, 0.0), rhs(n, 0.0);
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        const double h0 = x_[i] - x_[i - 1];
+        const double h1 = x_[i + 1] - x_[i];
+        diag[i] = 2.0 * (h0 + h1);
+        upper[i] = h1;
+        rhs[i] = 6.0 * ((y_[i + 1] - y_[i]) / h1 -
+                        (y_[i] - y_[i - 1]) / h0);
+    }
+    // Forward sweep over interior rows (lower diagonal = h0).
+    for (std::size_t i = 2; i + 1 < n; ++i) {
+        const double h0 = x_[i] - x_[i - 1];
+        const double w = h0 / diag[i - 1];
+        diag[i] -= w * upper[i - 1];
+        rhs[i] -= w * rhs[i - 1];
+    }
+    // Back substitution.
+    for (std::size_t i = n - 2; i >= 1; --i) {
+        m_[i] = (rhs[i] - upper[i] * m_[i + 1]) / diag[i];
+        if (i == 1)
+            break;
+    }
+}
+
+std::size_t
+CubicSpline::findSegment(double t) const
+{
+    // Segment i covers [x_i, x_{i+1}); clamp to the boundary segments.
+    const auto it = std::upper_bound(x_.begin(), x_.end(), t);
+    std::size_t i = static_cast<std::size_t>(it - x_.begin());
+    if (i == 0)
+        return 0;
+    if (i >= x_.size())
+        return x_.size() - 2;
+    return i - 1;
+}
+
+double
+CubicSpline::operator()(double t) const
+{
+    const std::size_t i = findSegment(t);
+    const double h = x_[i + 1] - x_[i];
+    const double a = (x_[i + 1] - t) / h;
+    const double b = (t - x_[i]) / h;
+    return a * y_[i] + b * y_[i + 1] +
+           ((a * a * a - a) * m_[i] + (b * b * b - b) * m_[i + 1]) *
+               (h * h) / 6.0;
+}
+
+double
+CubicSpline::derivative(double t) const
+{
+    const std::size_t i = findSegment(t);
+    const double h = x_[i + 1] - x_[i];
+    const double a = (x_[i + 1] - t) / h;
+    const double b = (t - x_[i]) / h;
+    return (y_[i + 1] - y_[i]) / h +
+           ((-3.0 * a * a + 1.0) * m_[i] + (3.0 * b * b - 1.0) * m_[i + 1]) *
+               h / 6.0;
+}
+
+} // namespace oscar

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Natural cubic spline interpolation on a 1-D point set.
+ *
+ * Building block for the bicubic grid interpolator that OSCAR uses to
+ * turn a reconstructed (discrete) landscape into a continuous cost
+ * function for optimizers (paper Section 7: "rectangular bivariate
+ * spline interpolation").
+ */
+
+#ifndef OSCAR_INTERP_CUBIC_SPLINE_H
+#define OSCAR_INTERP_CUBIC_SPLINE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace oscar {
+
+/** Natural cubic spline through strictly increasing knots. */
+class CubicSpline
+{
+  public:
+    /**
+     * Construct from knot positions (strictly increasing, >= 2) and
+     * values. With exactly two knots this degenerates to a line.
+     */
+    CubicSpline(std::vector<double> x, std::vector<double> y);
+
+    /** Evaluate at t; outside the knot range extrapolates linearly. */
+    double operator()(double t) const;
+
+    /** First derivative at t. */
+    double derivative(double t) const;
+
+  private:
+    std::size_t findSegment(double t) const;
+
+    std::vector<double> x_;
+    std::vector<double> y_;
+    std::vector<double> m_; // second derivatives at knots
+};
+
+} // namespace oscar
+
+#endif // OSCAR_INTERP_CUBIC_SPLINE_H

@@ -1,0 +1,78 @@
+#include "src/interp/multilinear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oscar {
+
+MultilinearInterpolator::MultilinearInterpolator(Landscape landscape)
+    : landscape_(std::move(landscape))
+{
+}
+
+double
+MultilinearInterpolator::operator()(
+    const std::vector<double>& params) const
+{
+    const GridSpec& grid = landscape_.grid();
+    const std::size_t rank = grid.rank();
+    if (params.size() != rank)
+        throw std::invalid_argument(
+            "MultilinearInterpolator: wrong parameter count");
+
+    // Per axis: lower cell index and fractional position within it.
+    std::vector<std::size_t> lower(rank);
+    std::vector<double> frac(rank);
+    for (std::size_t d = 0; d < rank; ++d) {
+        const GridAxis& axis = grid.axis(d);
+        if (axis.count == 1) {
+            lower[d] = 0;
+            frac[d] = 0.0;
+            continue;
+        }
+        const double step =
+            (axis.hi - axis.lo) / static_cast<double>(axis.count - 1);
+        const double clamped = std::clamp(params[d], axis.lo, axis.hi);
+        double pos = (clamped - axis.lo) / step;
+        pos = std::min(pos, static_cast<double>(axis.count - 1));
+        lower[d] = std::min(static_cast<std::size_t>(pos),
+                            axis.count - 2);
+        frac[d] = pos - static_cast<double>(lower[d]);
+    }
+
+    // Blend the 2^rank surrounding corners.
+    double acc = 0.0;
+    const std::size_t corners = std::size_t{1} << rank;
+    std::vector<std::size_t> idx(rank);
+    for (std::size_t corner = 0; corner < corners; ++corner) {
+        double weight = 1.0;
+        for (std::size_t d = 0; d < rank; ++d) {
+            const bool upper = (corner >> d) & 1;
+            if (upper && grid.axis(d).count == 1) {
+                weight = 0.0;
+                break;
+            }
+            idx[d] = lower[d] + (upper ? 1 : 0);
+            weight *= upper ? frac[d] : (1.0 - frac[d]);
+        }
+        if (weight == 0.0)
+            continue;
+        acc += weight * landscape_.values()[
+            landscape_.values().offset(idx)];
+    }
+    return acc;
+}
+
+MultilinearLandscapeCost::MultilinearLandscapeCost(Landscape landscape)
+    : interp_(std::move(landscape))
+{
+}
+
+double
+MultilinearLandscapeCost::evaluateImpl(const std::vector<double>& params)
+{
+    return interp_(params);
+}
+
+} // namespace oscar

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Multilinear interpolation on an N-dimensional rectilinear grid.
+ *
+ * The bicubic interpolant (bicubic.h) covers the paper's rank-2
+ * workflows; this module extends "optimize on the reconstruction" to
+ * higher-rank landscapes such as the (b1, b2, g1, g2) grids of depth-2
+ * QAOA: each query blends the 2^d surrounding grid values. Queries
+ * are clamped to the grid box for the same reason as the bicubic
+ * evaluator.
+ */
+
+#ifndef OSCAR_INTERP_MULTILINEAR_H
+#define OSCAR_INTERP_MULTILINEAR_H
+
+#include "src/backend/executor.h"
+#include "src/landscape/landscape.h"
+
+namespace oscar {
+
+/** N-linear interpolant over a Landscape of any rank. */
+class MultilinearInterpolator
+{
+  public:
+    explicit MultilinearInterpolator(Landscape landscape);
+
+    /** Interpolated value at an arbitrary (clamped) parameter point. */
+    double operator()(const std::vector<double>& params) const;
+
+    const Landscape& landscape() const { return landscape_; }
+
+  private:
+    Landscape landscape_;
+};
+
+/** CostFunction adapter over the multilinear interpolant. */
+class MultilinearLandscapeCost : public CostFunction
+{
+  public:
+    explicit MultilinearLandscapeCost(Landscape landscape);
+
+    int numParams() const override
+    {
+        return static_cast<int>(
+            interp_.landscape().grid().rank());
+    }
+
+  protected:
+    double evaluateImpl(const std::vector<double>& params) override;
+
+  private:
+    MultilinearInterpolator interp_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_INTERP_MULTILINEAR_H

@@ -1,0 +1,98 @@
+#include "src/landscape/export.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace oscar {
+
+namespace {
+
+void
+requireRank2(const Landscape& landscape, const char* who)
+{
+    if (landscape.grid().rank() != 2)
+        throw std::invalid_argument(std::string(who) +
+                                    ": need a rank-2 landscape");
+}
+
+/** Map a value into [0, levels-1] given the landscape range. */
+int
+quantize(double v, double min, double max, int levels)
+{
+    if (max <= min)
+        return 0;
+    const int q = static_cast<int>(
+        (v - min) / (max - min) * (levels - 1) + 0.5);
+    return std::clamp(q, 0, levels - 1);
+}
+
+} // namespace
+
+void
+writePgm(const Landscape& landscape, const std::string& path,
+         int cell_pixels)
+{
+    requireRank2(landscape, "writePgm");
+    if (cell_pixels < 1)
+        throw std::invalid_argument("writePgm: cell_pixels must be >= 1");
+
+    const std::size_t rows = landscape.grid().axis(0).count;
+    const std::size_t cols = landscape.grid().axis(1).count;
+    const double min = landscape.values().min();
+    const double max = landscape.values().max();
+
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("writePgm: cannot open " + path);
+
+    const std::size_t width = cols * cell_pixels;
+    const std::size_t height = rows * cell_pixels;
+    out << "P5\n" << width << " " << height << "\n255\n";
+    std::vector<std::uint8_t> scanline(width);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const auto shade = static_cast<std::uint8_t>(quantize(
+                landscape.values()[r * cols + c], min, max, 256));
+            for (int p = 0; p < cell_pixels; ++p)
+                scanline[c * cell_pixels + p] = shade;
+        }
+        for (int p = 0; p < cell_pixels; ++p) {
+            out.write(reinterpret_cast<const char*>(scanline.data()),
+                      static_cast<std::streamsize>(scanline.size()));
+        }
+    }
+    if (!out)
+        throw std::runtime_error("writePgm: write failed for " + path);
+}
+
+std::string
+renderAscii(const Landscape& landscape, std::size_t rows,
+            std::size_t cols)
+{
+    requireRank2(landscape, "renderAscii");
+    static const char shades[] = " .:-=+*#%@";
+    const std::size_t grid_rows = landscape.grid().axis(0).count;
+    const std::size_t grid_cols = landscape.grid().axis(1).count;
+    const double min = landscape.values().min();
+    const double max = landscape.values().max();
+
+    std::string art;
+    art.reserve((cols + 3) * rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        art.push_back('|');
+        const std::size_t gr =
+            r * (grid_rows - 1) / std::max<std::size_t>(1, rows - 1);
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::size_t gc =
+                c * (grid_cols - 1) / std::max<std::size_t>(1, cols - 1);
+            const double v = landscape.values()[gr * grid_cols + gc];
+            art.push_back(shades[quantize(v, min, max, 10)]);
+        }
+        art += "|\n";
+    }
+    return art;
+}
+
+} // namespace oscar

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Landscape visualization exports.
+ *
+ * The paper's figures are heat maps of 2-D landscapes with optional
+ * optimizer paths (Figs. 2, 5, 9, 11, 13). This module renders a
+ * rank-2 landscape to a binary PGM image (a dependency-free grayscale
+ * format every image viewer opens) and to ASCII art for terminal
+ * inspection; examples use both.
+ */
+
+#ifndef OSCAR_LANDSCAPE_EXPORT_H
+#define OSCAR_LANDSCAPE_EXPORT_H
+
+#include <string>
+
+#include "src/landscape/landscape.h"
+
+namespace oscar {
+
+/**
+ * Write a rank-2 landscape as a binary 8-bit PGM heat map (dark = low
+ * cost). Each grid cell becomes `cell_pixels` x `cell_pixels` pixels.
+ * Throws std::runtime_error when the file cannot be written.
+ */
+void writePgm(const Landscape& landscape, const std::string& path,
+              int cell_pixels = 4);
+
+/**
+ * Render a rank-2 landscape as ASCII art with the given character
+ * resolution (values min..max map onto " .:-=+*#%@").
+ */
+std::string renderAscii(const Landscape& landscape, std::size_t rows = 20,
+                        std::size_t cols = 60);
+
+} // namespace oscar
+
+#endif // OSCAR_LANDSCAPE_EXPORT_H

@@ -1,0 +1,115 @@
+#include "src/landscape/grid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace oscar {
+
+double
+GridAxis::value(std::size_t k) const
+{
+    assert(k < count);
+    if (count == 1)
+        return 0.5 * (lo + hi);
+    return lo + (hi - lo) * static_cast<double>(k) /
+                    static_cast<double>(count - 1);
+}
+
+GridSpec::GridSpec(std::vector<GridAxis> axes)
+    : axes_(std::move(axes))
+{
+    if (axes_.empty())
+        throw std::invalid_argument("GridSpec: no axes");
+    for (const GridAxis& a : axes_) {
+        if (a.count == 0)
+            throw std::invalid_argument("GridSpec: empty axis");
+        if (a.hi < a.lo)
+            throw std::invalid_argument("GridSpec: inverted axis");
+    }
+}
+
+GridSpec
+GridSpec::qaoaP1(std::size_t beta_points, std::size_t gamma_points)
+{
+    const double pi = std::numbers::pi;
+    return GridSpec({{-pi / 4, pi / 4, beta_points},
+                     {-pi / 2, pi / 2, gamma_points}});
+}
+
+GridSpec
+GridSpec::qaoaP2(std::size_t beta_points, std::size_t gamma_points)
+{
+    const double pi = std::numbers::pi;
+    return GridSpec({{-pi / 8, pi / 8, beta_points},
+                     {-pi / 8, pi / 8, beta_points},
+                     {-pi / 4, pi / 4, gamma_points},
+                     {-pi / 4, pi / 4, gamma_points}});
+}
+
+std::size_t
+GridSpec::numPoints() const
+{
+    std::size_t n = 1;
+    for (const GridAxis& a : axes_)
+        n *= a.count;
+    return n;
+}
+
+std::vector<std::size_t>
+GridSpec::shape() const
+{
+    std::vector<std::size_t> s;
+    s.reserve(axes_.size());
+    for (const GridAxis& a : axes_)
+        s.push_back(a.count);
+    return s;
+}
+
+std::vector<double>
+GridSpec::pointAt(std::size_t flat_index) const
+{
+    assert(flat_index < numPoints());
+    std::vector<double> p(axes_.size());
+    for (std::size_t d = axes_.size(); d-- > 0;) {
+        const std::size_t k = flat_index % axes_[d].count;
+        flat_index /= axes_[d].count;
+        p[d] = axes_[d].value(k);
+    }
+    return p;
+}
+
+std::vector<double>
+GridSpec::axisValues(std::size_t d) const
+{
+    assert(d < axes_.size());
+    std::vector<double> v(axes_[d].count);
+    for (std::size_t k = 0; k < axes_[d].count; ++k)
+        v[k] = axes_[d].value(k);
+    return v;
+}
+
+std::size_t
+GridSpec::nearestIndex(const std::vector<double>& params) const
+{
+    if (params.size() != axes_.size())
+        throw std::invalid_argument("GridSpec::nearestIndex: rank mismatch");
+    std::size_t flat = 0;
+    for (std::size_t d = 0; d < axes_.size(); ++d) {
+        const GridAxis& a = axes_[d];
+        std::size_t best = 0;
+        if (a.count > 1) {
+            const double step =
+                (a.hi - a.lo) / static_cast<double>(a.count - 1);
+            const double raw = std::round((params[d] - a.lo) / step);
+            best = static_cast<std::size_t>(std::clamp(
+                raw, 0.0, static_cast<double>(a.count - 1)));
+        }
+        flat = flat * a.count + best;
+    }
+    return flat;
+}
+
+} // namespace oscar

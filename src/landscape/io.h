@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Landscape persistence.
+ *
+ * OSCAR's hardware-dataset workflow (paper Section 4.3) replays
+ * landscapes measured elsewhere; this module defines the on-disk
+ * format for that exchange: a small self-describing text format with
+ * the grid specification in the header and one value per line.
+ *
+ *     oscar-landscape 1
+ *     axes 2
+ *     axis -0.785398163 0.785398163 50
+ *     axis -1.570796327 1.570796327 100
+ *     values 5000
+ *     -11.9134315
+ *     ...
+ *
+ * Values are written with 17 significant digits, so a save/load round
+ * trip is bit-exact for doubles.
+ */
+
+#ifndef OSCAR_LANDSCAPE_IO_H
+#define OSCAR_LANDSCAPE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "src/landscape/landscape.h"
+
+namespace oscar {
+
+/** Serialize a landscape to a stream (format above). */
+void saveLandscape(const Landscape& landscape, std::ostream& out);
+
+/** Serialize a landscape to a file. Throws std::runtime_error on IO
+ * failure. */
+void saveLandscape(const Landscape& landscape, const std::string& path);
+
+/** Parse a landscape from a stream. Throws std::runtime_error on
+ * malformed input. */
+Landscape loadLandscape(std::istream& in);
+
+/** Parse a landscape from a file. */
+Landscape loadLandscape(const std::string& path);
+
+} // namespace oscar
+
+#endif // OSCAR_LANDSCAPE_IO_H

@@ -1,0 +1,42 @@
+#include "src/landscape/landscape.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oscar {
+
+Landscape::Landscape(GridSpec grid, NdArray values)
+    : grid_(std::move(grid)), values_(std::move(values))
+{
+    if (values_.shape() != grid_.shape())
+        throw std::invalid_argument("Landscape: grid/value shape mismatch");
+}
+
+Landscape
+Landscape::gridSearch(const GridSpec& grid, CostFunction& cost)
+{
+    if (static_cast<std::size_t>(cost.numParams()) != grid.rank())
+        throw std::invalid_argument(
+            "Landscape::gridSearch: grid rank != parameter count");
+    NdArray values(grid.shape());
+    const std::size_t n = grid.numPoints();
+    for (std::size_t i = 0; i < n; ++i)
+        values[i] = cost.evaluate(grid.pointAt(i));
+    return Landscape(grid, std::move(values));
+}
+
+std::size_t
+Landscape::argmin() const
+{
+    const auto& v = values_.flat();
+    return static_cast<std::size_t>(
+        std::min_element(v.begin(), v.end()) - v.begin());
+}
+
+std::vector<double>
+Landscape::minimizerParams() const
+{
+    return grid_.pointAt(argmin());
+}
+
+} // namespace oscar

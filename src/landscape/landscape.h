@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A cost landscape: grid specification plus the value at every point.
+ *
+ * Ground-truth landscapes are produced by full grid search (the
+ * expensive baseline OSCAR is compared against); reconstructed
+ * landscapes carry the same structure so every metric applies to both.
+ */
+
+#ifndef OSCAR_LANDSCAPE_LANDSCAPE_H
+#define OSCAR_LANDSCAPE_LANDSCAPE_H
+
+#include "src/backend/executor.h"
+#include "src/common/ndarray.h"
+#include "src/landscape/grid.h"
+
+namespace oscar {
+
+/** Grid + values container for true and reconstructed landscapes. */
+class Landscape
+{
+  public:
+    Landscape() = default;
+
+    /** Wrap an existing value array (shape must match the grid). */
+    Landscape(GridSpec grid, NdArray values);
+
+    /**
+     * Full grid search: evaluate the cost function at every grid
+     * point. This is the paper's expensive ground-truth path (5k-32k
+     * circuit evaluations for Table 1 grids).
+     */
+    static Landscape gridSearch(const GridSpec& grid, CostFunction& cost);
+
+    const GridSpec& grid() const { return grid_; }
+    const NdArray& values() const { return values_; }
+    NdArray& values() { return values_; }
+
+    std::size_t numPoints() const { return values_.size(); }
+
+    double value(std::size_t flat_index) const { return values_[flat_index]; }
+
+    /** Flat index of the global minimum. */
+    std::size_t argmin() const;
+
+    /** Parameter vector of the global minimum. */
+    std::vector<double> minimizerParams() const;
+
+  private:
+    GridSpec grid_;
+    NdArray values_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_LANDSCAPE_LANDSCAPE_H

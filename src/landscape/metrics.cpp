@@ -1,0 +1,105 @@
+#include "src/landscape/metrics.h"
+
+#include <stdexcept>
+
+#include "src/common/stats.h"
+
+namespace oscar {
+
+namespace {
+
+/**
+ * Visit every axis-aligned 1-D line of the array along axis d and
+ * invoke fn with the line's values.
+ */
+template <typename Fn>
+void
+forEachLine(const NdArray& a, std::size_t d, Fn&& fn)
+{
+    const auto& shape = a.shape();
+    const std::size_t len = shape[d];
+    std::size_t stride = 1;
+    for (std::size_t k = d + 1; k < shape.size(); ++k)
+        stride *= shape[k];
+    const std::size_t block = stride * len;
+
+    std::vector<double> line(len);
+    for (std::size_t outer = 0; outer < a.size(); outer += block) {
+        for (std::size_t inner = 0; inner < stride; ++inner) {
+            for (std::size_t j = 0; j < len; ++j)
+                line[j] = a[outer + inner + j * stride];
+            fn(line);
+        }
+    }
+}
+
+} // namespace
+
+double
+nrmse(const NdArray& truth, const NdArray& reconstruction)
+{
+    if (truth.size() != reconstruction.size())
+        throw std::invalid_argument("nrmse: size mismatch");
+    const double denom = stats::iqr(truth.flat());
+    if (denom == 0.0)
+        throw std::invalid_argument("nrmse: degenerate truth (IQR = 0)");
+    return stats::rmse(truth.flat(), reconstruction.flat()) / denom;
+}
+
+double
+secondDerivativeMetric(const NdArray& landscape)
+{
+    double axis_sum = 0.0;
+    std::size_t axes_used = 0;
+    for (std::size_t d = 0; d < landscape.rank(); ++d) {
+        if (landscape.dim(d) < 3)
+            continue;
+        double line_sum = 0.0;
+        std::size_t lines = 0;
+        forEachLine(landscape, d, [&](const std::vector<double>& x) {
+            double acc = 0.0;
+            for (std::size_t i = 2; i < x.size(); ++i) {
+                const double dd = x[i] - 2.0 * x[i - 1] + x[i - 2];
+                acc += dd * dd / 4.0;
+            }
+            line_sum += acc;
+            ++lines;
+        });
+        axis_sum += line_sum / static_cast<double>(lines);
+        ++axes_used;
+    }
+    if (axes_used == 0)
+        throw std::invalid_argument(
+            "secondDerivativeMetric: no axis with >= 3 points");
+    return axis_sum / static_cast<double>(axes_used);
+}
+
+double
+varianceOfGradients(const NdArray& landscape)
+{
+    double axis_sum = 0.0;
+    std::size_t axes_used = 0;
+    for (std::size_t d = 0; d < landscape.rank(); ++d) {
+        if (landscape.dim(d) < 2)
+            continue;
+        std::vector<double> diffs;
+        forEachLine(landscape, d, [&](const std::vector<double>& x) {
+            for (std::size_t i = 1; i < x.size(); ++i)
+                diffs.push_back(x[i] - x[i - 1]);
+        });
+        axis_sum += stats::variance(diffs);
+        ++axes_used;
+    }
+    if (axes_used == 0)
+        throw std::invalid_argument(
+            "varianceOfGradients: no axis with >= 2 points");
+    return axis_sum / static_cast<double>(axes_used);
+}
+
+double
+landscapeVariance(const NdArray& landscape)
+{
+    return stats::variance(landscape.flat());
+}
+
+} // namespace oscar

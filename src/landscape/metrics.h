@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Landscape quality and shape metrics from the paper.
+ *
+ *  - NRMSE (Eq. 1): RMSE between flattened landscapes, normalized by
+ *    the interquartile range of the ground truth.
+ *  - Second derivative roughness D2 (Eq. 2).
+ *  - Variance of gradients VoG (Eq. 3), the barren-plateau/flatness
+ *    probe.
+ *  - Landscape variance (Eq. 4).
+ *
+ * The three shape metrics are defined on 1-D slices; following the
+ * paper ("we compute average metrics on all dimensions") we evaluate
+ * them on every axis-aligned line of the array and average.
+ */
+
+#ifndef OSCAR_LANDSCAPE_METRICS_H
+#define OSCAR_LANDSCAPE_METRICS_H
+
+#include "src/common/ndarray.h"
+
+namespace oscar {
+
+/** NRMSE of a reconstruction vs. ground truth (Eq. 1). */
+double nrmse(const NdArray& truth, const NdArray& reconstruction);
+
+/** Mean squared second difference (Eq. 2), averaged over all lines. */
+double secondDerivativeMetric(const NdArray& landscape);
+
+/** Variance of first differences (Eq. 3), averaged over all lines. */
+double varianceOfGradients(const NdArray& landscape);
+
+/** Variance of the landscape values (Eq. 4). */
+double landscapeVariance(const NdArray& landscape);
+
+} // namespace oscar
+
+#endif // OSCAR_LANDSCAPE_METRICS_H

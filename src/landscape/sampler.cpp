@@ -1,0 +1,72 @@
+#include "src/landscape/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oscar {
+
+std::size_t
+sampleCount(const GridSpec& grid, double fraction)
+{
+    if (fraction <= 0.0 || fraction > 1.0)
+        throw std::invalid_argument("sampleCount: fraction out of (0, 1]");
+    const auto n = static_cast<double>(grid.numPoints());
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(fraction * n)));
+}
+
+std::vector<std::size_t>
+chooseSampleIndices(std::size_t num_points, double fraction, Rng& rng)
+{
+    if (fraction <= 0.0 || fraction > 1.0)
+        throw std::invalid_argument(
+            "chooseSampleIndices: fraction out of (0, 1]");
+    const std::size_t k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(fraction * static_cast<double>(num_points))));
+    auto idx = rng.sampleWithoutReplacement(num_points, k);
+    std::sort(idx.begin(), idx.end());
+    return idx;
+}
+
+SampleSet
+sampleCost(const GridSpec& grid, CostFunction& cost, double fraction,
+           Rng& rng)
+{
+    SampleSet set;
+    set.indices = chooseSampleIndices(grid.numPoints(), fraction, rng);
+    set.values.reserve(set.indices.size());
+    for (std::size_t idx : set.indices)
+        set.values.push_back(cost.evaluate(grid.pointAt(idx)));
+    return set;
+}
+
+SampleSet
+sampleLandscape(const Landscape& landscape, double fraction, Rng& rng)
+{
+    SampleSet set;
+    set.indices =
+        chooseSampleIndices(landscape.numPoints(), fraction, rng);
+    set.values.reserve(set.indices.size());
+    for (std::size_t idx : set.indices)
+        set.values.push_back(landscape.value(idx));
+    return set;
+}
+
+SampleSet
+gatherLandscape(const Landscape& landscape,
+                const std::vector<std::size_t>& indices)
+{
+    SampleSet set;
+    set.indices = indices;
+    set.values.reserve(indices.size());
+    for (std::size_t idx : indices) {
+        if (idx >= landscape.numPoints())
+            throw std::out_of_range("gatherLandscape: index out of range");
+        set.values.push_back(landscape.value(idx));
+    }
+    return set;
+}
+
+} // namespace oscar

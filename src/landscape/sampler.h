@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Random parameter sampling (the first OSCAR phase, paper Fig. 3).
+ *
+ * OSCAR draws grid points uniformly at random without replacement,
+ * evaluates the circuit only there, and hands the (index, value) pairs
+ * to the CS reconstructor. Samplers exist both for live cost functions
+ * and for pre-computed landscapes (the hardware-dataset experiments,
+ * where the "execution" is a lookup).
+ */
+
+#ifndef OSCAR_LANDSCAPE_SAMPLER_H
+#define OSCAR_LANDSCAPE_SAMPLER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "src/backend/executor.h"
+#include "src/common/rng.h"
+#include "src/landscape/grid.h"
+#include "src/landscape/landscape.h"
+
+namespace oscar {
+
+/** A set of measured grid points. */
+struct SampleSet
+{
+    std::vector<std::size_t> indices;
+    std::vector<double> values;
+
+    std::size_t size() const { return indices.size(); }
+};
+
+/** Number of samples implied by a sampling fraction of a grid. */
+std::size_t sampleCount(const GridSpec& grid, double fraction);
+
+/** Choose sample indices uniformly without replacement. */
+std::vector<std::size_t> chooseSampleIndices(std::size_t num_points,
+                                             double fraction, Rng& rng);
+
+/**
+ * Sample a live cost function at `fraction` of the grid points chosen
+ * uniformly at random.
+ */
+SampleSet sampleCost(const GridSpec& grid, CostFunction& cost,
+                     double fraction, Rng& rng);
+
+/** Sample a precomputed landscape (dataset replay). */
+SampleSet sampleLandscape(const Landscape& landscape, double fraction,
+                          Rng& rng);
+
+/** Look up specific indices of a precomputed landscape. */
+SampleSet gatherLandscape(const Landscape& landscape,
+                          const std::vector<std::size_t>& indices);
+
+} // namespace oscar
+
+#endif // OSCAR_LANDSCAPE_SAMPLER_H

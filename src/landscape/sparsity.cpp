@@ -1,0 +1,90 @@
+#include "src/landscape/sparsity.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/cs/dct.h"
+
+namespace oscar {
+
+namespace {
+
+NdArray
+to2d(const NdArray& landscape)
+{
+    if (landscape.rank() == 2)
+        return landscape;
+    if (landscape.rank() % 2 == 0 && landscape.rank() >= 2) {
+        std::size_t rows = 1, cols = 1;
+        for (std::size_t d = 0; d < landscape.rank() / 2; ++d)
+            rows *= landscape.dim(d);
+        for (std::size_t d = landscape.rank() / 2; d < landscape.rank();
+             ++d)
+            cols *= landscape.dim(d);
+        return landscape.reshape({rows, cols});
+    }
+    throw std::invalid_argument("sparsity: need an even-rank landscape");
+}
+
+} // namespace
+
+std::size_t
+dctCoefficientsForEnergy(const NdArray& landscape, double energy_share)
+{
+    if (energy_share <= 0.0 || energy_share > 1.0)
+        throw std::invalid_argument(
+            "dctCoefficientsForEnergy: share out of (0, 1]");
+    const NdArray flat2d = to2d(landscape);
+    const Dct2d dct(flat2d.dim(0), flat2d.dim(1));
+    const NdArray coeffs = dct.forward(flat2d);
+
+    std::vector<double> energy(coeffs.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+        energy[i] = coeffs[i] * coeffs[i];
+        total += energy[i];
+    }
+    if (total == 0.0)
+        return 0;
+    std::sort(energy.begin(), energy.end(), std::greater<>());
+    double acc = 0.0;
+    for (std::size_t k = 0; k < energy.size(); ++k) {
+        acc += energy[k];
+        if (acc >= energy_share * total)
+            return k + 1;
+    }
+    return energy.size();
+}
+
+double
+dctSparsityFraction(const NdArray& landscape, double energy_share)
+{
+    return static_cast<double>(
+               dctCoefficientsForEnergy(landscape, energy_share)) /
+           static_cast<double>(landscape.size());
+}
+
+NdArray
+keepTopKDct(const NdArray& landscape, std::size_t k)
+{
+    const NdArray flat2d = to2d(landscape);
+    const Dct2d dct(flat2d.dim(0), flat2d.dim(1));
+    NdArray coeffs = dct.forward(flat2d);
+
+    if (k < coeffs.size()) {
+        std::vector<std::size_t> order(coeffs.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::nth_element(order.begin(), order.begin() + k, order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return std::abs(coeffs[a]) >
+                                    std::abs(coeffs[b]);
+                         });
+        for (std::size_t i = k; i < order.size(); ++i)
+            coeffs[order[i]] = 0.0;
+    }
+    NdArray recon = dct.inverse(coeffs);
+    return recon.reshape(landscape.shape());
+}
+
+} // namespace oscar

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Frequency-domain sparsity analysis (paper Table 4).
+ *
+ * The justification for compressed sensing is that VQA landscapes
+ * concentrate their energy in very few DCT coefficients. These helpers
+ * quantify that: the fraction of 2-D DCT coefficients needed to retain
+ * a target share (paper: 99%) of the signal energy, and a utility that
+ * reconstructs a landscape from its top-k coefficients (the best-case
+ * k-sparse approximation).
+ */
+
+#ifndef OSCAR_LANDSCAPE_SPARSITY_H
+#define OSCAR_LANDSCAPE_SPARSITY_H
+
+#include <cstddef>
+
+#include "src/common/ndarray.h"
+
+namespace oscar {
+
+/**
+ * Smallest number of largest-magnitude 2-D DCT coefficients whose
+ * cumulative squared magnitude reaches `energy_share` of the total.
+ */
+std::size_t dctCoefficientsForEnergy(const NdArray& landscape,
+                                     double energy_share);
+
+/** dctCoefficientsForEnergy as a fraction of all coefficients. */
+double dctSparsityFraction(const NdArray& landscape,
+                           double energy_share = 0.99);
+
+/** Best k-sparse DCT approximation of a 2-D landscape. */
+NdArray keepTopKDct(const NdArray& landscape, std::size_t k);
+
+} // namespace oscar
+
+#endif // OSCAR_LANDSCAPE_SPARSITY_H

@@ -1,0 +1,112 @@
+#include "src/mitigation/cdr.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/common/linear_regression.h"
+#include "src/common/stats.h"
+#include "src/quantum/stabilizer.h"
+
+namespace oscar {
+
+Circuit
+projectToClifford(const Circuit& circuit, double perturb_probability,
+                  Rng& rng)
+{
+    if (circuit.numParams() != 0)
+        throw std::invalid_argument(
+            "projectToClifford: circuit must be bound");
+    const double quarter = std::numbers::pi / 2.0;
+    Circuit projected(circuit.numQubits(), 0);
+    for (const Gate& g : circuit.gates()) {
+        Gate out = g;
+        if (gateIsParameterized(g.kind)) {
+            if (rng.bernoulli(perturb_probability)) {
+                out.angle =
+                    quarter * static_cast<double>(rng.uniformInt(4));
+            } else {
+                out.angle = quarter * std::round(g.angle / quarter);
+            }
+        }
+        projected.append(out);
+    }
+    return projected;
+}
+
+double
+stabilizerExpectation(const Circuit& clifford, const PauliSum& hamiltonian)
+{
+    StabilizerState state(clifford.numQubits());
+    state.run(clifford);
+    double acc = 0.0;
+    for (const PauliTerm& term : hamiltonian.terms()) {
+        if (term.pauli.isIdentity())
+            acc += term.coeff;
+        else
+            acc += term.coeff * state.expectation(term.pauli);
+    }
+    return acc;
+}
+
+CdrResult
+cdrMitigate(const Circuit& target, const PauliSum& hamiltonian,
+            const CircuitEvaluator& noisy, const CdrOptions& options)
+{
+    if (options.numTrainingCircuits < 2)
+        throw std::invalid_argument("cdrMitigate: need >= 2 training "
+                                    "circuits");
+    Rng rng(options.seed);
+
+    std::vector<double> ideal_values, noisy_values;
+    ideal_values.reserve(options.numTrainingCircuits);
+    noisy_values.reserve(options.numTrainingCircuits);
+    for (std::size_t t = 0; t < options.numTrainingCircuits; ++t) {
+        // The first training circuit is the plain nearest-Clifford
+        // projection; later ones add random perturbations.
+        const double perturb =
+            t == 0 ? 0.0 : options.perturbProbability;
+        const Circuit training = projectToClifford(target, perturb, rng);
+        ideal_values.push_back(
+            stabilizerExpectation(training, hamiltonian));
+        noisy_values.push_back(noisy(training));
+    }
+
+    CdrResult result;
+    result.raw = noisy(target);
+    result.trainingCircuits = options.numTrainingCircuits;
+
+    // Degenerate training set (all readings equal): fall back to the
+    // raw value rather than fitting through a single point.
+    if (stats::stddev(noisy_values) < 1e-12) {
+        result.mitigated = result.raw;
+        return result;
+    }
+    const LinearFit fit = fitLinear(noisy_values, ideal_values);
+    result.slope = fit.slope;
+    result.intercept = fit.intercept;
+    result.mitigated = fit(result.raw);
+    return result;
+}
+
+CdrCost::CdrCost(Circuit circuit, PauliSum hamiltonian,
+                 CircuitEvaluator noisy, CdrOptions options)
+    : circuit_(std::move(circuit)), hamiltonian_(std::move(hamiltonian)),
+      noisy_(std::move(noisy)), options_(options)
+{
+    if (hamiltonian_.numQubits() != circuit_.numQubits())
+        throw std::invalid_argument(
+            "CdrCost: circuit/Hamiltonian qubit mismatch");
+}
+
+double
+CdrCost::evaluateImpl(const std::vector<double>& params)
+{
+    CdrOptions options = options_;
+    options.seed = options_.seed + (++counter_);
+    const CdrResult result =
+        cdrMitigate(circuit_.bind(params), hamiltonian_, noisy_, options);
+    return result.mitigated;
+}
+
+} // namespace oscar

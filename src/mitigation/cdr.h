@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Clifford Data Regression (CDR) noise mitigation.
+ *
+ * CDR (Czarnik et al., Quantum 5, 592 (2021); paper Section 2.3)
+ * learns the noise-inversion map from circuits that are classically
+ * simulable: project the target circuit onto near-Clifford training
+ * circuits (rotation angles snapped to multiples of pi/2), measure
+ * each training circuit on the noisy device, compute its exact ideal
+ * value with the stabilizer simulator, fit ideal ~ a * noisy + b, and
+ * apply the fitted map to the target circuit's noisy reading.
+ *
+ * Like ZNE, CDR is a "mitigation with supplementary shots" method --
+ * it costs numTrainingCircuits extra executions per query -- which is
+ * exactly the kind of configuration-heavy mitigation OSCAR is built
+ * to benchmark cheaply.
+ */
+
+#ifndef OSCAR_MITIGATION_CDR_H
+#define OSCAR_MITIGATION_CDR_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/backend/executor.h"
+#include "src/common/rng.h"
+#include "src/hamiltonian/pauli_sum.h"
+#include "src/quantum/circuit.h"
+
+namespace oscar {
+
+/** CDR configuration. */
+struct CdrOptions
+{
+    /** Number of near-Clifford training circuits. */
+    std::size_t numTrainingCircuits = 16;
+
+    /**
+     * Probability that a rotation angle is replaced by a random
+     * Clifford angle rather than the nearest one (training-set
+     * diversity).
+     */
+    double perturbProbability = 0.3;
+
+    /** Seed for the projection randomness. */
+    std::uint64_t seed = 1;
+};
+
+/** Evaluates the noisy expectation of an arbitrary bound circuit. */
+using CircuitEvaluator = std::function<double(const Circuit&)>;
+
+/**
+ * Snap every rotation angle of a bound circuit to a Clifford angle:
+ * the nearest multiple of pi/2, or (with probability
+ * perturb_probability) a uniformly random multiple.
+ */
+Circuit projectToClifford(const Circuit& circuit,
+                          double perturb_probability, Rng& rng);
+
+/** Exact ideal expectation of a Clifford circuit via the tableau. */
+double stabilizerExpectation(const Circuit& clifford,
+                             const PauliSum& hamiltonian);
+
+/** Outcome of one CDR-mitigated evaluation. */
+struct CdrResult
+{
+    /** The mitigated expectation a * noisy(target) + b. */
+    double mitigated = 0.0;
+
+    /** The raw noisy expectation of the target circuit. */
+    double raw = 0.0;
+
+    /** Fitted regression coefficients. */
+    double slope = 1.0;
+    double intercept = 0.0;
+
+    /** Training circuits actually used. */
+    std::size_t trainingCircuits = 0;
+};
+
+/**
+ * Run CDR for one target circuit.
+ *
+ * @param target      bound (parameter-free) circuit to mitigate
+ * @param hamiltonian observable
+ * @param noisy       noisy evaluator used for target and training runs
+ */
+CdrResult cdrMitigate(const Circuit& target, const PauliSum& hamiltonian,
+                      const CircuitEvaluator& noisy,
+                      const CdrOptions& options = {});
+
+/**
+ * CostFunction adapter: CDR-mitigated evaluation of a parameterized
+ * circuit (one regression per query, as in per-point CDR).
+ */
+class CdrCost : public CostFunction
+{
+  public:
+    CdrCost(Circuit circuit, PauliSum hamiltonian, CircuitEvaluator noisy,
+            CdrOptions options = {});
+
+    int numParams() const override { return circuit_.numParams(); }
+
+  protected:
+    double evaluateImpl(const std::vector<double>& params) override;
+
+  private:
+    Circuit circuit_;
+    PauliSum hamiltonian_;
+    CircuitEvaluator noisy_;
+    CdrOptions options_;
+    std::uint64_t counter_ = 0;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_MITIGATION_CDR_H

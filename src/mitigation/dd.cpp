@@ -1,0 +1,151 @@
+#include "src/mitigation/dd.h"
+
+#include <stdexcept>
+
+#include "src/quantum/density_matrix.h"
+
+namespace oscar {
+
+std::size_t
+LayeredCircuit::numGates() const
+{
+    std::size_t total = 0;
+    for (const auto& layer : layers)
+        total += layer.size();
+    return total;
+}
+
+Circuit
+LayeredCircuit::flatten() const
+{
+    Circuit circuit(numQubits, 0);
+    for (const auto& layer : layers) {
+        for (const Gate& g : layer)
+            circuit.append(g);
+    }
+    return circuit;
+}
+
+LayeredCircuit
+layerize(const Circuit& bound)
+{
+    if (bound.numParams() != 0)
+        throw std::invalid_argument("layerize: circuit must be bound");
+
+    LayeredCircuit out;
+    out.numQubits = bound.numQubits();
+    // busyUntil[q] = first layer index where qubit q is free.
+    std::vector<std::size_t> busy_until(
+        static_cast<std::size_t>(bound.numQubits()), 0);
+    for (const Gate& g : bound.gates()) {
+        std::size_t layer = busy_until[g.qubits[0]];
+        if (gateArity(g.kind) == 2)
+            layer = std::max(layer, busy_until[g.qubits[1]]);
+        if (layer >= out.layers.size())
+            out.layers.resize(layer + 1);
+        out.layers[layer].push_back(g);
+        busy_until[g.qubits[0]] = layer + 1;
+        if (gateArity(g.kind) == 2)
+            busy_until[g.qubits[1]] = layer + 1;
+    }
+    return out;
+}
+
+namespace {
+
+/** Occupancy map: occupied[t][q] == 1 iff qubit q has a gate at t. */
+std::vector<std::vector<char>>
+occupancy(const LayeredCircuit& layered)
+{
+    std::vector<std::vector<char>> occupied(
+        layered.layers.size(),
+        std::vector<char>(static_cast<std::size_t>(layered.numQubits),
+                          0));
+    for (std::size_t t = 0; t < layered.layers.size(); ++t) {
+        for (const Gate& g : layered.layers[t]) {
+            occupied[t][g.qubits[0]] = 1;
+            if (gateArity(g.kind) == 2)
+                occupied[t][g.qubits[1]] = 1;
+        }
+    }
+    return occupied;
+}
+
+} // namespace
+
+LayeredCircuit
+insertDynamicalDecoupling(const LayeredCircuit& layered)
+{
+    LayeredCircuit out = layered;
+    auto occupied = occupancy(layered);
+    const int n = layered.numQubits;
+    const std::size_t depth = layered.layers.size();
+
+    for (int q = 0; q < n; ++q) {
+        std::size_t t = 0;
+        while (t < depth) {
+            if (occupied[t][q]) {
+                ++t;
+                continue;
+            }
+            // Maximal idle window [t, end).
+            std::size_t end = t;
+            while (end < depth && !occupied[end][q])
+                ++end;
+            if (end - t >= 2) {
+                // First pulse at the window start, second at the
+                // midpoint: the dephasing accumulated between the
+                // pulses is sign-flipped and cancels the dephasing
+                // accumulated after the second pulse (odd windows
+                // leave one uncancelled slot).
+                out.layers[t].push_back(Gate::x(q));
+                out.layers[(t + end) / 2].push_back(Gate::x(q));
+            }
+            t = end;
+        }
+    }
+    return out;
+}
+
+LayeredDensityCost::LayeredDensityCost(Circuit circuit,
+                                       PauliSum hamiltonian,
+                                       NoiseModel noise,
+                                       double idle_phase, bool use_dd)
+    : circuit_(std::move(circuit)), hamiltonian_(std::move(hamiltonian)),
+      noise_(noise), idlePhase_(idle_phase), useDd_(use_dd)
+{
+    if (hamiltonian_.numQubits() != circuit_.numQubits())
+        throw std::invalid_argument(
+            "LayeredDensityCost: circuit/Hamiltonian qubit mismatch");
+}
+
+double
+LayeredDensityCost::evaluateImpl(const std::vector<double>& params)
+{
+    LayeredCircuit layered = layerize(circuit_.bind(params));
+    if (useDd_)
+        layered = insertDynamicalDecoupling(layered);
+    const auto occupied = occupancy(layered);
+
+    DensityMatrix rho(circuit_.numQubits());
+    for (std::size_t t = 0; t < layered.layers.size(); ++t) {
+        for (const Gate& g : layered.layers[t]) {
+            rho.applyGate(g);
+            if (gateArity(g.kind) == 2)
+                rho.applyDepolarizing2(g.qubits[0], g.qubits[1],
+                                       noise_.p2);
+            else
+                rho.applyDepolarizing1(g.qubits[0], noise_.p1);
+        }
+        // Coherent dephasing on idle qubits.
+        if (idlePhase_ != 0.0) {
+            for (int q = 0; q < circuit_.numQubits(); ++q) {
+                if (!occupied[t][q])
+                    rho.applyGate(Gate::rz(q, idlePhase_));
+            }
+        }
+    }
+    return hamiltonian_.expectation(rho);
+}
+
+} // namespace oscar

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Dynamical Decoupling (DD) -- the paper's shot-frugal mitigation
+ * example (Section 2.3): insert X-X pairs into idle windows so that
+ * coherent dephasing accumulated while a qubit waits (ZZ-crosstalk,
+ * static frequency offsets) refocuses, at the price of two extra
+ * 1-qubit gates per window.
+ *
+ * Substrate: an ASAP-layered circuit representation plus an evaluator
+ * that models idle error as a deterministic RZ(idle_phase) on every
+ * qubit that sits out a layer (the coherent component DD can echo),
+ * alongside the usual gate-level depolarizing (which DD cannot).
+ * The DD tradeoff is then real: X-X insertion cancels the RZ phases
+ * between the pulses but pays 2 * p1 depolarizing -- exactly the
+ * "configure it carefully or it does more harm than good" situation
+ * OSCAR is designed to expose.
+ */
+
+#ifndef OSCAR_MITIGATION_DD_H
+#define OSCAR_MITIGATION_DD_H
+
+#include "src/backend/executor.h"
+#include "src/hamiltonian/pauli_sum.h"
+#include "src/quantum/circuit.h"
+#include "src/quantum/noise_model.h"
+
+namespace oscar {
+
+/** A circuit scheduled into layers of disjoint-qubit gates. */
+struct LayeredCircuit
+{
+    int numQubits = 0;
+    std::vector<std::vector<Gate>> layers;
+
+    /** Total number of gates across layers. */
+    std::size_t numGates() const;
+
+    /** Flatten back to a Circuit (layer order preserved). */
+    Circuit flatten() const;
+};
+
+/**
+ * ASAP (as-soon-as-possible) scheduling of a bound circuit: each gate
+ * goes to the earliest layer after the last use of any of its qubits.
+ */
+LayeredCircuit layerize(const Circuit& bound);
+
+/**
+ * Insert an X-X decoupling pair into every maximal idle window of
+ * length >= 2: one X at the window's first slot and one at its last.
+ * Logically the identity; under coherent idle dephasing the first X
+ * reverses the phase the second half of the window accumulates.
+ */
+LayeredCircuit insertDynamicalDecoupling(const LayeredCircuit& layered);
+
+/**
+ * Exact noisy evaluation of a layered circuit via the density matrix:
+ * per layer, gates apply with their depolarizing channels, then every
+ * idle qubit receives RZ(idle_phase) followed by depolarizing at
+ * `noise.p1 * idleDepolarizingFraction`.
+ */
+class LayeredDensityCost : public CostFunction
+{
+  public:
+    /**
+     * @param circuit     parameterized circuit (layerized per query)
+     * @param hamiltonian observable
+     * @param noise       gate-level depolarizing rates
+     * @param idle_phase  coherent RZ angle per idle layer slot
+     * @param use_dd      whether to insert X-X pairs before executing
+     */
+    LayeredDensityCost(Circuit circuit, PauliSum hamiltonian,
+                       NoiseModel noise, double idle_phase, bool use_dd);
+
+    int numParams() const override { return circuit_.numParams(); }
+
+  protected:
+    double evaluateImpl(const std::vector<double>& params) override;
+
+  private:
+    Circuit circuit_;
+    PauliSum hamiltonian_;
+    NoiseModel noise_;
+    double idlePhase_;
+    bool useDd_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_MITIGATION_DD_H

@@ -1,0 +1,64 @@
+#include "src/mitigation/folding.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oscar {
+
+namespace {
+
+/** Number of suffix gates to fold for the fractional part. */
+std::size_t
+suffixGates(std::size_t num_gates, double scale)
+{
+    const double k = std::floor((scale - 1.0) / 2.0);
+    const double frac = (scale - (2.0 * k + 1.0)) / 2.0; // in [0, 1)
+    return static_cast<std::size_t>(
+        std::llround(frac * static_cast<double>(num_gates)));
+}
+
+} // namespace
+
+double
+realizedFoldScale(std::size_t num_gates, double scale)
+{
+    if (num_gates == 0)
+        return 1.0;
+    const double k = std::floor((scale - 1.0) / 2.0);
+    const std::size_t suffix = suffixGates(num_gates, scale);
+    return 2.0 * k + 1.0 +
+           2.0 * static_cast<double>(suffix) /
+               static_cast<double>(num_gates);
+}
+
+Circuit
+foldGlobal(const Circuit& circuit, double scale)
+{
+    if (scale < 1.0)
+        throw std::invalid_argument("foldGlobal: scale must be >= 1");
+
+    const std::size_t full_folds =
+        static_cast<std::size_t>(std::floor((scale - 1.0) / 2.0));
+
+    Circuit folded(circuit.numQubits(), circuit.numParams());
+    folded.append(circuit);
+    const Circuit inverse = circuit.inverse();
+    for (std::size_t f = 0; f < full_folds; ++f) {
+        folded.append(inverse);
+        folded.append(circuit);
+    }
+
+    // Partial fold: take the last `suffix` gates S and append S^dag S.
+    const std::size_t suffix = suffixGates(circuit.numGates(), scale);
+    if (suffix > 0) {
+        const auto& gates = circuit.gates();
+        Circuit tail(circuit.numQubits(), circuit.numParams());
+        for (std::size_t i = gates.size() - suffix; i < gates.size(); ++i)
+            tail.append(gates[i]);
+        folded.append(tail.inverse());
+        folded.append(tail);
+    }
+    return folded;
+}
+
+} // namespace oscar

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Unitary (circuit) folding for noise scaling.
+ *
+ * ZNE needs circuit variants that are logically identical but noisier.
+ * Global folding replaces the circuit C by C (C^dag C)^k, multiplying
+ * the gate count -- and hence the accumulated depolarizing noise -- by
+ * the odd factor 2k+1; partial folding appends a folded suffix to hit
+ * non-odd scale factors (the standard Mitiq construction, matching the
+ * paper's U -> U U^-1 U example).
+ *
+ * Folding a parameterized circuit yields a parameterized circuit: gate
+ * inverses negate angles and parameter coefficients, so one folded
+ * template serves a whole landscape sweep.
+ */
+
+#ifndef OSCAR_MITIGATION_FOLDING_H
+#define OSCAR_MITIGATION_FOLDING_H
+
+#include "src/quantum/circuit.h"
+
+namespace oscar {
+
+/**
+ * Globally fold a circuit to a noise-scale factor >= 1. The realized
+ * gate-count ratio is the closest value of the form
+ * (2k+1 + 2 * suffix/G) to `scale`.
+ */
+Circuit foldGlobal(const Circuit& circuit, double scale);
+
+/** The exact gate-count ratio foldGlobal(c, scale) will realize. */
+double realizedFoldScale(std::size_t num_gates, double scale);
+
+} // namespace oscar
+
+#endif // OSCAR_MITIGATION_FOLDING_H

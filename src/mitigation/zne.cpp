@@ -1,0 +1,127 @@
+#include "src/mitigation/zne.h"
+
+#include <stdexcept>
+
+#include "src/backend/analytic_qaoa.h"
+#include "src/backend/density_backend.h"
+#include "src/common/linear_regression.h"
+#include "src/mitigation/folding.h"
+
+namespace oscar {
+
+ZneCost::ZneCost(std::vector<std::shared_ptr<CostFunction>> evaluators,
+                 std::vector<double> scales,
+                 ZneExtrapolation extrapolation)
+    : evaluators_(std::move(evaluators)), scales_(std::move(scales)),
+      extrapolation_(extrapolation)
+{
+    if (evaluators_.size() != scales_.size())
+        throw std::invalid_argument("ZneCost: evaluator/scale mismatch");
+    if (scales_.size() < 2)
+        throw std::invalid_argument("ZneCost: need >= 2 scale factors");
+    for (std::size_t i = 0; i < scales_.size(); ++i) {
+        if (scales_[i] < 1.0)
+            throw std::invalid_argument("ZneCost: scale < 1");
+        for (std::size_t j = i + 1; j < scales_.size(); ++j) {
+            if (scales_[i] == scales_[j])
+                throw std::invalid_argument("ZneCost: duplicate scales");
+        }
+    }
+}
+
+int
+ZneCost::numParams() const
+{
+    return evaluators_.front()->numParams();
+}
+
+double
+ZneCost::evaluateImpl(const std::vector<double>& params)
+{
+    std::vector<double> values(scales_.size());
+    for (std::size_t i = 0; i < scales_.size(); ++i)
+        values[i] = evaluators_[i]->evaluate(params);
+    return zneExtrapolate(scales_, values, extrapolation_);
+}
+
+double
+zneExtrapolate(const std::vector<double>& scales,
+               const std::vector<double>& values,
+               ZneExtrapolation extrapolation)
+{
+    if (scales.size() != values.size() || scales.size() < 2)
+        throw std::invalid_argument("zneExtrapolate: bad inputs");
+
+    switch (extrapolation) {
+      case ZneExtrapolation::Linear: {
+        return fitLinear(scales, values).intercept;
+      }
+      case ZneExtrapolation::Richardson: {
+        // Lagrange interpolation through every node, evaluated at 0.
+        double acc = 0.0;
+        for (std::size_t i = 0; i < scales.size(); ++i) {
+            double weight = 1.0;
+            for (std::size_t j = 0; j < scales.size(); ++j) {
+                if (j == i)
+                    continue;
+                weight *= (0.0 - scales[j]) / (scales[i] - scales[j]);
+            }
+            acc += weight * values[i];
+        }
+        return acc;
+      }
+      case ZneExtrapolation::Quadratic: {
+        if (scales.size() < 3)
+            throw std::invalid_argument(
+                "zneExtrapolate: quadratic needs >= 3 scales");
+        return fitPolynomial(scales, values, 2)[0];
+      }
+    }
+    throw std::logic_error("zneExtrapolate: unknown model");
+}
+
+std::shared_ptr<ZneCost>
+makeZneDensityCost(const Circuit& circuit, const PauliSum& hamiltonian,
+                   const NoiseModel& noise,
+                   const std::vector<double>& scales,
+                   ZneExtrapolation extrapolation, std::size_t shots,
+                   double sigma_single_shot, std::uint64_t seed)
+{
+    std::vector<std::shared_ptr<CostFunction>> evaluators;
+    evaluators.reserve(scales.size());
+    for (std::size_t i = 0; i < scales.size(); ++i) {
+        std::shared_ptr<CostFunction> eval = std::make_shared<DensityCost>(
+            foldGlobal(circuit, scales[i]), hamiltonian, noise);
+        if (shots > 0) {
+            eval = std::make_shared<ShotNoiseCost>(
+                std::move(eval), shots, sigma_single_shot, seed + i);
+        }
+        evaluators.push_back(std::move(eval));
+    }
+    return std::make_shared<ZneCost>(std::move(evaluators), scales,
+                                     extrapolation);
+}
+
+std::shared_ptr<ZneCost>
+makeZneAnalyticCost(const Graph& graph, const NoiseModel& noise,
+                    const std::vector<double>& scales,
+                    ZneExtrapolation extrapolation, std::size_t shots,
+                    double sigma_single_shot, std::uint64_t seed)
+{
+    std::vector<std::shared_ptr<CostFunction>> evaluators;
+    evaluators.reserve(scales.size());
+    for (std::size_t i = 0; i < scales.size(); ++i) {
+        std::shared_ptr<CostFunction> eval =
+            std::make_shared<AnalyticQaoaCost>(graph,
+                                               noise.scaled(scales[i]));
+        if (shots > 0) {
+            eval = std::make_shared<ShotNoiseCost>(
+                std::move(eval), shots, sigma_single_shot, seed + i);
+        }
+        evaluators.push_back(std::move(eval));
+    }
+    return std::make_shared<ZneCost>(std::move(evaluators), scales,
+                                     extrapolation);
+}
+
+} // namespace oscar

@@ -1,0 +1,85 @@
+#include "src/optimize/adam.h"
+
+#include <cmath>
+
+namespace oscar {
+
+std::vector<double>
+finiteDifferenceGradient(CostFunction& cost, const std::vector<double>& at,
+                         double step)
+{
+    std::vector<double> grad(at.size());
+    std::vector<double> probe = at;
+    for (std::size_t i = 0; i < at.size(); ++i) {
+        probe[i] = at[i] + step;
+        const double up = cost.evaluate(probe);
+        probe[i] = at[i] - step;
+        const double down = cost.evaluate(probe);
+        probe[i] = at[i];
+        grad[i] = (up - down) / (2.0 * step);
+    }
+    return grad;
+}
+
+Adam::Adam(AdamOptions options)
+    : options_(options)
+{
+}
+
+OptimizerResult
+Adam::minimize(CostFunction& cost, const std::vector<double>& initial)
+{
+    const std::size_t dim = initial.size();
+    const std::size_t start_queries = cost.numQueries();
+
+    OptimizerResult result;
+    std::vector<double> theta = initial;
+    std::vector<double> m(dim, 0.0), v(dim, 0.0);
+    result.path.push_back(theta);
+
+    double best = cost.evaluate(theta);
+    std::vector<double> best_theta = theta;
+
+    for (std::size_t iter = 1; iter <= options_.maxIterations; ++iter) {
+        const auto grad =
+            finiteDifferenceGradient(cost, theta, options_.fdStep);
+
+        double grad_norm = 0.0;
+        for (double g : grad)
+            grad_norm += g * g;
+        grad_norm = std::sqrt(grad_norm);
+
+        for (std::size_t i = 0; i < dim; ++i) {
+            m[i] = options_.beta1 * m[i] + (1.0 - options_.beta1) * grad[i];
+            v[i] = options_.beta2 * v[i] +
+                   (1.0 - options_.beta2) * grad[i] * grad[i];
+            const double m_hat =
+                m[i] / (1.0 - std::pow(options_.beta1,
+                                       static_cast<double>(iter)));
+            const double v_hat =
+                v[i] / (1.0 - std::pow(options_.beta2,
+                                       static_cast<double>(iter)));
+            theta[i] -= options_.learningRate * m_hat /
+                        (std::sqrt(v_hat) + options_.epsilon);
+        }
+        result.path.push_back(theta);
+        result.iterations = iter;
+
+        const double value = cost.evaluate(theta);
+        if (value < best) {
+            best = value;
+            best_theta = theta;
+        }
+        if (grad_norm < options_.gradientTolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    result.bestParams = best_theta;
+    result.bestValue = best;
+    result.numQueries = cost.numQueries() - start_queries;
+    return result;
+}
+
+} // namespace oscar

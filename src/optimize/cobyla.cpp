@@ -1,0 +1,142 @@
+#include "src/optimize/cobyla.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/linear_regression.h"
+
+namespace oscar {
+
+Cobyla::Cobyla(CobylaOptions options)
+    : options_(options)
+{
+}
+
+OptimizerResult
+Cobyla::minimize(CostFunction& cost, const std::vector<double>& initial)
+{
+    const std::size_t dim = initial.size();
+    const std::size_t start_queries = cost.numQueries();
+
+    OptimizerResult result;
+    result.path.push_back(initial);
+
+    // Simplex of n+1 interpolation points.
+    std::vector<std::vector<double>> pts;
+    std::vector<double> vals;
+    pts.push_back(initial);
+    vals.push_back(cost.evaluate(initial));
+    for (std::size_t i = 0; i < dim; ++i) {
+        auto p = initial;
+        p[i] += options_.rhoBegin;
+        vals.push_back(cost.evaluate(p));
+        pts.push_back(std::move(p));
+    }
+
+    double rho = options_.rhoBegin;
+    for (std::size_t iter = 0; iter < options_.maxIterations; ++iter) {
+        result.iterations = iter + 1;
+
+        const std::size_t best = static_cast<std::size_t>(
+            std::min_element(vals.begin(), vals.end()) - vals.begin());
+        const std::size_t worst = static_cast<std::size_t>(
+            std::max_element(vals.begin(), vals.end()) - vals.begin());
+        result.path.push_back(pts[best]);
+
+        if (rho < options_.rhoEnd) {
+            result.converged = true;
+            break;
+        }
+
+        // Linear model through the simplex relative to the best point:
+        // f(best + d) ~ f(best) + g . d, solving the n x n system of
+        // interpolation conditions at the other vertices.
+        std::vector<double> a(dim * dim, 0.0);
+        std::vector<double> b(dim, 0.0);
+        std::size_t row = 0;
+        for (std::size_t k = 0; k < pts.size(); ++k) {
+            if (k == best)
+                continue;
+            for (std::size_t i = 0; i < dim; ++i)
+                a[row * dim + i] = pts[k][i] - pts[best][i];
+            b[row] = vals[k] - vals[best];
+            ++row;
+        }
+
+        std::vector<double> g;
+        bool model_ok = true;
+        try {
+            g = solveDense(std::move(a), std::move(b), dim);
+        } catch (...) {
+            model_ok = false;
+        }
+
+        double g_norm = 0.0;
+        if (model_ok) {
+            for (double gi : g)
+                g_norm += gi * gi;
+            g_norm = std::sqrt(g_norm);
+        }
+
+        if (!model_ok || g_norm < 1e-14) {
+            // Degenerate model: rebuild the simplex at a smaller scale.
+            rho *= 0.5;
+            for (std::size_t k = 0, axis = 0; k < pts.size(); ++k) {
+                if (k == best)
+                    continue;
+                pts[k] = pts[best];
+                pts[k][axis] += rho;
+                vals[k] = cost.evaluate(pts[k]);
+                ++axis;
+            }
+            continue;
+        }
+
+        // Trust-region step along the model's steepest descent.
+        std::vector<double> trial(dim);
+        for (std::size_t i = 0; i < dim; ++i)
+            trial[i] = pts[best][i] - rho * g[i] / g_norm;
+        const double f_trial = cost.evaluate(trial);
+
+        if (f_trial < vals[best]) {
+            pts[worst] = std::move(trial);
+            vals[worst] = f_trial;
+        } else {
+            // No improvement at this scale: replace the worst vertex
+            // if the trial at least beats it, then shrink.
+            if (f_trial < vals[worst]) {
+                pts[worst] = std::move(trial);
+                vals[worst] = f_trial;
+            }
+            rho *= 0.5;
+            // Pull the simplex toward the best vertex to keep the
+            // interpolation points within the trust region.
+            for (std::size_t k = 0; k < pts.size(); ++k) {
+                if (k == best)
+                    continue;
+                double dist = 0.0;
+                for (std::size_t i = 0; i < dim; ++i) {
+                    const double d = pts[k][i] - pts[best][i];
+                    dist += d * d;
+                }
+                if (std::sqrt(dist) > 2.0 * rho) {
+                    for (std::size_t i = 0; i < dim; ++i) {
+                        pts[k][i] = pts[best][i] +
+                                    0.5 * (pts[k][i] - pts[best][i]);
+                    }
+                    vals[k] = cost.evaluate(pts[k]);
+                }
+            }
+        }
+    }
+
+    const std::size_t best = static_cast<std::size_t>(
+        std::min_element(vals.begin(), vals.end()) - vals.begin());
+    result.bestParams = pts[best];
+    result.bestValue = vals[best];
+    result.numQueries = cost.numQueries() - start_queries;
+    return result;
+}
+
+} // namespace oscar

@@ -1,0 +1,56 @@
+#include "src/optimize/gradient_descent.h"
+
+#include <cmath>
+
+#include "src/optimize/adam.h"
+
+namespace oscar {
+
+GradientDescent::GradientDescent(GradientDescentOptions options)
+    : options_(options)
+{
+}
+
+OptimizerResult
+GradientDescent::minimize(CostFunction& cost,
+                          const std::vector<double>& initial)
+{
+    const std::size_t start_queries = cost.numQueries();
+    OptimizerResult result;
+    std::vector<double> theta = initial;
+    result.path.push_back(theta);
+
+    double best = cost.evaluate(theta);
+    std::vector<double> best_theta = theta;
+
+    for (std::size_t iter = 1; iter <= options_.maxIterations; ++iter) {
+        const auto grad =
+            finiteDifferenceGradient(cost, theta, options_.fdStep);
+        double grad_norm = 0.0;
+        for (double g : grad)
+            grad_norm += g * g;
+        grad_norm = std::sqrt(grad_norm);
+
+        for (std::size_t i = 0; i < theta.size(); ++i)
+            theta[i] -= options_.learningRate * grad[i];
+        result.path.push_back(theta);
+        result.iterations = iter;
+
+        const double value = cost.evaluate(theta);
+        if (value < best) {
+            best = value;
+            best_theta = theta;
+        }
+        if (grad_norm < options_.gradientTolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    result.bestParams = best_theta;
+    result.bestValue = best;
+    result.numQueries = cost.numQueries() - start_queries;
+    return result;
+}
+
+} // namespace oscar

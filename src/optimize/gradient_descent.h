@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Plain gradient descent with finite-difference gradients -- the
+ * simplest gradient baseline, used in ablations and tests.
+ */
+
+#ifndef OSCAR_OPTIMIZE_GRADIENT_DESCENT_H
+#define OSCAR_OPTIMIZE_GRADIENT_DESCENT_H
+
+#include "src/optimize/optimizer.h"
+
+namespace oscar {
+
+/** Gradient descent configuration. */
+struct GradientDescentOptions
+{
+    double learningRate = 0.05;
+    double fdStep = 1e-2;
+    std::size_t maxIterations = 200;
+    double gradientTolerance = 1e-4;
+};
+
+/** Fixed-step gradient descent minimizer. */
+class GradientDescent : public Optimizer
+{
+  public:
+    explicit GradientDescent(GradientDescentOptions options = {});
+
+    std::string name() const override { return "gd"; }
+
+    OptimizerResult minimize(CostFunction& cost,
+                             const std::vector<double>& initial) override;
+
+  private:
+    GradientDescentOptions options_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_OPTIMIZE_GRADIENT_DESCENT_H

@@ -1,0 +1,127 @@
+#include "src/optimize/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace oscar {
+
+NelderMead::NelderMead(NelderMeadOptions options)
+    : options_(options)
+{
+}
+
+OptimizerResult
+NelderMead::minimize(CostFunction& cost, const std::vector<double>& initial)
+{
+    const std::size_t dim = initial.size();
+    const std::size_t start_queries = cost.numQueries();
+
+    OptimizerResult result;
+    result.path.push_back(initial);
+
+    // Initial simplex: the start point plus one offset vertex per axis.
+    std::vector<std::vector<double>> simplex;
+    std::vector<double> values;
+    simplex.push_back(initial);
+    values.push_back(cost.evaluate(initial));
+    for (std::size_t i = 0; i < dim; ++i) {
+        auto vertex = initial;
+        vertex[i] += options_.initialStep;
+        values.push_back(cost.evaluate(vertex));
+        simplex.push_back(std::move(vertex));
+    }
+
+    std::vector<std::size_t> order(simplex.size());
+    for (std::size_t iter = 0; iter < options_.maxIterations; ++iter) {
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::sort(order.begin(), order.end(), [&](auto a, auto b) {
+            return values[a] < values[b];
+        });
+        const std::size_t best = order.front();
+        const std::size_t worst = order.back();
+        const std::size_t second_worst = order[order.size() - 2];
+
+        result.iterations = iter + 1;
+        result.path.push_back(simplex[best]);
+
+        if (std::abs(values[worst] - values[best]) < options_.tolerance) {
+            result.converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        std::vector<double> centroid(dim, 0.0);
+        for (std::size_t k : order) {
+            if (k == worst)
+                continue;
+            for (std::size_t i = 0; i < dim; ++i)
+                centroid[i] += simplex[k][i];
+        }
+        for (double& c : centroid)
+            c /= static_cast<double>(dim);
+
+        auto blend = [&](double t) {
+            std::vector<double> p(dim);
+            for (std::size_t i = 0; i < dim; ++i)
+                p[i] = centroid[i] + t * (centroid[i] - simplex[worst][i]);
+            return p;
+        };
+
+        const auto reflected = blend(options_.reflection);
+        const double f_reflected = cost.evaluate(reflected);
+
+        if (f_reflected < values[best]) {
+            const auto expanded =
+                blend(options_.reflection * options_.expansion);
+            const double f_expanded = cost.evaluate(expanded);
+            if (f_expanded < f_reflected) {
+                simplex[worst] = expanded;
+                values[worst] = f_expanded;
+            } else {
+                simplex[worst] = reflected;
+                values[worst] = f_reflected;
+            }
+            continue;
+        }
+        if (f_reflected < values[second_worst]) {
+            simplex[worst] = reflected;
+            values[worst] = f_reflected;
+            continue;
+        }
+
+        // Contraction (outside if the reflection helped at all).
+        const bool outside = f_reflected < values[worst];
+        const auto contracted = blend(
+            outside ? options_.reflection * options_.contraction
+                    : -options_.contraction);
+        const double f_contracted = cost.evaluate(contracted);
+        const double f_cmp = outside ? f_reflected : values[worst];
+        if (f_contracted < f_cmp) {
+            simplex[worst] = contracted;
+            values[worst] = f_contracted;
+            continue;
+        }
+
+        // Shrink toward the best vertex.
+        for (std::size_t k : order) {
+            if (k == best)
+                continue;
+            for (std::size_t i = 0; i < dim; ++i) {
+                simplex[k][i] =
+                    simplex[best][i] +
+                    options_.shrink * (simplex[k][i] - simplex[best][i]);
+            }
+            values[k] = cost.evaluate(simplex[k]);
+        }
+    }
+
+    const std::size_t best = static_cast<std::size_t>(
+        std::min_element(values.begin(), values.end()) - values.begin());
+    result.bestParams = simplex[best];
+    result.bestValue = values[best];
+    result.numQueries = cost.numQueries() - start_queries;
+    return result;
+}
+
+} // namespace oscar

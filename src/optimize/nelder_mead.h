@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Nelder-Mead simplex minimizer (gradient-free baseline).
+ */
+
+#ifndef OSCAR_OPTIMIZE_NELDER_MEAD_H
+#define OSCAR_OPTIMIZE_NELDER_MEAD_H
+
+#include "src/optimize/optimizer.h"
+
+namespace oscar {
+
+/** Nelder-Mead configuration (standard coefficients). */
+struct NelderMeadOptions
+{
+    double initialStep = 0.1;    ///< simplex edge length
+    double reflection = 1.0;
+    double expansion = 2.0;
+    double contraction = 0.5;
+    double shrink = 0.5;
+    std::size_t maxIterations = 400;
+    double tolerance = 1e-8;     ///< simplex value spread stop
+};
+
+/** Nelder-Mead minimizer. */
+class NelderMead : public Optimizer
+{
+  public:
+    explicit NelderMead(NelderMeadOptions options = {});
+
+    std::string name() const override { return "nelder-mead"; }
+
+    OptimizerResult minimize(CostFunction& cost,
+                             const std::vector<double>& initial) override;
+
+  private:
+    NelderMeadOptions options_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_OPTIMIZE_NELDER_MEAD_H

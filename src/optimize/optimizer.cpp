@@ -1,0 +1,18 @@
+#include "src/optimize/optimizer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace oscar {
+
+double
+paramDistance(const std::vector<double>& a, const std::vector<double>& b)
+{
+    assert(a.size() == b.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(acc);
+}
+
+} // namespace oscar

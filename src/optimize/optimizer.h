@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Optimizer interface for the VQA training loop.
+ *
+ * The paper's use cases 2 and 3 (Sections 7-8) run standard classical
+ * optimizers either against real circuit executions or against an
+ * interpolated reconstructed landscape; both paths are CostFunctions,
+ * so optimizers are backend-agnostic. Every run records the traversed
+ * path -- the paper's Figs. 2, 11 and 13 are views of this path -- and
+ * the number of cost queries (Table 6's headline metric).
+ */
+
+#ifndef OSCAR_OPTIMIZE_OPTIMIZER_H
+#define OSCAR_OPTIMIZE_OPTIMIZER_H
+
+#include <string>
+#include <vector>
+
+#include "src/backend/executor.h"
+
+namespace oscar {
+
+/** Outcome of one optimization run. */
+struct OptimizerResult
+{
+    std::vector<double> bestParams;
+    double bestValue = 0.0;
+
+    /** Iterations executed (optimizer steps, not cost queries). */
+    std::size_t iterations = 0;
+
+    /** Cost-function queries consumed by this run. */
+    std::size_t numQueries = 0;
+
+    /** Whether the tolerance-based stop condition triggered. */
+    bool converged = false;
+
+    /** Parameter iterates, including the initial point. */
+    std::vector<std::vector<double>> path;
+};
+
+/** Abstract minimizer. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /** Short identifier such as "adam" or "cobyla". */
+    virtual std::string name() const = 0;
+
+    /** Minimize the cost starting at `initial`. */
+    virtual OptimizerResult minimize(CostFunction& cost,
+                                     const std::vector<double>& initial) = 0;
+};
+
+/** Euclidean distance between two parameter vectors. */
+double paramDistance(const std::vector<double>& a,
+                     const std::vector<double>& b);
+
+} // namespace oscar
+
+#endif // OSCAR_OPTIMIZE_OPTIMIZER_H

@@ -1,0 +1,69 @@
+#include "src/optimize/spsa.h"
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace oscar {
+
+Spsa::Spsa(SpsaOptions options)
+    : options_(options)
+{
+}
+
+OptimizerResult
+Spsa::minimize(CostFunction& cost, const std::vector<double>& initial)
+{
+    const std::size_t start_queries = cost.numQueries();
+    Rng rng(options_.seed);
+
+    OptimizerResult result;
+    std::vector<double> theta = initial;
+    result.path.push_back(theta);
+
+    double best = cost.evaluate(theta);
+    std::vector<double> best_theta = theta;
+
+    std::vector<double> plus(theta.size()), minus(theta.size());
+    for (std::size_t k = 0; k < options_.maxIterations; ++k) {
+        const double ak =
+            options_.a /
+            std::pow(static_cast<double>(k) + 1.0 + options_.stability,
+                     options_.alpha);
+        const double ck =
+            options_.c /
+            std::pow(static_cast<double>(k) + 1.0, options_.gamma);
+
+        // Rademacher perturbation direction.
+        std::vector<double> delta(theta.size());
+        for (double& d : delta)
+            d = rng.bernoulli(0.5) ? 1.0 : -1.0;
+
+        for (std::size_t i = 0; i < theta.size(); ++i) {
+            plus[i] = theta[i] + ck * delta[i];
+            minus[i] = theta[i] - ck * delta[i];
+        }
+        const double f_plus = cost.evaluate(plus);
+        const double f_minus = cost.evaluate(minus);
+        const double scale = (f_plus - f_minus) / (2.0 * ck);
+
+        for (std::size_t i = 0; i < theta.size(); ++i)
+            theta[i] -= ak * scale / delta[i];
+
+        result.path.push_back(theta);
+        result.iterations = k + 1;
+
+        const double value = cost.evaluate(theta);
+        if (value < best) {
+            best = value;
+            best_theta = theta;
+        }
+    }
+
+    result.bestParams = best_theta;
+    result.bestValue = best;
+    result.numQueries = cost.numQueries() - start_queries;
+    return result;
+}
+
+} // namespace oscar

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Simultaneous Perturbation Stochastic Approximation (SPSA).
+ *
+ * SPSA estimates the full gradient from two evaluations regardless of
+ * dimension, which makes it the standard choice on shot-noisy quantum
+ * hardware. Included to round out the optimizer zoo OSCAR is meant to
+ * help users choose among (paper Section 7).
+ */
+
+#ifndef OSCAR_OPTIMIZE_SPSA_H
+#define OSCAR_OPTIMIZE_SPSA_H
+
+#include <cstdint>
+
+#include "src/optimize/optimizer.h"
+
+namespace oscar {
+
+/** SPSA configuration (standard Spall gain schedules). */
+struct SpsaOptions
+{
+    double a = 0.2;         ///< numerator of the step-size schedule
+    double c = 0.1;         ///< numerator of the perturbation schedule
+    double alpha = 0.602;   ///< step-size decay exponent
+    double gamma = 0.101;   ///< perturbation decay exponent
+    double stability = 10.0; ///< A in a_k = a / (k + 1 + A)^alpha
+    std::size_t maxIterations = 300;
+    std::uint64_t seed = 7;
+};
+
+/** SPSA minimizer. */
+class Spsa : public Optimizer
+{
+  public:
+    explicit Spsa(SpsaOptions options = {});
+
+    std::string name() const override { return "spsa"; }
+
+    OptimizerResult minimize(CostFunction& cost,
+                             const std::vector<double>& initial) override;
+
+  private:
+    SpsaOptions options_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_OPTIMIZE_SPSA_H

@@ -1,0 +1,40 @@
+#include "src/parallel/eager.h"
+
+#include <stdexcept>
+
+#include "src/common/stats.h"
+
+namespace oscar {
+
+EagerOutcome
+eagerCutoff(const ParallelRunResult& run, double deadline)
+{
+    EagerOutcome outcome;
+    outcome.deadline = deadline;
+    outcome.retained = run.retainedBefore(deadline);
+    outcome.dropped = run.samples.size() - outcome.retained.size();
+    outcome.retainedFraction =
+        run.samples.empty()
+            ? 0.0
+            : static_cast<double>(outcome.retained.size()) /
+                  static_cast<double>(run.samples.size());
+    outcome.fullMakespan = run.makespan;
+    return outcome;
+}
+
+EagerOutcome
+eagerCutoffQuantile(const ParallelRunResult& run, double quantile)
+{
+    if (run.samples.empty())
+        throw std::invalid_argument("eagerCutoffQuantile: empty run");
+    if (quantile <= 0.0 || quantile > 1.0)
+        throw std::invalid_argument(
+            "eagerCutoffQuantile: quantile out of (0, 1]");
+    std::vector<double> times;
+    times.reserve(run.samples.size());
+    for (const ParallelSample& s : run.samples)
+        times.push_back(s.completionTime);
+    return eagerCutoff(run, stats::quantile(times, quantile));
+}
+
+} // namespace oscar

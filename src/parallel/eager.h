@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Eager reconstruction (paper Section 5.2).
+ *
+ * Even with k QPUs, Amdahl's law says the straggler jobs bound the
+ * makespan -- and cloud QPUs exhibit 10x-30x tail latencies. Eager
+ * reconstruction sets a soft timeout, reconstructs from whatever
+ * samples have completed by then, and relies on the flat
+ * accuracy-vs-sampling-fraction tradeoff to lose almost nothing:
+ * dropping the tail turns a straggler-bound makespan into a
+ * timeout-bound one.
+ */
+
+#ifndef OSCAR_PARALLEL_EAGER_H
+#define OSCAR_PARALLEL_EAGER_H
+
+#include <cstddef>
+
+#include "src/parallel/scheduler.h"
+
+namespace oscar {
+
+/** Outcome of applying an eager timeout to a parallel run. */
+struct EagerOutcome
+{
+    /** Samples that completed before the deadline. */
+    SampleSet retained;
+
+    /** The applied deadline (absolute simulated time). */
+    double deadline = 0.0;
+
+    /** Samples dropped as stragglers. */
+    std::size_t dropped = 0;
+
+    /** Fraction of requested samples retained. */
+    double retainedFraction = 0.0;
+
+    /** Makespan without eager reconstruction (last straggler). */
+    double fullMakespan = 0.0;
+};
+
+/** Apply an absolute deadline to a completed parallel run. */
+EagerOutcome eagerCutoff(const ParallelRunResult& run, double deadline);
+
+/**
+ * Choose the deadline as the completion time of the q-th quantile
+ * sample (e.g. q = 0.9 drops the slowest 10%).
+ */
+EagerOutcome eagerCutoffQuantile(const ParallelRunResult& run,
+                                 double quantile);
+
+} // namespace oscar
+
+#endif // OSCAR_PARALLEL_EAGER_H

@@ -1,0 +1,16 @@
+#include "src/parallel/latency_model.h"
+
+#include <cmath>
+
+namespace oscar {
+
+double
+LatencyModel::sample(Rng& rng) const
+{
+    double exec = execMedian;
+    if (tailSigma > 0.0)
+        exec = rng.lognormal(std::log(execMedian), tailSigma);
+    return queueDelay + exec;
+}
+
+} // namespace oscar

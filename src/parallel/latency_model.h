@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Queuing and execution latency model for cloud QPUs.
+ *
+ * The paper's parallel mode (Section 5) is motivated by queuing delays
+ * spanning hours-to-days on public QPUs [Ravi et al., IISWC'21] and by
+ * 10x-30x tail latencies observed during their evaluation. We model
+ * per-job latency as
+ *     queue_delay + Lognormal(ln(exec_median), tail_sigma),
+ * which produces exactly that heavy-tailed behaviour: tail_sigma ~ 1.2
+ * gives p99/median ratios in the paper's 10-30x range.
+ */
+
+#ifndef OSCAR_PARALLEL_LATENCY_MODEL_H
+#define OSCAR_PARALLEL_LATENCY_MODEL_H
+
+#include "src/common/rng.h"
+
+namespace oscar {
+
+/** Heavy-tailed per-job latency distribution. */
+struct LatencyModel
+{
+    /** Fixed queue wait added to every job (seconds). */
+    double queueDelay = 0.0;
+
+    /** Median execution latency of one landscape point (seconds). */
+    double execMedian = 1.0;
+
+    /** Lognormal sigma; 0 = deterministic, ~1.2 = heavy tail. */
+    double tailSigma = 0.0;
+
+    /** Draw one job latency. */
+    double sample(Rng& rng) const;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_PARALLEL_LATENCY_MODEL_H

@@ -1,0 +1,47 @@
+#include "src/parallel/ncm.h"
+
+#include <stdexcept>
+
+namespace oscar {
+
+NoiseCompensationModel
+NoiseCompensationModel::train(const std::vector<double>& secondary,
+                              const std::vector<double>& reference)
+{
+    if (secondary.size() != reference.size() || secondary.size() < 2)
+        throw std::invalid_argument(
+            "NoiseCompensationModel::train: need >= 2 paired samples");
+    return NoiseCompensationModel(fitLinear(secondary, reference));
+}
+
+NoiseCompensationModel
+NoiseCompensationModel::trainOnDevices(const GridSpec& grid,
+                                       QpuDevice& reference,
+                                       QpuDevice& secondary,
+                                       double train_fraction, Rng& rng)
+{
+    const auto indices =
+        chooseSampleIndices(grid.numPoints(), train_fraction, rng);
+    if (indices.size() < 2)
+        throw std::invalid_argument(
+            "NoiseCompensationModel::trainOnDevices: too few samples");
+    std::vector<double> ref_vals, sec_vals;
+    ref_vals.reserve(indices.size());
+    sec_vals.reserve(indices.size());
+    for (std::size_t idx : indices) {
+        const auto params = grid.pointAt(idx);
+        ref_vals.push_back(reference.cost->evaluate(params));
+        sec_vals.push_back(secondary.cost->evaluate(params));
+    }
+    return train(sec_vals, ref_vals);
+}
+
+SampleSet
+NoiseCompensationModel::transform(SampleSet samples) const
+{
+    for (double& v : samples.values)
+        v = fit_(v);
+    return samples;
+}
+
+} // namespace oscar

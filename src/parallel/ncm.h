@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Noise Compensation Model (paper Section 5.1, Fig. 7B/C).
+ *
+ * When samples come from QPUs with different noise levels, the
+ * reconstructed landscape is an artificial mixture. The NCM fixes this
+ * by learning an affine map from the secondary device's expectation
+ * values to the reference device's, trained on a small set of grid
+ * points executed on BOTH devices (the paper uses ~1% of the grid).
+ * Transformed secondary samples then blend with reference samples
+ * without masking the reference device's noise signature.
+ *
+ * Linear regression suffices because gate-level depolarizing noise
+ * acts (to first order) as a contraction of expectation values toward
+ * the maximally-mixed value -- an affine map per device, hence an
+ * affine map between devices.
+ */
+
+#ifndef OSCAR_PARALLEL_NCM_H
+#define OSCAR_PARALLEL_NCM_H
+
+#include <vector>
+
+#include "src/common/linear_regression.h"
+#include "src/landscape/grid.h"
+#include "src/landscape/sampler.h"
+#include "src/parallel/qpu.h"
+
+namespace oscar {
+
+/** Affine map from a secondary QPU's values to a reference QPU's. */
+class NoiseCompensationModel
+{
+  public:
+    /**
+     * Fit from paired observations of the same parameter points:
+     * `secondary[i]` and `reference[i]` measured at identical params.
+     */
+    static NoiseCompensationModel train(
+        const std::vector<double>& secondary,
+        const std::vector<double>& reference);
+
+    /**
+     * Convenience: run `train_fraction` of the grid on both devices
+     * and fit (this is the "1% training samples" of the paper).
+     */
+    static NoiseCompensationModel trainOnDevices(const GridSpec& grid,
+                                                 QpuDevice& reference,
+                                                 QpuDevice& secondary,
+                                                 double train_fraction,
+                                                 Rng& rng);
+
+    /** Map one secondary-device value to the reference device. */
+    double transform(double value) const { return fit_(value); }
+
+    /** Map a whole sample set in place. */
+    SampleSet transform(SampleSet samples) const;
+
+    double slope() const { return fit_.slope; }
+    double intercept() const { return fit_.intercept; }
+
+  private:
+    explicit NoiseCompensationModel(LinearFit fit)
+        : fit_(fit)
+    {
+    }
+
+    LinearFit fit_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_PARALLEL_NCM_H

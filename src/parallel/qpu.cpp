@@ -1,0 +1,2 @@
+// qpu.h is header-only; this translation unit anchors it in the library.
+#include "src/parallel/qpu.h"

@@ -1,0 +1,106 @@
+#include "src/parallel/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oscar {
+
+SampleSet
+ParallelRunResult::retainedBefore(double deadline) const
+{
+    SampleSet set;
+    for (const ParallelSample& s : samples) {
+        if (s.completionTime <= deadline) {
+            set.indices.push_back(s.index);
+            set.values.push_back(s.value);
+        }
+    }
+    return set;
+}
+
+SampleSet
+ParallelRunResult::allSamples() const
+{
+    SampleSet set;
+    for (const ParallelSample& s : samples) {
+        set.indices.push_back(s.index);
+        set.values.push_back(s.value);
+    }
+    return set;
+}
+
+SampleSet
+ParallelRunResult::deviceSamples(std::size_t device) const
+{
+    SampleSet set;
+    for (const ParallelSample& s : samples) {
+        if (s.device == device) {
+            set.indices.push_back(s.index);
+            set.values.push_back(s.value);
+        }
+    }
+    return set;
+}
+
+ParallelRunResult
+runParallelSampling(const GridSpec& grid, std::vector<QpuDevice>& devices,
+                    const std::vector<std::size_t>& indices, Rng& rng,
+                    Assignment how, const std::vector<double>& fractions)
+{
+    if (devices.empty())
+        throw std::invalid_argument("runParallelSampling: no devices");
+
+    // Assign each sample to a device.
+    std::vector<std::size_t> owner(indices.size());
+    if (how == Assignment::RoundRobin) {
+        for (std::size_t i = 0; i < indices.size(); ++i)
+            owner[i] = i % devices.size();
+    } else {
+        if (fractions.size() != devices.size())
+            throw std::invalid_argument(
+                "runParallelSampling: fraction per device required");
+        double total = 0.0;
+        for (double f : fractions) {
+            if (f < 0.0)
+                throw std::invalid_argument(
+                    "runParallelSampling: negative fraction");
+            total += f;
+        }
+        if (std::abs(total - 1.0) > 1e-6)
+            throw std::invalid_argument(
+                "runParallelSampling: fractions must sum to 1");
+        std::size_t cursor = 0;
+        for (std::size_t d = 0; d < devices.size(); ++d) {
+            std::size_t count = static_cast<std::size_t>(std::llround(
+                fractions[d] * static_cast<double>(indices.size())));
+            if (d + 1 == devices.size())
+                count = indices.size() - cursor; // absorb rounding
+            count = std::min(count, indices.size() - cursor);
+            for (std::size_t i = 0; i < count; ++i)
+                owner[cursor++] = d;
+        }
+    }
+
+    ParallelRunResult result;
+    result.samples.reserve(indices.size());
+    result.perDeviceCounts.assign(devices.size(), 0);
+
+    // Each device runs its jobs serially; devices run concurrently.
+    std::vector<double> device_clock(devices.size(), 0.0);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const std::size_t d = owner[i];
+        QpuDevice& dev = devices[d];
+        const auto params = grid.pointAt(indices[i]);
+        const double value = dev.cost->evaluate(params);
+        device_clock[d] += dev.latency.sample(rng);
+        result.samples.push_back(
+            {indices[i], value, d, device_clock[d]});
+        ++result.perDeviceCounts[d];
+    }
+    result.makespan =
+        *std::max_element(device_clock.begin(), device_clock.end());
+    return result;
+}
+
+} // namespace oscar

@@ -1,0 +1,101 @@
+#include "src/quantum/circuit.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace oscar {
+
+Circuit::Circuit(int num_qubits, int num_params)
+    : numQubits_(num_qubits), numParams_(num_params)
+{
+    if (num_qubits < 1)
+        throw std::invalid_argument("Circuit: need at least one qubit");
+    if (num_params < 0)
+        throw std::invalid_argument("Circuit: negative parameter count");
+}
+
+void
+Circuit::append(const Gate& gate)
+{
+    const int arity = gateArity(gate.kind);
+    for (int i = 0; i < arity; ++i) {
+        if (gate.qubits[i] < 0 || gate.qubits[i] >= numQubits_)
+            throw std::out_of_range("Circuit::append: qubit out of range");
+    }
+    if (arity == 2 && gate.qubits[0] == gate.qubits[1])
+        throw std::invalid_argument("Circuit::append: duplicate qubit");
+    if (gate.paramIndex >= numParams_)
+        throw std::out_of_range("Circuit::append: parameter out of range");
+    gates_.push_back(gate);
+}
+
+void
+Circuit::append(const Circuit& other)
+{
+    if (other.numQubits_ != numQubits_)
+        throw std::invalid_argument("Circuit::append: qubit count mismatch");
+    if (other.numParams_ > numParams_)
+        throw std::invalid_argument("Circuit::append: parameter mismatch");
+    gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+}
+
+std::size_t
+Circuit::countTwoQubitGates() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(gates_.begin(), gates_.end(), [](const Gate& g) {
+            return gateArity(g.kind) == 2;
+        }));
+}
+
+Circuit
+Circuit::bind(const std::vector<double>& params) const
+{
+    if (static_cast<int>(params.size()) != numParams_)
+        throw std::invalid_argument("Circuit::bind: wrong parameter count");
+    Circuit bound(numQubits_, 0);
+    bound.gates_.reserve(gates_.size());
+    for (const Gate& g : gates_) {
+        Gate fixed = g;
+        fixed.angle = g.resolvedAngle(params);
+        fixed.paramIndex = -1;
+        fixed.coeff = 1.0;
+        bound.gates_.push_back(fixed);
+    }
+    return bound;
+}
+
+Circuit
+Circuit::inverse() const
+{
+    Circuit inv(numQubits_, numParams_);
+    inv.gates_.reserve(gates_.size());
+    for (auto it = gates_.rbegin(); it != gates_.rend(); ++it)
+        inv.gates_.push_back(it->inverse());
+    return inv;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::ostringstream os;
+    os << "circuit(" << numQubits_ << " qubits, " << numParams_
+       << " params)\n";
+    for (const Gate& g : gates_) {
+        os << "  " << gateName(g.kind) << " q" << g.qubits[0];
+        if (gateArity(g.kind) == 2)
+            os << ", q" << g.qubits[1];
+        if (gateIsParameterized(g.kind)) {
+            if (g.paramIndex >= 0)
+                os << "  angle=" << g.angle << "+" << g.coeff << "*p["
+                   << g.paramIndex << "]";
+            else
+                os << "  angle=" << g.angle;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace oscar

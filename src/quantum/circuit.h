@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Parameterized quantum circuit IR.
+ *
+ * A Circuit is an ordered gate list over a fixed qubit count with a
+ * declared number of free parameters. Ansatz builders emit circuits
+ * whose rotation gates reference parameter indices; executors resolve
+ * the angles against a concrete parameter vector at run time, so a
+ * single circuit object serves the whole landscape sweep.
+ */
+
+#ifndef OSCAR_QUANTUM_CIRCUIT_H
+#define OSCAR_QUANTUM_CIRCUIT_H
+
+#include <string>
+#include <vector>
+
+#include "src/quantum/gate.h"
+
+namespace oscar {
+
+/** Ordered list of gates over numQubits() qubits. */
+class Circuit
+{
+  public:
+    Circuit() = default;
+
+    /** Create an empty circuit. */
+    Circuit(int num_qubits, int num_params = 0);
+
+    int numQubits() const { return numQubits_; }
+    int numParams() const { return numParams_; }
+    std::size_t numGates() const { return gates_.size(); }
+
+    const std::vector<Gate>& gates() const { return gates_; }
+
+    /** Append a gate, validating its qubit indices. */
+    void append(const Gate& gate);
+
+    /** Append every gate of another circuit (qubit counts must match). */
+    void append(const Circuit& other);
+
+    /** Number of two-qubit gates (the fidelity-limiting resource). */
+    std::size_t countTwoQubitGates() const;
+
+    /**
+     * Bind a parameter vector: returns an equivalent circuit whose
+     * gates all carry fixed angles (numParams() == 0).
+     */
+    Circuit bind(const std::vector<double>& params) const;
+
+    /** The adjoint circuit (gates reversed and inverted). */
+    Circuit inverse() const;
+
+    /** Human-readable listing, one gate per line. */
+    std::string toString() const;
+
+  private:
+    int numQubits_ = 0;
+    int numParams_ = 0;
+    std::vector<Gate> gates_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_QUANTUM_CIRCUIT_H

@@ -1,0 +1,207 @@
+#include "src/quantum/gate.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace oscar {
+
+int
+gateArity(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::SWAP:
+      case GateKind::RZZ:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+bool
+gateIsParameterized(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::RX:
+      case GateKind::RY:
+      case GateKind::RZ:
+      case GateKind::RZZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+gateName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::H: return "h";
+      case GateKind::X: return "x";
+      case GateKind::Y: return "y";
+      case GateKind::Z: return "z";
+      case GateKind::S: return "s";
+      case GateKind::Sdg: return "sdg";
+      case GateKind::RX: return "rx";
+      case GateKind::RY: return "ry";
+      case GateKind::RZ: return "rz";
+      case GateKind::CX: return "cx";
+      case GateKind::CZ: return "cz";
+      case GateKind::SWAP: return "swap";
+      case GateKind::RZZ: return "rzz";
+    }
+    return "?";
+}
+
+namespace {
+
+Gate
+make1q(GateKind kind, int q, double angle = 0.0)
+{
+    Gate g;
+    g.kind = kind;
+    g.qubits = {q, -1};
+    g.angle = angle;
+    return g;
+}
+
+Gate
+make2q(GateKind kind, int a, int b, double angle = 0.0)
+{
+    Gate g;
+    g.kind = kind;
+    g.qubits = {a, b};
+    g.angle = angle;
+    return g;
+}
+
+} // namespace
+
+Gate Gate::h(int q) { return make1q(GateKind::H, q); }
+Gate Gate::x(int q) { return make1q(GateKind::X, q); }
+Gate Gate::y(int q) { return make1q(GateKind::Y, q); }
+Gate Gate::z(int q) { return make1q(GateKind::Z, q); }
+Gate Gate::s(int q) { return make1q(GateKind::S, q); }
+Gate Gate::sdg(int q) { return make1q(GateKind::Sdg, q); }
+Gate Gate::rx(int q, double angle) { return make1q(GateKind::RX, q, angle); }
+Gate Gate::ry(int q, double angle) { return make1q(GateKind::RY, q, angle); }
+Gate Gate::rz(int q, double angle) { return make1q(GateKind::RZ, q, angle); }
+Gate Gate::cx(int c, int t) { return make2q(GateKind::CX, c, t); }
+Gate Gate::cz(int a, int b) { return make2q(GateKind::CZ, a, b); }
+Gate Gate::swap(int a, int b) { return make2q(GateKind::SWAP, a, b); }
+
+Gate
+Gate::rzz(int a, int b, double angle)
+{
+    return make2q(GateKind::RZZ, a, b, angle);
+}
+
+Gate
+Gate::rxParam(int q, int param_index, double coeff)
+{
+    Gate g = make1q(GateKind::RX, q);
+    g.paramIndex = param_index;
+    g.coeff = coeff;
+    return g;
+}
+
+Gate
+Gate::ryParam(int q, int param_index, double coeff)
+{
+    Gate g = make1q(GateKind::RY, q);
+    g.paramIndex = param_index;
+    g.coeff = coeff;
+    return g;
+}
+
+Gate
+Gate::rzParam(int q, int param_index, double coeff)
+{
+    Gate g = make1q(GateKind::RZ, q);
+    g.paramIndex = param_index;
+    g.coeff = coeff;
+    return g;
+}
+
+Gate
+Gate::rzzParam(int a, int b, int param_index, double coeff)
+{
+    Gate g = make2q(GateKind::RZZ, a, b);
+    g.paramIndex = param_index;
+    g.coeff = coeff;
+    return g;
+}
+
+double
+Gate::resolvedAngle(const std::vector<double>& params) const
+{
+    if (paramIndex < 0)
+        return angle;
+    assert(static_cast<std::size_t>(paramIndex) < params.size());
+    return angle + coeff * params[paramIndex];
+}
+
+Gate
+Gate::inverse() const
+{
+    Gate inv = *this;
+    switch (kind) {
+      case GateKind::H:
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::SWAP:
+        return inv; // self-inverse
+      case GateKind::S:
+        inv.kind = GateKind::Sdg;
+        return inv;
+      case GateKind::Sdg:
+        inv.kind = GateKind::S;
+        return inv;
+      case GateKind::RX:
+      case GateKind::RY:
+      case GateKind::RZ:
+      case GateKind::RZZ:
+        inv.angle = -inv.angle;
+        inv.coeff = -inv.coeff;
+        return inv;
+    }
+    throw std::logic_error("Gate::inverse: unknown kind");
+}
+
+std::array<cplx, 4>
+Gate::matrix1q(double a) const
+{
+    const cplx i(0.0, 1.0);
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    switch (kind) {
+      case GateKind::H:
+        return {inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2};
+      case GateKind::X:
+        return {0.0, 1.0, 1.0, 0.0};
+      case GateKind::Y:
+        return {0.0, -i, i, 0.0};
+      case GateKind::Z:
+        return {1.0, 0.0, 0.0, -1.0};
+      case GateKind::S:
+        return {1.0, 0.0, 0.0, i};
+      case GateKind::Sdg:
+        return {1.0, 0.0, 0.0, -i};
+      case GateKind::RX:
+        return {std::cos(a / 2), -i * std::sin(a / 2),
+                -i * std::sin(a / 2), std::cos(a / 2)};
+      case GateKind::RY:
+        return {std::cos(a / 2), -std::sin(a / 2),
+                std::sin(a / 2), std::cos(a / 2)};
+      case GateKind::RZ:
+        return {std::exp(-i * a / 2.0), 0.0, 0.0, std::exp(i * a / 2.0)};
+      default:
+        throw std::logic_error("Gate::matrix1q called on 2-qubit gate");
+    }
+}
+
+} // namespace oscar

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Gate definitions for the circuit IR.
+ *
+ * A Gate is a tagged record: kind, target qubits, and an angle that is
+ * either fixed or bound to an entry of the circuit's parameter vector
+ * (with a multiplicative coefficient, so e.g. a QAOA cost layer can use
+ * angle = 2 * w_ij * gamma without extra parameters). This is the
+ * minimal IR needed to express QAOA, Two-local, and UCCSD ansaetze, and
+ * to implement ZNE circuit folding (every gate knows its inverse).
+ */
+
+#ifndef OSCAR_QUANTUM_GATE_H
+#define OSCAR_QUANTUM_GATE_H
+
+#include <array>
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oscar {
+
+using cplx = std::complex<double>;
+
+/** Supported gate kinds. */
+enum class GateKind : std::uint8_t
+{
+    H,     ///< Hadamard
+    X,     ///< Pauli-X
+    Y,     ///< Pauli-Y
+    Z,     ///< Pauli-Z
+    S,     ///< sqrt(Z)
+    Sdg,   ///< S-dagger
+    RX,    ///< exp(-i angle X / 2)
+    RY,    ///< exp(-i angle Y / 2)
+    RZ,    ///< exp(-i angle Z / 2)
+    CX,    ///< controlled-X (control = qubits[0], target = qubits[1])
+    CZ,    ///< controlled-Z
+    SWAP,  ///< swap two qubits
+    RZZ,   ///< exp(-i angle Z Z / 2)
+};
+
+/** Number of qubits a gate kind acts on (1 or 2). */
+int gateArity(GateKind kind);
+
+/** True for the parameterized rotation kinds (RX, RY, RZ, RZZ). */
+bool gateIsParameterized(GateKind kind);
+
+/** Short mnemonic, e.g. "rzz", for printing circuits. */
+std::string gateName(GateKind kind);
+
+/**
+ * One gate application in a circuit.
+ *
+ * For rotation gates the effective angle when executed with parameter
+ * vector p is:  angle + coeff * p[paramIndex]   (paramIndex >= 0)
+ * or just `angle` when paramIndex < 0.
+ */
+struct Gate
+{
+    GateKind kind;
+    std::array<int, 2> qubits{{-1, -1}};
+    double angle = 0.0;
+    int paramIndex = -1;
+    double coeff = 1.0;
+
+    /** Fixed (non-parameterized) gate factory helpers. */
+    static Gate h(int q);
+    static Gate x(int q);
+    static Gate y(int q);
+    static Gate z(int q);
+    static Gate s(int q);
+    static Gate sdg(int q);
+    static Gate rx(int q, double angle);
+    static Gate ry(int q, double angle);
+    static Gate rz(int q, double angle);
+    static Gate cx(int control, int target);
+    static Gate cz(int a, int b);
+    static Gate swap(int a, int b);
+    static Gate rzz(int a, int b, double angle);
+
+    /** Parameter-bound rotation factory helpers. */
+    static Gate rxParam(int q, int param_index, double coeff = 1.0);
+    static Gate ryParam(int q, int param_index, double coeff = 1.0);
+    static Gate rzParam(int q, int param_index, double coeff = 1.0);
+    static Gate rzzParam(int a, int b, int param_index, double coeff = 1.0);
+
+    /** Effective rotation angle under a parameter binding. */
+    double resolvedAngle(const std::vector<double>& params) const;
+
+    /**
+     * The adjoint gate under the same parameter binding convention
+     * (rotations negate angle and coeff; self-inverse gates are
+     * returned unchanged; S maps to Sdg).
+     */
+    Gate inverse() const;
+
+    /** 2x2 unitary for a 1-qubit gate with resolved angle. */
+    std::array<cplx, 4> matrix1q(double resolved_angle) const;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_QUANTUM_GATE_H

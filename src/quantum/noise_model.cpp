@@ -1,0 +1,3 @@
+// noise_model.h is header-only; this translation unit anchors it in the
+// library so every consumer links against a single definition set.
+#include "src/quantum/noise_model.h"

@@ -1,0 +1,104 @@
+#include "src/quantum/pauli.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace oscar {
+
+PauliString::PauliString(int num_qubits)
+    : ops_(static_cast<std::size_t>(num_qubits), PauliOp::I)
+{
+    if (num_qubits < 1)
+        throw std::invalid_argument("PauliString: need at least one qubit");
+}
+
+PauliString
+PauliString::fromLabel(const std::string& label)
+{
+    PauliString p(static_cast<int>(label.size()));
+    for (std::size_t k = 0; k < label.size(); ++k) {
+        switch (label[k]) {
+          case 'I': p.ops_[k] = PauliOp::I; break;
+          case 'X': p.ops_[k] = PauliOp::X; break;
+          case 'Y': p.ops_[k] = PauliOp::Y; break;
+          case 'Z': p.ops_[k] = PauliOp::Z; break;
+          default:
+            throw std::invalid_argument("PauliString: bad label char");
+        }
+    }
+    return p;
+}
+
+PauliString
+PauliString::single(int num_qubits, int qubit, PauliOp op)
+{
+    PauliString p(num_qubits);
+    assert(qubit >= 0 && qubit < num_qubits);
+    p.ops_[qubit] = op;
+    return p;
+}
+
+PauliString
+PauliString::zString(int num_qubits, const std::vector<int>& qubits)
+{
+    PauliString p(num_qubits);
+    for (int q : qubits) {
+        assert(q >= 0 && q < num_qubits);
+        p.ops_[q] = PauliOp::Z;
+    }
+    return p;
+}
+
+bool
+PauliString::isDiagonal() const
+{
+    for (PauliOp op : ops_) {
+        if (op == PauliOp::X || op == PauliOp::Y)
+            return false;
+    }
+    return true;
+}
+
+bool
+PauliString::isIdentity() const
+{
+    for (PauliOp op : ops_) {
+        if (op != PauliOp::I)
+            return false;
+    }
+    return true;
+}
+
+int
+PauliString::weight() const
+{
+    int w = 0;
+    for (PauliOp op : ops_)
+        w += (op != PauliOp::I);
+    return w;
+}
+
+int
+PauliString::diagonalEigenvalue(std::uint64_t basis_state) const
+{
+    assert(isDiagonal());
+    int parity = 0;
+    for (std::size_t k = 0; k < ops_.size(); ++k) {
+        if (ops_[k] == PauliOp::Z)
+            parity ^= static_cast<int>((basis_state >> k) & 1ULL);
+    }
+    return parity ? -1 : 1;
+}
+
+std::string
+PauliString::toLabel() const
+{
+    static const char names[] = {'I', 'X', 'Y', 'Z'};
+    std::string label;
+    label.reserve(ops_.size());
+    for (PauliOp op : ops_)
+        label.push_back(names[static_cast<int>(op)]);
+    return label;
+}
+
+} // namespace oscar

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Pauli strings: tensor products of I/X/Y/Z over n qubits.
+ *
+ * Pauli strings are the measurement language of VQAs: every cost
+ * Hamiltonian in this library (MaxCut, SK, molecular) is a weighted sum
+ * of Pauli strings, and landscape points are expectation values of such
+ * sums. Diagonal (I/Z-only) strings get a fast path in the executors.
+ */
+
+#ifndef OSCAR_QUANTUM_PAULI_H
+#define OSCAR_QUANTUM_PAULI_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oscar {
+
+/** Single-qubit Pauli operator label. */
+enum class PauliOp : std::uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
+
+/** Tensor product of single-qubit Paulis over a fixed qubit count. */
+class PauliString
+{
+  public:
+    /** Identity string on n qubits. */
+    explicit PauliString(int num_qubits);
+
+    /**
+     * Parse from a label such as "ZZII" or "XYZI". Character k of the
+     * label addresses qubit k (qubit 0 is the leftmost character).
+     */
+    static PauliString fromLabel(const std::string& label);
+
+    /** Identity on n qubits with op placed on one qubit. */
+    static PauliString single(int num_qubits, int qubit, PauliOp op);
+
+    /** Z on each of the listed qubits, identity elsewhere. */
+    static PauliString zString(int num_qubits,
+                               const std::vector<int>& qubits);
+
+    int numQubits() const { return static_cast<int>(ops_.size()); }
+
+    PauliOp op(int qubit) const { return ops_[qubit]; }
+
+    void setOp(int qubit, PauliOp op) { ops_[qubit] = op; }
+
+    /** True when every operator is I or Z (computational diagonal). */
+    bool isDiagonal() const;
+
+    /** True when every operator is I. */
+    bool isIdentity() const;
+
+    /** Number of non-identity factors. */
+    int weight() const;
+
+    /**
+     * Eigenvalue (+1/-1) of a diagonal string on a computational basis
+     * state given as a bitmask (bit k = qubit k). Requires
+     * isDiagonal().
+     */
+    int diagonalEigenvalue(std::uint64_t basis_state) const;
+
+    /** Label string, e.g. "ZZI". */
+    std::string toLabel() const;
+
+    bool operator==(const PauliString& other) const = default;
+
+  private:
+    std::vector<PauliOp> ops_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_QUANTUM_PAULI_H

@@ -1,0 +1,287 @@
+#include "src/quantum/stabilizer.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace oscar {
+
+namespace {
+
+/**
+ * Exponent of i contributed to the product P1 * P2 by one qubit,
+ * where each local Pauli is encoded as (x, z) with Y = (1, 1) carrying
+ * no extra phase (Aaronson-Gottesman's g function).
+ */
+int
+phaseG(int x1, int z1, int x2, int z2)
+{
+    if (x1 == 0 && z1 == 0)
+        return 0;
+    if (x1 == 1 && z1 == 1) // Y
+        return z2 - x2;
+    if (x1 == 1 && z1 == 0) // X
+        return z2 * (2 * x2 - 1);
+    // Z
+    return x2 * (1 - 2 * z2);
+}
+
+} // namespace
+
+StabilizerState::StabilizerState(int num_qubits)
+    : numQubits_(num_qubits)
+{
+    if (num_qubits < 1)
+        throw std::invalid_argument("StabilizerState: need >= 1 qubit");
+    reset();
+}
+
+void
+StabilizerState::reset()
+{
+    const std::size_t n = static_cast<std::size_t>(numQubits_);
+    rows_.assign(2 * n, Row{});
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+        rows_[i].x.assign(n, 0);
+        rows_[i].z.assign(n, 0);
+        rows_[i].phase = 0;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        rows_[i].x[i] = 1;     // destabilizer X_i
+        rows_[n + i].z[i] = 1; // stabilizer Z_i
+    }
+}
+
+void
+StabilizerState::applyH(int q)
+{
+    for (Row& row : rows_) {
+        if (row.x[q] && row.z[q])
+            row.phase = (row.phase + 2) & 3;
+        std::swap(row.x[q], row.z[q]);
+    }
+}
+
+void
+StabilizerState::applyS(int q)
+{
+    for (Row& row : rows_) {
+        if (row.x[q] && row.z[q])
+            row.phase = (row.phase + 2) & 3;
+        row.z[q] ^= row.x[q];
+    }
+}
+
+void
+StabilizerState::applySdg(int q)
+{
+    applyS(q);
+    applyS(q);
+    applyS(q);
+}
+
+void
+StabilizerState::applyZ(int q)
+{
+    applyS(q);
+    applyS(q);
+}
+
+void
+StabilizerState::applyX(int q)
+{
+    applyH(q);
+    applyZ(q);
+    applyH(q);
+}
+
+void
+StabilizerState::applyY(int q)
+{
+    // Y = i X Z: conjugation by Y flips rows containing X or Z alone.
+    applyZ(q);
+    applyX(q);
+}
+
+void
+StabilizerState::applyCX(int control, int target)
+{
+    for (Row& row : rows_) {
+        if (row.x[control] && row.z[target] &&
+            (row.x[target] ^ row.z[control] ^ 1))
+            row.phase = (row.phase + 2) & 3;
+        row.x[target] ^= row.x[control];
+        row.z[control] ^= row.z[target];
+    }
+}
+
+void
+StabilizerState::applyCZ(int a, int b)
+{
+    applyH(b);
+    applyCX(a, b);
+    applyH(b);
+}
+
+void
+StabilizerState::applySwap(int a, int b)
+{
+    applyCX(a, b);
+    applyCX(b, a);
+    applyCX(a, b);
+}
+
+bool
+StabilizerState::isCliffordAngle(double angle, double tol)
+{
+    const double quarter = std::numbers::pi / 2.0;
+    const double k = angle / quarter;
+    return std::abs(k - std::round(k)) < tol;
+}
+
+int
+StabilizerState::quarterTurns(double angle)
+{
+    const double quarter = std::numbers::pi / 2.0;
+    const long long k = std::llround(angle / quarter);
+    return static_cast<int>(((k % 4) + 4) % 4);
+}
+
+void
+StabilizerState::applyRzQuarter(int q, int k)
+{
+    for (int i = 0; i < k; ++i)
+        applyS(q);
+}
+
+void
+StabilizerState::applyGate(const Gate& gate, double angle_tol)
+{
+    assert(gate.paramIndex < 0 && "gate angle must be resolved");
+    switch (gate.kind) {
+      case GateKind::H: applyH(gate.qubits[0]); return;
+      case GateKind::X: applyX(gate.qubits[0]); return;
+      case GateKind::Y: applyY(gate.qubits[0]); return;
+      case GateKind::Z: applyZ(gate.qubits[0]); return;
+      case GateKind::S: applyS(gate.qubits[0]); return;
+      case GateKind::Sdg: applySdg(gate.qubits[0]); return;
+      case GateKind::CX: applyCX(gate.qubits[0], gate.qubits[1]); return;
+      case GateKind::CZ: applyCZ(gate.qubits[0], gate.qubits[1]); return;
+      case GateKind::SWAP:
+        applySwap(gate.qubits[0], gate.qubits[1]);
+        return;
+      case GateKind::RZ:
+      case GateKind::RX:
+      case GateKind::RY:
+      case GateKind::RZZ:
+        break;
+    }
+    if (!isCliffordAngle(gate.angle, angle_tol))
+        throw std::invalid_argument(
+            "StabilizerState: rotation angle is not Clifford");
+    const int k = quarterTurns(gate.angle);
+    const int q = gate.qubits[0];
+    switch (gate.kind) {
+      case GateKind::RZ:
+        applyRzQuarter(q, k);
+        return;
+      case GateKind::RX:
+        applyH(q);
+        applyRzQuarter(q, k);
+        applyH(q);
+        return;
+      case GateKind::RY:
+        // RY(t) = S RX(t) Sdg.
+        applySdg(q);
+        applyH(q);
+        applyRzQuarter(q, k);
+        applyH(q);
+        applyS(q);
+        return;
+      case GateKind::RZZ:
+        applyCX(q, gate.qubits[1]);
+        applyRzQuarter(gate.qubits[1], k);
+        applyCX(q, gate.qubits[1]);
+        return;
+      default:
+        throw std::logic_error("StabilizerState: unreachable");
+    }
+}
+
+void
+StabilizerState::run(const Circuit& circuit)
+{
+    if (circuit.numParams() != 0)
+        throw std::invalid_argument("StabilizerState::run: unbound params");
+    if (circuit.numQubits() != numQubits_)
+        throw std::invalid_argument(
+            "StabilizerState::run: qubit mismatch");
+    for (const Gate& g : circuit.gates())
+        applyGate(g);
+}
+
+void
+StabilizerState::rowMultiply(Row& dst, const Row& src)
+{
+    int phase = dst.phase + src.phase;
+    for (std::size_t j = 0; j < dst.x.size(); ++j) {
+        phase += phaseG(src.x[j], src.z[j], dst.x[j], dst.z[j]);
+        dst.x[j] ^= src.x[j];
+        dst.z[j] ^= src.z[j];
+    }
+    dst.phase = ((phase % 4) + 4) & 3;
+}
+
+double
+StabilizerState::expectation(const PauliString& pauli) const
+{
+    if (pauli.numQubits() != numQubits_)
+        throw std::invalid_argument(
+            "StabilizerState::expectation: qubit mismatch");
+
+    const std::size_t n = static_cast<std::size_t>(numQubits_);
+
+    // Encode P as an (x, z) row (Y = (1,1), no extra phase).
+    Row target;
+    target.x.assign(n, 0);
+    target.z.assign(n, 0);
+    for (std::size_t q = 0; q < n; ++q) {
+        switch (pauli.op(static_cast<int>(q))) {
+          case PauliOp::I: break;
+          case PauliOp::X: target.x[q] = 1; break;
+          case PauliOp::Y: target.x[q] = 1; target.z[q] = 1; break;
+          case PauliOp::Z: target.z[q] = 1; break;
+        }
+    }
+
+    auto anticommutes = [&](const Row& row) {
+        int sym = 0;
+        for (std::size_t j = 0; j < n; ++j)
+            sym ^= (row.x[j] & target.z[j]) ^ (row.z[j] & target.x[j]);
+        return sym != 0;
+    };
+
+    // <P> = 0 unless P commutes with the whole stabilizer group.
+    for (std::size_t i = n; i < 2 * n; ++i) {
+        if (anticommutes(rows_[i]))
+            return 0.0;
+    }
+
+    // P = +/- product of stabilizers indexed by the destabilizers P
+    // anticommutes with; accumulate that product to read off the sign.
+    Row product;
+    product.x.assign(n, 0);
+    product.z.assign(n, 0);
+    product.phase = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (anticommutes(rows_[i]))
+            rowMultiply(product, rows_[n + i]);
+    }
+    assert(product.x == target.x && product.z == target.z &&
+           "P commutes with all stabilizers but is not in the group");
+    // product == (i^phase) * P with phase in {0, 2}.
+    return product.phase == 0 ? 1.0 : -1.0;
+}
+
+} // namespace oscar

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Stabilizer (Clifford) simulator -- Aaronson-Gottesman tableau.
+ *
+ * Clifford circuits are classically simulable in polynomial time; this
+ * is the substrate behind Clifford Data Regression (paper Section 2.3
+ * cites CDR among the mitigation methods OSCAR helps configure): CDR
+ * needs *exact ideal* expectation values of near-Clifford training
+ * circuits at sizes where a state vector would be exponential.
+ *
+ * The tableau tracks n destabilizer and n stabilizer generators as
+ * rows of X/Z bit matrices plus a sign bit (Aaronson & Gottesman,
+ * PRA 70, 052328 (2004)). Supported gates: all Clifford gates of the
+ * circuit IR, plus rotation gates whose angle is an exact multiple of
+ * pi/2 (how CDR's projected training circuits arise).
+ *
+ * Pauli expectations: <P> of a stabilizer state is +/-1 when P is in
+ * the stabilizer group (sign via destabilizer-indexed row
+ * composition) and 0 otherwise.
+ */
+
+#ifndef OSCAR_QUANTUM_STABILIZER_H
+#define OSCAR_QUANTUM_STABILIZER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/quantum/circuit.h"
+#include "src/quantum/pauli.h"
+
+namespace oscar {
+
+/** Tableau simulator for Clifford circuits. */
+class StabilizerState
+{
+  public:
+    /** |0...0> on num_qubits qubits. */
+    explicit StabilizerState(int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+
+    /** Reset to |0...0>. */
+    void reset();
+
+    /** Apply H. */
+    void applyH(int q);
+
+    /** Apply S. */
+    void applyS(int q);
+
+    /** Apply S-dagger. */
+    void applySdg(int q);
+
+    /** Apply X. */
+    void applyX(int q);
+
+    /** Apply Y. */
+    void applyY(int q);
+
+    /** Apply Z. */
+    void applyZ(int q);
+
+    /** Apply CX (control, target). */
+    void applyCX(int control, int target);
+
+    /** Apply CZ. */
+    void applyCZ(int a, int b);
+
+    /** Apply SWAP. */
+    void applySwap(int a, int b);
+
+    /**
+     * Apply a gate from the circuit IR. Rotation gates must carry an
+     * angle that is a multiple of pi/2 (within `angle_tol`); others
+     * throw std::invalid_argument.
+     */
+    void applyGate(const Gate& gate, double angle_tol = 1e-9);
+
+    /** Run a bound (parameter-free) Clifford circuit. */
+    void run(const Circuit& circuit);
+
+    /** Exact expectation of a Pauli string: -1, 0, or +1. */
+    double expectation(const PauliString& pauli) const;
+
+    /** True when `angle` is a multiple of pi/2 within tolerance. */
+    static bool isCliffordAngle(double angle, double tol = 1e-9);
+
+  private:
+    /** Number of quarter turns (mod 4) for a Clifford rotation. */
+    static int quarterTurns(double angle);
+
+    /** Apply RZ(k * pi/2) via S^k. */
+    void applyRzQuarter(int q, int k);
+
+    struct Row
+    {
+        std::vector<std::uint8_t> x;
+        std::vector<std::uint8_t> z;
+        int phase = 0; // exponent of i, always 0 or 2 for valid rows
+    };
+
+    /** Multiply Pauli row `src` into `dst`, tracking the i-exponent. */
+    static void rowMultiply(Row& dst, const Row& src);
+
+    int numQubits_;
+    std::vector<Row> rows_; // 0..n-1 destabilizers, n..2n-1 stabilizers
+};
+
+} // namespace oscar
+
+#endif // OSCAR_QUANTUM_STABILIZER_H

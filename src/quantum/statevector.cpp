@@ -1,0 +1,245 @@
+#include "src/quantum/statevector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace oscar {
+
+Statevector::Statevector(int num_qubits)
+    : numQubits_(num_qubits)
+{
+    if (num_qubits < 1 || num_qubits > 28)
+        throw std::invalid_argument("Statevector: unsupported qubit count");
+    amps_.assign(std::size_t{1} << num_qubits, cplx(0.0, 0.0));
+    amps_[0] = 1.0;
+}
+
+void
+Statevector::reset()
+{
+    std::fill(amps_.begin(), amps_.end(), cplx(0.0, 0.0));
+    amps_[0] = 1.0;
+}
+
+void
+Statevector::applyMatrix1q(int qubit, const std::array<cplx, 4>& m)
+{
+    assert(qubit >= 0 && qubit < numQubits_);
+    const std::size_t stride = std::size_t{1} << qubit;
+    const std::size_t n = amps_.size();
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; ++off) {
+            const std::size_t i0 = base + off;
+            const std::size_t i1 = i0 + stride;
+            const cplx a0 = amps_[i0];
+            const cplx a1 = amps_[i1];
+            amps_[i0] = m[0] * a0 + m[1] * a1;
+            amps_[i1] = m[2] * a0 + m[3] * a1;
+        }
+    }
+}
+
+void
+Statevector::applyCX(int control, int target)
+{
+    const std::size_t cmask = std::size_t{1} << control;
+    const std::size_t tmask = std::size_t{1} << target;
+    const std::size_t n = amps_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        // Swap each pair once: visit the target=0 member only.
+        if ((i & cmask) && !(i & tmask))
+            std::swap(amps_[i], amps_[i | tmask]);
+    }
+}
+
+void
+Statevector::applyCZ(int a, int b)
+{
+    const std::size_t mask = (std::size_t{1} << a) | (std::size_t{1} << b);
+    const std::size_t n = amps_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((i & mask) == mask)
+            amps_[i] = -amps_[i];
+    }
+}
+
+void
+Statevector::applySwap(int a, int b)
+{
+    const std::size_t amask = std::size_t{1} << a;
+    const std::size_t bmask = std::size_t{1} << b;
+    const std::size_t n = amps_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((i & amask) && !(i & bmask))
+            std::swap(amps_[i], amps_[(i & ~amask) | bmask]);
+    }
+}
+
+void
+Statevector::applyRZZ(int a, int b, double angle)
+{
+    const std::size_t amask = std::size_t{1} << a;
+    const std::size_t bmask = std::size_t{1} << b;
+    const cplx phase_same = std::exp(cplx(0.0, -angle / 2));
+    const cplx phase_diff = std::exp(cplx(0.0, angle / 2));
+    const std::size_t n = amps_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool ba = i & amask;
+        const bool bb = i & bmask;
+        amps_[i] *= (ba == bb) ? phase_same : phase_diff;
+    }
+}
+
+void
+Statevector::applyGate(const Gate& gate)
+{
+    assert(gate.paramIndex < 0 && "gate angle must be resolved");
+    switch (gate.kind) {
+      case GateKind::CX:
+        applyCX(gate.qubits[0], gate.qubits[1]);
+        return;
+      case GateKind::CZ:
+        applyCZ(gate.qubits[0], gate.qubits[1]);
+        return;
+      case GateKind::SWAP:
+        applySwap(gate.qubits[0], gate.qubits[1]);
+        return;
+      case GateKind::RZZ:
+        applyRZZ(gate.qubits[0], gate.qubits[1], gate.angle);
+        return;
+      default:
+        applyMatrix1q(gate.qubits[0], gate.matrix1q(gate.angle));
+        return;
+    }
+}
+
+void
+Statevector::run(const Circuit& circuit)
+{
+    if (circuit.numParams() != 0)
+        throw std::invalid_argument("Statevector::run: unbound parameters");
+    if (circuit.numQubits() != numQubits_)
+        throw std::invalid_argument("Statevector::run: qubit mismatch");
+    for (const Gate& g : circuit.gates())
+        applyGate(g);
+}
+
+void
+Statevector::run(const Circuit& circuit, const std::vector<double>& params)
+{
+    if (circuit.numQubits() != numQubits_)
+        throw std::invalid_argument("Statevector::run: qubit mismatch");
+    for (const Gate& g : circuit.gates()) {
+        Gate resolved = g;
+        resolved.angle = g.resolvedAngle(params);
+        resolved.paramIndex = -1;
+        applyGate(resolved);
+    }
+}
+
+std::vector<double>
+Statevector::probabilities() const
+{
+    std::vector<double> p(amps_.size());
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        p[i] = std::norm(amps_[i]);
+    return p;
+}
+
+double
+Statevector::expectation(const PauliString& pauli) const
+{
+    assert(pauli.numQubits() == numQubits_);
+    if (pauli.isDiagonal()) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < amps_.size(); ++i)
+            acc += std::norm(amps_[i]) * pauli.diagonalEigenvalue(i);
+        return acc;
+    }
+    // <psi|P|psi> via P|psi>: P permutes basis states (X/Y flip bits)
+    // and multiplies by a phase (Y contributes i^{+-1}, Z a sign).
+    std::uint64_t flip_mask = 0;
+    for (int q = 0; q < numQubits_; ++q) {
+        const PauliOp op = pauli.op(q);
+        if (op == PauliOp::X || op == PauliOp::Y)
+            flip_mask |= std::uint64_t{1} << q;
+    }
+    cplx acc(0.0, 0.0);
+    const cplx im(0.0, 1.0);
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        const std::size_t j = i ^ flip_mask;
+        // Compute the matrix element <i|P|j>.
+        cplx elem(1.0, 0.0);
+        for (int q = 0; q < numQubits_; ++q) {
+            const bool bit_j = (j >> q) & 1ULL;
+            switch (pauli.op(q)) {
+              case PauliOp::I:
+                break;
+              case PauliOp::X:
+                break; // element 1
+              case PauliOp::Y:
+                elem *= bit_j ? -im : im; // <0|Y|1> = -i, <1|Y|0> = i
+                break;
+              case PauliOp::Z:
+                if (bit_j)
+                    elem = -elem;
+                break;
+            }
+        }
+        acc += std::conj(amps_[i]) * elem * amps_[j];
+    }
+    return acc.real();
+}
+
+double
+Statevector::expectationDiagonal(const std::vector<double>& diag) const
+{
+    assert(diag.size() == amps_.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        acc += std::norm(amps_[i]) * diag[i];
+    return acc;
+}
+
+std::vector<std::uint64_t>
+Statevector::sample(std::size_t shots, Rng& rng) const
+{
+    // Inverse-CDF sampling over the cumulative distribution.
+    std::vector<double> cdf(amps_.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        acc += std::norm(amps_[i]);
+        cdf[i] = acc;
+    }
+    std::vector<std::uint64_t> out;
+    out.reserve(shots);
+    for (std::size_t s = 0; s < shots; ++s) {
+        const double u = rng.uniform() * acc;
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        out.push_back(static_cast<std::uint64_t>(it - cdf.begin()));
+    }
+    return out;
+}
+
+cplx
+Statevector::innerProduct(const Statevector& other) const
+{
+    assert(other.dim() == dim());
+    cplx acc(0.0, 0.0);
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        acc += std::conj(amps_[i]) * other.amps_[i];
+    return acc;
+}
+
+double
+Statevector::norm2() const
+{
+    double acc = 0.0;
+    for (const cplx& a : amps_)
+        acc += std::norm(a);
+    return acc;
+}
+
+} // namespace oscar

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Dense state-vector simulator.
+ *
+ * This is the ideal-execution substrate used for every landscape grid
+ * search and for the ground-truth baselines. The convention is qubit k
+ * = bit k of the basis index (little endian); the initial state is
+ * |0...0>.
+ */
+
+#ifndef OSCAR_QUANTUM_STATEVECTOR_H
+#define OSCAR_QUANTUM_STATEVECTOR_H
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/quantum/circuit.h"
+#include "src/quantum/pauli.h"
+
+namespace oscar {
+
+/** A 2^n-amplitude quantum state with gate application kernels. */
+class Statevector
+{
+  public:
+    /** |0...0> on num_qubits qubits. */
+    explicit Statevector(int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+    std::size_t dim() const { return amps_.size(); }
+
+    cplx& amp(std::size_t i) { return amps_[i]; }
+    const cplx& amp(std::size_t i) const { return amps_[i]; }
+
+    std::vector<cplx>& amps() { return amps_; }
+    const std::vector<cplx>& amps() const { return amps_; }
+
+    /** Reset to |0...0>. */
+    void reset();
+
+    /** Apply a single gate (angle must already be resolved). */
+    void applyGate(const Gate& gate);
+
+    /** Apply a 2x2 matrix to one qubit. */
+    void applyMatrix1q(int qubit, const std::array<cplx, 4>& m);
+
+    /** Run all gates of a parameter-free circuit. */
+    void run(const Circuit& circuit);
+
+    /** Run a parameterized circuit bound against params. */
+    void run(const Circuit& circuit, const std::vector<double>& params);
+
+    /** Measurement probabilities |amp|^2 for every basis state. */
+    std::vector<double> probabilities() const;
+
+    /** Exact expectation value of a Pauli string. */
+    double expectation(const PauliString& pauli) const;
+
+    /**
+     * Expectation of a diagonal observable given as a per-basis-state
+     * value table of length dim().
+     */
+    double expectationDiagonal(const std::vector<double>& diag) const;
+
+    /** Draw `shots` basis-state samples from the output distribution. */
+    std::vector<std::uint64_t> sample(std::size_t shots, Rng& rng) const;
+
+    /** <this|other>. */
+    cplx innerProduct(const Statevector& other) const;
+
+    /** Sum |amp|^2 (should be 1 up to rounding). */
+    double norm2() const;
+
+  private:
+    void applyCX(int control, int target);
+    void applyCZ(int a, int b);
+    void applySwap(int a, int b);
+    void applyRZZ(int a, int b, double angle);
+
+    int numQubits_;
+    std::vector<cplx> amps_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_QUANTUM_STATEVECTOR_H

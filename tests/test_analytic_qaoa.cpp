@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Cross-validation of the closed-form depth-1 QAOA evaluator against
+ * the exact state-vector simulation -- the correctness anchor for all
+ * large-qubit experiments (paper Fig. 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/ansatz/qaoa.h"
+#include "src/backend/analytic_qaoa.h"
+#include "src/backend/density_backend.h"
+#include "src/backend/statevector_backend.h"
+#include "src/common/rng.h"
+#include "src/graph/generators.h"
+#include "src/hamiltonian/maxcut.h"
+
+namespace oscar {
+namespace {
+
+/** Exact vs analytic across graph families and angles. */
+class AnalyticVsStatevector
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    Graph
+    makeGraph(int family, Rng& rng) const
+    {
+        switch (family) {
+          case 0: return random3RegularGraph(8, rng);
+          case 1: return meshGraph(2, 4);
+          case 2: return skInstance(6, rng);
+          case 3: return erdosRenyiGraph(7, 0.5, rng);
+          case 4: { // triangle: the f > 0 (common-neighbor) case
+              Graph g(3);
+              g.addEdge(0, 1);
+              g.addEdge(1, 2);
+              g.addEdge(0, 2);
+              return g;
+          }
+          default: { // path graph
+              Graph g(5);
+              for (int i = 0; i < 4; ++i)
+                  g.addEdge(i, i + 1);
+              return g;
+          }
+        }
+    }
+};
+
+TEST_P(AnalyticVsStatevector, EnergyMatchesExactSimulation)
+{
+    const auto [family, angle_seed] = GetParam();
+    Rng rng(1000 + family);
+    const Graph g = makeGraph(family, rng);
+
+    const Circuit circuit = qaoaCircuit(g, 1);
+    StatevectorCost exact(circuit, maxcutHamiltonian(g));
+    AnalyticQaoaCost analytic(g);
+
+    Rng angles(angle_seed);
+    for (int trial = 0; trial < 5; ++trial) {
+        const double beta = angles.uniform(-std::numbers::pi / 4,
+                                           std::numbers::pi / 4);
+        const double gamma = angles.uniform(-std::numbers::pi / 2,
+                                            std::numbers::pi / 2);
+        const std::vector<double> params{beta, gamma};
+        EXPECT_NEAR(analytic.evaluate(params), exact.evaluate(params),
+                    1e-9)
+            << "family=" << family << " beta=" << beta
+            << " gamma=" << gamma;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphFamilies, AnalyticVsStatevector,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Values(1, 2)));
+
+TEST(AnalyticQaoa, ZeroAnglesGiveZeroExpectation)
+{
+    // At beta = gamma = 0 the state is |+>^n: every <ZZ> = 0 and the
+    // energy is -sum w / 2.
+    Rng rng(3);
+    const Graph g = random3RegularGraph(10, rng);
+    AnalyticQaoaCost cost(g);
+    double half_weight = 0.0;
+    for (const Edge& e : g.edges())
+        half_weight += e.weight / 2.0;
+    EXPECT_NEAR(cost.evaluate({0.0, 0.0}), -half_weight, 1e-12);
+}
+
+TEST(AnalyticQaoa, LandscapeSymmetry)
+{
+    // QAOA MaxCut landscapes obey C(-beta, -gamma) = C(beta, gamma).
+    Rng rng(4);
+    const Graph g = random3RegularGraph(12, rng);
+    AnalyticQaoaCost cost(g);
+    for (double beta : {0.2, -0.5}) {
+        for (double gamma : {0.3, 1.1}) {
+            EXPECT_NEAR(cost.evaluate({beta, gamma}),
+                        cost.evaluate({-beta, -gamma}), 1e-12);
+        }
+    }
+}
+
+TEST(AnalyticQaoa, NoiseDampsTowardMixedEnergy)
+{
+    Rng rng(5);
+    const Graph g = random3RegularGraph(8, rng);
+    AnalyticQaoaCost ideal(g);
+    AnalyticQaoaCost noisy(g, NoiseModel::depolarizing(0.003, 0.007));
+
+    double half_weight = 0.0;
+    for (const Edge& e : g.edges())
+        half_weight += e.weight / 2.0;
+
+    const std::vector<double> params{0.3, -0.6};
+    const double e_ideal = ideal.evaluate(params);
+    const double e_noisy = noisy.evaluate(params);
+    // Depolarizing pulls every <ZZ> toward zero, i.e. the energy
+    // toward the maximally-mixed value -sum w / 2.
+    EXPECT_GT(std::abs(e_ideal + half_weight),
+              std::abs(e_noisy + half_weight));
+}
+
+TEST(AnalyticQaoa, LightConeDampingTracksDensityMatrix)
+{
+    // The Pauli-twirl light-cone model should approximate the exact
+    // noisy expectation to within a few percent at realistic error
+    // rates on a small instance.
+    Rng rng(6);
+    const Graph g = random3RegularGraph(6, rng);
+    const NoiseModel noise = NoiseModel::depolarizing(0.002, 0.008);
+
+    const Circuit circuit = qaoaCircuit(g, 1);
+    DensityCost exact(circuit, maxcutHamiltonian(g), noise);
+    AnalyticQaoaCost approx(g, noise);
+
+    for (double beta : {0.25, -0.4}) {
+        for (double gamma : {0.5, -0.9}) {
+            const std::vector<double> params{beta, gamma};
+            const double e_exact = exact.evaluate(params);
+            const double e_approx = approx.evaluate(params);
+            // Energies are O(|E|/2) ~ 4.5; agree to a few percent.
+            EXPECT_NEAR(e_approx, e_exact, 0.15)
+                << "beta=" << beta << " gamma=" << gamma;
+        }
+    }
+}
+
+TEST(AnalyticQaoa, WeightedTriangleMatchesExact)
+{
+    // Weighted graph with a triangle: exercises both w_uk + w_vk and
+    // w_uk - w_vk product terms.
+    Graph g(4);
+    g.addEdge(0, 1, 0.8);
+    g.addEdge(1, 2, -1.3);
+    g.addEdge(0, 2, 0.4);
+    g.addEdge(2, 3, 2.0);
+
+    const Circuit circuit = qaoaCircuit(g, 1);
+    StatevectorCost exact(circuit, maxcutHamiltonian(g));
+    AnalyticQaoaCost analytic(g);
+
+    for (double beta : {0.17, -0.33}) {
+        for (double gamma : {0.71, -1.2}) {
+            const std::vector<double> params{beta, gamma};
+            EXPECT_NEAR(analytic.evaluate(params), exact.evaluate(params),
+                        1e-9);
+        }
+    }
+}
+
+TEST(AnalyticQaoa, QueryCounting)
+{
+    Rng rng(7);
+    const Graph g = random3RegularGraph(8, rng);
+    AnalyticQaoaCost cost(g);
+    EXPECT_EQ(cost.numQueries(), 0u);
+    cost.evaluate({0.1, 0.2});
+    cost.evaluate({0.3, 0.4});
+    EXPECT_EQ(cost.numQueries(), 2u);
+    cost.resetQueries();
+    EXPECT_EQ(cost.numQueries(), 0u);
+}
+
+} // namespace
+} // namespace oscar

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for ansatz builders: QAOA, Two-local, UCCSD, and the generic
+ * Pauli-exponential compilation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ansatz/qaoa.h"
+#include "src/ansatz/two_local.h"
+#include "src/ansatz/uccsd.h"
+#include "src/common/rng.h"
+#include "src/graph/generators.h"
+#include "src/quantum/statevector.h"
+
+namespace oscar {
+namespace {
+
+TEST(QaoaAnsatz, StructureForDepth1)
+{
+    Rng rng(1);
+    const Graph g = random3RegularGraph(8, rng);
+    const Circuit c = qaoaCircuit(g, 1);
+    EXPECT_EQ(c.numQubits(), 8);
+    EXPECT_EQ(c.numParams(), 2);
+    // H per qubit + RZZ per edge + RX per qubit.
+    EXPECT_EQ(c.numGates(), 8u + 12u + 8u);
+    EXPECT_EQ(c.countTwoQubitGates(), g.numEdges());
+}
+
+TEST(QaoaAnsatz, ParameterCountScalesWithDepth)
+{
+    Rng rng(2);
+    const Graph g = random3RegularGraph(6, rng);
+    for (int p = 1; p <= 4; ++p)
+        EXPECT_EQ(qaoaCircuit(g, p).numParams(), 2 * p);
+}
+
+TEST(QaoaAnsatz, ParameterIndexConvention)
+{
+    EXPECT_EQ(qaoaBetaIndex(0, 2), 0);
+    EXPECT_EQ(qaoaBetaIndex(1, 2), 1);
+    EXPECT_EQ(qaoaGammaIndex(0, 2), 2);
+    EXPECT_EQ(qaoaGammaIndex(1, 2), 3);
+    EXPECT_THROW(qaoaBetaIndex(2, 2), std::out_of_range);
+}
+
+TEST(QaoaAnsatz, ZeroParamsGivePlusState)
+{
+    Rng rng(3);
+    const Graph g = random3RegularGraph(4, rng);
+    Statevector sv(4);
+    sv.run(qaoaCircuit(g, 1), {0.0, 0.0});
+    const double amp = 1.0 / std::sqrt(16.0);
+    for (std::size_t i = 0; i < sv.dim(); ++i)
+        EXPECT_NEAR(std::abs(sv.amp(i)), amp, 1e-12);
+}
+
+TEST(TwoLocalAnsatz, ParamCountMatchesPaperTable2)
+{
+    // Table 2: n=4 -> 8 params (reps 1); n=6 -> 6 params (reps 0).
+    EXPECT_EQ(twoLocalNumParams(4, 1), 8);
+    EXPECT_EQ(twoLocalNumParams(6, 0), 6);
+    EXPECT_EQ(twoLocalCircuit(4, 1).numParams(), 8);
+    EXPECT_EQ(twoLocalCircuit(6, 0).numParams(), 6);
+}
+
+TEST(TwoLocalAnsatz, RepsZeroIsProductState)
+{
+    const Circuit c = twoLocalCircuit(3, 0);
+    EXPECT_EQ(c.countTwoQubitGates(), 0u);
+    EXPECT_EQ(c.numGates(), 3u);
+}
+
+TEST(TwoLocalAnsatz, EntanglerCountPerRep)
+{
+    const Circuit c = twoLocalCircuit(5, 2);
+    EXPECT_EQ(c.countTwoQubitGates(), 2u * 4u); // (n-1) CZ per rep
+}
+
+TEST(PauliExponential, SingleYEqualsRy)
+{
+    // exp(-i t/2 Y) == RY(t).
+    Circuit c(1, 1);
+    appendPauliExponential(c, PauliString::fromLabel("Y"), 0);
+    for (double t : {0.37, -1.4}) {
+        Statevector a(1), b(1);
+        a.run(c, {t});
+        b.applyGate(Gate::ry(0, t));
+        EXPECT_NEAR(std::abs(a.innerProduct(b)), 1.0, 1e-12) << t;
+    }
+}
+
+TEST(PauliExponential, SingleXEqualsRx)
+{
+    Circuit c(1, 1);
+    appendPauliExponential(c, PauliString::fromLabel("X"), 0);
+    Statevector a(1), b(1);
+    a.run(c, {0.9});
+    b.applyGate(Gate::rx(0, 0.9));
+    EXPECT_NEAR(std::abs(a.innerProduct(b)), 1.0, 1e-12);
+}
+
+TEST(PauliExponential, ZzEqualsRzz)
+{
+    Circuit c(2, 1);
+    appendPauliExponential(c, PauliString::fromLabel("ZZ"), 0);
+    Statevector a(2), b(2);
+    a.applyGate(Gate::h(0));
+    a.applyGate(Gate::h(1));
+    b.applyGate(Gate::h(0));
+    b.applyGate(Gate::h(1));
+    a.run(c, {1.1});
+    b.applyGate(Gate::rzz(0, 1, 1.1));
+    EXPECT_NEAR(std::abs(a.innerProduct(b)), 1.0, 1e-12);
+}
+
+TEST(PauliExponential, XyStringIsUnitaryAndEntangles)
+{
+    Circuit c(2, 1);
+    appendPauliExponential(c, PauliString::fromLabel("XY"), 0);
+    Statevector sv(2);
+    sv.run(c, {0.8});
+    EXPECT_NEAR(sv.norm2(), 1.0, 1e-12);
+    // exp(-i t/2 XY)|00> = cos(t/2)|00> + sin(t/2)|11> up to phases:
+    // probability must have left |00>.
+    EXPECT_LT(std::norm(sv.amp(0)), 1.0 - 1e-6);
+}
+
+TEST(PauliExponential, RejectsIdentity)
+{
+    Circuit c(2, 1);
+    EXPECT_THROW(appendPauliExponential(c, PauliString(2), 0),
+                 std::invalid_argument);
+}
+
+TEST(UccsdAnsatz, ParamCountsMatchPaperTable3)
+{
+    EXPECT_EQ(uccsdNumParams(2), 3); // H2
+    EXPECT_EQ(uccsdNumParams(4), 8); // LiH
+}
+
+TEST(UccsdAnsatz, ZeroParamsIsReferenceState)
+{
+    const Circuit c = uccsdCircuit(2);
+    Statevector sv(2);
+    sv.run(c, {0.0, 0.0, 0.0});
+    EXPECT_NEAR(std::norm(sv.amp(0)), 1.0, 1e-12);
+}
+
+TEST(UccsdAnsatz, NormPreservedAtRandomParams)
+{
+    const Circuit c = uccsdCircuit(4);
+    Rng rng(4);
+    std::vector<double> params(8);
+    for (auto& p : params)
+        p = rng.uniform(-1.5, 1.5);
+    Statevector sv(4);
+    sv.run(c, params);
+    EXPECT_NEAR(sv.norm2(), 1.0, 1e-10);
+}
+
+} // namespace
+} // namespace oscar

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for Clifford Data Regression: Clifford projection, stabilizer
+ * ideal values, and mitigation accuracy against the exact noisy
+ * simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/ansatz/qaoa.h"
+#include "src/backend/density_backend.h"
+#include "src/backend/statevector_backend.h"
+#include "src/common/rng.h"
+#include "src/graph/generators.h"
+#include "src/hamiltonian/maxcut.h"
+#include "src/mitigation/cdr.h"
+#include "src/quantum/stabilizer.h"
+
+namespace {
+
+using namespace oscar;
+
+TEST(CliffordProjection, SnapsToNearestQuarter)
+{
+    const double pi = std::numbers::pi;
+    Circuit c(2, 0);
+    c.append(Gate::rz(0, 0.2));          // -> 0
+    c.append(Gate::rx(1, pi / 2 - 0.1)); // -> pi/2
+    c.append(Gate::rzz(0, 1, -1.5));     // -> -pi/2
+    c.append(Gate::h(0));                // untouched
+    Rng rng(1);
+    const Circuit projected = projectToClifford(c, 0.0, rng);
+    EXPECT_DOUBLE_EQ(projected.gates()[0].angle, 0.0);
+    EXPECT_DOUBLE_EQ(projected.gates()[1].angle, pi / 2);
+    EXPECT_DOUBLE_EQ(projected.gates()[2].angle, -pi / 2);
+    EXPECT_EQ(projected.gates()[3].kind, GateKind::H);
+}
+
+TEST(CliffordProjection, ResultIsAlwaysClifford)
+{
+    Rng rng(2);
+    const Graph g = random3RegularGraph(6, rng);
+    const Circuit target = qaoaCircuit(g, 1).bind({0.37, -0.81});
+    for (int rep = 0; rep < 5; ++rep) {
+        const Circuit projected = projectToClifford(target, 0.5, rng);
+        StabilizerState state(6);
+        EXPECT_NO_THROW(state.run(projected));
+    }
+}
+
+TEST(CliffordProjection, RequiresBoundCircuit)
+{
+    Circuit c(1, 1);
+    c.append(Gate::rxParam(0, 0));
+    Rng rng(3);
+    EXPECT_THROW(projectToClifford(c, 0.0, rng), std::invalid_argument);
+}
+
+TEST(StabilizerExpectationFn, MatchesStatevectorOnCliffordQaoa)
+{
+    const double pi = std::numbers::pi;
+    Rng rng(4);
+    const Graph g = random3RegularGraph(6, rng);
+    const PauliSum h = maxcutHamiltonian(g);
+    const Circuit clifford =
+        qaoaCircuit(g, 1).bind({pi / 2, -pi / 2});
+
+    Statevector sv(6);
+    sv.run(clifford);
+    EXPECT_NEAR(stabilizerExpectation(clifford, h), h.expectation(sv),
+                1e-9);
+}
+
+TEST(Cdr, RecoversIdealUnderGlobalDepolarizingLikeNoise)
+{
+    // With noise acting as an affine contraction of expectations (the
+    // regime CDR assumes), the fitted map should essentially undo it.
+    Rng rng(5);
+    const Graph g = random3RegularGraph(6, rng);
+    const PauliSum h = maxcutHamiltonian(g);
+    const Circuit circuit = qaoaCircuit(g, 1);
+    const NoiseModel noise = NoiseModel::depolarizing(0.004, 0.012);
+
+    const std::vector<double> params{0.3, -0.6};
+    const Circuit target = circuit.bind(params);
+
+    CircuitEvaluator noisy_exec = [&](const Circuit& c) {
+        DensityCost cost(c, h, noise);
+        return cost.evaluate({});
+    };
+    StatevectorCost ideal_cost(circuit, h);
+    const double ideal = ideal_cost.evaluate(params);
+    const double raw = noisy_exec(target);
+
+    CdrOptions options;
+    options.numTrainingCircuits = 12;
+    options.seed = 7;
+    const CdrResult result = cdrMitigate(target, h, noisy_exec, options);
+
+    EXPECT_LT(std::abs(result.mitigated - ideal),
+              std::abs(raw - ideal));
+    EXPECT_NEAR(result.mitigated, ideal, 0.1 * std::abs(ideal));
+    EXPECT_GT(result.slope, 1.0); // the map must amplify contrast
+}
+
+TEST(Cdr, CostFunctionAdapterMitigatesAcrossParams)
+{
+    Rng rng(6);
+    const Graph g = random3RegularGraph(4, rng);
+    const PauliSum h = maxcutHamiltonian(g);
+    const Circuit circuit = qaoaCircuit(g, 1);
+    const NoiseModel noise = NoiseModel::depolarizing(0.005, 0.015);
+
+    CircuitEvaluator noisy_exec = [&](const Circuit& c) {
+        DensityCost cost(c, h, noise);
+        return cost.evaluate({});
+    };
+    CdrCost cdr(circuit, h, noisy_exec, {12, 0.3, 11});
+    StatevectorCost ideal(circuit, h);
+    DensityCost raw(circuit, h, noise);
+
+    double cdr_err = 0.0, raw_err = 0.0;
+    for (double beta : {0.2, -0.35}) {
+        for (double gamma : {0.5, -0.7}) {
+            const std::vector<double> params{beta, gamma};
+            const double target = ideal.evaluate(params);
+            cdr_err += std::abs(cdr.evaluate(params) - target);
+            raw_err += std::abs(raw.evaluate(params) - target);
+        }
+    }
+    EXPECT_LT(cdr_err, raw_err);
+}
+
+TEST(Cdr, DegenerateTrainingFallsBackToRaw)
+{
+    // A constant noisy evaluator cannot support a regression; CDR
+    // must return the raw value instead of blowing up.
+    Rng rng(7);
+    const Graph g = random3RegularGraph(4, rng);
+    const PauliSum h = maxcutHamiltonian(g);
+    const Circuit target = qaoaCircuit(g, 1).bind({0.2, 0.4});
+    CircuitEvaluator constant = [](const Circuit&) { return 0.5; };
+    const CdrResult result = cdrMitigate(target, h, constant);
+    EXPECT_DOUBLE_EQ(result.mitigated, 0.5);
+}
+
+} // namespace

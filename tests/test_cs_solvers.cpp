@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the compressed-sensing solvers (FISTA and OMP) and the
+ * high-level reconstructor, including exact recovery of sparse
+ * signals -- the mathematical core of OSCAR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/cs/fista.h"
+#include "src/cs/omp.h"
+#include "src/cs/reconstructor.h"
+
+namespace oscar {
+namespace {
+
+/** Build a k-sparse 2-D signal in the DCT domain. */
+NdArray
+makeSparseSignal(std::size_t nr, std::size_t nc, std::size_t k, Rng& rng,
+                 const Dct2d& dct)
+{
+    NdArray coeffs({nr, nc});
+    const auto picks = rng.sampleWithoutReplacement(nr * nc, k);
+    for (std::size_t idx : picks)
+        coeffs[idx] = rng.uniform(0.5, 2.0) * (rng.bernoulli(0.5) ? 1 : -1);
+    return dct.inverse(coeffs);
+}
+
+TEST(SoftThreshold, Basics)
+{
+    EXPECT_DOUBLE_EQ(softThreshold(3.0, 1.0), 2.0);
+    EXPECT_DOUBLE_EQ(softThreshold(-3.0, 1.0), -2.0);
+    EXPECT_DOUBLE_EQ(softThreshold(0.5, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(softThreshold(-0.5, 1.0), 0.0);
+}
+
+class SparseRecovery : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SparseRecovery, FistaRecoversSparseSignal)
+{
+    const std::size_t sparsity = GetParam();
+    const std::size_t nr = 20, nc = 30;
+    Rng rng(100 + sparsity);
+    Dct2d dct(nr, nc);
+    const NdArray signal = makeSparseSignal(nr, nc, sparsity, rng, dct);
+
+    // Sample 30% of the grid.
+    const auto indices = rng.sampleWithoutReplacement(nr * nc, 180);
+    std::vector<double> values;
+    for (std::size_t idx : indices)
+        values.push_back(signal[idx]);
+
+    const auto result = fistaSolve(dct, indices, values);
+    const NdArray recon = dct.inverse(result.coefficients);
+
+    double err = 0.0, norm = 0.0;
+    for (std::size_t i = 0; i < signal.size(); ++i) {
+        err += (recon[i] - signal[i]) * (recon[i] - signal[i]);
+        norm += signal[i] * signal[i];
+    }
+    EXPECT_LT(std::sqrt(err / norm), 0.05)
+        << "sparsity=" << sparsity;
+}
+
+TEST_P(SparseRecovery, OmpRecoversSparseSignalExactly)
+{
+    const std::size_t sparsity = GetParam();
+    const std::size_t nr = 20, nc = 30;
+    Rng rng(200 + sparsity);
+    Dct2d dct(nr, nc);
+    const NdArray signal = makeSparseSignal(nr, nc, sparsity, rng, dct);
+
+    const auto indices = rng.sampleWithoutReplacement(nr * nc, 180);
+    std::vector<double> values;
+    for (std::size_t idx : indices)
+        values.push_back(signal[idx]);
+
+    OmpOptions options;
+    options.maxAtoms = 2 * sparsity + 4;
+    const auto result = ompSolve(dct, indices, values, options);
+    const NdArray recon = dct.inverse(result.coefficients);
+
+    double err = 0.0, norm = 0.0;
+    for (std::size_t i = 0; i < signal.size(); ++i) {
+        err += (recon[i] - signal[i]) * (recon[i] - signal[i]);
+        norm += signal[i] * signal[i];
+    }
+    EXPECT_LT(std::sqrt(err / norm), 1e-5) << "sparsity=" << sparsity;
+}
+
+INSTANTIATE_TEST_SUITE_P(SparsityLevels, SparseRecovery,
+                         ::testing::Values(2, 5, 10, 20));
+
+TEST(Fista, FullSamplingReproducesSignal)
+{
+    const std::size_t nr = 10, nc = 12;
+    Rng rng(7);
+    Dct2d dct(nr, nc);
+    const NdArray signal = makeSparseSignal(nr, nc, 6, rng, dct);
+
+    std::vector<std::size_t> indices(nr * nc);
+    std::vector<double> values(nr * nc);
+    for (std::size_t i = 0; i < nr * nc; ++i) {
+        indices[i] = i;
+        values[i] = signal[i];
+    }
+    const auto result = fistaSolve(dct, indices, values);
+    const NdArray recon = dct.inverse(result.coefficients);
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        EXPECT_NEAR(recon[i], signal[i], 1e-3);
+}
+
+TEST(Fista, ZeroMeasurementsGiveZero)
+{
+    Dct2d dct(4, 4);
+    const auto result = fistaSolve(dct, {0, 5, 9}, {0.0, 0.0, 0.0});
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(result.coefficients[i], 0.0);
+}
+
+TEST(Fista, RejectsBadInputs)
+{
+    Dct2d dct(4, 4);
+    EXPECT_THROW(fistaSolve(dct, {0, 1}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(fistaSolve(dct, {}, {}), std::invalid_argument);
+    EXPECT_THROW(fistaSolve(dct, {16}, {1.0}), std::out_of_range);
+}
+
+TEST(Fista, NoisySamplesStillApproximate)
+{
+    const std::size_t nr = 16, nc = 16;
+    Rng rng(8);
+    Dct2d dct(nr, nc);
+    const NdArray signal = makeSparseSignal(nr, nc, 4, rng, dct);
+
+    const auto indices = rng.sampleWithoutReplacement(nr * nc, 128);
+    std::vector<double> values;
+    for (std::size_t idx : indices)
+        values.push_back(signal[idx] + rng.normal(0.0, 0.01));
+
+    const auto result = fistaSolve(dct, indices, values);
+    const NdArray recon = dct.inverse(result.coefficients);
+    double err = 0.0, norm = 0.0;
+    for (std::size_t i = 0; i < signal.size(); ++i) {
+        err += (recon[i] - signal[i]) * (recon[i] - signal[i]);
+        norm += signal[i] * signal[i];
+    }
+    EXPECT_LT(std::sqrt(err / norm), 0.1);
+}
+
+TEST(Reconstructor, FoldedShape)
+{
+    EXPECT_EQ(csFoldedShape({12, 12, 15, 15}),
+              (std::vector<std::size_t>{144, 225}));
+    EXPECT_EQ(csFoldedShape({50, 100}),
+              (std::vector<std::size_t>{50, 100}));
+    EXPECT_THROW(csFoldedShape({4, 4, 4}), std::invalid_argument);
+}
+
+TEST(Reconstructor, FourDGridRoundTrips)
+{
+    // Build a smooth separable 4-D signal, sample 35%, reconstruct.
+    const std::vector<std::size_t> shape{6, 6, 8, 8};
+    NdArray signal(shape);
+    for (std::size_t i = 0; i < signal.size(); ++i) {
+        const auto idx = signal.unravel(i);
+        signal[i] = std::cos(0.4 * idx[0]) * std::cos(0.3 * idx[1]) *
+                    std::cos(0.5 * idx[2] + 0.2 * idx[3]);
+    }
+    Rng rng(12);
+    const auto indices =
+        rng.sampleWithoutReplacement(signal.size(), signal.size() * 35 / 100);
+    std::vector<double> values;
+    for (std::size_t idx : indices)
+        values.push_back(signal[idx]);
+
+    const NdArray recon = reconstructLandscape(shape, indices, values);
+    EXPECT_EQ(recon.shape(), shape);
+    double err = 0.0, norm = 0.0;
+    for (std::size_t i = 0; i < signal.size(); ++i) {
+        err += (recon[i] - signal[i]) * (recon[i] - signal[i]);
+        norm += signal[i] * signal[i];
+    }
+    EXPECT_LT(std::sqrt(err / norm), 0.25);
+}
+
+TEST(Reconstructor, OmpSolverOption)
+{
+    const std::size_t nr = 12, nc = 12;
+    Rng rng(13);
+    Dct2d dct(nr, nc);
+    const NdArray signal = makeSparseSignal(nr, nc, 3, rng, dct);
+    const auto indices = rng.sampleWithoutReplacement(nr * nc, 60);
+    std::vector<double> values;
+    for (std::size_t idx : indices)
+        values.push_back(signal[idx]);
+
+    CsOptions options;
+    options.solver = CsSolver::Omp;
+    options.omp.maxAtoms = 10;
+    const NdArray recon =
+        reconstructLandscape2d({nr, nc}, indices, values, options);
+    double err = 0.0, norm = 0.0;
+    for (std::size_t i = 0; i < signal.size(); ++i) {
+        err += (recon[i] - signal[i]) * (recon[i] - signal[i]);
+        norm += signal[i] * signal[i];
+    }
+    EXPECT_LT(std::sqrt(err / norm), 1e-4);
+}
+
+} // namespace
+} // namespace oscar

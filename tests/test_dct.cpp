@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the orthonormal DCT-II transforms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/rng.h"
+#include "src/cs/dct.h"
+
+namespace oscar {
+namespace {
+
+class DctRoundTrip : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(DctRoundTrip, InverseUndoesForward)
+{
+    const std::size_t n = GetParam();
+    Dct1d dct(n);
+    Rng rng(n);
+    std::vector<double> x(n);
+    for (auto& v : x)
+        v = rng.normal();
+    const auto c = dct.forward(x);
+    const auto back = dct.inverse(c);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(back[i], x[i], 1e-10);
+}
+
+TEST_P(DctRoundTrip, ParsevalEnergyPreserved)
+{
+    const std::size_t n = GetParam();
+    Dct1d dct(n);
+    Rng rng(2 * n + 1);
+    std::vector<double> x(n);
+    for (auto& v : x)
+        v = rng.normal();
+    const auto c = dct.forward(x);
+    double ex = 0.0, ec = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        ex += x[i] * x[i];
+        ec += c[i] * c[i];
+    }
+    EXPECT_NEAR(ex, ec, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, DctRoundTrip,
+                         ::testing::Values(1, 2, 3, 7, 16, 50, 100));
+
+TEST(Dct1d, ConstantSignalHasOnlyDcCoefficient)
+{
+    Dct1d dct(32);
+    std::vector<double> x(32, 3.0);
+    const auto c = dct.forward(x);
+    EXPECT_NEAR(c[0], 3.0 * std::sqrt(32.0), 1e-10);
+    for (std::size_t k = 1; k < 32; ++k)
+        EXPECT_NEAR(c[k], 0.0, 1e-10);
+}
+
+TEST(Dct1d, PureCosineIsOneCoefficient)
+{
+    // x_j = cos(pi (2j+1) k0 / (2n)) is exactly one DCT basis vector.
+    const std::size_t n = 64, k0 = 5;
+    Dct1d dct(n);
+    std::vector<double> x(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        x[j] = std::cos(std::numbers::pi * (2.0 * j + 1.0) * k0 /
+                        (2.0 * n));
+    }
+    const auto c = dct.forward(x);
+    for (std::size_t k = 0; k < n; ++k) {
+        if (k == k0)
+            EXPECT_GT(std::abs(c[k]), 1.0);
+        else
+            EXPECT_NEAR(c[k], 0.0, 1e-9) << k;
+    }
+}
+
+TEST(Dct2d, RoundTrip)
+{
+    Dct2d dct(12, 17);
+    Rng rng(9);
+    NdArray x({12, 17});
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = rng.normal();
+    const NdArray back = dct.inverse(dct.forward(x));
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(back[i], x[i], 1e-10);
+}
+
+TEST(Dct2d, SeparableProductSignal)
+{
+    // Outer product of two 1-D basis vectors -> single 2-D coefficient.
+    const std::size_t nr = 16, nc = 24, kr = 3, kc = 7;
+    Dct2d dct(nr, nc);
+    NdArray x({nr, nc});
+    for (std::size_t r = 0; r < nr; ++r) {
+        for (std::size_t c = 0; c < nc; ++c) {
+            x[r * nc + c] =
+                std::cos(std::numbers::pi * (2.0 * r + 1.0) * kr /
+                         (2.0 * nr)) *
+                std::cos(std::numbers::pi * (2.0 * c + 1.0) * kc /
+                         (2.0 * nc));
+        }
+    }
+    const NdArray coef = dct.forward(x);
+    std::size_t nonzero = 0;
+    for (std::size_t i = 0; i < coef.size(); ++i)
+        nonzero += std::abs(coef[i]) > 1e-9;
+    EXPECT_EQ(nonzero, 1u);
+    EXPECT_GT(std::abs(coef[kr * nc + kc]), 1.0);
+}
+
+TEST(Dct2d, LinearityProperty)
+{
+    Dct2d dct(8, 8);
+    Rng rng(10);
+    NdArray a({8, 8}), b({8, 8});
+    for (std::size_t i = 0; i < 64; ++i) {
+        a[i] = rng.normal();
+        b[i] = rng.normal();
+    }
+    NdArray sum = a;
+    sum += b;
+    const NdArray ca = dct.forward(a);
+    const NdArray cb = dct.forward(b);
+    const NdArray csum = dct.forward(sum);
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_NEAR(csum[i], ca[i] + cb[i], 1e-10);
+}
+
+} // namespace
+} // namespace oscar

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Failure-injection and error-path tests across modules: every public
+ * entry point must reject malformed input with a clear exception
+ * rather than corrupting state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/ansatz/qaoa.h"
+#include "src/ansatz/two_local.h"
+#include "src/backend/sampled_backend.h"
+#include "src/backend/statevector_backend.h"
+#include "src/core/oscar.h"
+#include "src/graph/generators.h"
+#include "src/hamiltonian/maxcut.h"
+#include "src/landscape/metrics.h"
+#include "src/mitigation/folding.h"
+#include "src/parallel/scheduler.h"
+
+namespace {
+
+using namespace oscar;
+
+TEST(ErrorPaths, CostFunctionRejectsWrongArity)
+{
+    LambdaCost cost(2, [](const std::vector<double>&) { return 0.0; });
+    EXPECT_THROW(cost.evaluate({1.0}), std::invalid_argument);
+    EXPECT_THROW(cost.evaluate({1.0, 2.0, 3.0}), std::invalid_argument);
+    EXPECT_EQ(cost.numQueries(), 0u); // failed calls are not counted
+}
+
+TEST(ErrorPaths, GridSearchRejectsRankMismatch)
+{
+    LambdaCost cost(3, [](const std::vector<double>&) { return 0.0; });
+    const GridSpec grid({{0.0, 1.0, 2}, {0.0, 1.0, 2}});
+    EXPECT_THROW(Landscape::gridSearch(grid, cost),
+                 std::invalid_argument);
+}
+
+TEST(ErrorPaths, OscarRejectsBadSamplingFraction)
+{
+    Rng rng(1);
+    const Graph g = random3RegularGraph(4, rng);
+    StatevectorCost cost(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    const GridSpec grid = GridSpec::qaoaP1(6, 6);
+    for (double fraction : {0.0, -0.5, 1.5}) {
+        OscarOptions options;
+        options.samplingFraction = fraction;
+        EXPECT_THROW(Oscar::reconstruct(grid, cost, options),
+                     std::invalid_argument)
+            << fraction;
+    }
+}
+
+TEST(ErrorPaths, ReconstructorRejectsOddRank)
+{
+    EXPECT_THROW(reconstructLandscape({4, 4, 4}, {0}, {1.0}),
+                 std::invalid_argument);
+}
+
+TEST(ErrorPaths, FoldingRejectsSubUnitScale)
+{
+    Circuit c(1, 0);
+    c.append(Gate::h(0));
+    EXPECT_THROW(foldGlobal(c, 0.5), std::invalid_argument);
+}
+
+TEST(ErrorPaths, SchedulerRejectsBadFractions)
+{
+    Rng rng(2);
+    const Graph g = random3RegularGraph(4, rng);
+    std::vector<QpuDevice> devices(2);
+    for (auto& d : devices)
+        d.cost = std::make_shared<StatevectorCost>(
+            qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    const GridSpec grid = GridSpec::qaoaP1(4, 4);
+    const std::vector<std::size_t> indices{0, 1, 2, 3};
+
+    EXPECT_THROW(runParallelSampling(grid, devices, indices, rng,
+                                     Assignment::FractionSplit,
+                                     {0.5}),
+                 std::invalid_argument);
+    EXPECT_THROW(runParallelSampling(grid, devices, indices, rng,
+                                     Assignment::FractionSplit,
+                                     {0.7, 0.7}),
+                 std::invalid_argument);
+    EXPECT_THROW(runParallelSampling(grid, devices, indices, rng,
+                                     Assignment::FractionSplit,
+                                     {-0.5, 1.5}),
+                 std::invalid_argument);
+    std::vector<QpuDevice> none;
+    EXPECT_THROW(runParallelSampling(grid, none, indices, rng),
+                 std::invalid_argument);
+}
+
+TEST(ErrorPaths, NcmRejectsTinyTrainingSets)
+{
+    EXPECT_THROW(NoiseCompensationModel::train({1.0}, {2.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(NoiseCompensationModel::train({1.0, 2.0}, {1.0}),
+                 std::invalid_argument);
+}
+
+TEST(ErrorPaths, AnsatzRejectsBadConfigs)
+{
+    Rng rng(3);
+    const Graph g = random3RegularGraph(4, rng);
+    EXPECT_THROW(qaoaCircuit(g, 0), std::invalid_argument);
+    EXPECT_THROW(twoLocalCircuit(3, -1), std::invalid_argument);
+}
+
+TEST(ErrorPaths, BackendsRejectMismatchedHamiltonian)
+{
+    Rng rng(4);
+    const Graph g4 = random3RegularGraph(4, rng);
+    const Graph g6 = random3RegularGraph(6, rng);
+    EXPECT_THROW(StatevectorCost(qaoaCircuit(g4, 1),
+                                 maxcutHamiltonian(g6)),
+                 std::invalid_argument);
+    EXPECT_THROW(SampledCost(qaoaCircuit(g4, 1), maxcutHamiltonian(g6),
+                             10, NoiseModel::idealModel(), 1),
+                 std::invalid_argument);
+}
+
+TEST(ErrorPaths, StatevectorRejectsHugeRegisters)
+{
+    EXPECT_THROW(Statevector(40), std::invalid_argument);
+    EXPECT_THROW(DensityMatrix(20), std::invalid_argument);
+}
+
+TEST(ErrorPaths, NrmseRejectsShapeMismatch)
+{
+    NdArray a({4});
+    NdArray b({5});
+    EXPECT_THROW(nrmse(a, b), std::invalid_argument);
+}
+
+TEST(ErrorPaths, ShotNoiseRejectsZeroShots)
+{
+    auto inner = std::make_shared<LambdaCost>(
+        1, [](const std::vector<double>&) { return 0.0; });
+    EXPECT_THROW(ShotNoiseCost(inner, 0, 1.0, 1),
+                 std::invalid_argument);
+}
+
+TEST(ErrorPaths, GraphGeneratorBoundaries)
+{
+    Rng rng(5);
+    EXPECT_THROW(meshGraph(0, 3), std::invalid_argument);
+    EXPECT_THROW(Graph(0), std::invalid_argument);
+    // Smallest valid 3-regular graph is K4.
+    const Graph k4 = random3RegularGraph(4, rng);
+    EXPECT_EQ(k4.numEdges(), 6u);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the gate and circuit IR: factories, parameter binding,
+ * inverses, and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/quantum/circuit.h"
+#include "src/quantum/gate.h"
+
+namespace oscar {
+namespace {
+
+TEST(Gate, ArityClassification)
+{
+    EXPECT_EQ(gateArity(GateKind::H), 1);
+    EXPECT_EQ(gateArity(GateKind::RZ), 1);
+    EXPECT_EQ(gateArity(GateKind::CX), 2);
+    EXPECT_EQ(gateArity(GateKind::RZZ), 2);
+    EXPECT_EQ(gateArity(GateKind::SWAP), 2);
+}
+
+TEST(Gate, ParameterizedClassification)
+{
+    EXPECT_TRUE(gateIsParameterized(GateKind::RX));
+    EXPECT_TRUE(gateIsParameterized(GateKind::RZZ));
+    EXPECT_FALSE(gateIsParameterized(GateKind::H));
+    EXPECT_FALSE(gateIsParameterized(GateKind::CZ));
+}
+
+TEST(Gate, ResolvedAngleFixed)
+{
+    const Gate g = Gate::rx(0, 1.5);
+    EXPECT_DOUBLE_EQ(g.resolvedAngle({}), 1.5);
+}
+
+TEST(Gate, ResolvedAngleBound)
+{
+    const Gate g = Gate::rzzParam(0, 1, 2, -3.0);
+    EXPECT_DOUBLE_EQ(g.resolvedAngle({0.0, 0.0, 0.5}), -1.5);
+}
+
+TEST(Gate, InverseOfRotationNegatesAngle)
+{
+    const Gate g = Gate::ry(0, 0.8);
+    EXPECT_DOUBLE_EQ(g.inverse().angle, -0.8);
+}
+
+TEST(Gate, InverseOfBoundRotationNegatesCoeff)
+{
+    const Gate g = Gate::rxParam(0, 1, 2.0);
+    const Gate inv = g.inverse();
+    EXPECT_DOUBLE_EQ(inv.coeff, -2.0);
+    EXPECT_DOUBLE_EQ(inv.resolvedAngle({0.0, 0.7}), -1.4);
+}
+
+TEST(Gate, SInverseIsSdg)
+{
+    EXPECT_EQ(Gate::s(0).inverse().kind, GateKind::Sdg);
+    EXPECT_EQ(Gate::sdg(0).inverse().kind, GateKind::S);
+}
+
+TEST(Gate, Matrix1qIsUnitary)
+{
+    for (GateKind kind : {GateKind::H, GateKind::X, GateKind::Y,
+                          GateKind::Z, GateKind::S, GateKind::Sdg,
+                          GateKind::RX, GateKind::RY, GateKind::RZ}) {
+        Gate g;
+        g.kind = kind;
+        g.qubits = {0, -1};
+        const auto m = g.matrix1q(0.73);
+        // U U^dag = I.
+        const cplx a = m[0] * std::conj(m[0]) + m[1] * std::conj(m[1]);
+        const cplx b = m[0] * std::conj(m[2]) + m[1] * std::conj(m[3]);
+        const cplx d = m[2] * std::conj(m[2]) + m[3] * std::conj(m[3]);
+        EXPECT_NEAR(std::abs(a - 1.0), 0.0, 1e-12) << gateName(kind);
+        EXPECT_NEAR(std::abs(b), 0.0, 1e-12) << gateName(kind);
+        EXPECT_NEAR(std::abs(d - 1.0), 0.0, 1e-12) << gateName(kind);
+    }
+}
+
+TEST(Circuit, AppendValidatesQubits)
+{
+    Circuit c(2, 0);
+    EXPECT_THROW(c.append(Gate::h(2)), std::out_of_range);
+    EXPECT_THROW(c.append(Gate::cx(0, 0)), std::invalid_argument);
+}
+
+TEST(Circuit, AppendValidatesParamIndex)
+{
+    Circuit c(2, 1);
+    EXPECT_NO_THROW(c.append(Gate::rxParam(0, 0)));
+    EXPECT_THROW(c.append(Gate::rxParam(0, 1)), std::out_of_range);
+}
+
+TEST(Circuit, BindResolvesAllAngles)
+{
+    Circuit c(2, 2);
+    c.append(Gate::rxParam(0, 0, 2.0));
+    c.append(Gate::rzzParam(0, 1, 1, -1.0));
+    c.append(Gate::h(0));
+
+    const Circuit bound = c.bind({0.5, 0.25});
+    EXPECT_EQ(bound.numParams(), 0);
+    EXPECT_DOUBLE_EQ(bound.gates()[0].angle, 1.0);
+    EXPECT_DOUBLE_EQ(bound.gates()[1].angle, -0.25);
+    EXPECT_EQ(bound.gates()[0].paramIndex, -1);
+}
+
+TEST(Circuit, BindRejectsWrongCount)
+{
+    Circuit c(1, 2);
+    EXPECT_THROW(c.bind({1.0}), std::invalid_argument);
+}
+
+TEST(Circuit, InverseReversesOrder)
+{
+    Circuit c(2, 0);
+    c.append(Gate::h(0));
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::s(1));
+    const Circuit inv = c.inverse();
+    ASSERT_EQ(inv.numGates(), 3u);
+    EXPECT_EQ(inv.gates()[0].kind, GateKind::Sdg);
+    EXPECT_EQ(inv.gates()[1].kind, GateKind::CX);
+    EXPECT_EQ(inv.gates()[2].kind, GateKind::H);
+}
+
+TEST(Circuit, CountTwoQubitGates)
+{
+    Circuit c(3, 0);
+    c.append(Gate::h(0));
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::rzz(1, 2, 0.3));
+    c.append(Gate::ry(2, 0.1));
+    EXPECT_EQ(c.countTwoQubitGates(), 2u);
+}
+
+TEST(Circuit, ToStringMentionsGates)
+{
+    Circuit c(2, 1);
+    c.append(Gate::h(0));
+    c.append(Gate::rzzParam(0, 1, 0, -2.0));
+    const std::string s = c.toString();
+    EXPECT_NE(s.find("h q0"), std::string::npos);
+    EXPECT_NE(s.find("rzz q0, q1"), std::string::npos);
+    EXPECT_NE(s.find("p[0]"), std::string::npos);
+}
+
+TEST(Circuit, AppendCircuitMergesGates)
+{
+    Circuit a(2, 1);
+    a.append(Gate::h(0));
+    Circuit b(2, 1);
+    b.append(Gate::rxParam(1, 0));
+    a.append(b);
+    EXPECT_EQ(a.numGates(), 2u);
+}
+
+TEST(Circuit, AppendCircuitRejectsQubitMismatch)
+{
+    Circuit a(2, 0);
+    Circuit b(3, 0);
+    EXPECT_THROW(a.append(b), std::invalid_argument);
+}
+
+} // namespace
+} // namespace oscar

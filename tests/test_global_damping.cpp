@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the global-depolarizing approximation backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ansatz/qaoa.h"
+#include "src/backend/density_backend.h"
+#include "src/backend/global_damping.h"
+#include "src/common/rng.h"
+#include "src/graph/generators.h"
+#include "src/hamiltonian/maxcut.h"
+
+namespace oscar {
+namespace {
+
+TEST(GlobalDamping, IdealNoiseIsExactPassThrough)
+{
+    Rng rng(1);
+    const Graph g = random3RegularGraph(6, rng);
+    const Circuit c = qaoaCircuit(g, 2);
+    const PauliSum h = maxcutHamiltonian(g);
+
+    GlobalDampingCost damped(c, h, NoiseModel::idealModel());
+    StatevectorCost ideal(c, h);
+    EXPECT_DOUBLE_EQ(damped.damping(), 1.0);
+    const std::vector<double> params{0.2, -0.1, 0.5, 0.3};
+    EXPECT_NEAR(damped.evaluate(params), ideal.evaluate(params), 1e-12);
+}
+
+TEST(GlobalDamping, MixedExpectationIsHalfEdgeWeight)
+{
+    Rng rng(2);
+    const Graph g = random3RegularGraph(8, rng);
+    GlobalDampingCost cost(qaoaCircuit(g, 1), maxcutHamiltonian(g),
+                           NoiseModel::depolarizing(0.001, 0.01));
+    double expected = 0.0;
+    for (const Edge& e : g.edges())
+        expected -= e.weight / 2.0;
+    EXPECT_NEAR(cost.mixedExpectation(), expected, 1e-12);
+}
+
+TEST(GlobalDamping, DampingCountsGates)
+{
+    Rng rng(3);
+    const Graph g = random3RegularGraph(6, rng); // 9 edges
+    const Circuit c = qaoaCircuit(g, 1); // 6 H + 9 RZZ + 6 RX
+    GlobalDampingCost cost(c, maxcutHamiltonian(g),
+                           NoiseModel::depolarizing(0.01, 0.02));
+    EXPECT_NEAR(cost.damping(),
+                std::pow(0.99, 12) * std::pow(0.98, 9), 1e-12);
+}
+
+TEST(GlobalDamping, TracksExactChannelWithinTolerance)
+{
+    // On a small instance the white-noise approximation should sit
+    // within a few percent of the exact density-matrix energy.
+    Rng rng(4);
+    const Graph g = random3RegularGraph(6, rng);
+    const Circuit c = qaoaCircuit(g, 1);
+    const PauliSum h = maxcutHamiltonian(g);
+    const NoiseModel noise = NoiseModel::depolarizing(0.002, 0.008);
+
+    DensityCost exact(c, h, noise);
+    GlobalDampingCost approx(c, h, noise);
+    for (double beta : {0.2, -0.35}) {
+        for (double gamma : {0.4, -0.8}) {
+            const std::vector<double> params{beta, gamma};
+            EXPECT_NEAR(approx.evaluate(params), exact.evaluate(params),
+                        0.2)
+                << beta << " " << gamma;
+        }
+    }
+}
+
+TEST(GlobalDamping, MoreNoiseFlattensLandscape)
+{
+    Rng rng(5);
+    const Graph g = random3RegularGraph(8, rng);
+    const Circuit c = qaoaCircuit(g, 2);
+    const PauliSum h = maxcutHamiltonian(g);
+
+    GlobalDampingCost mild(c, h, NoiseModel::depolarizing(0.001, 0.003));
+    GlobalDampingCost heavy(c, h, NoiseModel::depolarizing(0.01, 0.03));
+    const std::vector<double> params{0.2, 0.1, -0.4, 0.6};
+    const double mixed = mild.mixedExpectation();
+    EXPECT_GT(std::abs(mild.evaluate(params) - mixed),
+              std::abs(heavy.evaluate(params) - mixed));
+}
+
+} // namespace
+} // namespace oscar

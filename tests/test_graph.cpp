@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for graphs and problem-instance generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+
+namespace oscar {
+namespace {
+
+TEST(Graph, AddAndQueryEdges)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2, 2.5);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 0));
+    EXPECT_FALSE(g.hasEdge(0, 2));
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.degree(1), 2);
+    EXPECT_EQ(g.degree(3), 0);
+}
+
+TEST(Graph, RejectsBadEdges)
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    EXPECT_THROW(g.addEdge(0, 1), std::invalid_argument); // duplicate
+    EXPECT_THROW(g.addEdge(1, 0), std::invalid_argument); // reversed dup
+    EXPECT_THROW(g.addEdge(2, 2), std::invalid_argument); // self loop
+    EXPECT_THROW(g.addEdge(0, 3), std::out_of_range);
+}
+
+TEST(Graph, CommonNeighbors)
+{
+    // Triangle 0-1-2 plus pendant 3 on vertex 0.
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(0, 2);
+    g.addEdge(0, 3);
+    EXPECT_EQ(g.commonNeighbors(0, 1), 1); // vertex 2
+    EXPECT_EQ(g.commonNeighbors(0, 3), 0);
+}
+
+TEST(Graph, CutValue)
+{
+    Graph g(3);
+    g.addEdge(0, 1, 1.0);
+    g.addEdge(1, 2, 2.0);
+    // assignment 0b001: vertex 0 on one side, 1 and 2 on the other.
+    EXPECT_DOUBLE_EQ(g.cutValue(0b001), 1.0);
+    EXPECT_DOUBLE_EQ(g.cutValue(0b010), 3.0);
+    EXPECT_DOUBLE_EQ(g.cutValue(0b000), 0.0);
+}
+
+TEST(Graph, MaxCutBruteForcePath)
+{
+    // Path 0-1-2: max cut = 2 (vertex 1 alone).
+    Graph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    EXPECT_DOUBLE_EQ(g.maxCutBruteForce(), 2.0);
+}
+
+class RegularGraphProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RegularGraphProperty, EveryVertexHasDegreeThree)
+{
+    Rng rng(GetParam());
+    const Graph g = random3RegularGraph(12, rng);
+    EXPECT_EQ(g.numEdges(), 18u); // n * d / 2
+    for (int v = 0; v < 12; ++v)
+        EXPECT_EQ(g.degree(v), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegularGraphProperty,
+                         ::testing::Range(0, 10));
+
+TEST(Generators, RegularRejectsOddProduct)
+{
+    Rng rng(1);
+    EXPECT_THROW(randomRegularGraph(5, 3, rng), std::invalid_argument);
+    EXPECT_THROW(randomRegularGraph(4, 4, rng), std::invalid_argument);
+}
+
+TEST(Generators, MeshGraphStructure)
+{
+    const Graph g = meshGraph(3, 4);
+    EXPECT_EQ(g.numVertices(), 12);
+    // Edges: 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8 = 17.
+    EXPECT_EQ(g.numEdges(), 17u);
+    // Corner degree 2, edge degree 3, interior degree 4.
+    EXPECT_EQ(g.degree(0), 2);
+    EXPECT_EQ(g.degree(1), 3);
+    EXPECT_EQ(g.degree(5), 4);
+}
+
+TEST(Generators, CompleteGraphEdgeCount)
+{
+    const Graph g = completeGraph(6);
+    EXPECT_EQ(g.numEdges(), 15u);
+}
+
+TEST(Generators, SkInstanceIsCompleteWithGaussianWeights)
+{
+    Rng rng(5);
+    const Graph g = skInstance(8, rng);
+    EXPECT_EQ(g.numEdges(), 28u);
+    // Weights scaled by 1/sqrt(n): empirical std should be near that.
+    double sum2 = 0.0;
+    for (const Edge& e : g.edges())
+        sum2 += e.weight * e.weight;
+    const double emp_std = std::sqrt(sum2 / g.numEdges());
+    EXPECT_NEAR(emp_std, 1.0 / std::sqrt(8.0), 0.15);
+}
+
+TEST(Generators, ErdosRenyiDensity)
+{
+    Rng rng(6);
+    const Graph g = erdosRenyiGraph(40, 0.3, rng);
+    const double max_edges = 40.0 * 39.0 / 2.0;
+    EXPECT_NEAR(static_cast<double>(g.numEdges()) / max_edges, 0.3, 0.06);
+}
+
+} // namespace
+} // namespace oscar

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the synthetic hardware-landscape generator (the Google
+ * Sycamore dataset substitute).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/backend/analytic_qaoa.h"
+#include "src/backend/hardware_dataset.h"
+#include "src/common/stats.h"
+#include "src/graph/generators.h"
+#include "src/landscape/metrics.h"
+#include "src/landscape/sparsity.h"
+
+namespace {
+
+using namespace oscar;
+
+Graph
+testGraph()
+{
+    Rng rng(3);
+    return random3RegularGraph(12, rng);
+}
+
+TEST(HardwareDataset, ShapeMatchesGrid)
+{
+    const GridSpec grid = GridSpec::qaoaP1(50, 50);
+    const Landscape ls =
+        syntheticHardwareLandscape(testGraph(), grid, {});
+    EXPECT_EQ(ls.numPoints(), 2500u);
+    EXPECT_EQ(ls.grid().shape(), grid.shape());
+}
+
+TEST(HardwareDataset, Deterministic)
+{
+    const GridSpec grid = GridSpec::qaoaP1(20, 20);
+    HardwareDatasetOptions opts;
+    opts.seed = 5;
+    const Landscape a = syntheticHardwareLandscape(testGraph(), grid,
+                                                   opts);
+    const Landscape b = syntheticHardwareLandscape(testGraph(), grid,
+                                                   opts);
+    for (std::size_t i = 0; i < a.numPoints(); ++i)
+        EXPECT_DOUBLE_EQ(a.value(i), b.value(i));
+}
+
+TEST(HardwareDataset, DampingContractsTowardMixedEnergy)
+{
+    const Graph g = testGraph();
+    const GridSpec grid = GridSpec::qaoaP1(20, 20);
+
+    HardwareDatasetOptions clean;
+    clean.damping = 1.0;
+    clean.correlatedNoise = 0.0;
+    clean.whiteNoise = 0.0;
+    HardwareDatasetOptions damped = clean;
+    damped.damping = 0.4;
+
+    const Landscape full = syntheticHardwareLandscape(g, grid, clean);
+    const Landscape contracted =
+        syntheticHardwareLandscape(g, grid, damped);
+    EXPECT_NEAR(stats::stddev(contracted.values().flat()),
+                0.4 * stats::stddev(full.values().flat()), 1e-9);
+}
+
+TEST(HardwareDataset, CleanConfigEqualsAnalyticLandscape)
+{
+    const Graph g = testGraph();
+    const GridSpec grid = GridSpec::qaoaP1(15, 15);
+    HardwareDatasetOptions clean;
+    clean.damping = 1.0;
+    clean.correlatedNoise = 0.0;
+    clean.whiteNoise = 0.0;
+    const Landscape hw = syntheticHardwareLandscape(g, grid, clean);
+
+    AnalyticQaoaCost cost(g);
+    const Landscape ideal = Landscape::gridSearch(grid, cost);
+    for (std::size_t i = 0; i < hw.numPoints(); ++i)
+        EXPECT_NEAR(hw.value(i), ideal.value(i), 1e-9);
+}
+
+TEST(HardwareDataset, WhiteNoiseRaisesRoughness)
+{
+    const Graph g = testGraph();
+    const GridSpec grid = GridSpec::qaoaP1(30, 30);
+    HardwareDatasetOptions quiet;
+    quiet.whiteNoise = 0.0;
+    HardwareDatasetOptions loud;
+    loud.whiteNoise = 0.4;
+    const Landscape a = syntheticHardwareLandscape(g, grid, quiet);
+    const Landscape b = syntheticHardwareLandscape(g, grid, loud);
+    EXPECT_GT(secondDerivativeMetric(b.values()),
+              secondDerivativeMetric(a.values()));
+}
+
+TEST(HardwareDataset, CorrelatedNoiseStaysLowFrequency)
+{
+    // Drift-only corruption should leave the landscape highly sparse
+    // in the DCT domain; white noise should not. The landscape's DC
+    // component dominates raw energy, so compare mean-centered values.
+    const Graph g = testGraph();
+    const GridSpec grid = GridSpec::qaoaP1(32, 32);
+
+    HardwareDatasetOptions drift;
+    drift.correlatedNoise = 0.5;
+    drift.whiteNoise = 0.0;
+    HardwareDatasetOptions white;
+    white.correlatedNoise = 0.0;
+    white.whiteNoise = 0.5;
+
+    auto centered = [](Landscape ls) {
+        const double mean = stats::mean(ls.values().flat());
+        for (std::size_t i = 0; i < ls.numPoints(); ++i)
+            ls.values()[i] -= mean;
+        return ls;
+    };
+    const Landscape a =
+        centered(syntheticHardwareLandscape(g, grid, drift));
+    const Landscape b =
+        centered(syntheticHardwareLandscape(g, grid, white));
+    EXPECT_LT(dctSparsityFraction(a.values(), 0.99),
+              dctSparsityFraction(b.values(), 0.99));
+}
+
+TEST(HardwareDataset, RejectsNonRank2Grid)
+{
+    const GridSpec grid = GridSpec::qaoaP2(4, 4);
+    EXPECT_THROW(syntheticHardwareLandscape(testGraph(), grid, {}),
+                 std::invalid_argument);
+}
+
+} // namespace

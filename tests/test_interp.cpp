@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for cubic spline and bicubic grid interpolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/interp/bicubic.h"
+#include "src/interp/cubic_spline.h"
+
+namespace oscar {
+namespace {
+
+TEST(CubicSpline, ExactAtKnots)
+{
+    const std::vector<double> x{0, 1, 2, 3, 4};
+    const std::vector<double> y{1, -1, 0, 2, 1};
+    const CubicSpline s(x, y);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(s(x[i]), y[i], 1e-12);
+}
+
+TEST(CubicSpline, ReproducesLinearFunctionExactly)
+{
+    const std::vector<double> x{0, 0.5, 1.7, 3};
+    std::vector<double> y;
+    for (double xi : x)
+        y.push_back(2.0 * xi - 1.0);
+    const CubicSpline s(x, y);
+    for (double t : {0.2, 0.9, 2.4, 2.99})
+        EXPECT_NEAR(s(t), 2.0 * t - 1.0, 1e-12);
+}
+
+TEST(CubicSpline, TwoKnotsDegenerateToLine)
+{
+    const CubicSpline s({0.0, 2.0}, {1.0, 5.0});
+    EXPECT_NEAR(s(1.0), 3.0, 1e-12);
+    EXPECT_NEAR(s(0.5), 2.0, 1e-12);
+}
+
+TEST(CubicSpline, ApproximatesSmoothFunction)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i <= 40; ++i) {
+        x.push_back(i * 0.1);
+        y.push_back(std::sin(x.back()));
+    }
+    const CubicSpline s(x, y);
+    for (double t = 0.05; t < 4.0; t += 0.173)
+        EXPECT_NEAR(s(t), std::sin(t), 1e-4);
+}
+
+TEST(CubicSpline, DerivativeApproximatesCosine)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i <= 60; ++i) {
+        x.push_back(i * 0.05);
+        y.push_back(std::sin(x.back()));
+    }
+    const CubicSpline s(x, y);
+    for (double t = 0.3; t < 2.7; t += 0.21)
+        EXPECT_NEAR(s.derivative(t), std::cos(t), 1e-3);
+}
+
+TEST(CubicSpline, RejectsBadKnots)
+{
+    EXPECT_THROW(CubicSpline({0.0}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(CubicSpline({0.0, 0.0}, {1.0, 2.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(CubicSpline({1.0, 0.0}, {1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+TEST(BicubicSpline, ExactAtGridPoints)
+{
+    const std::vector<double> rows{0, 1, 2};
+    const std::vector<double> cols{0, 1, 2, 3};
+    NdArray values({3, 4});
+    for (std::size_t i = 0; i < 12; ++i)
+        values[i] = static_cast<double>(i * i % 7);
+    const BicubicSpline s(rows, cols, values);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_NEAR(s(rows[r], cols[c]), values[r * 4 + c], 1e-10);
+    }
+}
+
+TEST(BicubicSpline, ReproducesBilinearExactly)
+{
+    const std::vector<double> rows{0, 1, 2, 3};
+    const std::vector<double> cols{0, 2, 4};
+    NdArray values({4, 3});
+    for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t c = 0; c < 3; ++c)
+            values[r * 3 + c] = 2.0 * rows[r] + 0.5 * cols[c] - 1.0;
+    }
+    const BicubicSpline s(rows, cols, values);
+    EXPECT_NEAR(s(1.5, 3.0), 2.0 * 1.5 + 0.5 * 3.0 - 1.0, 1e-10);
+    EXPECT_NEAR(s(0.25, 0.7), 2.0 * 0.25 + 0.5 * 0.7 - 1.0, 1e-10);
+}
+
+TEST(BicubicSpline, ApproximatesSmoothSurface)
+{
+    const std::size_t nr = 25, nc = 25;
+    std::vector<double> rows(nr), cols(nc);
+    NdArray values({nr, nc});
+    for (std::size_t r = 0; r < nr; ++r)
+        rows[r] = r * 0.1;
+    for (std::size_t c = 0; c < nc; ++c)
+        cols[c] = c * 0.1;
+    for (std::size_t r = 0; r < nr; ++r) {
+        for (std::size_t c = 0; c < nc; ++c)
+            values[r * nc + c] = std::sin(rows[r]) * std::cos(cols[c]);
+    }
+    const BicubicSpline s(rows, cols, values);
+    for (double x = 0.1; x < 2.3; x += 0.37) {
+        for (double y = 0.15; y < 2.3; y += 0.41) {
+            EXPECT_NEAR(s(x, y), std::sin(x) * std::cos(y), 1e-3);
+        }
+    }
+}
+
+TEST(InterpolatedLandscapeCost, MatchesLandscapeValuesOnGrid)
+{
+    const GridSpec grid({{-1.0, 1.0, 9}, {-1.0, 1.0, 9}});
+    NdArray values(grid.shape());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const auto p = grid.pointAt(i);
+        values[i] = p[0] * p[0] + 2.0 * p[1] * p[1];
+    }
+    const Landscape ls(grid, std::move(values));
+    InterpolatedLandscapeCost cost(ls);
+    for (std::size_t i = 0; i < ls.numPoints(); i += 11) {
+        const auto p = grid.pointAt(i);
+        EXPECT_NEAR(cost.evaluate(p), ls.value(i), 1e-9);
+    }
+    // Off-grid query is close to the analytic function.
+    EXPECT_NEAR(cost.evaluate({0.13, -0.42}),
+                0.13 * 0.13 + 2.0 * 0.42 * 0.42, 1e-2);
+}
+
+TEST(InterpolatedLandscapeCost, RejectsNon2dGrid)
+{
+    const GridSpec grid(
+        {{0.0, 1.0, 3}, {0.0, 1.0, 3}, {0.0, 1.0, 3}, {0.0, 1.0, 3}});
+    const Landscape ls(grid, NdArray(grid.shape()));
+    EXPECT_THROW(InterpolatedLandscapeCost cost(ls), std::invalid_argument);
+}
+
+} // namespace
+} // namespace oscar

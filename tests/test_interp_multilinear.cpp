@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for N-dimensional multilinear interpolation and the landscape
+ * export utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/interp/multilinear.h"
+#include "src/landscape/export.h"
+
+namespace {
+
+using namespace oscar;
+
+Landscape
+linearLandscape4d()
+{
+    const GridSpec grid({{0.0, 1.0, 3},
+                         {0.0, 1.0, 4},
+                         {0.0, 1.0, 3},
+                         {0.0, 1.0, 5}});
+    NdArray values(grid.shape());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const auto p = grid.pointAt(i);
+        values[i] = 1.0 + 2.0 * p[0] - 3.0 * p[1] + 0.5 * p[2] + p[3];
+    }
+    return Landscape(grid, std::move(values));
+}
+
+TEST(Multilinear, ExactAtGridPoints)
+{
+    const Landscape ls = linearLandscape4d();
+    const MultilinearInterpolator interp(ls);
+    for (std::size_t i = 0; i < ls.numPoints(); i += 7) {
+        const auto p = ls.grid().pointAt(i);
+        EXPECT_NEAR(interp(p), ls.value(i), 1e-12);
+    }
+}
+
+TEST(Multilinear, ReproducesLinearFunctionsExactly)
+{
+    const Landscape ls = linearLandscape4d();
+    const MultilinearInterpolator interp(ls);
+    const std::vector<double> p{0.37, 0.81, 0.12, 0.66};
+    EXPECT_NEAR(interp(p),
+                1.0 + 2.0 * p[0] - 3.0 * p[1] + 0.5 * p[2] + p[3],
+                1e-12);
+}
+
+TEST(Multilinear, ClampsOutsideTheBox)
+{
+    const Landscape ls = linearLandscape4d();
+    const MultilinearInterpolator interp(ls);
+    EXPECT_NEAR(interp({-5.0, 0.0, 0.0, 0.0}), interp({0.0, 0.0, 0.0,
+                                                       0.0}),
+                1e-12);
+    EXPECT_NEAR(interp({2.0, 1.0, 1.0, 1.0}),
+                interp({1.0, 1.0, 1.0, 1.0}), 1e-12);
+}
+
+TEST(Multilinear, CostAdapterCountsQueries)
+{
+    MultilinearLandscapeCost cost(linearLandscape4d());
+    EXPECT_EQ(cost.numParams(), 4);
+    cost.evaluate({0.1, 0.2, 0.3, 0.4});
+    EXPECT_EQ(cost.numQueries(), 1u);
+}
+
+TEST(Multilinear, Rank2AgreesWithValuesMidCell)
+{
+    const GridSpec grid({{0.0, 1.0, 2}, {0.0, 1.0, 2}});
+    NdArray values(grid.shape(), {0.0, 1.0, 2.0, 3.0});
+    const MultilinearInterpolator interp(Landscape(grid, values));
+    EXPECT_NEAR(interp({0.5, 0.5}), 1.5, 1e-12);
+}
+
+TEST(Export, PgmFileHasCorrectHeaderAndSize)
+{
+    const GridSpec grid({{0.0, 1.0, 5}, {0.0, 1.0, 7}});
+    NdArray values(grid.shape());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = static_cast<double>(i);
+    const Landscape ls(grid, std::move(values));
+
+    const std::string path = "/tmp/oscar_test_landscape.pgm";
+    writePgm(ls, path, 3);
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::string magic;
+    std::size_t width = 0, height = 0;
+    int maxval = 0;
+    in >> magic >> width >> height >> maxval;
+    EXPECT_EQ(magic, "P5");
+    EXPECT_EQ(width, 21u);
+    EXPECT_EQ(height, 15u);
+    EXPECT_EQ(maxval, 255);
+    in.get(); // single whitespace after header
+    std::vector<char> pixels(width * height);
+    in.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+    EXPECT_EQ(static_cast<std::size_t>(in.gcount()), width * height);
+    std::remove(path.c_str());
+}
+
+TEST(Export, AsciiHasRequestedShape)
+{
+    const GridSpec grid({{0.0, 1.0, 10}, {0.0, 1.0, 10}});
+    NdArray values(grid.shape());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = static_cast<double>(i % 10);
+    const Landscape ls(grid, std::move(values));
+    const std::string art = renderAscii(ls, 5, 12);
+    // 5 lines of "|" + 12 chars + "|\n".
+    EXPECT_EQ(art.size(), 5u * (12u + 3u));
+    EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 5);
+}
+
+TEST(Export, RejectsNonRank2)
+{
+    const GridSpec grid(
+        {{0.0, 1.0, 2}, {0.0, 1.0, 2}, {0.0, 1.0, 2}, {0.0, 1.0, 2}});
+    const Landscape ls(grid, NdArray(grid.shape()));
+    EXPECT_THROW(renderAscii(ls), std::invalid_argument);
+    EXPECT_THROW(writePgm(ls, "/tmp/x.pgm"), std::invalid_argument);
+}
+
+} // namespace

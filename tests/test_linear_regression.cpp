@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for least squares / polynomial fitting (NCM and ZNE substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/common/linear_regression.h"
+#include "src/common/rng.h"
+
+namespace oscar {
+namespace {
+
+TEST(LinearFit, ExactLine)
+{
+    const auto fit = fitLinear({0, 1, 2, 3}, {1, 3, 5, 7});
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit(10.0), 21.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineRecovered)
+{
+    Rng rng(3);
+    std::vector<double> x, y;
+    for (int i = 0; i < 2000; ++i) {
+        const double xi = rng.uniform(-1, 1);
+        x.push_back(xi);
+        y.push_back(0.7 * xi - 0.2 + rng.normal(0.0, 0.01));
+    }
+    const auto fit = fitLinear(x, y);
+    EXPECT_NEAR(fit.slope, 0.7, 1e-3);
+    EXPECT_NEAR(fit.intercept, -0.2, 1e-3);
+}
+
+TEST(LinearFit, RejectsConstantX)
+{
+    EXPECT_THROW(fitLinear({2, 2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Polynomial, ExactQuadratic)
+{
+    // y = 1 - 2x + 3x^2
+    std::vector<double> x{-1, 0, 1, 2}, y;
+    for (double xi : x)
+        y.push_back(1.0 - 2.0 * xi + 3.0 * xi * xi);
+    const auto c = fitPolynomial(x, y, 2);
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_NEAR(c[0], 1.0, 1e-9);
+    EXPECT_NEAR(c[1], -2.0, 1e-9);
+    EXPECT_NEAR(c[2], 3.0, 1e-9);
+}
+
+TEST(Polynomial, EvalHorner)
+{
+    EXPECT_DOUBLE_EQ(evalPolynomial({1, -2, 3}, 2.0), 1 - 4 + 12);
+}
+
+TEST(SolveDense, Identity)
+{
+    const auto x = solveDense({1, 0, 0, 1}, {3, 4}, 2);
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 4.0, 1e-12);
+}
+
+TEST(SolveDense, RequiresPivoting)
+{
+    // First pivot is zero; partial pivoting must handle it.
+    const auto x = solveDense({0, 1, 1, 0}, {2, 5}, 2);
+    EXPECT_NEAR(x[0], 5.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveDense, ThrowsOnSingular)
+{
+    EXPECT_THROW(solveDense({1, 2, 2, 4}, {1, 2}, 2), std::runtime_error);
+}
+
+TEST(SolveDense, RandomSystemRoundTrip)
+{
+    Rng rng(9);
+    const std::size_t n = 8;
+    std::vector<double> a(n * n), x_true(n), b(n, 0.0);
+    for (auto& v : a)
+        v = rng.normal();
+    for (auto& v : x_true)
+        v = rng.normal();
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c)
+            b[r] += a[r * n + c] * x_true[c];
+    }
+    const auto x = solveDense(a, b, n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+} // namespace
+} // namespace oscar

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for landscape metrics (NRMSE, D2, VoG, variance) and
+ * frequency-domain sparsity analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/landscape/metrics.h"
+#include "src/landscape/sparsity.h"
+
+namespace oscar {
+namespace {
+
+NdArray
+smoothLandscape(std::size_t nr, std::size_t nc)
+{
+    NdArray a({nr, nc});
+    for (std::size_t r = 0; r < nr; ++r) {
+        for (std::size_t c = 0; c < nc; ++c)
+            a[r * nc + c] = std::sin(0.2 * r) * std::cos(0.15 * c);
+    }
+    return a;
+}
+
+TEST(Nrmse, ZeroForIdenticalLandscapes)
+{
+    const NdArray a = smoothLandscape(10, 12);
+    EXPECT_DOUBLE_EQ(nrmse(a, a), 0.0);
+}
+
+TEST(Nrmse, ScaleInvariance)
+{
+    // NRMSE(k*x, k*y) == NRMSE(x, y): both RMSE and IQR scale by k.
+    const NdArray truth = smoothLandscape(16, 16);
+    NdArray recon = truth;
+    Rng rng(1);
+    for (std::size_t i = 0; i < recon.size(); ++i)
+        recon[i] += rng.normal(0.0, 0.05);
+
+    NdArray truth_scaled = truth;
+    truth_scaled *= 7.0;
+    NdArray recon_scaled = recon;
+    recon_scaled *= 7.0;
+    EXPECT_NEAR(nrmse(truth, recon),
+                nrmse(truth_scaled, recon_scaled), 1e-12);
+}
+
+TEST(Nrmse, MatchesHandComputedValue)
+{
+    NdArray truth({1, 4}, {0, 1, 2, 3});
+    NdArray recon({1, 4}, {0, 1, 2, 5});
+    // rmse = sqrt(4/4) = 1; iqr(0,1,2,3) = 2.25 - 0.75 = 1.5.
+    EXPECT_NEAR(nrmse(truth, recon), 1.0 / 1.5, 1e-12);
+}
+
+TEST(Nrmse, ThrowsOnDegenerateTruth)
+{
+    NdArray truth({1, 4}, {1, 1, 1, 1});
+    NdArray recon({1, 4}, {1, 1, 1, 2});
+    EXPECT_THROW(nrmse(truth, recon), std::invalid_argument);
+}
+
+TEST(SecondDerivative, ZeroForLinearRamp)
+{
+    NdArray a({6, 6});
+    for (std::size_t r = 0; r < 6; ++r) {
+        for (std::size_t c = 0; c < 6; ++c)
+            a[r * 6 + c] = 2.0 * r - 3.0 * c;
+    }
+    EXPECT_NEAR(secondDerivativeMetric(a), 0.0, 1e-12);
+}
+
+TEST(SecondDerivative, DetectsJaggedness)
+{
+    // Alternating spikes have huge second differences.
+    NdArray smooth = smoothLandscape(12, 12);
+    NdArray jagged = smooth;
+    for (std::size_t i = 0; i < jagged.size(); ++i)
+        jagged[i] += (i % 2 == 0) ? 0.5 : -0.5;
+    EXPECT_GT(secondDerivativeMetric(jagged),
+              10.0 * secondDerivativeMetric(smooth));
+}
+
+TEST(VarianceOfGradients, ZeroForLinearRamp)
+{
+    NdArray a({5, 5});
+    for (std::size_t r = 0; r < 5; ++r) {
+        for (std::size_t c = 0; c < 5; ++c)
+            a[r * 5 + c] = 1.5 * r + 0.5 * c;
+    }
+    EXPECT_NEAR(varianceOfGradients(a), 0.0, 1e-12);
+}
+
+TEST(VarianceOfGradients, FlatLandscapeIsSmall)
+{
+    // Barren-plateau probe: a nearly flat landscape has small VoG.
+    NdArray flat({10, 10});
+    flat.fill(2.0);
+    NdArray wavy = smoothLandscape(10, 10);
+    EXPECT_LT(varianceOfGradients(flat), varianceOfGradients(wavy));
+}
+
+TEST(LandscapeVariance, MatchesStats)
+{
+    NdArray a({2, 2}, {1, 2, 3, 4});
+    EXPECT_DOUBLE_EQ(landscapeVariance(a), 1.25);
+}
+
+TEST(Sparsity, SmoothLandscapeIsSparse)
+{
+    const NdArray a = smoothLandscape(32, 32);
+    // A smooth product signal needs very few DCT coefficients.
+    EXPECT_LT(dctSparsityFraction(a, 0.99), 0.05);
+}
+
+TEST(Sparsity, WhiteNoiseIsNotSparse)
+{
+    Rng rng(3);
+    NdArray noise({32, 32});
+    for (std::size_t i = 0; i < noise.size(); ++i)
+        noise[i] = rng.normal();
+    // 99% of the energy of white noise needs most coefficients.
+    EXPECT_GT(dctSparsityFraction(noise, 0.99), 0.5);
+}
+
+TEST(Sparsity, CoefficientCountMonotonicInShare)
+{
+    const NdArray a = smoothLandscape(24, 24);
+    EXPECT_LE(dctCoefficientsForEnergy(a, 0.90),
+              dctCoefficientsForEnergy(a, 0.99));
+    EXPECT_LE(dctCoefficientsForEnergy(a, 0.99),
+              dctCoefficientsForEnergy(a, 0.9999));
+}
+
+TEST(Sparsity, KeepTopKReconstructsSparseSignal)
+{
+    const NdArray a = smoothLandscape(20, 20);
+    const std::size_t k = dctCoefficientsForEnergy(a, 0.9999);
+    const NdArray approx = keepTopKDct(a, k);
+    EXPECT_LT(nrmse(a, approx), 0.05);
+}
+
+TEST(Sparsity, KeepAllIsExact)
+{
+    const NdArray a = smoothLandscape(8, 8);
+    const NdArray approx = keepTopKDct(a, a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(approx[i], a[i], 1e-10);
+}
+
+TEST(Sparsity, FourDLandscapeFoldsForAnalysis)
+{
+    NdArray a({4, 4, 6, 6});
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto idx = a.unravel(i);
+        a[i] = std::cos(0.3 * idx[0]) + std::cos(0.2 * (idx[2] + idx[3]));
+    }
+    EXPECT_LT(dctSparsityFraction(a, 0.99), 0.2);
+}
+
+} // namespace
+} // namespace oscar

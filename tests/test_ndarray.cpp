@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the NdArray container.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/common/ndarray.h"
+
+namespace oscar {
+namespace {
+
+TEST(NdArray, ZeroInitialized)
+{
+    NdArray a({2, 3});
+    EXPECT_EQ(a.size(), 6u);
+    EXPECT_EQ(a.rank(), 2u);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], 0.0);
+}
+
+TEST(NdArray, WrapData)
+{
+    NdArray a({2, 2}, {1, 2, 3, 4});
+    EXPECT_EQ(a.at({0, 0}), 1.0);
+    EXPECT_EQ(a.at({0, 1}), 2.0);
+    EXPECT_EQ(a.at({1, 0}), 3.0);
+    EXPECT_EQ(a.at({1, 1}), 4.0);
+}
+
+TEST(NdArray, WrapRejectsSizeMismatch)
+{
+    EXPECT_THROW(NdArray({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(NdArray, OffsetUnravelRoundTrip)
+{
+    NdArray a({3, 4, 5});
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto idx = a.unravel(i);
+        EXPECT_EQ(a.offset(idx), i);
+    }
+}
+
+TEST(NdArray, RowMajorLayout)
+{
+    NdArray a({2, 3});
+    a.at({1, 2}) = 7.0;
+    EXPECT_EQ(a[1 * 3 + 2], 7.0);
+}
+
+TEST(NdArray, ReshapePreservesData)
+{
+    NdArray a({2, 6}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+    const NdArray b = a.reshape({3, 4});
+    for (std::size_t i = 0; i < 12; ++i)
+        EXPECT_EQ(b[i], static_cast<double>(i));
+    EXPECT_EQ(b.dim(0), 3u);
+    EXPECT_EQ(b.dim(1), 4u);
+}
+
+TEST(NdArray, ReshapeRejectsBadSize)
+{
+    NdArray a({2, 3});
+    EXPECT_THROW(a.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(NdArray, Reshape4dTo2dMatchesPaperConcatenation)
+{
+    // (2,2,3,3) -> (4,9): the paper's p=2 concatenation. Row-major
+    // flattening must be identical before and after.
+    NdArray a({2, 2, 3, 3});
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = static_cast<double>(i);
+    const NdArray b = a.reshape({4, 9});
+    EXPECT_EQ(b.at({1, 2}), a.at({0, 1, 0, 2}));
+    EXPECT_EQ(b.at({3, 8}), a.at({1, 1, 2, 2}));
+}
+
+TEST(NdArray, Arithmetic)
+{
+    NdArray a({2}, {1, 2});
+    NdArray b({2}, {10, 20});
+    a += b;
+    EXPECT_EQ(a[0], 11.0);
+    a -= b;
+    EXPECT_EQ(a[1], 2.0);
+    a *= 3.0;
+    EXPECT_EQ(a[0], 3.0);
+}
+
+TEST(NdArray, MinMax)
+{
+    NdArray a({4}, {3, -1, 7, 2});
+    EXPECT_EQ(a.min(), -1.0);
+    EXPECT_EQ(a.max(), 7.0);
+}
+
+TEST(NdArray, FillOverwrites)
+{
+    NdArray a({3});
+    a.fill(2.5);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(a[i], 2.5);
+}
+
+} // namespace
+} // namespace oscar

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * End-to-end integration tests of the OSCAR pipelines: reconstruction
+ * accuracy on real QAOA landscapes, the parallel/NCM pipeline, and the
+ * optimizer-initialization use case.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/ansatz/qaoa.h"
+#include "src/backend/analytic_qaoa.h"
+#include "src/backend/statevector_backend.h"
+#include "src/core/oscar.h"
+#include "src/graph/generators.h"
+#include "src/hamiltonian/maxcut.h"
+#include "src/interp/bicubic.h"
+#include "src/landscape/metrics.h"
+#include "src/optimize/adam.h"
+#include "src/optimize/cobyla.h"
+
+namespace oscar {
+namespace {
+
+TEST(OscarIntegration, ReconstructsQaoaLandscapeAccurately)
+{
+    Rng rng(1);
+    const Graph g = random3RegularGraph(16, rng);
+    AnalyticQaoaCost cost(g);
+    const GridSpec grid = GridSpec::qaoaP1(30, 60);
+
+    const Landscape truth = Landscape::gridSearch(grid, cost);
+
+    OscarOptions options;
+    options.samplingFraction = 0.08;
+    const OscarResult result = Oscar::reconstruct(grid, cost, options);
+    // Paper Fig. 4(a): NRMSE well under 0.05 at ~8% sampling.
+    EXPECT_LT(nrmse(truth.values(), result.reconstructed.values()), 0.05);
+    EXPECT_NEAR(result.querySpeedup, 1.0 / 0.08, 1.0);
+}
+
+TEST(OscarIntegration, AccuracyImprovesWithSamplingFraction)
+{
+    Rng rng(2);
+    const Graph g = random3RegularGraph(12, rng);
+    AnalyticQaoaCost cost(g);
+    const GridSpec grid = GridSpec::qaoaP1(24, 48);
+    const Landscape truth = Landscape::gridSearch(grid, cost);
+
+    double prev = 1e9;
+    for (double fraction : {0.02, 0.06, 0.15}) {
+        OscarOptions options;
+        options.samplingFraction = fraction;
+        options.seed = 77;
+        const auto result = Oscar::reconstruct(grid, cost, options);
+        const double err =
+            nrmse(truth.values(), result.reconstructed.values());
+        EXPECT_LT(err, prev) << "fraction=" << fraction;
+        prev = err;
+    }
+}
+
+TEST(OscarIntegration, StatevectorBackendEndToEnd)
+{
+    // Full pipeline against the exact simulator on a small instance.
+    Rng rng(3);
+    const Graph g = random3RegularGraph(8, rng);
+    StatevectorCost cost(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    const GridSpec grid = GridSpec::qaoaP1(30, 60);
+
+    const Landscape truth = Landscape::gridSearch(grid, cost);
+    OscarOptions options;
+    options.samplingFraction = 0.1;
+    const auto result = Oscar::reconstruct(grid, cost, options);
+    EXPECT_LT(nrmse(truth.values(), result.reconstructed.values()), 0.06);
+}
+
+TEST(OscarIntegration, DatasetReplayPipeline)
+{
+    Rng rng(4);
+    const Graph g = random3RegularGraph(12, rng);
+    AnalyticQaoaCost cost(g);
+    const GridSpec grid = GridSpec::qaoaP1(25, 50);
+    const Landscape truth = Landscape::gridSearch(grid, cost);
+
+    OscarOptions options;
+    options.samplingFraction = 0.12;
+    const auto result = Oscar::reconstructFromLandscape(truth, options);
+    EXPECT_LT(nrmse(truth.values(), result.reconstructed.values()), 0.05);
+    EXPECT_EQ(result.queriesUsed,
+              static_cast<std::size_t>(0.12 * grid.numPoints() + 0.5));
+}
+
+TEST(OscarIntegration, ParallelNcmBeatsUncompensated)
+{
+    // The headline Fig. 8 claim: with NCM the mixed-device
+    // reconstruction is far closer to the reference landscape.
+    Rng rng(5);
+    const Graph g = random3RegularGraph(12, rng);
+    const GridSpec grid = GridSpec::qaoaP1(20, 40);
+
+    auto make_devices = [&] {
+        std::vector<QpuDevice> devices;
+        QpuDevice d1;
+        d1.name = "qpu-1";
+        d1.noise = NoiseModel::depolarizing(0.001, 0.005);
+        d1.cost = std::make_shared<AnalyticQaoaCost>(g, d1.noise);
+        devices.push_back(std::move(d1));
+        QpuDevice d2;
+        d2.name = "qpu-2";
+        d2.noise = NoiseModel::depolarizing(0.003, 0.007);
+        d2.cost = std::make_shared<AnalyticQaoaCost>(g, d2.noise);
+        devices.push_back(std::move(d2));
+        return devices;
+    };
+
+    // Reference: full QPU-1 landscape.
+    auto devices = make_devices();
+    AnalyticQaoaCost ref_cost(g, devices[0].noise);
+    const Landscape reference = Landscape::gridSearch(grid, ref_cost);
+
+    OscarOptions options;
+    options.samplingFraction = 0.1;
+
+    Rng rng_a(11), rng_b(11);
+    const auto uncompensated = Oscar::reconstructParallel(
+        grid, devices, {0.5, 0.5}, false, 0.01, rng_a, options);
+    auto devices2 = make_devices();
+    const auto compensated = Oscar::reconstructParallel(
+        grid, devices2, {0.5, 0.5}, true, 0.01, rng_b, options);
+
+    const double err_raw =
+        nrmse(reference.values(), uncompensated.reconstructed.values());
+    const double err_ncm =
+        nrmse(reference.values(), compensated.reconstructed.values());
+    EXPECT_LT(err_ncm, err_raw);
+}
+
+TEST(OscarIntegration, OptimizerOnReconstructionMatchesTrueOptimum)
+{
+    // Use case 2 (Section 7): optimizing on the interpolated
+    // reconstruction should land near the true landscape optimum.
+    Rng rng(6);
+    const Graph g = random3RegularGraph(16, rng);
+    AnalyticQaoaCost cost(g);
+    const GridSpec grid = GridSpec::qaoaP1(30, 60);
+    const Landscape truth = Landscape::gridSearch(grid, cost);
+
+    OscarOptions options;
+    options.samplingFraction = 0.1;
+    const auto result = Oscar::reconstruct(grid, cost, options);
+
+    InterpolatedLandscapeCost interp(result.reconstructed);
+    Adam adam;
+    const auto initial = truth.minimizerParams(); // same start for both
+    const auto run_interp = adam.minimize(interp, {0.1, 0.1});
+    const auto run_true = adam.minimize(cost, {0.1, 0.1});
+
+    // Endpoints close (paper Fig. 12) and values close.
+    EXPECT_LT(paramDistance(run_interp.bestParams, run_true.bestParams),
+              0.15);
+    EXPECT_NEAR(cost.evaluate(run_interp.bestParams), run_true.bestValue,
+                0.05 * std::abs(run_true.bestValue));
+    (void)initial;
+}
+
+TEST(OscarIntegration, SuggestedInitialPointReducesQueries)
+{
+    // Use case 3 (Section 8 / Table 6): warm-starting ADAM from the
+    // reconstruction's minimizer costs fewer queries than a cold start.
+    Rng rng(7);
+    const Graph g = random3RegularGraph(16, rng);
+    AnalyticQaoaCost cost(g);
+    const GridSpec grid = GridSpec::qaoaP1(30, 60);
+
+    OscarOptions options;
+    options.samplingFraction = 0.08;
+    const auto recon = Oscar::reconstruct(grid, cost, options);
+
+    Adam inner;
+    const auto warm_start =
+        suggestInitialPoint(recon.reconstructed, inner, {0.1, 0.1});
+
+    AdamOptions tight;
+    tight.gradientTolerance = 5e-3;
+    Adam adam(tight);
+
+    cost.resetQueries();
+    const auto cold = adam.minimize(cost, {0.7, -1.4});
+    cost.resetQueries();
+    const auto warm = adam.minimize(cost, warm_start);
+
+    EXPECT_LT(warm.numQueries, cold.numQueries);
+    EXPECT_LE(warm.bestValue, cold.bestValue + 0.05);
+}
+
+TEST(OscarIntegration, ReconstructionPreservesMitigationRoughness)
+{
+    // Use case 1 (Section 6 / Fig. 10): the D2 roughness ordering of
+    // mitigated landscapes survives reconstruction. Approximated here
+    // with two synthetic landscapes of different jaggedness.
+    const GridSpec grid({{-1.0, 1.0, 24}, {-1.0, 1.0, 24}});
+    Rng rng(8);
+    NdArray smooth(grid.shape()), rough(grid.shape());
+    for (std::size_t i = 0; i < smooth.size(); ++i) {
+        const auto p = grid.pointAt(i);
+        const double base = std::cos(2.0 * p[0]) * std::cos(3.0 * p[1]);
+        smooth[i] = base;
+        rough[i] = base + rng.normal(0.0, 0.15);
+    }
+    const Landscape ls_smooth(grid, smooth);
+    const Landscape ls_rough(grid, rough);
+
+    OscarOptions options;
+    options.samplingFraction = 0.35;
+    const auto r_smooth = Oscar::reconstructFromLandscape(ls_smooth,
+                                                          options);
+    const auto r_rough = Oscar::reconstructFromLandscape(ls_rough,
+                                                         options);
+    EXPECT_GT(secondDerivativeMetric(r_rough.reconstructed.values()),
+              secondDerivativeMetric(r_smooth.reconstructed.values()));
+}
+
+} // namespace
+} // namespace oscar

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Integration tests for the depth-2 (rank-4) OSCAR workflow: 4-D
+ * reconstruction through the concatenation fold and optimizer
+ * pre-checking on the multilinear interpolant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ansatz/qaoa.h"
+#include "src/backend/statevector_backend.h"
+#include "src/core/oscar.h"
+#include "src/graph/generators.h"
+#include "src/hamiltonian/maxcut.h"
+#include "src/interp/multilinear.h"
+#include "src/common/stats.h"
+#include "src/landscape/metrics.h"
+#include "src/optimize/nelder_mead.h"
+
+namespace {
+
+using namespace oscar;
+
+Landscape
+p2Truth(int qubits, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const Graph g = random3RegularGraph(qubits, rng);
+    StatevectorCost cost(qaoaCircuit(g, 2), maxcutHamiltonian(g));
+    const GridSpec grid = GridSpec::qaoaP2(6, 8); // (6,6,8,8) = 2304
+    return Landscape::gridSearch(grid, cost);
+}
+
+TEST(OscarP2, FourDReconstructionBeatsZeroBaseline)
+{
+    const Landscape truth = p2Truth(8, 21);
+    OscarOptions options;
+    options.samplingFraction = 0.15;
+    const auto result = Oscar::reconstructFromLandscape(truth, options);
+    EXPECT_EQ(result.reconstructed.grid().rank(), 4u);
+
+    // Compare against predicting the mean everywhere.
+    NdArray mean_pred(truth.values().shape());
+    mean_pred.fill(stats::mean(truth.values().flat()));
+    EXPECT_LT(nrmse(truth.values(), result.reconstructed.values()),
+              0.6 * nrmse(truth.values(), mean_pred));
+}
+
+TEST(OscarP2, ErrorDecreasesWithSampling)
+{
+    const Landscape truth = p2Truth(8, 22);
+    double prev = 1e9;
+    for (double fraction : {0.05, 0.15, 0.35}) {
+        OscarOptions options;
+        options.samplingFraction = fraction;
+        options.seed = 5;
+        const auto result =
+            Oscar::reconstructFromLandscape(truth, options);
+        const double err =
+            nrmse(truth.values(), result.reconstructed.values());
+        EXPECT_LT(err, prev) << fraction;
+        prev = err;
+    }
+}
+
+TEST(OscarP2, OptimizerOnMultilinearInterpolantFindsGoodPoint)
+{
+    const Landscape truth = p2Truth(8, 23);
+    OscarOptions options;
+    options.samplingFraction = 0.25;
+    const auto recon = Oscar::reconstructFromLandscape(truth, options);
+
+    MultilinearLandscapeCost interp(recon.reconstructed);
+    NelderMeadOptions nm_opts;
+    nm_opts.maxIterations = 800;
+    NelderMead nm(nm_opts);
+    const auto run = nm.minimize(interp, {0.05, -0.05, 0.1, -0.1});
+
+    // The optimizer's endpoint, evaluated on the TRUE landscape's
+    // nearest grid point, should be in the best decile.
+    const std::size_t idx =
+        truth.grid().nearestIndex(run.bestParams);
+    const double achieved = truth.value(idx);
+    const double best = truth.values().min();
+    const double q10 = stats::quantile(truth.values().flat(), 0.10);
+    EXPECT_LE(achieved, q10);
+    EXPECT_GE(achieved, best - 1e-9);
+}
+
+TEST(OscarP2, QueryAccountingMatchesSampleBudget)
+{
+    Rng rng(24);
+    const Graph g = random3RegularGraph(8, rng);
+    StatevectorCost cost(qaoaCircuit(g, 2), maxcutHamiltonian(g));
+    const GridSpec grid = GridSpec::qaoaP2(6, 8);
+
+    OscarOptions options;
+    options.samplingFraction = 0.10;
+    const auto result = Oscar::reconstruct(grid, cost, options);
+    EXPECT_EQ(cost.numQueries(), result.queriesUsed);
+    EXPECT_NEAR(result.querySpeedup, 10.0, 0.5);
+}
+
+} // namespace

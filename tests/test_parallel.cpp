@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the multi-QPU subsystem: latency model, scheduler, noise
+ * compensation model, and eager reconstruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/backend/analytic_qaoa.h"
+#include "src/common/stats.h"
+#include "src/graph/generators.h"
+#include "src/parallel/eager.h"
+#include "src/parallel/ncm.h"
+#include "src/parallel/scheduler.h"
+
+namespace oscar {
+namespace {
+
+std::vector<QpuDevice>
+makeDevicePair(const Graph& graph, double tail_sigma = 0.0)
+{
+    // The paper's Fig. 8 noise configuration: QPU-1 (0.1%, 0.5%),
+    // QPU-2 (0.3%, 0.7%).
+    std::vector<QpuDevice> devices;
+    {
+        QpuDevice d;
+        d.name = "qpu-1";
+        d.noise = NoiseModel::depolarizing(0.001, 0.005);
+        d.cost = std::make_shared<AnalyticQaoaCost>(graph, d.noise);
+        d.latency = {0.0, 1.0, tail_sigma};
+        devices.push_back(std::move(d));
+    }
+    {
+        QpuDevice d;
+        d.name = "qpu-2";
+        d.noise = NoiseModel::depolarizing(0.003, 0.007);
+        d.cost = std::make_shared<AnalyticQaoaCost>(graph, d.noise);
+        d.latency = {0.0, 1.0, tail_sigma};
+        devices.push_back(std::move(d));
+    }
+    return devices;
+}
+
+TEST(LatencyModel, DeterministicWithoutTail)
+{
+    Rng rng(1);
+    const LatencyModel m{2.0, 3.0, 0.0};
+    EXPECT_DOUBLE_EQ(m.sample(rng), 5.0);
+}
+
+TEST(LatencyModel, HeavyTailProducesLargeRatios)
+{
+    Rng rng(2);
+    const LatencyModel m{0.0, 1.0, 1.2};
+    std::vector<double> lat;
+    for (int i = 0; i < 5000; ++i)
+        lat.push_back(m.sample(rng));
+    const double med = stats::median(lat);
+    const double p99 = stats::quantile(lat, 0.99);
+    // The paper reports 10x-30x tail-to-median latency ratios.
+    EXPECT_GT(p99 / med, 8.0);
+    EXPECT_LT(p99 / med, 60.0);
+}
+
+TEST(Scheduler, RoundRobinBalancesLoad)
+{
+    Rng rng(3);
+    const Graph g = random3RegularGraph(8, rng);
+    auto devices = makeDevicePair(g);
+    const GridSpec grid = GridSpec::qaoaP1(10, 10);
+
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < 40; ++i)
+        indices.push_back(i);
+    const auto run =
+        runParallelSampling(grid, devices, indices, rng);
+    EXPECT_EQ(run.perDeviceCounts[0], 20u);
+    EXPECT_EQ(run.perDeviceCounts[1], 20u);
+    EXPECT_EQ(run.samples.size(), 40u);
+}
+
+TEST(Scheduler, FractionSplitHonorsShares)
+{
+    Rng rng(4);
+    const Graph g = random3RegularGraph(8, rng);
+    auto devices = makeDevicePair(g);
+    const GridSpec grid = GridSpec::qaoaP1(10, 10);
+
+    std::vector<std::size_t> indices(50);
+    for (std::size_t i = 0; i < 50; ++i)
+        indices[i] = i;
+    const auto run = runParallelSampling(grid, devices, indices, rng,
+                                         Assignment::FractionSplit,
+                                         {0.2, 0.8});
+    EXPECT_EQ(run.perDeviceCounts[0], 10u);
+    EXPECT_EQ(run.perDeviceCounts[1], 40u);
+}
+
+TEST(Scheduler, ParallelMakespanBeatsSerial)
+{
+    // k devices with deterministic latency: makespan ~ n/k jobs.
+    Rng rng(5);
+    const Graph g = random3RegularGraph(8, rng);
+    auto devices = makeDevicePair(g);
+    const GridSpec grid = GridSpec::qaoaP1(10, 10);
+
+    std::vector<std::size_t> indices(60);
+    for (std::size_t i = 0; i < 60; ++i)
+        indices[i] = i;
+    const auto run = runParallelSampling(grid, devices, indices, rng);
+    EXPECT_NEAR(run.makespan, 30.0, 1e-9); // 60 jobs over 2 devices
+}
+
+TEST(Scheduler, ValuesReflectDeviceNoise)
+{
+    // The same grid point measured on the noisier device must be
+    // systematically closer to the mixed-state energy.
+    Rng rng(6);
+    const Graph g = random3RegularGraph(12, rng);
+    auto devices = makeDevicePair(g);
+    const GridSpec grid = GridSpec::qaoaP1(10, 10);
+
+    // Run the full grid on both devices via two single-device runs.
+    std::vector<std::size_t> indices(grid.numPoints());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
+
+    std::vector<QpuDevice> only1{devices[0]};
+    std::vector<QpuDevice> only2{devices[1]};
+    const auto run1 = runParallelSampling(grid, only1, indices, rng);
+    const auto run2 = runParallelSampling(grid, only2, indices, rng);
+
+    double mixed_energy = 0.0;
+    for (const Edge& e : g.edges())
+        mixed_energy -= e.weight / 2.0;
+
+    double dev1 = 0.0, dev2 = 0.0;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        dev1 += std::abs(run1.samples[i].value - mixed_energy);
+        dev2 += std::abs(run2.samples[i].value - mixed_energy);
+    }
+    EXPECT_GT(dev1, dev2); // noisier device is flatter
+}
+
+TEST(Ncm, RecoversExactAffineMap)
+{
+    std::vector<double> secondary, reference;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 0.1 * i;
+        secondary.push_back(x);
+        reference.push_back(1.7 * x - 0.3);
+    }
+    const auto ncm = NoiseCompensationModel::train(secondary, reference);
+    EXPECT_NEAR(ncm.slope(), 1.7, 1e-10);
+    EXPECT_NEAR(ncm.intercept(), -0.3, 1e-10);
+    EXPECT_NEAR(ncm.transform(2.0), 3.1, 1e-10);
+}
+
+TEST(Ncm, TrainedOnDevicesReducesCrossDeviceError)
+{
+    Rng rng(7);
+    const Graph g = random3RegularGraph(12, rng);
+    auto devices = makeDevicePair(g);
+    const GridSpec grid = GridSpec::qaoaP1(16, 24);
+
+    const auto ncm = NoiseCompensationModel::trainOnDevices(
+        grid, devices[0], devices[1], 0.05, rng);
+
+    // On held-out points the transformed QPU-2 values should be much
+    // closer to QPU-1 than the raw values are.
+    double raw_err = 0.0, fixed_err = 0.0;
+    for (std::size_t i = 0; i < grid.numPoints(); i += 13) {
+        const auto params = grid.pointAt(i);
+        const double v1 = devices[0].cost->evaluate(params);
+        const double v2 = devices[1].cost->evaluate(params);
+        raw_err += (v1 - v2) * (v1 - v2);
+        const double t = ncm.transform(v2);
+        fixed_err += (v1 - t) * (v1 - t);
+    }
+    EXPECT_LT(fixed_err, 0.05 * raw_err);
+}
+
+TEST(Ncm, TransformSampleSet)
+{
+    const auto ncm = NoiseCompensationModel::train({0.0, 1.0}, {1.0, 3.0});
+    SampleSet set;
+    set.indices = {0, 1};
+    set.values = {0.5, 2.0};
+    const SampleSet out = ncm.transform(set);
+    EXPECT_NEAR(out.values[0], 2.0, 1e-10);
+    EXPECT_NEAR(out.values[1], 5.0, 1e-10);
+}
+
+TEST(Eager, CutoffDropsStragglers)
+{
+    Rng rng(8);
+    const Graph g = random3RegularGraph(8, rng);
+    auto devices = makeDevicePair(g, 1.2); // heavy tail
+    const GridSpec grid = GridSpec::qaoaP1(10, 10);
+
+    std::vector<std::size_t> indices(80);
+    for (std::size_t i = 0; i < 80; ++i)
+        indices[i] = i;
+    const auto run = runParallelSampling(grid, devices, indices, rng);
+
+    const auto outcome = eagerCutoffQuantile(run, 0.9);
+    EXPECT_NEAR(outcome.retainedFraction, 0.9, 0.05);
+    EXPECT_LE(outcome.deadline, outcome.fullMakespan);
+    EXPECT_EQ(outcome.retained.size() + outcome.dropped,
+              run.samples.size());
+}
+
+TEST(Eager, FullQuantileKeepsEverything)
+{
+    Rng rng(9);
+    const Graph g = random3RegularGraph(8, rng);
+    auto devices = makeDevicePair(g);
+    const GridSpec grid = GridSpec::qaoaP1(8, 8);
+    std::vector<std::size_t> indices(16);
+    for (std::size_t i = 0; i < 16; ++i)
+        indices[i] = i;
+    const auto run = runParallelSampling(grid, devices, indices, rng);
+    const auto outcome = eagerCutoffQuantile(run, 1.0);
+    EXPECT_EQ(outcome.dropped, 0u);
+    EXPECT_DOUBLE_EQ(outcome.retainedFraction, 1.0);
+}
+
+} // namespace
+} // namespace oscar

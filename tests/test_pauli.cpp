@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for Pauli strings and Pauli sums.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/hamiltonian/pauli_sum.h"
+#include "src/quantum/pauli.h"
+#include "src/quantum/statevector.h"
+
+namespace oscar {
+namespace {
+
+TEST(PauliString, LabelRoundTrip)
+{
+    const auto p = PauliString::fromLabel("IXYZ");
+    EXPECT_EQ(p.numQubits(), 4);
+    EXPECT_EQ(p.op(0), PauliOp::I);
+    EXPECT_EQ(p.op(1), PauliOp::X);
+    EXPECT_EQ(p.op(2), PauliOp::Y);
+    EXPECT_EQ(p.op(3), PauliOp::Z);
+    EXPECT_EQ(p.toLabel(), "IXYZ");
+}
+
+TEST(PauliString, BadLabelThrows)
+{
+    EXPECT_THROW(PauliString::fromLabel("IXQ"), std::invalid_argument);
+}
+
+TEST(PauliString, DiagonalDetection)
+{
+    EXPECT_TRUE(PauliString::fromLabel("IZZI").isDiagonal());
+    EXPECT_FALSE(PauliString::fromLabel("IZXI").isDiagonal());
+    EXPECT_FALSE(PauliString::fromLabel("YIII").isDiagonal());
+}
+
+TEST(PauliString, Weight)
+{
+    EXPECT_EQ(PauliString::fromLabel("IIII").weight(), 0);
+    EXPECT_EQ(PauliString::fromLabel("XYZI").weight(), 3);
+}
+
+TEST(PauliString, DiagonalEigenvalue)
+{
+    const auto zz = PauliString::fromLabel("ZZ");
+    EXPECT_EQ(zz.diagonalEigenvalue(0b00), 1);
+    EXPECT_EQ(zz.diagonalEigenvalue(0b01), -1);
+    EXPECT_EQ(zz.diagonalEigenvalue(0b10), -1);
+    EXPECT_EQ(zz.diagonalEigenvalue(0b11), 1);
+}
+
+TEST(PauliString, ZStringFactory)
+{
+    const auto p = PauliString::zString(4, {1, 3});
+    EXPECT_EQ(p.toLabel(), "IZIZ");
+}
+
+TEST(PauliSum, DiagonalTableMatchesEigenvalues)
+{
+    PauliSum h(2);
+    h.add(0.5, "ZZ");
+    h.add(-1.0, "IZ");
+    h.add(0.25, "II");
+    const auto table = h.diagonalTable();
+    // basis state z: bit k = qubit k; label char k = qubit k.
+    // |00>: 0.5 - 1.0 + 0.25
+    EXPECT_DOUBLE_EQ(table[0], -0.25);
+    // |q1=1, q0=0> = index 2: ZZ -> -1, IZ (Z on qubit 1) -> -1.
+    EXPECT_DOUBLE_EQ(table[2], -0.5 + 1.0 + 0.25);
+}
+
+TEST(PauliSum, DiagonalMinimum)
+{
+    PauliSum h(2);
+    h.add(1.0, "ZZ");
+    EXPECT_DOUBLE_EQ(h.diagonalMinimum(), -1.0);
+}
+
+TEST(PauliSum, ExpectationMixesDiagonalAndOffDiagonal)
+{
+    // H = X0 + Z0 on |+>: <X> = 1, <Z> = 0.
+    PauliSum h(1);
+    h.add(2.0, "X");
+    h.add(5.0, "Z");
+    Statevector sv(1);
+    sv.applyGate(Gate::h(0));
+    EXPECT_NEAR(h.expectation(sv), 2.0, 1e-12);
+}
+
+TEST(PauliSum, QubitMismatchThrows)
+{
+    PauliSum h(2);
+    EXPECT_THROW(h.add(1.0, PauliString::fromLabel("ZZZ")),
+                 std::invalid_argument);
+}
+
+TEST(PauliSum, NonDiagonalTableThrows)
+{
+    PauliSum h(1);
+    h.add(1.0, "X");
+    EXPECT_THROW(h.diagonalTable(), std::logic_error);
+}
+
+} // namespace
+} // namespace oscar

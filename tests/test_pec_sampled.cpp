@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for PEC mitigation and the multinomial sampled backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ansatz/qaoa.h"
+#include "src/backend/density_backend.h"
+#include "src/backend/sampled_backend.h"
+#include "src/backend/statevector_backend.h"
+#include "src/common/rng.h"
+#include "src/graph/generators.h"
+#include "src/hamiltonian/maxcut.h"
+#include "src/mitigation/pec.h"
+
+namespace {
+
+using namespace oscar;
+
+TEST(PecChannelInverse, IdealNoiseHasUnitGamma)
+{
+    const auto inv = PecChannelInverse::depolarizing1(0.0);
+    EXPECT_DOUBLE_EQ(inv.alpha, 1.0);
+    EXPECT_DOUBLE_EQ(inv.beta, 0.0);
+    EXPECT_DOUBLE_EQ(inv.gamma, 1.0);
+}
+
+TEST(PecChannelInverse, InverseUndoesContraction)
+{
+    // The inverse map's Pauli-transfer factor must be 1/f exactly.
+    for (double p : {0.01, 0.05, 0.2}) {
+        const auto inv = PecChannelInverse::depolarizing1(p);
+        const double f = 1.0 - 4.0 * p / 3.0;
+        // Pauli-transfer factor of alpha*Id + (beta/3) sum_P P.P is
+        // alpha - beta/3 (the Pauli sum maps W -> -W).
+        const double factor = inv.alpha - inv.beta / 3.0;
+        EXPECT_NEAR(factor * f, 1.0, 1e-12) << p;
+        EXPECT_GT(inv.gamma, 1.0);
+    }
+    for (double p : {0.01, 0.1}) {
+        const auto inv = PecChannelInverse::depolarizing2(p);
+        const double f = 1.0 - 16.0 * p / 15.0;
+        const double factor = inv.alpha - inv.beta / 15.0;
+        EXPECT_NEAR(factor * f, 1.0, 1e-12) << p;
+    }
+}
+
+TEST(PecChannelInverse, RejectsOutOfRangeRates)
+{
+    EXPECT_THROW(PecChannelInverse::depolarizing1(0.75),
+                 std::invalid_argument);
+    EXPECT_THROW(PecChannelInverse::depolarizing1(-0.1),
+                 std::invalid_argument);
+}
+
+TEST(Pec, UnbiasedTowardIdealValue)
+{
+    Rng rng(1);
+    const Graph g = random3RegularGraph(4, rng);
+    const PauliSum h = maxcutHamiltonian(g);
+    const Circuit c = qaoaCircuit(g, 1);
+    const NoiseModel noise = NoiseModel::depolarizing(0.01, 0.03);
+    const std::vector<double> params{0.3, -0.6};
+
+    StatevectorCost ideal(c, h);
+    DensityCost noisy(c, h, noise);
+    const double target = ideal.evaluate(params);
+    const double raw = noisy.evaluate(params);
+
+    PecOptions options;
+    options.numSamples = 30000;
+    options.seed = 5;
+    PecCost pec(c, h, noise, options);
+    const double mitigated = pec.evaluate(params);
+
+    EXPECT_GT(pec.totalGamma(), 1.0);
+    EXPECT_LT(std::abs(mitigated - target), std::abs(raw - target));
+    // 30k samples with gamma ~ 2.4: statistical error well under 0.2.
+    EXPECT_NEAR(mitigated, target, 0.2);
+}
+
+TEST(Pec, GammaGrowsWithNoiseAndGateCount)
+{
+    Rng rng(2);
+    const Graph g = random3RegularGraph(4, rng);
+    const PauliSum h = maxcutHamiltonian(g);
+
+    PecCost mild(qaoaCircuit(g, 1), h,
+                 NoiseModel::depolarizing(0.002, 0.005), {10, 1});
+    PecCost heavy(qaoaCircuit(g, 1), h,
+                  NoiseModel::depolarizing(0.01, 0.03), {10, 1});
+    PecCost deep(qaoaCircuit(g, 2), h,
+                 NoiseModel::depolarizing(0.002, 0.005), {10, 1});
+    EXPECT_GT(heavy.totalGamma(), mild.totalGamma());
+    EXPECT_GT(deep.totalGamma(), mild.totalGamma());
+}
+
+TEST(Pec, NoNoiseReducesToExactValue)
+{
+    Rng rng(3);
+    const Graph g = random3RegularGraph(4, rng);
+    const PauliSum h = maxcutHamiltonian(g);
+    const Circuit c = qaoaCircuit(g, 1);
+
+    StatevectorCost ideal(c, h);
+    PecCost pec(c, h, NoiseModel::idealModel(), {4, 9});
+    const std::vector<double> params{0.2, 0.4};
+    EXPECT_NEAR(pec.evaluate(params), ideal.evaluate(params), 1e-10);
+}
+
+TEST(SampledBackend, ConvergesToExactExpectation)
+{
+    Rng rng(4);
+    const Graph g = random3RegularGraph(6, rng);
+    const PauliSum h = maxcutHamiltonian(g);
+    const Circuit c = qaoaCircuit(g, 1);
+    const std::vector<double> params{0.25, -0.45};
+
+    StatevectorCost exact(c, h);
+    SampledCost sampled(c, h, 100000, NoiseModel::idealModel(), 7);
+    EXPECT_NEAR(sampled.evaluate(params), exact.evaluate(params), 0.1);
+}
+
+TEST(SampledBackend, VarianceShrinksWithShots)
+{
+    Rng rng(5);
+    const Graph g = random3RegularGraph(4, rng);
+    const PauliSum h = maxcutHamiltonian(g);
+    const Circuit c = qaoaCircuit(g, 1);
+    const std::vector<double> params{0.3, 0.7};
+
+    StatevectorCost exact(c, h);
+    const double target = exact.evaluate(params);
+
+    auto spread = [&](std::size_t shots) {
+        double acc = 0.0;
+        for (int rep = 0; rep < 30; ++rep) {
+            SampledCost cost(c, h, shots, NoiseModel::idealModel(),
+                             100 + rep);
+            const double err = cost.evaluate(params) - target;
+            acc += err * err;
+        }
+        return acc / 30.0;
+    };
+    EXPECT_GT(spread(64), 3.0 * spread(4096));
+}
+
+TEST(SampledBackend, ReadoutBiasAppears)
+{
+    // Strong readout error on the all-zeros state shifts <ZZ...>.
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    const PauliSum h = maxcutHamiltonian(g);
+    Circuit c(4, 1);
+    c.append(Gate::rzParam(0, 0)); // effectively |0000> state
+
+    NoiseModel readout;
+    readout.readout01 = 0.2;
+    SampledCost clean(c, h, 40000, NoiseModel::idealModel(), 8);
+    SampledCost biased(c, h, 40000, readout, 9);
+    const std::vector<double> params{0.0};
+    // |0000> has cost 0 (no cut edges); readout flips create cuts,
+    // lowering the (negative) MaxCut energy.
+    EXPECT_NEAR(clean.evaluate(params), 0.0, 1e-9);
+    EXPECT_LT(biased.evaluate(params), -0.3);
+}
+
+TEST(SampledBackend, RejectsNonDiagonal)
+{
+    PauliSum h(1);
+    h.add(1.0, "X");
+    Circuit c(1, 0);
+    c.append(Gate::h(0));
+    EXPECT_THROW(
+        SampledCost(c, h, 10, NoiseModel::idealModel(), 1),
+        std::invalid_argument);
+}
+
+} // namespace

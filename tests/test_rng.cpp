@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the deterministic RNG substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/rng.h"
+
+namespace oscar {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanApproximatelyHalf)
+{
+    Rng rng(11);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRange)
+{
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u); // all values hit
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(5);
+    const int n = 200000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum2 += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaleAndShift)
+{
+    Rng rng(6);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(3.0, 0.5);
+    EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(8);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct)
+{
+    Rng rng(9);
+    const auto sample = rng.sampleWithoutReplacement(100, 40);
+    EXPECT_EQ(sample.size(), 40u);
+    std::set<std::size_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), 40u);
+    for (std::size_t v : sample)
+        EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet)
+{
+    Rng rng(10);
+    auto sample = rng.sampleWithoutReplacement(16, 16);
+    std::sort(sample.begin(), sample.end());
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementUniform)
+{
+    // Each of n items should appear in a k-subset with probability k/n.
+    Rng rng(12);
+    const int trials = 20000;
+    std::vector<int> counts(10, 0);
+    for (int t = 0; t < trials; ++t) {
+        for (std::size_t idx : rng.sampleWithoutReplacement(10, 3))
+            ++counts[idx];
+    }
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, SplitStreamsIndependent)
+{
+    Rng parent(42);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (parent() == child());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, LognormalPositive)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.lognormal(0.0, 1.5), 0.0);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(14);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto w = v;
+    rng.shuffle(w);
+    std::sort(w.begin(), w.end());
+    EXPECT_EQ(v, w);
+}
+
+} // namespace
+} // namespace oscar

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the stabilizer (tableau) simulator, cross-validated
+ * against the state-vector simulator on random Clifford circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/rng.h"
+#include "src/quantum/stabilizer.h"
+#include "src/quantum/statevector.h"
+
+namespace {
+
+using namespace oscar;
+
+TEST(Stabilizer, InitialStateExpectations)
+{
+    StabilizerState state(3);
+    EXPECT_DOUBLE_EQ(state.expectation(PauliString::fromLabel("ZII")),
+                     1.0);
+    EXPECT_DOUBLE_EQ(state.expectation(PauliString::fromLabel("IZZ")),
+                     1.0);
+    EXPECT_DOUBLE_EQ(state.expectation(PauliString::fromLabel("XII")),
+                     0.0);
+    EXPECT_DOUBLE_EQ(state.expectation(PauliString::fromLabel("IYI")),
+                     0.0);
+}
+
+TEST(Stabilizer, PlusStateAfterH)
+{
+    StabilizerState state(1);
+    state.applyH(0);
+    EXPECT_DOUBLE_EQ(state.expectation(PauliString::fromLabel("X")), 1.0);
+    EXPECT_DOUBLE_EQ(state.expectation(PauliString::fromLabel("Z")), 0.0);
+}
+
+TEST(Stabilizer, XFlipsSign)
+{
+    StabilizerState state(1);
+    state.applyX(0);
+    EXPECT_DOUBLE_EQ(state.expectation(PauliString::fromLabel("Z")),
+                     -1.0);
+}
+
+TEST(Stabilizer, YEigenstateViaSH)
+{
+    // S H |0> is the +1 eigenstate of Y.
+    StabilizerState state(1);
+    state.applyH(0);
+    state.applyS(0);
+    EXPECT_DOUBLE_EQ(state.expectation(PauliString::fromLabel("Y")), 1.0);
+}
+
+TEST(Stabilizer, BellStateCorrelations)
+{
+    StabilizerState state(2);
+    state.applyH(0);
+    state.applyCX(0, 1);
+    EXPECT_DOUBLE_EQ(state.expectation(PauliString::fromLabel("ZZ")),
+                     1.0);
+    EXPECT_DOUBLE_EQ(state.expectation(PauliString::fromLabel("XX")),
+                     1.0);
+    EXPECT_DOUBLE_EQ(state.expectation(PauliString::fromLabel("YY")),
+                     -1.0);
+    EXPECT_DOUBLE_EQ(state.expectation(PauliString::fromLabel("ZI")),
+                     0.0);
+}
+
+TEST(Stabilizer, CliffordAngleDetection)
+{
+    const double pi = std::numbers::pi;
+    EXPECT_TRUE(StabilizerState::isCliffordAngle(0.0));
+    EXPECT_TRUE(StabilizerState::isCliffordAngle(pi / 2));
+    EXPECT_TRUE(StabilizerState::isCliffordAngle(-pi));
+    EXPECT_TRUE(StabilizerState::isCliffordAngle(7 * pi / 2));
+    EXPECT_FALSE(StabilizerState::isCliffordAngle(0.3));
+    EXPECT_FALSE(StabilizerState::isCliffordAngle(pi / 4));
+}
+
+TEST(Stabilizer, NonCliffordRotationThrows)
+{
+    StabilizerState state(1);
+    EXPECT_THROW(state.applyGate(Gate::rz(0, 0.3)),
+                 std::invalid_argument);
+}
+
+TEST(Stabilizer, RzQuarterMatchesS)
+{
+    // RZ(pi/2) ~ S up to global phase: check on |+>.
+    const double pi = std::numbers::pi;
+    StabilizerState a(1), b(1);
+    a.applyH(0);
+    a.applyGate(Gate::rz(0, pi / 2));
+    b.applyH(0);
+    b.applyS(0);
+    for (const char* label : {"X", "Y", "Z"}) {
+        EXPECT_DOUBLE_EQ(a.expectation(PauliString::fromLabel(label)),
+                         b.expectation(PauliString::fromLabel(label)))
+            << label;
+    }
+}
+
+/**
+ * Property test: random Clifford circuits produce identical Pauli
+ * expectations on the tableau and on the state vector.
+ */
+class StabilizerVsStatevector : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StabilizerVsStatevector, RandomCliffordCircuitAgrees)
+{
+    const double pi = std::numbers::pi;
+    Rng rng(5000 + GetParam());
+    const int n = 2 + static_cast<int>(rng.uniformInt(4));
+
+    Circuit circuit(n, 0);
+    for (int g = 0; g < 30; ++g) {
+        const int q = static_cast<int>(rng.uniformInt(n));
+        int q2 = static_cast<int>(rng.uniformInt(n));
+        if (q2 == q)
+            q2 = (q + 1) % n;
+        const int k = 1 + static_cast<int>(rng.uniformInt(3));
+        switch (rng.uniformInt(9)) {
+          case 0: circuit.append(Gate::h(q)); break;
+          case 1: circuit.append(Gate::s(q)); break;
+          case 2: circuit.append(Gate::sdg(q)); break;
+          case 3: circuit.append(Gate::cx(q, q2)); break;
+          case 4: circuit.append(Gate::cz(q, q2)); break;
+          case 5: circuit.append(Gate::rz(q, k * pi / 2)); break;
+          case 6: circuit.append(Gate::rx(q, k * pi / 2)); break;
+          case 7: circuit.append(Gate::ry(q, k * pi / 2)); break;
+          case 8: circuit.append(Gate::rzz(q, q2, k * pi / 2)); break;
+        }
+    }
+
+    StabilizerState tableau(n);
+    tableau.run(circuit);
+    Statevector sv(n);
+    sv.run(circuit);
+
+    // Compare expectations of random Pauli strings.
+    for (int trial = 0; trial < 12; ++trial) {
+        PauliString p(n);
+        for (int q = 0; q < n; ++q) {
+            p.setOp(q,
+                    static_cast<PauliOp>(rng.uniformInt(4)));
+        }
+        EXPECT_NEAR(tableau.expectation(p), sv.expectation(p), 1e-9)
+            << "pauli=" << p.toLabel();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StabilizerVsStatevector,
+                         ::testing::Range(0, 16));
+
+TEST(Stabilizer, LargeCircuitIsFast)
+{
+    // 60 qubits, 600 gates: far beyond any state vector, instant on
+    // the tableau.
+    Rng rng(9);
+    const int n = 60;
+    StabilizerState state(n);
+    Circuit circuit(n, 0);
+    for (int q = 0; q < n; ++q)
+        circuit.append(Gate::h(q));
+    for (int g = 0; g < 540; ++g) {
+        const int q = static_cast<int>(rng.uniformInt(n));
+        const int q2 = (q + 1 + static_cast<int>(rng.uniformInt(n - 1))) %
+                       n;
+        circuit.append(g % 3 == 0 ? Gate::cx(q, q2) : Gate::s(q));
+    }
+    state.run(circuit);
+    PauliString zz(n);
+    zz.setOp(0, PauliOp::Z);
+    zz.setOp(1, PauliOp::Z);
+    const double e = state.expectation(zz);
+    EXPECT_GE(e, -1.0);
+    EXPECT_LE(e, 1.0);
+}
+
+} // namespace

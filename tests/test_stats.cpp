@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for descriptive statistics (quartiles drive the paper's NRMSE).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/stats.h"
+
+namespace oscar {
+namespace {
+
+TEST(Stats, Mean)
+{
+    EXPECT_DOUBLE_EQ(stats::mean({1, 2, 3, 4}), 2.5);
+}
+
+TEST(Stats, VarianceOfConstantIsZero)
+{
+    EXPECT_DOUBLE_EQ(stats::variance({5, 5, 5}), 0.0);
+}
+
+TEST(Stats, VarianceKnownValue)
+{
+    // Population variance of {1,2,3,4} = 1.25.
+    EXPECT_DOUBLE_EQ(stats::variance({1, 2, 3, 4}), 1.25);
+}
+
+TEST(Stats, StddevIsSqrtVariance)
+{
+    EXPECT_DOUBLE_EQ(stats::stddev({1, 2, 3, 4}), std::sqrt(1.25));
+}
+
+TEST(Stats, QuantileEndpoints)
+{
+    const std::vector<double> v{3, 1, 2};
+    EXPECT_DOUBLE_EQ(stats::quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(stats::quantile(v, 1.0), 3.0);
+}
+
+TEST(Stats, QuantileLinearInterpolation)
+{
+    // numpy.quantile([0, 10], 0.25) == 2.5
+    EXPECT_DOUBLE_EQ(stats::quantile({0, 10}, 0.25), 2.5);
+}
+
+TEST(Stats, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(stats::median({5, 1, 3}), 3.0);
+    EXPECT_DOUBLE_EQ(stats::median({1, 2, 3, 4}), 2.5);
+}
+
+TEST(Stats, IqrMatchesNumpy)
+{
+    // numpy: q1(1..8)=2.75, q3=6.25 -> iqr 3.5
+    const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_DOUBLE_EQ(stats::iqr(v), 3.5);
+}
+
+TEST(Stats, RmseZeroForIdentical)
+{
+    EXPECT_DOUBLE_EQ(stats::rmse({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(Stats, RmseKnownValue)
+{
+    EXPECT_DOUBLE_EQ(stats::rmse({0, 0}, {3, 4}),
+                     std::sqrt((9.0 + 16.0) / 2.0));
+}
+
+TEST(Stats, PearsonPerfectCorrelation)
+{
+    EXPECT_NEAR(stats::pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+    EXPECT_NEAR(stats::pearson({1, 2, 3}, {-2, -4, -6}), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonZeroForConstant)
+{
+    EXPECT_DOUBLE_EQ(stats::pearson({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+} // namespace
+} // namespace oscar
