@@ -23,6 +23,19 @@
 namespace oscar {
 namespace bench {
 
+/**
+ * Shared hardware-sized engine for the benchmark binaries: every
+ * reconstruction below fans its circuit executions out over this pool.
+ * Results are bit-identical to serial runs by the engine's determinism
+ * contract, so the published numbers do not depend on the host.
+ */
+inline ExecutionEngine&
+engine()
+{
+    static ExecutionEngine instance(0);
+    return instance;
+}
+
 /** Print a horizontal rule sized to a title. */
 inline void
 header(const std::string& title)
@@ -63,7 +76,8 @@ reconstructionNrmse(const Landscape& truth, double fraction,
     OscarOptions options;
     options.samplingFraction = fraction;
     options.seed = seed;
-    const auto result = Oscar::reconstructFromLandscape(truth, options);
+    const auto result =
+        Oscar::reconstructFromLandscape(truth, options, &engine());
     return nrmse(truth.values(), result.reconstructed.values());
 }
 

@@ -41,7 +41,8 @@ main()
     const GridSpec grid = GridSpec::qaoaP1();
 
     AnalyticQaoaCost truth_cost(g, noise);
-    const Landscape truth = Landscape::gridSearch(grid, truth_cost);
+    const Landscape truth =
+        Landscape::gridSearch(grid, truth_cost, &bench::engine());
 
     std::vector<QpuDevice> devices;
     for (int k = 0; k < 50; ++k) {
@@ -57,7 +58,8 @@ main()
     const auto indices =
         chooseSampleIndices(grid.numPoints(), 0.10, sample_rng);
     const auto run =
-        runParallelSampling(grid, devices, indices, sample_rng);
+        runParallelSampling(grid, devices, indices, sample_rng,
+                            Assignment::RoundRobin, {}, &bench::engine());
 
     for (double quantile : {1.0, 0.99, 0.95, 0.90, 0.80}) {
         const auto outcome = eagerCutoffQuantile(run, quantile);

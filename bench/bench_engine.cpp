@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Scalar-vs-batched execution throughput of the ExecutionEngine.
+ *
+ * Measures the system's hottest path -- turning a list of grid points
+ * into cost values on the statevector backend -- three ways:
+ *
+ *   1. scalar:   the legacy loop, one evaluate() per point,
+ *   2. batched:  one evaluateBatch() submission (serial),
+ *   3. engine k: the batch fanned out over k worker threads.
+ *
+ * Prints points/second and speedup over the scalar path, and verifies
+ * that every mode produces bit-identical values (the engine's
+ * determinism contract). Thread speedups require cores: on a 1-core
+ * host the engine can only match the scalar path.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "src/ansatz/qaoa.h"
+#include "src/backend/engine.h"
+#include "src/backend/statevector_backend.h"
+#include "src/hamiltonian/maxcut.h"
+
+namespace oscar {
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+void
+runBench(int num_qubits, std::size_t num_points)
+{
+    Rng rng(7);
+    const Graph g = random3RegularGraph(num_qubits, rng);
+    const GridSpec grid = GridSpec::qaoaP1(50, 100);
+
+    std::vector<std::size_t> indices =
+        rng.sampleWithoutReplacement(grid.numPoints(), num_points);
+    std::vector<std::vector<double>> points;
+    points.reserve(indices.size());
+    for (std::size_t idx : indices)
+        points.push_back(grid.pointAt(idx));
+
+    bench::header("engine throughput, " + std::to_string(num_qubits) +
+                  "-qubit statevector QAOA, " +
+                  std::to_string(num_points) + " grid points");
+    bench::columns("mode", {"points/s", "speedup", "identical"});
+
+    // 1. Scalar reference.
+    StatevectorCost scalar(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    auto start = std::chrono::steady_clock::now();
+    std::vector<double> reference;
+    reference.reserve(points.size());
+    for (const auto& p : points)
+        reference.push_back(scalar.evaluate(p));
+    const double scalar_s = secondsSince(start);
+    const double scalar_rate =
+        static_cast<double>(num_points) / scalar_s;
+    bench::row("scalar evaluate()", {scalar_rate, 1.0, 1.0});
+
+    auto check = [&](const std::vector<double>& values) {
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            if (values[i] != reference[i])
+                return 0.0;
+        }
+        return 1.0;
+    };
+
+    // 2. Serial batch submission.
+    {
+        StatevectorCost cost(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+        start = std::chrono::steady_clock::now();
+        const std::vector<double> values = cost.evaluateBatch(points);
+        const double s = secondsSince(start);
+        bench::row("evaluateBatch serial",
+                   {static_cast<double>(num_points) / s, scalar_s / s,
+                    check(values)});
+    }
+
+    // 3. Engine with growing worker pools.
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    for (unsigned threads = 1; threads <= 2 * hw && threads <= 16;
+         threads *= 2) {
+        StatevectorCost cost(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+        ExecutionEngine engine(static_cast<int>(threads));
+        start = std::chrono::steady_clock::now();
+        const std::vector<double> values = engine.evaluate(cost, points);
+        const double s = secondsSince(start);
+        bench::row("engine x" + std::to_string(threads),
+                   {static_cast<double>(num_points) / s, scalar_s / s,
+                    check(values)});
+    }
+}
+
+} // namespace
+} // namespace oscar
+
+int
+main()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("hardware_concurrency: %u\n", hw);
+    if (hw <= 1) {
+        std::printf("note: single-core host; thread speedups need "
+                    "cores, expect ~1x here\n");
+    }
+    oscar::runBench(12, 600);
+    oscar::runBench(16, 200);
+    return 0;
+}

@@ -38,7 +38,8 @@ main()
 
     OscarOptions options;
     options.samplingFraction = 0.08;
-    const auto recon = Oscar::reconstruct(grid, cost, options);
+    const auto recon =
+        Oscar::reconstruct(grid, cost, options, &bench::engine());
     InterpolatedLandscapeCost interp(recon.reconstructed);
 
     AdamOptions adam_opts;

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/ansatz/qaoa.h"
 #include "src/backend/statevector_backend.h"
 #include "src/core/oscar.h"
@@ -56,7 +57,8 @@ BM_FullGridSearch(benchmark::State& state)
     const auto workload = Workload::make(static_cast<int>(state.range(0)));
     for (auto _ : state) {
         StatevectorCost cost(workload.circuit, workload.ham);
-        auto landscape = Landscape::gridSearch(benchGrid(), cost);
+        auto landscape =
+            Landscape::gridSearch(benchGrid(), cost, &bench::engine());
         benchmark::DoNotOptimize(landscape);
     }
     state.counters["circuit_runs"] =
@@ -72,7 +74,8 @@ BM_OscarReconstruction(benchmark::State& state)
         StatevectorCost cost(workload.circuit, workload.ham);
         OscarOptions options;
         options.samplingFraction = fraction;
-        auto result = Oscar::reconstruct(benchGrid(), cost, options);
+        auto result = Oscar::reconstruct(benchGrid(), cost, options,
+                                         &bench::engine());
         benchmark::DoNotOptimize(result);
     }
     state.counters["circuit_runs"] = static_cast<double>(

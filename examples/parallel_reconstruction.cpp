@@ -48,10 +48,14 @@ main()
         return devices;
     };
 
+    // One batched engine for every execution in this study.
+    ExecutionEngine engine(0);
+
     // The landscape QPU-1 would produce by itself (the target).
     AnalyticQaoaCost target_cost(graph,
                                  NoiseModel::depolarizing(0.001, 0.005));
-    const Landscape target = Landscape::gridSearch(grid, target_cost);
+    const Landscape target =
+        Landscape::gridSearch(grid, target_cost, &engine);
 
     OscarOptions options;
     options.samplingFraction = 0.10;
@@ -62,7 +66,8 @@ main()
         auto devices = make_devices();
         Rng run_rng(99);
         const auto result = Oscar::reconstructParallel(
-            grid, devices, {0.5, 0.5}, use_ncm, 0.01, run_rng, options);
+            grid, devices, {0.5, 0.5}, use_ncm, 0.01, run_rng, options,
+            &engine);
         std::printf("  %-22s NRMSE vs QPU-1 landscape: %.4f\n",
                     use_ncm ? "with NCM" : "uncompensated",
                     nrmse(target.values(),
@@ -77,7 +82,8 @@ main()
     const auto indices =
         chooseSampleIndices(grid.numPoints(), 0.10, sched_rng);
     const auto run =
-        runParallelSampling(grid, devices, indices, sched_rng);
+        runParallelSampling(grid, devices, indices, sched_rng,
+                            Assignment::RoundRobin, {}, &engine);
     for (double q : {1.0, 0.95, 0.85}) {
         const auto outcome = eagerCutoffQuantile(run, q);
         const Landscape recon =

@@ -21,14 +21,21 @@ main()
     const Graph graph = random3RegularGraph(16, rng);
     AnalyticQaoaCost cost(graph);
 
+    // Every circuit execution goes through the batched engine; one
+    // pool for the whole run, sized to the machine.
+    ExecutionEngine engine(EngineOptions{/*numThreads=*/0,
+                                         /*minPointsPerThread=*/4});
+
     // Ground truth: full 50 x 100 grid search (5,000 circuit runs).
     const GridSpec grid = GridSpec::qaoaP1();
-    const Landscape truth = Landscape::gridSearch(grid, cost);
+    const Landscape truth = Landscape::gridSearch(grid, cost, &engine);
 
-    // OSCAR: 6% of the grid, compressed-sensing reconstruction.
+    // OSCAR: 6% of the grid, compressed-sensing reconstruction. The
+    // result is bit-identical for any thread count.
     OscarOptions options;
     options.samplingFraction = 0.06;
-    const OscarResult result = Oscar::reconstruct(grid, cost, options);
+    const OscarResult result =
+        Oscar::reconstruct(grid, cost, options, &engine);
 
     std::printf("grid points          : %zu\n", grid.numPoints());
     std::printf("samples used         : %zu\n", result.queriesUsed);

@@ -88,8 +88,15 @@ AnalyticQaoaCost::edgeExpectation(std::size_t edge_index, double beta,
     return damping_[edge_index] * zz;
 }
 
+std::unique_ptr<CostFunction>
+AnalyticQaoaCost::clone() const
+{
+    return std::make_unique<AnalyticQaoaCost>(*this);
+}
+
 double
-AnalyticQaoaCost::evaluateImpl(const std::vector<double>& params)
+AnalyticQaoaCost::evaluateImpl(const std::vector<double>& params,
+                               std::uint64_t /*ordinal*/)
 {
     const double beta = params[0];
     const double gamma = params[1];

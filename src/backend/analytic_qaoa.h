@@ -51,8 +51,12 @@ class AnalyticQaoaCost : public CostFunction
     double edgeExpectation(std::size_t edge_index, double beta,
                            double gamma) const;
 
+    /** Replicable: evaluation is a pure closed-form function. */
+    std::unique_ptr<CostFunction> clone() const override;
+
   protected:
-    double evaluateImpl(const std::vector<double>& params) override;
+    double evaluateImpl(const std::vector<double>& params,
+                        std::uint64_t ordinal) override;
 
   private:
     void computeDamping(const NoiseModel& noise);

@@ -28,8 +28,15 @@ DensityCost::DensityCost(Circuit circuit, PauliSum hamiltonian,
     }
 }
 
+std::unique_ptr<CostFunction>
+DensityCost::clone() const
+{
+    return std::make_unique<DensityCost>(*this);
+}
+
 double
-DensityCost::evaluateImpl(const std::vector<double>& params)
+DensityCost::evaluateImpl(const std::vector<double>& params,
+                          std::uint64_t /*ordinal*/)
 {
     rho_.reset();
     rho_.run(circuit_, params, noise_);

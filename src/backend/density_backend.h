@@ -29,8 +29,12 @@ class DensityCost : public CostFunction
 
     const NoiseModel& noise() const { return noise_; }
 
+    /** Replicable: the density-matrix scratch is per-instance. */
+    std::unique_ptr<CostFunction> clone() const override;
+
   protected:
-    double evaluateImpl(const std::vector<double>& params) override;
+    double evaluateImpl(const std::vector<double>& params,
+                        std::uint64_t ordinal) override;
 
   private:
     Circuit circuit_;

@@ -1,0 +1,255 @@
+#include "src/backend/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oscar {
+
+namespace {
+
+int
+resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+} // namespace
+
+ExecutionEngine::ExecutionEngine()
+    : ExecutionEngine(EngineOptions{1, 4})
+{
+}
+
+ExecutionEngine::ExecutionEngine(int num_threads)
+    : ExecutionEngine(EngineOptions{num_threads, 4})
+{
+}
+
+ExecutionEngine::ExecutionEngine(const EngineOptions& options)
+    : minPointsPerThread_(std::max<std::size_t>(1,
+                                                options.minPointsPerThread))
+{
+    const int threads = resolveThreads(options.numThreads);
+    // The calling thread participates in every job, so spawn one fewer
+    // worker than the requested parallelism.
+    for (int t = 1; t < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ExecutionEngine::~ExecutionEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_)
+        w.join();
+}
+
+int
+ExecutionEngine::numThreads() const
+{
+    return static_cast<int>(workers_.size()) + 1;
+}
+
+ExecutionEngine&
+ExecutionEngine::serial()
+{
+    static ExecutionEngine engine;
+    return engine;
+}
+
+std::vector<ExecutionEngine::Chunk>
+ExecutionEngine::planChunks(std::size_t count) const
+{
+    const std::size_t threads = workers_.size() + 1;
+    if (threads <= 1 || count < 2 * minPointsPerThread_)
+        return {};
+    const std::size_t max_chunks =
+        std::max<std::size_t>(1, count / minPointsPerThread_);
+    const std::size_t n = std::min(threads, max_chunks);
+    if (n <= 1)
+        return {};
+    std::vector<Chunk> chunks;
+    chunks.reserve(n);
+    const std::size_t base = count / n;
+    const std::size_t rem = count % n;
+    std::size_t lo = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+        const std::size_t size = base + (c < rem ? 1 : 0);
+        chunks.push_back({lo, lo + size});
+        lo += size;
+    }
+    return chunks;
+}
+
+void
+ExecutionEngine::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        wake_.wait(lock, [&] {
+            return stop_ ||
+                   (jobGeneration_ != seen_generation &&
+                    jobNext_ < jobCount_);
+        });
+        if (stop_)
+            return;
+        const std::uint64_t generation = jobGeneration_;
+        const std::function<void(std::size_t)> fn = job_;
+        while (jobGeneration_ == generation && jobNext_ < jobCount_) {
+            const std::size_t chunk = jobNext_++;
+            lock.unlock();
+            fn(chunk);
+            lock.lock();
+            if (--jobPending_ == 0)
+                done_.notify_all();
+        }
+        seen_generation = generation;
+    }
+}
+
+void
+ExecutionEngine::runOnPool(std::size_t num_chunks,
+                           const std::function<void(std::size_t)>& fn)
+{
+    std::lock_guard<std::mutex> submit_lock(submitMutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = fn;
+        jobCount_ = num_chunks;
+        jobNext_ = 0;
+        jobPending_ = num_chunks;
+        ++jobGeneration_;
+    }
+    wake_.notify_all();
+
+    // The calling thread claims chunks too.
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (jobNext_ < jobCount_) {
+        const std::size_t chunk = jobNext_++;
+        lock.unlock();
+        fn(chunk);
+        lock.lock();
+        if (--jobPending_ == 0)
+            done_.notify_all();
+    }
+    done_.wait(lock, [&] { return jobPending_ == 0; });
+    job_ = nullptr;
+}
+
+std::vector<double>
+ExecutionEngine::evaluate(CostFunction& cost,
+                          const std::vector<std::vector<double>>& points)
+{
+    if (points.empty())
+        return {};
+
+    const std::vector<Chunk> chunks = planChunks(points.size());
+    std::unique_ptr<CostFunction> proto;
+    if (!chunks.empty())
+        proto = cost.clone();
+
+    // Serial fallback, still through the virtual batch hook so
+    // backend-specific batching applies.
+    if (chunks.empty() || !proto)
+        return cost.evaluateBatch(points);
+
+    // Validate every point before counting anything, exactly like the
+    // serial path, so query/ordinal accounting cannot diverge by
+    // thread count.
+    for (const auto& p : points)
+        cost.checkParams(p);
+    return evaluateParallel(cost, points, chunks, std::move(proto));
+}
+
+std::vector<double>
+ExecutionEngine::evaluateGenerated(CostFunction& cost, std::size_t count,
+                                   const PointFn& point_at)
+{
+    std::vector<std::vector<double>> points;
+    points.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        points.push_back(point_at(i));
+    return evaluate(cost, points);
+}
+
+std::vector<double>
+ExecutionEngine::evaluateParallel(CostFunction& cost,
+                                  std::span<const std::vector<double>> points,
+                                  const std::vector<Chunk>& chunks,
+                                  std::unique_ptr<CostFunction> proto)
+{
+    // One replica per chunk; chunk 0 reuses the probe clone.
+    std::vector<std::unique_ptr<CostFunction>> replicas;
+    replicas.reserve(chunks.size());
+    replicas.push_back(std::move(proto));
+    for (std::size_t c = 1; c < chunks.size(); ++c) {
+        auto replica = cost.clone();
+        if (!replica)
+            throw std::runtime_error(
+                "ExecutionEngine: clone() became unavailable mid-batch");
+        replicas.push_back(std::move(replica));
+    }
+
+    std::vector<double> out(points.size());
+    const std::uint64_t base = cost.reserve(points.size());
+    std::exception_ptr failure;
+    std::mutex failure_mutex;
+
+    runOnPool(chunks.size(), [&](std::size_t c) {
+        try {
+            const Chunk chunk = chunks[c];
+            replicas[c]->evaluateBatchImpl(
+                points.subspan(chunk.lo, chunk.hi - chunk.lo),
+                base + chunk.lo, out.data() + chunk.lo);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(failure_mutex);
+            if (!failure)
+                failure = std::current_exception();
+        }
+    });
+
+    if (failure)
+        std::rethrow_exception(failure);
+    return out;
+}
+
+std::vector<double>
+ExecutionEngine::map(std::size_t count,
+                     const std::function<double(std::size_t)>& fn)
+{
+    std::vector<double> out(count);
+    if (count == 0)
+        return out;
+
+    const std::vector<Chunk> chunks = planChunks(count);
+    if (chunks.empty()) {
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = fn(i);
+        return out;
+    }
+
+    std::exception_ptr failure;
+    std::mutex failure_mutex;
+    runOnPool(chunks.size(), [&](std::size_t c) {
+        try {
+            for (std::size_t i = chunks[c].lo; i < chunks[c].hi; ++i)
+                out[i] = fn(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(failure_mutex);
+            if (!failure)
+                failure = std::current_exception();
+        }
+    });
+    if (failure)
+        std::rethrow_exception(failure);
+    return out;
+}
+
+} // namespace oscar

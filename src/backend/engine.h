@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Batched, thread-parallel execution of cost-function evaluations.
+ *
+ * OSCAR's samples are independent by construction (paper Fig. 7A), so
+ * the hottest path of the whole system -- turning a list of parameter
+ * points into a list of cost values -- is embarrassingly parallel.
+ * The ExecutionEngine owns a pool of worker threads and fans a batch
+ * out across them in contiguous chunks.
+ *
+ * Determinism contract: evaluation i of a batch always runs with
+ * ordinal base + i (see executor.h), regardless of which worker
+ * executes it, so results are bit-identical for 1 or N threads. This
+ * is what makes the N-thread reconstruction pipelines reproduce the
+ * serial ones exactly.
+ *
+ * Parallel execution requires the cost function to be replicable
+ * (CostFunction::clone() != nullptr); otherwise the engine degrades
+ * gracefully to the serial batched path. The serial path still goes
+ * through CostFunction::evaluateBatch, so backend-specific batch
+ * overrides apply either way.
+ */
+
+#ifndef OSCAR_BACKEND_ENGINE_H
+#define OSCAR_BACKEND_ENGINE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/backend/executor.h"
+
+namespace oscar {
+
+/** ExecutionEngine configuration. */
+struct EngineOptions
+{
+    /** Worker threads; 0 = hardware concurrency, 1 = serial. */
+    int numThreads = 0;
+
+    /**
+     * Below this many points per would-be worker the batch runs
+     * serially (thread hand-off costs more than it saves).
+     */
+    std::size_t minPointsPerThread = 4;
+};
+
+/** Thread-pooled batch evaluator for CostFunctions. */
+class ExecutionEngine
+{
+  public:
+    /** Serial engine (no worker threads). */
+    ExecutionEngine();
+
+    explicit ExecutionEngine(const EngineOptions& options);
+
+    /** Convenience: engine with `num_threads` workers (0 = hardware). */
+    explicit ExecutionEngine(int num_threads);
+
+    ~ExecutionEngine();
+
+    ExecutionEngine(const ExecutionEngine&) = delete;
+    ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+
+    /** Worker threads available (1 when serial). */
+    int numThreads() const;
+
+    /**
+     * Evaluate a batch of parameter points; result[i] corresponds to
+     * points[i]. Queries are credited to `cost` exactly once per point.
+     */
+    std::vector<double>
+    evaluate(CostFunction& cost,
+             const std::vector<std::vector<double>>& points);
+
+    /** Produces the i-th parameter point of a generated batch. */
+    using PointFn = std::function<std::vector<double>(std::size_t)>;
+
+    /**
+     * Evaluate `count` points produced by `point_at(i)` without
+     * materializing the whole batch up front. `point_at` must be safe
+     * to call concurrently (grid lookups are).
+     */
+    std::vector<double> evaluateGenerated(CostFunction& cost,
+                                          std::size_t count,
+                                          const PointFn& point_at);
+
+    /**
+     * Parallel map without a cost function: out[i] = fn(i). Used for
+     * batched landscape lookups (dataset replay) and other per-index
+     * work. `fn` must be safe to call concurrently.
+     */
+    std::vector<double>
+    map(std::size_t count,
+        const std::function<double(std::size_t)>& fn);
+
+    /**
+     * A process-wide serial engine, for call sites that accept an
+     * optional engine: `engineOr(ptr)` never returns null.
+     */
+    static ExecutionEngine& serial();
+
+    static ExecutionEngine&
+    engineOr(ExecutionEngine* engine)
+    {
+        return engine ? *engine : serial();
+    }
+
+  private:
+    struct Chunk
+    {
+        std::size_t lo;
+        std::size_t hi;
+    };
+
+    /** Split [0, count) into per-worker chunks; empty = run serial. */
+    std::vector<Chunk> planChunks(std::size_t count) const;
+
+    /** Fan a validated batch out across replica clones of `cost`. */
+    std::vector<double>
+    evaluateParallel(CostFunction& cost,
+                     std::span<const std::vector<double>> points,
+                     const std::vector<Chunk>& chunks,
+                     std::unique_ptr<CostFunction> proto);
+
+    /** Run fn(c) for every chunk index on the pool + calling thread. */
+    void runOnPool(std::size_t num_chunks,
+                   const std::function<void(std::size_t)>& fn);
+
+    // -- worker pool -------------------------------------------------
+    void workerLoop();
+
+    std::size_t minPointsPerThread_;
+    std::vector<std::thread> workers_;
+
+    /** Serializes whole jobs when callers share one engine. */
+    std::mutex submitMutex_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::function<void(std::size_t)> job_;
+    std::size_t jobCount_ = 0;   ///< chunks in the current job
+    std::size_t jobNext_ = 0;    ///< next chunk index to claim
+    std::size_t jobPending_ = 0; ///< chunks not yet finished
+    std::uint64_t jobGeneration_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_BACKEND_ENGINE_H

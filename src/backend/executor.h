@@ -7,19 +7,37 @@
  * (grid search, OSCAR sampling, optimizers) only consumes this
  * interface. Each evaluation is counted, because query counts are
  * themselves a headline metric (Table 6).
+ *
+ * Evaluations are submitted either one point at a time (`evaluate`) or
+ * as a batch (`evaluateBatch`); the ExecutionEngine (engine.h) fans
+ * batches out across worker threads. Two invariants make that safe and
+ * reproducible:
+ *
+ *  - Query counting is atomic and batch-aware: a batch of n points
+ *    counts n queries with a single atomic add.
+ *  - Every evaluation carries an *ordinal*: its 0-based position in
+ *    submission order. Stochastic backends derive all randomness from
+ *    (seed, ordinal) via mixSeed, so a batch produces bit-identical
+ *    values no matter how many threads execute it, and matches the
+ *    scalar path point for point.
  */
 
 #ifndef OSCAR_BACKEND_EXECUTOR_H
 #define OSCAR_BACKEND_EXECUTOR_H
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/common/rng.h"
 
 namespace oscar {
+
+class ExecutionEngine;
 
 /** Abstract VQA cost evaluator: circuit parameters -> expected cost. */
 class CostFunction
@@ -33,17 +51,113 @@ class CostFunction
     /** Evaluate the expected cost; increments the query counter. */
     double evaluate(const std::vector<double>& params);
 
-    /** Number of evaluate() calls since construction / reset. */
-    std::size_t numQueries() const { return queries_; }
+    /**
+     * Evaluate a batch of points; counts points.size() queries.
+     *
+     * The default implementation loops over evaluateImpl with
+     * consecutive ordinals; backends may override evaluateBatchImpl
+     * with backend-specific batching. Results are positional:
+     * result[i] corresponds to points[i].
+     */
+    std::vector<double>
+    evaluateBatch(const std::vector<std::vector<double>>& points);
 
-    /** Reset the query counter. */
-    void resetQueries() { queries_ = 0; }
+    /**
+     * Independent copy for a worker thread, or nullptr if this
+     * evaluator cannot be replicated (the engine then falls back to
+     * serial batch execution). Clones share no mutable state; the
+     * engine drives them with explicit ordinals so stochastic clones
+     * reproduce the parent's streams.
+     */
+    virtual std::unique_ptr<CostFunction>
+    clone() const
+    {
+        return nullptr;
+    }
+
+    /** Number of evaluations since construction / reset. */
+    std::size_t
+    numQueries() const
+    {
+        return queries_.load(std::memory_order_relaxed);
+    }
+
+    /** Reset the query counter and the ordinal stream. */
+    void
+    resetQueries()
+    {
+        queries_.store(0, std::memory_order_relaxed);
+        ordinal_.store(0, std::memory_order_relaxed);
+    }
 
   protected:
-    virtual double evaluateImpl(const std::vector<double>& params) = 0;
+    CostFunction() = default;
+
+    /** Copies counter snapshots; clones get independent counters. */
+    CostFunction(const CostFunction& other)
+        : queries_(other.numQueries()),
+          ordinal_(other.ordinal_.load(std::memory_order_relaxed))
+    {
+    }
+
+    CostFunction&
+    operator=(const CostFunction& other)
+    {
+        queries_.store(other.numQueries(), std::memory_order_relaxed);
+        ordinal_.store(other.ordinal_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+        return *this;
+    }
+
+    /**
+     * Scalar evaluation. `ordinal` is the deterministic stream key of
+     * this evaluation (0-based submission order). Deterministic
+     * backends ignore it; stochastic backends must derive all their
+     * randomness from it (typically `Rng(mixSeed(seed, ordinal))`) so
+     * that results do not depend on threading or batching.
+     */
+    virtual double evaluateImpl(const std::vector<double>& params,
+                                std::uint64_t ordinal) = 0;
+
+    /**
+     * Batch hook: evaluate points[i] with ordinal base_ordinal + i and
+     * write to out[i]. Default loops over evaluateImpl; backends with a
+     * cheaper batched path override this. Parameter sizes are already
+     * validated. Taking a span lets the engine hand replicas
+     * zero-copy slices of one materialized batch.
+     */
+    virtual void
+    evaluateBatchImpl(std::span<const std::vector<double>> points,
+                      std::uint64_t base_ordinal, double* out);
+
+    /**
+     * Keyed evaluation of *another* cost function, for wrappers (ZNE,
+     * shot noise, damping, ...): validates, counts one query on `f`,
+     * and runs f.evaluateImpl with the given ordinal. Wrappers must
+     * route inner calls through this (with an ordinal derived from
+     * their own) instead of f.evaluate(), otherwise inner streams
+     * would depend on execution order.
+     */
+    static double invokeAt(CostFunction& f,
+                           const std::vector<double>& params,
+                           std::uint64_t ordinal);
+
+    /** Throw unless params.size() == numParams(). */
+    void checkParams(const std::vector<double>& params) const;
 
   private:
-    std::size_t queries_ = 0;
+    friend class ExecutionEngine;
+
+    /** Count n queries and reserve n consecutive ordinals. */
+    std::uint64_t
+    reserve(std::size_t n)
+    {
+        queries_.fetch_add(n, std::memory_order_relaxed);
+        return ordinal_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::atomic<std::size_t> queries_{0};
+    std::atomic<std::uint64_t> ordinal_{0};
 };
 
 /** Wrap a plain callable as a CostFunction (used by tests/optimizers). */
@@ -52,16 +166,29 @@ class LambdaCost : public CostFunction
   public:
     using Fn = std::function<double(const std::vector<double>&)>;
 
-    LambdaCost(int num_params, Fn fn)
-        : numParams_(num_params), fn_(std::move(fn))
+    /**
+     * @param thread_safe pass true when `fn` is pure / re-entrant;
+     *        enables clone() and therefore engine parallelism.
+     */
+    LambdaCost(int num_params, Fn fn, bool thread_safe = false)
+        : numParams_(num_params), fn_(std::move(fn)),
+          threadSafe_(thread_safe)
     {
     }
 
     int numParams() const override { return numParams_; }
 
+    std::unique_ptr<CostFunction>
+    clone() const override
+    {
+        if (!threadSafe_)
+            return nullptr;
+        return std::make_unique<LambdaCost>(*this);
+    }
+
   protected:
     double
-    evaluateImpl(const std::vector<double>& params) override
+    evaluateImpl(const std::vector<double>& params, std::uint64_t) override
     {
         return fn_(params);
     }
@@ -69,6 +196,7 @@ class LambdaCost : public CostFunction
   private:
     int numParams_;
     Fn fn_;
+    bool threadSafe_;
 };
 
 /**
@@ -78,7 +206,9 @@ class LambdaCost : public CostFunction
  * standard deviation sigma_1 / sqrt(S), where sigma_1 is the
  * single-shot cost standard deviation. We model the estimator as
  * exact + Gaussian(0, sigma_1/sqrt(S)); sigma_1 is configurable (the
- * true value depends on the observable's spectral range).
+ * true value depends on the observable's spectral range). The noise
+ * draw is keyed by evaluation ordinal, so batched and threaded runs
+ * reproduce the scalar stream.
  */
 class ShotNoiseCost : public CostFunction
 {
@@ -88,14 +218,17 @@ class ShotNoiseCost : public CostFunction
 
     int numParams() const override { return inner_->numParams(); }
 
+    std::unique_ptr<CostFunction> clone() const override;
+
   protected:
-    double evaluateImpl(const std::vector<double>& params) override;
+    double evaluateImpl(const std::vector<double>& params,
+                        std::uint64_t ordinal) override;
 
   private:
     std::shared_ptr<CostFunction> inner_;
     std::size_t shots_;
     double sigma1_;
-    Rng rng_;
+    std::uint64_t seed_;
 };
 
 } // namespace oscar

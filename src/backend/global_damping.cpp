@@ -21,10 +21,17 @@ GlobalDampingCost::GlobalDampingCost(Circuit circuit, PauliSum hamiltonian,
     }
 }
 
-double
-GlobalDampingCost::evaluateImpl(const std::vector<double>& params)
+std::unique_ptr<CostFunction>
+GlobalDampingCost::clone() const
 {
-    const double ideal = ideal_.evaluate(params);
+    return std::make_unique<GlobalDampingCost>(*this);
+}
+
+double
+GlobalDampingCost::evaluateImpl(const std::vector<double>& params,
+                                std::uint64_t ordinal)
+{
+    const double ideal = invokeAt(ideal_, params, ordinal);
     return damping_ * (ideal - mixed_) + mixed_;
 }
 

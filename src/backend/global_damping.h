@@ -38,8 +38,12 @@ class GlobalDampingCost : public CostFunction
     /** The maximally-mixed expectation Tr(H)/2^n. */
     double mixedExpectation() const { return mixed_; }
 
+    /** Replicable: wraps a replicable statevector evaluation. */
+    std::unique_ptr<CostFunction> clone() const override;
+
   protected:
-    double evaluateImpl(const std::vector<double>& params) override;
+    double evaluateImpl(const std::vector<double>& params,
+                        std::uint64_t ordinal) override;
 
   private:
     StatevectorCost ideal_;

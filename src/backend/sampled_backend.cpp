@@ -8,7 +8,7 @@ SampledCost::SampledCost(Circuit circuit, PauliSum hamiltonian,
                          std::size_t shots, NoiseModel noise,
                          std::uint64_t seed)
     : circuit_(std::move(circuit)), shots_(shots), noise_(noise),
-      state_(circuit_.numQubits()), rng_(seed)
+      state_(circuit_.numQubits()), seed_(seed)
 {
     if (hamiltonian.numQubits() != circuit_.numQubits())
         throw std::invalid_argument(
@@ -21,12 +21,20 @@ SampledCost::SampledCost(Circuit circuit, PauliSum hamiltonian,
     diagonal_ = hamiltonian.diagonalTable();
 }
 
-double
-SampledCost::evaluateImpl(const std::vector<double>& params)
+std::unique_ptr<CostFunction>
+SampledCost::clone() const
 {
+    return std::make_unique<SampledCost>(*this);
+}
+
+double
+SampledCost::evaluateImpl(const std::vector<double>& params,
+                          std::uint64_t ordinal)
+{
+    Rng rng(mixSeed(seed_, ordinal));
     state_.reset();
     state_.run(circuit_, params);
-    const auto outcomes = state_.sample(shots_, rng_);
+    const auto outcomes = state_.sample(shots_, rng);
 
     const bool readout =
         noise_.readout01 > 0.0 || noise_.readout10 > 0.0;
@@ -37,7 +45,7 @@ SampledCost::evaluateImpl(const std::vector<double>& params)
                 const bool bit = (z >> q) & 1ULL;
                 const double flip_prob =
                     bit ? noise_.readout10 : noise_.readout01;
-                if (flip_prob > 0.0 && rng_.bernoulli(flip_prob))
+                if (flip_prob > 0.0 && rng.bernoulli(flip_prob))
                     z ^= std::uint64_t{1} << q;
             }
         }

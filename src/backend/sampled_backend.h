@@ -43,8 +43,16 @@ class SampledCost : public CostFunction
 
     std::size_t shots() const { return shots_; }
 
+    /**
+     * Replicable: sampling randomness is keyed by evaluation ordinal
+     * (Rng(mixSeed(seed, ordinal))), not by a rolling generator, so
+     * replicas reproduce the parent's streams.
+     */
+    std::unique_ptr<CostFunction> clone() const override;
+
   protected:
-    double evaluateImpl(const std::vector<double>& params) override;
+    double evaluateImpl(const std::vector<double>& params,
+                        std::uint64_t ordinal) override;
 
   private:
     Circuit circuit_;
@@ -52,7 +60,7 @@ class SampledCost : public CostFunction
     std::size_t shots_;
     NoiseModel noise_;
     Statevector state_;
-    Rng rng_;
+    std::uint64_t seed_;
 };
 
 } // namespace oscar

@@ -15,8 +15,15 @@ StatevectorCost::StatevectorCost(Circuit circuit, PauliSum hamiltonian)
         diagonal_ = hamiltonian_.diagonalTable();
 }
 
+std::unique_ptr<CostFunction>
+StatevectorCost::clone() const
+{
+    return std::make_unique<StatevectorCost>(*this);
+}
+
 double
-StatevectorCost::evaluateImpl(const std::vector<double>& params)
+StatevectorCost::evaluateImpl(const std::vector<double>& params,
+                              std::uint64_t /*ordinal*/)
 {
     state_.reset();
     state_.run(circuit_, params);

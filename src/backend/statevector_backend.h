@@ -25,8 +25,12 @@ class StatevectorCost : public CostFunction
 
     int numParams() const override { return circuit_.numParams(); }
 
+    /** Replicable: the simulation scratch is per-instance. */
+    std::unique_ptr<CostFunction> clone() const override;
+
   protected:
-    double evaluateImpl(const std::vector<double>& params) override;
+    double evaluateImpl(const std::vector<double>& params,
+                        std::uint64_t ordinal) override;
 
   private:
     Circuit circuit_;

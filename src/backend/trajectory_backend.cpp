@@ -12,7 +12,7 @@ TrajectoryCost::TrajectoryCost(Circuit circuit, PauliSum hamiltonian,
                                std::uint64_t seed)
     : circuit_(std::move(circuit)), hamiltonian_(std::move(hamiltonian)),
       noise_(noise), numTrajectories_(num_trajectories),
-      state_(circuit_.numQubits()), rng_(seed)
+      state_(circuit_.numQubits()), seed_(seed)
 {
     if (num_trajectories == 0)
         throw std::invalid_argument("TrajectoryCost: need >= 1 trajectory");
@@ -33,8 +33,14 @@ TrajectoryCost::TrajectoryCost(Circuit circuit, PauliSum hamiltonian,
     }
 }
 
+std::unique_ptr<CostFunction>
+TrajectoryCost::clone() const
+{
+    return std::make_unique<TrajectoryCost>(*this);
+}
+
 double
-TrajectoryCost::runTrajectory(const std::vector<double>& params)
+TrajectoryCost::runTrajectory(const std::vector<double>& params, Rng& rng)
 {
     state_.reset();
     for (const Gate& g : circuit_.gates()) {
@@ -44,10 +50,10 @@ TrajectoryCost::runTrajectory(const std::vector<double>& params)
         state_.applyGate(resolved);
 
         if (gateArity(g.kind) == 2) {
-            if (noise_.p2 > 0.0 && rng_.bernoulli(noise_.p2)) {
+            if (noise_.p2 > 0.0 && rng.bernoulli(noise_.p2)) {
                 // Uniform over the 15 non-identity 2-qubit Paulis:
                 // pick (pa, pb) != (I, I).
-                const std::uint64_t pick = rng_.uniformInt(15) + 1;
+                const std::uint64_t pick = rng.uniformInt(15) + 1;
                 const int pa = static_cast<int>(pick & 3);
                 const int pb = static_cast<int>(pick >> 2);
                 static const GateKind paulis[] = {GateKind::X, GateKind::X,
@@ -65,11 +71,11 @@ TrajectoryCost::runTrajectory(const std::vector<double>& params)
                     state_.applyGate(e);
                 }
             }
-        } else if (noise_.p1 > 0.0 && rng_.bernoulli(noise_.p1)) {
+        } else if (noise_.p1 > 0.0 && rng.bernoulli(noise_.p1)) {
             static const GateKind paulis[] = {GateKind::X, GateKind::Y,
                                               GateKind::Z};
             Gate e;
-            e.kind = paulis[rng_.uniformInt(3)];
+            e.kind = paulis[rng.uniformInt(3)];
             e.qubits = {g.qubits[0], -1};
             state_.applyGate(e);
         }
@@ -80,11 +86,13 @@ TrajectoryCost::runTrajectory(const std::vector<double>& params)
 }
 
 double
-TrajectoryCost::evaluateImpl(const std::vector<double>& params)
+TrajectoryCost::evaluateImpl(const std::vector<double>& params,
+                             std::uint64_t ordinal)
 {
+    Rng rng(mixSeed(seed_, ordinal));
     double acc = 0.0;
     for (std::size_t t = 0; t < numTrajectories_; ++t)
-        acc += runTrajectory(params);
+        acc += runTrajectory(params, rng);
     return acc / static_cast<double>(numTrajectories_);
 }
 

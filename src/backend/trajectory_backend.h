@@ -33,12 +33,19 @@ class TrajectoryCost : public CostFunction
 
     int numParams() const override { return circuit_.numParams(); }
 
+    /**
+     * Replicable: trajectory randomness is keyed by evaluation ordinal
+     * so replicas reproduce the parent's streams.
+     */
+    std::unique_ptr<CostFunction> clone() const override;
+
   protected:
-    double evaluateImpl(const std::vector<double>& params) override;
+    double evaluateImpl(const std::vector<double>& params,
+                        std::uint64_t ordinal) override;
 
   private:
     /** Run one noisy trajectory and return its expectation value. */
-    double runTrajectory(const std::vector<double>& params);
+    double runTrajectory(const std::vector<double>& params, Rng& rng);
 
     Circuit circuit_;
     PauliSum hamiltonian_;
@@ -46,7 +53,7 @@ class TrajectoryCost : public CostFunction
     std::size_t numTrajectories_;
     std::vector<double> diagonal_;
     Statevector state_;
-    Rng rng_;
+    std::uint64_t seed_;
 };
 
 } // namespace oscar

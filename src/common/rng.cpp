@@ -130,4 +130,12 @@ Rng::split()
     return Rng((*this)());
 }
 
+std::uint64_t
+mixSeed(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t state = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+    std::uint64_t z = splitmix64(state);
+    return z ^ splitmix64(state);
+}
+
 } // namespace oscar

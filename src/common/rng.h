@@ -85,6 +85,15 @@ class Rng
     bool hasSpare_ = false;
 };
 
+/**
+ * Avalanche two 64-bit values into one seed (splitmix64 finalizer over
+ * the combination). This is how per-evaluation RNG streams are keyed:
+ * `Rng(mixSeed(backend_seed, evaluation_ordinal))` yields a stream that
+ * depends only on the pair, so batched / multi-threaded execution
+ * reproduces scalar execution bit for bit.
+ */
+std::uint64_t mixSeed(std::uint64_t a, std::uint64_t b);
+
 } // namespace oscar
 
 #endif // OSCAR_COMMON_RNG_H

@@ -8,6 +8,33 @@ namespace oscar {
 
 namespace {
 
+/**
+ * Engine selection for one pipeline run: use the caller's engine when
+ * provided, otherwise spin up a pool sized by options.numThreads
+ * (1 = borrow the shared serial engine, no threads spawned).
+ */
+class PipelineEngine
+{
+  public:
+    PipelineEngine(ExecutionEngine* caller, const OscarOptions& options)
+    {
+        if (caller) {
+            engine_ = caller;
+        } else if (options.numThreads == 1) {
+            engine_ = &ExecutionEngine::serial();
+        } else {
+            owned_ = std::make_unique<ExecutionEngine>(options.numThreads);
+            engine_ = owned_.get();
+        }
+    }
+
+    ExecutionEngine* get() const { return engine_; }
+
+  private:
+    ExecutionEngine* engine_ = nullptr;
+    std::unique_ptr<ExecutionEngine> owned_;
+};
+
 OscarResult
 finalize(const GridSpec& grid, SampleSet samples, const CsOptions& cs)
 {
@@ -26,21 +53,24 @@ finalize(const GridSpec& grid, SampleSet samples, const CsOptions& cs)
 
 OscarResult
 Oscar::reconstruct(const GridSpec& grid, CostFunction& cost,
-                   const OscarOptions& options)
+                   const OscarOptions& options, ExecutionEngine* engine)
 {
+    const PipelineEngine eng(engine, options);
     Rng rng(options.seed);
     SampleSet samples =
-        sampleCost(grid, cost, options.samplingFraction, rng);
+        sampleCost(grid, cost, options.samplingFraction, rng, eng.get());
     return finalize(grid, std::move(samples), options.cs);
 }
 
 OscarResult
 Oscar::reconstructFromLandscape(const Landscape& truth,
-                                const OscarOptions& options)
+                                const OscarOptions& options,
+                                ExecutionEngine* engine)
 {
+    const PipelineEngine eng(engine, options);
     Rng rng(options.seed);
     SampleSet samples =
-        sampleLandscape(truth, options.samplingFraction, rng);
+        sampleLandscape(truth, options.samplingFraction, rng, eng.get());
     return finalize(truth.grid(), std::move(samples), options.cs);
 }
 
@@ -58,16 +88,19 @@ Oscar::reconstructParallel(const GridSpec& grid,
                            std::vector<QpuDevice>& devices,
                            const std::vector<double>& fractions,
                            bool use_ncm, double ncm_train_fraction,
-                           Rng& rng, const OscarOptions& options)
+                           Rng& rng, const OscarOptions& options,
+                           ExecutionEngine* engine)
 {
     if (devices.empty())
         throw std::invalid_argument("reconstructParallel: no devices");
 
+    const PipelineEngine eng(engine, options);
     const auto indices = chooseSampleIndices(
         grid.numPoints(), options.samplingFraction, rng);
     ParallelRunResult run =
         runParallelSampling(grid, devices, indices, rng,
-                            Assignment::FractionSplit, fractions);
+                            Assignment::FractionSplit, fractions,
+                            eng.get());
 
     // Train one NCM per non-reference device and transform its share.
     SampleSet merged = run.deviceSamples(0);
@@ -77,7 +110,8 @@ Oscar::reconstructParallel(const GridSpec& grid,
             continue;
         if (use_ncm) {
             const auto ncm = NoiseCompensationModel::trainOnDevices(
-                grid, devices[0], devices[d], ncm_train_fraction, rng);
+                grid, devices[0], devices[d], ncm_train_fraction, rng,
+                eng.get());
             share = ncm.transform(std::move(share));
         }
         merged.indices.insert(merged.indices.end(), share.indices.begin(),

@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/backend/engine.h"
 #include "src/backend/executor.h"
 #include "src/cs/reconstructor.h"
 #include "src/landscape/grid.h"
@@ -47,6 +48,14 @@ struct OscarOptions
 
     /** Seed for sample selection. */
     std::uint64_t seed = 42;
+
+    /**
+     * Worker threads for the execution phase (0 = hardware
+     * concurrency). Results are bit-identical for any value: sample
+     * selection is untouched and evaluation streams are keyed by
+     * submission order, not by thread.
+     */
+    int numThreads = 1;
 };
 
 /** Outcome of an OSCAR reconstruction. */
@@ -73,17 +82,21 @@ class Oscar
   public:
     /**
      * Single-device pipeline: sample `fraction` of the grid uniformly
-     * at random, execute the cost function there, reconstruct.
+     * at random, execute the cost function there (batched across
+     * `options.numThreads` workers, or on `engine` when provided),
+     * reconstruct.
      */
     static OscarResult reconstruct(const GridSpec& grid, CostFunction& cost,
-                                   const OscarOptions& options = {});
+                                   const OscarOptions& options = {},
+                                   ExecutionEngine* engine = nullptr);
 
     /**
      * Dataset replay: sample an already-computed landscape (e.g. the
      * hardware-dataset experiments of Section 4.3).
      */
     static OscarResult reconstructFromLandscape(
-        const Landscape& truth, const OscarOptions& options = {});
+        const Landscape& truth, const OscarOptions& options = {},
+        ExecutionEngine* engine = nullptr);
 
     /** Reconstruct from externally collected samples. */
     static Landscape reconstructFromSamples(const GridSpec& grid,
@@ -102,7 +115,8 @@ class Oscar
         const GridSpec& grid, std::vector<QpuDevice>& devices,
         const std::vector<double>& fractions, bool use_ncm,
         double ncm_train_fraction, Rng& rng,
-        const OscarOptions& options = {});
+        const OscarOptions& options = {},
+        ExecutionEngine* engine = nullptr);
 };
 
 /**

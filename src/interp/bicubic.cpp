@@ -51,8 +51,15 @@ InterpolatedLandscapeCost::InterpolatedLandscapeCost(
             "InterpolatedLandscapeCost: need a rank-2 landscape");
 }
 
+std::unique_ptr<CostFunction>
+InterpolatedLandscapeCost::clone() const
+{
+    return std::make_unique<InterpolatedLandscapeCost>(*this);
+}
+
 double
-InterpolatedLandscapeCost::evaluateImpl(const std::vector<double>& params)
+InterpolatedLandscapeCost::evaluateImpl(const std::vector<double>& params,
+                                        std::uint64_t /*ordinal*/)
 {
     const double r = std::clamp(params[0], rowLo_, rowHi_);
     const double c = std::clamp(params[1], colLo_, colHi_);

@@ -63,8 +63,12 @@ class InterpolatedLandscapeCost : public CostFunction
 
     int numParams() const override { return 2; }
 
+    /** Replicable: spline evaluation is const after construction. */
+    std::unique_ptr<CostFunction> clone() const override;
+
   protected:
-    double evaluateImpl(const std::vector<double>& params) override;
+    double evaluateImpl(const std::vector<double>& params,
+                        std::uint64_t ordinal) override;
 
   private:
     BicubicSpline spline_;

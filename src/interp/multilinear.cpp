@@ -69,8 +69,15 @@ MultilinearLandscapeCost::MultilinearLandscapeCost(Landscape landscape)
 {
 }
 
+std::unique_ptr<CostFunction>
+MultilinearLandscapeCost::clone() const
+{
+    return std::make_unique<MultilinearLandscapeCost>(*this);
+}
+
 double
-MultilinearLandscapeCost::evaluateImpl(const std::vector<double>& params)
+MultilinearLandscapeCost::evaluateImpl(const std::vector<double>& params,
+                                       std::uint64_t /*ordinal*/)
 {
     return interp_(params);
 }

@@ -45,8 +45,12 @@ class MultilinearLandscapeCost : public CostFunction
             interp_.landscape().grid().rank());
     }
 
+    /** Replicable: interpolation is const after construction. */
+    std::unique_ptr<CostFunction> clone() const override;
+
   protected:
-    double evaluateImpl(const std::vector<double>& params) override;
+    double evaluateImpl(const std::vector<double>& params,
+                        std::uint64_t ordinal) override;
 
   private:
     MultilinearInterpolator interp_;

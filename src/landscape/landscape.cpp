@@ -13,16 +13,17 @@ Landscape::Landscape(GridSpec grid, NdArray values)
 }
 
 Landscape
-Landscape::gridSearch(const GridSpec& grid, CostFunction& cost)
+Landscape::gridSearch(const GridSpec& grid, CostFunction& cost,
+                      ExecutionEngine* engine)
 {
     if (static_cast<std::size_t>(cost.numParams()) != grid.rank())
         throw std::invalid_argument(
             "Landscape::gridSearch: grid rank != parameter count");
-    NdArray values(grid.shape());
-    const std::size_t n = grid.numPoints();
-    for (std::size_t i = 0; i < n; ++i)
-        values[i] = cost.evaluate(grid.pointAt(i));
-    return Landscape(grid, std::move(values));
+    std::vector<double> flat =
+        ExecutionEngine::engineOr(engine).evaluateGenerated(
+            cost, grid.numPoints(),
+            [&grid](std::size_t i) { return grid.pointAt(i); });
+    return Landscape(grid, NdArray(grid.shape(), std::move(flat)));
 }
 
 std::size_t

@@ -10,6 +10,7 @@
 #ifndef OSCAR_LANDSCAPE_LANDSCAPE_H
 #define OSCAR_LANDSCAPE_LANDSCAPE_H
 
+#include "src/backend/engine.h"
 #include "src/backend/executor.h"
 #include "src/common/ndarray.h"
 #include "src/landscape/grid.h"
@@ -28,9 +29,11 @@ class Landscape
     /**
      * Full grid search: evaluate the cost function at every grid
      * point. This is the paper's expensive ground-truth path (5k-32k
-     * circuit evaluations for Table 1 grids).
+     * circuit evaluations for Table 1 grids); it batches the whole
+     * grid through the engine (serial when null).
      */
-    static Landscape gridSearch(const GridSpec& grid, CostFunction& cost);
+    static Landscape gridSearch(const GridSpec& grid, CostFunction& cost,
+                                ExecutionEngine* engine = nullptr);
 
     const GridSpec& grid() const { return grid_; }
     const NdArray& values() const { return values_; }

@@ -32,40 +32,55 @@ chooseSampleIndices(std::size_t num_points, double fraction, Rng& rng)
 
 SampleSet
 sampleCost(const GridSpec& grid, CostFunction& cost, double fraction,
-           Rng& rng)
+           Rng& rng, ExecutionEngine* engine)
 {
+    return gatherCost(grid, cost,
+                      chooseSampleIndices(grid.numPoints(), fraction, rng),
+                      engine);
+}
+
+SampleSet
+gatherCost(const GridSpec& grid, CostFunction& cost,
+           const std::vector<std::size_t>& indices, ExecutionEngine* engine)
+{
+    for (std::size_t idx : indices) {
+        if (idx >= grid.numPoints())
+            throw std::out_of_range("gatherCost: index out of range");
+    }
     SampleSet set;
-    set.indices = chooseSampleIndices(grid.numPoints(), fraction, rng);
-    set.values.reserve(set.indices.size());
-    for (std::size_t idx : set.indices)
-        set.values.push_back(cost.evaluate(grid.pointAt(idx)));
+    set.indices = indices;
+    set.values = ExecutionEngine::engineOr(engine).evaluateGenerated(
+        cost, indices.size(),
+        [&grid, &indices](std::size_t i) {
+            return grid.pointAt(indices[i]);
+        });
     return set;
 }
 
 SampleSet
-sampleLandscape(const Landscape& landscape, double fraction, Rng& rng)
+sampleLandscape(const Landscape& landscape, double fraction, Rng& rng,
+                ExecutionEngine* engine)
 {
-    SampleSet set;
-    set.indices =
-        chooseSampleIndices(landscape.numPoints(), fraction, rng);
-    set.values.reserve(set.indices.size());
-    for (std::size_t idx : set.indices)
-        set.values.push_back(landscape.value(idx));
-    return set;
+    return gatherLandscape(
+        landscape,
+        chooseSampleIndices(landscape.numPoints(), fraction, rng), engine);
 }
 
 SampleSet
 gatherLandscape(const Landscape& landscape,
-                const std::vector<std::size_t>& indices)
+                const std::vector<std::size_t>& indices,
+                ExecutionEngine* engine)
 {
-    SampleSet set;
-    set.indices = indices;
-    set.values.reserve(indices.size());
     for (std::size_t idx : indices) {
         if (idx >= landscape.numPoints())
             throw std::out_of_range("gatherLandscape: index out of range");
-        set.values.push_back(landscape.value(idx));
     }
+    SampleSet set;
+    set.indices = indices;
+    set.values = ExecutionEngine::engineOr(engine).map(
+        indices.size(), [&landscape, &indices](std::size_t i) {
+            return landscape.value(indices[i]);
+        });
     return set;
 }
 

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/backend/engine.h"
 #include "src/backend/executor.h"
 #include "src/common/rng.h"
 #include "src/landscape/grid.h"
@@ -40,18 +41,30 @@ std::vector<std::size_t> chooseSampleIndices(std::size_t num_points,
 
 /**
  * Sample a live cost function at `fraction` of the grid points chosen
- * uniformly at random.
+ * uniformly at random. The index batch is submitted to `engine`
+ * (serial when null); results are positional, so the outcome is
+ * bit-identical for any thread count.
  */
 SampleSet sampleCost(const GridSpec& grid, CostFunction& cost,
-                     double fraction, Rng& rng);
+                     double fraction, Rng& rng,
+                     ExecutionEngine* engine = nullptr);
+
+/**
+ * Evaluate a live cost function at specific grid indices as one batch
+ * through the engine.
+ */
+SampleSet gatherCost(const GridSpec& grid, CostFunction& cost,
+                     const std::vector<std::size_t>& indices,
+                     ExecutionEngine* engine = nullptr);
 
 /** Sample a precomputed landscape (dataset replay). */
 SampleSet sampleLandscape(const Landscape& landscape, double fraction,
-                          Rng& rng);
+                          Rng& rng, ExecutionEngine* engine = nullptr);
 
 /** Look up specific indices of a precomputed landscape. */
 SampleSet gatherLandscape(const Landscape& landscape,
-                          const std::vector<std::size_t>& indices);
+                          const std::vector<std::size_t>& indices,
+                          ExecutionEngine* engine = nullptr);
 
 } // namespace oscar
 

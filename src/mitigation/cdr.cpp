@@ -100,10 +100,11 @@ CdrCost::CdrCost(Circuit circuit, PauliSum hamiltonian,
 }
 
 double
-CdrCost::evaluateImpl(const std::vector<double>& params)
+CdrCost::evaluateImpl(const std::vector<double>& params,
+                      std::uint64_t ordinal)
 {
     CdrOptions options = options_;
-    options.seed = options_.seed + (++counter_);
+    options.seed = mixSeed(options_.seed, ordinal);
     const CdrResult result =
         cdrMitigate(circuit_.bind(params), hamiltonian_, noisy_, options);
     return result.mitigated;

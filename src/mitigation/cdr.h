@@ -103,14 +103,14 @@ class CdrCost : public CostFunction
     int numParams() const override { return circuit_.numParams(); }
 
   protected:
-    double evaluateImpl(const std::vector<double>& params) override;
+    double evaluateImpl(const std::vector<double>& params,
+                        std::uint64_t ordinal) override;
 
   private:
     Circuit circuit_;
     PauliSum hamiltonian_;
     CircuitEvaluator noisy_;
     CdrOptions options_;
-    std::uint64_t counter_ = 0;
 };
 
 } // namespace oscar

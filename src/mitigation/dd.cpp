@@ -119,8 +119,15 @@ LayeredDensityCost::LayeredDensityCost(Circuit circuit,
             "LayeredDensityCost: circuit/Hamiltonian qubit mismatch");
 }
 
+std::unique_ptr<CostFunction>
+LayeredDensityCost::clone() const
+{
+    return std::make_unique<LayeredDensityCost>(*this);
+}
+
 double
-LayeredDensityCost::evaluateImpl(const std::vector<double>& params)
+LayeredDensityCost::evaluateImpl(const std::vector<double>& params,
+                                 std::uint64_t /*ordinal*/)
 {
     LayeredCircuit layered = layerize(circuit_.bind(params));
     if (useDd_)

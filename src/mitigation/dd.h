@@ -74,8 +74,12 @@ class LayeredDensityCost : public CostFunction
 
     int numParams() const override { return circuit_.numParams(); }
 
+    /** Replicable: allocates its density matrix per evaluation. */
+    std::unique_ptr<CostFunction> clone() const override;
+
   protected:
-    double evaluateImpl(const std::vector<double>& params) override;
+    double evaluateImpl(const std::vector<double>& params,
+                        std::uint64_t ordinal) override;
 
   private:
     Circuit circuit_;

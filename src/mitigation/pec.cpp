@@ -41,7 +41,7 @@ PecCost::PecCost(Circuit circuit, PauliSum hamiltonian, NoiseModel noise,
       noise_(noise), options_(options),
       inv1_(PecChannelInverse::depolarizing1(noise.p1)),
       inv2_(PecChannelInverse::depolarizing2(noise.p2)),
-      state_(circuit_.numQubits()), rng_(options.seed)
+      state_(circuit_.numQubits())
 {
     if (hamiltonian_.numQubits() != circuit_.numQubits())
         throw std::invalid_argument(
@@ -56,8 +56,15 @@ PecCost::PecCost(Circuit circuit, PauliSum hamiltonian, NoiseModel noise,
         totalGamma_ *= gateArity(g.kind) == 2 ? inv2_.gamma : inv1_.gamma;
 }
 
+std::unique_ptr<CostFunction>
+PecCost::clone() const
+{
+    return std::make_unique<PecCost>(*this);
+}
+
 double
-PecCost::runTrajectory(const std::vector<double>& params, double& sign)
+PecCost::runTrajectory(const std::vector<double>& params, double& sign,
+                       Rng& rng)
 {
     static const GateKind paulis[] = {GateKind::X, GateKind::Y,
                                       GateKind::Z};
@@ -73,8 +80,8 @@ PecCost::runTrajectory(const std::vector<double>& params, double& sign)
 
         // Device noise: stochastic Pauli unraveling of depolarizing.
         if (two_qubit) {
-            if (noise_.p2 > 0.0 && rng_.bernoulli(noise_.p2)) {
-                const std::uint64_t pick = rng_.uniformInt(15) + 1;
+            if (noise_.p2 > 0.0 && rng.bernoulli(noise_.p2)) {
+                const std::uint64_t pick = rng.uniformInt(15) + 1;
                 const int pa = static_cast<int>(pick & 3);
                 const int pb = static_cast<int>(pick >> 2);
                 if (pa != 0) {
@@ -90,9 +97,9 @@ PecCost::runTrajectory(const std::vector<double>& params, double& sign)
                     state_.applyGate(e);
                 }
             }
-        } else if (noise_.p1 > 0.0 && rng_.bernoulli(noise_.p1)) {
+        } else if (noise_.p1 > 0.0 && rng.bernoulli(noise_.p1)) {
             Gate e;
-            e.kind = paulis[rng_.uniformInt(3)];
+            e.kind = paulis[rng.uniformInt(3)];
             e.qubits = {g.qubits[0], -1};
             state_.applyGate(e);
         }
@@ -100,10 +107,10 @@ PecCost::runTrajectory(const std::vector<double>& params, double& sign)
         // PEC insertion: sample from the inverse channel's
         // quasi-probability decomposition.
         const PecChannelInverse& inv = two_qubit ? inv2_ : inv1_;
-        if (!rng_.bernoulli(inv.alpha / inv.gamma)) {
+        if (!rng.bernoulli(inv.alpha / inv.gamma)) {
             sign = -sign; // every Pauli branch carries beta < 0
             if (two_qubit) {
-                const std::uint64_t pick = rng_.uniformInt(15) + 1;
+                const std::uint64_t pick = rng.uniformInt(15) + 1;
                 const int pa = static_cast<int>(pick & 3);
                 const int pb = static_cast<int>(pick >> 2);
                 if (pa != 0) {
@@ -120,7 +127,7 @@ PecCost::runTrajectory(const std::vector<double>& params, double& sign)
                 }
             } else {
                 Gate e;
-                e.kind = paulis[rng_.uniformInt(3)];
+                e.kind = paulis[rng.uniformInt(3)];
                 e.qubits = {g.qubits[0], -1};
                 state_.applyGate(e);
             }
@@ -132,12 +139,14 @@ PecCost::runTrajectory(const std::vector<double>& params, double& sign)
 }
 
 double
-PecCost::evaluateImpl(const std::vector<double>& params)
+PecCost::evaluateImpl(const std::vector<double>& params,
+                      std::uint64_t ordinal)
 {
+    Rng rng(mixSeed(options_.seed, ordinal));
     double acc = 0.0;
     for (std::size_t s = 0; s < options_.numSamples; ++s) {
         double sign = 1.0;
-        const double value = runTrajectory(params, sign);
+        const double value = runTrajectory(params, sign, rng);
         acc += sign * value;
     }
     return totalGamma_ * acc / static_cast<double>(options_.numSamples);

@@ -68,11 +68,16 @@ class PecCost : public CostFunction
     /** Total sampling overhead prod_gates gamma_g. */
     double totalGamma() const { return totalGamma_; }
 
+    /** Replicable: Monte-Carlo streams are keyed by ordinal. */
+    std::unique_ptr<CostFunction> clone() const override;
+
   protected:
-    double evaluateImpl(const std::vector<double>& params) override;
+    double evaluateImpl(const std::vector<double>& params,
+                        std::uint64_t ordinal) override;
 
   private:
-    double runTrajectory(const std::vector<double>& params, double& sign);
+    double runTrajectory(const std::vector<double>& params, double& sign,
+                         Rng& rng);
 
     Circuit circuit_;
     PauliSum hamiltonian_;
@@ -83,7 +88,6 @@ class PecCost : public CostFunction
     double totalGamma_;
     std::vector<double> diagonal_;
     Statevector state_;
-    Rng rng_;
 };
 
 } // namespace oscar

@@ -35,12 +35,28 @@ ZneCost::numParams() const
     return evaluators_.front()->numParams();
 }
 
+std::unique_ptr<CostFunction>
+ZneCost::clone() const
+{
+    std::vector<std::shared_ptr<CostFunction>> evaluators;
+    evaluators.reserve(evaluators_.size());
+    for (const auto& e : evaluators_) {
+        std::unique_ptr<CostFunction> copy = e->clone();
+        if (!copy)
+            return nullptr;
+        evaluators.push_back(std::shared_ptr<CostFunction>(std::move(copy)));
+    }
+    return std::make_unique<ZneCost>(std::move(evaluators), scales_,
+                                     extrapolation_);
+}
+
 double
-ZneCost::evaluateImpl(const std::vector<double>& params)
+ZneCost::evaluateImpl(const std::vector<double>& params,
+                      std::uint64_t ordinal)
 {
     std::vector<double> values(scales_.size());
     for (std::size_t i = 0; i < scales_.size(); ++i)
-        values[i] = evaluators_[i]->evaluate(params);
+        values[i] = invokeAt(*evaluators_[i], params, ordinal);
     return zneExtrapolate(scales_, values, extrapolation_);
 }
 

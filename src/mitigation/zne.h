@@ -59,8 +59,12 @@ class ZneCost : public CostFunction
 
     const std::vector<double>& scales() const { return scales_; }
 
+    /** Replicable iff every per-scale evaluator is replicable. */
+    std::unique_ptr<CostFunction> clone() const override;
+
   protected:
-    double evaluateImpl(const std::vector<double>& params) override;
+    double evaluateImpl(const std::vector<double>& params,
+                        std::uint64_t ordinal) override;
 
   private:
     std::vector<std::shared_ptr<CostFunction>> evaluators_;

@@ -6,18 +6,23 @@ namespace oscar {
 
 std::vector<double>
 finiteDifferenceGradient(CostFunction& cost, const std::vector<double>& at,
-                         double step)
+                         double step, ExecutionEngine* engine)
 {
-    std::vector<double> grad(at.size());
-    std::vector<double> probe = at;
+    // One batch of all 2 * dim probes: [x + s e_0, x - s e_0, ...].
+    std::vector<std::vector<double>> probes;
+    probes.reserve(2 * at.size());
     for (std::size_t i = 0; i < at.size(); ++i) {
-        probe[i] = at[i] + step;
-        const double up = cost.evaluate(probe);
-        probe[i] = at[i] - step;
-        const double down = cost.evaluate(probe);
-        probe[i] = at[i];
-        grad[i] = (up - down) / (2.0 * step);
+        probes.push_back(at);
+        probes.back()[i] = at[i] + step;
+        probes.push_back(at);
+        probes.back()[i] = at[i] - step;
     }
+    const std::vector<double> values =
+        ExecutionEngine::engineOr(engine).evaluate(cost, probes);
+
+    std::vector<double> grad(at.size());
+    for (std::size_t i = 0; i < at.size(); ++i)
+        grad[i] = (values[2 * i] - values[2 * i + 1]) / (2.0 * step);
     return grad;
 }
 
@@ -42,7 +47,8 @@ Adam::minimize(CostFunction& cost, const std::vector<double>& initial)
 
     for (std::size_t iter = 1; iter <= options_.maxIterations; ++iter) {
         const auto grad =
-            finiteDifferenceGradient(cost, theta, options_.fdStep);
+            finiteDifferenceGradient(cost, theta, options_.fdStep,
+                                     engine());
 
         double grad_norm = 0.0;
         for (double g : grad)

@@ -22,17 +22,15 @@ Cobyla::minimize(CostFunction& cost, const std::vector<double>& initial)
     OptimizerResult result;
     result.path.push_back(initial);
 
-    // Simplex of n+1 interpolation points.
+    // Simplex of n+1 interpolation points, evaluated as one batch.
     std::vector<std::vector<double>> pts;
-    std::vector<double> vals;
     pts.push_back(initial);
-    vals.push_back(cost.evaluate(initial));
     for (std::size_t i = 0; i < dim; ++i) {
         auto p = initial;
         p[i] += options_.rhoBegin;
-        vals.push_back(cost.evaluate(p));
         pts.push_back(std::move(p));
     }
+    std::vector<double> vals = evalBatch(cost, pts);
 
     double rho = options_.rhoBegin;
     for (std::size_t iter = 0; iter < options_.maxIterations; ++iter) {
@@ -80,16 +78,24 @@ Cobyla::minimize(CostFunction& cost, const std::vector<double>& initial)
         }
 
         if (!model_ok || g_norm < 1e-14) {
-            // Degenerate model: rebuild the simplex at a smaller scale.
+            // Degenerate model: rebuild the simplex at a smaller scale,
+            // re-evaluated as one batch.
             rho *= 0.5;
+            std::vector<std::size_t> rebuilt;
+            std::vector<std::vector<double>> rebuilt_points;
             for (std::size_t k = 0, axis = 0; k < pts.size(); ++k) {
                 if (k == best)
                     continue;
                 pts[k] = pts[best];
                 pts[k][axis] += rho;
-                vals[k] = cost.evaluate(pts[k]);
+                rebuilt.push_back(k);
+                rebuilt_points.push_back(pts[k]);
                 ++axis;
             }
+            const std::vector<double> rebuilt_values =
+                evalBatch(cost, rebuilt_points);
+            for (std::size_t j = 0; j < rebuilt.size(); ++j)
+                vals[rebuilt[j]] = rebuilt_values[j];
             continue;
         }
 
@@ -111,7 +117,10 @@ Cobyla::minimize(CostFunction& cost, const std::vector<double>& initial)
             }
             rho *= 0.5;
             // Pull the simplex toward the best vertex to keep the
-            // interpolation points within the trust region.
+            // interpolation points within the trust region; the moved
+            // vertices re-evaluate as one batch.
+            std::vector<std::size_t> moved;
+            std::vector<std::vector<double>> moved_points;
             for (std::size_t k = 0; k < pts.size(); ++k) {
                 if (k == best)
                     continue;
@@ -125,8 +134,15 @@ Cobyla::minimize(CostFunction& cost, const std::vector<double>& initial)
                         pts[k][i] = pts[best][i] +
                                     0.5 * (pts[k][i] - pts[best][i]);
                     }
-                    vals[k] = cost.evaluate(pts[k]);
+                    moved.push_back(k);
+                    moved_points.push_back(pts[k]);
                 }
+            }
+            if (!moved.empty()) {
+                const std::vector<double> moved_values =
+                    evalBatch(cost, moved_points);
+                for (std::size_t j = 0; j < moved.size(); ++j)
+                    vals[moved[j]] = moved_values[j];
             }
         }
     }

@@ -25,7 +25,8 @@ GradientDescent::minimize(CostFunction& cost,
 
     for (std::size_t iter = 1; iter <= options_.maxIterations; ++iter) {
         const auto grad =
-            finiteDifferenceGradient(cost, theta, options_.fdStep);
+            finiteDifferenceGradient(cost, theta, options_.fdStep,
+                                     engine());
         double grad_norm = 0.0;
         for (double g : grad)
             grad_norm += g * g;

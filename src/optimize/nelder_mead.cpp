@@ -20,17 +20,16 @@ NelderMead::minimize(CostFunction& cost, const std::vector<double>& initial)
     OptimizerResult result;
     result.path.push_back(initial);
 
-    // Initial simplex: the start point plus one offset vertex per axis.
+    // Initial simplex: the start point plus one offset vertex per axis,
+    // evaluated as one batch.
     std::vector<std::vector<double>> simplex;
-    std::vector<double> values;
     simplex.push_back(initial);
-    values.push_back(cost.evaluate(initial));
     for (std::size_t i = 0; i < dim; ++i) {
         auto vertex = initial;
         vertex[i] += options_.initialStep;
-        values.push_back(cost.evaluate(vertex));
         simplex.push_back(std::move(vertex));
     }
+    std::vector<double> values = evalBatch(cost, simplex);
 
     std::vector<std::size_t> order(simplex.size());
     for (std::size_t iter = 0; iter < options_.maxIterations; ++iter) {
@@ -103,7 +102,9 @@ NelderMead::minimize(CostFunction& cost, const std::vector<double>& initial)
             continue;
         }
 
-        // Shrink toward the best vertex.
+        // Shrink toward the best vertex; re-evaluate as one batch.
+        std::vector<std::size_t> shrunk;
+        std::vector<std::vector<double>> shrunk_points;
         for (std::size_t k : order) {
             if (k == best)
                 continue;
@@ -112,8 +113,13 @@ NelderMead::minimize(CostFunction& cost, const std::vector<double>& initial)
                     simplex[best][i] +
                     options_.shrink * (simplex[k][i] - simplex[best][i]);
             }
-            values[k] = cost.evaluate(simplex[k]);
+            shrunk.push_back(k);
+            shrunk_points.push_back(simplex[k]);
         }
+        const std::vector<double> shrunk_values =
+            evalBatch(cost, shrunk_points);
+        for (std::size_t j = 0; j < shrunk.size(); ++j)
+            values[shrunk[j]] = shrunk_values[j];
     }
 
     const std::size_t best = static_cast<std::size_t>(

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/backend/engine.h"
 #include "src/backend/executor.h"
 
 namespace oscar {
@@ -51,6 +52,27 @@ class Optimizer
     /** Minimize the cost starting at `initial`. */
     virtual OptimizerResult minimize(CostFunction& cost,
                                      const std::vector<double>& initial) = 0;
+
+    /**
+     * Engine for the optimizer's batchable evaluations (gradient
+     * probes, simplex construction, shrink steps). Null = the cost's
+     * own serial batch path. Not owned.
+     */
+    void setEngine(ExecutionEngine* engine) { engine_ = engine; }
+
+    ExecutionEngine* engine() const { return engine_; }
+
+  protected:
+    /** Evaluate a batch of candidate points through the engine. */
+    std::vector<double>
+    evalBatch(CostFunction& cost,
+              const std::vector<std::vector<double>>& points) const
+    {
+        return ExecutionEngine::engineOr(engine_).evaluate(cost, points);
+    }
+
+  private:
+    ExecutionEngine* engine_ = nullptr;
 };
 
 /** Euclidean distance between two parameter vectors. */

@@ -43,9 +43,8 @@ Spsa::minimize(CostFunction& cost, const std::vector<double>& initial)
             plus[i] = theta[i] + ck * delta[i];
             minus[i] = theta[i] - ck * delta[i];
         }
-        const double f_plus = cost.evaluate(plus);
-        const double f_minus = cost.evaluate(minus);
-        const double scale = (f_plus - f_minus) / (2.0 * ck);
+        const std::vector<double> f = evalBatch(cost, {plus, minus});
+        const double scale = (f[0] - f[1]) / (2.0 * ck);
 
         for (std::size_t i = 0; i < theta.size(); ++i)
             theta[i] -= ak * scale / delta[i];

@@ -18,22 +18,19 @@ NoiseCompensationModel
 NoiseCompensationModel::trainOnDevices(const GridSpec& grid,
                                        QpuDevice& reference,
                                        QpuDevice& secondary,
-                                       double train_fraction, Rng& rng)
+                                       double train_fraction, Rng& rng,
+                                       ExecutionEngine* engine)
 {
     const auto indices =
         chooseSampleIndices(grid.numPoints(), train_fraction, rng);
     if (indices.size() < 2)
         throw std::invalid_argument(
             "NoiseCompensationModel::trainOnDevices: too few samples");
-    std::vector<double> ref_vals, sec_vals;
-    ref_vals.reserve(indices.size());
-    sec_vals.reserve(indices.size());
-    for (std::size_t idx : indices) {
-        const auto params = grid.pointAt(idx);
-        ref_vals.push_back(reference.cost->evaluate(params));
-        sec_vals.push_back(secondary.cost->evaluate(params));
-    }
-    return train(sec_vals, ref_vals);
+    const SampleSet ref =
+        gatherCost(grid, *reference.cost, indices, engine);
+    const SampleSet sec =
+        gatherCost(grid, *secondary.cost, indices, engine);
+    return train(sec.values, ref.values);
 }
 
 SampleSet

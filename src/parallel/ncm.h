@@ -42,13 +42,12 @@ class NoiseCompensationModel
 
     /**
      * Convenience: run `train_fraction` of the grid on both devices
-     * and fit (this is the "1% training samples" of the paper).
+     * and fit (this is the "1% training samples" of the paper). The
+     * training points go through the engine as one batch per device.
      */
-    static NoiseCompensationModel trainOnDevices(const GridSpec& grid,
-                                                 QpuDevice& reference,
-                                                 QpuDevice& secondary,
-                                                 double train_fraction,
-                                                 Rng& rng);
+    static NoiseCompensationModel trainOnDevices(
+        const GridSpec& grid, QpuDevice& reference, QpuDevice& secondary,
+        double train_fraction, Rng& rng, ExecutionEngine* engine = nullptr);
 
     /** Map one secondary-device value to the reference device. */
     double transform(double value) const { return fit_(value); }

@@ -46,7 +46,8 @@ ParallelRunResult::deviceSamples(std::size_t device) const
 ParallelRunResult
 runParallelSampling(const GridSpec& grid, std::vector<QpuDevice>& devices,
                     const std::vector<std::size_t>& indices, Rng& rng,
-                    Assignment how, const std::vector<double>& fractions)
+                    Assignment how, const std::vector<double>& fractions,
+                    ExecutionEngine* engine)
 {
     if (devices.empty())
         throw std::invalid_argument("runParallelSampling: no devices");
@@ -86,16 +87,41 @@ runParallelSampling(const GridSpec& grid, std::vector<QpuDevice>& devices,
     result.samples.reserve(indices.size());
     result.perDeviceCounts.assign(devices.size(), 0);
 
-    // Each device runs its jobs serially; devices run concurrently.
+    // Latency draws consume `rng` serially in submission order, so the
+    // simulated timing is independent of the engine's thread count.
+    std::vector<double> latency(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        latency[i] = devices[owner[i]].latency.sample(rng);
+
+    // Submit each device's share as one batch to the engine. Values
+    // land positionally, keyed to the device-local submission order.
+    std::vector<std::vector<std::size_t>> device_jobs(devices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        device_jobs[owner[i]].push_back(i);
+
+    std::vector<double> values(indices.size());
+    ExecutionEngine& eng = ExecutionEngine::engineOr(engine);
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+        const std::vector<std::size_t>& jobs = device_jobs[d];
+        if (jobs.empty())
+            continue;
+        const std::vector<double> batch = eng.evaluateGenerated(
+            *devices[d].cost, jobs.size(),
+            [&grid, &indices, &jobs](std::size_t j) {
+                return grid.pointAt(indices[jobs[j]]);
+            });
+        for (std::size_t j = 0; j < jobs.size(); ++j)
+            values[jobs[j]] = batch[j];
+    }
+
+    // Each simulated device runs its jobs serially; devices run
+    // concurrently. Completion times replay the submission order.
     std::vector<double> device_clock(devices.size(), 0.0);
     for (std::size_t i = 0; i < indices.size(); ++i) {
         const std::size_t d = owner[i];
-        QpuDevice& dev = devices[d];
-        const auto params = grid.pointAt(indices[i]);
-        const double value = dev.cost->evaluate(params);
-        device_clock[d] += dev.latency.sample(rng);
+        device_clock[d] += latency[i];
         result.samples.push_back(
-            {indices[i], value, d, device_clock[d]});
+            {indices[i], values[i], d, device_clock[d]});
         ++result.perDeviceCounts[d];
     }
     result.makespan =

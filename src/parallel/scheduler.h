@@ -3,10 +3,15 @@
  * Parallel sampling scheduler (paper Fig. 7A).
  *
  * OSCAR's samples are independent, so they can run on k QPUs at once.
- * The scheduler assigns sample points to devices, executes each
- * device's share serially (a device processes one job at a time) and
- * records per-sample completion timestamps, which downstream consumers
- * use for makespan/speedup accounting and for eager reconstruction.
+ * The scheduler assigns sample points to devices and submits each
+ * device's share as one batch to the ExecutionEngine (the simulated
+ * device still processes one job at a time for *timing* purposes, so
+ * completion timestamps and makespans are unchanged). Latency draws
+ * are made serially up front in the legacy interleaved order, and
+ * evaluation randomness is ordinal-keyed, so a run is bit-identical
+ * for any engine thread count. Downstream consumers use the
+ * per-sample completion timestamps for makespan/speedup accounting
+ * and for eager reconstruction.
  */
 
 #ifndef OSCAR_PARALLEL_SCHEDULER_H
@@ -15,6 +20,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/backend/engine.h"
 #include "src/common/rng.h"
 #include "src/landscape/grid.h"
 #include "src/landscape/sampler.h"
@@ -69,12 +75,15 @@ struct ParallelRunResult
  * @param rng       randomness for latency draws
  * @param how       assignment policy
  * @param fractions per-device shares for FractionSplit (must sum ~1)
+ * @param engine    execution engine for the per-device batches
+ *                  (serial when null)
  */
 ParallelRunResult runParallelSampling(
     const GridSpec& grid, std::vector<QpuDevice>& devices,
     const std::vector<std::size_t>& indices, Rng& rng,
     Assignment how = Assignment::RoundRobin,
-    const std::vector<double>& fractions = {});
+    const std::vector<double>& fractions = {},
+    ExecutionEngine* engine = nullptr);
 
 } // namespace oscar
 

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Tests for the batched ExecutionEngine and the batch/ordinal contract
+ * of CostFunction:
+ *
+ *  - evaluateBatch matches per-point evaluate bit for bit on every
+ *    backend, including the stochastic ones (ordinal-keyed streams);
+ *  - multi-threaded engine execution is bit-identical to serial;
+ *  - query counting is atomic and batch-aware;
+ *  - the full Oscar::reconstruct pipeline is bit-identical for 1 and
+ *    N threads at a fixed seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <thread>
+
+#include "src/ansatz/qaoa.h"
+#include "src/backend/analytic_qaoa.h"
+#include "src/backend/density_backend.h"
+#include "src/backend/engine.h"
+#include "src/backend/global_damping.h"
+#include "src/backend/hardware_dataset.h"
+#include "src/backend/sampled_backend.h"
+#include "src/backend/statevector_backend.h"
+#include "src/backend/trajectory_backend.h"
+#include "src/core/oscar.h"
+#include "src/graph/generators.h"
+#include "src/hamiltonian/maxcut.h"
+#include "src/interp/bicubic.h"
+#include "src/interp/multilinear.h"
+#include "src/landscape/sampler.h"
+#include "src/optimize/adam.h"
+#include "src/parallel/latency_model.h"
+#include "src/parallel/scheduler.h"
+
+namespace oscar {
+namespace {
+
+Graph
+testGraph()
+{
+    Rng rng(11);
+    return random3RegularGraph(8, rng);
+}
+
+std::vector<std::vector<double>>
+testPoints(std::size_t n)
+{
+    Rng rng(5);
+    std::vector<std::vector<double>> points;
+    points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        points.push_back({rng.uniform(-0.8, 0.8), rng.uniform(-1.6, 1.6)});
+    return points;
+}
+
+/**
+ * The core parity check: two freshly built identical evaluators must
+ * produce bit-identical results whether driven point by point, as one
+ * serial batch, or as a threaded engine batch.
+ */
+void
+expectScalarBatchThreadedParity(CostFunction& scalar, CostFunction& batch,
+                                CostFunction& threaded)
+{
+    const auto points = testPoints(24);
+
+    std::vector<double> one_by_one;
+    one_by_one.reserve(points.size());
+    for (const auto& p : points)
+        one_by_one.push_back(scalar.evaluate(p));
+
+    const std::vector<double> batched = batch.evaluateBatch(points);
+
+    ExecutionEngine engine(4);
+    const std::vector<double> pooled = engine.evaluate(threaded, points);
+
+    ASSERT_EQ(one_by_one.size(), batched.size());
+    ASSERT_EQ(one_by_one.size(), pooled.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(one_by_one[i], batched[i]) << "batch mismatch at " << i;
+        EXPECT_EQ(one_by_one[i], pooled[i]) << "thread mismatch at " << i;
+    }
+
+    EXPECT_EQ(scalar.numQueries(), points.size());
+    EXPECT_EQ(batch.numQueries(), points.size());
+    EXPECT_EQ(threaded.numQueries(), points.size());
+}
+
+TEST(Engine, StatevectorParity)
+{
+    const Graph g = testGraph();
+    StatevectorCost a(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    StatevectorCost b(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    StatevectorCost c(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    expectScalarBatchThreadedParity(a, b, c);
+}
+
+TEST(Engine, DensityParity)
+{
+    Rng rng(21);
+    const Graph g = random3RegularGraph(4, rng);
+    NoiseModel noise;
+    noise.p1 = 0.002;
+    noise.p2 = 0.01;
+    DensityCost a(qaoaCircuit(g, 1), maxcutHamiltonian(g), noise);
+    DensityCost b(qaoaCircuit(g, 1), maxcutHamiltonian(g), noise);
+    DensityCost c(qaoaCircuit(g, 1), maxcutHamiltonian(g), noise);
+    expectScalarBatchThreadedParity(a, b, c);
+}
+
+TEST(Engine, SampledParity)
+{
+    const Graph g = testGraph();
+    NoiseModel noise;
+    noise.readout01 = 0.02;
+    noise.readout10 = 0.01;
+    SampledCost a(qaoaCircuit(g, 1), maxcutHamiltonian(g), 256, noise, 7);
+    SampledCost b(qaoaCircuit(g, 1), maxcutHamiltonian(g), 256, noise, 7);
+    SampledCost c(qaoaCircuit(g, 1), maxcutHamiltonian(g), 256, noise, 7);
+    expectScalarBatchThreadedParity(a, b, c);
+}
+
+TEST(Engine, TrajectoryParity)
+{
+    Rng rng(22);
+    const Graph g = random3RegularGraph(6, rng);
+    NoiseModel noise;
+    noise.p1 = 0.004;
+    noise.p2 = 0.02;
+    TrajectoryCost a(qaoaCircuit(g, 1), maxcutHamiltonian(g), noise, 12, 9);
+    TrajectoryCost b(qaoaCircuit(g, 1), maxcutHamiltonian(g), noise, 12, 9);
+    TrajectoryCost c(qaoaCircuit(g, 1), maxcutHamiltonian(g), noise, 12, 9);
+    expectScalarBatchThreadedParity(a, b, c);
+}
+
+TEST(Engine, AnalyticQaoaParity)
+{
+    const Graph g = testGraph();
+    AnalyticQaoaCost a(g), b(g), c(g);
+    expectScalarBatchThreadedParity(a, b, c);
+}
+
+TEST(Engine, GlobalDampingParity)
+{
+    const Graph g = testGraph();
+    NoiseModel noise;
+    noise.p1 = 0.003;
+    noise.p2 = 0.015;
+    GlobalDampingCost a(qaoaCircuit(g, 1), maxcutHamiltonian(g), noise);
+    GlobalDampingCost b(qaoaCircuit(g, 1), maxcutHamiltonian(g), noise);
+    GlobalDampingCost c(qaoaCircuit(g, 1), maxcutHamiltonian(g), noise);
+    expectScalarBatchThreadedParity(a, b, c);
+}
+
+TEST(Engine, ShotNoiseParity)
+{
+    const Graph g = testGraph();
+    auto make = [&] {
+        return ShotNoiseCost(std::make_shared<AnalyticQaoaCost>(g), 512,
+                             1.0, 13);
+    };
+    ShotNoiseCost a = make(), b = make(), c = make();
+    expectScalarBatchThreadedParity(a, b, c);
+}
+
+TEST(Engine, InterpolatedLandscapeParity)
+{
+    const Graph g = testGraph();
+    AnalyticQaoaCost cost(g);
+    const GridSpec grid = GridSpec::qaoaP1(12, 16);
+    const Landscape truth = Landscape::gridSearch(grid, cost);
+
+    InterpolatedLandscapeCost a(truth), b(truth), c(truth);
+    expectScalarBatchThreadedParity(a, b, c);
+
+    MultilinearLandscapeCost ma(truth), mb(truth), mc(truth);
+    expectScalarBatchThreadedParity(ma, mb, mc);
+}
+
+TEST(Engine, HardwareDatasetReplayParity)
+{
+    // Dataset replay: gatherLandscape through a threaded engine equals
+    // direct lookups.
+    const Graph g = testGraph();
+    const GridSpec grid = GridSpec::qaoaP1(20, 20);
+    const Landscape synth =
+        syntheticHardwareLandscape(g, grid, HardwareDatasetOptions{});
+
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < synth.numPoints(); i += 3)
+        indices.push_back(i);
+
+    ExecutionEngine engine(4);
+    const SampleSet gathered = gatherLandscape(synth, indices, &engine);
+    ASSERT_EQ(gathered.size(), indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        EXPECT_EQ(gathered.values[i], synth.value(indices[i]));
+}
+
+TEST(Engine, NonCloneableCostFallsBackToSerial)
+{
+    LambdaCost cost(2, [](const std::vector<double>& p) {
+        return p[0] * p[0] + p[1];
+    });
+    ASSERT_EQ(cost.clone(), nullptr);
+
+    ExecutionEngine engine(4);
+    const auto points = testPoints(32);
+    const std::vector<double> values = engine.evaluate(cost, points);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(values[i], points[i][0] * points[i][0] + points[i][1]);
+    EXPECT_EQ(cost.numQueries(), points.size());
+}
+
+TEST(Engine, ThreadSafeLambdaRunsPooled)
+{
+    LambdaCost serial(
+        2, [](const std::vector<double>& p) { return p[0] - p[1]; },
+        /*thread_safe=*/true);
+    ASSERT_NE(serial.clone(), nullptr);
+
+    ExecutionEngine engine(4);
+    const auto points = testPoints(64);
+    const std::vector<double> values = engine.evaluate(serial, points);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(values[i], points[i][0] - points[i][1]);
+    EXPECT_EQ(serial.numQueries(), points.size());
+}
+
+TEST(Engine, QueryCountingIsThreadSafe)
+{
+    // Hammer one evaluator from many threads; the atomic counter must
+    // see every single query.
+    LambdaCost cost(
+        1, [](const std::vector<double>& p) { return p[0]; },
+        /*thread_safe=*/true);
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 500;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cost] {
+            for (int i = 0; i < kPerThread; ++i)
+                cost.evaluate({1.0});
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(cost.numQueries(),
+              static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(Engine, GatherCostMatchesScalarPath)
+{
+    const Graph g = testGraph();
+    StatevectorCost scalar(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    StatevectorCost batched(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    const GridSpec grid = GridSpec::qaoaP1(10, 14);
+
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < grid.numPoints(); i += 7)
+        indices.push_back(i);
+
+    ExecutionEngine engine(3);
+    const SampleSet set = gatherCost(grid, batched, indices, &engine);
+    ASSERT_EQ(set.size(), indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        EXPECT_EQ(set.values[i], scalar.evaluate(grid.pointAt(indices[i])));
+}
+
+TEST(Engine, ReconstructBitIdenticalAcrossThreadCounts)
+{
+    const Graph g = testGraph();
+    const GridSpec grid = GridSpec::qaoaP1(20, 30);
+
+    OscarOptions serial_options;
+    serial_options.samplingFraction = 0.1;
+    serial_options.seed = 42;
+    serial_options.numThreads = 1;
+
+    OscarOptions pooled_options = serial_options;
+    pooled_options.numThreads = 4;
+
+    // Deterministic backend.
+    {
+        StatevectorCost a(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+        StatevectorCost b(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+        const OscarResult serial =
+            Oscar::reconstruct(grid, a, serial_options);
+        const OscarResult pooled =
+            Oscar::reconstruct(grid, b, pooled_options);
+        ASSERT_EQ(serial.samples.indices, pooled.samples.indices);
+        ASSERT_EQ(serial.samples.values, pooled.samples.values);
+        for (std::size_t i = 0; i < serial.reconstructed.numPoints(); ++i)
+            EXPECT_EQ(serial.reconstructed.value(i),
+                      pooled.reconstructed.value(i));
+    }
+
+    // Stochastic backend: ordinal-keyed streams keep N-thread runs
+    // bit-identical too.
+    {
+        SampledCost a(qaoaCircuit(g, 1), maxcutHamiltonian(g), 128,
+                      NoiseModel{}, 3);
+        SampledCost b(qaoaCircuit(g, 1), maxcutHamiltonian(g), 128,
+                      NoiseModel{}, 3);
+        const OscarResult serial =
+            Oscar::reconstruct(grid, a, serial_options);
+        const OscarResult pooled =
+            Oscar::reconstruct(grid, b, pooled_options);
+        ASSERT_EQ(serial.samples.values, pooled.samples.values);
+    }
+}
+
+TEST(Engine, ParallelSamplingBitIdenticalAcrossThreadCounts)
+{
+    const Graph g = testGraph();
+    const GridSpec grid = GridSpec::qaoaP1(16, 20);
+
+    auto make_devices = [&] {
+        std::vector<QpuDevice> devices;
+        for (int d = 0; d < 2; ++d) {
+            QpuDevice dev;
+            dev.name = "qpu" + std::to_string(d);
+            dev.cost = std::make_shared<SampledCost>(
+                qaoaCircuit(g, 1), maxcutHamiltonian(g), 64, NoiseModel{},
+                100 + d);
+            dev.latency = LatencyModel{};
+            devices.push_back(std::move(dev));
+        }
+        return devices;
+    };
+
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < grid.numPoints(); i += 5)
+        indices.push_back(i);
+
+    auto devices_serial = make_devices();
+    Rng rng_serial(1234);
+    const ParallelRunResult serial = runParallelSampling(
+        grid, devices_serial, indices, rng_serial);
+
+    auto devices_pooled = make_devices();
+    Rng rng_pooled(1234);
+    ExecutionEngine engine(4);
+    const ParallelRunResult pooled = runParallelSampling(
+        grid, devices_pooled, indices, rng_pooled,
+        Assignment::RoundRobin, {}, &engine);
+
+    ASSERT_EQ(serial.samples.size(), pooled.samples.size());
+    EXPECT_EQ(serial.makespan, pooled.makespan);
+    for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+        EXPECT_EQ(serial.samples[i].index, pooled.samples[i].index);
+        EXPECT_EQ(serial.samples[i].value, pooled.samples[i].value);
+        EXPECT_EQ(serial.samples[i].completionTime,
+                  pooled.samples[i].completionTime);
+    }
+}
+
+TEST(Engine, OptimizerWithEngineMatchesSerial)
+{
+    const Graph g = testGraph();
+    StatevectorCost a(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    StatevectorCost b(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+
+    AdamOptions options;
+    options.maxIterations = 10;
+
+    Adam serial(options);
+    const OptimizerResult r1 = serial.minimize(a, {0.1, -0.2});
+
+    ExecutionEngine engine(4);
+    Adam pooled(options);
+    pooled.setEngine(&engine);
+    const OptimizerResult r2 = pooled.minimize(b, {0.1, -0.2});
+
+    EXPECT_EQ(r1.bestValue, r2.bestValue);
+    EXPECT_EQ(r1.bestParams, r2.bestParams);
+    EXPECT_EQ(r1.numQueries, r2.numQueries);
+}
+
+} // namespace
+} // namespace oscar
