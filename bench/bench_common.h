@@ -8,6 +8,8 @@
 #ifndef OSCAR_BENCH_BENCH_COMMON_H
 #define OSCAR_BENCH_BENCH_COMMON_H
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -34,6 +36,51 @@ engine()
 {
     static ExecutionEngine instance(0);
     return instance;
+}
+
+/** Seconds elapsed since a steady_clock time point. */
+inline double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/** Repeated-run wall-clock statistics (seconds). */
+struct TimingStats
+{
+    double median = 0.0;
+    double min = 0.0;
+    int reps = 0;
+};
+
+/**
+ * Run `fn` `reps` times and report the median and minimum wall-clock
+ * seconds. Single-shot timing is noise-bound on shared CI hosts; the
+ * median is the headline number (robust to one-off stalls) and the
+ * minimum approximates the noise-free cost.
+ */
+template <typename Fn>
+TimingStats
+timeRepeated(int reps, Fn&& fn)
+{
+    std::vector<double> seconds;
+    seconds.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        seconds.push_back(secondsSince(start));
+    }
+    std::sort(seconds.begin(), seconds.end());
+    TimingStats stats;
+    stats.reps = reps;
+    stats.min = seconds.front();
+    const std::size_t mid = seconds.size() / 2;
+    stats.median = seconds.size() % 2 == 1
+                       ? seconds[mid]
+                       : 0.5 * (seconds[mid - 1] + seconds[mid]);
+    return stats;
 }
 
 /** Print a horizontal rule sized to a title. */

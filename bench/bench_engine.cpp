@@ -1,21 +1,25 @@
 /**
  * @file
- * Scalar-vs-batched execution throughput of the ExecutionEngine.
+ * Scalar-vs-batched-vs-prefix-cached execution throughput.
  *
  * Measures the system's hottest path -- turning a list of grid points
- * into cost values on the statevector backend -- three ways:
+ * into cost values on the statevector backend -- across:
  *
- *   1. scalar:   the legacy loop, one evaluate() per point,
- *   2. batched:  one evaluateBatch() submission (serial),
- *   3. engine k: the batch fanned out over k worker threads.
+ *   1. scalar:    one evaluate() per point, prefix cache off (the
+ *                 pre-engine legacy path),
+ *   2. batched:   one evaluateBatch() submission, prefix cache off
+ *                 (the PR 1 batched path),
+ *   3. prefix:    one evaluateBatch() submission with shared-prefix
+ *                 checkpoint caching on an axis-major sweep,
+ *   4. engine k:  the prefix-cached batch fanned out over k workers.
  *
- * Prints points/second and speedup over the scalar path, and verifies
- * that every mode produces bit-identical values (the engine's
- * determinism contract). Thread speedups require cores: on a 1-core
- * host the engine can only match the scalar path.
+ * All timings are repeated-run medians (bench_common.h); every mode is
+ * verified bit-identical to the scalar reference (the determinism
+ * contract: caching and threading change performance, never values).
+ * Thread speedups require cores: on a 1-core host the engine can only
+ * match the serial path.
  */
 
-#include <chrono>
 #include <cstdio>
 #include <thread>
 
@@ -28,77 +32,141 @@
 namespace oscar {
 namespace {
 
-double
-secondsSince(std::chrono::steady_clock::time_point start)
+constexpr int kReps = 3;
+
+struct Mode
 {
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-}
+    std::string name;
+    bench::TimingStats timing;
+    bool identical;
+};
 
 void
-runBench(int num_qubits, std::size_t num_points)
+report(const std::vector<Mode>& modes, std::size_t num_points)
+{
+    bench::columns("mode",
+                   {"pts/s", "median_s", "min_s", "speedup", "identical"});
+    const double base = modes.front().timing.median;
+    for (const Mode& m : modes) {
+        bench::row(m.name,
+                   {static_cast<double>(num_points) / m.timing.median,
+                    m.timing.median, m.timing.min, base / m.timing.median,
+                    m.identical ? 1.0 : 0.0},
+                   " %10.4g");
+    }
+}
+
+bool
+identical(const std::vector<double>& a, const std::vector<double>& b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i])
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Axis-major sweep benchmark: every point of `grid` for a depth-p QAOA
+ * circuit, ordered by the backend's own batch order hint (the order
+ * the landscape sampler emits).
+ */
+void
+runSweep(int num_qubits, int depth, const GridSpec& grid)
 {
     Rng rng(7);
     const Graph g = random3RegularGraph(num_qubits, rng);
-    const GridSpec grid = GridSpec::qaoaP1(50, 100);
-
-    std::vector<std::size_t> indices =
-        rng.sampleWithoutReplacement(grid.numPoints(), num_points);
-    std::vector<std::vector<double>> points;
-    points.reserve(indices.size());
-    for (std::size_t idx : indices)
-        points.push_back(grid.pointAt(idx));
-
-    bench::header("engine throughput, " + std::to_string(num_qubits) +
-                  "-qubit statevector QAOA, " +
-                  std::to_string(num_points) + " grid points");
-    bench::columns("mode", {"points/s", "speedup", "identical"});
-
-    // 1. Scalar reference.
-    StatevectorCost scalar(qaoaCircuit(g, 1), maxcutHamiltonian(g));
-    auto start = std::chrono::steady_clock::now();
-    std::vector<double> reference;
-    reference.reserve(points.size());
-    for (const auto& p : points)
-        reference.push_back(scalar.evaluate(p));
-    const double scalar_s = secondsSince(start);
-    const double scalar_rate =
-        static_cast<double>(num_points) / scalar_s;
-    bench::row("scalar evaluate()", {scalar_rate, 1.0, 1.0});
-
-    auto check = [&](const std::vector<double>& values) {
-        for (std::size_t i = 0; i < values.size(); ++i) {
-            if (values[i] != reference[i])
-                return 0.0;
-        }
-        return 1.0;
+    auto make = [&] {
+        return StatevectorCost(qaoaCircuit(g, depth),
+                               maxcutHamiltonian(g));
     };
 
-    // 2. Serial batch submission.
+    std::vector<std::vector<double>> points;
     {
-        StatevectorCost cost(qaoaCircuit(g, 1), maxcutHamiltonian(g));
-        start = std::chrono::steady_clock::now();
-        const std::vector<double> values = cost.evaluateBatch(points);
-        const double s = secondsSince(start);
-        bench::row("evaluateBatch serial",
-                   {static_cast<double>(num_points) / s, scalar_s / s,
-                    check(values)});
+        const StatevectorCost probe = make();
+        std::vector<std::size_t> indices(grid.numPoints());
+        for (std::size_t i = 0; i < indices.size(); ++i)
+            indices[i] = i;
+        const auto perm = grid.prefixFriendlyPermutation(
+            indices, probe.batchOrderHint());
+        points.reserve(perm.size());
+        for (std::size_t p : perm)
+            points.push_back(grid.pointAt(p));
+    }
+    const std::size_t num_points = points.size();
+
+    bench::header("p=" + std::to_string(depth) + " QAOA, " +
+                  std::to_string(num_qubits) + " qubits, axis-major " +
+                  std::to_string(num_points) + "-point sweep (median of " +
+                  std::to_string(kReps) + ")");
+
+    KernelOptions cache_off;
+    cache_off.prefixCache = false;
+
+    std::vector<Mode> modes;
+
+    // 1. Scalar reference, cache off.
+    std::vector<double> reference;
+    {
+        StatevectorCost cost = make();
+        cost.configureKernel(cache_off);
+        const auto timing = bench::timeRepeated(kReps, [&] {
+            reference.clear();
+            reference.reserve(points.size());
+            for (const auto& p : points)
+                reference.push_back(cost.evaluate(p));
+        });
+        modes.push_back({"scalar (no cache)", timing, true});
     }
 
-    // 3. Engine with growing worker pools.
-    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    for (unsigned threads = 1; threads <= 2 * hw && threads <= 16;
-         threads *= 2) {
-        StatevectorCost cost(qaoaCircuit(g, 1), maxcutHamiltonian(g));
-        ExecutionEngine engine(static_cast<int>(threads));
-        start = std::chrono::steady_clock::now();
-        const std::vector<double> values = engine.evaluate(cost, points);
-        const double s = secondsSince(start);
-        bench::row("engine x" + std::to_string(threads),
-                   {static_cast<double>(num_points) / s, scalar_s / s,
-                    check(values)});
+    // 2. PR 1 batched path: one submission, cache off.
+    {
+        StatevectorCost cost = make();
+        cost.configureKernel(cache_off);
+        std::vector<double> values;
+        const auto timing = bench::timeRepeated(
+            kReps, [&] { values = cost.evaluateBatch(points); });
+        modes.push_back(
+            {"batched (no cache)", timing, identical(values, reference)});
     }
+
+    // 3. Prefix-cached batch. configureKernel clears the cache, so
+    // every rep pays the cold cache like a fresh sweep would, without
+    // timing circuit lowering / diagonal-table construction.
+    {
+        StatevectorCost cost = make();
+        std::vector<double> values;
+        std::size_t hits = 0, lookups = 0;
+        const auto timing = bench::timeRepeated(kReps, [&] {
+            cost.configureKernel(KernelOptions{});
+            values = cost.evaluateBatch(points);
+            hits = cost.prefixCache().hits();
+            lookups = cost.prefixCache().lookups();
+        });
+        modes.push_back(
+            {"prefix-cached batch", timing, identical(values, reference)});
+        std::printf("  (cache: %zu hits / %zu lookups)\n", hits, lookups);
+    }
+
+    // 4. Engine with growing worker pools, prefix cache on (replica
+    // clones start cold each submission).
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    for (unsigned threads = 2; threads <= hw && threads <= 8;
+         threads *= 2) {
+        ExecutionEngine engine(static_cast<int>(threads));
+        StatevectorCost cost = make();
+        std::vector<double> values;
+        const auto timing = bench::timeRepeated(kReps, [&] {
+            cost.configureKernel(KernelOptions{});
+            values = engine.evaluate(cost, points);
+        });
+        modes.push_back({"engine x" + std::to_string(threads) + " cached",
+                         timing, identical(values, reference)});
+    }
+
+    report(modes, num_points);
 }
 
 } // namespace
@@ -111,9 +179,13 @@ main()
     std::printf("hardware_concurrency: %u\n", hw);
     if (hw <= 1) {
         std::printf("note: single-core host; thread speedups need "
-                    "cores, expect ~1x here\n");
+                    "cores, expect ~1x there\n");
     }
-    oscar::runBench(12, 600);
-    oscar::runBench(16, 200);
+
+    // The paper's p=1 landscape shape (beta x gamma), scalar-heavy.
+    oscar::runSweep(12, 1, oscar::GridSpec::qaoaP1(30, 60));
+    // The acceptance sweep: p=2, >= 12 qubits, axis-major order.
+    oscar::runSweep(12, 2, oscar::GridSpec::qaoaP2(5, 7));
+    oscar::runSweep(16, 1, oscar::GridSpec::qaoaP1(15, 30));
     return 0;
 }

@@ -1,5 +1,6 @@
 #include "src/backend/analytic_qaoa.h"
 
+#include <bit>
 #include <cmath>
 #include <set>
 
@@ -47,9 +48,9 @@ AnalyticQaoaCost::computeDamping(const NoiseModel& noise)
     }
 }
 
-double
-AnalyticQaoaCost::edgeExpectation(std::size_t edge_index, double beta,
-                                  double gamma) const
+AnalyticQaoaCost::EdgeGammaFactors
+AnalyticQaoaCost::edgeGammaFactors(std::size_t edge_index,
+                                   double gamma) const
 {
     const Edge& edge = graph_.edges()[edge_index];
     const int u = edge.u;
@@ -67,7 +68,7 @@ AnalyticQaoaCost::edgeExpectation(std::size_t edge_index, double beta,
     for (int k = 0; k < graph_.numVertices(); ++k) {
         if (k == u || k == v)
             continue;
-        // Skip vertices not adjacent to either endpoint (all factors 1).
+        // Vertices not adjacent to either endpoint contribute 1.
         const bool near_u = graph_.hasEdge(u, k);
         const bool near_v = graph_.hasEdge(v, k);
         if (!near_u && !near_v)
@@ -80,11 +81,62 @@ AnalyticQaoaCost::edgeExpectation(std::size_t edge_index, double beta,
         prod_minus *= std::cos(gamma * (wu - wv));
     }
 
+    EdgeGammaFactors f;
+    f.sumUV = prod_u + prod_v;
+    f.diff = prod_plus - prod_minus;
+    f.sinGW = std::sin(gamma * edge.weight);
+    return f;
+}
+
+void
+AnalyticQaoaCost::computeGammaFactors(
+    double gamma, std::vector<EdgeGammaFactors>& out) const
+{
+    out.resize(graph_.numEdges());
+    for (std::size_t e = 0; e < graph_.numEdges(); ++e)
+        out[e] = edgeGammaFactors(e, gamma);
+}
+
+double
+AnalyticQaoaCost::energyFromFactors(
+    double beta, const std::vector<EdgeGammaFactors>& factors) const
+{
     const double s4b = std::sin(4.0 * beta);
     const double s2b = std::sin(2.0 * beta);
-    const double zz =
-        -(s4b * std::sin(gamma * edge.weight) / 2.0) * (prod_u + prod_v) -
-        (s2b * s2b / 2.0) * (prod_plus - prod_minus);
+    double energy = 0.0;
+    for (std::size_t e = 0; e < graph_.numEdges(); ++e) {
+        const double w = graph_.edges()[e].weight;
+        const double zz = -(s4b * factors[e].sinGW / 2.0) *
+                              factors[e].sumUV -
+                          (s2b * s2b / 2.0) * factors[e].diff;
+        energy += (w / 2.0) * (damping_[e] * zz - 1.0);
+    }
+    return energy;
+}
+
+const std::vector<AnalyticQaoaCost::EdgeGammaFactors>&
+AnalyticQaoaCost::factorsFor(double gamma)
+{
+    const bool memoize = kernel_.prefixCache;
+    if (!memoize || !memoValid_ ||
+        std::bit_cast<std::uint64_t>(memoGamma_) !=
+            std::bit_cast<std::uint64_t>(gamma)) {
+        computeGammaFactors(gamma, memo_);
+        memoGamma_ = gamma;
+        memoValid_ = memoize;
+    }
+    return memo_;
+}
+
+double
+AnalyticQaoaCost::edgeExpectation(std::size_t edge_index, double beta,
+                                  double gamma) const
+{
+    const EdgeGammaFactors f = edgeGammaFactors(edge_index, gamma);
+    const double s4b = std::sin(4.0 * beta);
+    const double s2b = std::sin(2.0 * beta);
+    const double zz = -(s4b * f.sinGW / 2.0) * f.sumUV -
+                      (s2b * s2b / 2.0) * f.diff;
     return damping_[edge_index] * zz;
 }
 
@@ -94,18 +146,31 @@ AnalyticQaoaCost::clone() const
     return std::make_unique<AnalyticQaoaCost>(*this);
 }
 
+void
+AnalyticQaoaCost::configureKernel(const KernelOptions& options)
+{
+    kernel_ = options;
+    memoValid_ = false;
+}
+
 double
 AnalyticQaoaCost::evaluateImpl(const std::vector<double>& params,
                                std::uint64_t /*ordinal*/)
 {
-    const double beta = params[0];
-    const double gamma = params[1];
-    double energy = 0.0;
-    for (std::size_t e = 0; e < graph_.numEdges(); ++e) {
-        const double w = graph_.edges()[e].weight;
-        energy += (w / 2.0) * (edgeExpectation(e, beta, gamma) - 1.0);
-    }
-    return energy;
+    return energyFromFactors(params[0], factorsFor(params[1]));
+}
+
+void
+AnalyticQaoaCost::evaluateBatchImpl(
+    std::span<const std::vector<double>> points,
+    std::uint64_t /*base_ordinal*/, double* out)
+{
+    // Deterministic closed form; the gamma factor table is the only
+    // shared work. Axis-major batches (gamma slowest) recompute it
+    // once per gamma run — including across batch boundaries, since
+    // the memo lives on the instance.
+    for (std::size_t i = 0; i < points.size(); ++i)
+        out[i] = energyFromFactors(points[i][0], factorsFor(points[i][1]));
 }
 
 } // namespace oscar

@@ -54,16 +54,66 @@ class AnalyticQaoaCost : public CostFunction
     /** Replicable: evaluation is a pure closed-form function. */
     std::unique_ptr<CostFunction> clone() const override;
 
+    void configureKernel(const KernelOptions& options) override;
+
+    /**
+     * The per-edge neighborhood products depend only on gamma, so
+     * batches should hold gamma fixed as long as possible: gamma
+     * (param 1) slowest, beta (param 0) fastest.
+     */
+    std::vector<int> batchOrderHint() const override { return {1, 0}; }
+
   protected:
     double evaluateImpl(const std::vector<double>& params,
                         std::uint64_t ordinal) override;
 
+    void evaluateBatchImpl(std::span<const std::vector<double>> points,
+                           std::uint64_t base_ordinal,
+                           double* out) override;
+
   private:
+    /**
+     * Gamma-only factors of one edge expectation: the neighborhood
+     * cosine products and sin(gamma w) of the closed form above.
+     */
+    struct EdgeGammaFactors
+    {
+        double sumUV;  ///< P_u + P_v
+        double diff;   ///< P_plus - P_minus
+        double sinGW;  ///< sin(gamma w_uv)
+    };
+
     void computeDamping(const NoiseModel& noise);
+
+    /** Gamma-only factors of one edge. */
+    EdgeGammaFactors edgeGammaFactors(std::size_t edge_index,
+                                      double gamma) const;
+
+    /** Fill `out` with every edge's gamma-only factors. */
+    void computeGammaFactors(double gamma,
+                             std::vector<EdgeGammaFactors>& out) const;
+
+    /** Energy at (beta, gamma) given that gamma's factor table. */
+    double energyFromFactors(double beta,
+                             const std::vector<EdgeGammaFactors>& factors)
+        const;
+
+    /**
+     * Factor table for `gamma`, memoized on the last distinct gamma
+     * (the shared-prefix analogue for the closed form: an axis-major
+     * sweep recomputes the table once per gamma row). Value-neutral:
+     * the table holds exactly what a fresh computation produces.
+     */
+    const std::vector<EdgeGammaFactors>& factorsFor(double gamma);
 
     Graph graph_;
     /** Per-edge noise damping factor for <Z_u Z_v>. */
     std::vector<double> damping_;
+
+    KernelOptions kernel_;
+    bool memoValid_ = false;
+    double memoGamma_ = 0.0;
+    std::vector<EdgeGammaFactors> memo_;
 };
 
 } // namespace oscar

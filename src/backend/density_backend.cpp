@@ -8,8 +8,10 @@ namespace oscar {
 
 DensityCost::DensityCost(Circuit circuit, PauliSum hamiltonian,
                          NoiseModel noise)
-    : circuit_(std::move(circuit)), hamiltonian_(std::move(hamiltonian)),
-      noise_(noise), rho_(circuit_.numQubits())
+    : circuit_(std::move(circuit)),
+      compiled_(circuit_, CompileOptions{.fuse1q = false}),
+      hamiltonian_(std::move(hamiltonian)), noise_(noise),
+      rho_(circuit_.numQubits())
 {
     if (hamiltonian_.numQubits() != circuit_.numQubits())
         throw std::invalid_argument(
@@ -39,7 +41,7 @@ DensityCost::evaluateImpl(const std::vector<double>& params,
                           std::uint64_t /*ordinal*/)
 {
     rho_.reset();
-    rho_.run(circuit_, params, noise_);
+    rho_.run(compiled_, params, noise_);
     if (!diagonal_.empty()) {
         const auto probs = rho_.probabilities();
         double acc = 0.0;

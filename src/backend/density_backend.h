@@ -38,6 +38,8 @@ class DensityCost : public CostFunction
 
   private:
     Circuit circuit_;
+    /** Unfused schedule: ops map 1:1 onto noisy source gates. */
+    CompiledCircuit compiled_;
     PauliSum hamiltonian_;
     NoiseModel noise_;
     std::vector<double> diagonal_; // readout-smeared when applicable

@@ -39,6 +39,27 @@ namespace oscar {
 
 class ExecutionEngine;
 
+/**
+ * Tuning knobs for the compiled-circuit kernel layer of the batched
+ * backends (statevector_backend.h, analytic_qaoa.h). Plumbed through
+ * the Oscar pipelines via OscarOptions::kernel.
+ */
+struct KernelOptions
+{
+    /**
+     * Reuse shared-prefix checkpoints across evaluations of nearby
+     * grid points. Bit-exact: toggling this changes performance, never
+     * values.
+     */
+    bool prefixCache = true;
+
+    /**
+     * Checkpoint memory budget in bytes, per evaluator replica (a
+     * checkpoint is one 2^n-amplitude statevector).
+     */
+    std::size_t prefixCacheBudgetBytes = std::size_t{256} << 20;
+};
+
 /** Abstract VQA cost evaluator: circuit parameters -> expected cost. */
 class CostFunction
 {
@@ -73,6 +94,30 @@ class CostFunction
     clone() const
     {
         return nullptr;
+    }
+
+    /**
+     * Apply kernel-layer tuning (prefix cache on/off, checkpoint
+     * budget). Backends without a kernel layer ignore it; wrappers
+     * should forward to their inner evaluator.
+     */
+    virtual void
+    configureKernel(const KernelOptions& /*options*/)
+    {
+    }
+
+    /**
+     * Preferred batch ordering: parameter indices from slowest- to
+     * fastest-varying, or empty for no preference. Backends with a
+     * compiled-circuit prefix cache return their parameters ordered by
+     * first use in the schedule; samplers sort grid batches
+     * accordingly (axis-major) so nearby points share the longest
+     * possible simulation prefix.
+     */
+    virtual std::vector<int>
+    batchOrderHint() const
+    {
+        return {};
     }
 
     /** Number of evaluations since construction / reset. */
@@ -219,6 +264,18 @@ class ShotNoiseCost : public CostFunction
     int numParams() const override { return inner_->numParams(); }
 
     std::unique_ptr<CostFunction> clone() const override;
+
+    /**
+     * Forward kernel tuning to the wrapped evaluator. The batch order
+     * hint is deliberately NOT forwarded: reordering would re-key the
+     * ordinal-derived noise stream, so the wrapper keeps the caller's
+     * submission order stable instead.
+     */
+    void
+    configureKernel(const KernelOptions& options) override
+    {
+        inner_->configureKernel(options);
+    }
 
   protected:
     double evaluateImpl(const std::vector<double>& params,

@@ -41,6 +41,19 @@ class GlobalDampingCost : public CostFunction
     /** Replicable: wraps a replicable statevector evaluation. */
     std::unique_ptr<CostFunction> clone() const override;
 
+    /** Forward kernel tuning to the inner statevector evaluation. */
+    void
+    configureKernel(const KernelOptions& options) override
+    {
+        ideal_.configureKernel(options);
+    }
+
+    std::vector<int>
+    batchOrderHint() const override
+    {
+        return ideal_.batchOrderHint();
+    }
+
   protected:
     double evaluateImpl(const std::vector<double>& params,
                         std::uint64_t ordinal) override;

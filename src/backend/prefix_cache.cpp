@@ -1,0 +1,65 @@
+#include "src/backend/prefix_cache.h"
+
+namespace oscar {
+
+PrefixCache::PrefixCache(std::size_t budget_bytes)
+    : budgetBytes_(budget_bytes)
+{
+}
+
+void
+PrefixCache::setBudget(std::size_t budget_bytes)
+{
+    clear();
+    budgetBytes_ = budget_bytes;
+}
+
+std::size_t
+PrefixCache::entryBytes(const Entry& entry)
+{
+    return sizeof(Entry) + entry.amps.capacity() * sizeof(cplx) +
+           entry.key.paramBits.capacity() * sizeof(std::uint64_t);
+}
+
+const std::vector<cplx>*
+PrefixCache::find(const PrefixKey& key)
+{
+    ++lookups_;
+    const auto it = index_.find(key);
+    if (it == index_.end())
+        return nullptr;
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->amps;
+}
+
+void
+PrefixCache::insert(const PrefixKey& key, const std::vector<cplx>& amps)
+{
+    if (index_.count(key))
+        return;
+    const std::size_t bytes =
+        sizeof(Entry) + amps.size() * sizeof(cplx) +
+        key.paramBits.size() * sizeof(std::uint64_t);
+    if (bytes > budgetBytes_)
+        return;
+    while (sizeBytes_ + bytes > budgetBytes_ && !lru_.empty()) {
+        sizeBytes_ -= entryBytes(lru_.back());
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+    }
+    lru_.push_front(Entry{key, amps});
+    lru_.front().amps.shrink_to_fit();
+    index_.emplace(key, lru_.begin());
+    sizeBytes_ += entryBytes(lru_.front());
+}
+
+void
+PrefixCache::clear()
+{
+    lru_.clear();
+    index_.clear();
+    sizeBytes_ = 0;
+}
+
+} // namespace oscar

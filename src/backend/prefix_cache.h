@@ -1,0 +1,115 @@
+/**
+ * @file
+ * LRU store of statevector checkpoints keyed by resolved prefix angles.
+ *
+ * A checkpoint is the exact amplitude vector produced by replaying a
+ * compiled schedule's ops [0, depth) under some parameter binding. The
+ * key is (depth, bit patterns of the parameter values the prefix
+ * depends on), so two bindings that agree bitwise on the prefix
+ * parameters share the checkpoint — the axis-major sweeps emitted by
+ * the landscape sampler then hit the cache both within a batch and
+ * across batches of the same sweep.
+ *
+ * Checkpoints are bit-exact, never approximate: replaying from a
+ * checkpoint executes the identical kernel sequence a from-scratch run
+ * would, so cache state can change performance but never values (the
+ * determinism argument of the batched backends rests on this).
+ *
+ * Eviction is least-recently-used under a caller-set byte budget. The
+ * cache is per evaluator replica and not thread-safe; engine clones
+ * each start with an empty cache.
+ */
+
+#ifndef OSCAR_BACKEND_PREFIX_CACHE_H
+#define OSCAR_BACKEND_PREFIX_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/quantum/gate.h"
+
+namespace oscar {
+
+/** Identifies a checkpoint: prefix depth + prefix parameter bits. */
+struct PrefixKey
+{
+    std::size_t depth = 0;
+    std::vector<std::uint64_t> paramBits;
+
+    bool operator==(const PrefixKey& other) const
+    {
+        return depth == other.depth && paramBits == other.paramBits;
+    }
+};
+
+/** LRU checkpoint store under a byte budget. */
+class PrefixCache
+{
+  public:
+    explicit PrefixCache(std::size_t budget_bytes);
+
+    /** Drop everything and set a new budget. */
+    void setBudget(std::size_t budget_bytes);
+
+    std::size_t budgetBytes() const { return budgetBytes_; }
+    std::size_t sizeBytes() const { return sizeBytes_; }
+    std::size_t numEntries() const { return index_.size(); }
+
+    /** Cache effectiveness counters (for the benches). */
+    std::size_t hits() const { return hits_; }
+    std::size_t lookups() const { return lookups_; }
+
+    /**
+     * Look up a checkpoint; returns nullptr on miss. The returned
+     * pointer is valid until the next insert/clear.
+     */
+    const std::vector<cplx>* find(const PrefixKey& key);
+
+    /**
+     * Store a checkpoint (no-op if the key is present or one entry
+     * exceeds the whole budget). Evicts LRU entries to fit.
+     */
+    void insert(const PrefixKey& key, const std::vector<cplx>& amps);
+
+    void clear();
+
+  private:
+    struct Entry
+    {
+        PrefixKey key;
+        std::vector<cplx> amps;
+    };
+
+    struct KeyHash
+    {
+        std::size_t operator()(const PrefixKey& key) const
+        {
+            // FNV-1a over depth and parameter bit patterns.
+            std::uint64_t h = 1469598103934665603ULL;
+            auto mix = [&h](std::uint64_t v) {
+                h = (h ^ v) * 1099511628211ULL;
+            };
+            mix(key.depth);
+            for (std::uint64_t bits : key.paramBits)
+                mix(bits);
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    static std::size_t entryBytes(const Entry& entry);
+
+    std::size_t budgetBytes_;
+    std::size_t sizeBytes_ = 0;
+    std::size_t hits_ = 0;
+    std::size_t lookups_ = 0;
+    std::list<Entry> lru_; ///< front = most recently used
+    std::unordered_map<PrefixKey, std::list<Entry>::iterator, KeyHash>
+        index_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_BACKEND_PREFIX_CACHE_H

@@ -7,8 +7,8 @@ namespace oscar {
 SampledCost::SampledCost(Circuit circuit, PauliSum hamiltonian,
                          std::size_t shots, NoiseModel noise,
                          std::uint64_t seed)
-    : circuit_(std::move(circuit)), shots_(shots), noise_(noise),
-      state_(circuit_.numQubits()), seed_(seed)
+    : circuit_(std::move(circuit)), compiled_(circuit_), shots_(shots),
+      noise_(noise), state_(circuit_.numQubits()), seed_(seed)
 {
     if (hamiltonian.numQubits() != circuit_.numQubits())
         throw std::invalid_argument(
@@ -33,7 +33,7 @@ SampledCost::evaluateImpl(const std::vector<double>& params,
 {
     Rng rng(mixSeed(seed_, ordinal));
     state_.reset();
-    state_.run(circuit_, params);
+    compiled_.run(state_, params);
     const auto outcomes = state_.sample(shots_, rng);
 
     const bool readout =

@@ -19,6 +19,7 @@
 #include "src/backend/executor.h"
 #include "src/hamiltonian/pauli_sum.h"
 #include "src/quantum/circuit.h"
+#include "src/quantum/compiled_circuit.h"
 #include "src/quantum/noise_model.h"
 #include "src/quantum/statevector.h"
 
@@ -56,6 +57,7 @@ class SampledCost : public CostFunction
 
   private:
     Circuit circuit_;
+    CompiledCircuit compiled_; ///< circuit lowered once, bound per point
     std::vector<double> diagonal_;
     std::size_t shots_;
     NoiseModel noise_;

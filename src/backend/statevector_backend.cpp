@@ -1,18 +1,47 @@
 #include "src/backend/statevector_backend.h"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace oscar {
 
 StatevectorCost::StatevectorCost(Circuit circuit, PauliSum hamiltonian)
-    : circuit_(std::move(circuit)), hamiltonian_(std::move(hamiltonian)),
-      state_(circuit_.numQubits())
+    : circuit_(std::move(circuit)), compiled_(circuit_),
+      hamiltonian_(std::move(hamiltonian)), state_(circuit_.numQubits()),
+      cache_(kernel_.prefixCacheBudgetBytes)
 {
     if (hamiltonian_.numQubits() != circuit_.numQubits())
         throw std::invalid_argument(
             "StatevectorCost: circuit/Hamiltonian qubit mismatch");
     if (hamiltonian_.isDiagonal())
         diagonal_ = hamiltonian_.diagonalTable();
+    for (std::size_t level : compiled_.frontierLevels())
+        levelParams_.push_back(compiled_.paramsUsedBefore(level));
+}
+
+StatevectorCost::StatevectorCost(const StatevectorCost& other)
+    : CostFunction(other), circuit_(other.circuit_),
+      compiled_(other.compiled_), levelParams_(other.levelParams_),
+      hamiltonian_(other.hamiltonian_), diagonal_(other.diagonal_),
+      state_(other.circuit_.numQubits()), kernel_(other.kernel_),
+      cache_(other.kernel_.prefixCacheBudgetBytes)
+{
+}
+
+StatevectorCost&
+StatevectorCost::operator=(const StatevectorCost& other)
+{
+    CostFunction::operator=(other);
+    circuit_ = other.circuit_;
+    compiled_ = other.compiled_;
+    levelParams_ = other.levelParams_;
+    hamiltonian_ = other.hamiltonian_;
+    diagonal_ = other.diagonal_;
+    state_ = Statevector(other.circuit_.numQubits());
+    kernel_ = other.kernel_;
+    cache_.setBudget(other.kernel_.prefixCacheBudgetBytes);
+    return *this;
 }
 
 std::unique_ptr<CostFunction>
@@ -21,15 +50,96 @@ StatevectorCost::clone() const
     return std::make_unique<StatevectorCost>(*this);
 }
 
+void
+StatevectorCost::configureKernel(const KernelOptions& options)
+{
+    kernel_ = options;
+    cache_.setBudget(options.prefixCacheBudgetBytes);
+}
+
+std::vector<int>
+StatevectorCost::batchOrderHint() const
+{
+    return compiled_.parameterOrder();
+}
+
+const PrefixKey&
+StatevectorCost::keyFor(std::size_t level_index,
+                        const std::vector<double>& params)
+{
+    scratchKey_.depth = compiled_.frontierLevels()[level_index];
+    scratchKey_.paramBits.clear();
+    for (int j : levelParams_[level_index])
+        scratchKey_.paramBits.push_back(
+            std::bit_cast<std::uint64_t>(params[j]));
+    return scratchKey_;
+}
+
+double
+StatevectorCost::evaluatePoint(const std::vector<double>& params)
+{
+    const auto& levels = compiled_.frontierLevels();
+    std::size_t pos = 0;
+
+    if (!kernel_.prefixCache || levels.empty()) {
+        state_.reset();
+        compiled_.runRange(state_.amps().data(), state_.dim(), 0,
+                           compiled_.numOps(), params.data());
+    } else {
+        // Resume from the deepest cached checkpoint whose prefix
+        // parameters match this point bitwise.
+        std::size_t start_level = levels.size();
+        const std::vector<cplx>* checkpoint = nullptr;
+        for (std::size_t l = levels.size(); l-- > 0;) {
+            checkpoint = cache_.find(keyFor(l, params));
+            if (checkpoint) {
+                start_level = l;
+                break;
+            }
+        }
+        if (checkpoint) {
+            state_.amps() = *checkpoint;
+            pos = levels[start_level];
+        } else {
+            state_.reset();
+            start_level = static_cast<std::size_t>(-1);
+        }
+        // Replay the remaining frontier segments, dropping a checkpoint
+        // at each crossed level so later points (and later batches of
+        // the same sweep) can resume there.
+        for (std::size_t l = start_level + 1; l < levels.size(); ++l) {
+            compiled_.runRange(state_.amps().data(), state_.dim(), pos,
+                               levels[l], params.data());
+            pos = levels[l];
+            cache_.insert(keyFor(l, params), state_.amps());
+        }
+        compiled_.runRange(state_.amps().data(), state_.dim(), pos,
+                           compiled_.numOps(), params.data());
+    }
+
+    if (!diagonal_.empty())
+        return state_.expectationDiagonal(diagonal_);
+    return hamiltonian_.expectation(state_);
+}
+
 double
 StatevectorCost::evaluateImpl(const std::vector<double>& params,
                               std::uint64_t /*ordinal*/)
 {
-    state_.reset();
-    state_.run(circuit_, params);
-    if (!diagonal_.empty())
-        return state_.expectationDiagonal(diagonal_);
-    return hamiltonian_.expectation(state_);
+    return evaluatePoint(params);
+}
+
+void
+StatevectorCost::evaluateBatchImpl(
+    std::span<const std::vector<double>> points,
+    std::uint64_t /*base_ordinal*/, double* out)
+{
+    // Deterministic backend: ordinals are irrelevant, and evaluatePoint
+    // is cache-state-independent in value, so the batch is trivially
+    // bit-identical to the scalar path. Consecutive points of an
+    // axis-major batch resume from each other's checkpoints.
+    for (std::size_t i = 0; i < points.size(); ++i)
+        out[i] = evaluatePoint(points[i]);
 }
 
 } // namespace oscar

@@ -1,14 +1,33 @@
 /**
  * @file
  * Ideal (noise-free) cost evaluation via dense state-vector simulation.
+ *
+ * The circuit is lowered once into a compiled kernel schedule
+ * (quantum/compiled_circuit.h); every evaluation replays that schedule
+ * instead of re-resolving the gate list. Batches of nearby grid points
+ * additionally share simulation work through a prefix cache: the
+ * schedule's parameter frontier marks the depths at which a
+ * statevector snapshot only depends on the parameters bound so far, so
+ * a point whose leading parameters match a cached checkpoint replays
+ * only the invalidated suffix.
+ *
+ * Determinism: a checkpoint at depth L keyed by the prefix parameter
+ * bits is the exact state a from-scratch run of ops [0, L) produces
+ * under those values, and replaying the suffix executes the identical
+ * kernel sequence. Cache state (and therefore batching, batch order,
+ * and thread count) can change performance but never values — the
+ * batched path is bit-identical to the scalar path, which
+ * tests/test_engine.cpp asserts with the cache on and off.
  */
 
 #ifndef OSCAR_BACKEND_STATEVECTOR_BACKEND_H
 #define OSCAR_BACKEND_STATEVECTOR_BACKEND_H
 
 #include "src/backend/executor.h"
+#include "src/backend/prefix_cache.h"
 #include "src/hamiltonian/pauli_sum.h"
 #include "src/quantum/circuit.h"
+#include "src/quantum/compiled_circuit.h"
 #include "src/quantum/statevector.h"
 
 namespace oscar {
@@ -23,20 +42,53 @@ class StatevectorCost : public CostFunction
   public:
     StatevectorCost(Circuit circuit, PauliSum hamiltonian);
 
-    int numParams() const override { return circuit_.numParams(); }
+    /** Clones drop the cache (checkpoints are per replica). */
+    StatevectorCost(const StatevectorCost& other);
+    StatevectorCost& operator=(const StatevectorCost& other);
+
+    int numParams() const override { return compiled_.numParams(); }
 
     /** Replicable: the simulation scratch is per-instance. */
     std::unique_ptr<CostFunction> clone() const override;
+
+    void configureKernel(const KernelOptions& options) override;
+
+    /** Parameters ordered by first use in the compiled schedule. */
+    std::vector<int> batchOrderHint() const override;
+
+    /** Checkpoint cache counters (benchmark instrumentation). */
+    const PrefixCache& prefixCache() const { return cache_; }
 
   protected:
     double evaluateImpl(const std::vector<double>& params,
                         std::uint64_t ordinal) override;
 
+    void evaluateBatchImpl(std::span<const std::vector<double>> points,
+                           std::uint64_t base_ordinal,
+                           double* out) override;
+
   private:
+    /** Shared scalar kernel: prefix-cached simulate + expectation. */
+    double evaluatePoint(const std::vector<double>& params);
+
+    /**
+     * Cache key of frontier level `level_index` under `params`,
+     * filled into the reusable scratch key (no allocation on the hot
+     * path once its capacity settles).
+     */
+    const PrefixKey& keyFor(std::size_t level_index,
+                            const std::vector<double>& params);
+
     Circuit circuit_;
+    CompiledCircuit compiled_;
+    /** Params used before each frontier level (precomputed). */
+    std::vector<std::vector<int>> levelParams_;
     PauliSum hamiltonian_;
     std::vector<double> diagonal_; // non-empty iff hamiltonian diagonal
     Statevector state_;
+    KernelOptions kernel_;
+    PrefixCache cache_;
+    PrefixKey scratchKey_;
 };
 
 } // namespace oscar

@@ -56,6 +56,7 @@ Oscar::reconstruct(const GridSpec& grid, CostFunction& cost,
                    const OscarOptions& options, ExecutionEngine* engine)
 {
     const PipelineEngine eng(engine, options);
+    cost.configureKernel(options.kernel);
     Rng rng(options.seed);
     SampleSet samples =
         sampleCost(grid, cost, options.samplingFraction, rng, eng.get());
@@ -95,6 +96,10 @@ Oscar::reconstructParallel(const GridSpec& grid,
         throw std::invalid_argument("reconstructParallel: no devices");
 
     const PipelineEngine eng(engine, options);
+    for (QpuDevice& device : devices) {
+        if (device.cost)
+            device.cost->configureKernel(options.kernel);
+    }
     const auto indices = chooseSampleIndices(
         grid.numPoints(), options.samplingFraction, rng);
     ParallelRunResult run =

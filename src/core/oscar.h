@@ -56,6 +56,14 @@ struct OscarOptions
      * submission order, not by thread.
      */
     int numThreads = 1;
+
+    /**
+     * Compiled-circuit kernel tuning for the execution phase (prefix
+     * checkpoint cache on/off, checkpoint memory budget). Applied to
+     * the cost function (and every QPU device) at pipeline entry.
+     * Bit-exact: toggling changes performance, never values.
+     */
+    KernelOptions kernel;
 };
 
 /** Outcome of an OSCAR reconstruction. */

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <utility>
 
 namespace oscar {
 
@@ -89,6 +90,66 @@ GridSpec::axisValues(std::size_t d) const
     for (std::size_t k = 0; k < axes_[d].count; ++k)
         v[k] = axes_[d].value(k);
     return v;
+}
+
+std::vector<std::size_t>
+GridSpec::coordsAt(std::size_t flat_index) const
+{
+    assert(flat_index < numPoints());
+    std::vector<std::size_t> c(axes_.size());
+    for (std::size_t d = axes_.size(); d-- > 0;) {
+        c[d] = flat_index % axes_[d].count;
+        flat_index /= axes_[d].count;
+    }
+    return c;
+}
+
+std::vector<std::size_t>
+GridSpec::prefixFriendlyPermutation(
+    const std::vector<std::size_t>& indices,
+    const std::vector<int>& axis_priority) const
+{
+    // Full digit order: the named axes slowest-first, then the
+    // remaining axes ascending.
+    std::vector<char> named(axes_.size(), 0);
+    std::vector<std::size_t> digit_order;
+    digit_order.reserve(axes_.size());
+    for (int a : axis_priority) {
+        if (a < 0 || static_cast<std::size_t>(a) >= axes_.size())
+            throw std::invalid_argument(
+                "GridSpec::prefixFriendlyPermutation: axis out of range");
+        if (named[a])
+            throw std::invalid_argument(
+                "GridSpec::prefixFriendlyPermutation: duplicate axis");
+        named[a] = 1;
+        digit_order.push_back(static_cast<std::size_t>(a));
+    }
+    for (std::size_t d = 0; d < axes_.size(); ++d) {
+        if (!named[d])
+            digit_order.push_back(d);
+    }
+
+    // Mixed-radix sort key per point: a permutation of the row-major
+    // digits, so keys stay within [0, numPoints).
+    std::vector<std::pair<std::size_t, std::size_t>> keyed;
+    keyed.reserve(indices.size());
+    for (std::size_t pos = 0; pos < indices.size(); ++pos) {
+        const auto coords = coordsAt(indices[pos]);
+        std::size_t key = 0;
+        for (std::size_t d : digit_order)
+            key = key * axes_[d].count + coords[d];
+        keyed.emplace_back(key, pos);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                     });
+
+    std::vector<std::size_t> perm;
+    perm.reserve(indices.size());
+    for (const auto& [key, pos] : keyed)
+        perm.push_back(pos);
+    return perm;
 }
 
 std::size_t

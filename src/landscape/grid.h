@@ -68,6 +68,24 @@ class GridSpec
      */
     std::size_t nearestIndex(const std::vector<double>& params) const;
 
+    /** Per-axis coordinates of a flat row-major index. */
+    std::vector<std::size_t> coordsAt(std::size_t flat_index) const;
+
+    /**
+     * Stable permutation of positions into `indices` that orders the
+     * points axis-major under `axis_priority`: the first named axis
+     * varies slowest, the last fastest; axes not named are appended
+     * (ascending) as the fastest digits. Batched backends with a
+     * shared-prefix cache publish their preferred priority as
+     * CostFunction::batchOrderHint(); feeding them batches in this
+     * order maximizes consecutive points' common circuit prefix.
+     *
+     * @throws std::invalid_argument on out-of-range / duplicate axes
+     */
+    std::vector<std::size_t>
+    prefixFriendlyPermutation(const std::vector<std::size_t>& indices,
+                              const std::vector<int>& axis_priority) const;
+
   private:
     std::vector<GridAxis> axes_;
 };

@@ -1,7 +1,10 @@
 #include "src/landscape/landscape.h"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
+
+#include "src/landscape/sampler.h"
 
 namespace oscar {
 
@@ -19,10 +22,12 @@ Landscape::gridSearch(const GridSpec& grid, CostFunction& cost,
     if (static_cast<std::size_t>(cost.numParams()) != grid.rank())
         throw std::invalid_argument(
             "Landscape::gridSearch: grid rank != parameter count");
+    // Evaluate in the backend's prefix-friendly order (values come
+    // back scattered to row-major positions).
+    std::vector<std::size_t> indices(grid.numPoints());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
     std::vector<double> flat =
-        ExecutionEngine::engineOr(engine).evaluateGenerated(
-            cost, grid.numPoints(),
-            [&grid](std::size_t i) { return grid.pointAt(i); });
+        evaluateGridIndices(grid, cost, indices, engine);
     return Landscape(grid, NdArray(grid.shape(), std::move(flat)));
 }
 

@@ -39,21 +39,53 @@ sampleCost(const GridSpec& grid, CostFunction& cost, double fraction,
                       engine);
 }
 
+std::vector<double>
+evaluateGridIndices(const GridSpec& grid, CostFunction& cost,
+                    const std::vector<std::size_t>& indices,
+                    ExecutionEngine* engine)
+{
+    for (std::size_t idx : indices) {
+        if (idx >= grid.numPoints())
+            throw std::out_of_range(
+                "evaluateGridIndices: index out of range");
+    }
+
+    // Submit in the backend's preferred axis-major order so batches of
+    // nearby points share the longest simulation prefix. Only hinted
+    // (deterministic, prefix-cached) backends opt in; the scatter back
+    // to caller order keeps results positional either way.
+    const std::vector<int> hint = cost.batchOrderHint();
+    const bool reorder =
+        !hint.empty() &&
+        grid.rank() == static_cast<std::size_t>(cost.numParams());
+    if (!reorder) {
+        return ExecutionEngine::engineOr(engine).evaluateGenerated(
+            cost, indices.size(), [&grid, &indices](std::size_t i) {
+                return grid.pointAt(indices[i]);
+            });
+    }
+
+    const std::vector<std::size_t> perm =
+        grid.prefixFriendlyPermutation(indices, hint);
+    const std::vector<double> ordered =
+        ExecutionEngine::engineOr(engine).evaluateGenerated(
+            cost, indices.size(),
+            [&grid, &indices, &perm](std::size_t i) {
+                return grid.pointAt(indices[perm[i]]);
+            });
+    std::vector<double> values(indices.size());
+    for (std::size_t i = 0; i < perm.size(); ++i)
+        values[perm[i]] = ordered[i];
+    return values;
+}
+
 SampleSet
 gatherCost(const GridSpec& grid, CostFunction& cost,
            const std::vector<std::size_t>& indices, ExecutionEngine* engine)
 {
-    for (std::size_t idx : indices) {
-        if (idx >= grid.numPoints())
-            throw std::out_of_range("gatherCost: index out of range");
-    }
     SampleSet set;
     set.indices = indices;
-    set.values = ExecutionEngine::engineOr(engine).evaluateGenerated(
-        cost, indices.size(),
-        [&grid, &indices](std::size_t i) {
-            return grid.pointAt(indices[i]);
-        });
+    set.values = evaluateGridIndices(grid, cost, indices, engine);
     return set;
 }
 

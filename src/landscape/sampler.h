@@ -51,7 +51,23 @@ SampleSet sampleCost(const GridSpec& grid, CostFunction& cost,
 
 /**
  * Evaluate a live cost function at specific grid indices as one batch
- * through the engine.
+ * through the engine, returning values positionally aligned with
+ * `indices`.
+ *
+ * When the cost function publishes a batch order hint (a prefix-cached
+ * backend), the batch is submitted in prefix-friendly axis-major order
+ * — the shared-coordinate structure the backend's checkpoint cache
+ * keys on — and the results are scattered back to the caller's order,
+ * so the (index, value) pairing is unaffected.
+ */
+std::vector<double> evaluateGridIndices(
+    const GridSpec& grid, CostFunction& cost,
+    const std::vector<std::size_t>& indices,
+    ExecutionEngine* engine = nullptr);
+
+/**
+ * Evaluate a live cost function at specific grid indices as one batch
+ * through the engine (evaluateGridIndices wrapped in a SampleSet).
  */
 SampleSet gatherCost(const GridSpec& grid, CostFunction& cost,
                      const std::vector<std::size_t>& indices,

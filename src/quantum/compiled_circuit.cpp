@@ -1,0 +1,274 @@
+#include "src/quantum/compiled_circuit.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/quantum/kernels.h"
+#include "src/quantum/statevector.h"
+
+namespace oscar {
+
+namespace {
+
+/**
+ * Diagonal rotation phases {exp(-i a/2), exp(+i a/2)}: the |0>/|1>
+ * phases of RZ and equally the agree/differ phases of RZZ.
+ */
+inline void
+rotationPhases(double angle, cplx& p0, cplx& p1)
+{
+    p0 = std::exp(cplx(0.0, -angle / 2));
+    p1 = std::exp(cplx(0.0, angle / 2));
+}
+
+/** Matrix product a * b (apply b first, then a). */
+std::array<cplx, 4>
+matmul(const std::array<cplx, 4>& a, const std::array<cplx, 4>& b)
+{
+    return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+            a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+/** Lower one gate to a compiled op (no fusion). */
+CompiledOp
+lowerGate(const Gate& gate)
+{
+    CompiledOp op;
+    op.kind = gate.kind;
+    op.q0 = static_cast<std::int16_t>(gate.qubits[0]);
+    op.q1 = static_cast<std::int16_t>(gate.qubits[1]);
+    op.paramIndex = gate.paramIndex;
+    op.angle = gate.angle;
+    op.coeff = gate.coeff;
+
+    switch (gate.kind) {
+      case GateKind::CX:
+        op.op = KernelOp::CX;
+        return op;
+      case GateKind::CZ:
+        op.op = KernelOp::CZ;
+        return op;
+      case GateKind::SWAP:
+        op.op = KernelOp::Swap;
+        return op;
+      case GateKind::RZZ:
+        op.op = KernelOp::PhaseZZ;
+        if (op.paramIndex < 0)
+            rotationPhases(op.angle, op.phase0, op.phase1);
+        return op;
+      case GateKind::RZ:
+        op.op = KernelOp::Diag1q;
+        if (op.paramIndex < 0)
+            rotationPhases(op.angle, op.phase0, op.phase1);
+        return op;
+      default:
+        // H, X, Y, Z, S, Sdg, RX, RY. Constant payloads are resolved
+        // now; a post-pass downgrades diagonal matrices to Diag1q.
+        op.op = KernelOp::Matrix1q;
+        if (op.paramIndex < 0)
+            op.matrix = gateMatrix1q(gate.kind, gate.angle);
+        return op;
+    }
+}
+
+} // namespace
+
+CompiledCircuit::CompiledCircuit(const Circuit& circuit,
+                                 const CompileOptions& options)
+    : numQubits_(circuit.numQubits()), numParams_(circuit.numParams())
+{
+    ops_.reserve(circuit.numGates());
+    firstUse_.assign(static_cast<std::size_t>(numParams_), 0);
+
+    // fusible[q]: index of the trailing constant Matrix1q op on qubit
+    // q that later constant 1q gates on q may merge into; -1 when the
+    // last op touching q is not such a candidate.
+    std::vector<std::ptrdiff_t> fusible(
+        static_cast<std::size_t>(numQubits_), -1);
+
+    for (const Gate& gate : circuit.gates()) {
+        CompiledOp op = lowerGate(gate);
+        const bool constant_1q =
+            op.arity() == 1 && op.paramIndex < 0;
+
+        if (options.fuse1q && constant_1q) {
+            // Diagonal constants were lowered to Diag1q payloads only
+            // for RZ; rebuild the fusable matrix form uniformly.
+            const std::array<cplx, 4> m =
+                op.op == KernelOp::Diag1q
+                    ? std::array<cplx, 4>{op.phase0, cplx(0.0, 0.0),
+                                          cplx(0.0, 0.0), op.phase1}
+                    : op.matrix;
+            std::ptrdiff_t& slot = fusible[op.q0];
+            if (slot >= 0) {
+                ops_[slot].matrix = matmul(m, ops_[slot].matrix);
+                ++fusedGates_;
+                continue;
+            }
+            op.op = KernelOp::Matrix1q;
+            op.matrix = m;
+            slot = static_cast<std::ptrdiff_t>(ops_.size());
+            ops_.push_back(op);
+            continue;
+        }
+
+        // Any other op ends the fusion window of the qubits it touches.
+        fusible[op.q0] = -1;
+        if (op.arity() == 2)
+            fusible[op.q1] = -1;
+        ops_.push_back(op);
+    }
+
+    // Downgrade exactly-diagonal constant matrices (Z, S, Sdg, and
+    // diagonal fusion products) to the phase-multiply fast path.
+    for (CompiledOp& op : ops_) {
+        if (op.op == KernelOp::Matrix1q && op.paramIndex < 0 &&
+            op.matrix[1] == cplx(0.0, 0.0) &&
+            op.matrix[2] == cplx(0.0, 0.0)) {
+            op.op = KernelOp::Diag1q;
+            op.phase0 = op.matrix[0];
+            op.phase1 = op.matrix[3];
+        }
+    }
+
+    finalizeFrontier();
+}
+
+void
+CompiledCircuit::finalizeFrontier()
+{
+    std::fill(firstUse_.begin(), firstUse_.end(), ops_.size());
+    for (std::size_t k = 0; k < ops_.size(); ++k) {
+        const std::int32_t j = ops_[k].paramIndex;
+        if (j >= 0 && firstUse_[j] == ops_.size())
+            firstUse_[j] = k;
+    }
+
+    constantPrefix_ = ops_.size();
+    for (std::size_t k = 0; k < ops_.size(); ++k) {
+        if (ops_[k].paramIndex >= 0) {
+            constantPrefix_ = k;
+            break;
+        }
+    }
+
+    frontier_ = firstUse_;
+    std::sort(frontier_.begin(), frontier_.end());
+    frontier_.erase(std::unique(frontier_.begin(), frontier_.end()),
+                    frontier_.end());
+    // Unused parameters contribute a bogus level at numOps().
+    while (!frontier_.empty() && frontier_.back() >= ops_.size())
+        frontier_.pop_back();
+}
+
+std::vector<int>
+CompiledCircuit::paramsUsedBefore(std::size_t level) const
+{
+    std::vector<int> used;
+    for (int j = 0; j < numParams_; ++j) {
+        if (firstUse_[j] < level)
+            used.push_back(j);
+    }
+    return used;
+}
+
+std::vector<int>
+CompiledCircuit::parameterOrder() const
+{
+    std::vector<int> order(static_cast<std::size_t>(numParams_));
+    for (int j = 0; j < numParams_; ++j)
+        order[j] = j;
+    std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+        return firstUse_[a] < firstUse_[b];
+    });
+    return order;
+}
+
+std::size_t
+CompiledCircuit::sharedPrefixLength(const std::vector<double>& a,
+                                    const std::vector<double>& b) const
+{
+    std::size_t prefix = ops_.size();
+    for (int j = 0; j < numParams_; ++j) {
+        if (std::bit_cast<std::uint64_t>(a[j]) !=
+            std::bit_cast<std::uint64_t>(b[j]))
+            prefix = std::min(prefix, firstUse_[j]);
+    }
+    return prefix;
+}
+
+void
+CompiledCircuit::runRange(cplx* amps, std::size_t dim, std::size_t begin,
+                          std::size_t end, const double* params) const
+{
+    for (std::size_t k = begin; k < end; ++k) {
+        const CompiledOp& op = ops_[k];
+        switch (op.op) {
+          case KernelOp::Matrix1q:
+            if (op.paramIndex < 0) {
+                kernels::matrix1q(amps, dim, op.q0, op.matrix);
+            } else {
+                kernels::matrix1q(
+                    amps, dim, op.q0,
+                    gateMatrix1q(op.kind, op.resolvedAngle(params)));
+            }
+            break;
+          case KernelOp::Diag1q:
+            if (op.paramIndex < 0) {
+                kernels::diag1q(amps, dim, op.q0, op.phase0, op.phase1);
+            } else {
+                cplx p0, p1;
+                rotationPhases(op.resolvedAngle(params), p0, p1);
+                kernels::diag1q(amps, dim, op.q0, p0, p1);
+            }
+            break;
+          case KernelOp::CX:
+            kernels::cx(amps, dim, op.q0, op.q1);
+            break;
+          case KernelOp::CZ:
+            kernels::cz(amps, dim, op.q0, op.q1);
+            break;
+          case KernelOp::Swap:
+            kernels::swapQubits(amps, dim, op.q0, op.q1);
+            break;
+          case KernelOp::PhaseZZ:
+            if (op.paramIndex < 0) {
+                kernels::phaseZZ(amps, dim, op.q0, op.q1, op.phase0,
+                                 op.phase1);
+            } else {
+                cplx same, diff;
+                rotationPhases(op.resolvedAngle(params), same, diff);
+                kernels::phaseZZ(amps, dim, op.q0, op.q1, same, diff);
+            }
+            break;
+        }
+    }
+}
+
+void
+CompiledCircuit::run(Statevector& state,
+                     const std::vector<double>& params) const
+{
+    if (state.numQubits() != numQubits_)
+        throw std::invalid_argument("CompiledCircuit::run: qubit mismatch");
+    if (static_cast<int>(params.size()) != numParams_)
+        throw std::invalid_argument(
+            "CompiledCircuit::run: wrong parameter count");
+    runRange(state.amps().data(), state.dim(), 0, ops_.size(),
+             params.data());
+}
+
+void
+CompiledCircuit::run(Statevector& state) const
+{
+    if (numParams_ != 0)
+        throw std::invalid_argument(
+            "CompiledCircuit::run: unbound parameters");
+    if (state.numQubits() != numQubits_)
+        throw std::invalid_argument("CompiledCircuit::run: qubit mismatch");
+    runRange(state.amps().data(), state.dim(), 0, ops_.size(), nullptr);
+}
+
+} // namespace oscar

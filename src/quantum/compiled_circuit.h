@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Compiled-circuit kernel schedule.
+ *
+ * A CompiledCircuit lowers a Circuit once into a flat list of kernel
+ * operations that can be replayed against raw amplitude arrays without
+ * per-gate virtual dispatch or per-gate `Gate` copies:
+ *
+ *  - adjacent constant 1-qubit gates on the same qubit are fused into
+ *    one 2x2 matrix (optional; disabled for per-gate noise insertion),
+ *  - diagonal gates (Z, S, Sdg, RZ, RZZ, CZ) take phase-multiply fast
+ *    paths instead of the generic 2x2 kernel,
+ *  - constant gates carry their resolved payload (matrix / phases);
+ *    parameterized gates resolve angle = angle + coeff * p[paramIndex]
+ *    at replay time into locals, never mutating the schedule, so one
+ *    compiled circuit serves a whole landscape sweep concurrently.
+ *
+ * The compile pass also records the *parameter frontier*: for every
+ * parameter, the first op whose payload depends on it. Replaying ops
+ * [0, firstUse(j)) is independent of parameter j, which is what lets
+ * the backends checkpoint a shared statevector prefix once and replay
+ * only the invalidated suffix per grid point (see
+ * backend/statevector_backend.h). Because replaying a checkpointed
+ * prefix executes exactly the same kernel sequence as a from-scratch
+ * run, checkpointing is bit-exact, not approximate.
+ */
+
+#ifndef OSCAR_QUANTUM_COMPILED_CIRCUIT_H
+#define OSCAR_QUANTUM_COMPILED_CIRCUIT_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/quantum/circuit.h"
+#include "src/quantum/gate.h"
+
+namespace oscar {
+
+class Statevector;
+
+/** Lowering options. */
+struct CompileOptions
+{
+    /**
+     * Fuse runs of constant 1-qubit gates on the same qubit into one
+     * matrix. Must be off when ops need to map 1:1 onto source gates
+     * (per-gate noise channels).
+     */
+    bool fuse1q = true;
+};
+
+/** Kernel selector for one compiled op (see quantum/kernels.h). */
+enum class KernelOp : std::uint8_t
+{
+    Matrix1q, ///< generic 2x2 matrix
+    Diag1q,   ///< diagonal 1q phases
+    CX,
+    CZ,
+    Swap,
+    PhaseZZ, ///< diagonal ZZ phases (RZZ)
+};
+
+/** One op of the compiled schedule. */
+struct CompiledOp
+{
+    KernelOp op;
+    GateKind kind;    ///< source gate kind (payload recipe when bound)
+    std::int16_t q0 = -1;
+    std::int16_t q1 = -1;
+    std::int32_t paramIndex = -1; ///< -1: payload below is final
+    double angle = 0.0;
+    double coeff = 1.0;
+
+    /** Constant payloads (valid when paramIndex < 0). */
+    std::array<cplx, 4> matrix{}; ///< Matrix1q
+    cplx phase0{};                ///< Diag1q: |0>, PhaseZZ: bits agree
+    cplx phase1{};                ///< Diag1q: |1>, PhaseZZ: bits differ
+
+    /** Qubits the op acts on (2 for CX/CZ/Swap/PhaseZZ). */
+    int arity() const
+    {
+        return (op == KernelOp::Matrix1q || op == KernelOp::Diag1q) ? 1
+                                                                    : 2;
+    }
+
+    /** Effective rotation angle under a parameter binding. */
+    double resolvedAngle(const double* params) const
+    {
+        return paramIndex < 0 ? angle : angle + coeff * params[paramIndex];
+    }
+};
+
+/** A Circuit lowered to a flat kernel schedule. */
+class CompiledCircuit
+{
+  public:
+    CompiledCircuit() = default;
+
+    explicit CompiledCircuit(const Circuit& circuit,
+                             const CompileOptions& options = {});
+
+    int numQubits() const { return numQubits_; }
+    int numParams() const { return numParams_; }
+    std::size_t numOps() const { return ops_.size(); }
+    const std::vector<CompiledOp>& ops() const { return ops_; }
+
+    /** Number of source gates merged away by 1q fusion. */
+    std::size_t fusedGateCount() const { return fusedGates_; }
+
+    /** Ops before the first parameterized op. */
+    std::size_t constantPrefixLength() const { return constantPrefix_; }
+
+    /**
+     * First op whose payload depends on parameter j (== numOps() when
+     * the circuit never uses j). Every op from that position on is
+     * invalidated when p[j] changes.
+     */
+    std::size_t paramFirstUse(int j) const { return firstUse_[j]; }
+
+    /**
+     * The checkpointable depths of the schedule: the sorted distinct
+     * first-use positions of all used parameters. A statevector
+     * snapshot taken at depth L is fully determined by the parameters
+     * with firstUse < L (see paramsUsedBefore).
+     */
+    const std::vector<std::size_t>& frontierLevels() const
+    {
+        return frontier_;
+    }
+
+    /** Parameter indices with firstUse < level, ascending. */
+    std::vector<int> paramsUsedBefore(std::size_t level) const;
+
+    /**
+     * Parameter indices ordered by first use in the schedule (unused
+     * parameters last). Batches sorted with the earliest-used
+     * parameter varying slowest maximize shared prefixes.
+     */
+    std::vector<int> parameterOrder() const;
+
+    /**
+     * Length of the op prefix guaranteed identical under bindings `a`
+     * and `b` (bitwise parameter comparison).
+     */
+    std::size_t sharedPrefixLength(const std::vector<double>& a,
+                                   const std::vector<double>& b) const;
+
+    /**
+     * Replay ops [begin, end) onto a raw amplitude array of length
+     * `dim` (2^numQubits for a statevector). `params` may be null for
+     * a parameter-free schedule. Thread-safe and const: parameterized
+     * payloads are resolved into locals.
+     */
+    void runRange(cplx* amps, std::size_t dim, std::size_t begin,
+                  std::size_t end, const double* params) const;
+
+    /** Replay the full schedule onto a Statevector (qubits checked). */
+    void run(Statevector& state, const std::vector<double>& params) const;
+
+    /** Replay a parameter-free schedule onto a Statevector. */
+    void run(Statevector& state) const;
+
+  private:
+    void finalizeFrontier();
+
+    int numQubits_ = 0;
+    int numParams_ = 0;
+    std::size_t fusedGates_ = 0;
+    std::size_t constantPrefix_ = 0;
+    std::vector<CompiledOp> ops_;
+    std::vector<std::size_t> firstUse_; ///< per param, numOps() if unused
+    std::vector<std::size_t> frontier_;
+};
+
+} // namespace oscar
+
+#endif // OSCAR_QUANTUM_COMPILED_CIRCUIT_H

@@ -4,73 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/quantum/compiled_circuit.h"
+#include "src/quantum/kernels.h"
+
 namespace oscar {
 
 namespace {
-
-/** Apply a 2x2 matrix on virtual qubit `qubit` of a flat vector. */
-void
-kernel1q(std::vector<cplx>& v, int qubit, const std::array<cplx, 4>& m)
-{
-    const std::size_t stride = std::size_t{1} << qubit;
-    const std::size_t n = v.size();
-    for (std::size_t base = 0; base < n; base += 2 * stride) {
-        for (std::size_t off = 0; off < stride; ++off) {
-            const std::size_t i0 = base + off;
-            const std::size_t i1 = i0 + stride;
-            const cplx a0 = v[i0];
-            const cplx a1 = v[i1];
-            v[i0] = m[0] * a0 + m[1] * a1;
-            v[i1] = m[2] * a0 + m[3] * a1;
-        }
-    }
-}
-
-void
-kernelCX(std::vector<cplx>& v, int control, int target)
-{
-    const std::size_t cmask = std::size_t{1} << control;
-    const std::size_t tmask = std::size_t{1} << target;
-    for (std::size_t i = 0; i < v.size(); ++i) {
-        if ((i & cmask) && !(i & tmask))
-            std::swap(v[i], v[i | tmask]);
-    }
-}
-
-void
-kernelCZ(std::vector<cplx>& v, int a, int b)
-{
-    const std::size_t mask = (std::size_t{1} << a) | (std::size_t{1} << b);
-    for (std::size_t i = 0; i < v.size(); ++i) {
-        if ((i & mask) == mask)
-            v[i] = -v[i];
-    }
-}
-
-void
-kernelSwap(std::vector<cplx>& v, int a, int b)
-{
-    const std::size_t amask = std::size_t{1} << a;
-    const std::size_t bmask = std::size_t{1} << b;
-    for (std::size_t i = 0; i < v.size(); ++i) {
-        if ((i & amask) && !(i & bmask))
-            std::swap(v[i], v[(i & ~amask) | bmask]);
-    }
-}
-
-void
-kernelRZZ(std::vector<cplx>& v, int a, int b, double angle)
-{
-    const std::size_t amask = std::size_t{1} << a;
-    const std::size_t bmask = std::size_t{1} << b;
-    const cplx phase_same = std::exp(cplx(0.0, -angle / 2));
-    const cplx phase_diff = std::exp(cplx(0.0, angle / 2));
-    for (std::size_t i = 0; i < v.size(); ++i) {
-        const bool ba = i & amask;
-        const bool bb = i & bmask;
-        v[i] *= (ba == bb) ? phase_same : phase_diff;
-    }
-}
 
 std::array<cplx, 4>
 conjugate(const std::array<cplx, 4>& m)
@@ -108,37 +47,95 @@ DensityMatrix::element(std::size_t row, std::size_t col) const
 void
 DensityMatrix::apply1qBoth(int qubit, const std::array<cplx, 4>& m)
 {
-    kernel1q(data_, qubit, m);
-    kernel1q(data_, qubit + numQubits_, conjugate(m));
+    kernels::matrix1q(data_.data(), data_.size(), qubit, m);
+    kernels::matrix1q(data_.data(), data_.size(), qubit + numQubits_,
+                      conjugate(m));
 }
 
 void
 DensityMatrix::applyGate(const Gate& gate)
 {
     assert(gate.paramIndex < 0 && "gate angle must be resolved");
+    cplx* d = data_.data();
+    const std::size_t dim = data_.size();
     const int n = numQubits_;
     switch (gate.kind) {
       case GateKind::CX:
-        kernelCX(data_, gate.qubits[0], gate.qubits[1]);
-        kernelCX(data_, gate.qubits[0] + n, gate.qubits[1] + n);
+        kernels::cx(d, dim, gate.qubits[0], gate.qubits[1]);
+        kernels::cx(d, dim, gate.qubits[0] + n, gate.qubits[1] + n);
         return;
       case GateKind::CZ:
-        kernelCZ(data_, gate.qubits[0], gate.qubits[1]);
-        kernelCZ(data_, gate.qubits[0] + n, gate.qubits[1] + n);
+        kernels::cz(d, dim, gate.qubits[0], gate.qubits[1]);
+        kernels::cz(d, dim, gate.qubits[0] + n, gate.qubits[1] + n);
         return;
       case GateKind::SWAP:
-        kernelSwap(data_, gate.qubits[0], gate.qubits[1]);
-        kernelSwap(data_, gate.qubits[0] + n, gate.qubits[1] + n);
+        kernels::swapQubits(d, dim, gate.qubits[0], gate.qubits[1]);
+        kernels::swapQubits(d, dim, gate.qubits[0] + n,
+                            gate.qubits[1] + n);
         return;
-      case GateKind::RZZ:
-        kernelRZZ(data_, gate.qubits[0], gate.qubits[1], gate.angle);
+      case GateKind::RZZ: {
+        const cplx same = std::exp(cplx(0.0, -gate.angle / 2));
+        const cplx diff = std::exp(cplx(0.0, gate.angle / 2));
+        kernels::phaseZZ(d, dim, gate.qubits[0], gate.qubits[1], same,
+                         diff);
         // conj(RZZ(theta)) = RZZ(-theta)
-        kernelRZZ(data_, gate.qubits[0] + n, gate.qubits[1] + n,
-                  -gate.angle);
+        kernels::phaseZZ(d, dim, gate.qubits[0] + n, gate.qubits[1] + n,
+                         std::conj(same), std::conj(diff));
         return;
+      }
       default:
         apply1qBoth(gate.qubits[0], gate.matrix1q(gate.angle));
         return;
+    }
+}
+
+void
+DensityMatrix::applyOp(const CompiledOp& op, double resolved_angle)
+{
+    cplx* d = data_.data();
+    const std::size_t dim = data_.size();
+    const int n = numQubits_;
+    switch (op.op) {
+      case KernelOp::Matrix1q: {
+        const std::array<cplx, 4> m =
+            op.paramIndex < 0 ? op.matrix
+                              : gateMatrix1q(op.kind, resolved_angle);
+        apply1qBoth(op.q0, m);
+        return;
+      }
+      case KernelOp::Diag1q: {
+        cplx p0 = op.phase0, p1 = op.phase1;
+        if (op.paramIndex >= 0) {
+            p0 = std::exp(cplx(0.0, -resolved_angle / 2));
+            p1 = std::exp(cplx(0.0, resolved_angle / 2));
+        }
+        kernels::diag1q(d, dim, op.q0, p0, p1);
+        kernels::diag1q(d, dim, op.q0 + n, std::conj(p0), std::conj(p1));
+        return;
+      }
+      case KernelOp::CX:
+        kernels::cx(d, dim, op.q0, op.q1);
+        kernels::cx(d, dim, op.q0 + n, op.q1 + n);
+        return;
+      case KernelOp::CZ:
+        kernels::cz(d, dim, op.q0, op.q1);
+        kernels::cz(d, dim, op.q0 + n, op.q1 + n);
+        return;
+      case KernelOp::Swap:
+        kernels::swapQubits(d, dim, op.q0, op.q1);
+        kernels::swapQubits(d, dim, op.q0 + n, op.q1 + n);
+        return;
+      case KernelOp::PhaseZZ: {
+        cplx same = op.phase0, diff = op.phase1;
+        if (op.paramIndex >= 0) {
+            same = std::exp(cplx(0.0, -resolved_angle / 2));
+            diff = std::exp(cplx(0.0, resolved_angle / 2));
+        }
+        kernels::phaseZZ(d, dim, op.q0, op.q1, same, diff);
+        kernels::phaseZZ(d, dim, op.q0 + n, op.q1 + n, std::conj(same),
+                         std::conj(diff));
+        return;
+      }
     }
 }
 
@@ -229,7 +226,32 @@ void
 DensityMatrix::run(const Circuit& circuit, const std::vector<double>& params,
                    const NoiseModel& noise)
 {
-    run(circuit.bind(params), noise);
+    CompileOptions options;
+    options.fuse1q = false; // noise channels attach per source gate
+    run(CompiledCircuit(circuit, options), params, noise);
+}
+
+void
+DensityMatrix::run(const CompiledCircuit& compiled,
+                   const std::vector<double>& params,
+                   const NoiseModel& noise)
+{
+    if (compiled.numQubits() != numQubits_)
+        throw std::invalid_argument("DensityMatrix::run: qubit mismatch");
+    if (static_cast<int>(params.size()) != compiled.numParams())
+        throw std::invalid_argument(
+            "DensityMatrix::run: wrong parameter count");
+    if (compiled.fusedGateCount() != 0)
+        throw std::invalid_argument(
+            "DensityMatrix::run: schedule must be compiled with "
+            "fuse1q off (ops map 1:1 onto noisy gates)");
+    for (const CompiledOp& op : compiled.ops()) {
+        applyOp(op, op.resolvedAngle(params.data()));
+        if (op.arity() == 2)
+            applyDepolarizing2(op.q0, op.q1, noise.p2);
+        else
+            applyDepolarizing1(op.q0, noise.p1);
+    }
 }
 
 double

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/quantum/circuit.h"
+#include "src/quantum/compiled_circuit.h"
 #include "src/quantum/noise_model.h"
 #include "src/quantum/pauli.h"
 
@@ -63,9 +64,23 @@ class DensityMatrix
      */
     void run(const Circuit& circuit, const NoiseModel& noise);
 
-    /** Run a parameterized circuit with noise. */
+    /**
+     * Run a parameterized circuit with noise. The angles are bound once
+     * against a compiled (unfused) kernel schedule, without copying the
+     * circuit per evaluation.
+     */
     void run(const Circuit& circuit, const std::vector<double>& params,
              const NoiseModel& noise);
+
+    /**
+     * Run a pre-compiled schedule with noise. The schedule must have
+     * been compiled with fuse1q off so each op maps onto one source
+     * gate (noise channels are inserted per gate). Backends that
+     * evaluate the same circuit at many parameter points should
+     * compile once and call this.
+     */
+    void run(const CompiledCircuit& compiled,
+             const std::vector<double>& params, const NoiseModel& noise);
 
     /** Tr(rho). Should be 1 up to rounding. */
     double trace() const;
@@ -81,6 +96,7 @@ class DensityMatrix
 
   private:
     void apply1qBoth(int qubit, const std::array<cplx, 4>& m);
+    void applyOp(const CompiledOp& op, double resolved_angle);
 
     int numQubits_;
     std::vector<cplx> data_; // 4^n amplitudes, see file comment

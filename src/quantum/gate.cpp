@@ -176,6 +176,12 @@ Gate::inverse() const
 std::array<cplx, 4>
 Gate::matrix1q(double a) const
 {
+    return gateMatrix1q(kind, a);
+}
+
+std::array<cplx, 4>
+gateMatrix1q(GateKind kind, double a)
+{
     const cplx i(0.0, 1.0);
     const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
     switch (kind) {

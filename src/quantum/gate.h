@@ -51,6 +51,12 @@ bool gateIsParameterized(GateKind kind);
 std::string gateName(GateKind kind);
 
 /**
+ * 2x2 unitary of a 1-qubit gate kind with resolved angle (the angle is
+ * ignored for non-rotation kinds). Throws for 2-qubit kinds.
+ */
+std::array<cplx, 4> gateMatrix1q(GateKind kind, double resolved_angle);
+
+/**
  * One gate application in a circuit.
  *
  * For rotation gates the effective angle when executed with parameter

@@ -1,0 +1,85 @@
+#include "src/quantum/kernels.h"
+
+#include <utility>
+
+namespace oscar {
+namespace kernels {
+
+void
+matrix1q(cplx* amps, std::size_t dim, int qubit,
+         const std::array<cplx, 4>& m)
+{
+    const std::size_t stride = std::size_t{1} << qubit;
+    for (std::size_t base = 0; base < dim; base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; ++off) {
+            const std::size_t i0 = base + off;
+            const std::size_t i1 = i0 + stride;
+            const cplx a0 = amps[i0];
+            const cplx a1 = amps[i1];
+            amps[i0] = m[0] * a0 + m[1] * a1;
+            amps[i1] = m[2] * a0 + m[3] * a1;
+        }
+    }
+}
+
+void
+diag1q(cplx* amps, std::size_t dim, int qubit, cplx phase0, cplx phase1)
+{
+    const std::size_t stride = std::size_t{1} << qubit;
+    for (std::size_t base = 0; base < dim; base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; ++off) {
+            const std::size_t i0 = base + off;
+            const std::size_t i1 = i0 + stride;
+            amps[i0] *= phase0;
+            amps[i1] *= phase1;
+        }
+    }
+}
+
+void
+cx(cplx* amps, std::size_t dim, int control, int target)
+{
+    const std::size_t cmask = std::size_t{1} << control;
+    const std::size_t tmask = std::size_t{1} << target;
+    for (std::size_t i = 0; i < dim; ++i) {
+        // Swap each pair once: visit the target=0 member only.
+        if ((i & cmask) && !(i & tmask))
+            std::swap(amps[i], amps[i | tmask]);
+    }
+}
+
+void
+cz(cplx* amps, std::size_t dim, int a, int b)
+{
+    const std::size_t mask = (std::size_t{1} << a) | (std::size_t{1} << b);
+    for (std::size_t i = 0; i < dim; ++i) {
+        if ((i & mask) == mask)
+            amps[i] = -amps[i];
+    }
+}
+
+void
+swapQubits(cplx* amps, std::size_t dim, int a, int b)
+{
+    const std::size_t amask = std::size_t{1} << a;
+    const std::size_t bmask = std::size_t{1} << b;
+    for (std::size_t i = 0; i < dim; ++i) {
+        if ((i & amask) && !(i & bmask))
+            std::swap(amps[i], amps[(i & ~amask) | bmask]);
+    }
+}
+
+void
+phaseZZ(cplx* amps, std::size_t dim, int a, int b, cplx same, cplx diff)
+{
+    const std::size_t amask = std::size_t{1} << a;
+    const std::size_t bmask = std::size_t{1} << b;
+    for (std::size_t i = 0; i < dim; ++i) {
+        const bool ba = i & amask;
+        const bool bb = i & bmask;
+        amps[i] *= (ba == bb) ? same : diff;
+    }
+}
+
+} // namespace kernels
+} // namespace oscar

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Free gate-application kernels on raw amplitude arrays.
+ *
+ * These are the innermost loops of every dense simulation in the
+ * library. They operate on a bare `cplx*` of length `dim` (a power of
+ * two) with the little-endian qubit convention of Statevector, so the
+ * same kernels serve the state-vector simulator (dim = 2^n), the
+ * density-matrix simulator (dim = 4^n, row qubits low / column qubits
+ * high), and the compiled-circuit schedule (compiled_circuit.h), which
+ * dispatches straight into them without materializing per-gate `Gate`
+ * copies.
+ *
+ * Each kernel is compiled exactly once (no templates, no inlining into
+ * call sites), so every code path that applies the same operation to
+ * the same bits produces bit-identical results — the property the
+ * engine's determinism contract and the prefix cache rest on.
+ */
+
+#ifndef OSCAR_QUANTUM_KERNELS_H
+#define OSCAR_QUANTUM_KERNELS_H
+
+#include <array>
+#include <cstddef>
+
+#include "src/quantum/gate.h"
+
+namespace oscar {
+namespace kernels {
+
+/** Apply a 2x2 matrix {m00, m01, m10, m11} to one qubit. */
+void matrix1q(cplx* amps, std::size_t dim, int qubit,
+              const std::array<cplx, 4>& m);
+
+/** Apply a diagonal 1-qubit gate diag(phase0, phase1). */
+void diag1q(cplx* amps, std::size_t dim, int qubit, cplx phase0,
+            cplx phase1);
+
+/** Controlled-X with control/target bit positions. */
+void cx(cplx* amps, std::size_t dim, int control, int target);
+
+/** Controlled-Z (symmetric). */
+void cz(cplx* amps, std::size_t dim, int a, int b);
+
+/** Swap two qubits. */
+void swapQubits(cplx* amps, std::size_t dim, int a, int b);
+
+/**
+ * Two-qubit ZZ phase: multiply by `same` where the two bits agree and
+ * by `diff` where they differ. RZZ(theta) is same = exp(-i theta/2),
+ * diff = exp(+i theta/2).
+ */
+void phaseZZ(cplx* amps, std::size_t dim, int a, int b, cplx same,
+             cplx diff);
+
+} // namespace kernels
+} // namespace oscar
+
+#endif // OSCAR_QUANTUM_KERNELS_H

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/quantum/compiled_circuit.h"
+#include "src/quantum/kernels.h"
+
 namespace oscar {
 
 Statevector::Statevector(int num_qubits)
@@ -27,90 +30,33 @@ void
 Statevector::applyMatrix1q(int qubit, const std::array<cplx, 4>& m)
 {
     assert(qubit >= 0 && qubit < numQubits_);
-    const std::size_t stride = std::size_t{1} << qubit;
-    const std::size_t n = amps_.size();
-    for (std::size_t base = 0; base < n; base += 2 * stride) {
-        for (std::size_t off = 0; off < stride; ++off) {
-            const std::size_t i0 = base + off;
-            const std::size_t i1 = i0 + stride;
-            const cplx a0 = amps_[i0];
-            const cplx a1 = amps_[i1];
-            amps_[i0] = m[0] * a0 + m[1] * a1;
-            amps_[i1] = m[2] * a0 + m[3] * a1;
-        }
-    }
-}
-
-void
-Statevector::applyCX(int control, int target)
-{
-    const std::size_t cmask = std::size_t{1} << control;
-    const std::size_t tmask = std::size_t{1} << target;
-    const std::size_t n = amps_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        // Swap each pair once: visit the target=0 member only.
-        if ((i & cmask) && !(i & tmask))
-            std::swap(amps_[i], amps_[i | tmask]);
-    }
-}
-
-void
-Statevector::applyCZ(int a, int b)
-{
-    const std::size_t mask = (std::size_t{1} << a) | (std::size_t{1} << b);
-    const std::size_t n = amps_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        if ((i & mask) == mask)
-            amps_[i] = -amps_[i];
-    }
-}
-
-void
-Statevector::applySwap(int a, int b)
-{
-    const std::size_t amask = std::size_t{1} << a;
-    const std::size_t bmask = std::size_t{1} << b;
-    const std::size_t n = amps_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        if ((i & amask) && !(i & bmask))
-            std::swap(amps_[i], amps_[(i & ~amask) | bmask]);
-    }
-}
-
-void
-Statevector::applyRZZ(int a, int b, double angle)
-{
-    const std::size_t amask = std::size_t{1} << a;
-    const std::size_t bmask = std::size_t{1} << b;
-    const cplx phase_same = std::exp(cplx(0.0, -angle / 2));
-    const cplx phase_diff = std::exp(cplx(0.0, angle / 2));
-    const std::size_t n = amps_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        const bool ba = i & amask;
-        const bool bb = i & bmask;
-        amps_[i] *= (ba == bb) ? phase_same : phase_diff;
-    }
+    kernels::matrix1q(amps_.data(), amps_.size(), qubit, m);
 }
 
 void
 Statevector::applyGate(const Gate& gate)
 {
     assert(gate.paramIndex < 0 && "gate angle must be resolved");
+    cplx* amps = amps_.data();
+    const std::size_t dim = amps_.size();
     switch (gate.kind) {
       case GateKind::CX:
-        applyCX(gate.qubits[0], gate.qubits[1]);
+        kernels::cx(amps, dim, gate.qubits[0], gate.qubits[1]);
         return;
       case GateKind::CZ:
-        applyCZ(gate.qubits[0], gate.qubits[1]);
+        kernels::cz(amps, dim, gate.qubits[0], gate.qubits[1]);
         return;
       case GateKind::SWAP:
-        applySwap(gate.qubits[0], gate.qubits[1]);
+        kernels::swapQubits(amps, dim, gate.qubits[0], gate.qubits[1]);
         return;
       case GateKind::RZZ:
-        applyRZZ(gate.qubits[0], gate.qubits[1], gate.angle);
+        kernels::phaseZZ(amps, dim, gate.qubits[0], gate.qubits[1],
+                         std::exp(cplx(0.0, -gate.angle / 2)),
+                         std::exp(cplx(0.0, gate.angle / 2)));
         return;
       default:
-        applyMatrix1q(gate.qubits[0], gate.matrix1q(gate.angle));
+        kernels::matrix1q(amps, dim, gate.qubits[0],
+                          gate.matrix1q(gate.angle));
         return;
     }
 }
@@ -120,23 +66,13 @@ Statevector::run(const Circuit& circuit)
 {
     if (circuit.numParams() != 0)
         throw std::invalid_argument("Statevector::run: unbound parameters");
-    if (circuit.numQubits() != numQubits_)
-        throw std::invalid_argument("Statevector::run: qubit mismatch");
-    for (const Gate& g : circuit.gates())
-        applyGate(g);
+    CompiledCircuit(circuit).run(*this);
 }
 
 void
 Statevector::run(const Circuit& circuit, const std::vector<double>& params)
 {
-    if (circuit.numQubits() != numQubits_)
-        throw std::invalid_argument("Statevector::run: qubit mismatch");
-    for (const Gate& g : circuit.gates()) {
-        Gate resolved = g;
-        resolved.angle = g.resolvedAngle(params);
-        resolved.paramIndex = -1;
-        applyGate(resolved);
-    }
+    CompiledCircuit(circuit).run(*this, params);
 }
 
 std::vector<double>

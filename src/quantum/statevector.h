@@ -46,10 +46,19 @@ class Statevector
     /** Apply a 2x2 matrix to one qubit. */
     void applyMatrix1q(int qubit, const std::array<cplx, 4>& m);
 
-    /** Run all gates of a parameter-free circuit. */
+    /**
+     * Run all gates of a parameter-free circuit. Lowers the circuit
+     * through the compiled-circuit kernel schedule; backends that run
+     * the same circuit repeatedly should compile once and use
+     * CompiledCircuit::run instead.
+     */
     void run(const Circuit& circuit);
 
-    /** Run a parameterized circuit bound against params. */
+    /**
+     * Run a parameterized circuit bound against params. The angles are
+     * bound once into a compiled kernel schedule (no per-gate Gate
+     * copies).
+     */
     void run(const Circuit& circuit, const std::vector<double>& params);
 
     /** Measurement probabilities |amp|^2 for every basis state. */
@@ -74,11 +83,6 @@ class Statevector
     double norm2() const;
 
   private:
-    void applyCX(int control, int target);
-    void applyCZ(int a, int b);
-    void applySwap(int a, int b);
-    void applyRZZ(int a, int b, double angle);
-
     int numQubits_;
     std::vector<cplx> amps_;
 };

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the compiled-circuit kernel layer:
+ *
+ *  - lowering equivalence: the compiled schedule reproduces the
+ *    per-gate reference execution for every ansatz family,
+ *  - 1q fusion merges constant runs without changing the state,
+ *  - diagonal fast paths match the generic kernels,
+ *  - the recorded parameter frontier (first-use positions, frontier
+ *    levels, shared prefix lengths) is correct,
+ *  - segmented replay through checkpoints is bit-identical to a
+ *    straight run (the prefix-cache determinism argument),
+ *  - the density-matrix bound path matches the legacy bind() path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ansatz/qaoa.h"
+#include "src/ansatz/two_local.h"
+#include "src/ansatz/uccsd.h"
+#include "src/graph/generators.h"
+#include "src/quantum/compiled_circuit.h"
+#include "src/quantum/density_matrix.h"
+#include "src/quantum/statevector.h"
+
+namespace oscar {
+namespace {
+
+/** Reference execution: per-gate resolve-and-apply (the seed's loop). */
+Statevector
+referenceRun(const Circuit& circuit, const std::vector<double>& params)
+{
+    Statevector state(circuit.numQubits());
+    for (const Gate& g : circuit.gates()) {
+        Gate resolved = g;
+        resolved.angle = g.resolvedAngle(params);
+        resolved.paramIndex = -1;
+        state.applyGate(resolved);
+    }
+    return state;
+}
+
+void
+expectStatesNear(const Statevector& a, const Statevector& b, double tol)
+{
+    ASSERT_EQ(a.dim(), b.dim());
+    for (std::size_t i = 0; i < a.dim(); ++i) {
+        EXPECT_NEAR(a.amp(i).real(), b.amp(i).real(), tol) << "amp " << i;
+        EXPECT_NEAR(a.amp(i).imag(), b.amp(i).imag(), tol) << "amp " << i;
+    }
+}
+
+std::vector<double>
+rampParams(int n)
+{
+    std::vector<double> p(n);
+    for (int j = 0; j < n; ++j)
+        p[j] = 0.3 + 0.17 * j;
+    return p;
+}
+
+TEST(CompiledCircuit, QaoaLoweringMatchesReference)
+{
+    Rng rng(3);
+    const Graph g = random3RegularGraph(6, rng);
+    const Circuit circuit = qaoaCircuit(g, 2);
+    const auto params = rampParams(circuit.numParams());
+
+    Statevector compiled_state(circuit.numQubits());
+    CompiledCircuit compiled(circuit);
+    compiled.run(compiled_state, params);
+
+    expectStatesNear(compiled_state, referenceRun(circuit, params), 1e-12);
+}
+
+TEST(CompiledCircuit, TwoLocalLoweringMatchesReference)
+{
+    const Circuit circuit = twoLocalCircuit(4, 2);
+    const auto params = rampParams(circuit.numParams());
+
+    Statevector state(circuit.numQubits());
+    CompiledCircuit(circuit).run(state, params);
+    expectStatesNear(state, referenceRun(circuit, params), 1e-12);
+}
+
+TEST(CompiledCircuit, MixedGateZooMatchesReference)
+{
+    // Every gate kind, including fusable constant runs and diagonal
+    // fast paths.
+    Circuit circuit(3, 2);
+    circuit.append(Gate::h(0));
+    circuit.append(Gate::s(0));   // fuses into H
+    circuit.append(Gate::z(1));
+    circuit.append(Gate::sdg(1)); // diagonal fusion product
+    circuit.append(Gate::x(2));
+    circuit.append(Gate::y(2));
+    circuit.append(Gate::rz(2, 0.4));
+    circuit.append(Gate::cx(0, 1));
+    circuit.append(Gate::rx(0, -0.7));
+    circuit.append(Gate::cz(1, 2));
+    circuit.append(Gate::swap(0, 2));
+    circuit.append(Gate::rzz(0, 1, 0.9));
+    circuit.append(Gate::ryParam(1, 0));
+    circuit.append(Gate::h(1));
+    circuit.append(Gate::rzParam(2, 1, -2.0));
+    const std::vector<double> params = {0.55, -1.2};
+
+    Statevector state(3);
+    CompiledCircuit(circuit).run(state, params);
+    expectStatesNear(state, referenceRun(circuit, params), 1e-12);
+}
+
+TEST(CompiledCircuit, FusionMergesConstantRuns)
+{
+    Circuit circuit(2, 1);
+    circuit.append(Gate::h(0));
+    circuit.append(Gate::s(0));
+    circuit.append(Gate::h(0));   // 3-run on qubit 0 -> 1 op
+    circuit.append(Gate::h(1));
+    circuit.append(Gate::cx(0, 1));
+    circuit.append(Gate::x(1));
+    circuit.append(Gate::y(1));   // 2-run after the CX window break
+    circuit.append(Gate::rxParam(0, 0));
+
+    const CompiledCircuit fused(circuit);
+    EXPECT_EQ(fused.fusedGateCount(), 3u);
+    EXPECT_EQ(fused.numOps(), circuit.numGates() - 3);
+
+    const CompiledCircuit unfused(circuit, CompileOptions{.fuse1q = false});
+    EXPECT_EQ(unfused.fusedGateCount(), 0u);
+    EXPECT_EQ(unfused.numOps(), circuit.numGates());
+
+    const std::vector<double> params = {0.81};
+    Statevector a(2), b(2);
+    fused.run(a, params);
+    unfused.run(b, params);
+    expectStatesNear(a, b, 1e-12);
+}
+
+TEST(CompiledCircuit, ParameterFrontierRecordsFirstUse)
+{
+    Rng rng(5);
+    const Graph g = random3RegularGraph(6, rng);
+    const int n = g.numVertices();
+    const std::size_t edges = g.numEdges();
+    const Circuit circuit = qaoaCircuit(g, 2);
+    const CompiledCircuit compiled(circuit);
+
+    // Layout: H^n | RZZ(g0)^E RX(b0)^n | RZZ(g1)^E RX(b1)^n, with
+    // params [b0, b1, g0, g1]. The H layer is the constant prefix.
+    const std::size_t nu = static_cast<std::size_t>(n);
+    ASSERT_EQ(compiled.numOps(), circuit.numGates());
+    EXPECT_EQ(compiled.constantPrefixLength(), nu);
+    EXPECT_EQ(compiled.paramFirstUse(2), nu);              // gamma_0
+    EXPECT_EQ(compiled.paramFirstUse(0), nu + edges);      // beta_0
+    EXPECT_EQ(compiled.paramFirstUse(3), 2 * nu + edges);  // gamma_1
+    EXPECT_EQ(compiled.paramFirstUse(1), 2 * nu + 2 * edges); // beta_1
+
+    const std::vector<std::size_t> expected_levels = {
+        nu, nu + edges, 2 * nu + edges, 2 * nu + 2 * edges};
+    EXPECT_EQ(compiled.frontierLevels(), expected_levels);
+
+    // Batch order: circuit-first-use order gamma0, beta0, gamma1, beta1.
+    EXPECT_EQ(compiled.parameterOrder(), (std::vector<int>{2, 0, 3, 1}));
+
+    // Params used before each level.
+    EXPECT_TRUE(compiled.paramsUsedBefore(nu).empty());
+    EXPECT_EQ(compiled.paramsUsedBefore(nu + edges),
+              (std::vector<int>{2}));
+    EXPECT_EQ(compiled.paramsUsedBefore(2 * nu + edges),
+              (std::vector<int>{0, 2}));
+
+    // Shared prefix between two bindings.
+    const std::vector<double> p1 = {0.1, 0.2, 0.3, 0.4};
+    std::vector<double> p2 = p1;
+    EXPECT_EQ(compiled.sharedPrefixLength(p1, p2), compiled.numOps());
+    p2[1] = 0.9; // beta_1 differs -> share everything before its use
+    EXPECT_EQ(compiled.sharedPrefixLength(p1, p2), 2 * nu + 2 * edges);
+    p2[2] = 0.8; // gamma_0 differs too -> only the H layer shared
+    EXPECT_EQ(compiled.sharedPrefixLength(p1, p2), nu);
+}
+
+TEST(CompiledCircuit, SegmentedReplayIsBitIdentical)
+{
+    // The prefix-cache core invariant: running [0, L) then [L, end)
+    // from a copied checkpoint reproduces the straight run bit for
+    // bit, for every frontier level L.
+    Rng rng(9);
+    const Graph g = random3RegularGraph(6, rng);
+    const Circuit circuit = qaoaCircuit(g, 2);
+    const CompiledCircuit compiled(circuit);
+    const auto params = rampParams(circuit.numParams());
+
+    Statevector straight(circuit.numQubits());
+    compiled.run(straight, params);
+
+    for (std::size_t level : compiled.frontierLevels()) {
+        Statevector prefix(circuit.numQubits());
+        compiled.runRange(prefix.amps().data(), prefix.dim(), 0, level,
+                          params.data());
+        Statevector resumed(circuit.numQubits());
+        resumed.amps() = prefix.amps(); // checkpoint copy
+        compiled.runRange(resumed.amps().data(), resumed.dim(), level,
+                          compiled.numOps(), params.data());
+        for (std::size_t i = 0; i < straight.dim(); ++i)
+            EXPECT_EQ(straight.amp(i), resumed.amp(i))
+                << "level " << level << " amp " << i;
+    }
+}
+
+TEST(CompiledCircuit, StatevectorBoundRunUsesCompiledSchedule)
+{
+    // Statevector::run(circuit, params) == explicit compile-and-run,
+    // bit for bit (both lower through the same schedule).
+    const Circuit circuit = twoLocalCircuit(5, 2);
+    const auto params = rampParams(circuit.numParams());
+
+    Statevector via_run(5);
+    via_run.run(circuit, params);
+
+    Statevector via_compiled(5);
+    CompiledCircuit(circuit).run(via_compiled, params);
+
+    for (std::size_t i = 0; i < via_run.dim(); ++i)
+        EXPECT_EQ(via_run.amp(i), via_compiled.amp(i));
+}
+
+TEST(CompiledCircuit, DensityMatrixBoundRunMatchesBindPath)
+{
+    Rng rng(11);
+    const Graph g = random3RegularGraph(4, rng);
+    const Circuit circuit = qaoaCircuit(g, 1);
+    const auto params = rampParams(circuit.numParams());
+    NoiseModel noise;
+    noise.p1 = 0.002;
+    noise.p2 = 0.01;
+
+    DensityMatrix bound(circuit.numQubits());
+    bound.run(circuit.bind(params), noise);
+
+    DensityMatrix compiled(circuit.numQubits());
+    compiled.run(circuit, params, noise);
+
+    const auto pb = bound.probabilities();
+    const auto pc = compiled.probabilities();
+    ASSERT_EQ(pb.size(), pc.size());
+    for (std::size_t i = 0; i < pb.size(); ++i)
+        EXPECT_NEAR(pb[i], pc[i], 1e-12);
+    EXPECT_NEAR(bound.purity(), compiled.purity(), 1e-12);
+}
+
+TEST(CompiledCircuit, DensityMatrixRejectsFusedSchedules)
+{
+    Circuit circuit(2, 0);
+    circuit.append(Gate::h(0));
+    circuit.append(Gate::s(0)); // fuses
+    const CompiledCircuit fused(circuit);
+    ASSERT_GT(fused.fusedGateCount(), 0u);
+
+    DensityMatrix rho(2);
+    EXPECT_THROW(rho.run(fused, {}, NoiseModel{}), std::invalid_argument);
+}
+
+TEST(CompiledCircuit, UccsdLoweringMatchesReference)
+{
+    // The deepest ansatz in the library (plenty of fusable constant
+    // basis-change gates around the CX ladders).
+    const Circuit circuit = uccsdCircuit(4);
+    const auto params = rampParams(circuit.numParams());
+
+    Statevector state(circuit.numQubits());
+    CompiledCircuit(circuit).run(state, params);
+    expectStatesNear(state, referenceRun(circuit, params), 1e-11);
+}
+
+} // namespace
+} // namespace oscar

@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "src/ansatz/qaoa.h"
+#include "src/ansatz/two_local.h"
 #include "src/backend/analytic_qaoa.h"
 #include "src/backend/density_backend.h"
 #include "src/backend/engine.h"
@@ -357,6 +358,211 @@ TEST(Engine, ParallelSamplingBitIdenticalAcrossThreadCounts)
         EXPECT_EQ(serial.samples[i].completionTime,
                   pooled.samples[i].completionTime);
     }
+}
+
+/** All grid points in prefix-friendly axis-major order for `cost`. */
+std::vector<std::vector<double>>
+axisMajorPoints(const GridSpec& grid, const CostFunction& cost)
+{
+    std::vector<std::size_t> indices(grid.numPoints());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
+    const auto perm =
+        grid.prefixFriendlyPermutation(indices, cost.batchOrderHint());
+    std::vector<std::vector<double>> points;
+    points.reserve(indices.size());
+    for (std::size_t p : perm)
+        points.push_back(grid.pointAt(indices[p]));
+    return points;
+}
+
+/**
+ * Prefix-cache parity core: `batched` (cache as configured) evaluated
+ * in batches of `batch_size` and through a 4-thread engine must match
+ * a cache-off scalar reference bit for bit.
+ */
+void
+expectPrefixCacheParity(CostFunction& reference, CostFunction& batched,
+                        CostFunction& threaded,
+                        const std::vector<std::vector<double>>& points,
+                        std::size_t batch_size)
+{
+    KernelOptions no_cache;
+    no_cache.prefixCache = false;
+    reference.configureKernel(no_cache);
+
+    std::vector<double> scalar;
+    scalar.reserve(points.size());
+    for (const auto& p : points)
+        scalar.push_back(reference.evaluate(p));
+
+    std::vector<double> chunked;
+    for (std::size_t lo = 0; lo < points.size(); lo += batch_size) {
+        const std::size_t hi = std::min(points.size(), lo + batch_size);
+        const std::vector<std::vector<double>> batch(
+            points.begin() + static_cast<std::ptrdiff_t>(lo),
+            points.begin() + static_cast<std::ptrdiff_t>(hi));
+        const auto values = batched.evaluateBatch(batch);
+        chunked.insert(chunked.end(), values.begin(), values.end());
+    }
+
+    ExecutionEngine engine(4);
+    const std::vector<double> pooled = engine.evaluate(threaded, points);
+
+    ASSERT_EQ(scalar.size(), chunked.size());
+    ASSERT_EQ(scalar.size(), pooled.size());
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+        EXPECT_EQ(scalar[i], chunked[i]) << "batch mismatch at " << i;
+        EXPECT_EQ(scalar[i], pooled[i]) << "thread mismatch at " << i;
+    }
+}
+
+TEST(Engine, StatevectorPrefixCacheParityAxisMajor)
+{
+    // p=2 QAOA: a 4-level parameter frontier, axis-major sweep, odd
+    // batch size so batch boundaries land mid-run.
+    Rng rng(31);
+    const Graph g = random3RegularGraph(6, rng);
+    const GridSpec grid = GridSpec::qaoaP2(3, 4);
+
+    auto make = [&] {
+        return StatevectorCost(qaoaCircuit(g, 2), maxcutHamiltonian(g));
+    };
+    StatevectorCost reference = make(), batched = make(),
+                    threaded = make();
+    const auto points = axisMajorPoints(grid, batched);
+    expectPrefixCacheParity(reference, batched, threaded, points, 17);
+    EXPECT_GT(batched.prefixCache().hits(), 0u);
+}
+
+TEST(Engine, StatevectorPrefixCacheParityShuffledAndDisabled)
+{
+    Rng rng(32);
+    const Graph g = random3RegularGraph(6, rng);
+    const GridSpec grid = GridSpec::qaoaP2(3, 3);
+
+    auto make = [&] {
+        return StatevectorCost(qaoaCircuit(g, 2), maxcutHamiltonian(g));
+    };
+
+    // Worst-case submission order: shuffled points still agree.
+    auto points = axisMajorPoints(grid, make());
+    Rng shuffle_rng(7);
+    for (std::size_t i = points.size(); i > 1; --i)
+        std::swap(points[i - 1],
+                  points[shuffle_rng.uniformInt(i)]);
+    {
+        StatevectorCost reference = make(), batched = make(),
+                        threaded = make();
+        expectPrefixCacheParity(reference, batched, threaded, points, 13);
+    }
+
+    // Cache disabled on the batched side too.
+    {
+        StatevectorCost reference = make(), batched = make(),
+                        threaded = make();
+        KernelOptions off;
+        off.prefixCache = false;
+        batched.configureKernel(off);
+        threaded.configureKernel(off);
+        expectPrefixCacheParity(reference, batched, threaded, points, 13);
+        EXPECT_EQ(batched.prefixCache().numEntries(), 0u);
+    }
+}
+
+TEST(Engine, StatevectorPrefixCacheParityNonDiagonal)
+{
+    // Non-diagonal Hamiltonian: the expectation goes through the
+    // general Pauli path instead of the diagonal table.
+    PauliSum h(5);
+    h.add(0.8, "XZIII");
+    h.add(-0.6, "IYYII");
+    h.add(0.4, "ZZIIZ");
+    h.add(0.3, "IIXXI");
+    ASSERT_FALSE(h.isDiagonal());
+
+    const Circuit circuit = twoLocalCircuit(5, 1);
+    auto make = [&] { return StatevectorCost(circuit, h); };
+
+    // Points sharing long prefixes: only the trailing parameters vary.
+    Rng rng(33);
+    std::vector<std::vector<double>> points;
+    std::vector<double> base(static_cast<std::size_t>(circuit.numParams()),
+                             0.25);
+    for (int i = 0; i < 9; ++i) {
+        auto p = base;
+        p[p.size() - 1] = rng.uniform(-1.0, 1.0);
+        if (i % 3 == 0)
+            p[p.size() - 2] = rng.uniform(-1.0, 1.0);
+        if (i % 4 == 0)
+            p[0] = rng.uniform(-1.0, 1.0);
+        points.push_back(std::move(p));
+    }
+
+    StatevectorCost reference = make(), batched = make(),
+                    threaded = make();
+    expectPrefixCacheParity(reference, batched, threaded, points, 4);
+}
+
+TEST(Engine, AnalyticQaoaPrefixParity)
+{
+    const Graph g = testGraph();
+    const GridSpec grid = GridSpec::qaoaP1(7, 9);
+
+    AnalyticQaoaCost reference(g), batched(g), threaded(g);
+    const auto points = axisMajorPoints(grid, batched);
+    expectPrefixCacheParity(reference, batched, threaded, points, 11);
+
+    // And with the gamma-factor memo disabled.
+    AnalyticQaoaCost ref2(g), batch2(g), thread2(g);
+    KernelOptions off;
+    off.prefixCache = false;
+    batch2.configureKernel(off);
+    thread2.configureKernel(off);
+    expectPrefixCacheParity(ref2, batch2, thread2, points, 11);
+}
+
+TEST(Engine, GridSearchPrefixOrderingMatchesScalar)
+{
+    // gridSearch submits in prefix-friendly order and scatters back;
+    // the landscape must equal the naive row-major scalar sweep.
+    Rng rng(34);
+    const Graph g = random3RegularGraph(6, rng);
+    const GridSpec grid = GridSpec::qaoaP2(3, 3);
+
+    StatevectorCost searched(qaoaCircuit(g, 2), maxcutHamiltonian(g));
+    const Landscape land = Landscape::gridSearch(grid, searched);
+
+    StatevectorCost scalar(qaoaCircuit(g, 2), maxcutHamiltonian(g));
+    KernelOptions off;
+    off.prefixCache = false;
+    scalar.configureKernel(off);
+    for (std::size_t i = 0; i < grid.numPoints(); ++i)
+        EXPECT_EQ(land.value(i), scalar.evaluate(grid.pointAt(i)))
+            << "grid point " << i;
+    EXPECT_EQ(searched.numQueries(), grid.numPoints());
+}
+
+TEST(Engine, PrefixFriendlyPermutationOrdersAxes)
+{
+    // 2x3 grid, priority {axis 1 slowest}: expect axis-1-major order.
+    const GridSpec grid({{0.0, 1.0, 2}, {0.0, 1.0, 3}});
+    std::vector<std::size_t> indices(grid.numPoints());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
+
+    const auto perm = grid.prefixFriendlyPermutation(indices, {1, 0});
+    // Row-major flat = a0 * 3 + a1; axis-1-major order sorts by
+    // (a1, a0): flats 0,3,1,4,2,5.
+    const std::vector<std::size_t> expected = {0, 3, 1, 4, 2, 5};
+    ASSERT_EQ(perm.size(), expected.size());
+    for (std::size_t i = 0; i < perm.size(); ++i)
+        EXPECT_EQ(indices[perm[i]], expected[i]);
+
+    EXPECT_THROW(grid.prefixFriendlyPermutation(indices, {2}),
+                 std::invalid_argument);
+    EXPECT_THROW(grid.prefixFriendlyPermutation(indices, {0, 0}),
+                 std::invalid_argument);
 }
 
 TEST(Engine, OptimizerWithEngineMatchesSerial)
