@@ -1,23 +1,29 @@
 /**
  * @file
- * Scalar-vs-batched-vs-prefix-cached execution throughput.
+ * Execution-engine throughput: scalar vs batched vs prefix-cached vs
+ * threaded, and asynchronous pipeline overlap vs the synchronous
+ * barrier.
  *
- * Measures the system's hottest path -- turning a list of grid points
- * into cost values on the statevector backend -- across:
+ * Two studies on the system's hottest path (turning a list of grid
+ * points into cost values on the statevector backend):
  *
- *   1. scalar:    one evaluate() per point, prefix cache off (the
- *                 pre-engine legacy path),
- *   2. batched:   one evaluateBatch() submission, prefix cache off
- *                 (the PR 1 batched path),
- *   3. prefix:    one evaluateBatch() submission with shared-prefix
- *                 checkpoint caching on an axis-major sweep,
- *   4. engine k:  the prefix-cached batch fanned out over k workers.
+ *  1. Sweep modes: scalar loop (cache off), one batched submission
+ *     (cache off), prefix-cached batch, and the prefix-cached batch
+ *     fanned out over k workers -- every mode verified bit-identical
+ *     to the scalar reference (caching and threading change
+ *     performance, never values).
  *
- * All timings are repeated-run medians (bench_common.h); every mode is
- * verified bit-identical to the scalar reference (the determinism
- * contract: caching and threading change performance, never values).
- * Thread speedups require cores: on a 1-core host the engine can only
- * match the serial path.
+ *  2. Overlap: Oscar::reconstruct with the synchronous barrier
+ *     (execute everything, then run FISTA) vs the streaming pipeline
+ *     (sharded async submission, FISTA warm-ups on finished shards
+ *     while later shards execute). Samples are asserted identical;
+ *     on a multi-core host the overlapped run should be no slower
+ *     than the barrier.
+ *
+ * Built against Google Benchmark when available (OSCAR_HAVE_GBENCH);
+ * otherwise falls back to the repeated-run-median wall-clock tables
+ * of bench_common.h. Thread speedups require cores: on a 1-core host
+ * the engine can only match the serial path.
  */
 
 #include <cstdio>
@@ -29,8 +35,95 @@
 #include "src/backend/statevector_backend.h"
 #include "src/hamiltonian/maxcut.h"
 
+#ifdef OSCAR_HAVE_GBENCH
+#include <benchmark/benchmark.h>
+#endif
+
 namespace oscar {
 namespace {
+
+bool
+identical(const std::vector<double>& a, const std::vector<double>& b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i])
+            return false;
+    }
+    return true;
+}
+
+/** Shared sweep workload: graph, cost factory, axis-major points. */
+struct SweepCase
+{
+    Graph graph;
+    int depth;
+    std::vector<std::vector<double>> points;
+
+    SweepCase(int num_qubits, int depth_, const GridSpec& grid)
+        : graph(makeGraph(num_qubits)), depth(depth_)
+    {
+        const StatevectorCost probe(qaoaCircuit(graph, depth),
+                                    maxcutHamiltonian(graph));
+        std::vector<std::size_t> indices(grid.numPoints());
+        for (std::size_t i = 0; i < indices.size(); ++i)
+            indices[i] = i;
+        const auto perm = grid.prefixFriendlyPermutation(
+            indices, probe.batchOrderHint());
+        points.reserve(perm.size());
+        for (std::size_t p : perm)
+            points.push_back(grid.pointAt(p));
+    }
+
+    StatevectorCost
+    make() const
+    {
+        return StatevectorCost(qaoaCircuit(graph, depth),
+                               maxcutHamiltonian(graph));
+    }
+
+    static Graph
+    makeGraph(int num_qubits)
+    {
+        Rng rng(7);
+        return random3RegularGraph(num_qubits, rng);
+    }
+};
+
+/** Overlap workload: reconstruct options for barrier vs streaming. */
+struct OverlapCase
+{
+    Graph graph;
+    GridSpec grid;
+    OscarOptions barrier;
+    OscarOptions overlapped;
+
+    explicit OverlapCase(int num_qubits)
+        : graph(SweepCase::makeGraph(num_qubits)),
+          grid(GridSpec::qaoaP1(30, 60))
+    {
+        barrier.samplingFraction = 0.1;
+        barrier.numThreads = 0; // hardware
+        // Few shards + small warm-up budgets: on a multi-core host the
+        // warm-ups hide entirely behind in-flight shards; on a 1-core
+        // host they are bounded by the continuation carry-over to
+        // roughly a cold solve's work, so the overlapped pipeline is
+        // no slower than the barrier either way.
+        overlapped = barrier;
+        overlapped.streaming.shards = 4;
+        overlapped.streaming.warmupIterations = 10;
+    }
+
+    StatevectorCost
+    make() const
+    {
+        return StatevectorCost(qaoaCircuit(graph, 1),
+                               maxcutHamiltonian(graph));
+    }
+};
+
+#ifndef OSCAR_HAVE_GBENCH
 
 constexpr int kReps = 3;
 
@@ -56,18 +149,6 @@ report(const std::vector<Mode>& modes, std::size_t num_points)
     }
 }
 
-bool
-identical(const std::vector<double>& a, const std::vector<double>& b)
-{
-    if (a.size() != b.size())
-        return false;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        if (a[i] != b[i])
-            return false;
-    }
-    return true;
-}
-
 /**
  * Axis-major sweep benchmark: every point of `grid` for a depth-p QAOA
  * circuit, ordered by the backend's own batch order hint (the order
@@ -76,25 +157,8 @@ identical(const std::vector<double>& a, const std::vector<double>& b)
 void
 runSweep(int num_qubits, int depth, const GridSpec& grid)
 {
-    Rng rng(7);
-    const Graph g = random3RegularGraph(num_qubits, rng);
-    auto make = [&] {
-        return StatevectorCost(qaoaCircuit(g, depth),
-                               maxcutHamiltonian(g));
-    };
-
-    std::vector<std::vector<double>> points;
-    {
-        const StatevectorCost probe = make();
-        std::vector<std::size_t> indices(grid.numPoints());
-        for (std::size_t i = 0; i < indices.size(); ++i)
-            indices[i] = i;
-        const auto perm = grid.prefixFriendlyPermutation(
-            indices, probe.batchOrderHint());
-        points.reserve(perm.size());
-        for (std::size_t p : perm)
-            points.push_back(grid.pointAt(p));
-    }
+    const SweepCase sweep(num_qubits, depth, grid);
+    const auto& points = sweep.points;
     const std::size_t num_points = points.size();
 
     bench::header("p=" + std::to_string(depth) + " QAOA, " +
@@ -110,7 +174,7 @@ runSweep(int num_qubits, int depth, const GridSpec& grid)
     // 1. Scalar reference, cache off.
     std::vector<double> reference;
     {
-        StatevectorCost cost = make();
+        StatevectorCost cost = sweep.make();
         cost.configureKernel(cache_off);
         const auto timing = bench::timeRepeated(kReps, [&] {
             reference.clear();
@@ -121,9 +185,9 @@ runSweep(int num_qubits, int depth, const GridSpec& grid)
         modes.push_back({"scalar (no cache)", timing, true});
     }
 
-    // 2. PR 1 batched path: one submission, cache off.
+    // 2. Batched path: one submission, cache off.
     {
-        StatevectorCost cost = make();
+        StatevectorCost cost = sweep.make();
         cost.configureKernel(cache_off);
         std::vector<double> values;
         const auto timing = bench::timeRepeated(
@@ -136,7 +200,7 @@ runSweep(int num_qubits, int depth, const GridSpec& grid)
     // every rep pays the cold cache like a fresh sweep would, without
     // timing circuit lowering / diagonal-table construction.
     {
-        StatevectorCost cost = make();
+        StatevectorCost cost = sweep.make();
         std::vector<double> values;
         std::size_t hits = 0, lookups = 0;
         const auto timing = bench::timeRepeated(kReps, [&] {
@@ -156,11 +220,11 @@ runSweep(int num_qubits, int depth, const GridSpec& grid)
     for (unsigned threads = 2; threads <= hw && threads <= 8;
          threads *= 2) {
         ExecutionEngine engine(static_cast<int>(threads));
-        StatevectorCost cost = make();
+        StatevectorCost cost = sweep.make();
         std::vector<double> values;
         const auto timing = bench::timeRepeated(kReps, [&] {
             cost.configureKernel(KernelOptions{});
-            values = engine.evaluate(cost, points);
+            values = engine.submit(cost, points).get();
         });
         modes.push_back({"engine x" + std::to_string(threads) + " cached",
                          timing, identical(values, reference)});
@@ -169,8 +233,174 @@ runSweep(int num_qubits, int depth, const GridSpec& grid)
     report(modes, num_points);
 }
 
+/**
+ * Async-overlap vs synchronous-barrier reconstruction: same samples,
+ * same engine width; the streaming pipeline hides FISTA warm-ups
+ * behind in-flight execution shards.
+ */
+void
+runOverlapStudy(int num_qubits)
+{
+    const OverlapCase study(num_qubits);
+    bench::header(
+        "Oscar::reconstruct overlap: " + std::to_string(num_qubits) +
+        " qubits, 30x60 grid, 10% samples, " +
+        std::to_string(study.overlapped.streaming.shards) +
+        " shards (median of " + std::to_string(kReps) + ")");
+
+    std::vector<Mode> modes;
+    OscarResult barrier_result, overlap_result;
+    {
+        const auto timing = bench::timeRepeated(kReps, [&] {
+            StatevectorCost cost = study.make();
+            barrier_result =
+                Oscar::reconstruct(study.grid, cost, study.barrier);
+        });
+        modes.push_back({"synchronous barrier", timing, true});
+    }
+    {
+        const auto timing = bench::timeRepeated(kReps, [&] {
+            StatevectorCost cost = study.make();
+            overlap_result =
+                Oscar::reconstruct(study.grid, cost, study.overlapped);
+        });
+        modes.push_back({"streaming overlap", timing,
+                         identical(overlap_result.samples.values,
+                                   barrier_result.samples.values)});
+    }
+    report(modes, barrier_result.samples.size());
+    std::printf("  (execution: %zu pts, prefix cache %zu/%zu hits)\n",
+                overlap_result.execution.pointsCompleted,
+                overlap_result.execution.kernel.cacheHits,
+                overlap_result.execution.kernel.cacheLookups);
+}
+
+#endif // !OSCAR_HAVE_GBENCH
+
 } // namespace
 } // namespace oscar
+
+#ifdef OSCAR_HAVE_GBENCH
+
+namespace oscar {
+namespace {
+
+void
+BM_BatchedNoCache(benchmark::State& state)
+{
+    const SweepCase sweep(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(1)),
+                          state.range(1) == 1 ? GridSpec::qaoaP1(30, 60)
+                                              : GridSpec::qaoaP2(5, 7));
+    StatevectorCost cost = sweep.make();
+    KernelOptions cache_off;
+    cache_off.prefixCache = false;
+    cost.configureKernel(cache_off);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cost.evaluateBatch(sweep.points));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() *
+                                  sweep.points.size()));
+}
+
+/** Cache-off batch reference for the bit-identity guards below. */
+std::vector<double>
+scalarReference(const SweepCase& sweep)
+{
+    StatevectorCost cost = sweep.make();
+    KernelOptions cache_off;
+    cache_off.prefixCache = false;
+    cost.configureKernel(cache_off);
+    return cost.evaluateBatch(sweep.points);
+}
+
+void
+BM_PrefixCachedBatch(benchmark::State& state)
+{
+    const SweepCase sweep(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(1)),
+                          state.range(1) == 1 ? GridSpec::qaoaP1(30, 60)
+                                              : GridSpec::qaoaP2(5, 7));
+    const std::vector<double> reference = scalarReference(sweep);
+    StatevectorCost cost = sweep.make();
+    std::vector<double> values;
+    for (auto _ : state) {
+        cost.configureKernel(KernelOptions{}); // cold cache per rep
+        values = cost.evaluateBatch(sweep.points);
+        benchmark::DoNotOptimize(values);
+    }
+    if (!identical(values, reference))
+        state.SkipWithError("prefix-cached batch diverged from scalar");
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() *
+                                  sweep.points.size()));
+}
+
+void
+BM_EngineCachedSubmit(benchmark::State& state)
+{
+    const SweepCase sweep(12, 2, GridSpec::qaoaP2(5, 7));
+    const std::vector<double> reference = scalarReference(sweep);
+    ExecutionEngine engine(static_cast<int>(state.range(0)));
+    StatevectorCost cost = sweep.make();
+    std::vector<double> values;
+    for (auto _ : state) {
+        cost.configureKernel(KernelOptions{});
+        values = engine.submit(cost, sweep.points).get();
+        benchmark::DoNotOptimize(values);
+    }
+    if (!identical(values, reference))
+        state.SkipWithError("threaded submission diverged from scalar");
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() *
+                                  sweep.points.size()));
+}
+
+void
+BM_ReconstructBarrier(benchmark::State& state)
+{
+    const OverlapCase study(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        StatevectorCost cost = study.make();
+        benchmark::DoNotOptimize(
+            Oscar::reconstruct(study.grid, cost, study.barrier));
+    }
+}
+
+void
+BM_ReconstructOverlapped(benchmark::State& state)
+{
+    const OverlapCase study(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        StatevectorCost cost = study.make();
+        benchmark::DoNotOptimize(
+            Oscar::reconstruct(study.grid, cost, study.overlapped));
+    }
+}
+
+BENCHMARK(BM_BatchedNoCache)
+    ->Args({12, 1})
+    ->Args({12, 2})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PrefixCachedBatch)
+    ->Args({12, 1})
+    ->Args({12, 2})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineCachedSubmit)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReconstructBarrier)->Arg(14)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReconstructOverlapped)
+    ->Arg(14)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace oscar
+
+BENCHMARK_MAIN();
+
+#else // !OSCAR_HAVE_GBENCH
 
 int
 main()
@@ -187,5 +417,10 @@ main()
     // The acceptance sweep: p=2, >= 12 qubits, axis-major order.
     oscar::runSweep(12, 2, oscar::GridSpec::qaoaP2(5, 7));
     oscar::runSweep(16, 1, oscar::GridSpec::qaoaP1(15, 30));
+
+    // Async pipeline overlap vs synchronous barrier.
+    oscar::runOverlapStudy(14);
     return 0;
 }
+
+#endif // OSCAR_HAVE_GBENCH

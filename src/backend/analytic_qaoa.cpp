@@ -118,12 +118,16 @@ const std::vector<AnalyticQaoaCost::EdgeGammaFactors>&
 AnalyticQaoaCost::factorsFor(double gamma)
 {
     const bool memoize = kernel_.prefixCache;
+    if (memoize)
+        ++memoLookups_; // counters only track real memo traffic
     if (!memoize || !memoValid_ ||
         std::bit_cast<std::uint64_t>(memoGamma_) !=
             std::bit_cast<std::uint64_t>(gamma)) {
         computeGammaFactors(gamma, memo_);
         memoGamma_ = gamma;
         memoValid_ = memoize;
+    } else {
+        ++memoHits_;
     }
     return memo_;
 }

@@ -63,6 +63,17 @@ class AnalyticQaoaCost : public CostFunction
      */
     std::vector<int> batchOrderHint() const override { return {1, 0}; }
 
+    /**
+     * Gamma-memo hit counters, reported in prefix-cache terms (the
+     * memo is the closed form's one-entry analogue of a checkpoint
+     * cache; it is never evicted, only replaced).
+     */
+    KernelStats
+    kernelStats() const override
+    {
+        return {memoHits_, memoLookups_, 0};
+    }
+
   protected:
     double evaluateImpl(const std::vector<double>& params,
                         std::uint64_t ordinal) override;
@@ -114,6 +125,8 @@ class AnalyticQaoaCost : public CostFunction
     bool memoValid_ = false;
     double memoGamma_ = 0.0;
     std::vector<EdgeGammaFactors> memo_;
+    std::size_t memoHits_ = 0;
+    std::size_t memoLookups_ = 0;
 };
 
 } // namespace oscar

@@ -5,10 +5,101 @@
 
 namespace oscar {
 
-namespace {
+/**
+ * Shared state of one submitted batch. Handles, queued workers, and
+ * waiting threads all hold shared_ptrs, so the state outlives the
+ * engine and any of its consumers individually.
+ *
+ * Chunk claiming linearizes on the atomic `nextChunk`: workers and
+ * waiting threads fetch_add to claim, cancel() exchanges the counter
+ * to the end to claim (and skip) everything unstarted. Claimed chunk
+ * indices are therefore disjoint across all participants, which is
+ * what makes results, query counts, and callbacks race-free.
+ */
+struct BatchHandle::Batch
+{
+    // -- immutable after submit -------------------------------------
+    std::vector<std::vector<double>> points;
+    std::function<double(std::size_t)> mapFn; ///< map mode when set
+    CostFunction* cost = nullptr;             ///< null in map mode
+    /** Per-chunk replicas; empty = evaluate `cost` itself. */
+    std::vector<std::unique_ptr<CostFunction>> replicas;
+    std::vector<ExecutionEngine::Chunk> chunks;
+    std::uint64_t baseOrdinal = 0;
+    SubmitOptions options;
+
+    /** Next chunk index to claim (may overshoot chunks.size()). */
+    std::atomic<std::size_t> nextChunk{0};
+
+    mutable std::mutex m; ///< guards the progress state below
+    std::condition_variable cv;
+    std::size_t chunksAccounted = 0; ///< executed or skipped
+    bool finished = false;
+    std::exception_ptr error;
+    std::vector<double> out;
+    BatchStats stats;
+
+    /** Serializes onComplete invocations (never held with `m`). */
+    std::mutex callbackMutex;
+};
+
+// ------------------------------------------------------------ handle
+
+bool
+BatchHandle::done() const
+{
+    std::lock_guard<std::mutex> lock(state_->m);
+    return state_->finished;
+}
+
+void
+BatchHandle::wait()
+{
+    Batch& b = *state_;
+    // Help: claim and execute chunks this thread can take. This is
+    // also the only execution path for inline batches (serial engine,
+    // non-replicable cost), which are never enqueued.
+    const std::size_t total = b.chunks.size();
+    for (;;) {
+        const std::size_t c = b.nextChunk.fetch_add(1);
+        if (c >= total)
+            break;
+        ExecutionEngine::runChunk(b, c);
+    }
+    std::unique_lock<std::mutex> lock(b.m);
+    b.cv.wait(lock, [&] { return b.finished; });
+}
+
+std::vector<double>
+BatchHandle::get()
+{
+    wait();
+    Batch& b = *state_;
+    std::lock_guard<std::mutex> lock(b.m);
+    if (b.error)
+        std::rethrow_exception(b.error);
+    if (b.stats.pointsCancelled > 0)
+        throw std::runtime_error("BatchHandle::get: batch was cancelled");
+    return b.out;
+}
+
+bool
+BatchHandle::cancel()
+{
+    return ExecutionEngine::cancelBatch(*state_);
+}
+
+BatchStats
+BatchHandle::stats() const
+{
+    std::lock_guard<std::mutex> lock(state_->m);
+    return state_->stats;
+}
+
+// ------------------------------------------------------------ engine
 
 int
-resolveThreads(int requested)
+ExecutionEngine::resolveThreads(int requested)
 {
     if (requested > 0)
         return requested;
@@ -16,10 +107,8 @@ resolveThreads(int requested)
     return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-} // namespace
-
 ExecutionEngine::ExecutionEngine()
-    : ExecutionEngine(EngineOptions{1, 4})
+    : ExecutionEngine(EngineOptions{})
 {
 }
 
@@ -33,21 +122,27 @@ ExecutionEngine::ExecutionEngine(const EngineOptions& options)
                                                 options.minPointsPerThread))
 {
     const int threads = resolveThreads(options.numThreads);
-    // The calling thread participates in every job, so spawn one fewer
-    // worker than the requested parallelism.
+    // The submitting thread participates in every wait, so spawn one
+    // fewer worker than the requested parallelism.
     for (int t = 1; t < threads; ++t)
         workers_.emplace_back([this] { workerLoop(); });
 }
 
 ExecutionEngine::~ExecutionEngine()
 {
+    std::deque<std::shared_ptr<BatchHandle::Batch>> leftover;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stop_ = true;
+        leftover.swap(queue_);
     }
     wake_.notify_all();
     for (std::thread& w : workers_)
         w.join();
+    // Retire whatever the workers had not claimed: outstanding handles
+    // see a finished (cancelled) batch instead of hanging forever.
+    for (const auto& batch : leftover)
+        cancelBatch(*batch);
 }
 
 int
@@ -59,7 +154,7 @@ ExecutionEngine::numThreads() const
 ExecutionEngine&
 ExecutionEngine::serial()
 {
-    static ExecutionEngine engine;
+    static ExecutionEngine engine(1);
     return engine;
 }
 
@@ -91,56 +186,197 @@ void
 ExecutionEngine::workerLoop()
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    std::uint64_t seen_generation = 0;
     for (;;) {
-        wake_.wait(lock, [&] {
-            return stop_ ||
-                   (jobGeneration_ != seen_generation &&
-                    jobNext_ < jobCount_);
-        });
+        wake_.wait(lock, [&] { return stop_ || !queue_.empty(); });
         if (stop_)
             return;
-        const std::uint64_t generation = jobGeneration_;
-        const std::function<void(std::size_t)> fn = job_;
-        while (jobGeneration_ == generation && jobNext_ < jobCount_) {
-            const std::size_t chunk = jobNext_++;
-            lock.unlock();
-            fn(chunk);
-            lock.lock();
-            if (--jobPending_ == 0)
-                done_.notify_all();
+        std::shared_ptr<BatchHandle::Batch> batch = queue_.front();
+        const std::size_t total = batch->chunks.size();
+        const std::size_t c = batch->nextChunk.fetch_add(1);
+        if (c >= total) {
+            // Fully claimed (possibly by a helping waiter or cancel):
+            // retire it from the queue and look at the next batch.
+            queue_.pop_front();
+            continue;
         }
-        seen_generation = generation;
+        if (c + 1 == total)
+            queue_.pop_front(); // nothing left for anyone else to claim
+        lock.unlock();
+        runChunk(*batch, c);
+        batch.reset();
+        lock.lock();
     }
 }
 
 void
-ExecutionEngine::runOnPool(std::size_t num_chunks,
-                           const std::function<void(std::size_t)>& fn)
+ExecutionEngine::runChunk(BatchHandle::Batch& b, std::size_t c)
 {
-    std::lock_guard<std::mutex> submit_lock(submitMutex_);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        job_ = fn;
-        jobCount_ = num_chunks;
-        jobNext_ = 0;
-        jobPending_ = num_chunks;
-        ++jobGeneration_;
+    const Chunk chunk = b.chunks[c];
+    const std::size_t n = chunk.hi - chunk.lo;
+    std::exception_ptr failure;
+    KernelStats delta;
+    try {
+        if (b.mapFn) {
+            for (std::size_t i = chunk.lo; i < chunk.hi; ++i)
+                b.out[i] = b.mapFn(i);
+        } else {
+            CostFunction* evaluator =
+                b.replicas.empty() ? b.cost : b.replicas[c].get();
+            const KernelStats before = evaluator->kernelStats();
+            evaluator->evaluateBatchImpl(
+                std::span<const std::vector<double>>(b.points)
+                    .subspan(chunk.lo, n),
+                b.baseOrdinal + chunk.lo, b.out.data() + chunk.lo);
+            delta = evaluator->kernelStats() - before;
+        }
+    } catch (...) {
+        failure = std::current_exception();
     }
-    wake_.notify_all();
 
-    // The calling thread claims chunks too.
-    std::unique_lock<std::mutex> lock(mutex_);
-    while (jobNext_ < jobCount_) {
-        const std::size_t chunk = jobNext_++;
-        lock.unlock();
-        fn(chunk);
-        lock.lock();
-        if (--jobPending_ == 0)
-            done_.notify_all();
+    // Stream completions before accounting, so that once done() flips
+    // every callback has already returned. A throwing callback must
+    // not escape (it would terminate a worker thread, or leave the
+    // batch unfinished on the waiter-help path); it fails the batch
+    // like an evaluation error, though the values themselves stand.
+    std::exception_ptr callback_failure;
+    if (!failure && b.options.onComplete) {
+        std::lock_guard<std::mutex> lock(b.callbackMutex);
+        try {
+            for (std::size_t i = chunk.lo; i < chunk.hi; ++i)
+                b.options.onComplete(i, b.out[i]);
+        } catch (...) {
+            callback_failure = std::current_exception();
+        }
     }
-    done_.wait(lock, [&] { return jobPending_ == 0; });
-    job_ = nullptr;
+
+    std::lock_guard<std::mutex> lock(b.m);
+    if (failure) {
+        if (!b.error)
+            b.error = failure;
+    } else {
+        b.stats.pointsCompleted += n;
+        b.stats.kernel += delta;
+        if (callback_failure && !b.error)
+            b.error = callback_failure;
+    }
+    if (++b.chunksAccounted == b.chunks.size()) {
+        b.finished = true;
+        b.cv.notify_all();
+    }
+}
+
+bool
+ExecutionEngine::cancelBatch(BatchHandle::Batch& b)
+{
+    const std::size_t total = b.chunks.size();
+    // Claim everything unstarted in one shot; claims already handed to
+    // workers (indices < claimed) still run to completion.
+    std::size_t claimed = b.nextChunk.exchange(total);
+    claimed = std::min(claimed, total);
+    if (claimed >= total)
+        return false;
+    std::size_t skipped = 0;
+    for (std::size_t c = claimed; c < total; ++c)
+        skipped += b.chunks[c].hi - b.chunks[c].lo;
+    if (b.cost)
+        b.cost->refundQueries(skipped);
+    std::lock_guard<std::mutex> lock(b.m);
+    b.stats.pointsCancelled += skipped;
+    b.chunksAccounted += total - claimed;
+    if (b.chunksAccounted == total) {
+        b.finished = true;
+        b.cv.notify_all();
+    }
+    return true;
+}
+
+BatchHandle
+ExecutionEngine::submitBatch(CostFunction* cost,
+                             std::vector<std::vector<double>> points,
+                             std::function<double(std::size_t)> map_fn,
+                             std::size_t count, SubmitOptions options)
+{
+    auto batch = std::make_shared<BatchHandle::Batch>();
+    batch->points = std::move(points);
+    batch->mapFn = std::move(map_fn);
+    batch->cost = cost;
+    batch->options = std::move(options);
+    batch->out.resize(count);
+    batch->stats.pointsTotal = count;
+
+    if (count == 0) {
+        batch->finished = true;
+        return BatchHandle(std::move(batch));
+    }
+
+    std::vector<Chunk> chunks = planChunks(count);
+    if (chunks.empty() && batch->options.eager && !workers_.empty())
+        chunks = {Chunk{0, count}};
+    bool enqueue = !workers_.empty() && !chunks.empty();
+    if (cost) {
+        // Validate every point before counting anything, exactly like
+        // the scalar path, so query/ordinal accounting cannot diverge
+        // by thread count or batch outcome.
+        for (const auto& p : batch->points)
+            cost->checkParams(p);
+        if (enqueue) {
+            // One replica per chunk; a non-replicable cost degrades to
+            // deferred inline execution on the waiting thread.
+            std::unique_ptr<CostFunction> proto = cost->clone();
+            if (!proto) {
+                enqueue = false;
+            } else {
+                batch->replicas.reserve(chunks.size());
+                batch->replicas.push_back(std::move(proto));
+                for (std::size_t c = 1; c < chunks.size(); ++c) {
+                    auto replica = cost->clone();
+                    if (!replica)
+                        throw std::runtime_error(
+                            "ExecutionEngine: clone() became unavailable "
+                            "mid-batch");
+                    batch->replicas.push_back(std::move(replica));
+                }
+            }
+        }
+        batch->baseOrdinal = cost->reserve(count);
+    }
+
+    if (enqueue)
+        batch->chunks = std::move(chunks);
+    else
+        batch->chunks = {Chunk{0, count}};
+
+    BatchHandle handle(batch);
+    if (enqueue) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push_back(std::move(batch));
+        }
+        wake_.notify_all();
+    }
+    return handle;
+}
+
+BatchHandle
+ExecutionEngine::submit(CostFunction& cost,
+                        std::vector<std::vector<double>> points,
+                        SubmitOptions options)
+{
+    const std::size_t count = points.size();
+    return submitBatch(&cost, std::move(points), nullptr, count,
+                       std::move(options));
+}
+
+BatchHandle
+ExecutionEngine::submitGenerated(CostFunction& cost, std::size_t count,
+                                 const PointFn& point_at,
+                                 SubmitOptions options)
+{
+    std::vector<std::vector<double>> points;
+    points.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        points.push_back(point_at(i));
+    return submit(cost, std::move(points), std::move(options));
 }
 
 std::vector<double>
@@ -149,107 +385,23 @@ ExecutionEngine::evaluate(CostFunction& cost,
 {
     if (points.empty())
         return {};
-
-    const std::vector<Chunk> chunks = planChunks(points.size());
-    std::unique_ptr<CostFunction> proto;
-    if (!chunks.empty())
-        proto = cost.clone();
-
-    // Serial fallback, still through the virtual batch hook so
-    // backend-specific batching applies.
-    if (chunks.empty() || !proto)
-        return cost.evaluateBatch(points);
-
-    // Validate every point before counting anything, exactly like the
-    // serial path, so query/ordinal accounting cannot diverge by
-    // thread count.
-    for (const auto& p : points)
-        cost.checkParams(p);
-    return evaluateParallel(cost, points, chunks, std::move(proto));
+    return submit(cost, points).get();
 }
 
 std::vector<double>
 ExecutionEngine::evaluateGenerated(CostFunction& cost, std::size_t count,
                                    const PointFn& point_at)
 {
-    std::vector<std::vector<double>> points;
-    points.reserve(count);
-    for (std::size_t i = 0; i < count; ++i)
-        points.push_back(point_at(i));
-    return evaluate(cost, points);
-}
-
-std::vector<double>
-ExecutionEngine::evaluateParallel(CostFunction& cost,
-                                  std::span<const std::vector<double>> points,
-                                  const std::vector<Chunk>& chunks,
-                                  std::unique_ptr<CostFunction> proto)
-{
-    // One replica per chunk; chunk 0 reuses the probe clone.
-    std::vector<std::unique_ptr<CostFunction>> replicas;
-    replicas.reserve(chunks.size());
-    replicas.push_back(std::move(proto));
-    for (std::size_t c = 1; c < chunks.size(); ++c) {
-        auto replica = cost.clone();
-        if (!replica)
-            throw std::runtime_error(
-                "ExecutionEngine: clone() became unavailable mid-batch");
-        replicas.push_back(std::move(replica));
-    }
-
-    std::vector<double> out(points.size());
-    const std::uint64_t base = cost.reserve(points.size());
-    std::exception_ptr failure;
-    std::mutex failure_mutex;
-
-    runOnPool(chunks.size(), [&](std::size_t c) {
-        try {
-            const Chunk chunk = chunks[c];
-            replicas[c]->evaluateBatchImpl(
-                points.subspan(chunk.lo, chunk.hi - chunk.lo),
-                base + chunk.lo, out.data() + chunk.lo);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(failure_mutex);
-            if (!failure)
-                failure = std::current_exception();
-        }
-    });
-
-    if (failure)
-        std::rethrow_exception(failure);
-    return out;
+    return submitGenerated(cost, count, point_at).get();
 }
 
 std::vector<double>
 ExecutionEngine::map(std::size_t count,
                      const std::function<double(std::size_t)>& fn)
 {
-    std::vector<double> out(count);
     if (count == 0)
-        return out;
-
-    const std::vector<Chunk> chunks = planChunks(count);
-    if (chunks.empty()) {
-        for (std::size_t i = 0; i < count; ++i)
-            out[i] = fn(i);
-        return out;
-    }
-
-    std::exception_ptr failure;
-    std::mutex failure_mutex;
-    runOnPool(chunks.size(), [&](std::size_t c) {
-        try {
-            for (std::size_t i = chunks[c].lo; i < chunks[c].hi; ++i)
-                out[i] = fn(i);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(failure_mutex);
-            if (!failure)
-                failure = std::current_exception();
-        }
-    });
-    if (failure)
-        std::rethrow_exception(failure);
-    return out;
+        return {};
+    return submitBatch(nullptr, {}, fn, count, {}).get();
 }
 
 } // namespace oscar

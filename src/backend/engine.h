@@ -1,32 +1,46 @@
 /**
  * @file
- * Batched, thread-parallel execution of cost-function evaluations.
+ * Asynchronous, thread-parallel execution of cost-function batches.
  *
  * OSCAR's samples are independent by construction (paper Fig. 7A), so
  * the hottest path of the whole system -- turning a list of parameter
  * points into a list of cost values -- is embarrassingly parallel.
- * The ExecutionEngine owns a pool of worker threads and fans a batch
- * out across them in contiguous chunks.
+ * The ExecutionEngine owns a pool of worker threads and a FIFO task
+ * queue of submitted batches; workers fan each batch out in contiguous
+ * chunks.
  *
- * Determinism contract: evaluation i of a batch always runs with
- * ordinal base + i (see executor.h), regardless of which worker
- * executes it, so results are bit-identical for 1 or N threads. This
- * is what makes the N-thread reconstruction pipelines reproduce the
- * serial ones exactly.
+ * The submission API is asynchronous: submit() returns a BatchHandle
+ * immediately, so callers can keep several batches in flight and do
+ * other work (CS reconstruction iterations, NCM fitting, scheduling)
+ * while circuits execute -- the pipeline-overlap the ROADMAP calls
+ * for. The synchronous evaluate() is submit(...).get().
+ *
+ * Determinism contract (unchanged from the synchronous engine):
+ * evaluation i of a batch always runs with ordinal base + i, where
+ * base is reserved at *submission* time in submission order (see
+ * executor.h). Which worker executes a chunk, when it executes, and
+ * how many batches are in flight can therefore never change a value:
+ * results are bit-identical for 1 or N threads and for any completion
+ * order. Cancellation skips not-yet-started work but never returns
+ * ordinals, so later evaluations are also independent of cancel
+ * timing.
  *
  * Parallel execution requires the cost function to be replicable
- * (CostFunction::clone() != nullptr); otherwise the engine degrades
- * gracefully to the serial batched path. The serial path still goes
- * through CostFunction::evaluateBatch, so backend-specific batch
- * overrides apply either way.
+ * (CostFunction::clone() != nullptr); otherwise the batch degrades
+ * gracefully to deferred inline execution on the waiting thread. The
+ * inline path still goes through CostFunction::evaluateBatchImpl, so
+ * backend-specific batch overrides apply either way.
  */
 
 #ifndef OSCAR_BACKEND_ENGINE_H
 #define OSCAR_BACKEND_ENGINE_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -36,7 +50,16 @@
 
 namespace oscar {
 
-/** ExecutionEngine configuration. */
+/**
+ * ExecutionEngine configuration.
+ *
+ * Thread-count convention (shared with OscarOptions::numThreads):
+ * 0 = hardware concurrency, 1 = serial, k > 1 = exactly k threads
+ * (the submitting thread counts as one and participates in waits).
+ * The default everywhere is 0 -- use what the hardware offers; ask for
+ * 1 explicitly when serial execution is wanted. Results are
+ * bit-identical for every value by the determinism contract above.
+ */
 struct EngineOptions
 {
     /** Worker threads; 0 = hardware concurrency, 1 = serial. */
@@ -44,16 +67,132 @@ struct EngineOptions
 
     /**
      * Below this many points per would-be worker the batch runs
-     * serially (thread hand-off costs more than it saves).
+     * inline on the waiting thread (thread hand-off costs more than
+     * it saves).
      */
     std::size_t minPointsPerThread = 4;
 };
 
-/** Thread-pooled batch evaluator for CostFunctions. */
+/** Progress / effectiveness counters of one submitted batch. */
+struct BatchStats
+{
+    /** Points in the batch as submitted. */
+    std::size_t pointsTotal = 0;
+
+    /** Points whose values were produced. */
+    std::size_t pointsCompleted = 0;
+
+    /** Points skipped by cancel() (queries refunded). */
+    std::size_t pointsCancelled = 0;
+
+    /** Kernel-layer (prefix cache) traffic attributed to this batch. */
+    KernelStats kernel;
+
+    BatchStats&
+    operator+=(const BatchStats& other)
+    {
+        pointsTotal += other.pointsTotal;
+        pointsCompleted += other.pointsCompleted;
+        pointsCancelled += other.pointsCancelled;
+        kernel += other.kernel;
+        return *this;
+    }
+};
+
+/** Per-submission options. */
+struct SubmitOptions
+{
+    /**
+     * Streaming completion callback: invoked once per completed point
+     * with (index within the batch, value), as each worker chunk
+     * finishes. Calls are serialized (never concurrent) but may come
+     * from any worker thread and in any chunk order; within a chunk,
+     * points are reported in submission order. The callback must not
+     * block on the batch's own handle. A throwing callback fails the
+     * batch -- get() rethrows the exception -- but never takes down a
+     * worker or leaves the handle unfinished; the chunk's values are
+     * still computed and charged.
+     */
+    std::function<void(std::size_t index, double value)> onComplete;
+
+    /**
+     * Hand even small batches to the worker pool instead of deferring
+     * them to the waiting thread. Used by speculative submitters (the
+     * optimizer's reflection/expansion/contraction probes): the batch
+     * starts executing before anyone waits on it, at the price of a
+     * replica clone and a thread hand-off. Requires a replicable cost;
+     * ignored on serial engines.
+     */
+    bool eager = false;
+};
+
+class ExecutionEngine;
+
+/**
+ * Future-like handle to a submitted batch.
+ *
+ * Handles share state with the engine and stay valid after the engine
+ * is destroyed (destruction cancels still-queued work first). The cost
+ * function, by contrast, must outlive the batch: it is evaluated from
+ * worker threads until wait()/get() returns or the engine dies.
+ */
+class BatchHandle
+{
+  public:
+    /** Invalid handle; every accessor below requires valid(). */
+    BatchHandle() = default;
+
+    bool valid() const { return state_ != nullptr; }
+
+    /** True once every point is either completed or cancelled. */
+    bool done() const;
+
+    /**
+     * Block until done(). The waiting thread helps: it executes
+     * not-yet-claimed chunks of this batch itself (this is also how
+     * serial engines and non-replicable cost functions execute at
+     * all). Never throws batch errors -- see get().
+     */
+    void wait();
+
+    /**
+     * wait(), then return the values (result[i] corresponds to
+     * points[i]). Rethrows the first worker exception if any chunk
+     * failed; throws std::runtime_error if points were cancelled.
+     * May be called repeatedly.
+     */
+    std::vector<double> get();
+
+    /**
+     * Best-effort cancel: chunks not yet claimed by a worker are
+     * skipped and their queries refunded to the cost function
+     * (ordinals stay consumed -- see CostFunction::refundQueries).
+     * In-flight chunks still complete and are charged. Returns true
+     * if any point was skipped.
+     */
+    bool cancel();
+
+    /** Progress and kernel-cache counters (safe to poll anytime). */
+    BatchStats stats() const;
+
+  private:
+    friend class ExecutionEngine;
+
+    struct Batch;
+
+    explicit BatchHandle(std::shared_ptr<Batch> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<Batch> state_;
+};
+
+/** Thread-pooled asynchronous batch evaluator for CostFunctions. */
 class ExecutionEngine
 {
   public:
-    /** Serial engine (no worker threads). */
+    /** Engine with the default options (hardware concurrency). */
     ExecutionEngine();
 
     explicit ExecutionEngine(const EngineOptions& options);
@@ -61,6 +200,12 @@ class ExecutionEngine
     /** Convenience: engine with `num_threads` workers (0 = hardware). */
     explicit ExecutionEngine(int num_threads);
 
+    /**
+     * Cancels still-queued batches (refunding their queries), lets
+     * in-flight chunks finish, and joins the workers. Outstanding
+     * handles remain valid: wait() returns, get() reports the
+     * cancellation. Never blocks on external waiters.
+     */
     ~ExecutionEngine();
 
     ExecutionEngine(const ExecutionEngine&) = delete;
@@ -69,22 +214,38 @@ class ExecutionEngine
     /** Worker threads available (1 when serial). */
     int numThreads() const;
 
+    /** The thread count `requested` resolves to (0 -> hardware). */
+    static int resolveThreads(int requested);
+
     /**
-     * Evaluate a batch of parameter points; result[i] corresponds to
-     * points[i]. Queries are credited to `cost` exactly once per point.
+     * Submit a batch for asynchronous execution; result[i] of
+     * BatchHandle::get() corresponds to points[i]. Queries and
+     * ordinals are reserved here, in submission order, which is what
+     * keeps concurrent batches deterministic. Throws on malformed
+     * points before anything is counted.
+     */
+    BatchHandle submit(CostFunction& cost,
+                       std::vector<std::vector<double>> points,
+                       SubmitOptions options = {});
+
+    /** Produces the i-th parameter point of a generated batch. */
+    using PointFn = std::function<std::vector<double>(std::size_t)>;
+
+    /** submit() over points materialized from `point_at(i)`. */
+    BatchHandle submitGenerated(CostFunction& cost, std::size_t count,
+                                const PointFn& point_at,
+                                SubmitOptions options = {});
+
+    /**
+     * Evaluate a batch of parameter points synchronously:
+     * submit(...).get(). Queries are credited to `cost` exactly once
+     * per point.
      */
     std::vector<double>
     evaluate(CostFunction& cost,
              const std::vector<std::vector<double>>& points);
 
-    /** Produces the i-th parameter point of a generated batch. */
-    using PointFn = std::function<std::vector<double>(std::size_t)>;
-
-    /**
-     * Evaluate `count` points produced by `point_at(i)` without
-     * materializing the whole batch up front. `point_at` must be safe
-     * to call concurrently (grid lookups are).
-     */
+    /** Synchronous submitGenerated. */
     std::vector<double> evaluateGenerated(CostFunction& cost,
                                           std::size_t count,
                                           const PointFn& point_at);
@@ -111,25 +272,28 @@ class ExecutionEngine
     }
 
   private:
+    friend class BatchHandle;
+
     struct Chunk
     {
         std::size_t lo;
         std::size_t hi;
     };
 
-    /** Split [0, count) into per-worker chunks; empty = run serial. */
+    /** Split [0, count) into per-worker chunks; empty = run inline. */
     std::vector<Chunk> planChunks(std::size_t count) const;
 
-    /** Fan a validated batch out across replica clones of `cost`. */
-    std::vector<double>
-    evaluateParallel(CostFunction& cost,
-                     std::span<const std::vector<double>> points,
-                     const std::vector<Chunk>& chunks,
-                     std::unique_ptr<CostFunction> proto);
+    /** Build the shared batch state; enqueue unless inline-only. */
+    BatchHandle submitBatch(CostFunction* cost,
+                            std::vector<std::vector<double>> points,
+                            std::function<double(std::size_t)> map_fn,
+                            std::size_t count, SubmitOptions options);
 
-    /** Run fn(c) for every chunk index on the pool + calling thread. */
-    void runOnPool(std::size_t num_chunks,
-                   const std::function<void(std::size_t)>& fn);
+    /** Execute chunk c of a batch (worker or waiting thread). */
+    static void runChunk(BatchHandle::Batch& batch, std::size_t c);
+
+    /** Skip every unclaimed chunk; returns true if any was skipped. */
+    static bool cancelBatch(BatchHandle::Batch& batch);
 
     // -- worker pool -------------------------------------------------
     void workerLoop();
@@ -137,17 +301,9 @@ class ExecutionEngine
     std::size_t minPointsPerThread_;
     std::vector<std::thread> workers_;
 
-    /** Serializes whole jobs when callers share one engine. */
-    std::mutex submitMutex_;
-
-    std::mutex mutex_;
+    std::mutex mutex_; ///< guards queue_ and stop_
     std::condition_variable wake_;
-    std::condition_variable done_;
-    std::function<void(std::size_t)> job_;
-    std::size_t jobCount_ = 0;   ///< chunks in the current job
-    std::size_t jobNext_ = 0;    ///< next chunk index to claim
-    std::size_t jobPending_ = 0; ///< chunks not yet finished
-    std::uint64_t jobGeneration_ = 0;
+    std::deque<std::shared_ptr<BatchHandle::Batch>> queue_;
     bool stop_ = false;
 };
 

@@ -60,6 +60,38 @@ struct KernelOptions
     std::size_t prefixCacheBudgetBytes = std::size_t{256} << 20;
 };
 
+/**
+ * Kernel-layer effectiveness counters: prefix-checkpoint (or memo)
+ * cache traffic of one evaluator. Aggregated per batch by the
+ * ExecutionEngine (BatchHandle::stats) and per pipeline run in
+ * OscarResult, so cache behaviour is observable without a debugger.
+ */
+struct KernelStats
+{
+    std::size_t cacheHits = 0;
+    std::size_t cacheLookups = 0;
+    std::size_t cacheEvictions = 0;
+
+    KernelStats&
+    operator+=(const KernelStats& other)
+    {
+        cacheHits += other.cacheHits;
+        cacheLookups += other.cacheLookups;
+        cacheEvictions += other.cacheEvictions;
+        return *this;
+    }
+
+    /** Counter delta (used to attribute one batch's traffic). */
+    friend KernelStats
+    operator-(KernelStats a, const KernelStats& b)
+    {
+        a.cacheHits -= b.cacheHits;
+        a.cacheLookups -= b.cacheLookups;
+        a.cacheEvictions -= b.cacheEvictions;
+        return a;
+    }
+};
+
 /** Abstract VQA cost evaluator: circuit parameters -> expected cost. */
 class CostFunction
 {
@@ -104,6 +136,17 @@ class CostFunction
     virtual void
     configureKernel(const KernelOptions& /*options*/)
     {
+    }
+
+    /**
+     * Cumulative kernel-layer cache counters since construction.
+     * Backends without a kernel cache report zeros; the engine
+     * publishes per-batch deltas through BatchHandle::stats().
+     */
+    virtual KernelStats
+    kernelStats() const
+    {
+        return {};
     }
 
     /**
@@ -201,6 +244,18 @@ class CostFunction
         return ordinal_.fetch_add(n, std::memory_order_relaxed);
     }
 
+    /**
+     * Un-count queries for reserved points that were cancelled before
+     * execution. Ordinals are deliberately NOT returned: the cancelled
+     * points' stream keys stay consumed, so every later evaluation's
+     * randomness is independent of when (or whether) a cancel landed.
+     */
+    void
+    refundQueries(std::size_t n)
+    {
+        queries_.fetch_sub(n, std::memory_order_relaxed);
+    }
+
     std::atomic<std::size_t> queries_{0};
     std::atomic<std::uint64_t> ordinal_{0};
 };
@@ -275,6 +330,13 @@ class ShotNoiseCost : public CostFunction
     configureKernel(const KernelOptions& options) override
     {
         inner_->configureKernel(options);
+    }
+
+    /** Cache observability passes through to the wrapped evaluator. */
+    KernelStats
+    kernelStats() const override
+    {
+        return inner_->kernelStats();
     }
 
   protected:

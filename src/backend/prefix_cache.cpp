@@ -47,6 +47,7 @@ PrefixCache::insert(const PrefixKey& key, const std::vector<cplx>& amps)
         sizeBytes_ -= entryBytes(lru_.back());
         index_.erase(lru_.back().key);
         lru_.pop_back();
+        ++evictions_;
     }
     lru_.push_front(Entry{key, amps});
     lru_.front().amps.shrink_to_fit();

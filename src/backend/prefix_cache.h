@@ -58,9 +58,14 @@ class PrefixCache
     std::size_t sizeBytes() const { return sizeBytes_; }
     std::size_t numEntries() const { return index_.size(); }
 
-    /** Cache effectiveness counters (for the benches). */
+    /**
+     * Cache effectiveness counters, cumulative since construction
+     * (clear() drops entries, not counters). Surfaced through
+     * CostFunction::kernelStats -> BatchHandle::stats -> OscarResult.
+     */
     std::size_t hits() const { return hits_; }
     std::size_t lookups() const { return lookups_; }
+    std::size_t evictions() const { return evictions_; }
 
     /**
      * Look up a checkpoint; returns nullptr on miss. The returned
@@ -105,6 +110,7 @@ class PrefixCache
     std::size_t sizeBytes_ = 0;
     std::size_t hits_ = 0;
     std::size_t lookups_ = 0;
+    std::size_t evictions_ = 0;
     std::list<Entry> lru_; ///< front = most recently used
     std::unordered_map<PrefixKey, std::list<Entry>::iterator, KeyHash>
         index_;

@@ -59,6 +59,13 @@ class StatevectorCost : public CostFunction
     /** Checkpoint cache counters (benchmark instrumentation). */
     const PrefixCache& prefixCache() const { return cache_; }
 
+    /** Prefix-cache hit/miss/eviction counters for BatchHandle::stats. */
+    KernelStats
+    kernelStats() const override
+    {
+        return {cache_.hits(), cache_.lookups(), cache_.evictions()};
+    }
+
   protected:
     double evaluateImpl(const std::vector<double>& params,
                         std::uint64_t ordinal) override;

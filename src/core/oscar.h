@@ -37,6 +37,42 @@
 
 namespace oscar {
 
+/**
+ * Execution/reconstruction overlap of the streaming pipeline.
+ *
+ * With shards > 1, Oscar::reconstruct splits the sample batch into
+ * `shards` asynchronous submissions and interleaves reconstruction
+ * with execution: after each completed shard it runs
+ * `warmupIterations` FISTA iterations on all samples received so far
+ * (warm-started from the previous partial solve), while later shards
+ * keep executing on the engine's workers. The final solve is
+ * warm-started from the accumulated coefficients.
+ *
+ * Determinism: the interleaving schedule is fixed by these two
+ * numbers alone -- shards are incorporated in submission order and
+ * every warm-up runs a fixed iteration budget -- so the result never
+ * depends on timing or thread count. The measured samples themselves
+ * are bit-identical to the non-streaming pipeline's; only the solver
+ * trajectory (and hence the reconstruction) differs from shards = 1.
+ * Warm-ups apply to the FISTA solver; under OMP the shards still
+ * overlap execution, but the single solve runs at the end.
+ */
+struct StreamingOptions
+{
+    /** Execution shards; 1 = synchronous barrier (no overlap). */
+    std::size_t shards = 1;
+
+    /**
+     * FISTA iterations run after each completed shard. The default is
+     * small on purpose: the warm-up chain shares one global lambda
+     * annealing schedule with the final solve, so a few iterations
+     * per shard capture most of the head start, while larger budgets
+     * only pay off when many cores keep the shards in flight long
+     * enough to hide them.
+     */
+    std::size_t warmupIterations = 10;
+};
+
 /** Configuration for an OSCAR reconstruction. */
 struct OscarOptions
 {
@@ -50,12 +86,14 @@ struct OscarOptions
     std::uint64_t seed = 42;
 
     /**
-     * Worker threads for the execution phase (0 = hardware
-     * concurrency). Results are bit-identical for any value: sample
+     * Worker threads for the execution phase. Same convention and
+     * same default as EngineOptions::numThreads: 0 = hardware
+     * concurrency, 1 = serial (the shared serial engine; no threads
+     * spawned). Results are bit-identical for any value: sample
      * selection is untouched and evaluation streams are keyed by
      * submission order, not by thread.
      */
-    int numThreads = 1;
+    int numThreads = 0;
 
     /**
      * Compiled-circuit kernel tuning for the execution phase (prefix
@@ -64,6 +102,18 @@ struct OscarOptions
      * Bit-exact: toggling changes performance, never values.
      */
     KernelOptions kernel;
+
+    /** Execution/reconstruction overlap (off by default). */
+    StreamingOptions streaming;
+
+    /**
+     * Sample-to-device policy of reconstructParallel. FractionSplit
+     * honours the caller's per-device fractions; PrefixPull makes
+     * devices pull same-prefix task groups from a shared queue (each
+     * device's PrefixCache stays hot, loads balance by simulated
+     * speed) and ignores the fractions.
+     */
+    Assignment parallelAssignment = Assignment::FractionSplit;
 };
 
 /** Outcome of an OSCAR reconstruction. */
@@ -82,6 +132,33 @@ struct OscarResult
      * the paper's headline "2x-20x (up to 100x) speedup" metric.
      */
     double querySpeedup = 0.0;
+
+    /**
+     * Execution-phase counters: points completed/cancelled and the
+     * kernel layer's prefix-cache hit/miss/eviction traffic, summed
+     * over every batch the pipeline submitted (all devices in the
+     * multi-QPU path). Makes cache effectiveness observable without a
+     * debugger; purely informational, never affects values.
+     */
+    BatchStats execution;
+};
+
+/**
+ * Engine selection for one pipeline run: use the caller's engine when
+ * provided, otherwise spin up a pool sized by options.numThreads
+ * (1 = borrow the shared serial engine, no threads spawned; 0 =
+ * hardware concurrency, see OscarOptions::numThreads).
+ */
+class PipelineEngine
+{
+  public:
+    PipelineEngine(ExecutionEngine* caller, const OscarOptions& options);
+
+    ExecutionEngine* get() const { return engine_; }
+
+  private:
+    ExecutionEngine* engine_ = nullptr;
+    std::unique_ptr<ExecutionEngine> owned_;
 };
 
 /** Compressed-sensing landscape reconstruction pipelines. */

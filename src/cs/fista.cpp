@@ -20,7 +20,8 @@ softThreshold(double x, double threshold)
 FistaResult
 fistaSolve(const Dct2d& dct, const std::vector<std::size_t>& sample_index,
            const std::vector<double>& sample_value,
-           const FistaOptions& options)
+           const FistaOptions& options, const NdArray* warm_start,
+           double warm_lambda_fraction)
 {
     if (sample_index.size() != sample_value.size())
         throw std::invalid_argument("fistaSolve: index/value size mismatch");
@@ -46,10 +47,27 @@ fistaSolve(const Dct2d& dct, const std::vector<std::size_t>& sample_index,
     if (max_aty == 0.0)
         return {NdArray({nr, nc}), 0, 0.0};
 
-    double lambda = options.lambdaInitFraction * max_aty;
     const double lambda_final = options.lambdaFinalFraction * max_aty;
+    // Cold starts anneal lambda from lambdaInitFraction (continuation
+    // speeds up the early shrinkage). A warm start resumes the
+    // caller's annealing state instead of re-shrinking the iterate:
+    // at the handed-over lambda fraction when given, else directly at
+    // the final objective (the iterate is assumed near-converged).
+    double init_fraction = options.lambdaInitFraction;
+    if (warm_start) {
+        init_fraction = warm_lambda_fraction >= 0.0
+                            ? warm_lambda_fraction
+                            : options.lambdaFinalFraction;
+    }
+    double lambda = std::max(init_fraction * max_aty, lambda_final);
 
     NdArray s({nr, nc});       // current iterate
+    if (warm_start) {
+        if (warm_start->shape() != std::vector<std::size_t>{nr, nc})
+            throw std::invalid_argument(
+                "fistaSolve: warm start shape mismatch");
+        s = *warm_start;
+    }
     NdArray s_prev({nr, nc});  // previous iterate
     NdArray z = s;             // momentum point
     double t = 1.0;
@@ -100,6 +118,7 @@ fistaSolve(const Dct2d& dct, const std::vector<std::size_t>& sample_index,
         }
     }
 
+    result.lambdaFraction = lambda / max_aty;
     result.coefficients = std::move(s);
     return result;
 }

@@ -54,6 +54,15 @@ struct FistaResult
 
     /** Final residual norm ||A s - y||_2. */
     double residualNorm = 0.0;
+
+    /**
+     * Final lambda as a fraction of max |A^T y| -- the continuation
+     * state at exit. Feeding it back as `warm_lambda_fraction`
+     * resumes the annealing schedule where it left off, so a chain of
+     * partial solves (the streaming pipeline's warm-ups) anneals once
+     * globally instead of restarting per phase.
+     */
+    double lambdaFraction = 0.0;
 };
 
 /**
@@ -63,11 +72,26 @@ struct FistaResult
  * @param sample_index flat row-major indices of the measured grid points
  * @param sample_value measured landscape values (same length)
  * @param options      solver configuration
+ * @param warm_start   optional initial coefficient iterate (rows x
+ *                     cols). Used by the streaming reconstruction
+ *                     pipeline to continue from iterations already run
+ *                     on a sample subset while later execution shards
+ *                     were still in flight; momentum restarts from the
+ *                     given point. Null = cold start from zero.
+ * @param warm_lambda_fraction
+ *                     continuation state to resume from (a previous
+ *                     solve's FistaResult::lambdaFraction). Negative =
+ *                     anneal from lambdaInitFraction as usual; with a
+ *                     warm start but no fraction the solve begins at
+ *                     lambdaFinalFraction (the iterate is assumed
+ *                     near-converged).
  */
 FistaResult fistaSolve(const Dct2d& dct,
                        const std::vector<std::size_t>& sample_index,
                        const std::vector<double>& sample_value,
-                       const FistaOptions& options = {});
+                       const FistaOptions& options = {},
+                       const NdArray* warm_start = nullptr,
+                       double warm_lambda_fraction = -1.0);
 
 /** Soft-thresholding operator applied elementwise (exposed for tests). */
 double softThreshold(double x, double threshold);

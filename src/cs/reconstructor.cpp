@@ -28,16 +28,8 @@ reconstructLandscape2d(const std::vector<std::size_t>& shape,
 {
     if (shape.size() != 2)
         throw std::invalid_argument("reconstructLandscape2d: need rank 2");
-    const Dct2d dct(shape[0], shape[1]);
-    NdArray coeffs;
-    if (options.solver == CsSolver::Fista) {
-        coeffs = fistaSolve(dct, sample_index, sample_value, options.fista)
-                     .coefficients;
-    } else {
-        coeffs = ompSolve(dct, sample_index, sample_value, options.omp)
-                     .coefficients;
-    }
-    return dct.inverse(coeffs);
+    return csSolveFolded(shape, sample_index, sample_value, options)
+        .values;
 }
 
 NdArray
@@ -46,12 +38,37 @@ reconstructLandscape(const std::vector<std::size_t>& shape,
                      const std::vector<double>& sample_value,
                      const CsOptions& options)
 {
+    return csSolveFolded(shape, sample_index, sample_value, options)
+        .values;
+}
+
+CsSolveResult
+csSolveFolded(const std::vector<std::size_t>& shape,
+              const std::vector<std::size_t>& sample_index,
+              const std::vector<double>& sample_value,
+              const CsOptions& options, const NdArray* warm_coefficients,
+              double warm_lambda_fraction)
+{
     const auto folded = csFoldedShape(shape);
     // Row-major flattening is invariant under the fold, so the flat
     // sample indices are reused directly.
-    NdArray recon = reconstructLandscape2d(folded, sample_index,
-                                           sample_value, options);
-    return recon.reshape(shape);
+    const Dct2d dct(folded[0], folded[1]);
+    CsSolveResult result;
+    if (options.solver == CsSolver::Fista) {
+        FistaResult solve =
+            fistaSolve(dct, sample_index, sample_value, options.fista,
+                       warm_coefficients, warm_lambda_fraction);
+        result.coefficients = std::move(solve.coefficients);
+        result.iterations = solve.iterations;
+        result.lambdaFraction = solve.lambdaFraction;
+    } else {
+        OmpResult solve = ompSolve(dct, sample_index, sample_value,
+                                   options.omp);
+        result.coefficients = std::move(solve.coefficients);
+        result.iterations = solve.atomsSelected;
+    }
+    result.values = dct.inverse(result.coefficients).reshape(shape);
+    return result;
 }
 
 } // namespace oscar

@@ -59,6 +59,39 @@ NdArray reconstructLandscape(const std::vector<std::size_t>& shape,
                              const std::vector<double>& sample_value,
                              const CsOptions& options = {});
 
+/** A solve that also exposes its coefficient iterate (folded 2-D). */
+struct CsSolveResult
+{
+    /** DCT coefficients in the folded (rows x cols) shape. */
+    NdArray coefficients;
+
+    /** Reconstructed values in the original grid shape. */
+    NdArray values;
+
+    /** Solver iterations executed. */
+    std::size_t iterations = 0;
+
+    /** FISTA continuation state at exit (FistaResult::lambdaFraction). */
+    double lambdaFraction = -1.0;
+};
+
+/**
+ * reconstructLandscape with the solver state exposed, so a caller can
+ * chain solves: the streaming pipeline runs a few FISTA iterations
+ * after each completed execution shard (warm-started from the
+ * previous partial solve's coefficients and continuation state) and
+ * hands the final solve the accumulated iterate. `warm_coefficients`
+ * must be in the folded 2-D shape; warm state is honoured by the
+ * FISTA solver only (OMP rebuilds its support greedily and starts
+ * cold).
+ */
+CsSolveResult csSolveFolded(const std::vector<std::size_t>& shape,
+                            const std::vector<std::size_t>& sample_index,
+                            const std::vector<double>& sample_value,
+                            const CsOptions& options = {},
+                            const NdArray* warm_coefficients = nullptr,
+                            double warm_lambda_fraction = -1.0);
+
 /** The 2-D shape used internally for a given grid shape. */
 std::vector<std::size_t> csFoldedShape(const std::vector<std::size_t>& shape);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 namespace oscar {
@@ -39,53 +40,70 @@ sampleCost(const GridSpec& grid, CostFunction& cost, double fraction,
                       engine);
 }
 
+std::vector<std::size_t>
+prefixSubmissionOrder(const GridSpec& grid, const CostFunction& cost,
+                      const std::vector<std::size_t>& indices)
+{
+    const std::vector<int> hint = cost.batchOrderHint();
+    if (!hint.empty() &&
+        grid.rank() == static_cast<std::size_t>(cost.numParams()))
+        return grid.prefixFriendlyPermutation(indices, hint);
+    std::vector<std::size_t> identity(indices.size());
+    std::iota(identity.begin(), identity.end(), std::size_t{0});
+    return identity;
+}
+
+GridBatch
+submitGridIndices(const GridSpec& grid, CostFunction& cost,
+                  const std::vector<std::size_t>& indices,
+                  ExecutionEngine* engine, SubmitOptions options)
+{
+    for (std::size_t idx : indices) {
+        if (idx >= grid.numPoints())
+            throw std::out_of_range(
+                "submitGridIndices: index out of range");
+    }
+
+    GridBatch batch;
+    batch.perm = prefixSubmissionOrder(grid, cost, indices);
+    // submitGenerated materializes all points before returning, so the
+    // by-reference captures only need to live through this call.
+    batch.handle = ExecutionEngine::engineOr(engine).submitGenerated(
+        cost, indices.size(),
+        [&grid, &indices, &batch](std::size_t i) {
+            return grid.pointAt(indices[batch.perm[i]]);
+        },
+        std::move(options));
+    return batch;
+}
+
+std::vector<double>
+GridBatch::collect()
+{
+    const std::vector<double> ordered = handle.get();
+    std::vector<double> values(ordered.size());
+    for (std::size_t i = 0; i < perm.size(); ++i)
+        values[perm[i]] = ordered[i];
+    return values;
+}
+
 std::vector<double>
 evaluateGridIndices(const GridSpec& grid, CostFunction& cost,
                     const std::vector<std::size_t>& indices,
                     ExecutionEngine* engine)
 {
-    for (std::size_t idx : indices) {
-        if (idx >= grid.numPoints())
-            throw std::out_of_range(
-                "evaluateGridIndices: index out of range");
-    }
-
-    // Submit in the backend's preferred axis-major order so batches of
-    // nearby points share the longest simulation prefix. Only hinted
-    // (deterministic, prefix-cached) backends opt in; the scatter back
-    // to caller order keeps results positional either way.
-    const std::vector<int> hint = cost.batchOrderHint();
-    const bool reorder =
-        !hint.empty() &&
-        grid.rank() == static_cast<std::size_t>(cost.numParams());
-    if (!reorder) {
-        return ExecutionEngine::engineOr(engine).evaluateGenerated(
-            cost, indices.size(), [&grid, &indices](std::size_t i) {
-                return grid.pointAt(indices[i]);
-            });
-    }
-
-    const std::vector<std::size_t> perm =
-        grid.prefixFriendlyPermutation(indices, hint);
-    const std::vector<double> ordered =
-        ExecutionEngine::engineOr(engine).evaluateGenerated(
-            cost, indices.size(),
-            [&grid, &indices, &perm](std::size_t i) {
-                return grid.pointAt(indices[perm[i]]);
-            });
-    std::vector<double> values(indices.size());
-    for (std::size_t i = 0; i < perm.size(); ++i)
-        values[perm[i]] = ordered[i];
-    return values;
+    return submitGridIndices(grid, cost, indices, engine).collect();
 }
 
 SampleSet
 gatherCost(const GridSpec& grid, CostFunction& cost,
            const std::vector<std::size_t>& indices, ExecutionEngine* engine)
 {
+    GridBatch batch = submitGridIndices(grid, cost, indices, engine);
     SampleSet set;
     set.indices = indices;
-    set.values = evaluateGridIndices(grid, cost, indices, engine);
+    set.values = batch.collect();
+    set.stats = batch.handle.stats();
     return set;
 }
 
@@ -113,6 +131,8 @@ gatherLandscape(const Landscape& landscape,
         indices.size(), [&landscape, &indices](std::size_t i) {
             return landscape.value(indices[i]);
         });
+    set.stats.pointsTotal = indices.size();
+    set.stats.pointsCompleted = indices.size();
     return set;
 }
 

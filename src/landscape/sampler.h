@@ -7,6 +7,12 @@
  * to the CS reconstructor. Samplers exist both for live cost functions
  * and for pre-computed landscapes (the hardware-dataset experiments,
  * where the "execution" is a lookup).
+ *
+ * Evaluation goes through the engine's asynchronous submission API:
+ * submitGridIndices() returns an in-flight GridBatch so pipelines can
+ * keep several shards executing while they reconstruct, fit, or
+ * schedule (see Oscar::reconstruct's streaming mode); the synchronous
+ * helpers are the submit-then-collect composition.
  */
 
 #ifndef OSCAR_LANDSCAPE_SAMPLER_H
@@ -29,6 +35,9 @@ struct SampleSet
     std::vector<std::size_t> indices;
     std::vector<double> values;
 
+    /** Execution counters of the batches that produced `values`. */
+    BatchStats stats;
+
     std::size_t size() const { return indices.size(); }
 };
 
@@ -38,6 +47,43 @@ std::size_t sampleCount(const GridSpec& grid, double fraction);
 /** Choose sample indices uniformly without replacement. */
 std::vector<std::size_t> chooseSampleIndices(std::size_t num_points,
                                              double fraction, Rng& rng);
+
+/**
+ * Submission order for `indices` on `cost`: a permutation of positions
+ * into `indices`, prefix-friendly axis-major when the backend
+ * publishes a batch order hint (and its arity matches the grid),
+ * identity otherwise. Submitting in this order maximizes consecutive
+ * points' shared simulation prefix; results are scattered back so the
+ * (index, value) pairing never depends on it.
+ */
+std::vector<std::size_t> prefixSubmissionOrder(
+    const GridSpec& grid, const CostFunction& cost,
+    const std::vector<std::size_t>& indices);
+
+/**
+ * An in-flight asynchronous evaluation of grid indices. Submission
+ * position j evaluates indices[perm[j]]; collect() blocks and returns
+ * values positionally aligned with the original `indices`.
+ */
+struct GridBatch
+{
+    BatchHandle handle;
+    std::vector<std::size_t> perm;
+
+    /** handle.get() scattered back to the caller's index order. */
+    std::vector<double> collect();
+};
+
+/**
+ * Submit `indices` for evaluation as one asynchronous batch in
+ * prefix-friendly submission order. Queries/ordinals are reserved on
+ * `cost` at submission, so interleaving several GridBatches is
+ * deterministic (see engine.h).
+ */
+GridBatch submitGridIndices(const GridSpec& grid, CostFunction& cost,
+                            const std::vector<std::size_t>& indices,
+                            ExecutionEngine* engine = nullptr,
+                            SubmitOptions options = {});
 
 /**
  * Sample a live cost function at `fraction` of the grid points chosen
@@ -52,13 +98,7 @@ SampleSet sampleCost(const GridSpec& grid, CostFunction& cost,
 /**
  * Evaluate a live cost function at specific grid indices as one batch
  * through the engine, returning values positionally aligned with
- * `indices`.
- *
- * When the cost function publishes a batch order hint (a prefix-cached
- * backend), the batch is submitted in prefix-friendly axis-major order
- * — the shared-coordinate structure the backend's checkpoint cache
- * keys on — and the results are scattered back to the caller's order,
- * so the (index, value) pairing is unaffected.
+ * `indices` (submitGridIndices + collect).
  */
 std::vector<double> evaluateGridIndices(
     const GridSpec& grid, CostFunction& cost,
@@ -67,7 +107,8 @@ std::vector<double> evaluateGridIndices(
 
 /**
  * Evaluate a live cost function at specific grid indices as one batch
- * through the engine (evaluateGridIndices wrapped in a SampleSet).
+ * through the engine (evaluateGridIndices wrapped in a SampleSet,
+ * execution stats included).
  */
 SampleSet gatherCost(const GridSpec& grid, CostFunction& cost,
                      const std::vector<std::size_t>& indices,

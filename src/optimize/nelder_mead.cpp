@@ -67,13 +67,40 @@ NelderMead::minimize(CostFunction& cost, const std::vector<double>& initial)
             return p;
         };
 
+        // All four candidate probes depend only on the centroid and
+        // the worst vertex, never on each other's values -- so in
+        // speculative mode they are submitted together before the
+        // branch is decided, and the losers are cancelled.
         const auto reflected = blend(options_.reflection);
-        const double f_reflected = cost.evaluate(reflected);
+        const bool speculate = options_.speculative && engine();
+        BatchHandle h_reflected, h_expanded, h_out, h_in;
+        if (speculate) {
+            SubmitOptions eager;
+            eager.eager = true;
+            h_reflected = engine()->submit(cost, {reflected}, eager);
+            h_expanded = engine()->submit(
+                cost, {blend(options_.reflection * options_.expansion)},
+                eager);
+            h_out = engine()->submit(
+                cost, {blend(options_.reflection * options_.contraction)},
+                eager);
+            h_in = engine()->submit(cost, {blend(-options_.contraction)},
+                                    eager);
+        }
+        const double f_reflected =
+            speculate ? h_reflected.get()[0] : cost.evaluate(reflected);
 
         if (f_reflected < values[best]) {
             const auto expanded =
                 blend(options_.reflection * options_.expansion);
-            const double f_expanded = cost.evaluate(expanded);
+            double f_expanded;
+            if (speculate) {
+                h_out.cancel();
+                h_in.cancel();
+                f_expanded = h_expanded.get()[0];
+            } else {
+                f_expanded = cost.evaluate(expanded);
+            }
             if (f_expanded < f_reflected) {
                 simplex[worst] = expanded;
                 values[worst] = f_expanded;
@@ -83,7 +110,13 @@ NelderMead::minimize(CostFunction& cost, const std::vector<double>& initial)
             }
             continue;
         }
+        if (speculate)
+            h_expanded.cancel();
         if (f_reflected < values[second_worst]) {
+            if (speculate) {
+                h_out.cancel();
+                h_in.cancel();
+            }
             simplex[worst] = reflected;
             values[worst] = f_reflected;
             continue;
@@ -94,7 +127,13 @@ NelderMead::minimize(CostFunction& cost, const std::vector<double>& initial)
         const auto contracted = blend(
             outside ? options_.reflection * options_.contraction
                     : -options_.contraction);
-        const double f_contracted = cost.evaluate(contracted);
+        double f_contracted;
+        if (speculate) {
+            (outside ? h_in : h_out).cancel();
+            f_contracted = (outside ? h_out : h_in).get()[0];
+        } else {
+            f_contracted = cost.evaluate(contracted);
+        }
         const double f_cmp = outside ? f_reflected : values[worst];
         if (f_contracted < f_cmp) {
             simplex[worst] = contracted;

@@ -20,6 +20,26 @@ struct NelderMeadOptions
     double shrink = 0.5;
     std::size_t maxIterations = 400;
     double tolerance = 1e-8;     ///< simplex value spread stop
+
+    /**
+     * Speculative probing (requires setEngine): every iteration
+     * submits the reflection, expansion, and both contraction
+     * candidates as eager asynchronous batches up front -- they all
+     * depend only on the centroid, not on each other's values -- and
+     * cancels the losers once the reflection value picks the branch.
+     * Workers therefore evaluate the possible next steps while the
+     * decision is being made.
+     *
+     * The submission schedule is fixed (4 reserved ordinals per
+     * iteration), so results are bit-identical for any engine thread
+     * count; deterministic backends also match the non-speculative
+     * path exactly. Stochastic backends see different ordinals than
+     * the non-speculative path (documented divergence), and the query
+     * count includes losers that finished before their cancel landed,
+     * so numQueries becomes timing-dependent -- which is why this is
+     * opt-in.
+     */
+    bool speculative = false;
 };
 
 /** Nelder-Mead minimizer. */

@@ -19,18 +19,29 @@ NoiseCompensationModel::trainOnDevices(const GridSpec& grid,
                                        QpuDevice& reference,
                                        QpuDevice& secondary,
                                        double train_fraction, Rng& rng,
-                                       ExecutionEngine* engine)
+                                       ExecutionEngine* engine,
+                                       BatchStats* stats)
 {
     const auto indices =
         chooseSampleIndices(grid.numPoints(), train_fraction, rng);
     if (indices.size() < 2)
         throw std::invalid_argument(
             "NoiseCompensationModel::trainOnDevices: too few samples");
-    const SampleSet ref =
-        gatherCost(grid, *reference.cost, indices, engine);
-    const SampleSet sec =
-        gatherCost(grid, *secondary.cost, indices, engine);
-    return train(sec.values, ref.values);
+    // Both devices' training batches fly at once: the engine overlaps
+    // them on its worker pool instead of idling one device while the
+    // other trains. Values are unchanged (independent evaluators,
+    // device-local submission order).
+    GridBatch ref = submitGridIndices(grid, *reference.cost, indices,
+                                      engine);
+    GridBatch sec = submitGridIndices(grid, *secondary.cost, indices,
+                                      engine);
+    const std::vector<double> ref_values = ref.collect();
+    const std::vector<double> sec_values = sec.collect();
+    if (stats) {
+        *stats += ref.handle.stats();
+        *stats += sec.handle.stats();
+    }
+    return train(sec_values, ref_values);
 }
 
 SampleSet

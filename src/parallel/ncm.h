@@ -43,11 +43,16 @@ class NoiseCompensationModel
     /**
      * Convenience: run `train_fraction` of the grid on both devices
      * and fit (this is the "1% training samples" of the paper). The
-     * training points go through the engine as one batch per device.
+     * training points go through the engine as one asynchronous batch
+     * per device, both in flight together. When `stats` is non-null,
+     * the two batches' execution counters are accumulated into it
+     * (Oscar::reconstructParallel folds them into
+     * OscarResult::execution).
      */
     static NoiseCompensationModel trainOnDevices(
         const GridSpec& grid, QpuDevice& reference, QpuDevice& secondary,
-        double train_fraction, Rng& rng, ExecutionEngine* engine = nullptr);
+        double train_fraction, Rng& rng, ExecutionEngine* engine = nullptr,
+        BatchStats* stats = nullptr);
 
     /** Map one secondary-device value to the reference device. */
     double transform(double value) const { return fit_(value); }

@@ -43,16 +43,26 @@ ParallelRunResult::deviceSamples(std::size_t device) const
     return set;
 }
 
-ParallelRunResult
-runParallelSampling(const GridSpec& grid, std::vector<QpuDevice>& devices,
-                    const std::vector<std::size_t>& indices, Rng& rng,
-                    Assignment how, const std::vector<double>& fractions,
-                    ExecutionEngine* engine)
-{
-    if (devices.empty())
-        throw std::invalid_argument("runParallelSampling: no devices");
+namespace {
 
-    // Assign each sample to a device.
+/** One scheduled execution, in simulated execution order. */
+struct ScheduledTask
+{
+    std::size_t position; ///< position into `indices`
+    std::size_t device;
+    double latency;
+};
+
+/**
+ * Static policies: owner per position, latency drawn serially in
+ * submission order (the legacy interleaved order, kept bit-identical
+ * across engine thread counts and with earlier releases).
+ */
+std::vector<ScheduledTask>
+scheduleStatic(const std::vector<std::size_t>& indices,
+               std::vector<QpuDevice>& devices, Rng& rng, Assignment how,
+               const std::vector<double>& fractions)
+{
     std::vector<std::size_t> owner(indices.size());
     if (how == Assignment::RoundRobin) {
         for (std::size_t i = 0; i < indices.size(); ++i)
@@ -83,46 +93,167 @@ runParallelSampling(const GridSpec& grid, std::vector<QpuDevice>& devices,
         }
     }
 
+    std::vector<ScheduledTask> schedule;
+    schedule.reserve(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        schedule.push_back(
+            {i, owner[i], devices[owner[i]].latency.sample(rng)});
+    return schedule;
+}
+
+/**
+ * Group positions into runs sharing a circuit prefix: consecutive
+ * points of the axis-major submission order that agree on every axis
+ * but the fastest-varying one. Without a usable order hint, fall back
+ * to contiguous blocks sized for a few pulls per device.
+ */
+std::vector<std::vector<std::size_t>>
+prefixGroups(const GridSpec& grid, const QpuDevice& reference,
+             const std::vector<std::size_t>& indices,
+             std::size_t num_devices)
+{
+    std::vector<std::size_t> order(indices.size());
+    std::size_t fastest = 0;
+    bool hinted = false;
+    if (reference.cost) {
+        const std::vector<int> hint = reference.cost->batchOrderHint();
+        if (!hint.empty() &&
+            grid.rank() ==
+                static_cast<std::size_t>(reference.cost->numParams())) {
+            order = grid.prefixFriendlyPermutation(indices, hint);
+            // Effective axis order appends unnamed axes, ascending, as
+            // the fastest digits; the grouping key drops the fastest.
+            std::vector<bool> named(grid.rank(), false);
+            for (int a : hint)
+                named[static_cast<std::size_t>(a)] = true;
+            fastest = static_cast<std::size_t>(hint.back());
+            for (std::size_t a = 0; a < grid.rank(); ++a) {
+                if (!named[a])
+                    fastest = a;
+            }
+            hinted = true;
+        }
+    }
+
+    std::vector<std::vector<std::size_t>> groups;
+    if (!hinted) {
+        // No prefix structure to exploit: contiguous blocks, about
+        // four pulls per device so faster devices can still grab more.
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        const std::size_t block = std::max<std::size_t>(
+            1, (indices.size() + 4 * num_devices - 1) /
+                   (4 * num_devices));
+        for (std::size_t lo = 0; lo < order.size(); lo += block) {
+            const std::size_t hi = std::min(order.size(), lo + block);
+            groups.emplace_back(order.begin() + lo, order.begin() + hi);
+        }
+        return groups;
+    }
+
+    std::vector<std::size_t> prev_key;
+    for (std::size_t pos : order) {
+        std::vector<std::size_t> key = grid.coordsAt(indices[pos]);
+        key.erase(key.begin() + static_cast<std::ptrdiff_t>(fastest));
+        if (groups.empty() || key != prev_key)
+            groups.emplace_back();
+        groups.back().push_back(pos);
+        prev_key = std::move(key);
+    }
+    return groups;
+}
+
+/**
+ * Pull-based scheduling: whenever a device falls idle in simulated
+ * time it pulls the next prefix group off the shared queue. Latency
+ * draws consume `rng` in pull order; the simulation is serial, so the
+ * schedule is deterministic for any engine thread count.
+ */
+std::vector<ScheduledTask>
+schedulePull(const GridSpec& grid,
+             const std::vector<std::size_t>& indices,
+             std::vector<QpuDevice>& devices, Rng& rng)
+{
+    const auto groups =
+        prefixGroups(grid, devices.front(), indices, devices.size());
+    std::vector<double> clock(devices.size(), 0.0);
+    std::vector<ScheduledTask> schedule;
+    schedule.reserve(indices.size());
+    for (const auto& group : groups) {
+        std::size_t d = 0;
+        for (std::size_t k = 1; k < clock.size(); ++k) {
+            if (clock[k] < clock[d])
+                d = k;
+        }
+        for (std::size_t pos : group) {
+            const double latency = devices[d].latency.sample(rng);
+            clock[d] += latency;
+            schedule.push_back({pos, d, latency});
+        }
+    }
+    return schedule;
+}
+
+} // namespace
+
+ParallelRunResult
+runParallelSampling(const GridSpec& grid, std::vector<QpuDevice>& devices,
+                    const std::vector<std::size_t>& indices, Rng& rng,
+                    Assignment how, const std::vector<double>& fractions,
+                    ExecutionEngine* engine)
+{
+    if (devices.empty())
+        throw std::invalid_argument("runParallelSampling: no devices");
+
+    const std::vector<ScheduledTask> schedule =
+        how == Assignment::PrefixPull
+            ? schedulePull(grid, indices, devices, rng)
+            : scheduleStatic(indices, devices, rng, how, fractions);
+
     ParallelRunResult result;
     result.samples.reserve(indices.size());
     result.perDeviceCounts.assign(devices.size(), 0);
 
-    // Latency draws consume `rng` serially in submission order, so the
-    // simulated timing is independent of the engine's thread count.
-    std::vector<double> latency(indices.size());
-    for (std::size_t i = 0; i < indices.size(); ++i)
-        latency[i] = devices[owner[i]].latency.sample(rng);
-
-    // Submit each device's share as one batch to the engine. Values
-    // land positionally, keyed to the device-local submission order.
+    // Submit every device's share as one asynchronous batch, all
+    // in flight together: the engine overlaps the simulated devices'
+    // executions on its worker pool. Values land positionally, keyed
+    // to the device-local submission (= schedule) order.
     std::vector<std::vector<std::size_t>> device_jobs(devices.size());
-    for (std::size_t i = 0; i < indices.size(); ++i)
-        device_jobs[owner[i]].push_back(i);
+    for (const ScheduledTask& task : schedule)
+        device_jobs[task.device].push_back(task.position);
 
-    std::vector<double> values(indices.size());
     ExecutionEngine& eng = ExecutionEngine::engineOr(engine);
+    std::vector<BatchHandle> handles(devices.size());
     for (std::size_t d = 0; d < devices.size(); ++d) {
         const std::vector<std::size_t>& jobs = device_jobs[d];
         if (jobs.empty())
             continue;
-        const std::vector<double> batch = eng.evaluateGenerated(
+        handles[d] = eng.submitGenerated(
             *devices[d].cost, jobs.size(),
             [&grid, &indices, &jobs](std::size_t j) {
                 return grid.pointAt(indices[jobs[j]]);
             });
-        for (std::size_t j = 0; j < jobs.size(); ++j)
-            values[jobs[j]] = batch[j];
+    }
+
+    std::vector<double> values(indices.size());
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+        if (!handles[d].valid())
+            continue;
+        const std::vector<double> batch = handles[d].get();
+        for (std::size_t j = 0; j < device_jobs[d].size(); ++j)
+            values[device_jobs[d][j]] = batch[j];
+        result.execStats += handles[d].stats();
     }
 
     // Each simulated device runs its jobs serially; devices run
-    // concurrently. Completion times replay the submission order.
+    // concurrently. Completion times replay the schedule order.
     std::vector<double> device_clock(devices.size(), 0.0);
-    for (std::size_t i = 0; i < indices.size(); ++i) {
-        const std::size_t d = owner[i];
-        device_clock[d] += latency[i];
-        result.samples.push_back(
-            {indices[i], values[i], d, device_clock[d]});
-        ++result.perDeviceCounts[d];
+    for (const ScheduledTask& task : schedule) {
+        device_clock[task.device] += task.latency;
+        result.samples.push_back({indices[task.position],
+                                  values[task.position], task.device,
+                                  device_clock[task.device]});
+        ++result.perDeviceCounts[task.device];
     }
     result.makespan =
         *std::max_element(device_clock.begin(), device_clock.end());

@@ -3,15 +3,20 @@
  * Parallel sampling scheduler (paper Fig. 7A).
  *
  * OSCAR's samples are independent, so they can run on k QPUs at once.
- * The scheduler assigns sample points to devices and submits each
- * device's share as one batch to the ExecutionEngine (the simulated
- * device still processes one job at a time for *timing* purposes, so
- * completion timestamps and makespans are unchanged). Latency draws
- * are made serially up front in the legacy interleaved order, and
- * evaluation randomness is ordinal-keyed, so a run is bit-identical
- * for any engine thread count. Downstream consumers use the
- * per-sample completion timestamps for makespan/speedup accounting
- * and for eager reconstruction.
+ * The scheduler assigns sample points to devices -- statically
+ * (RoundRobin / FractionSplit) or by a pull-based shared task queue
+ * with prefix-aware placement (PrefixPull) -- and submits every
+ * device's share as one asynchronous batch to the ExecutionEngine, so
+ * all simulated devices execute concurrently on the worker pool (the
+ * simulated device still processes one job at a time for *timing*
+ * purposes, so completion timestamps and makespans are unchanged).
+ *
+ * Determinism: latency draws consume `rng` serially in a fixed order
+ * (submission order for the static policies, pull order for
+ * PrefixPull), and evaluation randomness is ordinal-keyed per device
+ * cost, so a run is bit-identical for any engine thread count.
+ * Downstream consumers use the per-sample completion timestamps for
+ * makespan/speedup accounting and for eager reconstruction.
  */
 
 #ifndef OSCAR_PARALLEL_SCHEDULER_H
@@ -34,6 +39,18 @@ enum class Assignment
     RoundRobin,
     /** First `fractions[d]` share of samples to device d, in order. */
     FractionSplit,
+    /**
+     * Pull-based shared task queue with prefix-aware placement: the
+     * samples are grouped into runs sharing a circuit prefix (the
+     * leading axes of the reference device's batch order hint), and
+     * whenever a device falls idle in simulated time it pulls the next
+     * whole group. Same-prefix points therefore land on the same
+     * device -- each device's PrefixCache stays hot -- while load
+     * balances by actual device speed instead of a static split.
+     * Per-device shares become latency-dependent, so `fractions` is
+     * ignored.
+     */
+    PrefixPull,
 };
 
 /** One executed sample. */
@@ -48,6 +65,7 @@ struct ParallelSample
 /** Result of a parallel sampling run. */
 struct ParallelRunResult
 {
+    /** Executed samples, in simulated execution order. */
     std::vector<ParallelSample> samples;
 
     /** Wall-clock time at which the last sample finished. */
@@ -55,6 +73,9 @@ struct ParallelRunResult
 
     /** Number of samples each device executed. */
     std::vector<std::size_t> perDeviceCounts;
+
+    /** Execution counters summed over every device's batch. */
+    BatchStats execStats;
 
     /** Drop everything finishing after `deadline`. */
     SampleSet retainedBefore(double deadline) const;
@@ -75,8 +96,8 @@ struct ParallelRunResult
  * @param rng       randomness for latency draws
  * @param how       assignment policy
  * @param fractions per-device shares for FractionSplit (must sum ~1)
- * @param engine    execution engine for the per-device batches
- *                  (serial when null)
+ * @param engine    execution engine the per-device batches are
+ *                  submitted to asynchronously (serial when null)
  */
 ParallelRunResult runParallelSampling(
     const GridSpec& grid, std::vector<QpuDevice>& devices,

@@ -1,14 +1,18 @@
 /**
  * @file
- * Tests for the batched ExecutionEngine and the batch/ordinal contract
- * of CostFunction:
+ * Tests for the asynchronous ExecutionEngine and the batch/ordinal
+ * contract of CostFunction:
  *
  *  - evaluateBatch matches per-point evaluate bit for bit on every
  *    backend, including the stochastic ones (ordinal-keyed streams);
- *  - multi-threaded engine execution is bit-identical to serial;
- *  - query counting is atomic and batch-aware;
- *  - the full Oscar::reconstruct pipeline is bit-identical for 1 and
- *    N threads at a fixed seed.
+ *  - submit(...).get() is bit-identical to the serial batch path for
+ *    every backend, any thread count, and any completion order;
+ *  - query counting is atomic and batch-aware; streaming callbacks
+ *    and BatchHandle::stats report every point exactly once;
+ *  - the full Oscar::reconstruct pipeline -- synchronous or
+ *    streaming-overlapped -- is bit-identical for 1 and N threads at
+ *    a fixed seed, as are the multi-QPU scheduler's three assignment
+ *    policies and the speculative Nelder-Mead probes.
  */
 
 #include <gtest/gtest.h>
@@ -34,8 +38,12 @@
 #include "src/interp/multilinear.h"
 #include "src/landscape/sampler.h"
 #include "src/optimize/adam.h"
+#include "src/optimize/nelder_mead.h"
 #include "src/parallel/latency_model.h"
 #include "src/parallel/scheduler.h"
+
+#include <map>
+#include <mutex>
 
 namespace oscar {
 namespace {
@@ -76,8 +84,11 @@ expectScalarBatchThreadedParity(CostFunction& scalar, CostFunction& batch,
 
     const std::vector<double> batched = batch.evaluateBatch(points);
 
+    // The asynchronous acceptance criterion: submit(...).get() on a
+    // 4-thread engine equals the serial batch for every backend.
     ExecutionEngine engine(4);
-    const std::vector<double> pooled = engine.evaluate(threaded, points);
+    const std::vector<double> pooled =
+        engine.submit(threaded, points).get();
 
     ASSERT_EQ(one_by_one.size(), batched.size());
     ASSERT_EQ(one_by_one.size(), pooled.size());
@@ -585,6 +596,395 @@ TEST(Engine, OptimizerWithEngineMatchesSerial)
     EXPECT_EQ(r1.bestValue, r2.bestValue);
     EXPECT_EQ(r1.bestParams, r2.bestParams);
     EXPECT_EQ(r1.numQueries, r2.numQueries);
+}
+
+// ----------------------------------------------------------------
+// Asynchronous submission API
+// ----------------------------------------------------------------
+
+TEST(AsyncEngine, SubmitGetMatchesEvaluate)
+{
+    const Graph g = testGraph();
+    SampledCost a(qaoaCircuit(g, 1), maxcutHamiltonian(g), 128,
+                  NoiseModel{}, 5);
+    SampledCost b(qaoaCircuit(g, 1), maxcutHamiltonian(g), 128,
+                  NoiseModel{}, 5);
+    const auto points = testPoints(24);
+
+    const std::vector<double> reference = a.evaluateBatch(points);
+
+    ExecutionEngine engine(4);
+    BatchHandle handle = engine.submit(b, points);
+    const std::vector<double> async = handle.get();
+    ASSERT_EQ(reference, async);
+    EXPECT_TRUE(handle.done());
+    EXPECT_EQ(b.numQueries(), points.size());
+
+    const BatchStats stats = handle.stats();
+    EXPECT_EQ(stats.pointsTotal, points.size());
+    EXPECT_EQ(stats.pointsCompleted, points.size());
+    EXPECT_EQ(stats.pointsCancelled, 0u);
+
+    // get() is repeatable.
+    EXPECT_EQ(async, handle.get());
+}
+
+TEST(AsyncEngine, OverlappingBatchesAnyCompletionOrder)
+{
+    // Three batches in flight on one stochastic cost, collected in
+    // reverse submission order: ordinals are reserved at submission,
+    // so the concatenated results equal the serial stream regardless
+    // of completion or collection order.
+    const Graph g = testGraph();
+    SampledCost serial(qaoaCircuit(g, 1), maxcutHamiltonian(g), 128,
+                       NoiseModel{}, 17);
+    SampledCost async(qaoaCircuit(g, 1), maxcutHamiltonian(g), 128,
+                      NoiseModel{}, 17);
+
+    const auto all = testPoints(60);
+    const std::vector<std::vector<double>> batches[3] = {
+        {all.begin(), all.begin() + 20},
+        {all.begin() + 20, all.begin() + 40},
+        {all.begin() + 40, all.end()},
+    };
+
+    const std::vector<double> reference = serial.evaluateBatch(all);
+
+    ExecutionEngine engine(4);
+    BatchHandle h0 = engine.submit(async, batches[0]);
+    BatchHandle h1 = engine.submit(async, batches[1]);
+    BatchHandle h2 = engine.submit(async, batches[2]);
+    const std::vector<double> v2 = h2.get();
+    const std::vector<double> v1 = h1.get();
+    const std::vector<double> v0 = h0.get();
+
+    std::vector<double> collected = v0;
+    collected.insert(collected.end(), v1.begin(), v1.end());
+    collected.insert(collected.end(), v2.begin(), v2.end());
+    EXPECT_EQ(reference, collected);
+    EXPECT_EQ(async.numQueries(), all.size());
+}
+
+TEST(AsyncEngine, OnCompleteStreamsEveryPointExactlyOnce)
+{
+    LambdaCost cost(
+        2, [](const std::vector<double>& p) { return p[0] + 2.0 * p[1]; },
+        /*thread_safe=*/true);
+    const auto points = testPoints(64);
+
+    std::mutex seen_mutex;
+    std::map<std::size_t, double> seen;
+    SubmitOptions options;
+    options.onComplete = [&](std::size_t index, double value) {
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        EXPECT_EQ(seen.count(index), 0u) << "duplicate callback";
+        seen[index] = value;
+    };
+
+    ExecutionEngine engine(4);
+    BatchHandle handle = engine.submit(cost, points, options);
+    const std::vector<double> values = handle.get();
+
+    // done() flips only after the last callback returned, so no lock
+    // is needed to inspect the map now.
+    ASSERT_EQ(seen.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(seen.at(i), values[i]);
+}
+
+TEST(AsyncEngine, StatsReportPrefixCacheTraffic)
+{
+    Rng rng(41);
+    const Graph g = random3RegularGraph(6, rng);
+    const GridSpec grid = GridSpec::qaoaP2(3, 4);
+    StatevectorCost cost(qaoaCircuit(g, 2), maxcutHamiltonian(g));
+    const auto points = axisMajorPoints(grid, cost);
+
+    // Serial engine: the batch runs inline on the parent evaluator,
+    // whose own cache counters must match the handle's delta.
+    BatchHandle handle = ExecutionEngine::serial().submit(cost, points);
+    const BatchStats stats = handle.stats(); // pre-wait: may be zero
+    (void)stats;
+    handle.wait();
+    const BatchStats done = handle.stats();
+    EXPECT_EQ(done.pointsCompleted, points.size());
+    EXPECT_GT(done.kernel.cacheLookups, 0u);
+    EXPECT_GT(done.kernel.cacheHits, 0u);
+    EXPECT_EQ(done.kernel.cacheHits, cost.prefixCache().hits());
+    EXPECT_EQ(done.kernel.cacheLookups, cost.prefixCache().lookups());
+
+    // A tiny checkpoint budget forces evictions, and they are visible
+    // through the same stats path.
+    StatevectorCost tiny(qaoaCircuit(g, 2), maxcutHamiltonian(g));
+    KernelOptions small;
+    small.prefixCacheBudgetBytes = 4096;
+    tiny.configureKernel(small);
+    BatchHandle tiny_handle =
+        ExecutionEngine::serial().submit(tiny, points);
+    tiny_handle.wait();
+    EXPECT_GT(tiny_handle.stats().kernel.cacheEvictions, 0u);
+    EXPECT_EQ(tiny_handle.stats().kernel.cacheEvictions,
+              tiny.prefixCache().evictions());
+}
+
+TEST(AsyncEngine, OscarResultSurfacesExecutionStats)
+{
+    const Graph g = testGraph();
+    const GridSpec grid = GridSpec::qaoaP1(16, 24);
+    StatevectorCost cost(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+
+    OscarOptions options;
+    options.samplingFraction = 0.2;
+    options.numThreads = 1;
+    const OscarResult result = Oscar::reconstruct(grid, cost, options);
+    EXPECT_EQ(result.execution.pointsTotal, result.samples.size());
+    EXPECT_EQ(result.execution.pointsCompleted, result.samples.size());
+    EXPECT_GT(result.execution.kernel.cacheLookups, 0u);
+}
+
+TEST(AsyncEngine, StreamingReconstructBitIdenticalAcrossThreadCounts)
+{
+    const Graph g = testGraph();
+    const GridSpec grid = GridSpec::qaoaP1(20, 30);
+
+    OscarOptions serial_options;
+    serial_options.samplingFraction = 0.1;
+    serial_options.seed = 42;
+    serial_options.numThreads = 1;
+    serial_options.streaming.shards = 4;
+    serial_options.streaming.warmupIterations = 10;
+
+    OscarOptions pooled_options = serial_options;
+    pooled_options.numThreads = 4;
+
+    StatevectorCost a(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    StatevectorCost b(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    const OscarResult serial = Oscar::reconstruct(grid, a, serial_options);
+    const OscarResult pooled = Oscar::reconstruct(grid, b, pooled_options);
+    ASSERT_EQ(serial.samples.indices, pooled.samples.indices);
+    ASSERT_EQ(serial.samples.values, pooled.samples.values);
+    for (std::size_t i = 0; i < serial.reconstructed.numPoints(); ++i)
+        EXPECT_EQ(serial.reconstructed.value(i),
+                  pooled.reconstructed.value(i));
+
+    // The measured samples equal the synchronous pipeline's: shards
+    // only re-slice the one global submission order.
+    OscarOptions barrier_options = serial_options;
+    barrier_options.streaming = StreamingOptions{};
+    StatevectorCost c(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    const OscarResult barrier =
+        Oscar::reconstruct(grid, c, barrier_options);
+    EXPECT_EQ(barrier.samples.indices, serial.samples.indices);
+    EXPECT_EQ(barrier.samples.values, serial.samples.values);
+
+    // Stochastic backend: ordinal-keyed streams stay bit-identical
+    // under sharded submission too.
+    {
+        SampledCost sa(qaoaCircuit(g, 1), maxcutHamiltonian(g), 128,
+                       NoiseModel{}, 3);
+        SampledCost sb(qaoaCircuit(g, 1), maxcutHamiltonian(g), 128,
+                       NoiseModel{}, 3);
+        const OscarResult s1 =
+            Oscar::reconstruct(grid, sa, serial_options);
+        const OscarResult s2 =
+            Oscar::reconstruct(grid, sb, pooled_options);
+        ASSERT_EQ(s1.samples.values, s2.samples.values);
+    }
+}
+
+TEST(AsyncEngine, PrefixPullSchedulerDeterministicAndPrefixAware)
+{
+    const Graph g = testGraph();
+    const GridSpec grid = GridSpec::qaoaP1(12, 18);
+
+    auto make_devices = [&] {
+        std::vector<QpuDevice> devices;
+        for (int d = 0; d < 3; ++d) {
+            QpuDevice dev;
+            dev.name = "qpu" + std::to_string(d);
+            dev.cost = std::make_shared<AnalyticQaoaCost>(g);
+            dev.latency = LatencyModel{};
+            devices.push_back(std::move(dev));
+        }
+        return devices;
+    };
+
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < grid.numPoints(); i += 2)
+        indices.push_back(i);
+
+    auto devices_serial = make_devices();
+    Rng rng_serial(77);
+    const ParallelRunResult serial = runParallelSampling(
+        grid, devices_serial, indices, rng_serial,
+        Assignment::PrefixPull);
+
+    auto devices_pooled = make_devices();
+    Rng rng_pooled(77);
+    ExecutionEngine engine(4);
+    const ParallelRunResult pooled = runParallelSampling(
+        grid, devices_pooled, indices, rng_pooled,
+        Assignment::PrefixPull, {}, &engine);
+
+    // Bit-identical for any engine thread count.
+    ASSERT_EQ(serial.samples.size(), pooled.samples.size());
+    EXPECT_EQ(serial.makespan, pooled.makespan);
+    for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+        EXPECT_EQ(serial.samples[i].index, pooled.samples[i].index);
+        EXPECT_EQ(serial.samples[i].value, pooled.samples[i].value);
+        EXPECT_EQ(serial.samples[i].device, pooled.samples[i].device);
+        EXPECT_EQ(serial.samples[i].completionTime,
+                  pooled.samples[i].completionTime);
+    }
+
+    // Every requested index ran exactly once.
+    std::vector<std::size_t> executed;
+    for (const ParallelSample& s : serial.samples)
+        executed.push_back(s.index);
+    std::sort(executed.begin(), executed.end());
+    EXPECT_EQ(executed, indices);
+
+    // Prefix-aware placement: AnalyticQaoaCost's hint is {gamma,
+    // beta}, so all samples sharing a gamma coordinate (one prefix
+    // group) must land on a single device.
+    std::map<std::size_t, std::size_t> device_of_gamma;
+    for (const ParallelSample& s : serial.samples) {
+        const std::size_t gamma = grid.coordsAt(s.index)[1];
+        const auto it = device_of_gamma.find(gamma);
+        if (it == device_of_gamma.end())
+            device_of_gamma[gamma] = s.device;
+        else
+            EXPECT_EQ(it->second, s.device)
+                << "gamma column " << gamma << " split across devices";
+    }
+
+    // And the values equal the static scheduler's (same evaluators,
+    // device-local ordinal streams are deterministic per backend).
+    std::size_t busy_devices = 0;
+    for (std::size_t count : serial.perDeviceCounts)
+        busy_devices += count > 0 ? 1 : 0;
+    EXPECT_GT(busy_devices, 1u) << "pull queue never balanced load";
+}
+
+TEST(AsyncEngine, ReconstructParallelPrefixPullThreadInvariant)
+{
+    const Graph g = testGraph();
+    const GridSpec grid = GridSpec::qaoaP1(16, 20);
+
+    auto make_devices = [&] {
+        std::vector<QpuDevice> devices;
+        for (int d = 0; d < 2; ++d) {
+            QpuDevice dev;
+            dev.name = "qpu" + std::to_string(d);
+            dev.cost = std::make_shared<SampledCost>(
+                qaoaCircuit(g, 1), maxcutHamiltonian(g), 64, NoiseModel{},
+                100 + d);
+            dev.latency = LatencyModel{};
+            devices.push_back(std::move(dev));
+        }
+        return devices;
+    };
+
+    OscarOptions options;
+    options.samplingFraction = 0.15;
+    options.parallelAssignment = Assignment::PrefixPull;
+
+    auto devices_serial = make_devices();
+    Rng rng_serial(5);
+    ExecutionEngine serial_engine(1);
+    const OscarResult serial = Oscar::reconstructParallel(
+        grid, devices_serial, {0.5, 0.5}, false, 0.01, rng_serial,
+        options, &serial_engine);
+
+    auto devices_pooled = make_devices();
+    Rng rng_pooled(5);
+    ExecutionEngine pooled_engine(4);
+    const OscarResult pooled = Oscar::reconstructParallel(
+        grid, devices_pooled, {0.5, 0.5}, false, 0.01, rng_pooled,
+        options, &pooled_engine);
+
+    ASSERT_EQ(serial.samples.indices, pooled.samples.indices);
+    ASSERT_EQ(serial.samples.values, pooled.samples.values);
+    EXPECT_EQ(serial.execution.pointsCompleted,
+              pooled.execution.pointsCompleted);
+}
+
+TEST(AsyncEngine, NelderMeadSpeculativeMatchesPlainOnDeterministicCost)
+{
+    const Graph g = testGraph();
+    StatevectorCost plain_cost(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    StatevectorCost spec_cost(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    StatevectorCost spec_serial_cost(qaoaCircuit(g, 1),
+                                     maxcutHamiltonian(g));
+
+    NelderMeadOptions options;
+    options.maxIterations = 25;
+
+    NelderMead plain(options);
+    const OptimizerResult reference =
+        plain.minimize(plain_cost, {0.2, -0.4});
+
+    // Speculative probes on a pooled engine: same trajectory, same
+    // answer (deterministic backend; ordinals are irrelevant to it).
+    NelderMeadOptions spec_options = options;
+    spec_options.speculative = true;
+    ExecutionEngine engine(4);
+    NelderMead speculative(spec_options);
+    speculative.setEngine(&engine);
+    const OptimizerResult spec =
+        speculative.minimize(spec_cost, {0.2, -0.4});
+    EXPECT_EQ(reference.bestValue, spec.bestValue);
+    EXPECT_EQ(reference.bestParams, spec.bestParams);
+    EXPECT_EQ(reference.path, spec.path);
+
+    // On a serial engine every cancel lands before the loser would
+    // run, so speculation costs exactly zero extra queries.
+    ExecutionEngine serial_engine(1);
+    NelderMead spec_serial(spec_options);
+    spec_serial.setEngine(&serial_engine);
+    const OptimizerResult serial_run =
+        spec_serial.minimize(spec_serial_cost, {0.2, -0.4});
+    EXPECT_EQ(reference.bestValue, serial_run.bestValue);
+    EXPECT_EQ(reference.numQueries, serial_run.numQueries);
+}
+
+TEST(AsyncEngine, ThreadCountDefaultsAreAligned)
+{
+    // One convention everywhere: 0 = hardware concurrency, 1 =
+    // serial; both option structs default to 0.
+    EXPECT_EQ(EngineOptions{}.numThreads, 0);
+    EXPECT_EQ(OscarOptions{}.numThreads, 0);
+
+    const int hardware = ExecutionEngine::resolveThreads(0);
+    EXPECT_GE(hardware, 1);
+    EXPECT_EQ(ExecutionEngine::resolveThreads(3), 3);
+    EXPECT_EQ(ExecutionEngine::resolveThreads(1), 1);
+
+    EXPECT_EQ(ExecutionEngine(EngineOptions{}).numThreads(), hardware);
+    EXPECT_EQ(ExecutionEngine().numThreads(), hardware);
+    EXPECT_EQ(ExecutionEngine::serial().numThreads(), 1);
+}
+
+TEST(AsyncEngine, OscarOptionsRoundTripIntoEngine)
+{
+    // The documented OscarOptions::numThreads -> engine mapping:
+    // caller engine wins; 1 borrows the shared serial engine; k spawns
+    // k threads; 0 spawns hardware concurrency.
+    OscarOptions options;
+
+    ExecutionEngine caller(2);
+    EXPECT_EQ(PipelineEngine(&caller, options).get(), &caller);
+
+    options.numThreads = 1;
+    EXPECT_EQ(PipelineEngine(nullptr, options).get(),
+              &ExecutionEngine::serial());
+
+    options.numThreads = 3;
+    EXPECT_EQ(PipelineEngine(nullptr, options).get()->numThreads(), 3);
+
+    options.numThreads = 0;
+    EXPECT_EQ(PipelineEngine(nullptr, options).get()->numThreads(),
+              ExecutionEngine::resolveThreads(0));
 }
 
 } // namespace

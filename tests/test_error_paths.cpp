@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "src/ansatz/qaoa.h"
 #include "src/ansatz/two_local.h"
@@ -144,6 +146,149 @@ TEST(ErrorPaths, ShotNoiseRejectsZeroShots)
         1, [](const std::vector<double>&) { return 0.0; });
     EXPECT_THROW(ShotNoiseCost(inner, 0, 1.0, 1),
                  std::invalid_argument);
+}
+
+TEST(ErrorPaths, WorkerExceptionPropagatesThroughGet)
+{
+    // A cost that fails on some points: the first worker exception is
+    // rethrown by get(), and the engine stays usable afterwards.
+    auto make_points = [](std::size_t n) {
+        std::vector<std::vector<double>> points;
+        for (std::size_t i = 0; i < n; ++i)
+            points.push_back({static_cast<double>(i)});
+        return points;
+    };
+    LambdaCost fragile(
+        1,
+        [](const std::vector<double>& p) {
+            if (p[0] >= 40.0)
+                throw std::runtime_error("backend exploded");
+            return p[0];
+        },
+        /*thread_safe=*/true);
+
+    ExecutionEngine engine(4);
+    BatchHandle handle = engine.submit(fragile, make_points(64));
+    EXPECT_THROW(handle.get(), std::runtime_error);
+    EXPECT_TRUE(handle.done());
+    EXPECT_LT(handle.stats().pointsCompleted, 64u);
+
+    // Same contract on the inline (serial / non-replicable) path.
+    LambdaCost fragile_serial(1, [](const std::vector<double>& p) {
+        if (p[0] >= 1.0)
+            throw std::runtime_error("backend exploded");
+        return p[0];
+    });
+    BatchHandle inline_handle =
+        engine.submit(fragile_serial, make_points(8));
+    EXPECT_THROW(inline_handle.get(), std::runtime_error);
+
+    // The engine survives both failures.
+    LambdaCost fine(
+        1, [](const std::vector<double>& p) { return 2.0 * p[0]; },
+        /*thread_safe=*/true);
+    const std::vector<double> values =
+        engine.evaluate(fine, make_points(32));
+    for (std::size_t i = 0; i < values.size(); ++i)
+        EXPECT_EQ(values[i], 2.0 * static_cast<double>(i));
+}
+
+TEST(ErrorPaths, ThrowingOnCompleteCallbackFailsBatchSafely)
+{
+    // A throwing streaming callback must fail the batch via get()
+    // without terminating a worker or leaving the handle unfinished.
+    LambdaCost cost(
+        1, [](const std::vector<double>& p) { return p[0]; },
+        /*thread_safe=*/true);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 32; ++i)
+        points.push_back({static_cast<double>(i)});
+
+    SubmitOptions options;
+    options.onComplete = [](std::size_t index, double) {
+        if (index >= 8)
+            throw std::runtime_error("consumer exploded");
+    };
+
+    for (int engine_threads : {1, 4}) {
+        ExecutionEngine engine(engine_threads);
+        BatchHandle handle = engine.submit(cost, points, options);
+        EXPECT_THROW(handle.get(), std::runtime_error);
+        EXPECT_TRUE(handle.done());
+        // The values themselves were computed and charged.
+        EXPECT_EQ(handle.stats().pointsCompleted, points.size());
+        // The engine and further submissions stay healthy.
+        const std::vector<double> ok = engine.evaluate(cost, points);
+        EXPECT_EQ(ok.size(), points.size());
+    }
+}
+
+TEST(ErrorPaths, CancelKeepsQueriesAndStreamsConsistent)
+{
+    auto make_cost = [] {
+        return ShotNoiseCost(
+            std::make_shared<LambdaCost>(
+                1,
+                [](const std::vector<double>& p) { return p[0] * p[0]; },
+                /*thread_safe=*/true),
+            64, 1.0, 99);
+    };
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 8; ++i)
+        points.push_back({0.1 * i});
+    const std::vector<double> probe{0.77};
+
+    // Reference stream: the batch runs to completion, then one more
+    // evaluation consumes ordinal 8.
+    ShotNoiseCost reference = make_cost();
+    reference.evaluateBatch(points);
+    const double reference_value = reference.evaluate(probe);
+    EXPECT_EQ(reference.numQueries(), 9u);
+
+    // Cancelled run: nothing of the batch executes (serial engine,
+    // cancel lands before the deferred inline execution), queries are
+    // refunded, but the 8 ordinals stay consumed -- so the follow-up
+    // evaluation reproduces the reference stream bit for bit.
+    ShotNoiseCost cancelled = make_cost();
+    BatchHandle handle = ExecutionEngine::serial().submit(cancelled,
+                                                          points);
+    EXPECT_TRUE(handle.cancel());
+    EXPECT_FALSE(handle.cancel()) << "second cancel must be a no-op";
+    handle.wait();
+    EXPECT_EQ(handle.stats().pointsCancelled, points.size());
+    EXPECT_EQ(cancelled.numQueries(), 0u);
+    EXPECT_THROW(handle.get(), std::runtime_error);
+
+    EXPECT_EQ(cancelled.evaluate(probe), reference_value);
+    EXPECT_EQ(cancelled.numQueries(), 1u);
+}
+
+TEST(ErrorPaths, DestroyEngineWithOutstandingHandlesDoesNotDeadlock)
+{
+    LambdaCost slow(
+        1,
+        [](const std::vector<double>& p) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            return p[0];
+        },
+        /*thread_safe=*/true);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 64; ++i)
+        points.push_back({static_cast<double>(i)});
+
+    BatchHandle handle;
+    {
+        ExecutionEngine engine(4);
+        handle = engine.submit(slow, points);
+        // Engine dies with the batch (at best) partially executed.
+    }
+    handle.wait(); // must return: destruction retired the batch
+    EXPECT_TRUE(handle.done());
+    const BatchStats stats = handle.stats();
+    EXPECT_EQ(stats.pointsCompleted + stats.pointsCancelled,
+              points.size());
+    // Only executed points stay charged.
+    EXPECT_EQ(slow.numQueries(), stats.pointsCompleted);
 }
 
 TEST(ErrorPaths, GraphGeneratorBoundaries)
