@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/backend/analytic_qaoa.h"
@@ -82,6 +83,77 @@ timeRepeated(int reps, Fn&& fn)
                        : 0.5 * (seconds[mid - 1] + seconds[mid]);
     return stats;
 }
+
+/**
+ * Machine-readable benchmark report: one JSON file of {case, median_s,
+ * min_s, ...} rows, so the perf trajectory of a hot path is diffable
+ * across PRs (bench_engine writes BENCH_kernels.json).
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+    /** Record one case; `extra` rows append as "key": value pairs. */
+    void
+    add(const std::string& name, const TimingStats& timing,
+        std::size_t points,
+        const std::vector<std::pair<std::string, double>>& extra = {})
+    {
+        Case c;
+        c.name = name;
+        c.timing = timing;
+        c.points = points;
+        c.extra = extra;
+        cases_.push_back(std::move(c));
+    }
+
+    /** Write the report; returns false (and warns) on I/O failure. */
+    bool
+    write(const std::string& path) const
+    {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "warning: cannot write %s\n",
+                         path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"cases\": [\n",
+                     bench_.c_str());
+        for (std::size_t i = 0; i < cases_.size(); ++i) {
+            const Case& c = cases_[i];
+            std::fprintf(f,
+                         "    {\"name\": \"%s\", \"median_s\": %.9g, "
+                         "\"min_s\": %.9g, \"reps\": %d, "
+                         "\"points\": %zu, \"points_per_s\": %.9g",
+                         c.name.c_str(), c.timing.median, c.timing.min,
+                         c.timing.reps, c.points,
+                         c.timing.median > 0.0
+                             ? static_cast<double>(c.points) /
+                                   c.timing.median
+                             : 0.0);
+            for (const auto& [key, value] : c.extra)
+                std::fprintf(f, ", \"%s\": %.9g", key.c_str(), value);
+            std::fprintf(f, "}%s\n",
+                         i + 1 < cases_.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        return true;
+    }
+
+  private:
+    struct Case
+    {
+        std::string name;
+        TimingStats timing;
+        std::size_t points = 0;
+        std::vector<std::pair<std::string, double>> extra;
+    };
+
+    std::string bench_;
+    std::vector<Case> cases_;
+};
 
 /** Print a horizontal rule sized to a title. */
 inline void

@@ -26,6 +26,7 @@
  * the engine can only match the serial path.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <thread>
 
@@ -90,6 +91,92 @@ struct SweepCase
         return random3RegularGraph(num_qubits, rng);
     }
 };
+
+/**
+ * Kernel-layer study on the acceptance sweep (axis-major 12q p=2
+ * QAOA): the PR 2 prefix-cached scalar path vs each layer of the
+ * kernel architecture (cache blocking, AVX2 dispatch, batched
+ * diagonal expectation). Runs in both benchmark modes and writes the
+ * machine-readable BENCH_kernels.json (median/min per case) so the
+ * perf trajectory is tracked across PRs.
+ */
+void
+runKernelStudy()
+{
+    constexpr int kStudyReps = 3;
+    const SweepCase sweep(12, 2, GridSpec::qaoaP2(5, 7));
+    const std::size_t num_points = sweep.points.size();
+
+    struct KernelMode
+    {
+        std::string name;
+        KernelOptions options;
+        bool bitExact; ///< must match the scalar reference exactly
+    };
+
+    KernelOptions pr2; // the PR 2 path: scalar kernels, cache only
+    pr2.isa = kernels::KernelIsa::Scalar;
+    pr2.blockWindow = 0;
+    pr2.batchedExpectation = false;
+
+    KernelOptions scalar_full = KernelOptions{};
+    scalar_full.isa = kernels::KernelIsa::Scalar;
+
+    std::vector<KernelMode> modes = {
+        {"pr2 scalar+cache", pr2, true},
+        {"scalar+blocked+batchexp", scalar_full, true},
+    };
+    if (kernels::avx2Available()) {
+        KernelOptions avx2_plain = pr2;
+        avx2_plain.isa = kernels::KernelIsa::Avx2;
+        modes.push_back({"avx2+cache", avx2_plain, false});
+        KernelOptions avx2_full = KernelOptions{};
+        avx2_full.isa = kernels::KernelIsa::Avx2;
+        modes.push_back({"avx2+blocked+batchexp", avx2_full, false});
+    }
+
+    bench::header("kernel layers: p=2 QAOA, 12 qubits, axis-major " +
+                  std::to_string(num_points) +
+                  "-point sweep (median of " +
+                  std::to_string(kStudyReps) + ")");
+    bench::columns("mode", {"pts/s", "median_s", "min_s", "speedup",
+                            "match"});
+
+    bench::JsonReport json("bench_engine/kernels");
+    std::vector<double> reference;
+    double base_median = 0.0;
+    for (const KernelMode& mode : modes) {
+        StatevectorCost cost = sweep.make();
+        std::vector<double> values;
+        const auto timing = bench::timeRepeated(kStudyReps, [&] {
+            cost.configureKernel(mode.options); // cold cache per rep
+            values = cost.evaluateBatch(sweep.points);
+        });
+        if (reference.empty()) {
+            reference = values;
+            base_median = timing.median;
+        }
+        bool match = true;
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            if (mode.bitExact ? values[i] != reference[i]
+                              : std::abs(values[i] - reference[i]) >
+                                    1e-9)
+                match = false;
+        }
+        const double speedup = base_median / timing.median;
+        bench::row(mode.name,
+                   {static_cast<double>(num_points) / timing.median,
+                    timing.median, timing.min, speedup,
+                    match ? 1.0 : 0.0},
+                   " %10.4g");
+        json.add(mode.name, timing, num_points,
+                 {{"speedup_vs_pr2", speedup},
+                  {"match", match ? 1.0 : 0.0}});
+    }
+    std::printf("  (default ISA: %s)\n",
+                kernels::isaName(kernels::defaultKernelTable().isa));
+    json.write("BENCH_kernels.json");
+}
 
 /** Overlap workload: reconstruct options for barrier vs streaming. */
 struct OverlapCase
@@ -398,7 +485,20 @@ BENCHMARK(BM_ReconstructOverlapped)
 } // namespace
 } // namespace oscar
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    // The kernel-layer acceptance study runs in both modes and writes
+    // BENCH_kernels.json for the cross-PR perf trajectory; it runs
+    // first so the report exists regardless of --benchmark_filter.
+    oscar::runKernelStudy();
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}
 
 #else // !OSCAR_HAVE_GBENCH
 
@@ -417,6 +517,10 @@ main()
     // The acceptance sweep: p=2, >= 12 qubits, axis-major order.
     oscar::runSweep(12, 2, oscar::GridSpec::qaoaP2(5, 7));
     oscar::runSweep(16, 1, oscar::GridSpec::qaoaP1(15, 30));
+
+    // Kernel-layer breakdown on the acceptance sweep; also writes
+    // BENCH_kernels.json.
+    oscar::runKernelStudy();
 
     // Async pipeline overlap vs synchronous barrier.
     oscar::runOverlapStudy(14);

@@ -97,6 +97,41 @@ AnalyticQaoaCost::computeGammaFactors(
         out[e] = edgeGammaFactors(e, gamma);
 }
 
+void
+AnalyticQaoaCost::energiesFromFactorsBatch(
+    const double* betas, std::size_t count,
+    const std::vector<EdgeGammaFactors>& factors, double* out) const
+{
+    constexpr std::size_t kStack = 16;
+    double s4b_stack[kStack], s2b_stack[kStack], acc_stack[kStack];
+    std::vector<double> heap;
+    double* s4b = s4b_stack;
+    double* s2b = s2b_stack;
+    double* acc = acc_stack;
+    if (count > kStack) {
+        heap.assign(3 * count, 0.0);
+        s4b = heap.data();
+        s2b = heap.data() + count;
+        acc = heap.data() + 2 * count;
+    }
+    for (std::size_t b = 0; b < count; ++b) {
+        s4b[b] = std::sin(4.0 * betas[b]);
+        s2b[b] = std::sin(2.0 * betas[b]);
+        acc[b] = 0.0;
+    }
+    for (std::size_t e = 0; e < graph_.numEdges(); ++e) {
+        const double w = graph_.edges()[e].weight;
+        for (std::size_t b = 0; b < count; ++b) {
+            const double zz = -(s4b[b] * factors[e].sinGW / 2.0) *
+                                  factors[e].sumUV -
+                              (s2b[b] * s2b[b] / 2.0) * factors[e].diff;
+            acc[b] += (w / 2.0) * (damping_[e] * zz - 1.0);
+        }
+    }
+    for (std::size_t b = 0; b < count; ++b)
+        out[b] = acc[b];
+}
+
 double
 AnalyticQaoaCost::energyFromFactors(
     double beta, const std::vector<EdgeGammaFactors>& factors) const
@@ -172,9 +207,37 @@ AnalyticQaoaCost::evaluateBatchImpl(
     // Deterministic closed form; the gamma factor table is the only
     // shared work. Axis-major batches (gamma slowest) recompute it
     // once per gamma run — including across batch boundaries, since
-    // the memo lives on the instance.
-    for (std::size_t i = 0; i < points.size(); ++i)
-        out[i] = energyFromFactors(points[i][0], factorsFor(points[i][1]));
+    // the memo lives on the instance. Runs of bitwise-equal gammas
+    // additionally fold their betas into one pass over the factor
+    // table (bit-identical to point-by-point evaluation).
+    if (!kernel_.batchedExpectation) {
+        for (std::size_t i = 0; i < points.size(); ++i)
+            out[i] =
+                energyFromFactors(points[i][0], factorsFor(points[i][1]));
+        return;
+    }
+    constexpr std::size_t kMaxRun = 64;
+    double betas[kMaxRun];
+    std::size_t i = 0;
+    while (i < points.size()) {
+        const double gamma = points[i][1];
+        std::size_t j = i;
+        while (j < points.size() && j - i < kMaxRun &&
+               std::bit_cast<std::uint64_t>(points[j][1]) ==
+                   std::bit_cast<std::uint64_t>(gamma)) {
+            betas[j - i] = points[j][0];
+            ++j;
+        }
+        if (j - i < 2) {
+            out[i] = energyFromFactors(points[i][0], factorsFor(gamma));
+            i = i + 1;
+            continue;
+        }
+        energiesFromFactorsBatch(betas, j - i, factorsFor(gamma),
+                                 out + i);
+        batchedPoints_ += j - i;
+        i = j;
+    }
 }
 
 } // namespace oscar

@@ -66,12 +66,17 @@ class AnalyticQaoaCost : public CostFunction
     /**
      * Gamma-memo hit counters, reported in prefix-cache terms (the
      * memo is the closed form's one-entry analogue of a checkpoint
-     * cache; it is never evicted, only replaced).
+     * cache; it is never evicted, only replaced), plus the number of
+     * points folded into batched same-gamma energy passes.
      */
     KernelStats
     kernelStats() const override
     {
-        return {memoHits_, memoLookups_, 0};
+        KernelStats stats;
+        stats.cacheHits = memoHits_;
+        stats.cacheLookups = memoLookups_;
+        stats.batchedExpectationPoints = batchedPoints_;
+        return stats;
     }
 
   protected:
@@ -110,6 +115,18 @@ class AnalyticQaoaCost : public CostFunction
         const;
 
     /**
+     * Batched analogue of energyFromFactors: one pass over the edge
+     * factor table evaluating every beta of a same-gamma run,
+     * out[b] = energyFromFactors(betas[b], factors) bit for bit (the
+     * per-beta accumulation order over edges is unchanged; batching
+     * only shares the factor-table traffic — the closed form's
+     * equivalent of kernels::expectationDiagonalBatch).
+     */
+    void energiesFromFactorsBatch(
+        const double* betas, std::size_t count,
+        const std::vector<EdgeGammaFactors>& factors, double* out) const;
+
+    /**
      * Factor table for `gamma`, memoized on the last distinct gamma
      * (the shared-prefix analogue for the closed form: an axis-major
      * sweep recomputes the table once per gamma row). Value-neutral:
@@ -127,6 +144,7 @@ class AnalyticQaoaCost : public CostFunction
     std::vector<EdgeGammaFactors> memo_;
     std::size_t memoHits_ = 0;
     std::size_t memoLookups_ = 0;
+    std::size_t batchedPoints_ = 0;
 };
 
 } // namespace oscar

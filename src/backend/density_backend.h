@@ -32,6 +32,18 @@ class DensityCost : public CostFunction
     /** Replicable: the density-matrix scratch is per-instance. */
     std::unique_ptr<CostFunction> clone() const override;
 
+    /**
+     * Forward the kernel ISA to the density-matrix simulator (the
+     * cache/blocking knobs have no density-path equivalent: noise
+     * channels interleave per gate, so there is nothing to checkpoint
+     * or block across).
+     */
+    void
+    configureKernel(const KernelOptions& options) override
+    {
+        rho_.setKernelIsa(options.isa);
+    }
+
   protected:
     double evaluateImpl(const std::vector<double>& params,
                         std::uint64_t ordinal) override;

@@ -25,6 +25,7 @@
 #ifndef OSCAR_BACKEND_EXECUTOR_H
 #define OSCAR_BACKEND_EXECUTOR_H
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -34,6 +35,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/quantum/kernels.h"
 
 namespace oscar {
 
@@ -58,6 +60,34 @@ struct KernelOptions
      * checkpoint is one 2^n-amplitude statevector).
      */
     std::size_t prefixCacheBudgetBytes = std::size_t{256} << 20;
+
+    /**
+     * Kernel instruction set. Auto resolves once at startup via CPUID
+     * (AVX2+FMA when available); force Scalar in determinism-sensitive
+     * comparisons against reference values computed with the portable
+     * kernels. Results are bit-identical across batching/threading for
+     * any fixed ISA, but differ between ISAs by rounding.
+     */
+    kernels::KernelIsa isa = kernels::KernelIsa::Auto;
+
+    /**
+     * Cache-blocking window of the compiled-circuit replay, in qubits:
+     * runs of ops confined to (or diagonal above) the low `blockWindow`
+     * qubits execute block-by-block over 2^blockWindow-amplitude
+     * chunks, streaming the statevector once per run instead of once
+     * per gate. -1 = keep the compile-time default, 0 = disable.
+     * Value-neutral for a fixed ISA: blocking reorders whole-block
+     * passes, never the per-amplitude operation sequence.
+     */
+    int blockWindow = -1;
+
+    /**
+     * Evaluate shared-prefix groups of batched points with one fused
+     * pass over the diagonal observable (kernels::
+     * expectationDiagonalBatch). Bit-identical to per-point
+     * evaluation; costs a few scratch statevectors per replica.
+     */
+    bool batchedExpectation = true;
 };
 
 /**
@@ -72,12 +102,32 @@ struct KernelStats
     std::size_t cacheLookups = 0;
     std::size_t cacheEvictions = 0;
 
+    /**
+     * Widest kernel ISA that executed (Scalar for backends without a
+     * kernel layer). Aggregation keeps the maximum, so a mixed fleet
+     * reports the widest ISA that participated.
+     */
+    kernels::KernelIsa isa = kernels::KernelIsa::Scalar;
+
+    /** Cache-blocked replay passes (one per fused op run executed). */
+    std::size_t blockedGroupRuns = 0;
+
+    /** Ops that executed inside a blocked pass. */
+    std::size_t blockedOpsApplied = 0;
+
+    /** Points whose expectation came from a fused batched pass. */
+    std::size_t batchedExpectationPoints = 0;
+
     KernelStats&
     operator+=(const KernelStats& other)
     {
         cacheHits += other.cacheHits;
         cacheLookups += other.cacheLookups;
         cacheEvictions += other.cacheEvictions;
+        isa = std::max(isa, other.isa);
+        blockedGroupRuns += other.blockedGroupRuns;
+        blockedOpsApplied += other.blockedOpsApplied;
+        batchedExpectationPoints += other.batchedExpectationPoints;
         return *this;
     }
 
@@ -88,6 +138,9 @@ struct KernelStats
         a.cacheHits -= b.cacheHits;
         a.cacheLookups -= b.cacheLookups;
         a.cacheEvictions -= b.cacheEvictions;
+        a.blockedGroupRuns -= b.blockedGroupRuns;
+        a.blockedOpsApplied -= b.blockedOpsApplied;
+        a.batchedExpectationPoints -= b.batchedExpectationPoints;
         return a;
     }
 };

@@ -21,7 +21,7 @@ PrefixCache::entryBytes(const Entry& entry)
            entry.key.paramBits.capacity() * sizeof(std::uint64_t);
 }
 
-const std::vector<cplx>*
+const AlignedVector<cplx>*
 PrefixCache::find(const PrefixKey& key)
 {
     ++lookups_;
@@ -34,7 +34,7 @@ PrefixCache::find(const PrefixKey& key)
 }
 
 void
-PrefixCache::insert(const PrefixKey& key, const std::vector<cplx>& amps)
+PrefixCache::insert(const PrefixKey& key, const AlignedVector<cplx>& amps)
 {
     if (index_.count(key))
         return;

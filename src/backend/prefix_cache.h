@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/aligned.h"
 #include "src/quantum/gate.h"
 
 namespace oscar {
@@ -71,13 +72,13 @@ class PrefixCache
      * Look up a checkpoint; returns nullptr on miss. The returned
      * pointer is valid until the next insert/clear.
      */
-    const std::vector<cplx>* find(const PrefixKey& key);
+    const AlignedVector<cplx>* find(const PrefixKey& key);
 
     /**
      * Store a checkpoint (no-op if the key is present or one entry
      * exceeds the whole budget). Evicts LRU entries to fit.
      */
-    void insert(const PrefixKey& key, const std::vector<cplx>& amps);
+    void insert(const PrefixKey& key, const AlignedVector<cplx>& amps);
 
     void clear();
 
@@ -85,7 +86,7 @@ class PrefixCache
     struct Entry
     {
         PrefixKey key;
-        std::vector<cplx> amps;
+        AlignedVector<cplx> amps;
     };
 
     struct KeyHash

@@ -6,9 +6,23 @@
 
 namespace oscar {
 
+namespace {
+
+/** Effective blocking window for a KernelOptions setting. */
+int
+resolvedBlockWindow(const KernelOptions& options, int num_qubits)
+{
+    const int window = options.blockWindow < 0 ? kDefaultBlockWindow
+                                               : options.blockWindow;
+    return window <= 0 ? 0 : std::min(window, num_qubits);
+}
+
+} // namespace
+
 StatevectorCost::StatevectorCost(Circuit circuit, PauliSum hamiltonian)
     : circuit_(std::move(circuit)), compiled_(circuit_),
       hamiltonian_(std::move(hamiltonian)), state_(circuit_.numQubits()),
+      table_(&kernels::kernelTable(kernel_.isa)),
       cache_(kernel_.prefixCacheBudgetBytes)
 {
     if (hamiltonian_.numQubits() != circuit_.numQubits())
@@ -25,6 +39,7 @@ StatevectorCost::StatevectorCost(const StatevectorCost& other)
       compiled_(other.compiled_), levelParams_(other.levelParams_),
       hamiltonian_(other.hamiltonian_), diagonal_(other.diagonal_),
       state_(other.circuit_.numQubits()), kernel_(other.kernel_),
+      table_(&kernels::kernelTable(other.kernel_.isa)),
       cache_(other.kernel_.prefixCacheBudgetBytes)
 {
 }
@@ -40,7 +55,11 @@ StatevectorCost::operator=(const StatevectorCost& other)
     diagonal_ = other.diagonal_;
     state_ = Statevector(other.circuit_.numQubits());
     kernel_ = other.kernel_;
+    table_ = &kernels::kernelTable(other.kernel_.isa);
     cache_.setBudget(other.kernel_.prefixCacheBudgetBytes);
+    replay_ = {};
+    batchedPoints_ = 0;
+    groupScratch_.clear();
     return *this;
 }
 
@@ -55,12 +74,30 @@ StatevectorCost::configureKernel(const KernelOptions& options)
 {
     kernel_ = options;
     cache_.setBudget(options.prefixCacheBudgetBytes);
+    table_ = &kernels::kernelTable(options.isa);
+    const int window = resolvedBlockWindow(options, compiled_.numQubits());
+    if (window != compiled_.blockWindow())
+        compiled_.setBlockWindow(window);
 }
 
 std::vector<int>
 StatevectorCost::batchOrderHint() const
 {
     return compiled_.parameterOrder();
+}
+
+KernelStats
+StatevectorCost::kernelStats() const
+{
+    KernelStats stats;
+    stats.cacheHits = cache_.hits();
+    stats.cacheLookups = cache_.lookups();
+    stats.cacheEvictions = cache_.evictions();
+    stats.isa = table_->isa;
+    stats.blockedGroupRuns = replay_.blockedGroupRuns;
+    stats.blockedOpsApplied = replay_.blockedOpsApplied;
+    stats.batchedExpectationPoints = batchedPoints_;
+    return stats;
 }
 
 const PrefixKey&
@@ -75,51 +112,77 @@ StatevectorCost::keyFor(std::size_t level_index,
     return scratchKey_;
 }
 
-double
-StatevectorCost::evaluatePoint(const std::vector<double>& params)
+void
+StatevectorCost::simulate(const std::vector<double>& params,
+                          AlignedVector<cplx>& amps)
 {
+    const std::size_t dim = state_.dim();
     const auto& levels = compiled_.frontierLevels();
     std::size_t pos = 0;
 
-    if (!kernel_.prefixCache || levels.empty()) {
-        state_.reset();
-        compiled_.runRange(state_.amps().data(), state_.dim(), 0,
-                           compiled_.numOps(), params.data());
-    } else {
-        // Resume from the deepest cached checkpoint whose prefix
-        // parameters match this point bitwise.
-        std::size_t start_level = levels.size();
-        const std::vector<cplx>* checkpoint = nullptr;
-        for (std::size_t l = levels.size(); l-- > 0;) {
-            checkpoint = cache_.find(keyFor(l, params));
-            if (checkpoint) {
-                start_level = l;
-                break;
-            }
-        }
-        if (checkpoint) {
-            state_.amps() = *checkpoint;
-            pos = levels[start_level];
-        } else {
-            state_.reset();
-            start_level = static_cast<std::size_t>(-1);
-        }
-        // Replay the remaining frontier segments, dropping a checkpoint
-        // at each crossed level so later points (and later batches of
-        // the same sweep) can resume there.
-        for (std::size_t l = start_level + 1; l < levels.size(); ++l) {
-            compiled_.runRange(state_.amps().data(), state_.dim(), pos,
-                               levels[l], params.data());
-            pos = levels[l];
-            cache_.insert(keyFor(l, params), state_.amps());
-        }
-        compiled_.runRange(state_.amps().data(), state_.dim(), pos,
-                           compiled_.numOps(), params.data());
-    }
+    auto reset = [&] {
+        amps.assign(dim, cplx(0.0, 0.0));
+        amps[0] = 1.0;
+    };
 
+    if (!kernel_.prefixCache || levels.empty()) {
+        reset();
+        compiled_.runRange(amps.data(), dim, 0, compiled_.numOps(),
+                           params.data(), *table_, &replay_);
+        return;
+    }
+    // Resume from the deepest cached checkpoint whose prefix
+    // parameters match this point bitwise.
+    std::size_t start_level = levels.size();
+    const AlignedVector<cplx>* checkpoint = nullptr;
+    for (std::size_t l = levels.size(); l-- > 0;) {
+        checkpoint = cache_.find(keyFor(l, params));
+        if (checkpoint) {
+            start_level = l;
+            break;
+        }
+    }
+    if (checkpoint) {
+        amps = *checkpoint;
+        pos = levels[start_level];
+    } else {
+        reset();
+        start_level = static_cast<std::size_t>(-1);
+    }
+    // Replay the remaining frontier segments, dropping a checkpoint
+    // at each crossed level so later points (and later batches of
+    // the same sweep) can resume there.
+    for (std::size_t l = start_level + 1; l < levels.size(); ++l) {
+        compiled_.runRange(amps.data(), dim, pos, levels[l],
+                           params.data(), *table_, &replay_);
+        pos = levels[l];
+        cache_.insert(keyFor(l, params), amps);
+    }
+    compiled_.runRange(amps.data(), dim, pos, compiled_.numOps(),
+                       params.data(), *table_, &replay_);
+}
+
+double
+StatevectorCost::evaluatePoint(const std::vector<double>& params)
+{
+    simulate(params, state_.amps());
     if (!diagonal_.empty())
-        return state_.expectationDiagonal(diagonal_);
+        return table_->expectationDiagonal(
+            state_.amps().data(), diagonal_.data(), state_.dim());
     return hamiltonian_.expectation(state_);
+}
+
+std::size_t
+StatevectorCost::maxExpectationGroup() const
+{
+    // A group holds one scratch statevector per point; cap the
+    // footprint at 64 MiB per replica on top of the hard fan-in limit
+    // of the fused kernel pass.
+    constexpr std::size_t kScratchBudget = std::size_t{64} << 20;
+    const std::size_t per_state = state_.dim() * sizeof(cplx);
+    return std::min(kMaxExpectationGroup,
+                    std::max<std::size_t>(std::size_t{1},
+                                          kScratchBudget / per_state));
 }
 
 double
@@ -134,12 +197,47 @@ StatevectorCost::evaluateBatchImpl(
     std::span<const std::vector<double>> points,
     std::uint64_t /*base_ordinal*/, double* out)
 {
-    // Deterministic backend: ordinals are irrelevant, and evaluatePoint
+    // Deterministic backend: ordinals are irrelevant, and simulation
     // is cache-state-independent in value, so the batch is trivially
     // bit-identical to the scalar path. Consecutive points of an
-    // axis-major batch resume from each other's checkpoints.
-    for (std::size_t i = 0; i < points.size(); ++i)
-        out[i] = evaluatePoint(points[i]);
+    // axis-major batch resume from each other's checkpoints; runs of
+    // points that differ only past the deepest checkpoint level are
+    // additionally folded into one fused diagonal-expectation pass
+    // (value-neutral: the per-point accumulation is unchanged).
+    const std::size_t max_group = maxExpectationGroup();
+    if (diagonal_.empty() || !kernel_.batchedExpectation ||
+        max_group < 2) {
+        for (std::size_t i = 0; i < points.size(); ++i)
+            out[i] = evaluatePoint(points[i]);
+        return;
+    }
+    const auto& levels = compiled_.frontierLevels();
+    const std::size_t suffix_level =
+        levels.empty() ? compiled_.numOps() : levels.back();
+    const cplx* group[kMaxExpectationGroup];
+    std::size_t i = 0;
+    while (i < points.size()) {
+        std::size_t j = i + 1;
+        while (j < points.size() && j - i < max_group &&
+               compiled_.sharedPrefixLength(points[i], points[j]) >=
+                   suffix_level)
+            ++j;
+        if (j - i < 2) {
+            out[i] = evaluatePoint(points[i]);
+            i = j;
+            continue;
+        }
+        if (groupScratch_.size() < j - i)
+            groupScratch_.resize(j - i);
+        for (std::size_t m = i; m < j; ++m) {
+            simulate(points[m], groupScratch_[m - i]);
+            group[m - i] = groupScratch_[m - i].data();
+        }
+        table_->expectationDiagonalBatch(group, j - i, diagonal_.data(),
+                                         state_.dim(), out + i);
+        batchedPoints_ += j - i;
+        i = j;
+    }
 }
 
 } // namespace oscar

@@ -4,20 +4,34 @@
  *
  * The circuit is lowered once into a compiled kernel schedule
  * (quantum/compiled_circuit.h); every evaluation replays that schedule
- * instead of re-resolving the gate list. Batches of nearby grid points
- * additionally share simulation work through a prefix cache: the
- * schedule's parameter frontier marks the depths at which a
- * statevector snapshot only depends on the parameters bound so far, so
- * a point whose leading parameters match a cached checkpoint replays
- * only the invalidated suffix.
+ * instead of re-resolving the gate list. Three layers of the kernel
+ * architecture meet here:
+ *
+ *  - ISA dispatch: replay and expectation go through a KernelTable
+ *    selected once at startup (CPUID) or forced via
+ *    KernelOptions::isa;
+ *  - cache blocking: the compiled schedule's blocking plan streams
+ *    runs of compatible ops over L1-sized amplitude blocks;
+ *  - batched diagonal expectation: consecutive batch points that share
+ *    the full simulation prefix up to the deepest checkpoint level are
+ *    simulated into scratch states and folded with one fused pass over
+ *    the diagonal observable (kernels::expectationDiagonalBatch).
+ *
+ * Batches of nearby grid points additionally share simulation work
+ * through a prefix cache: the schedule's parameter frontier marks the
+ * depths at which a statevector snapshot only depends on the
+ * parameters bound so far, so a point whose leading parameters match a
+ * cached checkpoint replays only the invalidated suffix.
  *
  * Determinism: a checkpoint at depth L keyed by the prefix parameter
  * bits is the exact state a from-scratch run of ops [0, L) produces
  * under those values, and replaying the suffix executes the identical
- * kernel sequence. Cache state (and therefore batching, batch order,
- * and thread count) can change performance but never values — the
- * batched path is bit-identical to the scalar path, which
- * tests/test_engine.cpp asserts with the cache on and off.
+ * kernel sequence. Cache state, blocking, expectation batching, batch
+ * order, and thread count can change performance but never values —
+ * for a fixed kernel ISA the batched path is bit-identical to the
+ * scalar path, which tests/test_engine.cpp and tests/test_kernels.cpp
+ * assert. Different ISAs round differently; pin KernelOptions::isa
+ * when comparing against externally computed references.
  */
 
 #ifndef OSCAR_BACKEND_STATEVECTOR_BACKEND_H
@@ -59,12 +73,15 @@ class StatevectorCost : public CostFunction
     /** Checkpoint cache counters (benchmark instrumentation). */
     const PrefixCache& prefixCache() const { return cache_; }
 
-    /** Prefix-cache hit/miss/eviction counters for BatchHandle::stats. */
-    KernelStats
-    kernelStats() const override
-    {
-        return {cache_.hits(), cache_.lookups(), cache_.evictions()};
-    }
+    /** The kernel table this evaluator dispatches through. */
+    const kernels::KernelTable& kernelTable() const { return *table_; }
+
+    /**
+     * Kernel-layer counters for BatchHandle::stats: prefix-cache
+     * traffic, the selected ISA, blocked-pass activity, and the number
+     * of points folded into batched expectation passes.
+     */
+    KernelStats kernelStats() const override;
 
   protected:
     double evaluateImpl(const std::vector<double>& params,
@@ -75,8 +92,25 @@ class StatevectorCost : public CostFunction
                            double* out) override;
 
   private:
-    /** Shared scalar kernel: prefix-cached simulate + expectation. */
+    /** Hard fan-in limit of one fused expectation pass. */
+    static constexpr std::size_t kMaxExpectationGroup = 8;
+
+    /**
+     * Prefix-cached replay of `params` into `amps` (reset + checkpoint
+     * resume + suffix replay). The values written are independent of
+     * cache state and of which buffer is used.
+     */
+    void simulate(const std::vector<double>& params,
+                  AlignedVector<cplx>& amps);
+
+    /** Shared scalar kernel: simulate + expectation on state_. */
     double evaluatePoint(const std::vector<double>& params);
+
+    /**
+     * Largest shared-prefix group folded into one fused expectation
+     * pass (bounded by scratch-memory budget; < 2 disables grouping).
+     */
+    std::size_t maxExpectationGroup() const;
 
     /**
      * Cache key of frontier level `level_index` under `params`,
@@ -94,8 +128,14 @@ class StatevectorCost : public CostFunction
     std::vector<double> diagonal_; // non-empty iff hamiltonian diagonal
     Statevector state_;
     KernelOptions kernel_;
+    const kernels::KernelTable* table_;
     PrefixCache cache_;
     PrefixKey scratchKey_;
+
+    ReplayCounters replay_;
+    std::size_t batchedPoints_ = 0;
+    /** Per-point final states of a fused expectation group. */
+    std::vector<AlignedVector<cplx>> groupScratch_;
 };
 
 } // namespace oscar

@@ -75,6 +75,155 @@ lowerGate(const Gate& gate)
 
 } // namespace
 
+/** Parameter-resolved payload of one op inside a blocked run. */
+struct ResolvedPayload
+{
+    const CompiledOp* op;
+    std::array<cplx, 4> matrix;
+    cplx p0, p1;
+};
+
+namespace {
+
+ResolvedPayload
+resolvePayload(const CompiledOp& op, const double* params)
+{
+    ResolvedPayload r;
+    r.op = &op;
+    switch (op.op) {
+      case KernelOp::Matrix1q:
+        r.matrix = op.paramIndex < 0
+                       ? op.matrix
+                       : gateMatrix1q(op.kind, op.resolvedAngle(params));
+        break;
+      case KernelOp::Diag1q:
+      case KernelOp::PhaseZZ:
+        if (op.paramIndex < 0) {
+            r.p0 = op.phase0;
+            r.p1 = op.phase1;
+        } else {
+            rotationPhases(op.resolvedAngle(params), r.p0, r.p1);
+        }
+        break;
+      default:
+        break; // CX / CZ / Swap carry no payload
+    }
+    return r;
+}
+
+/**
+ * Apply one resolved op to the 2^k-amplitude block at amps[base].
+ * Qubits below k act inside the block (the kernel runs on the block
+ * exactly as it would on the full array); higher qubits are diagonal
+ * by the blockable() contract and resolve against the block's base
+ * index. Per amplitude this performs the identical operation the
+ * unblocked kernel would, so blocking is value-neutral per ISA.
+ */
+void
+applyToBlock(const kernels::KernelTable& t, cplx* blk, std::size_t bs,
+             std::size_t base, const ResolvedPayload& r, int k)
+{
+    const CompiledOp& op = *r.op;
+    switch (op.op) {
+      case KernelOp::Matrix1q:
+        t.matrix1q(blk, bs, op.q0, r.matrix);
+        break;
+      case KernelOp::Diag1q:
+        if (op.q0 < k)
+            t.diag1q(blk, bs, op.q0, r.p0, r.p1);
+        else
+            t.scale(blk, bs, (base >> op.q0) & 1 ? r.p1 : r.p0);
+        break;
+      case KernelOp::CX:
+        if (op.q0 < k)
+            t.cx(blk, bs, op.q0, op.q1);
+        else if ((base >> op.q0) & 1)
+            t.flipBit(blk, bs, op.q1);
+        break;
+      case KernelOp::CZ: {
+        std::size_t lowmask = 0;
+        bool high_set = true;
+        for (const int q : {int(op.q0), int(op.q1)}) {
+            if (q < k)
+                lowmask |= std::size_t{1} << q;
+            else
+                high_set = high_set && ((base >> q) & 1);
+        }
+        if (high_set)
+            t.negateMasked(blk, bs, lowmask);
+        break;
+      }
+      case KernelOp::Swap:
+        t.swapQubits(blk, bs, op.q0, op.q1);
+        break;
+      case KernelOp::PhaseZZ: {
+        const bool a_in = op.q0 < k;
+        const bool b_in = op.q1 < k;
+        if (a_in && b_in) {
+            t.phaseZZ(blk, bs, op.q0, op.q1, r.p0, r.p1);
+        } else if (a_in || b_in) {
+            const int low_q = a_in ? op.q0 : op.q1;
+            const int high_q = a_in ? op.q1 : op.q0;
+            const bool hb = (base >> high_q) & 1;
+            // High bit set flips which low-bit value "agrees".
+            t.diag1q(blk, bs, low_q, hb ? r.p1 : r.p0,
+                     hb ? r.p0 : r.p1);
+        } else {
+            const bool ba = (base >> op.q0) & 1;
+            const bool bb = (base >> op.q1) & 1;
+            t.scale(blk, bs, ba == bb ? r.p0 : r.p1);
+        }
+        break;
+      }
+    }
+}
+
+/** Execute one op over the full array through the kernel table. */
+void
+runOp(const CompiledOp& op, cplx* amps, std::size_t dim,
+      const double* params, const kernels::KernelTable& t)
+{
+    switch (op.op) {
+      case KernelOp::Matrix1q:
+        if (op.paramIndex < 0) {
+            t.matrix1q(amps, dim, op.q0, op.matrix);
+        } else {
+            t.matrix1q(amps, dim, op.q0,
+                       gateMatrix1q(op.kind, op.resolvedAngle(params)));
+        }
+        break;
+      case KernelOp::Diag1q:
+        if (op.paramIndex < 0) {
+            t.diag1q(amps, dim, op.q0, op.phase0, op.phase1);
+        } else {
+            cplx p0, p1;
+            rotationPhases(op.resolvedAngle(params), p0, p1);
+            t.diag1q(amps, dim, op.q0, p0, p1);
+        }
+        break;
+      case KernelOp::CX:
+        t.cx(amps, dim, op.q0, op.q1);
+        break;
+      case KernelOp::CZ:
+        t.cz(amps, dim, op.q0, op.q1);
+        break;
+      case KernelOp::Swap:
+        t.swapQubits(amps, dim, op.q0, op.q1);
+        break;
+      case KernelOp::PhaseZZ:
+        if (op.paramIndex < 0) {
+            t.phaseZZ(amps, dim, op.q0, op.q1, op.phase0, op.phase1);
+        } else {
+            cplx same, diff;
+            rotationPhases(op.resolvedAngle(params), same, diff);
+            t.phaseZZ(amps, dim, op.q0, op.q1, same, diff);
+        }
+        break;
+    }
+}
+
+} // namespace
+
 CompiledCircuit::CompiledCircuit(const Circuit& circuit,
                                  const CompileOptions& options)
     : numQubits_(circuit.numQubits()), numParams_(circuit.numParams())
@@ -134,6 +283,66 @@ CompiledCircuit::CompiledCircuit(const Circuit& circuit,
     }
 
     finalizeFrontier();
+    setBlockWindow(options.blockWindow);
+}
+
+bool
+CompiledCircuit::blockable(const CompiledOp& op, int k)
+{
+    switch (op.op) {
+      case KernelOp::Diag1q:
+      case KernelOp::CZ:
+      case KernelOp::PhaseZZ:
+        // Diagonal in every qubit: high qubits resolve against the
+        // block base, low qubits act inside the block.
+        return true;
+      case KernelOp::Matrix1q:
+        return op.q0 < k;
+      case KernelOp::CX:
+        // Diagonal in the control; the target must stay in-block.
+        return op.q1 < k;
+      case KernelOp::Swap:
+        return op.q0 < k && op.q1 < k;
+    }
+    return false;
+}
+
+void
+CompiledCircuit::setBlockWindow(int window)
+{
+    plan_.clear();
+    blockedGroups_ = 0;
+    blockedOps_ = 0;
+    blockBits_ = window <= 0 ? 0 : std::min(window, numQubits_);
+    if (blockBits_ <= 0 || ops_.empty()) {
+        blockBits_ = 0;
+        return;
+    }
+    const int k = blockBits_;
+    // Greedy segmentation: maximal runs of >= 2 blockable ops become
+    // fused passes; everything else collects into plain segments.
+    std::size_t i = 0;
+    while (i < ops_.size()) {
+        std::size_t j = i;
+        while (j < ops_.size() && blockable(ops_[j], k))
+            ++j;
+        if (j - i >= 2) {
+            plan_.push_back({static_cast<std::uint32_t>(i),
+                             static_cast<std::uint32_t>(j), true});
+            ++blockedGroups_;
+            blockedOps_ += j - i;
+            i = j;
+            continue;
+        }
+        std::size_t e = std::max(j, i + 1);
+        while (e < ops_.size() &&
+               !(blockable(ops_[e], k) && e + 1 < ops_.size() &&
+                 blockable(ops_[e + 1], k)))
+            ++e;
+        plan_.push_back({static_cast<std::uint32_t>(i),
+                         static_cast<std::uint32_t>(e), false});
+        i = e;
+    }
 }
 
 void
@@ -200,51 +409,73 @@ CompiledCircuit::sharedPrefixLength(const std::vector<double>& a,
 }
 
 void
+CompiledCircuit::runBlocked(cplx* amps, std::size_t dim,
+                            std::size_t begin, std::size_t end,
+                            const double* params,
+                            const kernels::KernelTable& table) const
+{
+    const int k = blockBits_;
+    const std::size_t bs = std::size_t{1} << k;
+    // Resolve payloads in bounded chunks (stack-local, keeps runRange
+    // thread-safe), then stream the statevector once per chunk,
+    // applying every op of the chunk while each block is cache-hot.
+    constexpr std::size_t kOpChunk = 24;
+    ResolvedPayload resolved[kOpChunk];
+    for (std::size_t cb = begin; cb < end; cb += kOpChunk) {
+        const std::size_t n = std::min(kOpChunk, end - cb);
+        for (std::size_t j = 0; j < n; ++j)
+            resolved[j] = resolvePayload(ops_[cb + j], params);
+        for (std::size_t base = 0; base < dim; base += bs) {
+            cplx* blk = amps + base;
+            for (std::size_t j = 0; j < n; ++j)
+                applyToBlock(table, blk, bs, base, resolved[j], k);
+        }
+    }
+}
+
+void
+CompiledCircuit::runRange(cplx* amps, std::size_t dim, std::size_t begin,
+                          std::size_t end, const double* params,
+                          const kernels::KernelTable& table,
+                          ReplayCounters* counters) const
+{
+    if (begin >= end)
+        return;
+    // Blocking requires the block to divide the array (callers with
+    // dim != 2^numQubits, if any, degrade to the plain loop).
+    const bool use_plan = blockBits_ > 0 && !plan_.empty() &&
+                          (std::size_t{1} << blockBits_) <= dim;
+    if (!use_plan) {
+        for (std::size_t k = begin; k < end; ++k)
+            runOp(ops_[k], amps, dim, params, table);
+        return;
+    }
+    for (const PlanSegment& seg : plan_) {
+        if (seg.end <= begin)
+            continue;
+        if (seg.begin >= end)
+            break;
+        const std::size_t lo = std::max<std::size_t>(seg.begin, begin);
+        const std::size_t hi = std::min<std::size_t>(seg.end, end);
+        if (seg.blocked && hi - lo >= 2) {
+            runBlocked(amps, dim, lo, hi, params, table);
+            if (counters) {
+                ++counters->blockedGroupRuns;
+                counters->blockedOpsApplied += hi - lo;
+            }
+        } else {
+            for (std::size_t k = lo; k < hi; ++k)
+                runOp(ops_[k], amps, dim, params, table);
+        }
+    }
+}
+
+void
 CompiledCircuit::runRange(cplx* amps, std::size_t dim, std::size_t begin,
                           std::size_t end, const double* params) const
 {
-    for (std::size_t k = begin; k < end; ++k) {
-        const CompiledOp& op = ops_[k];
-        switch (op.op) {
-          case KernelOp::Matrix1q:
-            if (op.paramIndex < 0) {
-                kernels::matrix1q(amps, dim, op.q0, op.matrix);
-            } else {
-                kernels::matrix1q(
-                    amps, dim, op.q0,
-                    gateMatrix1q(op.kind, op.resolvedAngle(params)));
-            }
-            break;
-          case KernelOp::Diag1q:
-            if (op.paramIndex < 0) {
-                kernels::diag1q(amps, dim, op.q0, op.phase0, op.phase1);
-            } else {
-                cplx p0, p1;
-                rotationPhases(op.resolvedAngle(params), p0, p1);
-                kernels::diag1q(amps, dim, op.q0, p0, p1);
-            }
-            break;
-          case KernelOp::CX:
-            kernels::cx(amps, dim, op.q0, op.q1);
-            break;
-          case KernelOp::CZ:
-            kernels::cz(amps, dim, op.q0, op.q1);
-            break;
-          case KernelOp::Swap:
-            kernels::swapQubits(amps, dim, op.q0, op.q1);
-            break;
-          case KernelOp::PhaseZZ:
-            if (op.paramIndex < 0) {
-                kernels::phaseZZ(amps, dim, op.q0, op.q1, op.phase0,
-                                 op.phase1);
-            } else {
-                cplx same, diff;
-                rotationPhases(op.resolvedAngle(params), same, diff);
-                kernels::phaseZZ(amps, dim, op.q0, op.q1, same, diff);
-            }
-            break;
-        }
-    }
+    runRange(amps, dim, begin, end, params,
+             kernels::defaultKernelTable());
 }
 
 void

@@ -35,10 +35,18 @@
 
 #include "src/quantum/circuit.h"
 #include "src/quantum/gate.h"
+#include "src/quantum/kernels.h"
 
 namespace oscar {
 
 class Statevector;
+
+/**
+ * Default cache-blocking window in qubits: 2^10 amplitudes = 16 KiB of
+ * complex<double>, which leaves room in a 32-48 KiB L1d for the block
+ * plus payloads while still amortizing the loop overhead.
+ */
+inline constexpr int kDefaultBlockWindow = 10;
 
 /** Lowering options. */
 struct CompileOptions
@@ -49,6 +57,17 @@ struct CompileOptions
      * (per-gate noise channels).
      */
     bool fuse1q = true;
+
+    /**
+     * Cache-blocking window in qubits (0 disables; clamped to the
+     * circuit width). Runs of consecutive ops that are confined to the
+     * low `blockWindow` qubits — or diagonal in every higher qubit
+     * they touch — are replayed block-by-block over
+     * 2^blockWindow-amplitude chunks, so a run streams the statevector
+     * once instead of once per op. Value-neutral for a fixed kernel
+     * ISA: per amplitude, the operation sequence is unchanged.
+     */
+    int blockWindow = kDefaultBlockWindow;
 };
 
 /** Kernel selector for one compiled op (see quantum/kernels.h). */
@@ -90,6 +109,19 @@ struct CompiledOp
     {
         return paramIndex < 0 ? angle : angle + coeff * params[paramIndex];
     }
+};
+
+/**
+ * Counters of one or more replay calls (blocked-pass activity).
+ * Aggregated by the backends into CostFunction::kernelStats.
+ */
+struct ReplayCounters
+{
+    /** Blocked whole-run executions (one per fused pass). */
+    std::size_t blockedGroupRuns = 0;
+
+    /** Ops that executed inside a blocked pass. */
+    std::size_t blockedOpsApplied = 0;
 };
 
 /** A Circuit lowered to a flat kernel schedule. */
@@ -148,11 +180,41 @@ class CompiledCircuit
                                    const std::vector<double>& b) const;
 
     /**
+     * Rebuild the blocking plan for a new window (see
+     * CompileOptions::blockWindow; 0 disables). Cheap — one linear
+     * scan of the schedule — but not thread-safe against concurrent
+     * replays of the same instance.
+     */
+    void setBlockWindow(int window);
+
+    /** Effective blocking window in qubits (0 when disabled). */
+    int blockWindow() const { return blockBits_; }
+
+    /** Blocked runs in the plan (fused multi-op passes). */
+    std::size_t numBlockedGroups() const { return blockedGroups_; }
+
+    /** Ops covered by blocked runs. */
+    std::size_t blockedOpCount() const { return blockedOps_; }
+
+    /**
      * Replay ops [begin, end) onto a raw amplitude array of length
      * `dim` (2^numQubits for a statevector). `params` may be null for
      * a parameter-free schedule. Thread-safe and const: parameterized
      * payloads are resolved into locals.
+     *
+     * Kernels dispatch through `table` (the process default when
+     * omitted); `counters`, when given, accumulates blocked-pass
+     * activity. For any fixed table, the values written are
+     * independent of the blocking plan and of how [begin, end) is
+     * segmented across calls — the per-amplitude operation sequence
+     * never changes.
      */
+    void runRange(cplx* amps, std::size_t dim, std::size_t begin,
+                  std::size_t end, const double* params,
+                  const kernels::KernelTable& table,
+                  ReplayCounters* counters = nullptr) const;
+
+    /** runRange through the process-default kernel table. */
     void runRange(cplx* amps, std::size_t dim, std::size_t begin,
                   std::size_t end, const double* params) const;
 
@@ -163,7 +225,28 @@ class CompiledCircuit
     void run(Statevector& state) const;
 
   private:
+    /**
+     * One entry of the blocking plan: a contiguous op range replayed
+     * either op-by-op (blocked = false) or block-by-block as a fused
+     * pass (blocked = true; every op in the range is block-local or
+     * diagonal above the window).
+     */
+    struct PlanSegment
+    {
+        std::uint32_t begin;
+        std::uint32_t end;
+        bool blocked;
+    };
+
     void finalizeFrontier();
+
+    /** True when `op` can join a blocked run under window `k`. */
+    static bool blockable(const CompiledOp& op, int k);
+
+    /** Execute ops [begin, end) of a blocked run block-by-block. */
+    void runBlocked(cplx* amps, std::size_t dim, std::size_t begin,
+                    std::size_t end, const double* params,
+                    const kernels::KernelTable& table) const;
 
     int numQubits_ = 0;
     int numParams_ = 0;
@@ -172,6 +255,11 @@ class CompiledCircuit
     std::vector<CompiledOp> ops_;
     std::vector<std::size_t> firstUse_; ///< per param, numOps() if unused
     std::vector<std::size_t> frontier_;
+
+    int blockBits_ = 0; ///< effective window, 0 = blocking off
+    std::size_t blockedGroups_ = 0;
+    std::size_t blockedOps_ = 0;
+    std::vector<PlanSegment> plan_;
 };
 
 } // namespace oscar

@@ -21,7 +21,7 @@ conjugate(const std::array<cplx, 4>& m)
 } // namespace
 
 DensityMatrix::DensityMatrix(int num_qubits)
-    : numQubits_(num_qubits)
+    : numQubits_(num_qubits), table_(&kernels::defaultKernelTable())
 {
     if (num_qubits < 1 || num_qubits > 13)
         throw std::invalid_argument(
@@ -45,42 +45,47 @@ DensityMatrix::element(std::size_t row, std::size_t col) const
 }
 
 void
+DensityMatrix::setKernelIsa(kernels::KernelIsa isa)
+{
+    table_ = &kernels::kernelTable(isa);
+}
+
+void
 DensityMatrix::apply1qBoth(int qubit, const std::array<cplx, 4>& m)
 {
-    kernels::matrix1q(data_.data(), data_.size(), qubit, m);
-    kernels::matrix1q(data_.data(), data_.size(), qubit + numQubits_,
-                      conjugate(m));
+    table_->matrix1q(data_.data(), data_.size(), qubit, m);
+    table_->matrix1q(data_.data(), data_.size(), qubit + numQubits_,
+                     conjugate(m));
 }
 
 void
 DensityMatrix::applyGate(const Gate& gate)
 {
     assert(gate.paramIndex < 0 && "gate angle must be resolved");
+    const kernels::KernelTable& t = *table_;
     cplx* d = data_.data();
     const std::size_t dim = data_.size();
     const int n = numQubits_;
     switch (gate.kind) {
       case GateKind::CX:
-        kernels::cx(d, dim, gate.qubits[0], gate.qubits[1]);
-        kernels::cx(d, dim, gate.qubits[0] + n, gate.qubits[1] + n);
+        t.cx(d, dim, gate.qubits[0], gate.qubits[1]);
+        t.cx(d, dim, gate.qubits[0] + n, gate.qubits[1] + n);
         return;
       case GateKind::CZ:
-        kernels::cz(d, dim, gate.qubits[0], gate.qubits[1]);
-        kernels::cz(d, dim, gate.qubits[0] + n, gate.qubits[1] + n);
+        t.cz(d, dim, gate.qubits[0], gate.qubits[1]);
+        t.cz(d, dim, gate.qubits[0] + n, gate.qubits[1] + n);
         return;
       case GateKind::SWAP:
-        kernels::swapQubits(d, dim, gate.qubits[0], gate.qubits[1]);
-        kernels::swapQubits(d, dim, gate.qubits[0] + n,
-                            gate.qubits[1] + n);
+        t.swapQubits(d, dim, gate.qubits[0], gate.qubits[1]);
+        t.swapQubits(d, dim, gate.qubits[0] + n, gate.qubits[1] + n);
         return;
       case GateKind::RZZ: {
         const cplx same = std::exp(cplx(0.0, -gate.angle / 2));
         const cplx diff = std::exp(cplx(0.0, gate.angle / 2));
-        kernels::phaseZZ(d, dim, gate.qubits[0], gate.qubits[1], same,
-                         diff);
+        t.phaseZZ(d, dim, gate.qubits[0], gate.qubits[1], same, diff);
         // conj(RZZ(theta)) = RZZ(-theta)
-        kernels::phaseZZ(d, dim, gate.qubits[0] + n, gate.qubits[1] + n,
-                         std::conj(same), std::conj(diff));
+        t.phaseZZ(d, dim, gate.qubits[0] + n, gate.qubits[1] + n,
+                  std::conj(same), std::conj(diff));
         return;
       }
       default:
@@ -92,6 +97,7 @@ DensityMatrix::applyGate(const Gate& gate)
 void
 DensityMatrix::applyOp(const CompiledOp& op, double resolved_angle)
 {
+    const kernels::KernelTable& t = *table_;
     cplx* d = data_.data();
     const std::size_t dim = data_.size();
     const int n = numQubits_;
@@ -109,21 +115,21 @@ DensityMatrix::applyOp(const CompiledOp& op, double resolved_angle)
             p0 = std::exp(cplx(0.0, -resolved_angle / 2));
             p1 = std::exp(cplx(0.0, resolved_angle / 2));
         }
-        kernels::diag1q(d, dim, op.q0, p0, p1);
-        kernels::diag1q(d, dim, op.q0 + n, std::conj(p0), std::conj(p1));
+        t.diag1q(d, dim, op.q0, p0, p1);
+        t.diag1q(d, dim, op.q0 + n, std::conj(p0), std::conj(p1));
         return;
       }
       case KernelOp::CX:
-        kernels::cx(d, dim, op.q0, op.q1);
-        kernels::cx(d, dim, op.q0 + n, op.q1 + n);
+        t.cx(d, dim, op.q0, op.q1);
+        t.cx(d, dim, op.q0 + n, op.q1 + n);
         return;
       case KernelOp::CZ:
-        kernels::cz(d, dim, op.q0, op.q1);
-        kernels::cz(d, dim, op.q0 + n, op.q1 + n);
+        t.cz(d, dim, op.q0, op.q1);
+        t.cz(d, dim, op.q0 + n, op.q1 + n);
         return;
       case KernelOp::Swap:
-        kernels::swapQubits(d, dim, op.q0, op.q1);
-        kernels::swapQubits(d, dim, op.q0 + n, op.q1 + n);
+        t.swapQubits(d, dim, op.q0, op.q1);
+        t.swapQubits(d, dim, op.q0 + n, op.q1 + n);
         return;
       case KernelOp::PhaseZZ: {
         cplx same = op.phase0, diff = op.phase1;
@@ -131,9 +137,9 @@ DensityMatrix::applyOp(const CompiledOp& op, double resolved_angle)
             same = std::exp(cplx(0.0, -resolved_angle / 2));
             diff = std::exp(cplx(0.0, resolved_angle / 2));
         }
-        kernels::phaseZZ(d, dim, op.q0, op.q1, same, diff);
-        kernels::phaseZZ(d, dim, op.q0 + n, op.q1 + n, std::conj(same),
-                         std::conj(diff));
+        t.phaseZZ(d, dim, op.q0, op.q1, same, diff);
+        t.phaseZZ(d, dim, op.q0 + n, op.q1 + n, std::conj(same),
+                  std::conj(diff));
         return;
       }
     }

@@ -24,6 +24,7 @@
 #include <complex>
 #include <vector>
 
+#include "src/common/aligned.h"
 #include "src/quantum/circuit.h"
 #include "src/quantum/compiled_circuit.h"
 #include "src/quantum/noise_model.h"
@@ -94,12 +95,22 @@ class DensityMatrix
     /** Diagonal of rho: the measurement probability distribution. */
     std::vector<double> probabilities() const;
 
+    /**
+     * Force a kernel instruction set (Auto = re-resolve the process
+     * default). The unitary halves of every channel application go
+     * through the same ISA-dispatched kernel table the state-vector
+     * path uses; depolarizing channels are exact averaging loops and
+     * stay scalar.
+     */
+    void setKernelIsa(kernels::KernelIsa isa);
+
   private:
     void apply1qBoth(int qubit, const std::array<cplx, 4>& m);
     void applyOp(const CompiledOp& op, double resolved_angle);
 
     int numQubits_;
-    std::vector<cplx> data_; // 4^n amplitudes, see file comment
+    const kernels::KernelTable* table_;
+    AlignedVector<cplx> data_; // 4^n amplitudes, see file comment
 };
 
 } // namespace oscar

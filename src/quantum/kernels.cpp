@@ -1,6 +1,9 @@
 #include "src/quantum/kernels.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <utility>
+#include <vector>
 
 namespace oscar {
 namespace kernels {
@@ -79,6 +82,161 @@ phaseZZ(cplx* amps, std::size_t dim, int a, int b, cplx same, cplx diff)
         const bool bb = i & bmask;
         amps[i] *= (ba == bb) ? same : diff;
     }
+}
+
+void
+scale(cplx* amps, std::size_t dim, cplx factor)
+{
+    for (std::size_t i = 0; i < dim; ++i)
+        amps[i] *= factor;
+}
+
+void
+negateMasked(cplx* amps, std::size_t dim, std::size_t mask)
+{
+    for (std::size_t i = 0; i < dim; ++i) {
+        if ((i & mask) == mask)
+            amps[i] = -amps[i];
+    }
+}
+
+void
+flipBit(cplx* amps, std::size_t dim, int target)
+{
+    const std::size_t tmask = std::size_t{1} << target;
+    for (std::size_t i = 0; i < dim; ++i) {
+        if (!(i & tmask))
+            std::swap(amps[i], amps[i | tmask]);
+    }
+}
+
+double
+expectationDiagonal(const cplx* amps, const double* diag, std::size_t dim)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim; ++i)
+        acc += std::norm(amps[i]) * diag[i];
+    return acc;
+}
+
+void
+expectationDiagonalBatch(const cplx* const* states, std::size_t count,
+                         const double* diag, std::size_t dim, double* out)
+{
+    if (count == 0)
+        return;
+    if (count == 1) {
+        out[0] = expectationDiagonal(states[0], diag, dim);
+        return;
+    }
+    // One pass over diag, but each state's accumulator adds terms in
+    // the same index order as the single-state kernel above, so
+    // out[s] is bit-identical to expectationDiagonal(states[s], ...).
+    std::vector<double> acc(count, 0.0);
+    for (std::size_t i = 0; i < dim; ++i) {
+        const double d = diag[i];
+        for (std::size_t s = 0; s < count; ++s)
+            acc[s] += std::norm(states[s][i]) * d;
+    }
+    std::memcpy(out, acc.data(), count * sizeof(double));
+}
+
+// ---------------------------------------------------------------------
+// ISA dispatch
+// ---------------------------------------------------------------------
+
+namespace detail {
+
+/**
+ * Defined in kernels_avx2.cpp: the AVX2+FMA table when the build
+ * enables it (OSCAR_HAVE_AVX2), nullptr otherwise.
+ */
+const KernelTable* avx2KernelTableOrNull();
+
+} // namespace detail
+
+const char*
+isaName(KernelIsa isa)
+{
+    switch (isa) {
+      case KernelIsa::Scalar:
+        return "scalar";
+      case KernelIsa::Avx2:
+        return "avx2";
+      case KernelIsa::Auto:
+        return "auto";
+    }
+    return "unknown";
+}
+
+const KernelTable&
+scalarKernelTable()
+{
+    static const KernelTable table = [] {
+        KernelTable t;
+        t.isa = KernelIsa::Scalar;
+        t.matrix1q = &matrix1q;
+        t.diag1q = &diag1q;
+        t.cx = &cx;
+        t.cz = &cz;
+        t.swapQubits = &swapQubits;
+        t.phaseZZ = &phaseZZ;
+        t.scale = &scale;
+        t.negateMasked = &negateMasked;
+        t.flipBit = &flipBit;
+        t.expectationDiagonalBatch = &expectationDiagonalBatch;
+        return t;
+    }();
+    return table;
+}
+
+namespace {
+
+bool
+cpuHasAvx2Fma()
+{
+#if defined(__x86_64__) || defined(_M_X64)
+    return __builtin_cpu_supports("avx2") &&
+           __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+bool
+avx2Available()
+{
+    static const bool available =
+        detail::avx2KernelTableOrNull() != nullptr && cpuHasAvx2Fma();
+    return available;
+}
+
+const KernelTable&
+kernelTable(KernelIsa isa)
+{
+    if (isa == KernelIsa::Auto)
+        return defaultKernelTable();
+    if (isa == KernelIsa::Avx2 && avx2Available())
+        return *detail::avx2KernelTableOrNull();
+    return scalarKernelTable();
+}
+
+const KernelTable&
+defaultKernelTable()
+{
+    static const KernelTable& table = [&]() -> const KernelTable& {
+        if (const char* env = std::getenv("OSCAR_KERNEL_ISA")) {
+            if (std::strcmp(env, "scalar") == 0)
+                return scalarKernelTable();
+            if (std::strcmp(env, "avx2") == 0)
+                return kernelTable(KernelIsa::Avx2);
+        }
+        return avx2Available() ? *detail::avx2KernelTableOrNull()
+                               : scalarKernelTable();
+    }();
+    return table;
 }
 
 } // namespace kernels

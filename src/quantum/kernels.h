@@ -1,6 +1,6 @@
 /**
  * @file
- * Free gate-application kernels on raw amplitude arrays.
+ * ISA-dispatched gate-application kernels on raw amplitude arrays.
  *
  * These are the innermost loops of every dense simulation in the
  * library. They operate on a bare `cplx*` of length `dim` (a power of
@@ -11,10 +11,23 @@
  * dispatches straight into them without materializing per-gate `Gate`
  * copies.
  *
- * Each kernel is compiled exactly once (no templates, no inlining into
- * call sites), so every code path that applies the same operation to
- * the same bits produces bit-identical results — the property the
- * engine's determinism contract and the prefix cache rest on.
+ * The kernels come in per-ISA variants collected into a KernelTable of
+ * function pointers:
+ *
+ *  - the *scalar* table is the portable reference implementation (the
+ *    free functions below, compiled for the baseline target), and
+ *  - the *AVX2* table (kernels_avx2.cpp, compiled with -mavx2 -mfma
+ *    when OSCAR_ENABLE_AVX2 is on) vectorizes the complex arithmetic
+ *    four doubles at a time.
+ *
+ * The table is selected once at startup via CPUID (defaultKernelTable)
+ * and can be forced per evaluator through KernelOptions::isa or
+ * process-wide with the OSCAR_KERNEL_ISA environment variable
+ * ("scalar" / "avx2"). Within a fixed ISA every code path that applies
+ * the same operation to the same bits produces bit-identical results —
+ * the property the engine's determinism contract and the prefix cache
+ * rest on. Different ISAs may round differently (FMA contraction), so
+ * cross-ISA comparisons are tolerance-based, never bitwise.
  */
 
 #ifndef OSCAR_QUANTUM_KERNELS_H
@@ -22,11 +35,18 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 
 #include "src/quantum/gate.h"
 
 namespace oscar {
 namespace kernels {
+
+// ---------------------------------------------------------------------
+// Scalar reference kernels. These are the bit-exact baseline every
+// other ISA is tested against; they are also the entries of the scalar
+// KernelTable below.
+// ---------------------------------------------------------------------
 
 /** Apply a 2x2 matrix {m00, m01, m10, m11} to one qubit. */
 void matrix1q(cplx* amps, std::size_t dim, int qubit,
@@ -52,6 +72,122 @@ void swapQubits(cplx* amps, std::size_t dim, int a, int b);
  */
 void phaseZZ(cplx* amps, std::size_t dim, int a, int b, cplx same,
              cplx diff);
+
+/**
+ * Multiply every amplitude by `factor`. The cache-blocked replay uses
+ * this for diagonal ops whose qubits all lie above the current block
+ * (the phase is constant across the block).
+ */
+void scale(cplx* amps, std::size_t dim, cplx factor);
+
+/**
+ * Negate amplitudes whose index has every bit of `mask` set (mask = 0
+ * negates everything). `cz(a, b)` is negateMasked with both bit masks;
+ * the blocked replay uses partial masks when some CZ qubits resolve
+ * against the block's base index. Negation is exact, so this is
+ * bit-identical across every ISA and blocking layout.
+ */
+void negateMasked(cplx* amps, std::size_t dim, std::size_t mask);
+
+/**
+ * Apply X on `target` (unconditional bit flip). The blocked replay
+ * uses this for a CX whose control bit lies above the block and is set
+ * in the block's base index. Pure swaps: exact on every ISA.
+ */
+void flipBit(cplx* amps, std::size_t dim, int target);
+
+/**
+ * Expectation of a diagonal observable: sum_i |amps[i]|^2 * diag[i],
+ * accumulated in index order.
+ */
+double expectationDiagonal(const cplx* amps, const double* diag,
+                           std::size_t dim);
+
+/**
+ * Batched diagonal expectation: one pass over `diag` evaluating
+ * `count` states against the same value table,
+ * out[s] = sum_i |states[s][i]|^2 * diag[i]. For every ISA, out[s] is
+ * bit-identical to expectationDiagonal(states[s], diag, dim) — the
+ * per-state accumulation order is unchanged; batching only shares the
+ * diag[i] traffic — so backends can group shared-prefix points without
+ * perturbing values.
+ */
+void expectationDiagonalBatch(const cplx* const* states,
+                              std::size_t count, const double* diag,
+                              std::size_t dim, double* out);
+
+// ---------------------------------------------------------------------
+// ISA dispatch
+// ---------------------------------------------------------------------
+
+/** Instruction-set variants of the kernel layer. */
+enum class KernelIsa : std::uint8_t
+{
+    Scalar = 0, ///< portable reference (baseline target)
+    Avx2 = 1,   ///< AVX2 + FMA, runtime-checked via CPUID
+    Auto = 255, ///< resolve to the best supported ISA at startup
+};
+
+/** Short lowercase name ("scalar", "avx2") for logs and stats. */
+const char* isaName(KernelIsa isa);
+
+/**
+ * One ISA's implementation of every kernel. All entries are non-null;
+ * permutation/negation kernels (cx, swap, negateMasked, flipBit) may
+ * share the scalar implementation — they move or sign-flip values
+ * without rounding, so their results are ISA-independent anyway.
+ */
+struct KernelTable
+{
+    KernelIsa isa = KernelIsa::Scalar;
+
+    void (*matrix1q)(cplx*, std::size_t, int,
+                     const std::array<cplx, 4>&) = nullptr;
+    void (*diag1q)(cplx*, std::size_t, int, cplx, cplx) = nullptr;
+    void (*cx)(cplx*, std::size_t, int, int) = nullptr;
+    void (*cz)(cplx*, std::size_t, int, int) = nullptr;
+    void (*swapQubits)(cplx*, std::size_t, int, int) = nullptr;
+    void (*phaseZZ)(cplx*, std::size_t, int, int, cplx, cplx) = nullptr;
+    void (*scale)(cplx*, std::size_t, cplx) = nullptr;
+    void (*negateMasked)(cplx*, std::size_t, std::size_t) = nullptr;
+    void (*flipBit)(cplx*, std::size_t, int) = nullptr;
+    void (*expectationDiagonalBatch)(const cplx* const*, std::size_t,
+                                     const double*, std::size_t,
+                                     double*) = nullptr;
+
+    /** Single-state convenience over expectationDiagonalBatch. */
+    double
+    expectationDiagonal(const cplx* amps, const double* diag,
+                        std::size_t dim) const
+    {
+        double out;
+        expectationDiagonalBatch(&amps, 1, diag, dim, &out);
+        return out;
+    }
+};
+
+/** The portable reference table (always available). */
+const KernelTable& scalarKernelTable();
+
+/**
+ * True when the AVX2 table exists (built with OSCAR_ENABLE_AVX2) and
+ * this CPU reports AVX2 + FMA.
+ */
+bool avx2Available();
+
+/**
+ * Table for a requested ISA. Auto resolves to the best available ISA,
+ * honoring the OSCAR_KERNEL_ISA environment variable ("scalar" or
+ * "avx2"); requesting Avx2 where unsupported falls back to scalar (the
+ * returned table's `isa` field tells the truth).
+ */
+const KernelTable& kernelTable(KernelIsa isa);
+
+/**
+ * The process-wide default: kernelTable(Auto), resolved exactly once
+ * (CPUID + environment) on first use.
+ */
+const KernelTable& defaultKernelTable();
 
 } // namespace kernels
 } // namespace oscar

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * AVX2 + FMA kernel specializations.
+ *
+ * This translation unit is compiled with -mavx2 -mfma (see the
+ * set_source_files_properties call in CMakeLists.txt) and must never
+ * be entered on a CPU without those features: dispatch goes through
+ * kernels::kernelTable, which checks CPUID before handing out this
+ * table. When the build disables AVX2 (OSCAR_ENABLE_AVX2=OFF, e.g.
+ * the -march=x86-64 CI leg), the file compiles to a stub that reports
+ * "no table" and everything runs on the scalar reference.
+ *
+ * Layout reminder: a __m256d holds two complex<double> amplitudes as
+ * [re0, im0, re1, im1]. The complex product is fused with
+ * _mm256_fmaddsub_pd, so results differ from the scalar kernels by
+ * rounding (never more); within this ISA every kernel is a pure
+ * function of its arguments, which keeps the engine's "bit-identical
+ * for a fixed ISA" contract.
+ *
+ * Pure permutation / sign-flip kernels (cx, swap, negateMasked,
+ * flipBit, cz) reuse the scalar implementations: they move values
+ * without rounding, so vectorizing them cannot change results and
+ * gains little — the hot QAOA path is matrix1q / diag1q / phaseZZ /
+ * expectationDiagonal.
+ */
+
+#include "src/quantum/kernels.h"
+
+#ifdef OSCAR_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace oscar {
+namespace kernels {
+namespace {
+
+inline __m256d
+ld(const cplx* p)
+{
+    return _mm256_loadu_pd(reinterpret_cast<const double*>(p));
+}
+
+inline void
+st(cplx* p, __m256d v)
+{
+    _mm256_storeu_pd(reinterpret_cast<double*>(p), v);
+}
+
+/** One complex constant in both 128-bit halves. */
+inline __m256d
+bcast(cplx c)
+{
+    return _mm256_setr_pd(c.real(), c.imag(), c.real(), c.imag());
+}
+
+/** Elementwise complex product of two amplitude pairs. */
+inline __m256d
+cmul(__m256d a, __m256d b)
+{
+    const __m256d br = _mm256_movedup_pd(b);      // [br0 br0 br1 br1]
+    const __m256d bi = _mm256_permute_pd(b, 0xF); // [bi0 bi0 bi1 bi1]
+    const __m256d as = _mm256_permute_pd(a, 0x5); // [ai0 ar0 ai1 ar1]
+    // even lanes: ar*br - ai*bi, odd lanes: ai*br + ar*bi
+    return _mm256_fmaddsub_pd(a, br, _mm256_mul_pd(as, bi));
+}
+
+/** Fixed-order horizontal sum: (v0 + v2) + (v1 + v3). */
+inline double
+hsum(__m256d v)
+{
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    const __m128d hi = _mm256_extractf128_pd(v, 1);
+    const __m128d s = _mm_add_pd(lo, hi);
+    return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+void
+matrix1qAvx2(cplx* amps, std::size_t dim, int qubit,
+             const std::array<cplx, 4>& m)
+{
+    if (dim < 4) {
+        // One pair total (1-qubit system): below the vector width.
+        matrix1q(amps, dim, qubit, m);
+        return;
+    }
+    const std::size_t stride = std::size_t{1} << qubit;
+    const __m256d m00 = bcast(m[0]);
+    const __m256d m01 = bcast(m[1]);
+    const __m256d m10 = bcast(m[2]);
+    const __m256d m11 = bcast(m[3]);
+    if (stride >= 2) {
+        // Pair members are stride >= 2 apart: both halves load two
+        // consecutive amplitudes.
+        for (std::size_t base = 0; base < dim; base += 2 * stride) {
+            for (std::size_t off = 0; off < stride; off += 2) {
+                cplx* p0 = amps + base + off;
+                cplx* p1 = p0 + stride;
+                const __m256d a0 = ld(p0);
+                const __m256d a1 = ld(p1);
+                st(p0, _mm256_add_pd(cmul(a0, m00), cmul(a1, m01)));
+                st(p1, _mm256_add_pd(cmul(a0, m10), cmul(a1, m11)));
+            }
+        }
+        return;
+    }
+    // Qubit 0: pairs are adjacent; deinterleave two pairs per step.
+    for (std::size_t i = 0; i < dim; i += 4) {
+        const __m256d v0 = ld(amps + i);     // [a0(p) a1(p)]
+        const __m256d v1 = ld(amps + i + 2); // [a0(q) a1(q)]
+        const __m256d a0 = _mm256_permute2f128_pd(v0, v1, 0x20);
+        const __m256d a1 = _mm256_permute2f128_pd(v0, v1, 0x31);
+        const __m256d n0 = _mm256_add_pd(cmul(a0, m00), cmul(a1, m01));
+        const __m256d n1 = _mm256_add_pd(cmul(a0, m10), cmul(a1, m11));
+        st(amps + i, _mm256_permute2f128_pd(n0, n1, 0x20));
+        st(amps + i + 2, _mm256_permute2f128_pd(n0, n1, 0x31));
+    }
+}
+
+void
+diag1qAvx2(cplx* amps, std::size_t dim, int qubit, cplx phase0,
+           cplx phase1)
+{
+    const std::size_t stride = std::size_t{1} << qubit;
+    if (stride == 1) {
+        const __m256d pv = _mm256_setr_pd(phase0.real(), phase0.imag(),
+                                          phase1.real(), phase1.imag());
+        for (std::size_t i = 0; i < dim; i += 2)
+            st(amps + i, cmul(ld(amps + i), pv));
+        return;
+    }
+    const __m256d p0 = bcast(phase0);
+    const __m256d p1 = bcast(phase1);
+    for (std::size_t base = 0; base < dim; base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; off += 2) {
+            cplx* lo = amps + base + off;
+            cplx* hi = lo + stride;
+            st(lo, cmul(ld(lo), p0));
+            st(hi, cmul(ld(hi), p1));
+        }
+    }
+}
+
+void
+scaleAvx2(cplx* amps, std::size_t dim, cplx factor)
+{
+    const __m256d f = bcast(factor);
+    for (std::size_t i = 0; i < dim; i += 2)
+        st(amps + i, cmul(ld(amps + i), f));
+}
+
+void
+phaseZZAvx2(cplx* amps, std::size_t dim, int a, int b, cplx same,
+            cplx diff)
+{
+    // Split on the higher qubit: within each half the high bit is
+    // fixed, and the low qubit selects agree/differ — exactly a
+    // diagonal 1q pass with the phase pair oriented by the high bit.
+    const int lo = std::min(a, b);
+    const int hi = std::max(a, b);
+    const std::size_t hs = std::size_t{1} << hi;
+    for (std::size_t base = 0; base < dim; base += 2 * hs) {
+        diag1qAvx2(amps + base, hs, lo, same, diff);
+        diag1qAvx2(amps + base + hs, hs, lo, diff, same);
+    }
+}
+
+void
+expectationDiagonalBatchAvx2(const cplx* const* states, std::size_t count,
+                             const double* diag, std::size_t dim,
+                             double* out)
+{
+    if (dim < 4 || count == 0) {
+        expectationDiagonalBatch(states, count, diag, dim, out);
+        return;
+    }
+    // Per-state lane accumulators, processed in register-resident
+    // chunks. The per-state sequence of fmadds (and the final
+    // horizontal sum) does not depend on count or chunking, so a
+    // batch of one is bit-identical to the batched evaluation of the
+    // same state inside any group.
+    constexpr std::size_t kChunk = 8;
+    for (std::size_t s0 = 0; s0 < count; s0 += kChunk) {
+        const std::size_t nc = std::min(kChunk, count - s0);
+        __m256d acc[kChunk];
+        std::fill(acc, acc + nc, _mm256_setzero_pd());
+        for (std::size_t i = 0; i < dim; i += 4) {
+            const __m256d d = _mm256_loadu_pd(diag + i);
+            // [d0 d2 d1 d3], matching the hadd lane order below.
+            const __m256d dp =
+                _mm256_permute4x64_pd(d, _MM_SHUFFLE(3, 1, 2, 0));
+            for (std::size_t c = 0; c < nc; ++c) {
+                const double* p =
+                    reinterpret_cast<const double*>(states[s0 + c] + i);
+                const __m256d v0 = _mm256_loadu_pd(p);
+                const __m256d v1 = _mm256_loadu_pd(p + 4);
+                const __m256d q0 = _mm256_mul_pd(v0, v0);
+                const __m256d q1 = _mm256_mul_pd(v1, v1);
+                // [|a0|^2 |a2|^2 |a1|^2 |a3|^2]
+                const __m256d n = _mm256_hadd_pd(q0, q1);
+                acc[c] = _mm256_fmadd_pd(n, dp, acc[c]);
+            }
+        }
+        for (std::size_t c = 0; c < nc; ++c)
+            out[s0 + c] = hsum(acc[c]);
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+const KernelTable*
+avx2KernelTableOrNull()
+{
+    static const KernelTable table = [] {
+        KernelTable t;
+        t.isa = KernelIsa::Avx2;
+        t.matrix1q = &matrix1qAvx2;
+        t.diag1q = &diag1qAvx2;
+        t.cx = &cx;
+        t.cz = &cz;
+        t.swapQubits = &swapQubits;
+        t.phaseZZ = &phaseZZAvx2;
+        t.scale = &scaleAvx2;
+        t.negateMasked = &negateMasked;
+        t.flipBit = &flipBit;
+        t.expectationDiagonalBatch = &expectationDiagonalBatchAvx2;
+        return t;
+    }();
+    return &table;
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace oscar
+
+#else // !OSCAR_HAVE_AVX2
+
+namespace oscar {
+namespace kernels {
+namespace detail {
+
+const KernelTable*
+avx2KernelTableOrNull()
+{
+    return nullptr;
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace oscar
+
+#endif // OSCAR_HAVE_AVX2

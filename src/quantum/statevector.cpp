@@ -30,33 +30,35 @@ void
 Statevector::applyMatrix1q(int qubit, const std::array<cplx, 4>& m)
 {
     assert(qubit >= 0 && qubit < numQubits_);
-    kernels::matrix1q(amps_.data(), amps_.size(), qubit, m);
+    kernels::defaultKernelTable().matrix1q(amps_.data(), amps_.size(),
+                                           qubit, m);
 }
 
 void
 Statevector::applyGate(const Gate& gate)
 {
     assert(gate.paramIndex < 0 && "gate angle must be resolved");
+    const kernels::KernelTable& t = kernels::defaultKernelTable();
     cplx* amps = amps_.data();
     const std::size_t dim = amps_.size();
     switch (gate.kind) {
       case GateKind::CX:
-        kernels::cx(amps, dim, gate.qubits[0], gate.qubits[1]);
+        t.cx(amps, dim, gate.qubits[0], gate.qubits[1]);
         return;
       case GateKind::CZ:
-        kernels::cz(amps, dim, gate.qubits[0], gate.qubits[1]);
+        t.cz(amps, dim, gate.qubits[0], gate.qubits[1]);
         return;
       case GateKind::SWAP:
-        kernels::swapQubits(amps, dim, gate.qubits[0], gate.qubits[1]);
+        t.swapQubits(amps, dim, gate.qubits[0], gate.qubits[1]);
         return;
       case GateKind::RZZ:
-        kernels::phaseZZ(amps, dim, gate.qubits[0], gate.qubits[1],
-                         std::exp(cplx(0.0, -gate.angle / 2)),
-                         std::exp(cplx(0.0, gate.angle / 2)));
+        t.phaseZZ(amps, dim, gate.qubits[0], gate.qubits[1],
+                  std::exp(cplx(0.0, -gate.angle / 2)),
+                  std::exp(cplx(0.0, gate.angle / 2)));
         return;
       default:
-        kernels::matrix1q(amps, dim, gate.qubits[0],
-                          gate.matrix1q(gate.angle));
+        t.matrix1q(amps, dim, gate.qubits[0],
+                   gate.matrix1q(gate.angle));
         return;
     }
 }
@@ -133,10 +135,8 @@ double
 Statevector::expectationDiagonal(const std::vector<double>& diag) const
 {
     assert(diag.size() == amps_.size());
-    double acc = 0.0;
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        acc += std::norm(amps_[i]) * diag[i];
-    return acc;
+    return kernels::defaultKernelTable().expectationDiagonal(
+        amps_.data(), diag.data(), amps_.size());
 }
 
 std::vector<std::uint64_t>

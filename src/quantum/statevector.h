@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/aligned.h"
 #include "src/common/rng.h"
 #include "src/quantum/circuit.h"
 #include "src/quantum/pauli.h"
@@ -34,8 +35,9 @@ class Statevector
     cplx& amp(std::size_t i) { return amps_[i]; }
     const cplx& amp(std::size_t i) const { return amps_[i]; }
 
-    std::vector<cplx>& amps() { return amps_; }
-    const std::vector<cplx>& amps() const { return amps_; }
+    /** Amplitude storage; data() is 64-byte aligned for SIMD loads. */
+    AlignedVector<cplx>& amps() { return amps_; }
+    const AlignedVector<cplx>& amps() const { return amps_; }
 
     /** Reset to |0...0>. */
     void reset();
@@ -84,7 +86,7 @@ class Statevector
 
   private:
     int numQubits_;
-    std::vector<cplx> amps_;
+    AlignedVector<cplx> amps_;
 };
 
 } // namespace oscar

@@ -1,0 +1,468 @@
+/**
+ * @file
+ * Tests for the ISA-dispatched, cache-blocked kernel layer:
+ *
+ *  - scalar-vs-AVX2 parity on randomized states and circuits
+ *    (tolerance-based: different ISAs round differently),
+ *  - bit-identical replay within a fixed ISA — straight runs,
+ *    segmented checkpoint replays, and blocked vs unblocked plans all
+ *    produce the same bits,
+ *  - edge cases: dim smaller than the vector width, target qubit at
+ *    the highest bit, block windows that split ops across the
+ *    boundary (diagonal high-qubit resolution, high-control CX),
+ *  - the batched diagonal expectation is bit-identical to per-point
+ *    evaluation for every ISA, in the statevector backend and the
+ *    analytic QAOA closed form,
+ *  - kernel ISA / blocked-pass counters surface through
+ *    CostFunction::kernelStats and BatchHandle::stats,
+ *  - amplitude storage is cache-line aligned.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ansatz/qaoa.h"
+#include "src/backend/analytic_qaoa.h"
+#include "src/backend/engine.h"
+#include "src/backend/statevector_backend.h"
+#include "src/common/rng.h"
+#include "src/graph/generators.h"
+#include "src/hamiltonian/maxcut.h"
+#include "src/landscape/grid.h"
+#include "src/quantum/compiled_circuit.h"
+#include "src/quantum/kernels.h"
+#include "src/quantum/statevector.h"
+
+namespace oscar {
+namespace {
+
+using kernels::KernelIsa;
+using kernels::KernelTable;
+
+/** Normalized random amplitude vector (reproducible). */
+AlignedVector<cplx>
+randomAmps(std::size_t dim, Rng& rng)
+{
+    AlignedVector<cplx> amps(dim);
+    double norm2 = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+        amps[i] = cplx(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+        norm2 += std::norm(amps[i]);
+    }
+    const double inv = 1.0 / std::sqrt(norm2);
+    for (cplx& a : amps)
+        a *= inv;
+    return amps;
+}
+
+void
+expectAmpsNear(const AlignedVector<cplx>& a, const AlignedVector<cplx>& b,
+               double tol)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i].real(), b[i].real(), tol) << "amp " << i;
+        EXPECT_NEAR(a[i].imag(), b[i].imag(), tol) << "amp " << i;
+    }
+}
+
+void
+expectAmpsIdentical(const AlignedVector<cplx>& a,
+                    const AlignedVector<cplx>& b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << "amp " << i;
+}
+
+/** Tables to exercise: scalar always, AVX2 when this host has it. */
+std::vector<const KernelTable*>
+availableTables()
+{
+    std::vector<const KernelTable*> tables = {
+        &kernels::scalarKernelTable()};
+    if (kernels::avx2Available())
+        tables.push_back(&kernels::kernelTable(KernelIsa::Avx2));
+    return tables;
+}
+
+TEST(Kernels, ScalarAvx2ParityRandomized)
+{
+    if (!kernels::avx2Available())
+        GTEST_SKIP() << "no AVX2 on this host/build";
+    const KernelTable& scalar = kernels::scalarKernelTable();
+    const KernelTable& avx2 = kernels::kernelTable(KernelIsa::Avx2);
+    ASSERT_EQ(avx2.isa, KernelIsa::Avx2);
+
+    Rng rng(41);
+    const std::array<cplx, 4> m = {cplx(0.6, 0.1), cplx(-0.2, 0.77),
+                                   cplx(0.77, 0.2), cplx(0.3, -0.6)};
+    const cplx p0 = std::exp(cplx(0.0, -0.37));
+    const cplx p1 = std::exp(cplx(0.0, 0.37));
+
+    // Every qubit position including the highest bit, for dims from
+    // below the vector width (n = 1: one pair) upward.
+    for (int n = 1; n <= 7; ++n) {
+        const std::size_t dim = std::size_t{1} << n;
+        for (int q = 0; q < n; ++q) {
+            AlignedVector<cplx> a = randomAmps(dim, rng);
+            AlignedVector<cplx> b = a;
+            scalar.matrix1q(a.data(), dim, q, m);
+            avx2.matrix1q(b.data(), dim, q, m);
+            expectAmpsNear(a, b, 1e-14);
+
+            a = randomAmps(dim, rng);
+            b = a;
+            scalar.diag1q(a.data(), dim, q, p0, p1);
+            avx2.diag1q(b.data(), dim, q, p0, p1);
+            expectAmpsNear(a, b, 1e-14);
+        }
+        for (int qa = 0; qa < n; ++qa) {
+            for (int qb = qa + 1; qb < n; ++qb) {
+                AlignedVector<cplx> a = randomAmps(dim, rng);
+                AlignedVector<cplx> b = a;
+                scalar.phaseZZ(a.data(), dim, qa, qb, p0, p1);
+                avx2.phaseZZ(b.data(), dim, qa, qb, p0, p1);
+                expectAmpsNear(a, b, 1e-14);
+            }
+        }
+        {
+            AlignedVector<cplx> a = randomAmps(dim, rng);
+            AlignedVector<cplx> b = a;
+            scalar.scale(a.data(), dim, p1);
+            avx2.scale(b.data(), dim, p1);
+            expectAmpsNear(a, b, 1e-14);
+        }
+        {
+            const AlignedVector<cplx> amps = randomAmps(dim, rng);
+            std::vector<double> diag(dim);
+            for (std::size_t i = 0; i < dim; ++i)
+                diag[i] = rng.uniform(-2.0, 2.0);
+            const double es = scalar.expectationDiagonal(
+                amps.data(), diag.data(), dim);
+            const double ev = avx2.expectationDiagonal(
+                amps.data(), diag.data(), dim);
+            EXPECT_NEAR(es, ev, 1e-13);
+        }
+    }
+}
+
+TEST(Kernels, ParityOnRandomizedCircuits)
+{
+    if (!kernels::avx2Available())
+        GTEST_SKIP() << "no AVX2 on this host/build";
+    Rng rng(7);
+    const Graph g = random3RegularGraph(8, rng);
+    const Circuit circuit = qaoaCircuit(g, 2);
+    const CompiledCircuit compiled(circuit);
+    std::vector<double> params(circuit.numParams());
+    for (double& p : params)
+        p = rng.uniform(-2.0, 2.0);
+
+    AlignedVector<cplx> scalar_amps(std::size_t{1} << 8, cplx(0, 0));
+    scalar_amps[0] = 1.0;
+    AlignedVector<cplx> avx2_amps = scalar_amps;
+    compiled.runRange(scalar_amps.data(), scalar_amps.size(), 0,
+                      compiled.numOps(), params.data(),
+                      kernels::scalarKernelTable());
+    compiled.runRange(avx2_amps.data(), avx2_amps.size(), 0,
+                      compiled.numOps(), params.data(),
+                      kernels::kernelTable(KernelIsa::Avx2));
+    expectAmpsNear(scalar_amps, avx2_amps, 1e-12);
+}
+
+TEST(Kernels, BitIdenticalSegmentedReplayPerIsa)
+{
+    // The prefix-cache invariant under blocking and ISA dispatch:
+    // for every available table, running [0, L) then [L, end) — which
+    // can split a blocked run — reproduces the straight run bit for
+    // bit.
+    Rng rng(9);
+    const Graph g = random3RegularGraph(6, rng);
+    const Circuit circuit = qaoaCircuit(g, 2);
+    CompiledCircuit compiled(circuit);
+    ASSERT_GT(compiled.numBlockedGroups(), 0u);
+    std::vector<double> params(circuit.numParams());
+    for (double& p : params)
+        p = rng.uniform(-2.0, 2.0);
+    const std::size_t dim = std::size_t{1} << 6;
+
+    for (const KernelTable* table : availableTables()) {
+        AlignedVector<cplx> straight(dim, cplx(0, 0));
+        straight[0] = 1.0;
+        compiled.runRange(straight.data(), dim, 0, compiled.numOps(),
+                          params.data(), *table);
+        for (std::size_t level : compiled.frontierLevels()) {
+            AlignedVector<cplx> resumed(dim, cplx(0, 0));
+            resumed[0] = 1.0;
+            compiled.runRange(resumed.data(), dim, 0, level,
+                              params.data(), *table);
+            compiled.runRange(resumed.data(), dim, level,
+                              compiled.numOps(), params.data(), *table);
+            expectAmpsIdentical(straight, resumed);
+        }
+    }
+}
+
+TEST(Kernels, BlockedVsUnblockedBitIdentical)
+{
+    // A circuit that exercises every boundary case of the blocking
+    // pass under a tiny window (k = 2): diagonal ops entirely above
+    // the window, diagonal ops straddling it, CX with a high control
+    // and low target (blockable) and the reverse (not blockable),
+    // plus in-window matrix and swap ops. Blocked and unblocked plans
+    // must agree bit for bit on every available table.
+    const int n = 6;
+    Circuit circuit(n, 2);
+    for (int q = 0; q < n; ++q)
+        circuit.append(Gate::h(q));
+    circuit.append(Gate::rzz(0, 1, 0.3));  // in-window diagonal
+    circuit.append(Gate::rzz(1, 5, -0.8)); // straddles the window
+    circuit.append(Gate::rzz(4, 5, 1.1));  // fully above the window
+    circuit.append(Gate::cz(0, 4));        // partial CZ
+    circuit.append(Gate::cz(4, 5));        // high CZ
+    circuit.append(Gate::s(5));            // diagonal above the window
+    circuit.append(Gate::rzParam(3, 0));   // parameterized high diag
+    circuit.append(Gate::cx(5, 1));        // high control, low target
+    circuit.append(Gate::cx(1, 5));        // low control, high target:
+                                           // breaks the blocked run
+    circuit.append(Gate::swap(0, 1));      // in-window swap
+    circuit.append(Gate::rx(1, 0.9));
+    circuit.append(Gate::ryParam(0, 1, -1.5));
+    circuit.append(Gate::rzz(2, 3, 0.25)); // odd boundary: q = k..k+1
+    const std::vector<double> params = {0.77, -0.41};
+
+    CompiledCircuit blocked(circuit, CompileOptions{.blockWindow = 2});
+    CompiledCircuit plain(circuit, CompileOptions{.blockWindow = 0});
+    ASSERT_GT(blocked.numBlockedGroups(), 0u);
+    ASSERT_EQ(plain.numBlockedGroups(), 0u);
+
+    const std::size_t dim = std::size_t{1} << n;
+    for (const KernelTable* table : availableTables()) {
+        AlignedVector<cplx> a(dim, cplx(0, 0)), b(dim, cplx(0, 0));
+        a[0] = b[0] = 1.0;
+        ReplayCounters counters;
+        blocked.runRange(a.data(), dim, 0, blocked.numOps(),
+                         params.data(), *table, &counters);
+        plain.runRange(b.data(), dim, 0, plain.numOps(), params.data(),
+                       *table);
+        EXPECT_GT(counters.blockedGroupRuns, 0u);
+        EXPECT_GT(counters.blockedOpsApplied, 0u);
+        expectAmpsIdentical(a, b);
+    }
+}
+
+TEST(Kernels, DimSmallerThanVectorWidth)
+{
+    // A 1-qubit system holds one amplitude pair — half an AVX2
+    // register. Every table must handle it.
+    const std::array<cplx, 4> h = {cplx(M_SQRT1_2, 0), cplx(M_SQRT1_2, 0),
+                                   cplx(M_SQRT1_2, 0),
+                                   cplx(-M_SQRT1_2, 0)};
+    const std::vector<double> diag = {1.0, -1.0};
+    for (const KernelTable* table : availableTables()) {
+        AlignedVector<cplx> amps = {cplx(1, 0), cplx(0, 0)};
+        table->matrix1q(amps.data(), 2, 0, h);
+        EXPECT_NEAR(amps[0].real(), M_SQRT1_2, 1e-15);
+        EXPECT_NEAR(amps[1].real(), M_SQRT1_2, 1e-15);
+        table->diag1q(amps.data(), 2, 0, cplx(1, 0), cplx(0, 1));
+        EXPECT_NEAR(amps[1].imag(), M_SQRT1_2, 1e-15);
+        // <Z> of an equal superposition with a relative phase: 0.
+        EXPECT_NEAR(table->expectationDiagonal(amps.data(), diag.data(),
+                                               2),
+                    0.0, 1e-15);
+    }
+}
+
+TEST(Kernels, BatchedExpectationBitIdenticalPerIsa)
+{
+    Rng rng(13);
+    const std::size_t dim = std::size_t{1} << 9;
+    std::vector<double> diag(dim);
+    for (double& d : diag)
+        d = rng.uniform(-3.0, 3.0);
+    std::vector<AlignedVector<cplx>> states;
+    std::vector<const cplx*> ptrs;
+    for (int s = 0; s < 7; ++s) {
+        states.push_back(randomAmps(dim, rng));
+        ptrs.push_back(states.back().data());
+    }
+    for (const KernelTable* table : availableTables()) {
+        std::vector<double> batched(states.size());
+        table->expectationDiagonalBatch(ptrs.data(), ptrs.size(),
+                                        diag.data(), dim,
+                                        batched.data());
+        for (std::size_t s = 0; s < states.size(); ++s) {
+            const double single = table->expectationDiagonal(
+                ptrs[s], diag.data(), dim);
+            EXPECT_EQ(single, batched[s])
+                << kernels::isaName(table->isa) << " state " << s;
+        }
+    }
+}
+
+/** Axis-major points of a 6-qubit p=2 QAOA sweep (beta2 fastest). */
+std::vector<std::vector<double>>
+axisMajorPoints(const StatevectorCost& probe)
+{
+    const GridSpec grid = GridSpec::qaoaP2(3, 4);
+    std::vector<std::size_t> indices(grid.numPoints());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
+    const auto perm = grid.prefixFriendlyPermutation(
+        indices, probe.batchOrderHint());
+    std::vector<std::vector<double>> points;
+    points.reserve(perm.size());
+    for (std::size_t p : perm)
+        points.push_back(grid.pointAt(p));
+    return points;
+}
+
+TEST(Kernels, StatevectorCostBatchedPathsBitIdentical)
+{
+    // For every ISA: one-by-one evaluation, the grouped batched path
+    // (fused expectation), the cache-off path, and the
+    // blocking-disabled path all agree bit for bit.
+    Rng rng(21);
+    const Graph g = random3RegularGraph(6, rng);
+    const Circuit circuit = qaoaCircuit(g, 2);
+    const PauliSum ham = maxcutHamiltonian(g);
+
+    std::vector<KernelIsa> isas = {KernelIsa::Scalar};
+    if (kernels::avx2Available())
+        isas.push_back(KernelIsa::Avx2);
+
+    for (KernelIsa isa : isas) {
+        KernelOptions base;
+        base.isa = isa;
+
+        StatevectorCost one_by_one(circuit, ham);
+        one_by_one.configureKernel(base);
+        const auto points = axisMajorPoints(one_by_one);
+        std::vector<double> reference;
+        for (const auto& p : points)
+            reference.push_back(one_by_one.evaluate(p));
+
+        StatevectorCost batched(circuit, ham);
+        batched.configureKernel(base);
+        const auto grouped = batched.evaluateBatch(points);
+        const KernelStats stats = batched.kernelStats();
+        EXPECT_EQ(stats.isa, isa);
+        EXPECT_GT(stats.batchedExpectationPoints, 0u);
+        EXPECT_GT(stats.blockedGroupRuns, 0u);
+
+        KernelOptions no_cache = base;
+        no_cache.prefixCache = false;
+        StatevectorCost uncached(circuit, ham);
+        uncached.configureKernel(no_cache);
+        const auto uncached_values = uncached.evaluateBatch(points);
+
+        KernelOptions no_block = base;
+        no_block.blockWindow = 0;
+        no_block.batchedExpectation = false;
+        StatevectorCost plain(circuit, ham);
+        plain.configureKernel(no_block);
+        const auto plain_values = plain.evaluateBatch(points);
+
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            EXPECT_EQ(reference[i], grouped[i]) << "point " << i;
+            EXPECT_EQ(reference[i], uncached_values[i]) << "point " << i;
+            EXPECT_EQ(reference[i], plain_values[i]) << "point " << i;
+        }
+    }
+}
+
+TEST(Kernels, ScalarVsAvx2CostValuesAgreeWithinTolerance)
+{
+    if (!kernels::avx2Available())
+        GTEST_SKIP() << "no AVX2 on this host/build";
+    Rng rng(23);
+    const Graph g = random3RegularGraph(8, rng);
+    const Circuit circuit = qaoaCircuit(g, 1);
+    const PauliSum ham = maxcutHamiltonian(g);
+
+    StatevectorCost scalar(circuit, ham);
+    KernelOptions scalar_opts;
+    scalar_opts.isa = KernelIsa::Scalar;
+    scalar.configureKernel(scalar_opts);
+
+    StatevectorCost avx2(circuit, ham);
+    KernelOptions avx2_opts;
+    avx2_opts.isa = KernelIsa::Avx2;
+    avx2.configureKernel(avx2_opts);
+
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::vector<double> p = {rng.uniform(-1.0, 1.0),
+                                       rng.uniform(-2.0, 2.0)};
+        EXPECT_NEAR(scalar.evaluate(p), avx2.evaluate(p), 1e-11);
+    }
+}
+
+TEST(Kernels, AnalyticBatchedSameGammaBitIdentical)
+{
+    Rng rng(31);
+    const Graph g = random3RegularGraph(10, rng);
+    AnalyticQaoaCost one_by_one(g);
+    AnalyticQaoaCost batched(g);
+
+    // Axis-major: gamma constant over runs of betas.
+    std::vector<std::vector<double>> points;
+    for (double gamma : {0.3, 0.9, 1.4}) {
+        for (int b = 0; b < 5; ++b)
+            points.push_back({-1.0 + 0.37 * b, gamma});
+    }
+    std::vector<double> reference;
+    for (const auto& p : points)
+        reference.push_back(one_by_one.evaluate(p));
+    const auto values = batched.evaluateBatch(points);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(reference[i], values[i]) << "point " << i;
+    EXPECT_EQ(batched.kernelStats().batchedExpectationPoints,
+              points.size());
+}
+
+TEST(Kernels, StatsSurfaceThroughBatchHandle)
+{
+    Rng rng(17);
+    const Graph g = random3RegularGraph(6, rng);
+    StatevectorCost cost(qaoaCircuit(g, 2), maxcutHamiltonian(g));
+    const auto points = axisMajorPoints(cost);
+
+    ExecutionEngine engine(2);
+    BatchHandle handle = engine.submit(cost, points);
+    handle.get();
+    const BatchStats stats = handle.stats();
+    EXPECT_EQ(stats.kernel.isa, cost.kernelTable().isa);
+    EXPECT_GT(stats.kernel.blockedGroupRuns, 0u);
+    EXPECT_GT(stats.kernel.blockedOpsApplied,
+              stats.kernel.blockedGroupRuns);
+}
+
+TEST(Kernels, ForcedScalarIgnoresHostIsa)
+{
+    Rng rng(19);
+    const Graph g = random3RegularGraph(6, rng);
+    StatevectorCost cost(qaoaCircuit(g, 1), maxcutHamiltonian(g));
+    KernelOptions options;
+    options.isa = KernelIsa::Scalar;
+    cost.configureKernel(options);
+    EXPECT_EQ(cost.kernelTable().isa, KernelIsa::Scalar);
+    EXPECT_EQ(cost.kernelStats().isa, KernelIsa::Scalar);
+}
+
+TEST(Kernels, AmplitudeStorageIsCacheLineAligned)
+{
+    for (int n : {1, 3, 8}) {
+        Statevector sv(n);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(sv.amps().data()) % 64,
+                  0u)
+            << n << " qubits";
+    }
+    AlignedVector<double> v(17);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+}
+
+} // namespace
+} // namespace oscar
