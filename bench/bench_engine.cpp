@@ -1,10 +1,10 @@
 /**
  * @file
  * Execution-engine throughput: scalar vs batched vs prefix-cached vs
- * threaded, and asynchronous pipeline overlap vs the synchronous
- * barrier.
+ * threaded, multi-process sharding, and asynchronous pipeline overlap
+ * vs the synchronous barrier.
  *
- * Two studies on the system's hottest path (turning a list of grid
+ * Studies on the system's hottest path (turning a list of grid
  * points into cost values on the statevector backend):
  *
  *  1. Sweep modes: scalar loop (cache off), one batched submission
@@ -13,12 +13,22 @@
  *     to the scalar reference (caching and threading change
  *     performance, never values).
  *
- *  2. Overlap: Oscar::reconstruct with the synchronous barrier
+ *  2. Kernel layers (BENCH_kernels.json): cache blocking, AVX2
+ *     dispatch, batched diagonal expectation.
+ *
+ *  3. Distributed sharding (BENCH_dist.json): one serial process vs
+ *     the sweep sharded over 2/4 oscar-worker processes, plus a
+ *     sharded reconstruction; bit-identity asserted.
+ *
+ *  4. Overlap: Oscar::reconstruct with the synchronous barrier
  *     (execute everything, then run FISTA) vs the streaming pipeline
  *     (sharded async submission, FISTA warm-ups on finished shards
  *     while later shards execute). Samples are asserted identical;
  *     on a multi-core host the overlapped run should be no slower
  *     than the barrier.
+ *
+ * OSCAR_BENCH_ONLY=<substring> selects a subset of studies (the CI
+ * distributed leg runs only "dist").
  *
  * Built against Google Benchmark when available (OSCAR_HAVE_GBENCH);
  * otherwise falls back to the repeated-run-median wall-clock tables
@@ -28,6 +38,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "bench/bench_common.h"
@@ -42,6 +54,14 @@
 
 namespace oscar {
 namespace {
+
+/** OSCAR_BENCH_ONLY=<substring> selects which studies run. */
+bool
+benchEnabled(const char* name)
+{
+    const char* only = std::getenv("OSCAR_BENCH_ONLY");
+    return !only || std::strstr(name, only) != nullptr;
+}
 
 bool
 identical(const std::vector<double>& a, const std::vector<double>& b)
@@ -176,6 +196,170 @@ runKernelStudy()
     std::printf("  (default ISA: %s)\n",
                 kernels::isaName(kernels::defaultKernelTable().isa));
     json.write("BENCH_kernels.json");
+}
+
+/**
+ * Distributed execution study on the acceptance sweep (axis-major 12q
+ * p=2 QAOA): one serial process vs the same sweep sharded across 2 and
+ * 4 oscar-worker processes through the distributed task queue, plus a
+ * sharded Oscar reconstruction for context. Every distributed run is
+ * verified bit-identical to the in-process values (the distributed
+ * determinism contract). Writes BENCH_dist.json. Caches run cold per
+ * repetition on both sides: the kernel-option fingerprint is varied
+ * per rep so workers rebuild their evaluators instead of reusing warm
+ * prefix caches.
+ */
+void
+runDistStudy()
+{
+    constexpr int kStudyReps = 3;
+    const SweepCase sweep(12, 2, GridSpec::qaoaP2(5, 7));
+    const std::size_t num_points = sweep.points.size();
+
+    bench::header("distributed sharding: p=2 QAOA, 12 qubits, "
+                  "axis-major " +
+                  std::to_string(num_points) +
+                  "-point sweep (median of " +
+                  std::to_string(kStudyReps) + ")");
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw < 4) {
+        std::printf("  note: %u-core host; worker processes need "
+                    "cores, expect <= %ux here\n",
+                    hw, std::max(1u, hw));
+    }
+    bench::columns("mode", {"pts/s", "median_s", "min_s", "speedup",
+                            "match"});
+    bench::JsonReport json("bench_engine/dist");
+
+    /** Cold-cache kernel options, fingerprinted per repetition. */
+    const auto coldOptions = [](int rep) {
+        KernelOptions options;
+        options.prefixCacheBudgetBytes += static_cast<std::size_t>(rep);
+        return options;
+    };
+
+    // In-process serial reference (also the bit-identity oracle).
+    // Distribution is pinned off (numWorkers = -1) so an exported
+    // OSCAR_DIST_WORKERS cannot turn the baseline itself into a
+    // multi-worker run and corrupt every speedup_vs_single.
+    EngineOptions serial_opts;
+    serial_opts.numThreads = 1;
+    serial_opts.dist.numWorkers = -1;
+    std::vector<double> reference;
+    double base_median = 0.0;
+    {
+        ExecutionEngine engine(serial_opts);
+        StatevectorCost cost = sweep.make();
+        int rep = 0;
+        const auto timing = bench::timeRepeated(kStudyReps, [&] {
+            cost.configureKernel(coldOptions(rep++));
+            reference = engine.submit(cost, sweep.points).get();
+        });
+        base_median = timing.median;
+        bench::row("single process",
+                   {static_cast<double>(num_points) / timing.median,
+                    timing.median, timing.min, 1.0, 1.0},
+                   " %10.4g");
+        json.add("single process", timing, num_points,
+                 {{"workers", 1.0},
+                  {"speedup_vs_single", 1.0},
+                  {"match", 1.0},
+                  {"hardware_concurrency", static_cast<double>(hw)}});
+    }
+
+    bool spawn_failed = false;
+    for (const int workers : {2, 4}) {
+        EngineOptions options;
+        options.numThreads = 1;
+        options.dist.numWorkers = workers;
+        options.dist.minPointsToDistribute = 1;
+        ExecutionEngine engine(options);
+        StatevectorCost cost = sweep.make();
+        std::vector<double> values;
+        std::size_t remote = 0, requeued = 0;
+        int rep = 0;
+        const auto timing = bench::timeRepeated(kStudyReps, [&] {
+            cost.configureKernel(coldOptions(rep++));
+            BatchHandle handle = engine.submit(cost, sweep.points);
+            values = handle.get();
+            remote = handle.stats().pointsRemote;
+            requeued = handle.stats().shardsRequeued;
+        });
+        const bool distributed = remote == num_points;
+        if (!distributed)
+            spawn_failed = true;
+        const bool match = identical(values, reference);
+        const double speedup = base_median / timing.median;
+        const std::string name =
+            "dist x" + std::to_string(workers) + " workers";
+        bench::row(name,
+                   {static_cast<double>(num_points) / timing.median,
+                    timing.median, timing.min, speedup,
+                    match && distributed ? 1.0 : 0.0},
+                   " %10.4g");
+        json.add(name, timing, num_points,
+                 {{"workers", static_cast<double>(workers)},
+                  {"speedup_vs_single", speedup},
+                  {"match", match ? 1.0 : 0.0},
+                  {"points_remote", static_cast<double>(remote)},
+                  {"shards_requeued", static_cast<double>(requeued)}});
+    }
+    if (spawn_failed)
+        std::printf("  (warning: distributed runs fell back "
+                    "in-process; is oscar-worker built?)\n");
+
+    // Sharded reconstruction for context: the full pipeline (sampling
+    // + distributed execution + FISTA solve) on the same circuit.
+    {
+        OscarOptions plain;
+        plain.samplingFraction = 0.25;
+        plain.numThreads = 1;
+        plain.distributed.numWorkers = -1; // pin the baseline local
+        const GridSpec grid = GridSpec::qaoaP2(5, 7);
+
+        OscarResult plain_result;
+        const auto plain_timing = bench::timeRepeated(kStudyReps, [&] {
+            StatevectorCost cost = sweep.make();
+            plain_result = Oscar::reconstruct(grid, cost, plain);
+        });
+        bench::row("reconstruct 1 proc",
+                   {static_cast<double>(plain_result.queriesUsed) /
+                        plain_timing.median,
+                    plain_timing.median, plain_timing.min, 1.0, 1.0},
+                   " %10.4g");
+        json.add("reconstruct single process", plain_timing,
+                 plain_result.queriesUsed,
+                 {{"workers", 1.0}, {"speedup_vs_single", 1.0}});
+
+        OscarOptions distributed = plain;
+        distributed.distributed.numWorkers = 4;
+        distributed.distributed.minPointsToDistribute = 1;
+        OscarResult dist_result;
+        const auto dist_timing = bench::timeRepeated(kStudyReps, [&] {
+            StatevectorCost cost = sweep.make();
+            dist_result = Oscar::reconstruct(grid, cost, distributed);
+        });
+        const bool match = identical(dist_result.samples.values,
+                                     plain_result.samples.values);
+        bench::row("reconstruct 4 workers",
+                   {static_cast<double>(dist_result.queriesUsed) /
+                        dist_timing.median,
+                    dist_timing.median, dist_timing.min,
+                    plain_timing.median / dist_timing.median,
+                    match ? 1.0 : 0.0},
+                   " %10.4g");
+        json.add("reconstruct 4 workers", dist_timing,
+                 dist_result.queriesUsed,
+                 {{"workers", 4.0},
+                  {"speedup_vs_single",
+                   plain_timing.median / dist_timing.median},
+                  {"match", match ? 1.0 : 0.0},
+                  {"points_remote",
+                   static_cast<double>(
+                       dist_result.execution.pointsRemote)}});
+    }
+
+    json.write("BENCH_dist.json");
 }
 
 /** Overlap workload: reconstruct options for barrier vs streaming. */
@@ -491,10 +675,18 @@ main(int argc, char** argv)
     ::benchmark::Initialize(&argc, argv);
     if (::benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
-    // The kernel-layer acceptance study runs in both modes and writes
-    // BENCH_kernels.json for the cross-PR perf trajectory; it runs
-    // first so the report exists regardless of --benchmark_filter.
-    oscar::runKernelStudy();
+    // The kernel-layer and distributed acceptance studies run in both
+    // modes and write BENCH_kernels.json / BENCH_dist.json for the
+    // cross-PR perf trajectory; they run first so the reports exist
+    // regardless of --benchmark_filter. OSCAR_BENCH_ONLY=<substring>
+    // narrows to matching studies (the distributed CI leg runs only
+    // "dist").
+    if (oscar::benchEnabled("kernels"))
+        oscar::runKernelStudy();
+    if (oscar::benchEnabled("dist"))
+        oscar::runDistStudy();
+    if (std::getenv("OSCAR_BENCH_ONLY"))
+        return 0;
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     return 0;
@@ -512,18 +704,28 @@ main()
                     "cores, expect ~1x there\n");
     }
 
-    // The paper's p=1 landscape shape (beta x gamma), scalar-heavy.
-    oscar::runSweep(12, 1, oscar::GridSpec::qaoaP1(30, 60));
-    // The acceptance sweep: p=2, >= 12 qubits, axis-major order.
-    oscar::runSweep(12, 2, oscar::GridSpec::qaoaP2(5, 7));
-    oscar::runSweep(16, 1, oscar::GridSpec::qaoaP1(15, 30));
+    // OSCAR_BENCH_ONLY=<substring> narrows to matching studies (the
+    // distributed CI leg runs only "dist").
+    if (oscar::benchEnabled("sweeps")) {
+        // The paper's p=1 landscape shape (beta x gamma), scalar-heavy.
+        oscar::runSweep(12, 1, oscar::GridSpec::qaoaP1(30, 60));
+        // The acceptance sweep: p=2, >= 12 qubits, axis-major order.
+        oscar::runSweep(12, 2, oscar::GridSpec::qaoaP2(5, 7));
+        oscar::runSweep(16, 1, oscar::GridSpec::qaoaP1(15, 30));
+    }
 
     // Kernel-layer breakdown on the acceptance sweep; also writes
     // BENCH_kernels.json.
-    oscar::runKernelStudy();
+    if (oscar::benchEnabled("kernels"))
+        oscar::runKernelStudy();
+
+    // Multi-process sharding; writes BENCH_dist.json.
+    if (oscar::benchEnabled("dist"))
+        oscar::runDistStudy();
 
     // Async pipeline overlap vs synchronous barrier.
-    oscar::runOverlapStudy(14);
+    if (oscar::benchEnabled("overlap"))
+        oscar::runOverlapStudy(14);
     return 0;
 }
 

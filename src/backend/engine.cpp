@@ -1,7 +1,11 @@
 #include "src/backend/engine.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
+
+#include "src/dist/process_pool.h"
 
 namespace oscar {
 
@@ -16,7 +20,7 @@ namespace oscar {
  * indices are therefore disjoint across all participants, which is
  * what makes results, query counts, and callbacks race-free.
  */
-struct BatchHandle::Batch
+struct EngineBatch final : BatchHandle::Control
 {
     // -- immutable after submit -------------------------------------
     std::vector<std::vector<double>> points;
@@ -37,10 +41,141 @@ struct BatchHandle::Batch
     bool finished = false;
     std::exception_ptr error;
     std::vector<double> out;
-    BatchStats stats;
+    BatchStats progress;
 
     /** Serializes onComplete invocations (never held with `m`). */
     std::mutex callbackMutex;
+
+    // -- Control ----------------------------------------------------
+
+    bool
+    done() const override
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return finished;
+    }
+
+    void
+    wait() override
+    {
+        // Help: claim and execute chunks this thread can take. This
+        // is also the only execution path for inline batches (serial
+        // engine, non-replicable cost), which are never enqueued.
+        const std::size_t total = chunks.size();
+        for (;;) {
+            const std::size_t c = nextChunk.fetch_add(1);
+            if (c >= total)
+                break;
+            runChunk(c);
+        }
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return finished; });
+    }
+
+    std::vector<double>
+    get() override
+    {
+        wait();
+        std::lock_guard<std::mutex> lock(m);
+        if (error)
+            std::rethrow_exception(error);
+        if (progress.pointsCancelled > 0)
+            throw std::runtime_error(
+                "BatchHandle::get: batch was cancelled");
+        return out;
+    }
+
+    bool
+    cancel() override
+    {
+        const std::size_t total = chunks.size();
+        // Claim everything unstarted in one shot; claims already
+        // handed to workers (indices < claimed) still run to
+        // completion.
+        std::size_t claimed = nextChunk.exchange(total);
+        claimed = std::min(claimed, total);
+        if (claimed >= total)
+            return false;
+        std::size_t skipped = 0;
+        for (std::size_t c = claimed; c < total; ++c)
+            skipped += chunks[c].hi - chunks[c].lo;
+        if (cost)
+            cost->refundQueries(skipped);
+        std::lock_guard<std::mutex> lock(m);
+        progress.pointsCancelled += skipped;
+        chunksAccounted += total - claimed;
+        if (chunksAccounted == total) {
+            finished = true;
+            cv.notify_all();
+        }
+        return true;
+    }
+
+    BatchStats
+    stats() const override
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return progress;
+    }
+
+    /** Execute chunk c (worker or waiting thread). */
+    void
+    runChunk(std::size_t c)
+    {
+        const ExecutionEngine::Chunk chunk = chunks[c];
+        const std::size_t n = chunk.hi - chunk.lo;
+        std::exception_ptr failure;
+        KernelStats delta;
+        try {
+            if (mapFn) {
+                for (std::size_t i = chunk.lo; i < chunk.hi; ++i)
+                    out[i] = mapFn(i);
+            } else {
+                CostFunction* evaluator =
+                    replicas.empty() ? cost : replicas[c].get();
+                const KernelStats before = evaluator->kernelStats();
+                evaluator->evaluateBatchImpl(
+                    std::span<const std::vector<double>>(points).subspan(
+                        chunk.lo, n),
+                    baseOrdinal + chunk.lo, out.data() + chunk.lo);
+                delta = evaluator->kernelStats() - before;
+            }
+        } catch (...) {
+            failure = std::current_exception();
+        }
+
+        // Stream completions before accounting, so that once done()
+        // flips every callback has already returned. A throwing
+        // callback must not escape (it would terminate a worker
+        // thread, or leave the batch unfinished on the waiter-help
+        // path); it fails the batch like an evaluation error, though
+        // the values themselves stand.
+        std::exception_ptr callback_failure;
+        if (!failure && options.onComplete) {
+            std::lock_guard<std::mutex> lock(callbackMutex);
+            try {
+                for (std::size_t i = chunk.lo; i < chunk.hi; ++i)
+                    options.onComplete(i, out[i]);
+            } catch (...) {
+                callback_failure = std::current_exception();
+            }
+        }
+
+        std::lock_guard<std::mutex> lock(m);
+        if (failure) {
+            if (!error)
+                error = failure;
+        } else {
+            progress.pointsCompleted += n;
+            progress.kernel += delta;
+            if (callback_failure && !error)
+                error = callback_failure;
+        }
+        if (++chunksAccounted == chunks.size()) {
+            finished = true;
+            cv.notify_all();
+        }
+    }
 };
 
 // ------------------------------------------------------------ handle
@@ -48,52 +183,31 @@ struct BatchHandle::Batch
 bool
 BatchHandle::done() const
 {
-    std::lock_guard<std::mutex> lock(state_->m);
-    return state_->finished;
+    return state_->done();
 }
 
 void
 BatchHandle::wait()
 {
-    Batch& b = *state_;
-    // Help: claim and execute chunks this thread can take. This is
-    // also the only execution path for inline batches (serial engine,
-    // non-replicable cost), which are never enqueued.
-    const std::size_t total = b.chunks.size();
-    for (;;) {
-        const std::size_t c = b.nextChunk.fetch_add(1);
-        if (c >= total)
-            break;
-        ExecutionEngine::runChunk(b, c);
-    }
-    std::unique_lock<std::mutex> lock(b.m);
-    b.cv.wait(lock, [&] { return b.finished; });
+    state_->wait();
 }
 
 std::vector<double>
 BatchHandle::get()
 {
-    wait();
-    Batch& b = *state_;
-    std::lock_guard<std::mutex> lock(b.m);
-    if (b.error)
-        std::rethrow_exception(b.error);
-    if (b.stats.pointsCancelled > 0)
-        throw std::runtime_error("BatchHandle::get: batch was cancelled");
-    return b.out;
+    return state_->get();
 }
 
 bool
 BatchHandle::cancel()
 {
-    return ExecutionEngine::cancelBatch(*state_);
+    return state_->cancel();
 }
 
 BatchStats
 BatchHandle::stats() const
 {
-    std::lock_guard<std::mutex> lock(state_->m);
-    return state_->stats;
+    return state_->stats();
 }
 
 // ------------------------------------------------------------ engine
@@ -113,24 +227,49 @@ ExecutionEngine::ExecutionEngine()
 }
 
 ExecutionEngine::ExecutionEngine(int num_threads)
-    : ExecutionEngine(EngineOptions{num_threads, 4})
+    : ExecutionEngine(EngineOptions{num_threads, 4, {}})
 {
 }
 
 ExecutionEngine::ExecutionEngine(const EngineOptions& options)
     : minPointsPerThread_(std::max<std::size_t>(1,
-                                                options.minPointsPerThread))
+                                                options.minPointsPerThread)),
+      dist_(options.dist)
 {
+    // Distribution is opt-in per engine (EngineOptions::dist) or
+    // process-wide via OSCAR_DIST_WORKERS; a negative worker count
+    // pins it off regardless of the environment. Like
+    // OSCAR_KERNEL_ISA, a malformed value throws instead of silently
+    // running without the distribution the user asked for. The pool
+    // itself is spawned lazily on the first distributable submission,
+    // so engines that never ship a batch never fork.
+    if (dist_.numWorkers == 0) {
+        if (const char* env = std::getenv("OSCAR_DIST_WORKERS")) {
+            char* end = nullptr;
+            const long parsed = std::strtol(env, &end, 10);
+            if (end == env || *end != '\0' || parsed > 1024 ||
+                parsed < -1)
+                throw std::runtime_error(
+                    "OSCAR_DIST_WORKERS: expected a worker count "
+                    "(-1..1024), got \"" +
+                    std::string(env) + "\"");
+            dist_.numWorkers = static_cast<int>(parsed);
+        }
+    }
+    distEnabled_ = dist_.numWorkers > 0;
+
+    // Threads spawn last: everything above may throw, and unwinding
+    // with joinable workers would terminate. The submitting thread
+    // participates in every wait, so spawn one fewer worker than the
+    // requested parallelism.
     const int threads = resolveThreads(options.numThreads);
-    // The submitting thread participates in every wait, so spawn one
-    // fewer worker than the requested parallelism.
     for (int t = 1; t < threads; ++t)
         workers_.emplace_back([this] { workerLoop(); });
 }
 
 ExecutionEngine::~ExecutionEngine()
 {
-    std::deque<std::shared_ptr<BatchHandle::Batch>> leftover;
+    std::deque<std::shared_ptr<EngineBatch>> leftover;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stop_ = true;
@@ -142,7 +281,9 @@ ExecutionEngine::~ExecutionEngine()
     // Retire whatever the workers had not claimed: outstanding handles
     // see a finished (cancelled) batch instead of hanging forever.
     for (const auto& batch : leftover)
-        cancelBatch(*batch);
+        batch->cancel();
+    // pool_ (if spawned) is destroyed next: it cancels queued shards,
+    // drains in-flight ones, and reaps the worker processes.
 }
 
 int
@@ -190,7 +331,7 @@ ExecutionEngine::workerLoop()
         wake_.wait(lock, [&] { return stop_ || !queue_.empty(); });
         if (stop_)
             return;
-        std::shared_ptr<BatchHandle::Batch> batch = queue_.front();
+        std::shared_ptr<EngineBatch> batch = queue_.front();
         const std::size_t total = batch->chunks.size();
         const std::size_t c = batch->nextChunk.fetch_add(1);
         if (c >= total) {
@@ -202,92 +343,44 @@ ExecutionEngine::workerLoop()
         if (c + 1 == total)
             queue_.pop_front(); // nothing left for anyone else to claim
         lock.unlock();
-        runChunk(*batch, c);
+        batch->runChunk(c);
         batch.reset();
         lock.lock();
     }
 }
 
-void
-ExecutionEngine::runChunk(BatchHandle::Batch& b, std::size_t c)
+BatchHandle
+ExecutionEngine::tryDistribute(CostFunction& cost,
+                               std::vector<std::vector<double>>& points,
+                               const SubmitOptions& options)
 {
-    const Chunk chunk = b.chunks[c];
-    const std::size_t n = chunk.hi - chunk.lo;
-    std::exception_ptr failure;
-    KernelStats delta;
-    try {
-        if (b.mapFn) {
-            for (std::size_t i = chunk.lo; i < chunk.hi; ++i)
-                b.out[i] = b.mapFn(i);
-        } else {
-            CostFunction* evaluator =
-                b.replicas.empty() ? b.cost : b.replicas[c].get();
-            const KernelStats before = evaluator->kernelStats();
-            evaluator->evaluateBatchImpl(
-                std::span<const std::vector<double>>(b.points)
-                    .subspan(chunk.lo, n),
-                b.baseOrdinal + chunk.lo, b.out.data() + chunk.lo);
-            delta = evaluator->kernelStats() - before;
-        }
-    } catch (...) {
-        failure = std::current_exception();
-    }
-
-    // Stream completions before accounting, so that once done() flips
-    // every callback has already returned. A throwing callback must
-    // not escape (it would terminate a worker thread, or leave the
-    // batch unfinished on the waiter-help path); it fails the batch
-    // like an evaluation error, though the values themselves stand.
-    std::exception_ptr callback_failure;
-    if (!failure && b.options.onComplete) {
-        std::lock_guard<std::mutex> lock(b.callbackMutex);
+    if (!distEnabled_ || points.size() < dist_.minPointsToDistribute)
+        return {};
+    if (!cost.distPayload())
+        return {};
+    std::call_once(poolOnce_, [&] {
         try {
-            for (std::size_t i = chunk.lo; i < chunk.hi; ++i)
-                b.options.onComplete(i, b.out[i]);
-        } catch (...) {
-            callback_failure = std::current_exception();
+            pool_ = std::make_unique<dist::ProcessPool>(dist_);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr,
+                         "oscar: distributed execution disabled: %s\n",
+                         e.what());
         }
+    });
+    if (!pool_ || !pool_->healthy())
+        return {};
+    try {
+        return pool_->submit(cost, std::move(points), options);
+    } catch (const std::exception& e) {
+        // Pool refused (e.g. every worker died between the health
+        // check and the submit): fall back to the thread pool. The
+        // points vector is only moved on success.
+        std::fprintf(stderr,
+                     "oscar: distributed submit failed (%s); "
+                     "running in-process\n",
+                     e.what());
+        return {};
     }
-
-    std::lock_guard<std::mutex> lock(b.m);
-    if (failure) {
-        if (!b.error)
-            b.error = failure;
-    } else {
-        b.stats.pointsCompleted += n;
-        b.stats.kernel += delta;
-        if (callback_failure && !b.error)
-            b.error = callback_failure;
-    }
-    if (++b.chunksAccounted == b.chunks.size()) {
-        b.finished = true;
-        b.cv.notify_all();
-    }
-}
-
-bool
-ExecutionEngine::cancelBatch(BatchHandle::Batch& b)
-{
-    const std::size_t total = b.chunks.size();
-    // Claim everything unstarted in one shot; claims already handed to
-    // workers (indices < claimed) still run to completion.
-    std::size_t claimed = b.nextChunk.exchange(total);
-    claimed = std::min(claimed, total);
-    if (claimed >= total)
-        return false;
-    std::size_t skipped = 0;
-    for (std::size_t c = claimed; c < total; ++c)
-        skipped += b.chunks[c].hi - b.chunks[c].lo;
-    if (b.cost)
-        b.cost->refundQueries(skipped);
-    std::lock_guard<std::mutex> lock(b.m);
-    b.stats.pointsCancelled += skipped;
-    b.chunksAccounted += total - claimed;
-    if (b.chunksAccounted == total) {
-        b.finished = true;
-        b.cv.notify_all();
-    }
-    return true;
 }
 
 BatchHandle
@@ -296,13 +389,26 @@ ExecutionEngine::submitBatch(CostFunction* cost,
                              std::function<double(std::size_t)> map_fn,
                              std::size_t count, SubmitOptions options)
 {
-    auto batch = std::make_shared<BatchHandle::Batch>();
+    if (cost && count > 0) {
+        // Validate every point before counting anything, exactly like
+        // the scalar path, so query/ordinal accounting cannot diverge
+        // by thread count or batch outcome. Distribution is tried
+        // before the local batch state exists, so a remote submission
+        // never pays for a count-sized output buffer it will discard.
+        for (const auto& p : points)
+            cost->checkParams(p);
+        BatchHandle remote = tryDistribute(*cost, points, options);
+        if (remote.valid())
+            return remote;
+    }
+
+    auto batch = std::make_shared<EngineBatch>();
     batch->points = std::move(points);
     batch->mapFn = std::move(map_fn);
     batch->cost = cost;
     batch->options = std::move(options);
     batch->out.resize(count);
-    batch->stats.pointsTotal = count;
+    batch->progress.pointsTotal = count;
 
     if (count == 0) {
         batch->finished = true;
@@ -314,11 +420,6 @@ ExecutionEngine::submitBatch(CostFunction* cost,
         chunks = {Chunk{0, count}};
     bool enqueue = !workers_.empty() && !chunks.empty();
     if (cost) {
-        // Validate every point before counting anything, exactly like
-        // the scalar path, so query/ordinal accounting cannot diverge
-        // by thread count or batch outcome.
-        for (const auto& p : batch->points)
-            cost->checkParams(p);
         if (enqueue) {
             // One replica per chunk; a non-replicable cost degrades to
             // deferred inline execution on the waiting thread.

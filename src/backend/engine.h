@@ -47,8 +47,15 @@
 #include <vector>
 
 #include "src/backend/executor.h"
+#include "src/dist/options.h"
 
 namespace oscar {
+
+namespace dist {
+class ProcessPool;
+}
+
+struct EngineBatch; // the engine's thread-pooled Control (engine.cpp)
 
 /**
  * ExecutionEngine configuration.
@@ -71,6 +78,16 @@ struct EngineOptions
      * it saves).
      */
     std::size_t minPointsPerThread = 4;
+
+    /**
+     * Multi-process sharding (src/dist). With numWorkers > 0 (or the
+     * OSCAR_DIST_WORKERS environment variable set), large batches of
+     * distributable cost functions are sharded across forked
+     * oscar-worker processes behind a fault-tolerant task queue;
+     * everything else keeps using the in-process thread pool. Values
+     * are bit-identical either way for a fixed kernel ISA.
+     */
+    dist::DistOptions dist;
 };
 
 /** Progress / effectiveness counters of one submitted batch. */
@@ -85,6 +102,17 @@ struct BatchStats
     /** Points skipped by cancel() (queries refunded). */
     std::size_t pointsCancelled = 0;
 
+    /** Points evaluated by remote worker processes (src/dist). */
+    std::size_t pointsRemote = 0;
+
+    /**
+     * Distributed shards requeued onto surviving workers after their
+     * assigned worker died mid-flight. Nonzero requeues never change
+     * values (ordinals were reserved at submission); the counter makes
+     * fault recovery observable.
+     */
+    std::size_t shardsRequeued = 0;
+
     /** Kernel-layer (prefix cache) traffic attributed to this batch. */
     KernelStats kernel;
 
@@ -94,6 +122,8 @@ struct BatchStats
         pointsTotal += other.pointsTotal;
         pointsCompleted += other.pointsCompleted;
         pointsCancelled += other.pointsCancelled;
+        pointsRemote += other.pointsRemote;
+        shardsRequeued += other.shardsRequeued;
         kernel += other.kernel;
         return *this;
     }
@@ -135,10 +165,34 @@ class ExecutionEngine;
  * is destroyed (destruction cancels still-queued work first). The cost
  * function, by contrast, must outlive the batch: it is evaluated from
  * worker threads until wait()/get() returns or the engine dies.
+ *
+ * The handle itself is execution-substrate-agnostic: it forwards to a
+ * Control implemented by the engine's thread-pooled batch or by the
+ * distributed process pool's remote batch (src/dist/process_pool.h),
+ * so every submission surface in the system -- samplers, gridSearch,
+ * Oscar pipelines, the multi-QPU scheduler -- consumes one handle
+ * type regardless of where the work runs.
  */
 class BatchHandle
 {
   public:
+    /**
+     * Execution-substrate interface behind a handle. Implementations
+     * must keep every method safe to call from any thread, allow
+     * repeated get(), and guarantee that after wait() returns all
+     * streaming callbacks have completed.
+     */
+    class Control
+    {
+      public:
+        virtual ~Control() = default;
+        virtual bool done() const = 0;
+        virtual void wait() = 0;
+        virtual std::vector<double> get() = 0;
+        virtual bool cancel() = 0;
+        virtual BatchStats stats() const = 0;
+    };
+
     /** Invalid handle; every accessor below requires valid(). */
     BatchHandle() = default;
 
@@ -177,15 +231,14 @@ class BatchHandle
 
   private:
     friend class ExecutionEngine;
+    friend class dist::ProcessPool;
 
-    struct Batch;
-
-    explicit BatchHandle(std::shared_ptr<Batch> state)
+    explicit BatchHandle(std::shared_ptr<Control> state)
         : state_(std::move(state))
     {
     }
 
-    std::shared_ptr<Batch> state_;
+    std::shared_ptr<Control> state_;
 };
 
 /** Thread-pooled asynchronous batch evaluator for CostFunctions. */
@@ -271,8 +324,17 @@ class ExecutionEngine
         return engine ? *engine : serial();
     }
 
+    /**
+     * The distributed process pool behind this engine, or nullptr
+     * when distribution is off, not yet started (the pool spawns
+     * lazily on the first distributable submission), or failed to
+     * start. Exposed for tests and fault-injection (worker pids).
+     */
+    dist::ProcessPool* processPool() const { return pool_.get(); }
+
   private:
     friend class BatchHandle;
+    friend struct EngineBatch; ///< chunk layout + worker bridges
 
     struct Chunk
     {
@@ -289,11 +351,14 @@ class ExecutionEngine
                             std::function<double(std::size_t)> map_fn,
                             std::size_t count, SubmitOptions options);
 
-    /** Execute chunk c of a batch (worker or waiting thread). */
-    static void runChunk(BatchHandle::Batch& batch, std::size_t c);
-
-    /** Skip every unclaimed chunk; returns true if any was skipped. */
-    static bool cancelBatch(BatchHandle::Batch& batch);
+    /**
+     * Route a batch to the process pool when distribution is enabled,
+     * the cost is distributable, and the batch is worth a process
+     * round-trip. Returns an invalid handle to mean "run in-process".
+     */
+    BatchHandle tryDistribute(CostFunction& cost,
+                              std::vector<std::vector<double>>& points,
+                              const SubmitOptions& options);
 
     // -- worker pool -------------------------------------------------
     void workerLoop();
@@ -303,8 +368,14 @@ class ExecutionEngine
 
     std::mutex mutex_; ///< guards queue_ and stop_
     std::condition_variable wake_;
-    std::deque<std::shared_ptr<BatchHandle::Batch>> queue_;
+    std::deque<std::shared_ptr<EngineBatch>> queue_;
     bool stop_ = false;
+
+    // -- distributed routing -----------------------------------------
+    dist::DistOptions dist_;
+    bool distEnabled_ = false;    ///< resolved from options + env
+    std::once_flag poolOnce_;     ///< lazy pool spawn
+    std::unique_ptr<dist::ProcessPool> pool_;
 };
 
 } // namespace oscar

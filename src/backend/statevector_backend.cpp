@@ -86,6 +86,16 @@ StatevectorCost::batchOrderHint() const
     return compiled_.parameterOrder();
 }
 
+std::optional<DistPayload>
+StatevectorCost::distPayload() const
+{
+    DistPayload payload;
+    payload.circuit = &circuit_;
+    payload.hamiltonian = &hamiltonian_;
+    payload.kernel = kernel_;
+    return payload;
+}
+
 KernelStats
 StatevectorCost::kernelStats() const
 {
@@ -169,7 +179,9 @@ StatevectorCost::evaluatePoint(const std::vector<double>& params)
     if (!diagonal_.empty())
         return table_->expectationDiagonal(
             state_.amps().data(), diagonal_.data(), state_.dim());
-    return hamiltonian_.expectation(state_);
+    // Non-diagonal Hamiltonians contract term by term through the
+    // same pinned kernel table as the simulation itself.
+    return hamiltonian_.expectation(state_, *table_);
 }
 
 std::size_t

@@ -70,6 +70,14 @@ class StatevectorCost : public CostFunction
     /** Parameters ordered by first use in the compiled schedule. */
     std::vector<int> batchOrderHint() const override;
 
+    /**
+     * Distributable: the evaluator is exactly (circuit, Hamiltonian,
+     * kernel options), and evaluation is deterministic per kernel ISA,
+     * so a worker-process replica built from this payload produces
+     * bit-identical values.
+     */
+    std::optional<DistPayload> distPayload() const override;
+
     /** Checkpoint cache counters (benchmark instrumentation). */
     const PrefixCache& prefixCache() const { return cache_; }
 

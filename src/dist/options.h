@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Configuration of the distributed execution subsystem.
+ *
+ * Kept free of other project includes so the backend layer
+ * (backend/engine.h) and the core pipelines (core/oscar.h) can embed
+ * these options by value without depending on the process pool itself.
+ */
+
+#ifndef OSCAR_DIST_OPTIONS_H
+#define OSCAR_DIST_OPTIONS_H
+
+#include <cstddef>
+#include <string>
+
+namespace oscar {
+namespace dist {
+
+/**
+ * Multi-process landscape sharding configuration.
+ *
+ * With numWorkers > 0 the ExecutionEngine forks worker processes (the
+ * `oscar-worker` entry point of the same build) and routes large
+ * batches of distributable cost functions to them as parameter-point
+ * shards over a fault-tolerant task queue. Ordinals are reserved at
+ * submission, so results are bit-identical to in-process execution
+ * (for a fixed kernel ISA) regardless of worker count, completion
+ * order, or crash-triggered requeues.
+ */
+struct DistOptions
+{
+    /**
+     * Worker processes. 0 = disabled unless the OSCAR_DIST_WORKERS
+     * environment variable names a count; negative = force-disabled
+     * (ignore the environment too).
+     */
+    int numWorkers = 0;
+
+    /**
+     * Points per task shard. 0 = auto: roughly four shards per worker
+     * per batch, so a crashed worker forfeits at most ~1/(4W) of the
+     * batch and stragglers rebalance, while shards stay long enough to
+     * keep each worker's prefix cache hot. Purely a performance knob:
+     * sharding never changes values.
+     */
+    std::size_t shardSize = 0;
+
+    /**
+     * Batches smaller than this run in-process (threaded): a process
+     * round-trip costs more than it saves on tiny batches.
+     */
+    std::size_t minPointsToDistribute = 16;
+
+    /** Worker heartbeat period, milliseconds. */
+    int heartbeatIntervalMs = 100;
+
+    /**
+     * A worker silent for this long (no heartbeat, result, or hello)
+     * is declared dead: it is killed, and its in-flight shard is
+     * requeued onto the surviving workers. Crashes are additionally
+     * detected immediately via pipe EOF; the timeout catches hung
+     * (not crashed) workers.
+     */
+    int heartbeatTimeoutMs = 3000;
+
+    /**
+     * Worker executable. Empty = resolve automatically: the
+     * OSCAR_WORKER_BIN environment variable, then the build
+     * directory's `oscar-worker`, then an `oscar-worker` next to the
+     * current executable.
+     */
+    std::string workerPath;
+};
+
+} // namespace dist
+} // namespace oscar
+
+#endif // OSCAR_DIST_OPTIONS_H

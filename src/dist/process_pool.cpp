@@ -1,0 +1,973 @@
+#include "src/dist/process_pool.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/dist/wire.h"
+
+namespace oscar {
+namespace dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Write the whole buffer to a non-blocking socket, polling for
+ * writability up to `deadline`. Returns false on any failure (peer
+ * gone, deadline passed); MSG_NOSIGNAL keeps a dead peer from raising
+ * SIGPIPE.
+ */
+bool
+sendAll(int fd, const std::uint8_t* data, std::size_t n,
+        Clock::time_point deadline)
+{
+    std::size_t off = 0;
+    while (off < n) {
+        const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+        if (w > 0) {
+            off += static_cast<std::size_t>(w);
+            continue;
+        }
+        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            const auto now = Clock::now();
+            if (now >= deadline)
+                return false;
+            struct pollfd pfd{fd, POLLOUT, 0};
+            const auto remain =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - now)
+                    .count();
+            ::poll(&pfd, 1, static_cast<int>(std::max<long long>(
+                                1, std::min<long long>(remain, 100))));
+            continue;
+        }
+        if (w < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+// ------------------------------------------------------------- state
+
+/** One shard of one batch on the shared task queue. */
+struct Shard
+{
+    std::shared_ptr<RemoteBatch> batch;
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    std::uint64_t taskId = 0;
+};
+
+/** One forked worker process (all fields monitor-owned; pid/alive
+ *  also read by workerPids()/healthy() under the core mutex). */
+struct WorkerProc
+{
+    int pid = -1;
+    int fd = -1;
+    bool alive = false;
+    bool helloSeen = false;
+    FrameDecoder decoder;
+    Clock::time_point lastHeard;
+    std::optional<Shard> inflight;
+    std::unordered_set<std::uint64_t> loadedCosts;
+};
+
+/**
+ * Shared pool core. RemoteBatch handles keep it alive through a
+ * weak_ptr upgrade in cancel(), so a handle outliving the pool never
+ * dereferences freed state.
+ *
+ * Lock ordering: core.mutex may be held while taking a batch's mutex,
+ * never the reverse.
+ */
+struct PoolCore
+{
+    DistOptions options;
+    std::string workerPath;
+
+    mutable std::mutex mutex;
+    std::deque<Shard> pending;
+    std::vector<WorkerProc> workers;
+    bool stop = false;
+    PoolStats stats;
+    std::uint64_t nextTaskId = 1;
+    /** Content-addressed cost specs (LoadCost payloads) by costId. */
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> costs;
+
+    int wakeRead = -1;
+    int wakeWrite = -1;
+
+    Clock::time_point
+    sendDeadline() const
+    {
+        return Clock::now() +
+               std::chrono::milliseconds(options.heartbeatTimeoutMs);
+    }
+};
+
+/** Remote-execution Control behind a BatchHandle. */
+struct RemoteBatch final : BatchHandle::Control
+{
+    std::weak_ptr<PoolCore> core;
+    std::vector<std::vector<double>> points;
+    CostFunction* cost = nullptr;
+    std::uint64_t costId = 0;
+    std::uint64_t baseOrdinal = 0;
+    SubmitOptions options;
+
+    mutable std::mutex m;
+    std::condition_variable cv;
+    std::vector<double> out;
+    BatchStats progress;
+    std::exception_ptr error;
+    std::size_t shardsTotal = 0;
+    std::size_t shardsAccounted = 0;
+    bool finished = false;
+
+    /** Serializes onComplete invocations (never held with `m`). */
+    std::mutex callbackMutex;
+
+    bool
+    done() const override
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return finished;
+    }
+
+    void
+    wait() override
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return finished; });
+    }
+
+    std::vector<double>
+    get() override
+    {
+        wait();
+        std::lock_guard<std::mutex> lock(m);
+        if (error)
+            std::rethrow_exception(error);
+        if (progress.pointsCancelled > 0)
+            throw std::runtime_error(
+                "BatchHandle::get: batch was cancelled");
+        return out;
+    }
+
+    bool
+    cancel() override
+    {
+        // Pull this batch's still-queued shards off the shared queue;
+        // in-flight shards complete and are charged, like the engine.
+        // After the pool died there is nothing left to skip (its
+        // destructor already retired the queue).
+        std::size_t skipped_points = 0;
+        std::size_t skipped_shards = 0;
+        if (const std::shared_ptr<PoolCore> c = core.lock()) {
+            std::lock_guard<std::mutex> lock(c->mutex);
+            auto it = c->pending.begin();
+            while (it != c->pending.end()) {
+                if (it->batch.get() == this) {
+                    skipped_points += it->hi - it->lo;
+                    ++skipped_shards;
+                    it = c->pending.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+        if (skipped_points == 0)
+            return false;
+        cost->refundQueries(skipped_points);
+        std::lock_guard<std::mutex> lock(m);
+        progress.pointsCancelled += skipped_points;
+        accountShardsLocked(skipped_shards);
+        return true;
+    }
+
+    BatchStats
+    stats() const override
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return progress;
+    }
+
+    /** Call with `m` held. */
+    void
+    accountShardsLocked(std::size_t n)
+    {
+        shardsAccounted += n;
+        if (shardsAccounted == shardsTotal) {
+            finished = true;
+            cv.notify_all();
+        }
+    }
+
+    /** Fail the whole batch (first error wins). Call with `m` held. */
+    void
+    failShardLocked(const std::string& message, std::size_t shards)
+    {
+        if (!error)
+            error = std::make_exception_ptr(std::runtime_error(message));
+        accountShardsLocked(shards);
+    }
+};
+
+// ----------------------------------------------------------- helpers
+
+namespace {
+
+/** Encode-and-send one frame; false on failure. */
+bool
+sendFrame(const PoolCore& core, WorkerProc& worker,
+          FrameType type, std::span<const std::uint8_t> payload)
+{
+    const std::vector<std::uint8_t> bytes = encodeFrame(type, payload);
+    return sendAll(worker.fd, bytes.data(), bytes.size(),
+                   core.sendDeadline());
+}
+
+} // namespace
+
+// The monitor below needs these with the core lock held.
+namespace {
+
+void requeueNoSurvivorsLocked(PoolCore& core);
+
+/**
+ * Declare a worker dead: close its pipe, make sure the process is
+ * gone, and put its in-flight shard back at the head of the queue so
+ * recovery preempts new work. Call with the core mutex held.
+ */
+void
+markWorkerDeadLocked(PoolCore& core, WorkerProc& worker)
+{
+    if (!worker.alive)
+        return;
+    worker.alive = false;
+    if (worker.fd >= 0) {
+        ::close(worker.fd);
+        worker.fd = -1;
+    }
+    if (worker.pid > 0) {
+        ::kill(worker.pid, SIGKILL);
+        ::waitpid(worker.pid, nullptr, 0);
+        // Forget the pid once reaped: the OS may recycle it, and a
+        // later cleanup pass must not SIGKILL an innocent process.
+        worker.pid = -1;
+    }
+    core.stats.workersLost++;
+    if (worker.inflight) {
+        Shard shard = std::move(*worker.inflight);
+        worker.inflight.reset();
+        core.stats.tasksRequeued++;
+        {
+            std::lock_guard<std::mutex> lock(shard.batch->m);
+            shard.batch->progress.shardsRequeued++;
+        }
+        core.pending.push_front(std::move(shard));
+    }
+    requeueNoSurvivorsLocked(core);
+}
+
+/**
+ * With no survivors the queue can never drain: fail every queued
+ * shard's batch instead of hanging its waiters. Call with the core
+ * mutex held.
+ */
+void
+requeueNoSurvivorsLocked(PoolCore& core)
+{
+    for (const WorkerProc& w : core.workers) {
+        if (w.alive)
+            return;
+    }
+    while (!core.pending.empty()) {
+        Shard shard = std::move(core.pending.front());
+        core.pending.pop_front();
+        std::lock_guard<std::mutex> lock(shard.batch->m);
+        shard.batch->failShardLocked(
+            "distributed execution: all worker processes died", 1);
+    }
+}
+
+/** Hand queued shards to idle workers. Call with the core mutex held. */
+void
+dispatchLocked(PoolCore& core)
+{
+    for (WorkerProc& worker : core.workers) {
+        if (!worker.alive || worker.inflight)
+            continue;
+        if (core.pending.empty())
+            return;
+        Shard shard = std::move(core.pending.front());
+        core.pending.pop_front();
+
+        const std::uint64_t cost_id = shard.batch->costId;
+        bool ok = true;
+        try {
+            if (!worker.loadedCosts.count(cost_id)) {
+                ok = sendFrame(core, worker, FrameType::LoadCost,
+                               core.costs.at(cost_id));
+                if (ok)
+                    worker.loadedCosts.insert(cost_id);
+            }
+            if (ok) {
+                TaskMsg task;
+                task.taskId = shard.taskId;
+                task.costId = cost_id;
+                task.baseOrdinal = shard.batch->baseOrdinal + shard.lo;
+                task.points.assign(
+                    shard.batch->points.begin() +
+                        static_cast<std::ptrdiff_t>(shard.lo),
+                    shard.batch->points.begin() +
+                        static_cast<std::ptrdiff_t>(shard.hi));
+                ok = sendFrame(core, worker, FrameType::Task,
+                               encodeTask(task));
+            }
+        } catch (const WireError& e) {
+            // Unencodable shard (e.g. a payload past the frame size
+            // limit): deterministic, so requeueing would spin — fail
+            // the batch and keep both the worker and the monitor
+            // thread alive (an uncaught throw here would terminate
+            // the process).
+            std::lock_guard<std::mutex> lock(shard.batch->m);
+            shard.batch->failShardLocked(
+                std::string("distributed dispatch: ") + e.what(), 1);
+            continue;
+        }
+        if (!ok) {
+            // Put the shard back first so the death path cannot race
+            // it away, then retire the worker (which requeues nothing:
+            // inflight was never set).
+            core.pending.push_front(std::move(shard));
+            markWorkerDeadLocked(core, worker);
+            continue;
+        }
+        worker.inflight = std::move(shard);
+        core.stats.tasksDispatched++;
+    }
+}
+
+/** One completed shard, carried out of the lock for callback work. */
+struct Completion
+{
+    std::shared_ptr<RemoteBatch> batch;
+    std::size_t lo = 0;
+    std::vector<double> values;
+    KernelStats kernel;
+};
+
+/**
+ * Handle one decoded frame from a worker. Returns false when the
+ * worker violated the protocol and must be retired. Call with the
+ * core mutex held.
+ */
+bool
+handleFrameLocked(PoolCore& core, WorkerProc& worker, Frame&& frame,
+                  std::vector<Completion>& completed)
+{
+    worker.lastHeard = Clock::now();
+    switch (frame.type) {
+      case FrameType::Hello: {
+        const HelloMsg hello = decodeHello(frame.payload);
+        worker.helloSeen = true;
+        return hello.wireVersion == kWireVersion;
+      }
+      case FrameType::Heartbeat:
+        return true;
+      case FrameType::Result: {
+        ResultMsg msg = decodeResult(frame.payload);
+        if (!worker.inflight || worker.inflight->taskId != msg.taskId)
+            return true; // stale result; ignore
+        if (msg.values.size() != worker.inflight->hi - worker.inflight->lo)
+            return false; // wrong shard size: retire + requeue inflight
+        Shard shard = std::move(*worker.inflight);
+        worker.inflight.reset();
+        Completion done;
+        done.batch = std::move(shard.batch);
+        done.lo = shard.lo;
+        done.values = std::move(msg.values);
+        done.kernel = msg.kernel;
+        completed.push_back(std::move(done));
+        return true;
+      }
+      case FrameType::TaskError: {
+        const TaskErrorMsg msg = decodeTaskError(frame.payload);
+        if (!worker.inflight || worker.inflight->taskId != msg.taskId)
+            return true;
+        Shard shard = std::move(*worker.inflight);
+        worker.inflight.reset();
+        if (msg.code == kTaskErrorUnknownCost) {
+            // The worker's bounded spec cache evicted this cost:
+            // forget that it was loaded (the next dispatch re-sends
+            // the spec) and retry the shard. Self-healing, never a
+            // batch failure.
+            worker.loadedCosts.erase(shard.batch->costId);
+            core.stats.tasksRequeued++;
+            core.pending.push_front(std::move(shard));
+            return true;
+        }
+        std::lock_guard<std::mutex> lock(shard.batch->m);
+        shard.batch->failShardLocked(
+            "distributed worker: " + msg.message, 1);
+        return true; // evaluation error; the worker itself is fine
+      }
+      default:
+        return false; // pool-bound frames only
+    }
+}
+
+/**
+ * Apply a completed shard outside the core lock: write the values,
+ * stream callbacks, account progress.
+ */
+void
+applyCompletion(Completion& done)
+{
+    const std::size_t n = done.values.size();
+    std::memcpy(done.batch->out.data() + done.lo, done.values.data(),
+                n * sizeof(double));
+
+    std::exception_ptr callback_failure;
+    if (done.batch->options.onComplete) {
+        std::lock_guard<std::mutex> lock(done.batch->callbackMutex);
+        try {
+            for (std::size_t i = 0; i < n; ++i)
+                done.batch->options.onComplete(done.lo + i,
+                                               done.values[i]);
+        } catch (...) {
+            callback_failure = std::current_exception();
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(done.batch->m);
+    done.batch->progress.pointsCompleted += n;
+    done.batch->progress.pointsRemote += n;
+    done.batch->progress.kernel += done.kernel;
+    if (callback_failure && !done.batch->error)
+        done.batch->error = callback_failure;
+    done.batch->accountShardsLocked(1);
+}
+
+} // namespace
+
+// ------------------------------------------------------------- spawn
+
+std::string
+ProcessPool::resolveWorkerPath(const std::string& override_path)
+{
+    // An explicit path (options, then environment) is authoritative:
+    // a typo'd path should fail loudly, not silently fall back to a
+    // stale build-tree worker.
+    if (!override_path.empty()) {
+        if (::access(override_path.c_str(), X_OK) != 0)
+            throw std::runtime_error(
+                "DistOptions::workerPath is not executable: " +
+                override_path);
+        return override_path;
+    }
+    if (const char* env = std::getenv("OSCAR_WORKER_BIN")) {
+        if (::access(env, X_OK) != 0)
+            throw std::runtime_error(
+                "OSCAR_WORKER_BIN is not executable: " +
+                std::string(env));
+        return env;
+    }
+
+    std::vector<std::string> candidates;
+#ifdef OSCAR_WORKER_DEFAULT_PATH
+    candidates.push_back(OSCAR_WORKER_DEFAULT_PATH);
+#endif
+    // Next to the running executable (installed layouts).
+    char exe[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    if (n > 0) {
+        exe[n] = '\0';
+        std::string dir(exe);
+        const std::size_t slash = dir.rfind('/');
+        if (slash != std::string::npos)
+            candidates.push_back(dir.substr(0, slash) + "/oscar-worker");
+    }
+
+    for (const std::string& path : candidates) {
+        if (::access(path.c_str(), X_OK) == 0)
+            return path;
+    }
+    std::string tried;
+    for (const std::string& path : candidates)
+        tried += (tried.empty() ? "" : ", ") + path;
+    throw std::runtime_error(
+        "oscar-worker executable not found (tried: " +
+        (tried.empty() ? std::string("nothing") : tried) +
+        "); set OSCAR_WORKER_BIN or DistOptions::workerPath");
+}
+
+namespace {
+
+/** Fork + exec one worker; returns its parent-side fd. */
+int
+spawnWorker(const std::string& worker_path, int heartbeat_ms, int* pid_out)
+{
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+        throw std::runtime_error("ProcessPool: socketpair failed");
+    // Parent end: close-on-exec (later workers must not inherit it)
+    // and non-blocking (the monitor multiplexes all workers).
+    ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(sv[0], F_SETFL, O_NONBLOCK);
+
+    // Argument strings must exist before fork: the child may only use
+    // async-signal-safe calls between fork and exec.
+    const std::string fd_arg = std::to_string(sv[1]);
+    const std::string hb_arg = std::to_string(heartbeat_ms);
+
+    const int pid = ::fork();
+    if (pid == 0) {
+        ::close(sv[0]);
+        ::execl(worker_path.c_str(), "oscar-worker", "--worker-fd",
+                fd_arg.c_str(), "--heartbeat-ms", hb_arg.c_str(),
+                static_cast<char*>(nullptr));
+        ::_exit(127); // exec failed; parent sees EOF
+    }
+    ::close(sv[1]);
+    if (pid < 0) {
+        ::close(sv[0]);
+        throw std::runtime_error("ProcessPool: fork failed");
+    }
+    *pid_out = pid;
+    return sv[0];
+}
+
+} // namespace
+
+ProcessPool::ProcessPool(const DistOptions& options)
+{
+    if (options.numWorkers < 1)
+        throw std::invalid_argument(
+            "ProcessPool: numWorkers must be >= 1");
+
+    core_ = std::make_shared<PoolCore>();
+    core_->options = options;
+    core_->options.heartbeatIntervalMs =
+        std::max(10, options.heartbeatIntervalMs);
+    core_->options.heartbeatTimeoutMs =
+        std::max(3 * core_->options.heartbeatIntervalMs,
+                 options.heartbeatTimeoutMs);
+    core_->workerPath = resolveWorkerPath(options.workerPath);
+
+    int wake[2];
+    if (::pipe2(wake, O_CLOEXEC | O_NONBLOCK) != 0)
+        throw std::runtime_error("ProcessPool: pipe2 failed");
+    core_->wakeRead = wake[0];
+    core_->wakeWrite = wake[1];
+
+    auto cleanup = [&] {
+        for (WorkerProc& w : core_->workers) {
+            if (w.fd >= 0)
+                ::close(w.fd);
+            if (w.pid > 0) {
+                ::kill(w.pid, SIGKILL);
+                ::waitpid(w.pid, nullptr, 0);
+            }
+        }
+        ::close(core_->wakeRead);
+        ::close(core_->wakeWrite);
+    };
+
+    core_->workers.resize(
+        static_cast<std::size_t>(core_->options.numWorkers));
+    try {
+        for (WorkerProc& w : core_->workers) {
+            w.fd = spawnWorker(core_->workerPath,
+                               core_->options.heartbeatIntervalMs,
+                               &w.pid);
+            w.alive = true;
+            w.lastHeard = Clock::now();
+            core_->stats.workersSpawned++;
+        }
+    } catch (...) {
+        cleanup();
+        throw;
+    }
+
+    // Wait for each worker's Hello (or its immediate death, e.g. an
+    // exec failure) so a broken worker setup surfaces here -- where
+    // the engine can still fall back to in-process execution --
+    // instead of failing the first submitted batch.
+    const auto deadline = Clock::now() + std::chrono::seconds(10);
+    for (;;) {
+        std::vector<struct pollfd> fds;
+        std::vector<std::size_t> idx;
+        for (std::size_t i = 0; i < core_->workers.size(); ++i) {
+            WorkerProc& w = core_->workers[i];
+            if (w.alive && !w.helloSeen) {
+                fds.push_back({w.fd, POLLIN, 0});
+                idx.push_back(i);
+            }
+        }
+        if (fds.empty())
+            break;
+        if (Clock::now() >= deadline)
+            break;
+        ::poll(fds.data(), fds.size(), 100);
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+            if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            WorkerProc& w = core_->workers[idx[k]];
+            std::uint8_t buf[4096];
+            const ssize_t r = ::recv(w.fd, buf, sizeof(buf), 0);
+            if (r <= 0) {
+                if (r < 0 && (errno == EAGAIN || errno == EINTR))
+                    continue;
+                std::lock_guard<std::mutex> lock(core_->mutex);
+                markWorkerDeadLocked(*core_, w);
+                continue;
+            }
+            try {
+                w.decoder.feed(buf, static_cast<std::size_t>(r));
+                while (auto frame = w.decoder.next()) {
+                    if (frame->type == FrameType::Hello) {
+                        const HelloMsg hello = decodeHello(frame->payload);
+                        if (hello.wireVersion != kWireVersion)
+                            throw WireError("wire version mismatch");
+                        w.helloSeen = true;
+                        w.lastHeard = Clock::now();
+                    }
+                }
+            } catch (const WireError&) {
+                std::lock_guard<std::mutex> lock(core_->mutex);
+                markWorkerDeadLocked(*core_, w);
+            }
+        }
+    }
+    if (!healthy()) {
+        cleanup();
+        throw std::runtime_error(
+            "ProcessPool: no worker came up (path: " + core_->workerPath +
+            ")");
+    }
+
+    monitor_ = std::thread(&ProcessPool::monitorLoop, core_);
+}
+
+ProcessPool::~ProcessPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(core_->mutex);
+        core_->stop = true;
+        // Retire still-queued shards exactly like engine destruction:
+        // refund their queries and mark them cancelled; in-flight
+        // shards drain below.
+        while (!core_->pending.empty()) {
+            Shard shard = std::move(core_->pending.front());
+            core_->pending.pop_front();
+            const std::size_t n = shard.hi - shard.lo;
+            shard.batch->cost->refundQueries(n);
+            std::lock_guard<std::mutex> batch_lock(shard.batch->m);
+            shard.batch->progress.pointsCancelled += n;
+            shard.batch->accountShardsLocked(1);
+        }
+    }
+    const std::uint8_t wake_byte = 0;
+    (void)!::write(core_->wakeWrite, &wake_byte, 1);
+    if (monitor_.joinable())
+        monitor_.join();
+    ::close(core_->wakeRead);
+    ::close(core_->wakeWrite);
+}
+
+// ----------------------------------------------------------- monitor
+
+void
+ProcessPool::monitorLoop(const std::shared_ptr<PoolCore>& core_ptr)
+{
+    PoolCore& core = *core_ptr;
+    std::unique_lock<std::mutex> lock(core.mutex);
+    for (;;) {
+        // Shutdown: queued shards are gone (the destructor retired
+        // them; crash-requeues drain through the survivors), so once
+        // nothing is in flight the workers can be released.
+        if (core.stop) {
+            // pending may hold crash-requeued shards even after the
+            // destructor retired the submitted queue; they drain
+            // through the survivors before the workers are released.
+            bool inflight = false;
+            for (const WorkerProc& w : core.workers)
+                inflight |= w.alive && w.inflight.has_value();
+            if (!inflight && core.pending.empty())
+                break;
+        }
+
+        dispatchLocked(core);
+
+        std::vector<struct pollfd> fds;
+        std::vector<std::size_t> idx; // worker index per pollfd tail
+        fds.push_back({core.wakeRead, POLLIN, 0});
+        for (std::size_t i = 0; i < core.workers.size(); ++i) {
+            if (core.workers[i].alive) {
+                fds.push_back({core.workers[i].fd, POLLIN, 0});
+                idx.push_back(i);
+            }
+        }
+
+        lock.unlock();
+        ::poll(fds.data(), fds.size(),
+               std::max(10, core.options.heartbeatIntervalMs / 2));
+
+        if (fds[0].revents & POLLIN) {
+            std::uint8_t drain[64];
+            while (::read(core.wakeRead, drain, sizeof(drain)) > 0) {
+            }
+        }
+
+        std::vector<Completion> completed;
+        lock.lock();
+        for (std::size_t k = 1; k < fds.size(); ++k) {
+            if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            WorkerProc& w = core.workers[idx[k - 1]];
+            if (!w.alive)
+                continue;
+            bool dead = false;
+            for (;;) {
+                std::uint8_t buf[65536];
+                const ssize_t r = ::recv(w.fd, buf, sizeof(buf), 0);
+                if (r > 0) {
+                    try {
+                        w.decoder.feed(buf,
+                                       static_cast<std::size_t>(r));
+                        while (auto frame = w.decoder.next()) {
+                            if (!handleFrameLocked(core, w,
+                                                   std::move(*frame),
+                                                   completed)) {
+                                dead = true;
+                                break;
+                            }
+                        }
+                    } catch (const WireError&) {
+                        dead = true;
+                    }
+                    if (dead)
+                        break;
+                    continue;
+                }
+                if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                    break;
+                if (r < 0 && errno == EINTR)
+                    continue;
+                dead = true; // EOF or hard error: the worker is gone
+                break;
+            }
+            if (dead)
+                markWorkerDeadLocked(core, w);
+        }
+
+        // Liveness scan AFTER the reads: a dispatch send that blocked
+        // on one stuck worker must not get healthy workers killed on
+        // stale timestamps — their heartbeats were just drained, so
+        // lastHeard is fresh here. Silent workers past the timeout
+        // are dead (their shard requeues and re-dispatches next
+        // iteration).
+        const auto now = Clock::now();
+        for (WorkerProc& w : core.workers) {
+            if (w.alive &&
+                now - w.lastHeard > std::chrono::milliseconds(
+                                        core.options.heartbeatTimeoutMs))
+                markWorkerDeadLocked(core, w);
+        }
+        lock.unlock();
+
+        // Value writes, streaming callbacks, and progress accounting
+        // happen outside the core lock: shards are disjoint, and
+        // callbacks may take arbitrary user time.
+        for (Completion& done : completed)
+            applyCompletion(done);
+
+        lock.lock();
+    }
+
+    // Release the workers: a Shutdown frame lets them exit cleanly
+    // and closing the pipe backs it up with EOF, but neither reaches
+    // a stopped/wedged process — after a short grace period the
+    // worker is SIGKILLed so the blocking reap (and therefore
+    // ~ProcessPool's join) can never hang.
+    for (WorkerProc& w : core.workers) {
+        if (!w.alive)
+            continue;
+        sendFrame(core, w, FrameType::Shutdown, {});
+        ::close(w.fd);
+        w.fd = -1;
+        w.alive = false;
+        bool reaped = false;
+        for (int spin = 0; spin < 50 && !reaped; ++spin) {
+            if (::waitpid(w.pid, nullptr, WNOHANG) != 0)
+                reaped = true; // exited (or already gone)
+            else
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+        }
+        if (!reaped) {
+            ::kill(w.pid, SIGKILL);
+            ::waitpid(w.pid, nullptr, 0);
+        }
+        w.pid = -1;
+    }
+}
+
+// ------------------------------------------------------------ submit
+
+BatchHandle
+ProcessPool::submit(CostFunction& cost,
+                    std::vector<std::vector<double>>&& points,
+                    SubmitOptions options)
+{
+    const std::optional<DistPayload> payload = cost.distPayload();
+    if (!payload)
+        throw std::invalid_argument(
+            "ProcessPool::submit: cost function is not distributable");
+    for (const auto& p : points)
+        cost.checkParams(p);
+
+    // Pin the kernel ISA concretely: "auto" must not resolve
+    // differently in a worker than it would here, or distributed
+    // values could drift from in-process values by rounding.
+    CostSpec spec;
+    spec.circuit = *payload->circuit;
+    spec.hamiltonian = *payload->hamiltonian;
+    spec.kernel = payload->kernel;
+    spec.kernel.isa = kernels::kernelTable(spec.kernel.isa).isa;
+    std::vector<std::uint8_t> cost_payload = encodeCostSpec(spec);
+
+    std::unique_lock<std::mutex> lock(core_->mutex);
+    if (core_->stop)
+        throw std::runtime_error(
+            "ProcessPool::submit: pool is shutting down");
+    std::size_t alive = 0;
+    for (const WorkerProc& w : core_->workers)
+        alive += w.alive ? 1 : 0;
+    if (alive == 0)
+        throw std::runtime_error(
+            "ProcessPool::submit: no live workers");
+
+    // Nothing below throws: commit the batch.
+    auto batch = std::make_shared<RemoteBatch>();
+    batch->core = core_;
+    batch->points = std::move(points);
+    batch->cost = &cost;
+    batch->costId = spec.costId;
+    batch->options = std::move(options);
+    const std::size_t count = batch->points.size();
+    batch->out.resize(count);
+    batch->progress.pointsTotal = count;
+    if (count == 0) {
+        batch->finished = true;
+        return BatchHandle(std::move(batch));
+    }
+
+    core_->costs.emplace(spec.costId, std::move(cost_payload));
+    // Bound the spec map: retire payloads no outstanding shard
+    // references (a resubmission of the same content re-encodes its
+    // payload above, so eviction never loses information). Pending
+    // and in-flight ids stay, because dispatch and unknown-cost
+    // recovery both need their bytes.
+    constexpr std::size_t kMaxCostSpecs = 32;
+    if (core_->costs.size() > kMaxCostSpecs) {
+        std::unordered_set<std::uint64_t> live;
+        live.insert(spec.costId);
+        for (const Shard& s : core_->pending)
+            live.insert(s.batch->costId);
+        for (const WorkerProc& w : core_->workers) {
+            if (w.inflight)
+                live.insert(w.inflight->batch->costId);
+        }
+        for (auto it = core_->costs.begin();
+             it != core_->costs.end();) {
+            it = live.count(it->first) ? std::next(it)
+                                       : core_->costs.erase(it);
+        }
+    }
+    batch->baseOrdinal = cost.reserve(count);
+
+    // Shards: contiguous slices, roughly four per worker by default --
+    // small enough that a crash forfeits little and stragglers
+    // rebalance, large enough to amortize the frame round-trip and
+    // keep worker-side prefix caches warm.
+    std::size_t shard_size = core_->options.shardSize;
+    if (shard_size == 0)
+        shard_size = std::max<std::size_t>(1, count / (4 * alive));
+    for (std::size_t lo = 0; lo < count; lo += shard_size) {
+        Shard shard;
+        shard.batch = batch;
+        shard.lo = lo;
+        shard.hi = std::min(count, lo + shard_size);
+        shard.taskId = core_->nextTaskId++;
+        core_->pending.push_back(std::move(shard));
+        batch->shardsTotal++;
+    }
+    lock.unlock();
+
+    const std::uint8_t wake_byte = 0;
+    (void)!::write(core_->wakeWrite, &wake_byte, 1);
+    return BatchHandle(std::move(batch));
+}
+
+// ------------------------------------------------------------- misc
+
+int
+ProcessPool::numWorkers() const
+{
+    return core_->options.numWorkers;
+}
+
+bool
+ProcessPool::healthy() const
+{
+    std::lock_guard<std::mutex> lock(core_->mutex);
+    for (const WorkerProc& w : core_->workers) {
+        if (w.alive)
+            return true;
+    }
+    return false;
+}
+
+std::vector<int>
+ProcessPool::workerPids() const
+{
+    std::lock_guard<std::mutex> lock(core_->mutex);
+    std::vector<int> pids;
+    for (const WorkerProc& w : core_->workers) {
+        if (w.alive)
+            pids.push_back(w.pid);
+    }
+    return pids;
+}
+
+PoolStats
+ProcessPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(core_->mutex);
+    return core_->stats;
+}
+
+} // namespace dist
+} // namespace oscar

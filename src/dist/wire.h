@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Compact wire format of the distributed execution subsystem.
+ *
+ * Every message between the coordinating process and an oscar-worker
+ * is one *frame*:
+ *
+ *   [magic u32 "OSCW"][version u16][type u16][payload length u64]
+ *   [payload bytes][crc32 u32 of the payload]
+ *
+ * All integers are little-endian; doubles travel as their IEEE-754
+ * bit pattern (the same build runs on both ends, so bitwise transport
+ * is what keeps distributed values identical to in-process values).
+ * A frame is rejected -- WireError -- on bad magic, unknown version or
+ * type, an oversized length, a CRC mismatch, or payload decode
+ * overrun/trailing bytes; a truncated frame is simply "not complete
+ * yet" and never yields a message.
+ *
+ * Payload schemas (task specs with circuit + Hamiltonian + kernel
+ * options + reserved ordinals, result frames with values and kernel
+ * stats) live here too, so the worker, the pool, and the tests share
+ * one encoder/decoder pair per message.
+ */
+
+#ifndef OSCAR_DIST_WIRE_H
+#define OSCAR_DIST_WIRE_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/backend/executor.h"
+#include "src/hamiltonian/pauli_sum.h"
+#include "src/quantum/circuit.h"
+
+namespace oscar {
+namespace dist {
+
+/** Malformed wire data (framing, CRC, or payload decode). */
+class WireError : public std::runtime_error
+{
+  public:
+    explicit WireError(const std::string& what)
+        : std::runtime_error("wire: " + what)
+    {
+    }
+};
+
+constexpr std::uint32_t kWireMagic = 0x4F534357u; // "OSCW"
+constexpr std::uint16_t kWireVersion = 1;
+
+/** Fixed frame header size (magic + version + type + payload length). */
+constexpr std::size_t kFrameHeaderSize = 16;
+
+/** Hard upper bound on one frame's payload (sanity, not a target). */
+constexpr std::size_t kMaxFramePayload = std::size_t{1} << 30;
+
+/** Message kinds of protocol version 1. */
+enum class FrameType : std::uint16_t
+{
+    Hello = 1,     ///< worker -> pool: pid + wire version + kernel ISA
+    LoadCost = 2,  ///< pool -> worker: cost spec to cache by id
+    Task = 3,      ///< pool -> worker: one parameter-point shard
+    Result = 4,    ///< worker -> pool: shard values + kernel stats
+    Heartbeat = 5, ///< worker -> pool: liveness beacon
+    TaskError = 6, ///< worker -> pool: shard evaluation failed
+    Shutdown = 7,  ///< pool -> worker: drain and exit
+};
+
+/** CRC-32 (IEEE 802.3 polynomial) of a byte span. */
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+// ---------------------------------------------------------------------
+// Primitive encode/decode
+// ---------------------------------------------------------------------
+
+/** Little-endian append-only byte buffer. */
+class WireWriter
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void f64(double v);
+    void str(const std::string& s);
+
+    const std::vector<std::uint8_t>& bytes() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Bounds-checked little-endian reader; throws WireError on overrun. */
+class WireReader
+{
+  public:
+    explicit WireReader(std::span<const std::uint8_t> data)
+        : data_(data)
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    double f64();
+    std::string str();
+
+    bool atEnd() const { return pos_ == data_.size(); }
+    std::size_t remaining() const { return data_.size() - pos_; }
+
+    /** Throw unless the payload was consumed exactly. */
+    void expectEnd() const;
+
+  private:
+    const std::uint8_t* need(std::size_t n);
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Heartbeat;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Serialize a complete frame (header + payload + CRC). */
+std::vector<std::uint8_t> encodeFrame(FrameType type,
+                                      std::span<const std::uint8_t> payload);
+
+/**
+ * Incremental frame decoder over a byte stream. feed() appends raw
+ * bytes; next() yields complete, CRC-verified frames in order, or
+ * nullopt while the tail frame is still truncated. Corruption throws
+ * WireError, after which the stream is unusable (the transport --
+ * a worker connection -- is torn down, not resynchronized).
+ */
+class FrameDecoder
+{
+  public:
+    void feed(const std::uint8_t* data, std::size_t n);
+    std::optional<Frame> next();
+
+    /** Bytes buffered but not yet consumed by next(). */
+    std::size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Message payloads
+// ---------------------------------------------------------------------
+
+/** Worker greeting. */
+struct HelloMsg
+{
+    std::int32_t pid = 0;
+    std::uint16_t wireVersion = kWireVersion;
+    kernels::KernelIsa isa = kernels::KernelIsa::Scalar;
+};
+
+/**
+ * A cost function a worker can evaluate: ansatz circuit + Hamiltonian
+ * + kernel tuning. Content-addressed: `costId` is the FNV-1a hash of
+ * the encoded body, so the pool loads each distinct cost into each
+ * worker at most once and requeues survive without renegotiation.
+ */
+struct CostSpec
+{
+    std::uint64_t costId = 0;
+    Circuit circuit;
+    PauliSum hamiltonian{1};
+    KernelOptions kernel;
+};
+
+/** One parameter-point shard with its reserved ordinal base. */
+struct TaskMsg
+{
+    std::uint64_t taskId = 0;
+    std::uint64_t costId = 0;
+    /** First point's reserved ordinal (point i runs at base + i). */
+    std::uint64_t baseOrdinal = 0;
+    std::vector<std::vector<double>> points;
+};
+
+/** Completed shard: values plus the kernel-layer counter delta. */
+struct ResultMsg
+{
+    std::uint64_t taskId = 0;
+    std::vector<double> values;
+    KernelStats kernel;
+};
+
+/** TaskErrorMsg::code values. */
+enum : std::uint8_t
+{
+    /** The cost evaluation threw; the batch fails. */
+    kTaskErrorEvaluation = 0,
+    /**
+     * The worker no longer holds this cost id (its bounded spec cache
+     * evicted it); the pool re-sends the spec and requeues the shard.
+     */
+    kTaskErrorUnknownCost = 1,
+};
+
+/** Failed shard. */
+struct TaskErrorMsg
+{
+    std::uint64_t taskId = 0;
+    std::uint8_t code = kTaskErrorEvaluation;
+    std::string message;
+};
+
+void encodeHello(WireWriter& w, const HelloMsg& msg);
+HelloMsg decodeHello(std::span<const std::uint8_t> payload);
+
+void encodeCircuit(WireWriter& w, const Circuit& circuit);
+Circuit decodeCircuit(WireReader& r);
+
+void encodePauliSum(WireWriter& w, const PauliSum& sum);
+PauliSum decodePauliSum(WireReader& r);
+
+void encodeKernelOptions(WireWriter& w, const KernelOptions& options);
+KernelOptions decodeKernelOptions(WireReader& r);
+
+void encodeKernelStats(WireWriter& w, const KernelStats& stats);
+KernelStats decodeKernelStats(WireReader& r);
+
+/**
+ * Encode a cost spec body and stamp costId with the body's FNV-1a
+ * hash (ignoring any costId already set).
+ */
+std::vector<std::uint8_t> encodeCostSpec(CostSpec& spec);
+CostSpec decodeCostSpec(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encodeTask(const TaskMsg& msg);
+TaskMsg decodeTask(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encodeResult(const ResultMsg& msg);
+ResultMsg decodeResult(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encodeTaskError(const TaskErrorMsg& msg);
+TaskErrorMsg decodeTaskError(std::span<const std::uint8_t> payload);
+
+} // namespace dist
+} // namespace oscar
+
+#endif // OSCAR_DIST_WIRE_H

@@ -1,0 +1,256 @@
+#include "src/dist/worker.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "src/backend/statevector_backend.h"
+#include "src/dist/wire.h"
+
+namespace oscar {
+namespace dist {
+
+namespace {
+
+/** Blocking full-buffer write (MSG_NOSIGNAL: EPIPE, not SIGPIPE). */
+bool
+writeAll(int fd, const std::uint8_t* data, std::size_t n)
+{
+    std::size_t off = 0;
+    while (off < n) {
+        const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/**
+ * Frame writes from the main loop and the heartbeat thread interleave
+ * on one fd; the mutex keeps frames whole.
+ */
+class FrameSender
+{
+  public:
+    explicit FrameSender(int fd) : fd_(fd) {}
+
+    bool
+    send(FrameType type, std::span<const std::uint8_t> payload)
+    {
+        const std::vector<std::uint8_t> bytes =
+            encodeFrame(type, payload);
+        std::lock_guard<std::mutex> lock(mutex_);
+        return writeAll(fd_, bytes.data(), bytes.size());
+    }
+
+  private:
+    int fd_;
+    std::mutex mutex_;
+};
+
+/** Periodic heartbeat until stopped (or the pipe breaks). */
+class Heartbeat
+{
+  public:
+    Heartbeat(FrameSender& sender, int period_ms)
+        : sender_(sender), periodMs_(std::max(10, period_ms)),
+          thread_([this] { run(); })
+    {
+    }
+
+    ~Heartbeat()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    void
+    run()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stop_) {
+            lock.unlock();
+            if (!sender_.send(FrameType::Heartbeat, {})) {
+                // Pool gone; the main loop will see EOF and exit.
+                lock.lock();
+                return;
+            }
+            lock.lock();
+            cv_.wait_for(lock, std::chrono::milliseconds(periodMs_),
+                         [&] { return stop_; });
+        }
+    }
+
+    FrameSender& sender_;
+    int periodMs_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+} // namespace
+
+int
+workerMain(int fd, int heartbeat_ms)
+{
+    FrameSender sender(fd);
+
+    // Greet first, then start heartbeating: the pool's construction
+    // handshake keys on Hello arriving before anything else.
+    {
+        HelloMsg hello;
+        hello.pid = static_cast<std::int32_t>(::getpid());
+        hello.isa = kernels::defaultKernelTable().isa;
+        WireWriter w;
+        encodeHello(w, hello);
+        if (!sender.send(FrameType::Hello, w.bytes()))
+            return 1;
+    }
+    Heartbeat heartbeat(sender, heartbeat_ms);
+
+    // Rebuilt evaluators, content-addressed by cost spec hash. The
+    // pool sends each spec to each worker at most once; a spec's
+    // prefix cache stays warm across every shard that references it.
+    // The cache is bounded (FIFO eviction): each entry owns a
+    // statevector and a prefix-checkpoint budget, so an unbounded map
+    // would leak the worker's memory across a long-lived pipeline of
+    // distinct specs. Evicting is safe because a Task naming an
+    // evicted id answers with kTaskErrorUnknownCost, and the pool
+    // re-sends the spec and requeues the shard.
+    constexpr std::size_t kMaxCachedCosts = 16;
+    std::unordered_map<std::uint64_t, std::unique_ptr<CostFunction>>
+        costs;
+    std::deque<std::uint64_t> cost_order;
+
+    FrameDecoder decoder;
+    for (;;) {
+        std::uint8_t buf[65536];
+        const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+        if (r == 0)
+            return 0; // pool closed the pipe
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return 1;
+        }
+        try {
+            decoder.feed(buf, static_cast<std::size_t>(r));
+            while (auto frame = decoder.next()) {
+                switch (frame->type) {
+                  case FrameType::Shutdown:
+                    return 0;
+                  case FrameType::LoadCost: {
+                    CostSpec spec = decodeCostSpec(frame->payload);
+                    auto cost = std::make_unique<StatevectorCost>(
+                        std::move(spec.circuit),
+                        std::move(spec.hamiltonian));
+                    cost->configureKernel(spec.kernel);
+                    if (costs.try_emplace(spec.costId, std::move(cost))
+                            .second)
+                        cost_order.push_back(spec.costId);
+                    while (costs.size() > kMaxCachedCosts) {
+                        costs.erase(cost_order.front());
+                        cost_order.pop_front();
+                    }
+                    break;
+                  }
+                  case FrameType::Task: {
+                    const TaskMsg task = decodeTask(frame->payload);
+                    const auto it = costs.find(task.costId);
+                    if (it == costs.end()) {
+                        TaskErrorMsg err;
+                        err.taskId = task.taskId;
+                        err.code = kTaskErrorUnknownCost;
+                        err.message = "unknown cost id";
+                        if (!sender.send(FrameType::TaskError,
+                                         encodeTaskError(err)))
+                            return 1;
+                        break;
+                    }
+                    CostFunction& cost = *it->second;
+                    ResultMsg result;
+                    result.taskId = task.taskId;
+                    result.values.resize(task.points.size());
+                    try {
+                        const KernelStats before = cost.kernelStats();
+                        cost.evaluateBatchAt(task.points,
+                                             task.baseOrdinal,
+                                             result.values.data());
+                        result.kernel = cost.kernelStats() - before;
+                    } catch (const std::exception& e) {
+                        TaskErrorMsg err;
+                        err.taskId = task.taskId;
+                        err.message = e.what();
+                        if (!sender.send(FrameType::TaskError,
+                                         encodeTaskError(err)))
+                            return 1;
+                        break;
+                    }
+                    if (!sender.send(FrameType::Result,
+                                     encodeResult(result)))
+                        return 1;
+                    break;
+                  }
+                  default:
+                    // Pool-to-worker protocol only; anything else is
+                    // a framing bug worth dying loudly over.
+                    std::fprintf(stderr,
+                                 "oscar-worker: unexpected frame "
+                                 "type %u\n",
+                                 static_cast<unsigned>(frame->type));
+                    return 2;
+                }
+            }
+        } catch (const WireError& e) {
+            std::fprintf(stderr, "oscar-worker: %s\n", e.what());
+            return 2;
+        }
+    }
+}
+
+int
+workerEntry(int argc, char** argv)
+{
+    int fd = -1;
+    int heartbeat_ms = 100;
+    for (int i = 1; i + 1 < argc; i += 2) {
+        if (std::strcmp(argv[i], "--worker-fd") == 0)
+            fd = std::atoi(argv[i + 1]);
+        else if (std::strcmp(argv[i], "--heartbeat-ms") == 0)
+            heartbeat_ms = std::atoi(argv[i + 1]);
+    }
+    if (fd < 0) {
+        std::fprintf(stderr,
+                     "usage: oscar-worker --worker-fd N "
+                     "[--heartbeat-ms M]\n"
+                     "(spawned by the oscar distributed execution "
+                     "subsystem; not meant to be run by hand)\n");
+        return 64;
+    }
+    return workerMain(fd, heartbeat_ms);
+}
+
+} // namespace dist
+} // namespace oscar

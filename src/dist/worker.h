@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The oscar-worker process loop.
+ *
+ * A worker is the child half of the distributed execution subsystem:
+ * it reads LoadCost / Task frames from the pool over an inherited
+ * socketpair fd, rebuilds cost evaluators from their wire specs,
+ * evaluates parameter-point shards at their reserved ordinals, and
+ * writes Result frames back. A detached heartbeat thread keeps
+ * liveness flowing even while a long shard is evaluating, so the pool
+ * can tell "busy" from "hung".
+ *
+ * The loop exits on a Shutdown frame or pipe EOF (the pool died); a
+ * wire error is fatal by design -- the pool tears the connection down
+ * and requeues, it never resynchronizes a corrupt stream.
+ */
+
+#ifndef OSCAR_DIST_WORKER_H
+#define OSCAR_DIST_WORKER_H
+
+namespace oscar {
+namespace dist {
+
+/**
+ * Run the worker protocol on `fd` until shutdown/EOF, heartbeating
+ * every `heartbeat_ms`. Returns the process exit code (0 on a clean
+ * shutdown, nonzero on a protocol error).
+ */
+int workerMain(int fd, int heartbeat_ms);
+
+/**
+ * Entry point of the `oscar-worker` binary: parses
+ * `--worker-fd N [--heartbeat-ms M]` and runs workerMain.
+ */
+int workerEntry(int argc, char** argv);
+
+} // namespace dist
+} // namespace oscar
+
+#endif // OSCAR_DIST_WORKER_H

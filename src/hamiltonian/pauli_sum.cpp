@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/quantum/kernels.h"
+
 namespace oscar {
 
 PauliSum::PauliSum(int num_qubits)
@@ -37,11 +39,18 @@ PauliSum::isDiagonal() const
 double
 PauliSum::expectation(const Statevector& state) const
 {
+    return expectation(state, kernels::defaultKernelTable());
+}
+
+double
+PauliSum::expectation(const Statevector& state,
+                      const kernels::KernelTable& table) const
+{
     if (isDiagonal())
         return state.expectationDiagonal(diagonalTable());
     double acc = 0.0;
     for (const PauliTerm& t : terms_)
-        acc += t.coeff * state.expectation(t.pauli);
+        acc += t.coeff * state.expectation(t.pauli, table);
     return acc;
 }
 

@@ -21,6 +21,10 @@
 
 namespace oscar {
 
+namespace kernels {
+struct KernelTable;
+}
+
 /** One weighted Pauli string. */
 struct PauliTerm
 {
@@ -48,8 +52,16 @@ class PauliSum
     /** True when all terms are diagonal (I/Z only). */
     bool isDiagonal() const;
 
-    /** Exact expectation <psi|H|psi>. */
+    /**
+     * Exact expectation <psi|H|psi>. Diagonal sums integrate the
+     * per-basis-state value table; general sums contract every term
+     * through the SIMD-dispatched Pauli expectation kernel (the
+     * process default table, or an explicit one for evaluators that
+     * pin a kernel ISA).
+     */
     double expectation(const Statevector& state) const;
+    double expectation(const Statevector& state,
+                       const kernels::KernelTable& table) const;
 
     /** Exact expectation Tr(rho H). */
     double expectation(const DensityMatrix& rho) const;

@@ -1,7 +1,10 @@
 #include "src/quantum/kernels.h"
 
+#include <bit>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -141,6 +144,22 @@ expectationDiagonalBatch(const cplx* const* states, std::size_t count,
     std::memcpy(out, acc.data(), count * sizeof(double));
 }
 
+double
+expectationPauli(const cplx* amps, std::size_t dim,
+                 std::uint64_t flip_mask, std::uint64_t sign_mask,
+                 cplx phase)
+{
+    const std::size_t flip = static_cast<std::size_t>(flip_mask);
+    cplx acc(0.0, 0.0);
+    for (std::size_t i = 0; i < dim; ++i) {
+        const std::size_t j = i ^ flip;
+        const double s =
+            (std::popcount(j & sign_mask) & 1) ? -1.0 : 1.0;
+        acc += std::conj(amps[i]) * amps[j] * s;
+    }
+    return (phase * acc).real();
+}
+
 // ---------------------------------------------------------------------
 // ISA dispatch
 // ---------------------------------------------------------------------
@@ -169,6 +188,22 @@ isaName(KernelIsa isa)
     return "unknown";
 }
 
+KernelIsa
+parseIsaName(const char* name)
+{
+    if (name) {
+        if (std::strcmp(name, "scalar") == 0)
+            return KernelIsa::Scalar;
+        if (std::strcmp(name, "avx2") == 0)
+            return KernelIsa::Avx2;
+        if (std::strcmp(name, "auto") == 0)
+            return KernelIsa::Auto;
+    }
+    throw std::invalid_argument(
+        "unknown kernel ISA \"" + std::string(name ? name : "") +
+        "\" (valid: scalar, avx2, auto)");
+}
+
 const KernelTable&
 scalarKernelTable()
 {
@@ -185,6 +220,7 @@ scalarKernelTable()
         t.negateMasked = &negateMasked;
         t.flipBit = &flipBit;
         t.expectationDiagonalBatch = &expectationDiagonalBatch;
+        t.expectationPauli = &expectationPauli;
         return t;
     }();
     return table;
@@ -226,12 +262,25 @@ kernelTable(KernelIsa isa)
 const KernelTable&
 defaultKernelTable()
 {
+    // A malformed OSCAR_KERNEL_ISA throws (every call, until the
+    // environment is fixed): a user pinning the ISA for a determinism
+    // experiment must never silently run on a different one. A valid
+    // "avx2" on hardware without AVX2 still falls back to scalar --
+    // that degradation is part of the dispatch contract and the
+    // returned table's `isa` field reports it.
     static const KernelTable& table = [&]() -> const KernelTable& {
         if (const char* env = std::getenv("OSCAR_KERNEL_ISA")) {
-            if (std::strcmp(env, "scalar") == 0)
-                return scalarKernelTable();
-            if (std::strcmp(env, "avx2") == 0)
-                return kernelTable(KernelIsa::Avx2);
+            KernelIsa isa;
+            try {
+                isa = parseIsaName(env);
+            } catch (const std::invalid_argument& e) {
+                throw std::runtime_error(
+                    std::string("OSCAR_KERNEL_ISA: ") + e.what());
+            }
+            if (isa != KernelIsa::Auto)
+                return isa == KernelIsa::Avx2
+                           ? kernelTable(KernelIsa::Avx2)
+                           : scalarKernelTable();
         }
         return avx2Available() ? *detail::avx2KernelTableOrNull()
                                : scalarKernelTable();

@@ -116,6 +116,20 @@ void expectationDiagonalBatch(const cplx* const* states,
                               std::size_t count, const double* diag,
                               std::size_t dim, double* out);
 
+/**
+ * Expectation of a general (possibly non-diagonal) Pauli string in
+ * mask form: <psi|P|psi> where P maps basis state j to
+ * phase * (-1)^popcount(j & sign_mask) |j ^ flip_mask>. The masks of a
+ * string come from PauliString::masks(): flip collects X/Y qubits,
+ * sign collects Y/Z qubits, and phase = i^numY. Accumulates
+ * conj(amps[i]) * s(j) * amps[j] in index order and applies the
+ * constant phase once at the end. For a diagonal string (flip = 0,
+ * phase = 1) this is bit-identical to the historical diagonal loop.
+ */
+double expectationPauli(const cplx* amps, std::size_t dim,
+                        std::uint64_t flip_mask, std::uint64_t sign_mask,
+                        cplx phase);
+
 // ---------------------------------------------------------------------
 // ISA dispatch
 // ---------------------------------------------------------------------
@@ -130,6 +144,15 @@ enum class KernelIsa : std::uint8_t
 
 /** Short lowercase name ("scalar", "avx2") for logs and stats. */
 const char* isaName(KernelIsa isa);
+
+/**
+ * Parse an ISA name ("scalar", "avx2", "auto") as accepted by the
+ * OSCAR_KERNEL_ISA environment variable. Unknown strings throw
+ * std::invalid_argument listing the valid names — a typo'd override
+ * must fail loudly, never silently fall back to a different ISA than
+ * the one the user pinned.
+ */
+KernelIsa parseIsaName(const char* name);
 
 /**
  * One ISA's implementation of every kernel. All entries are non-null;
@@ -154,6 +177,8 @@ struct KernelTable
     void (*expectationDiagonalBatch)(const cplx* const*, std::size_t,
                                      const double*, std::size_t,
                                      double*) = nullptr;
+    double (*expectationPauli)(const cplx*, std::size_t, std::uint64_t,
+                               std::uint64_t, cplx) = nullptr;
 
     /** Single-state convenience over expectationDiagonalBatch. */
     double

@@ -90,6 +90,22 @@ PauliString::diagonalEigenvalue(std::uint64_t basis_state) const
     return parity ? -1 : 1;
 }
 
+PauliMasks
+PauliString::masks() const
+{
+    PauliMasks m;
+    for (std::size_t k = 0; k < ops_.size(); ++k) {
+        const PauliOp op = ops_[k];
+        if (op == PauliOp::X || op == PauliOp::Y)
+            m.flip |= std::uint64_t{1} << k;
+        if (op == PauliOp::Y || op == PauliOp::Z)
+            m.sign |= std::uint64_t{1} << k;
+        if (op == PauliOp::Y)
+            ++m.numY;
+    }
+    return m;
+}
+
 std::string
 PauliString::toLabel() const
 {

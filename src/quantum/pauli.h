@@ -20,6 +20,20 @@ namespace oscar {
 /** Single-qubit Pauli operator label. */
 enum class PauliOp : std::uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
 
+/**
+ * Mask form of a Pauli string, the input of the SIMD-dispatched
+ * expectation kernel (kernels::expectationPauli): P maps basis state
+ * j to i^numY * (-1)^popcount(j & sign) |j ^ flip>. X and Y
+ * contribute to flip (they permute basis states); Y and Z contribute
+ * to sign; each Y also contributes one factor i.
+ */
+struct PauliMasks
+{
+    std::uint64_t flip = 0;
+    std::uint64_t sign = 0;
+    int numY = 0;
+};
+
 /** Tensor product of single-qubit Paulis over a fixed qubit count. */
 class PauliString
 {
@@ -61,6 +75,9 @@ class PauliString
      * isDiagonal().
      */
     int diagonalEigenvalue(std::uint64_t basis_state) const;
+
+    /** Mask form for the expectation kernels (see PauliMasks). */
+    PauliMasks masks() const;
 
     /** Label string, e.g. "ZZI". */
     std::string toLabel() const;

@@ -89,46 +89,24 @@ Statevector::probabilities() const
 double
 Statevector::expectation(const PauliString& pauli) const
 {
+    return expectation(pauli, kernels::defaultKernelTable());
+}
+
+double
+Statevector::expectation(const PauliString& pauli,
+                         const kernels::KernelTable& table) const
+{
     assert(pauli.numQubits() == numQubits_);
-    if (pauli.isDiagonal()) {
-        double acc = 0.0;
-        for (std::size_t i = 0; i < amps_.size(); ++i)
-            acc += std::norm(amps_[i]) * pauli.diagonalEigenvalue(i);
-        return acc;
-    }
-    // <psi|P|psi> via P|psi>: P permutes basis states (X/Y flip bits)
-    // and multiplies by a phase (Y contributes i^{+-1}, Z a sign).
-    std::uint64_t flip_mask = 0;
-    for (int q = 0; q < numQubits_; ++q) {
-        const PauliOp op = pauli.op(q);
-        if (op == PauliOp::X || op == PauliOp::Y)
-            flip_mask |= std::uint64_t{1} << q;
-    }
-    cplx acc(0.0, 0.0);
-    const cplx im(0.0, 1.0);
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-        const std::size_t j = i ^ flip_mask;
-        // Compute the matrix element <i|P|j>.
-        cplx elem(1.0, 0.0);
-        for (int q = 0; q < numQubits_; ++q) {
-            const bool bit_j = (j >> q) & 1ULL;
-            switch (pauli.op(q)) {
-              case PauliOp::I:
-                break;
-              case PauliOp::X:
-                break; // element 1
-              case PauliOp::Y:
-                elem *= bit_j ? -im : im; // <0|Y|1> = -i, <1|Y|0> = i
-                break;
-              case PauliOp::Z:
-                if (bit_j)
-                    elem = -elem;
-                break;
-            }
-        }
-        acc += std::conj(amps_[i]) * elem * amps_[j];
-    }
-    return acc.real();
+    // <psi|P|psi> in mask form: P permutes basis states (X/Y flip
+    // bits) and multiplies by a sign (Y/Z bits) and a constant phase
+    // (i per Y). The dispatched kernel streams the whole contraction.
+    const PauliMasks m = pauli.masks();
+    static const cplx kPhases[4] = {{1.0, 0.0},
+                                    {0.0, 1.0},
+                                    {-1.0, 0.0},
+                                    {0.0, -1.0}};
+    return table.expectationPauli(amps_.data(), amps_.size(), m.flip,
+                                  m.sign, kPhases[m.numY & 3]);
 }
 
 double

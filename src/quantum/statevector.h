@@ -22,6 +22,10 @@
 
 namespace oscar {
 
+namespace kernels {
+struct KernelTable;
+}
+
 /** A 2^n-amplitude quantum state with gate application kernels. */
 class Statevector
 {
@@ -66,8 +70,15 @@ class Statevector
     /** Measurement probabilities |amp|^2 for every basis state. */
     std::vector<double> probabilities() const;
 
-    /** Exact expectation value of a Pauli string. */
+    /**
+     * Exact expectation value of a Pauli string, evaluated through
+     * the SIMD-dispatched kernel table (kernels::expectationPauli;
+     * the process default table, or an explicit one for evaluators
+     * that pin a kernel ISA).
+     */
     double expectation(const PauliString& pauli) const;
+    double expectation(const PauliString& pauli,
+                       const kernels::KernelTable& table) const;
 
     /**
      * Expectation of a diagonal observable given as a per-basis-state

@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Distributed execution subsystem tests:
+ *
+ *  - a ProcessPool's values are bit-identical to in-process
+ *    evaluation for 1, 2, and 3 workers and any shard size (the
+ *    distributed determinism contract);
+ *  - fault tolerance: a worker SIGKILLed mid-batch (pipe-EOF path)
+ *    and a worker SIGSTOPped (heartbeat-timeout path) both lead to
+ *    the batch completing with bit-identical values and a nonzero
+ *    requeue counter;
+ *  - query/ordinal accounting, cancel-with-refund, streaming
+ *    callbacks, and the engine-level routing: distributable costs go
+ *    remote (BatchStats::pointsRemote), everything else stays on the
+ *    thread pool, and a broken worker setup degrades to in-process
+ *    execution instead of failing;
+ *  - Oscar::reconstruct with OscarOptions::distributed produces the
+ *    same samples and reconstruction as the in-process pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "src/ansatz/qaoa.h"
+#include "src/backend/engine.h"
+#include "src/backend/statevector_backend.h"
+#include "src/core/oscar.h"
+#include "src/dist/process_pool.h"
+#include "src/graph/generators.h"
+#include "src/hamiltonian/maxcut.h"
+
+namespace oscar {
+namespace {
+
+Graph
+distGraph(int num_qubits)
+{
+    Rng rng(3);
+    return random3RegularGraph(num_qubits, rng);
+}
+
+StatevectorCost
+makeCost(const Graph& graph, int depth)
+{
+    return StatevectorCost(qaoaCircuit(graph, depth),
+                           maxcutHamiltonian(graph));
+}
+
+std::vector<std::vector<double>>
+randomPoints(std::size_t count, int dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> points;
+    points.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        std::vector<double> p(dim);
+        for (double& v : p)
+            v = rng.uniform(0.0, 6.28);
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+void
+expectBitIdentical(const std::vector<double>& got,
+                   const std::vector<double>& want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], want[i]) << "point " << i;
+}
+
+TEST(DistPoolTest, ResolvesWorkerFromBuildTree)
+{
+    const std::string path = dist::ProcessPool::resolveWorkerPath("");
+    EXPECT_NE(path.find("oscar-worker"), std::string::npos);
+}
+
+TEST(DistPoolTest, ExplicitBadWorkerPathThrows)
+{
+    EXPECT_THROW(dist::ProcessPool::resolveWorkerPath("/no/such/worker"),
+                 std::runtime_error);
+    dist::DistOptions options;
+    options.numWorkers = 1;
+    options.workerPath = "/no/such/worker";
+    EXPECT_THROW(dist::ProcessPool pool(options), std::runtime_error);
+}
+
+TEST(DistPoolTest, ValuesBitIdenticalForAnyWorkerCountAndShardSize)
+{
+    const Graph graph = distGraph(8);
+    StatevectorCost reference = makeCost(graph, 1);
+    const auto points = randomPoints(48, reference.numParams(), 11);
+    const std::vector<double> want = reference.evaluateBatch(points);
+
+    for (const int workers : {1, 2, 3}) {
+        for (const std::size_t shard : {std::size_t{1}, std::size_t{5},
+                                        std::size_t{64}}) {
+            dist::DistOptions options;
+            options.numWorkers = workers;
+            options.shardSize = shard;
+            dist::ProcessPool pool(options);
+            StatevectorCost cost = makeCost(graph, 1);
+            auto pts = points;
+            const std::vector<double> got =
+                pool.submit(cost, std::move(pts)).get();
+            expectBitIdentical(got, want);
+            EXPECT_EQ(cost.numQueries(), points.size());
+        }
+    }
+}
+
+TEST(DistPoolTest, NonDistributableCostIsRejected)
+{
+    dist::DistOptions options;
+    options.numWorkers = 1;
+    dist::ProcessPool pool(options);
+    LambdaCost lambda(
+        2, [](const std::vector<double>& p) { return p[0] + p[1]; },
+        /*thread_safe=*/true);
+    auto points = randomPoints(4, 2, 1);
+    EXPECT_THROW(pool.submit(lambda, std::move(points)),
+                 std::invalid_argument);
+}
+
+TEST(DistPoolTest, StreamingCallbacksReportEveryPointOnce)
+{
+    const Graph graph = distGraph(8);
+    StatevectorCost reference = makeCost(graph, 1);
+    const auto points = randomPoints(40, reference.numParams(), 21);
+    const std::vector<double> want = reference.evaluateBatch(points);
+
+    dist::DistOptions options;
+    options.numWorkers = 2;
+    options.shardSize = 4;
+    dist::ProcessPool pool(options);
+    StatevectorCost cost = makeCost(graph, 1);
+
+    std::vector<int> seen(points.size(), 0);
+    std::vector<double> streamed(points.size(), 0.0);
+    SubmitOptions submit;
+    submit.onComplete = [&](std::size_t index, double value) {
+        seen[index]++;
+        streamed[index] = value;
+    };
+    auto pts = points;
+    BatchHandle handle = pool.submit(cost, std::move(pts), submit);
+    const std::vector<double> got = handle.get();
+    expectBitIdentical(got, want);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(seen[i], 1) << "point " << i;
+        EXPECT_EQ(streamed[i], want[i]) << "point " << i;
+    }
+    const BatchStats stats = handle.stats();
+    EXPECT_EQ(stats.pointsCompleted, points.size());
+    EXPECT_EQ(stats.pointsRemote, points.size());
+}
+
+TEST(DistPoolTest, KilledWorkerMidBatchRequeuesBitIdentical)
+{
+    // 12q p=2 keeps ~24 shards in flight long enough to land a
+    // SIGKILL while the batch is genuinely mid-execution.
+    const Graph graph = distGraph(12);
+    StatevectorCost reference = makeCost(graph, 2);
+    const auto points = randomPoints(96, reference.numParams(), 31);
+    const std::vector<double> want = reference.evaluateBatch(points);
+
+    dist::DistOptions options;
+    options.numWorkers = 2;
+    options.shardSize = 4;
+    dist::ProcessPool pool(options);
+    StatevectorCost cost = makeCost(graph, 2);
+
+    auto pts = points;
+    BatchHandle handle = pool.submit(cost, std::move(pts));
+    const std::vector<int> pids = pool.workerPids();
+    ASSERT_EQ(pids.size(), 2u);
+
+    // Kill one worker as soon as the first shard lands.
+    for (int i = 0; i < 20000; ++i) {
+        if (handle.stats().pointsCompleted >= 4)
+            break;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    ASSERT_GE(handle.stats().pointsCompleted, 4u);
+    ASSERT_FALSE(handle.done());
+    ::kill(pids[0], SIGKILL);
+
+    const std::vector<double> got = handle.get();
+    expectBitIdentical(got, want);
+    const BatchStats stats = handle.stats();
+    EXPECT_EQ(stats.pointsCompleted, points.size());
+    EXPECT_GE(stats.shardsRequeued, 1u);
+    EXPECT_GE(pool.stats().workersLost, 1u);
+    EXPECT_GE(pool.stats().tasksRequeued, 1u);
+    EXPECT_EQ(cost.numQueries(), points.size());
+    EXPECT_EQ(pool.workerPids().size(), 1u); // one survivor
+}
+
+TEST(DistPoolTest, HungWorkerHitsHeartbeatTimeoutAndRequeues)
+{
+    const Graph graph = distGraph(8);
+    StatevectorCost reference = makeCost(graph, 1);
+    const auto points = randomPoints(32, reference.numParams(), 41);
+    const std::vector<double> want = reference.evaluateBatch(points);
+
+    dist::DistOptions options;
+    options.numWorkers = 2;
+    options.shardSize = 4;
+    options.heartbeatIntervalMs = 50;
+    options.heartbeatTimeoutMs = 400;
+    dist::ProcessPool pool(options);
+    const std::vector<int> pids = pool.workerPids();
+    ASSERT_EQ(pids.size(), 2u);
+
+    // Freeze one worker before submitting: it will accept a shard into
+    // its socket buffer, never answer, stop heartbeating, and get
+    // killed by the liveness scan. SIGKILL terminates stopped
+    // processes, so no SIGCONT is needed.
+    ::kill(pids[1], SIGSTOP);
+
+    StatevectorCost cost = makeCost(graph, 1);
+    auto pts = points;
+    BatchHandle handle = pool.submit(cost, std::move(pts));
+    const std::vector<double> got = handle.get();
+    expectBitIdentical(got, want);
+    EXPECT_GE(handle.stats().shardsRequeued, 1u);
+    EXPECT_GE(pool.stats().workersLost, 1u);
+}
+
+TEST(DistPoolTest, WorkerSpecCacheEvictionSelfHeals)
+{
+    // The worker bounds its rebuilt-evaluator cache at 16 entries
+    // (FIFO). Push 20 distinct specs through one worker, then
+    // resubmit the first: the pool still believes the worker holds
+    // it, the worker answers "unknown cost", and the shard must be
+    // respecced and requeued transparently — correct values, no lost
+    // workers, no failed batch.
+    const Graph graph = distGraph(6);
+    dist::DistOptions options;
+    options.numWorkers = 1;
+    dist::ProcessPool pool(options);
+
+    const auto points = randomPoints(4, 2, 101);
+    auto costAt = [&](int variant) {
+        PauliSum ham = maxcutHamiltonian(graph);
+        ham.add(1e-6 * variant, PauliString(6)); // distinct content
+        return StatevectorCost(qaoaCircuit(graph, 1), std::move(ham));
+    };
+
+    StatevectorCost first = costAt(0);
+    const std::vector<double> want = [&] {
+        StatevectorCost reference = costAt(0);
+        return reference.evaluateBatch(points);
+    }();
+    {
+        auto pts = points;
+        expectBitIdentical(pool.submit(first, std::move(pts)).get(),
+                           want);
+    }
+    for (int variant = 1; variant < 20; ++variant) {
+        StatevectorCost cost = costAt(variant);
+        auto pts = points;
+        (void)pool.submit(cost, std::move(pts)).get();
+    }
+
+    // By now the worker evicted variant 0; the pool's per-worker
+    // loaded set still lists it.
+    auto pts = points;
+    expectBitIdentical(pool.submit(first, std::move(pts)).get(), want);
+    EXPECT_GE(pool.stats().tasksRequeued, 1u);
+    EXPECT_EQ(pool.stats().workersLost, 0u);
+}
+
+TEST(DistPoolTest, CancelSkipsQueuedShardsAndRefundsQueries)
+{
+    const Graph graph = distGraph(12);
+    StatevectorCost cost = makeCost(graph, 2);
+    const auto points = randomPoints(60, cost.numParams(), 51);
+
+    dist::DistOptions options;
+    options.numWorkers = 1;
+    options.shardSize = 2;
+    dist::ProcessPool pool(options);
+
+    auto pts = points;
+    BatchHandle handle = pool.submit(cost, std::move(pts));
+    for (int i = 0; i < 20000; ++i) {
+        if (handle.stats().pointsCompleted >= 2)
+            break;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    ASSERT_FALSE(handle.done());
+    EXPECT_TRUE(handle.cancel());
+    EXPECT_THROW(handle.get(), std::runtime_error);
+
+    const BatchStats stats = handle.stats();
+    EXPECT_GT(stats.pointsCancelled, 0u);
+    EXPECT_EQ(stats.pointsCompleted + stats.pointsCancelled,
+              points.size());
+    // Refunds leave exactly the executed points charged.
+    EXPECT_EQ(cost.numQueries(), stats.pointsCompleted);
+}
+
+TEST(DistPoolTest, PoolDestructionWithOutstandingHandleDoesNotHang)
+{
+    const Graph graph = distGraph(12);
+    StatevectorCost cost = makeCost(graph, 2);
+    auto points = randomPoints(40, cost.numParams(), 61);
+
+    BatchHandle handle;
+    {
+        dist::DistOptions options;
+        options.numWorkers = 1;
+        options.shardSize = 2;
+        dist::ProcessPool pool(options);
+        handle = pool.submit(cost, std::move(points));
+    }
+    // Queued shards were cancelled, in-flight ones drained; the handle
+    // must resolve either way.
+    try {
+        handle.get();
+    } catch (const std::runtime_error&) {
+        EXPECT_GT(handle.stats().pointsCancelled, 0u);
+    }
+    EXPECT_TRUE(handle.done());
+}
+
+TEST(DistEngineTest, EngineRoutesDistributableBatchesToWorkers)
+{
+    const Graph graph = distGraph(8);
+    StatevectorCost reference = makeCost(graph, 1);
+    const auto points = randomPoints(40, reference.numParams(), 71);
+    const std::vector<double> want = reference.evaluateBatch(points);
+
+    EngineOptions options;
+    options.numThreads = 2;
+    options.dist.numWorkers = 2;
+    options.dist.minPointsToDistribute = 1;
+    ExecutionEngine engine(options);
+
+    StatevectorCost cost = makeCost(graph, 1);
+    BatchHandle handle = engine.submit(cost, points);
+    const std::vector<double> got = handle.get();
+    expectBitIdentical(got, want);
+    EXPECT_EQ(handle.stats().pointsRemote, points.size());
+    ASSERT_NE(engine.processPool(), nullptr);
+    EXPECT_TRUE(engine.processPool()->healthy());
+
+    // Non-distributable costs stay on the thread pool.
+    LambdaCost lambda(
+        reference.numParams(),
+        [](const std::vector<double>& p) { return p[0] - p[1]; },
+        /*thread_safe=*/true);
+    BatchHandle local = engine.submit(lambda, points);
+    local.wait();
+    EXPECT_EQ(local.stats().pointsRemote, 0u);
+}
+
+TEST(DistEngineTest, SmallBatchesStayInProcess)
+{
+    const Graph graph = distGraph(8);
+    EngineOptions options;
+    options.numThreads = 1;
+    options.dist.numWorkers = 2;
+    options.dist.minPointsToDistribute = 32;
+    ExecutionEngine engine(options);
+
+    StatevectorCost cost = makeCost(graph, 1);
+    const auto points = randomPoints(8, cost.numParams(), 81);
+    BatchHandle handle = engine.submit(cost, points);
+    handle.wait();
+    EXPECT_EQ(handle.stats().pointsRemote, 0u);
+    // Below the threshold no pool is ever spawned.
+    EXPECT_EQ(engine.processPool(), nullptr);
+}
+
+TEST(DistEngineTest, BrokenWorkerSetupFallsBackInProcess)
+{
+    const Graph graph = distGraph(8);
+    StatevectorCost reference = makeCost(graph, 1);
+    const auto points = randomPoints(24, reference.numParams(), 91);
+    const std::vector<double> want = reference.evaluateBatch(points);
+
+    EngineOptions options;
+    options.numThreads = 2;
+    options.dist.numWorkers = 2;
+    options.dist.minPointsToDistribute = 1;
+    options.dist.workerPath = "/no/such/oscar-worker";
+    ExecutionEngine engine(options);
+
+    StatevectorCost cost = makeCost(graph, 1);
+    BatchHandle handle = engine.submit(cost, points);
+    const std::vector<double> got = handle.get();
+    expectBitIdentical(got, want);
+    EXPECT_EQ(handle.stats().pointsRemote, 0u);
+    EXPECT_EQ(cost.numQueries(), points.size());
+}
+
+TEST(DistEngineTest, MalformedDistWorkersEnvThrows)
+{
+    // OSCAR_DIST_WORKERS follows the OSCAR_KERNEL_ISA convention: a
+    // typo'd override fails loudly instead of silently running
+    // without the distribution the user asked for.
+    const char* saved = std::getenv("OSCAR_DIST_WORKERS");
+    const std::string restore = saved ? saved : "";
+    ::setenv("OSCAR_DIST_WORKERS", "four", 1);
+    EXPECT_THROW(ExecutionEngine engine{EngineOptions{}},
+                 std::runtime_error);
+    // An explicit per-engine setting never consults the environment.
+    EngineOptions pinned;
+    pinned.numThreads = 1;
+    pinned.dist.numWorkers = -1;
+    EXPECT_NO_THROW(ExecutionEngine engine(pinned));
+    if (saved)
+        ::setenv("OSCAR_DIST_WORKERS", restore.c_str(), 1);
+    else
+        ::unsetenv("OSCAR_DIST_WORKERS");
+}
+
+TEST(DistEngineTest, OscarReconstructDistributedMatchesInProcess)
+{
+    const Graph graph = distGraph(8);
+    const GridSpec grid = GridSpec::qaoaP1(20, 20);
+
+    OscarOptions plain;
+    plain.samplingFraction = 0.25;
+    plain.numThreads = 2;
+
+    OscarOptions distributed = plain;
+    distributed.distributed.numWorkers = 2;
+    distributed.distributed.minPointsToDistribute = 1;
+
+    StatevectorCost cost_a = makeCost(graph, 1);
+    const OscarResult a = Oscar::reconstruct(grid, cost_a, plain);
+
+    StatevectorCost cost_b = makeCost(graph, 1);
+    const OscarResult b = Oscar::reconstruct(grid, cost_b, distributed);
+
+    expectBitIdentical(b.samples.values, a.samples.values);
+    ASSERT_EQ(a.samples.indices, b.samples.indices);
+    EXPECT_GT(b.execution.pointsRemote, 0u);
+    EXPECT_EQ(b.execution.pointsRemote, b.execution.pointsCompleted);
+    // Identical samples reconstruct identically.
+    for (std::size_t i = 0; i < a.reconstructed.numPoints(); ++i)
+        EXPECT_EQ(a.reconstructed.value(i), b.reconstructed.value(i));
+}
+
+} // namespace
+} // namespace oscar

@@ -452,6 +452,197 @@ TEST(Kernels, ForcedScalarIgnoresHostIsa)
     EXPECT_EQ(cost.kernelStats().isa, KernelIsa::Scalar);
 }
 
+/** Reference <psi|P|psi> straight from the matrix-element definition. */
+double
+referencePauliExpectation(const AlignedVector<cplx>& amps,
+                          const PauliString& pauli)
+{
+    const int n = pauli.numQubits();
+    std::uint64_t flip = 0;
+    for (int q = 0; q < n; ++q) {
+        const PauliOp op = pauli.op(q);
+        if (op == PauliOp::X || op == PauliOp::Y)
+            flip |= std::uint64_t{1} << q;
+    }
+    cplx acc(0.0, 0.0);
+    const cplx im(0.0, 1.0);
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+        const std::size_t j = i ^ flip;
+        cplx elem(1.0, 0.0);
+        for (int q = 0; q < n; ++q) {
+            const bool bit_j = (j >> q) & 1ULL;
+            switch (pauli.op(q)) {
+              case PauliOp::I:
+              case PauliOp::X:
+                break;
+              case PauliOp::Y:
+                elem *= bit_j ? -im : im;
+                break;
+              case PauliOp::Z:
+                if (bit_j)
+                    elem = -elem;
+                break;
+            }
+        }
+        acc += std::conj(amps[i]) * elem * amps[j];
+    }
+    return acc.real();
+}
+
+PauliString
+randomPauli(int num_qubits, Rng& rng, bool force_nondiagonal)
+{
+    for (;;) {
+        PauliString pauli(num_qubits);
+        for (int q = 0; q < num_qubits; ++q)
+            pauli.setOp(q, static_cast<PauliOp>(rng.uniformInt(4)));
+        if (!force_nondiagonal || !pauli.isDiagonal())
+            return pauli;
+    }
+}
+
+TEST(Kernels, PauliExpectationMatchesReferenceOnEveryTable)
+{
+    Rng rng(1234);
+    for (const int n : {1, 2, 3, 6, 9}) {
+        const std::size_t dim = std::size_t{1} << n;
+        for (int rep = 0; rep < 20; ++rep) {
+            const AlignedVector<cplx> amps = randomAmps(dim, rng);
+            const PauliString pauli = randomPauli(n, rng, false);
+            const PauliMasks m = pauli.masks();
+            const double want = referencePauliExpectation(amps, pauli);
+            static const cplx kPhases[4] = {
+                {1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.0}, {0.0, -1.0}};
+            const cplx phase = kPhases[m.numY & 3];
+            for (const KernelTable* table : availableTables()) {
+                const double got = table->expectationPauli(
+                    amps.data(), dim, m.flip, m.sign, phase);
+                EXPECT_NEAR(got, want, 1e-12)
+                    << kernels::isaName(table->isa) << " n=" << n
+                    << " pauli=" << pauli.toLabel();
+            }
+        }
+    }
+}
+
+TEST(Kernels, PauliExpectationScalarAvx2Parity)
+{
+    if (!kernels::avx2Available())
+        GTEST_SKIP() << "no AVX2 on this host/build";
+    const KernelTable& scalar = kernels::scalarKernelTable();
+    const KernelTable& avx2 = kernels::kernelTable(KernelIsa::Avx2);
+    Rng rng(77);
+    for (const int n : {2, 4, 7, 10}) {
+        const std::size_t dim = std::size_t{1} << n;
+        for (int rep = 0; rep < 25; ++rep) {
+            const AlignedVector<cplx> amps = randomAmps(dim, rng);
+            const PauliString pauli = randomPauli(n, rng, true);
+            const PauliMasks m = pauli.masks();
+            static const cplx kPhases[4] = {
+                {1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.0}, {0.0, -1.0}};
+            const cplx phase = kPhases[m.numY & 3];
+            const double s = scalar.expectationPauli(
+                amps.data(), dim, m.flip, m.sign, phase);
+            const double v = avx2.expectationPauli(
+                amps.data(), dim, m.flip, m.sign, phase);
+            EXPECT_NEAR(s, v, 1e-12) << pauli.toLabel();
+        }
+    }
+}
+
+TEST(Kernels, NonDiagonalPauliSumRoutesThroughPinnedTable)
+{
+    // A transverse-field mixer term makes the sum non-diagonal; the
+    // cost must agree across ISAs within rounding and stay
+    // deterministic per ISA.
+    Rng rng(5);
+    const Graph g = random3RegularGraph(8, rng);
+    PauliSum mixed = maxcutHamiltonian(g);
+    for (int q = 0; q < 8; ++q)
+        mixed.add(0.35, PauliString::single(8, q, PauliOp::X));
+    ASSERT_FALSE(mixed.isDiagonal());
+
+    const Circuit circuit = qaoaCircuit(g, 1);
+    std::vector<std::vector<double>> points;
+    Rng prng(6);
+    for (int i = 0; i < 6; ++i)
+        points.push_back({prng.uniform(0.0, 3.0), prng.uniform(0.0, 3.0)});
+
+    StatevectorCost scalar_cost(circuit, mixed);
+    KernelOptions scalar_opts;
+    scalar_opts.isa = KernelIsa::Scalar;
+    scalar_cost.configureKernel(scalar_opts);
+    const std::vector<double> scalar_vals =
+        scalar_cost.evaluateBatch(points);
+
+    StatevectorCost scalar_again(circuit, mixed);
+    scalar_again.configureKernel(scalar_opts);
+    const std::vector<double> scalar_rerun =
+        scalar_again.evaluateBatch(points);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(scalar_vals[i], scalar_rerun[i]); // bitwise per ISA
+
+    if (kernels::avx2Available()) {
+        StatevectorCost avx2_cost(circuit, mixed);
+        KernelOptions avx2_opts;
+        avx2_opts.isa = KernelIsa::Avx2;
+        avx2_cost.configureKernel(avx2_opts);
+        const std::vector<double> avx2_vals =
+            avx2_cost.evaluateBatch(points);
+        for (std::size_t i = 0; i < points.size(); ++i)
+            EXPECT_NEAR(scalar_vals[i], avx2_vals[i], 1e-9);
+    }
+}
+
+TEST(Kernels, DiagonalPauliStringExpectationIsBitExactAcrossIsas)
+{
+    // flip == 0 strings move no amplitudes and multiply by exact +-1
+    // signs, so even the AVX2 kernel must reproduce the scalar bits.
+    Rng rng(42);
+    for (const int n : {3, 8}) {
+        const std::size_t dim = std::size_t{1} << n;
+        const AlignedVector<cplx> amps = randomAmps(dim, rng);
+        for (int rep = 0; rep < 10; ++rep) {
+            PauliString pauli(n);
+            for (int q = 0; q < n; ++q)
+                pauli.setOp(q, rng.uniform() < 0.5 ? PauliOp::I
+                                                   : PauliOp::Z);
+            const PauliMasks m = pauli.masks();
+            double want = 0.0, got_scalar = 0.0;
+            want = referencePauliExpectation(amps, pauli);
+            got_scalar = kernels::scalarKernelTable().expectationPauli(
+                amps.data(), dim, m.flip, m.sign, cplx(1.0, 0.0));
+            EXPECT_NEAR(got_scalar, want, 1e-12);
+            // And the historical per-eigenvalue loop, bit for bit.
+            double legacy = 0.0;
+            for (std::size_t i = 0; i < dim; ++i)
+                legacy += std::norm(amps[i]) *
+                          pauli.diagonalEigenvalue(i);
+            EXPECT_EQ(got_scalar, legacy);
+        }
+    }
+}
+
+TEST(Kernels, ParseIsaNameAcceptsOnlyKnownNames)
+{
+    EXPECT_EQ(kernels::parseIsaName("scalar"), KernelIsa::Scalar);
+    EXPECT_EQ(kernels::parseIsaName("avx2"), KernelIsa::Avx2);
+    EXPECT_EQ(kernels::parseIsaName("auto"), KernelIsa::Auto);
+    EXPECT_THROW(kernels::parseIsaName("AVX2"), std::invalid_argument);
+    EXPECT_THROW(kernels::parseIsaName("sse"), std::invalid_argument);
+    EXPECT_THROW(kernels::parseIsaName(""), std::invalid_argument);
+    EXPECT_THROW(kernels::parseIsaName(nullptr), std::invalid_argument);
+    try {
+        kernels::parseIsaName("avx512");
+    } catch (const std::invalid_argument& e) {
+        // The error must teach the valid vocabulary.
+        EXPECT_NE(std::string(e.what()).find("scalar"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("avx2"),
+                  std::string::npos);
+    }
+}
+
 TEST(Kernels, AmplitudeStorageIsCacheLineAligned)
 {
     for (int n : {1, 3, 8}) {

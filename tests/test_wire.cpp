@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Wire-format tests for the distributed execution subsystem:
+ *
+ *  - round-trip property tests over randomized task specs, tasks, and
+ *    result frames (circuits with every gate kind, random Pauli sums,
+ *    random kernel options/stats, random point shards);
+ *  - framing robustness: every truncation of a valid frame yields "no
+ *    frame yet" (never a bogus message), and corruption -- flipped
+ *    payload bytes, bad magic, wrong version, unknown type, oversized
+ *    length, CRC damage, trailing payload bytes -- is rejected with
+ *    WireError;
+ *  - streamed decode: frames split at arbitrary byte boundaries
+ *    reassemble exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/rng.h"
+#include "src/dist/wire.h"
+
+namespace oscar {
+namespace dist {
+namespace {
+
+Circuit
+randomCircuit(Rng& rng, int num_qubits, int num_params)
+{
+    Circuit circuit(num_qubits, num_params);
+    const int num_gates = 5 + static_cast<int>(rng.uniformInt(40));
+    for (int i = 0; i < num_gates; ++i) {
+        const int kind_index = static_cast<int>(rng.uniformInt(
+            static_cast<std::uint64_t>(GateKind::RZZ) + 1));
+        const auto kind = static_cast<GateKind>(kind_index);
+        const int q0 = static_cast<int>(
+            rng.uniformInt(static_cast<std::uint64_t>(num_qubits)));
+        int q1 = q0;
+        while (q1 == q0)
+            q1 = static_cast<int>(rng.uniformInt(
+                static_cast<std::uint64_t>(num_qubits)));
+        Gate g;
+        g.kind = kind;
+        g.qubits[0] = q0;
+        g.qubits[1] = gateArity(kind) == 2 ? q1 : -1;
+        if (gateIsParameterized(kind)) {
+            g.angle = rng.uniform(-3.0, 3.0);
+            if (num_params > 0 && rng.uniform() < 0.7) {
+                g.paramIndex = static_cast<int>(rng.uniformInt(
+                    static_cast<std::uint64_t>(num_params)));
+                g.coeff = rng.uniform(-2.0, 2.0);
+            }
+        }
+        circuit.append(g);
+    }
+    return circuit;
+}
+
+PauliSum
+randomPauliSum(Rng& rng, int num_qubits)
+{
+    PauliSum sum(num_qubits);
+    const int num_terms = 1 + static_cast<int>(rng.uniformInt(10));
+    for (int t = 0; t < num_terms; ++t) {
+        PauliString pauli(num_qubits);
+        for (int q = 0; q < num_qubits; ++q)
+            pauli.setOp(q,
+                        static_cast<PauliOp>(rng.uniformInt(4)));
+        sum.add(rng.uniform(-2.0, 2.0), pauli);
+    }
+    return sum;
+}
+
+KernelOptions
+randomKernelOptions(Rng& rng)
+{
+    KernelOptions options;
+    options.prefixCache = rng.uniform() < 0.5;
+    options.prefixCacheBudgetBytes = rng.uniformInt(1u << 28);
+    options.isa = rng.uniform() < 0.5 ? kernels::KernelIsa::Scalar
+                                      : kernels::KernelIsa::Avx2;
+    options.blockWindow = static_cast<int>(rng.uniformInt(12)) - 1;
+    options.batchedExpectation = rng.uniform() < 0.5;
+    return options;
+}
+
+KernelStats
+randomKernelStats(Rng& rng)
+{
+    KernelStats stats;
+    stats.cacheHits = rng.uniformInt(1000);
+    stats.cacheLookups = stats.cacheHits + rng.uniformInt(1000);
+    stats.cacheEvictions = rng.uniformInt(100);
+    stats.isa = rng.uniform() < 0.5 ? kernels::KernelIsa::Scalar
+                                    : kernels::KernelIsa::Avx2;
+    stats.blockedGroupRuns = rng.uniformInt(500);
+    stats.blockedOpsApplied = rng.uniformInt(5000);
+    stats.batchedExpectationPoints = rng.uniformInt(500);
+    return stats;
+}
+
+void
+expectCircuitsEqual(const Circuit& a, const Circuit& b)
+{
+    ASSERT_EQ(a.numQubits(), b.numQubits());
+    ASSERT_EQ(a.numParams(), b.numParams());
+    ASSERT_EQ(a.numGates(), b.numGates());
+    for (std::size_t i = 0; i < a.numGates(); ++i) {
+        const Gate& ga = a.gates()[i];
+        const Gate& gb = b.gates()[i];
+        EXPECT_EQ(ga.kind, gb.kind);
+        EXPECT_EQ(ga.qubits, gb.qubits);
+        EXPECT_EQ(ga.angle, gb.angle); // bitwise: wire is bit-exact
+        EXPECT_EQ(ga.paramIndex, gb.paramIndex);
+        EXPECT_EQ(ga.coeff, gb.coeff);
+    }
+}
+
+void
+expectPauliSumsEqual(const PauliSum& a, const PauliSum& b)
+{
+    ASSERT_EQ(a.numQubits(), b.numQubits());
+    ASSERT_EQ(a.numTerms(), b.numTerms());
+    for (std::size_t t = 0; t < a.numTerms(); ++t) {
+        EXPECT_EQ(a.terms()[t].coeff, b.terms()[t].coeff);
+        EXPECT_EQ(a.terms()[t].pauli, b.terms()[t].pauli);
+    }
+}
+
+TEST(WireTest, CostSpecRoundTripRandomized)
+{
+    Rng rng(123);
+    for (int rep = 0; rep < 50; ++rep) {
+        const int num_qubits = 2 + static_cast<int>(rng.uniformInt(10));
+        const int num_params = static_cast<int>(rng.uniformInt(6));
+        CostSpec spec;
+        spec.circuit = randomCircuit(rng, num_qubits, num_params);
+        spec.hamiltonian = randomPauliSum(rng, num_qubits);
+        spec.kernel = randomKernelOptions(rng);
+
+        const std::vector<std::uint8_t> payload = encodeCostSpec(spec);
+        EXPECT_NE(spec.costId, 0u);
+        const CostSpec back = decodeCostSpec(payload);
+
+        EXPECT_EQ(back.costId, spec.costId);
+        expectCircuitsEqual(back.circuit, spec.circuit);
+        expectPauliSumsEqual(back.hamiltonian, spec.hamiltonian);
+        EXPECT_EQ(back.kernel.prefixCache, spec.kernel.prefixCache);
+        EXPECT_EQ(back.kernel.prefixCacheBudgetBytes,
+                  spec.kernel.prefixCacheBudgetBytes);
+        EXPECT_EQ(back.kernel.isa, spec.kernel.isa);
+        EXPECT_EQ(back.kernel.blockWindow, spec.kernel.blockWindow);
+        EXPECT_EQ(back.kernel.batchedExpectation,
+                  spec.kernel.batchedExpectation);
+    }
+}
+
+TEST(WireTest, CostSpecIdIsContentAddressed)
+{
+    Rng rng(7);
+    CostSpec a;
+    a.circuit = randomCircuit(rng, 4, 2);
+    a.hamiltonian = randomPauliSum(rng, 4);
+    CostSpec b = a;
+    const std::vector<std::uint8_t> pa = encodeCostSpec(a);
+    const std::vector<std::uint8_t> pb = encodeCostSpec(b);
+    EXPECT_EQ(a.costId, b.costId);
+    EXPECT_EQ(pa, pb);
+
+    // Any semantic change moves the id.
+    b.kernel.blockWindow += 1;
+    encodeCostSpec(b);
+    EXPECT_NE(a.costId, b.costId);
+}
+
+TEST(WireTest, TaskRoundTripRandomized)
+{
+    Rng rng(321);
+    for (int rep = 0; rep < 50; ++rep) {
+        TaskMsg task;
+        task.taskId = rng.uniformInt(1u << 30);
+        task.costId = rng.uniformInt(1u << 30);
+        task.baseOrdinal = rng.uniformInt(1u << 30);
+        const std::size_t count = rng.uniformInt(20);
+        const std::size_t dim = 1 + rng.uniformInt(6);
+        for (std::size_t i = 0; i < count; ++i) {
+            std::vector<double> p(dim);
+            for (double& v : p)
+                v = rng.uniform(-10.0, 10.0);
+            task.points.push_back(std::move(p));
+        }
+        const TaskMsg back = decodeTask(encodeTask(task));
+        EXPECT_EQ(back.taskId, task.taskId);
+        EXPECT_EQ(back.costId, task.costId);
+        EXPECT_EQ(back.baseOrdinal, task.baseOrdinal);
+        ASSERT_EQ(back.points.size(), task.points.size());
+        for (std::size_t i = 0; i < count; ++i)
+            EXPECT_EQ(back.points[i], task.points[i]); // bitwise
+    }
+}
+
+TEST(WireTest, ResultRoundTripRandomized)
+{
+    Rng rng(99);
+    for (int rep = 0; rep < 50; ++rep) {
+        ResultMsg msg;
+        msg.taskId = rng.uniformInt(1u << 30);
+        const std::size_t count = rng.uniformInt(64);
+        for (std::size_t i = 0; i < count; ++i)
+            msg.values.push_back(rng.uniform(-100.0, 100.0));
+        msg.kernel = randomKernelStats(rng);
+
+        const ResultMsg back = decodeResult(encodeResult(msg));
+        EXPECT_EQ(back.taskId, msg.taskId);
+        EXPECT_EQ(back.values, msg.values); // bitwise
+        EXPECT_EQ(back.kernel.cacheHits, msg.kernel.cacheHits);
+        EXPECT_EQ(back.kernel.cacheLookups, msg.kernel.cacheLookups);
+        EXPECT_EQ(back.kernel.cacheEvictions, msg.kernel.cacheEvictions);
+        EXPECT_EQ(back.kernel.isa, msg.kernel.isa);
+        EXPECT_EQ(back.kernel.blockedGroupRuns,
+                  msg.kernel.blockedGroupRuns);
+        EXPECT_EQ(back.kernel.blockedOpsApplied,
+                  msg.kernel.blockedOpsApplied);
+        EXPECT_EQ(back.kernel.batchedExpectationPoints,
+                  msg.kernel.batchedExpectationPoints);
+    }
+}
+
+TEST(WireTest, TaskErrorRoundTrip)
+{
+    TaskErrorMsg msg;
+    msg.taskId = 42;
+    msg.code = kTaskErrorUnknownCost;
+    msg.message = "statevector exploded";
+    const TaskErrorMsg back = decodeTaskError(encodeTaskError(msg));
+    EXPECT_EQ(back.taskId, msg.taskId);
+    EXPECT_EQ(back.code, kTaskErrorUnknownCost);
+    EXPECT_EQ(back.message, msg.message);
+}
+
+TEST(WireTest, TaskRejectsZeroDimensionalPoints)
+{
+    // A crafted frame claiming a huge point count with dim = 0 must
+    // be rejected before any allocation is sized from the count.
+    WireWriter w;
+    w.u64(1);          // taskId
+    w.u64(2);          // costId
+    w.u64(3);          // baseOrdinal
+    w.u32(0xFFFFFFFF); // count
+    w.u32(0);          // dim
+    EXPECT_THROW(decodeTask(w.bytes()), WireError);
+}
+
+TEST(WireTest, HelloRoundTrip)
+{
+    HelloMsg msg;
+    msg.pid = 12345;
+    msg.isa = kernels::KernelIsa::Avx2;
+    WireWriter w;
+    encodeHello(w, msg);
+    const HelloMsg back = decodeHello(w.bytes());
+    EXPECT_EQ(back.pid, 12345);
+    EXPECT_EQ(back.wireVersion, kWireVersion);
+    EXPECT_EQ(back.isa, kernels::KernelIsa::Avx2);
+}
+
+// ------------------------------------------------------------ framing
+
+std::vector<std::uint8_t>
+sampleFrame()
+{
+    TaskErrorMsg msg;
+    msg.taskId = 7;
+    msg.message = "payload with some body to checksum";
+    return encodeFrame(FrameType::TaskError, encodeTaskError(msg));
+}
+
+TEST(WireTest, FrameRoundTripAndStreamedReassembly)
+{
+    const std::vector<std::uint8_t> bytes = sampleFrame();
+
+    // Whole frame at once.
+    {
+        FrameDecoder decoder;
+        decoder.feed(bytes.data(), bytes.size());
+        const auto frame = decoder.next();
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_EQ(frame->type, FrameType::TaskError);
+        EXPECT_EQ(decodeTaskError(frame->payload).message,
+                  "payload with some body to checksum");
+        EXPECT_FALSE(decoder.next().has_value());
+    }
+
+    // Byte-by-byte: exactly one frame, only after the last byte.
+    {
+        FrameDecoder decoder;
+        for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+            decoder.feed(&bytes[i], 1);
+            EXPECT_FALSE(decoder.next().has_value());
+        }
+        decoder.feed(&bytes.back(), 1);
+        ASSERT_TRUE(decoder.next().has_value());
+    }
+
+    // Two concatenated frames split at an arbitrary boundary.
+    {
+        std::vector<std::uint8_t> two = bytes;
+        two.insert(two.end(), bytes.begin(), bytes.end());
+        FrameDecoder decoder;
+        decoder.feed(two.data(), bytes.size() + 5);
+        ASSERT_TRUE(decoder.next().has_value());
+        EXPECT_FALSE(decoder.next().has_value());
+        decoder.feed(two.data() + bytes.size() + 5,
+                     two.size() - bytes.size() - 5);
+        ASSERT_TRUE(decoder.next().has_value());
+        EXPECT_FALSE(decoder.next().has_value());
+    }
+}
+
+TEST(WireTest, TruncatedFramesNeverYieldAMessage)
+{
+    const std::vector<std::uint8_t> bytes = sampleFrame();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        FrameDecoder decoder;
+        decoder.feed(bytes.data(), len);
+        std::optional<Frame> frame;
+        EXPECT_NO_THROW(frame = decoder.next()) << "prefix " << len;
+        EXPECT_FALSE(frame.has_value()) << "prefix " << len;
+    }
+}
+
+TEST(WireTest, CorruptFramesAreRejected)
+{
+    const std::vector<std::uint8_t> bytes = sampleFrame();
+
+    // Bad magic.
+    {
+        std::vector<std::uint8_t> bad = bytes;
+        bad[0] ^= 0xFF;
+        FrameDecoder decoder;
+        decoder.feed(bad.data(), bad.size());
+        EXPECT_THROW(decoder.next(), WireError);
+    }
+    // Unsupported version.
+    {
+        std::vector<std::uint8_t> bad = bytes;
+        bad[4] = 0xEE;
+        FrameDecoder decoder;
+        decoder.feed(bad.data(), bad.size());
+        EXPECT_THROW(decoder.next(), WireError);
+    }
+    // Unknown frame type.
+    {
+        std::vector<std::uint8_t> bad = bytes;
+        bad[6] = 0x7F;
+        FrameDecoder decoder;
+        decoder.feed(bad.data(), bad.size());
+        EXPECT_THROW(decoder.next(), WireError);
+    }
+    // Absurd payload length.
+    {
+        std::vector<std::uint8_t> bad = bytes;
+        bad[12] = 0xFF; // high byte of the u64 length
+        FrameDecoder decoder;
+        decoder.feed(bad.data(), bad.size());
+        EXPECT_THROW(decoder.next(), WireError);
+    }
+    // Every single flipped payload byte must trip the CRC.
+    for (std::size_t i = kFrameHeaderSize; i + 4 < bytes.size(); ++i) {
+        std::vector<std::uint8_t> bad = bytes;
+        bad[i] ^= 0x01;
+        FrameDecoder decoder;
+        decoder.feed(bad.data(), bad.size());
+        EXPECT_THROW(decoder.next(), WireError) << "byte " << i;
+    }
+    // Damaged CRC trailer.
+    {
+        std::vector<std::uint8_t> bad = bytes;
+        bad.back() ^= 0x10;
+        FrameDecoder decoder;
+        decoder.feed(bad.data(), bad.size());
+        EXPECT_THROW(decoder.next(), WireError);
+    }
+}
+
+TEST(WireTest, PayloadDecodersRejectTruncationAndTrailingBytes)
+{
+    TaskMsg task;
+    task.taskId = 1;
+    task.costId = 2;
+    task.baseOrdinal = 3;
+    task.points = {{0.5, -0.5}, {1.5, 2.5}};
+    const std::vector<std::uint8_t> payload = encodeTask(task);
+
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+        EXPECT_THROW(decodeTask({payload.data(), len}), WireError)
+            << "prefix " << len;
+    }
+    std::vector<std::uint8_t> extra = payload;
+    extra.push_back(0);
+    EXPECT_THROW(decodeTask(extra), WireError);
+
+    // Cost spec: a flipped body byte must break the content address.
+    Rng rng(5);
+    CostSpec spec;
+    spec.circuit = randomCircuit(rng, 3, 2);
+    spec.hamiltonian = randomPauliSum(rng, 3);
+    std::vector<std::uint8_t> cost_payload = encodeCostSpec(spec);
+    cost_payload[cost_payload.size() / 2] ^= 0x01;
+    EXPECT_THROW(decodeCostSpec(cost_payload), WireError);
+}
+
+TEST(WireTest, Crc32KnownVector)
+{
+    // CRC-32("123456789") is the classic check value 0xCBF43926.
+    const char* s = "123456789";
+    EXPECT_EQ(crc32({reinterpret_cast<const std::uint8_t*>(s), 9}),
+              0xCBF43926u);
+}
+
+} // namespace
+} // namespace dist
+} // namespace oscar

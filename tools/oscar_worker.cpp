@@ -1,0 +1,14 @@
+/**
+ * @file
+ * The oscar-worker executable: child half of the distributed
+ * execution subsystem (src/dist). Spawned by ProcessPool over a
+ * socketpair; see src/dist/worker.h for the protocol.
+ */
+
+#include "src/dist/worker.h"
+
+int
+main(int argc, char** argv)
+{
+    return oscar::dist::workerEntry(argc, argv);
+}
