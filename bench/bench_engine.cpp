@@ -40,6 +40,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <thread>
 
 #include "bench/bench_common.h"
@@ -115,10 +116,13 @@ struct SweepCase
 /**
  * Kernel-layer study on the acceptance sweep (axis-major 12q p=2
  * QAOA): the PR 2 prefix-cached scalar path vs each layer of the
- * kernel architecture (cache blocking, AVX2 dispatch, batched
- * diagonal expectation). Runs in both benchmark modes and writes the
- * machine-readable BENCH_kernels.json (median/min per case) so the
- * perf trajectory is tracked across PRs.
+ * kernel architecture -- cache blocking + batched expectation per ISA
+ * (scalar / AVX2 / AVX-512, as available on this host/build), each
+ * with super-kernel fusion off and on. Fused rows additionally report
+ * speedup_vs_unfused against their own ISA's unfused row, which is
+ * the fusion-only gain the acceptance criteria track. Runs in both
+ * benchmark modes and writes the machine-readable BENCH_kernels.json
+ * (median/min per case) so the perf trajectory is tracked across PRs.
  */
 void
 runKernelStudy()
@@ -131,7 +135,8 @@ runKernelStudy()
     {
         std::string name;
         KernelOptions options;
-        bool bitExact; ///< must match the scalar reference exactly
+        bool bitExact;          ///< must match the scalar reference exactly
+        std::string unfusedRef; ///< unfused row for speedup_vs_unfused
     };
 
     KernelOptions pr2; // the PR 2 path: scalar kernels, cache only
@@ -139,20 +144,42 @@ runKernelStudy()
     pr2.blockWindow = 0;
     pr2.batchedExpectation = false;
 
-    KernelOptions scalar_full = KernelOptions{};
-    scalar_full.isa = kernels::KernelIsa::Scalar;
-
-    std::vector<KernelMode> modes = {
-        {"pr2 scalar+cache", pr2, true},
-        {"scalar+blocked+batchexp", scalar_full, true},
-    };
+    std::vector<KernelMode> modes = {{"pr2 scalar+cache", pr2, true, ""}};
     if (kernels::avx2Available()) {
         KernelOptions avx2_plain = pr2;
         avx2_plain.isa = kernels::KernelIsa::Avx2;
-        modes.push_back({"avx2+cache", avx2_plain, false});
-        KernelOptions avx2_full = KernelOptions{};
-        avx2_full.isa = kernels::KernelIsa::Avx2;
-        modes.push_back({"avx2+blocked+batchexp", avx2_full, false});
+        modes.push_back({"avx2+cache", avx2_plain, false, ""});
+    }
+
+    struct IsaCase
+    {
+        const char* name;
+        kernels::KernelIsa isa;
+        bool available;
+    };
+    const IsaCase isa_cases[] = {
+        {"scalar", kernels::KernelIsa::Scalar, true},
+        {"avx2", kernels::KernelIsa::Avx2, kernels::avx2Available()},
+        {"avx512", kernels::KernelIsa::Avx512,
+         kernels::avx512Available()},
+    };
+    for (const IsaCase& isa : isa_cases) {
+        if (!isa.available) {
+            std::printf("  (skipping %s rows: unavailable on this "
+                        "host/build)\n",
+                        isa.name);
+            continue;
+        }
+        KernelOptions full;
+        full.isa = isa.isa;
+        const std::string unfused_name =
+            std::string(isa.name) + "+blocked+batchexp";
+        modes.push_back({unfused_name, full,
+                         isa.isa == kernels::KernelIsa::Scalar, ""});
+        KernelOptions fused = full;
+        fused.fuseWindow = 6;
+        modes.push_back(
+            {unfused_name + "+fused", fused, false, unfused_name});
     }
 
     bench::header("kernel layers: p=2 QAOA, 12 qubits, axis-major " +
@@ -165,6 +192,7 @@ runKernelStudy()
     bench::JsonReport json("bench_engine/kernels");
     std::vector<double> reference;
     double base_median = 0.0;
+    std::map<std::string, double> medians;
     for (const KernelMode& mode : modes) {
         StatevectorCost cost = sweep.make();
         std::vector<double> values;
@@ -183,15 +211,28 @@ runKernelStudy()
                                     1e-9)
                 match = false;
         }
+        medians[mode.name] = timing.median;
         const double speedup = base_median / timing.median;
         bench::row(mode.name,
                    {static_cast<double>(num_points) / timing.median,
                     timing.median, timing.min, speedup,
                     match ? 1.0 : 0.0},
                    " %10.4g");
-        json.add(mode.name, timing, num_points,
-                 {{"speedup_vs_pr2", speedup},
-                  {"match", match ? 1.0 : 0.0}});
+        std::vector<std::pair<std::string, double>> extra = {
+            {"speedup_vs_pr2", speedup}, {"match", match ? 1.0 : 0.0}};
+        if (!mode.unfusedRef.empty()) {
+            const double vs_unfused =
+                medians.at(mode.unfusedRef) / timing.median;
+            extra.emplace_back("speedup_vs_unfused", vs_unfused);
+            const KernelStats stats = cost.kernelStats();
+            extra.emplace_back(
+                "fused_super_kernels",
+                static_cast<double>(stats.fusedSuperKernels));
+            std::printf("    %s: %.2fx over %s from fusion alone\n",
+                        mode.name.c_str(), vs_unfused,
+                        mode.unfusedRef.c_str());
+        }
+        json.add(mode.name, timing, num_points, extra);
     }
     std::printf("  (default ISA: %s)\n",
                 kernels::isaName(kernels::defaultKernelTable().isa));

@@ -92,11 +92,26 @@ struct KernelOptions
 
     /**
      * Evaluate shared-prefix groups of batched points with one fused
-     * pass over the diagonal observable (kernels::
-     * expectationDiagonalBatch). Bit-identical to per-point
-     * evaluation; costs a few scratch statevectors per replica.
+     * pass over the observable (kernels::expectationDiagonalBatch for
+     * diagonal Hamiltonians, kernels::expectationPauliBatch per term
+     * otherwise). Bit-identical to per-point evaluation; costs a few
+     * scratch statevectors per replica.
      */
     bool batchedExpectation = true;
+
+    /**
+     * Super-kernel fusion window of the compiled-circuit replay, in
+     * qubits: 0 (default) = off, > 0 collapses eligible in-window op
+     * runs at compile time into dense matvec / diagonal-table
+     * super-kernels and lowers RX/RY payloads onto the specialized
+     * rotation kernels. Part of the fusion plan: results are
+     * bit-identical across batching, segmentation, and checkpoint
+     * resume for a fixed (ISA, fuseWindow), but a given ISA's fused
+     * and unfused replays differ by rounding (fewer, reassociated
+     * arithmetic ops), so change this knob only between runs you
+     * compare bitwise.
+     */
+    int fuseWindow = 0;
 };
 
 /**
@@ -127,6 +142,15 @@ struct KernelStats
     /** Points whose expectation came from a fused batched pass. */
     std::size_t batchedExpectationPoints = 0;
 
+    /** Fused super-kernel applications (one per unit per block run). */
+    std::size_t fusedSuperKernels = 0;
+
+    /** Ops whose individual replay was collapsed into a super-kernel. */
+    std::size_t fusedOpsCollapsed = 0;
+
+    /** Points whose non-diagonal (Pauli) expectation was batched. */
+    std::size_t batchedPauliPoints = 0;
+
     KernelStats&
     operator+=(const KernelStats& other)
     {
@@ -137,6 +161,9 @@ struct KernelStats
         blockedGroupRuns += other.blockedGroupRuns;
         blockedOpsApplied += other.blockedOpsApplied;
         batchedExpectationPoints += other.batchedExpectationPoints;
+        fusedSuperKernels += other.fusedSuperKernels;
+        fusedOpsCollapsed += other.fusedOpsCollapsed;
+        batchedPauliPoints += other.batchedPauliPoints;
         return *this;
     }
 
@@ -150,6 +177,9 @@ struct KernelStats
         a.blockedGroupRuns -= b.blockedGroupRuns;
         a.blockedOpsApplied -= b.blockedOpsApplied;
         a.batchedExpectationPoints -= b.batchedExpectationPoints;
+        a.fusedSuperKernels -= b.fusedSuperKernels;
+        a.fusedOpsCollapsed -= b.fusedOpsCollapsed;
+        a.batchedPauliPoints -= b.batchedPauliPoints;
         return a;
     }
 };

@@ -17,6 +17,15 @@ resolvedBlockWindow(const KernelOptions& options, int num_qubits)
     return window <= 0 ? 0 : std::min(window, num_qubits);
 }
 
+/** Effective super-kernel fusion window (0 = off, clamped). */
+int
+resolvedFuseWindow(const KernelOptions& options, int num_qubits)
+{
+    return options.fuseWindow <= 0
+               ? 0
+               : std::min(options.fuseWindow, num_qubits);
+}
+
 } // namespace
 
 StatevectorCost::StatevectorCost(Circuit circuit, PauliSum hamiltonian)
@@ -59,6 +68,7 @@ StatevectorCost::operator=(const StatevectorCost& other)
     cache_.setBudget(other.kernel_.prefixCacheBudgetBytes);
     replay_ = {};
     batchedPoints_ = 0;
+    batchedPauliPoints_ = 0;
     groupScratch_.clear();
     return *this;
 }
@@ -78,6 +88,9 @@ StatevectorCost::configureKernel(const KernelOptions& options)
     const int window = resolvedBlockWindow(options, compiled_.numQubits());
     if (window != compiled_.blockWindow())
         compiled_.setBlockWindow(window);
+    const int fuse = resolvedFuseWindow(options, compiled_.numQubits());
+    if (fuse != compiled_.fuseWindow())
+        compiled_.setFuseWindow(fuse);
 }
 
 std::vector<int>
@@ -107,6 +120,9 @@ StatevectorCost::kernelStats() const
     stats.blockedGroupRuns = replay_.blockedGroupRuns;
     stats.blockedOpsApplied = replay_.blockedOpsApplied;
     stats.batchedExpectationPoints = batchedPoints_;
+    stats.fusedSuperKernels = replay_.fusedSuperKernels;
+    stats.fusedOpsCollapsed = replay_.fusedOpsCollapsed;
+    stats.batchedPauliPoints = batchedPauliPoints_;
     return stats;
 }
 
@@ -214,11 +230,12 @@ StatevectorCost::evaluateBatchImpl(
     // bit-identical to the scalar path. Consecutive points of an
     // axis-major batch resume from each other's checkpoints; runs of
     // points that differ only past the deepest checkpoint level are
-    // additionally folded into one fused diagonal-expectation pass
-    // (value-neutral: the per-point accumulation is unchanged).
+    // additionally folded into one fused expectation pass — the
+    // diagonal-table kernel for diagonal Hamiltonians, the batched
+    // Pauli kernel per term otherwise (both value-neutral: the
+    // per-point accumulation is unchanged).
     const std::size_t max_group = maxExpectationGroup();
-    if (diagonal_.empty() || !kernel_.batchedExpectation ||
-        max_group < 2) {
+    if (!kernel_.batchedExpectation || max_group < 2) {
         for (std::size_t i = 0; i < points.size(); ++i)
             out[i] = evaluatePoint(points[i]);
         return;
@@ -245,9 +262,15 @@ StatevectorCost::evaluateBatchImpl(
             simulate(points[m], groupScratch_[m - i]);
             group[m - i] = groupScratch_[m - i].data();
         }
-        table_->expectationDiagonalBatch(group, j - i, diagonal_.data(),
-                                         state_.dim(), out + i);
-        batchedPoints_ += j - i;
+        if (!diagonal_.empty()) {
+            table_->expectationDiagonalBatch(
+                group, j - i, diagonal_.data(), state_.dim(), out + i);
+            batchedPoints_ += j - i;
+        } else {
+            hamiltonian_.expectationBatch(group, j - i, state_.dim(),
+                                          *table_, out + i);
+            batchedPauliPoints_ += j - i;
+        }
         i = j;
     }
 }

@@ -12,10 +12,14 @@
  *    KernelOptions::isa;
  *  - cache blocking: the compiled schedule's blocking plan streams
  *    runs of compatible ops over L1-sized amplitude blocks;
- *  - batched diagonal expectation: consecutive batch points that share
- *    the full simulation prefix up to the deepest checkpoint level are
- *    simulated into scratch states and folded with one fused pass over
- *    the diagonal observable (kernels::expectationDiagonalBatch).
+ *  - super-kernel fusion: KernelOptions::fuseWindow collapses eligible
+ *    op runs of the blocking plan into dense matvec / diagonal-table
+ *    super-kernels replayed once per block (compiled_circuit.h);
+ *  - batched expectation: consecutive batch points that share the full
+ *    simulation prefix up to the deepest checkpoint level are simulated
+ *    into scratch states and folded with one fused pass over the
+ *    observable (kernels::expectationDiagonalBatch for diagonal
+ *    Hamiltonians, kernels::expectationPauliBatch per term otherwise).
  *
  * Batches of nearby grid points additionally share simulation work
  * through a prefix cache: the schedule's parameter frontier marks the
@@ -142,6 +146,7 @@ class StatevectorCost : public CostFunction
 
     ReplayCounters replay_;
     std::size_t batchedPoints_ = 0;
+    std::size_t batchedPauliPoints_ = 0;
     /** Per-point final states of a fused expectation group. */
     std::vector<AlignedVector<cplx>> groupScratch_;
 };

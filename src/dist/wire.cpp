@@ -330,6 +330,7 @@ encodeKernelOptions(WireWriter& w, const KernelOptions& options)
     w.u8(static_cast<std::uint8_t>(options.isa));
     w.i32(options.blockWindow);
     w.u8(options.batchedExpectation ? 1 : 0);
+    w.i32(options.fuseWindow);
 }
 
 KernelOptions
@@ -339,12 +340,13 @@ decodeKernelOptions(WireReader& r)
     options.prefixCache = r.u8() != 0;
     options.prefixCacheBudgetBytes = r.u64();
     const std::uint8_t isa = r.u8();
-    if (isa > static_cast<std::uint8_t>(kernels::KernelIsa::Avx2) &&
+    if (isa > static_cast<std::uint8_t>(kernels::KernelIsa::Avx512) &&
         isa != static_cast<std::uint8_t>(kernels::KernelIsa::Auto))
         throw WireError("unknown kernel ISA");
     options.isa = static_cast<kernels::KernelIsa>(isa);
     options.blockWindow = r.i32();
     options.batchedExpectation = r.u8() != 0;
+    options.fuseWindow = r.i32();
     return options;
 }
 
@@ -358,6 +360,9 @@ encodeKernelStats(WireWriter& w, const KernelStats& stats)
     w.u64(stats.blockedGroupRuns);
     w.u64(stats.blockedOpsApplied);
     w.u64(stats.batchedExpectationPoints);
+    w.u64(stats.fusedSuperKernels);
+    w.u64(stats.fusedOpsCollapsed);
+    w.u64(stats.batchedPauliPoints);
 }
 
 KernelStats
@@ -371,6 +376,9 @@ decodeKernelStats(WireReader& r)
     stats.blockedGroupRuns = r.u64();
     stats.blockedOpsApplied = r.u64();
     stats.batchedExpectationPoints = r.u64();
+    stats.fusedSuperKernels = r.u64();
+    stats.fusedOpsCollapsed = r.u64();
+    stats.batchedPauliPoints = r.u64();
     return stats;
 }
 

@@ -50,7 +50,9 @@ class WireError : public std::runtime_error
 };
 
 constexpr std::uint32_t kWireMagic = 0x4F534357u; // "OSCW"
-constexpr std::uint16_t kWireVersion = 1;
+// v2: KernelOptions carries fuseWindow, KernelStats carries the
+// super-kernel/batched-Pauli counters, and the ISA byte admits avx512.
+constexpr std::uint16_t kWireVersion = 2;
 
 /** Fixed frame header size (magic + version + type + payload length). */
 constexpr std::size_t kFrameHeaderSize = 16;

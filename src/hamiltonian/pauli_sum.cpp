@@ -54,6 +54,27 @@ PauliSum::expectation(const Statevector& state,
     return acc;
 }
 
+void
+PauliSum::expectationBatch(const cplx* const* states, std::size_t count,
+                           std::size_t dim,
+                           const kernels::KernelTable& table,
+                           double* out) const
+{
+    static const cplx kPhases[4] = {{1.0, 0.0},
+                                    {0.0, 1.0},
+                                    {-1.0, 0.0},
+                                    {0.0, -1.0}};
+    std::fill(out, out + count, 0.0);
+    std::vector<double> term(count);
+    for (const PauliTerm& t : terms_) {
+        const PauliMasks m = t.pauli.masks();
+        table.expectationPauliBatch(states, count, dim, m.flip, m.sign,
+                                    kPhases[m.numY & 3], term.data());
+        for (std::size_t s = 0; s < count; ++s)
+            out[s] += t.coeff * term[s];
+    }
+}
+
 double
 PauliSum::expectation(const DensityMatrix& rho) const
 {

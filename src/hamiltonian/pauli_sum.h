@@ -63,6 +63,21 @@ class PauliSum
     double expectation(const Statevector& state,
                        const kernels::KernelTable& table) const;
 
+    /**
+     * Term-by-term expectation of `count` states at once: for each
+     * state s, out[s] = sum_k c_k <s|P_k|s>, contracted through the
+     * batched Pauli kernel (one pass over all states per term).
+     * Bit-identical per state to the term-by-term single-state path —
+     * the batched kernel accumulates each state with the identical
+     * operation sequence, and terms fold in the same order. Meant for
+     * non-diagonal sums; diagonal sums should keep using the value
+     * table (expectation() takes that shortcut, this does not).
+     */
+    void expectationBatch(const cplx* const* states, std::size_t count,
+                          std::size_t dim,
+                          const kernels::KernelTable& table,
+                          double* out) const;
+
     /** Exact expectation Tr(rho H). */
     double expectation(const DensityMatrix& rho) const;
 

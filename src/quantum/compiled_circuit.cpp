@@ -81,17 +81,43 @@ struct ResolvedPayload
     const CompiledOp* op;
     std::array<cplx, 4> matrix;
     cplx p0, p1;
+    int rot = 0; ///< 1 = rotX(c, s), 2 = rotY(c, s) (fusion plans only)
+    double c = 0.0, s = 0.0;
 };
 
 namespace {
 
+/**
+ * True when fusion plans lower this op onto the specialized rotation
+ * kernels instead of the generic 2x2 matrix path. Constant RX/RY were
+ * already merged by 1q fusion, so only parameterized ones remain.
+ */
+inline bool
+rotLowerable(const CompiledOp& op)
+{
+    return op.op == KernelOp::Matrix1q && op.paramIndex >= 0 &&
+           (op.kind == GateKind::RX || op.kind == GateKind::RY);
+}
+
 ResolvedPayload
-resolvePayload(const CompiledOp& op, const double* params)
+resolvePayload(const CompiledOp& op, const double* params,
+               bool rotLower = false)
 {
     ResolvedPayload r;
     r.op = &op;
     switch (op.op) {
       case KernelOp::Matrix1q:
+        if (rotLower && rotLowerable(op)) {
+            // RX = [[c, -i s], [-i s, c]], RY = [[c, -s], [s, c]] with
+            // c = cos(a/2), s = sin(a/2): both run ~2x faster through
+            // the dedicated kernels. Rounding differs from the generic
+            // matrix path, so the lowering is keyed on the fusion plan.
+            const double a = op.resolvedAngle(params);
+            r.rot = op.kind == GateKind::RX ? 1 : 2;
+            r.c = std::cos(a / 2);
+            r.s = std::sin(a / 2);
+            break;
+        }
         r.matrix = op.paramIndex < 0
                        ? op.matrix
                        : gateMatrix1q(op.kind, op.resolvedAngle(params));
@@ -126,7 +152,12 @@ applyToBlock(const kernels::KernelTable& t, cplx* blk, std::size_t bs,
     const CompiledOp& op = *r.op;
     switch (op.op) {
       case KernelOp::Matrix1q:
-        t.matrix1q(blk, bs, op.q0, r.matrix);
+        if (r.rot == 1)
+            t.rotX(blk, bs, op.q0, r.c, r.s);
+        else if (r.rot == 2)
+            t.rotY(blk, bs, op.q0, r.c, r.s);
+        else
+            t.matrix1q(blk, bs, op.q0, r.matrix);
         break;
       case KernelOp::Diag1q:
         if (op.q0 < k)
@@ -178,14 +209,51 @@ applyToBlock(const kernels::KernelTable& t, cplx* blk, std::size_t bs,
     }
 }
 
+/**
+ * Apply a run of resolved ops to one block, pair-fusing adjacent
+ * lowered rotations of the same axis on distinct qubits through the
+ * rotX2/rotY2 super-kernels. Those kernels are bit-identical to the
+ * two single calls, so pairing is purely an execution-speed decision:
+ * any chunk, segment or checkpoint boundary may split a would-be pair
+ * without perturbing a single bit.
+ */
+void
+applyRunToBlock(const kernels::KernelTable& t, cplx* blk,
+                std::size_t bs, std::size_t base,
+                const ResolvedPayload* r, std::size_t n, int k)
+{
+    std::size_t j = 0;
+    while (j < n) {
+        if (j + 1 < n && r[j].rot != 0 && r[j].rot == r[j + 1].rot &&
+            r[j].op->q0 != r[j + 1].op->q0) {
+            const auto pair = r[j].rot == 1 ? t.rotX2 : t.rotY2;
+            pair(blk, bs, r[j].op->q0, r[j + 1].op->q0, r[j].c, r[j].s,
+                 r[j + 1].c, r[j + 1].s);
+            j += 2;
+            continue;
+        }
+        applyToBlock(t, blk, bs, base, r[j], k);
+        ++j;
+    }
+}
+
 /** Execute one op over the full array through the kernel table. */
 void
 runOp(const CompiledOp& op, cplx* amps, std::size_t dim,
-      const double* params, const kernels::KernelTable& t)
+      const double* params, const kernels::KernelTable& t,
+      bool rotLower)
 {
     switch (op.op) {
       case KernelOp::Matrix1q:
-        if (op.paramIndex < 0) {
+        if (rotLower && rotLowerable(op)) {
+            const double a = op.resolvedAngle(params);
+            const double c = std::cos(a / 2);
+            const double s = std::sin(a / 2);
+            if (op.kind == GateKind::RX)
+                t.rotX(amps, dim, op.q0, c, s);
+            else
+                t.rotY(amps, dim, op.q0, c, s);
+        } else if (op.paramIndex < 0) {
             t.matrix1q(amps, dim, op.q0, op.matrix);
         } else {
             t.matrix1q(amps, dim, op.q0,
@@ -219,6 +287,36 @@ runOp(const CompiledOp& op, cplx* amps, std::size_t dim,
             t.phaseZZ(amps, dim, op.q0, op.q1, same, diff);
         }
         break;
+    }
+}
+
+/**
+ * Execute ops [lo, hi) over the full array, pair-fusing adjacent
+ * lowered rotations exactly like applyRunToBlock does per block.
+ * Bit-identical to the one-op-at-a-time loop by the rotX2/rotY2
+ * contract, so range boundaries never affect the result.
+ */
+void
+runOps(const std::vector<CompiledOp>& ops, std::size_t lo, std::size_t hi,
+       cplx* amps, std::size_t dim, const double* params,
+       const kernels::KernelTable& t, bool rotLower)
+{
+    std::size_t k = lo;
+    while (k < hi) {
+        if (rotLower && k + 1 < hi && rotLowerable(ops[k]) &&
+            rotLowerable(ops[k + 1]) && ops[k].kind == ops[k + 1].kind &&
+            ops[k].q0 != ops[k + 1].q0) {
+            const double aa = ops[k].resolvedAngle(params);
+            const double ab = ops[k + 1].resolvedAngle(params);
+            const auto pair =
+                ops[k].kind == GateKind::RX ? t.rotX2 : t.rotY2;
+            pair(amps, dim, ops[k].q0, ops[k + 1].q0, std::cos(aa / 2),
+                 std::sin(aa / 2), std::cos(ab / 2), std::sin(ab / 2));
+            k += 2;
+            continue;
+        }
+        runOp(ops[k], amps, dim, params, t, rotLower);
+        ++k;
     }
 }
 
@@ -283,7 +381,13 @@ CompiledCircuit::CompiledCircuit(const Circuit& circuit,
     }
 
     finalizeFrontier();
-    setBlockWindow(options.blockWindow);
+    blockBits_ = options.blockWindow <= 0
+                     ? 0
+                     : std::min(options.blockWindow, numQubits_);
+    fuseBits_ = options.fuseWindow <= 0
+                    ? 0
+                    : std::min(options.fuseWindow, numQubits_);
+    rebuildPlan();
 }
 
 bool
@@ -307,13 +411,78 @@ CompiledCircuit::blockable(const CompiledOp& op, int k)
     return false;
 }
 
+namespace {
+
+/** True for the diagonal op kinds a DiagTable unit may contain. */
+inline bool
+isDiagonalOp(const CompiledOp& op)
+{
+    return op.op == KernelOp::Diag1q || op.op == KernelOp::CZ ||
+           op.op == KernelOp::PhaseZZ;
+}
+
+/**
+ * True when a diagonal op folds into the per-block table (every qubit
+ * below the block window); false keeps it as per-block context.
+ */
+inline bool
+diagFoldable(const CompiledOp& op, int k)
+{
+    if (op.q0 >= k)
+        return false;
+    return op.arity() == 1 || op.q1 < k;
+}
+
+/** True when every qubit the op touches sits below `f` (dense-fusable). */
+inline bool
+denseFusable(const CompiledOp& op, int f)
+{
+    if (op.q0 >= f)
+        return false;
+    return op.arity() == 1 || op.q1 < f;
+}
+
+/**
+ * Per-amplitude replay cost of one op in quarter-complex-multiplies,
+ * against which a dense matvec costs 4 << fbits. Conservative: the
+ * generic 2x2 matrix is the expensive case, the rotation lowering
+ * halves it, and diagonal/permutation ops are cheap.
+ */
+inline unsigned
+denseWeight(const CompiledOp& op)
+{
+    if (op.op == KernelOp::Matrix1q)
+        return rotLowerable(op) ? 8u : 16u;
+    return 4u;
+}
+
+} // namespace
+
 void
 CompiledCircuit::setBlockWindow(int window)
 {
+    blockBits_ = window <= 0 ? 0 : std::min(window, numQubits_);
+    rebuildPlan();
+}
+
+void
+CompiledCircuit::setFuseWindow(int window)
+{
+    fuseBits_ = window <= 0 ? 0 : std::min(window, numQubits_);
+    rebuildPlan();
+}
+
+void
+CompiledCircuit::rebuildPlan()
+{
     plan_.clear();
+    units_.clear();
+    constPayload_.clear();
     blockedGroups_ = 0;
     blockedOps_ = 0;
-    blockBits_ = window <= 0 ? 0 : std::min(window, numQubits_);
+    fusedOps_ = 0;
+    paramScratchSize_ = 0;
+    matvecScratchSize_ = 0;
     if (blockBits_ <= 0 || ops_.empty()) {
         blockBits_ = 0;
         return;
@@ -328,7 +497,7 @@ CompiledCircuit::setBlockWindow(int window)
             ++j;
         if (j - i >= 2) {
             plan_.push_back({static_cast<std::uint32_t>(i),
-                             static_cast<std::uint32_t>(j), true});
+                             static_cast<std::uint32_t>(j), true, 0, 0});
             ++blockedGroups_;
             blockedOps_ += j - i;
             i = j;
@@ -340,8 +509,204 @@ CompiledCircuit::setBlockWindow(int window)
                  blockable(ops_[e + 1], k)))
             ++e;
         plan_.push_back({static_cast<std::uint32_t>(i),
-                         static_cast<std::uint32_t>(e), false});
+                         static_cast<std::uint32_t>(e), false, 0, 0});
         i = e;
+    }
+
+    if (fuseBits_ <= 0)
+        return;
+    for (PlanSegment& seg : plan_) {
+        if (seg.blocked)
+            formUnits(seg);
+    }
+
+    // Lay out payload storage: constant payloads pack into
+    // constPayload_ once, parameterized ones get disjoint offsets in
+    // the per-call scratch. Offsets round up to 8 complexes so every
+    // payload starts on a 128-byte boundary inside the 64-byte-aligned
+    // backing store.
+    constexpr std::size_t kPayloadAlign = 8;
+    std::size_t constSize = 0;
+    std::size_t paramSize = 0;
+    for (FusedUnit& u : units_) {
+        const std::size_t psize =
+            u.kind == FuseKind::DiagTable
+                ? std::size_t{1} << blockBits_
+                : std::size_t{1} << (2 * u.fbits);
+        std::size_t& acc = u.constant ? constSize : paramSize;
+        acc = (acc + kPayloadAlign - 1) & ~(kPayloadAlign - 1);
+        u.payloadOffset = static_cast<std::uint32_t>(acc);
+        acc += psize;
+        if (u.kind == FuseKind::Dense) {
+            matvecScratchSize_ = std::max(
+                matvecScratchSize_, std::size_t{1} << u.fbits);
+        }
+        fusedOps_ += u.foldCount;
+    }
+    paramScratchSize_ = paramSize;
+    constPayload_.assign(constSize, cplx(0.0, 0.0));
+    for (const FusedUnit& u : units_) {
+        if (!u.constant)
+            continue;
+        cplx* payload = constPayload_.data() + u.payloadOffset;
+        if (u.kind == FuseKind::DiagTable)
+            buildDiagTable(u, nullptr, kernels::scalarKernelTable(),
+                           payload);
+        else
+            buildDenseMatrix(u, nullptr, payload);
+    }
+}
+
+void
+CompiledCircuit::formUnits(PlanSegment& seg)
+{
+    seg.unitBegin = static_cast<std::uint32_t>(units_.size());
+    const int k = blockBits_;
+    const int fcap = std::min({fuseBits_, blockBits_, 6});
+    // Units never straddle a frontier level: checkpoint resume and
+    // batched suffix replay cut the schedule exactly there, and a unit
+    // crossing a cut would replay differently fused vs split.
+    std::size_t lo = seg.begin;
+    while (lo < seg.end) {
+        const auto cut = std::upper_bound(frontier_.begin(),
+                                          frontier_.end(), lo);
+        const std::size_t hi = std::min<std::size_t>(
+            seg.end, cut == frontier_.end() ? ops_.size() : *cut);
+        std::size_t i = lo;
+        while (i < hi) {
+            // Diagonal run: >= 2 consecutive diagonal ops, at least 2
+            // of them folding into the per-block table.
+            std::size_t j = i;
+            while (j < hi && isDiagonalOp(ops_[j]))
+                ++j;
+            if (j - i >= 2) {
+                std::uint32_t fold = 0;
+                bool constant = true;
+                for (std::size_t m = i; m < j; ++m) {
+                    if (!diagFoldable(ops_[m], k))
+                        continue;
+                    ++fold;
+                    constant = constant && ops_[m].paramIndex < 0;
+                }
+                // A parameterized table costs a rebuild of 2^blockBits
+                // complexes per replay (through the active ISA's
+                // kernels, so it is cheap); >= 4 blocks amortize it.
+                // Constant tables are free.
+                if (fold >= 2 && (constant || numQubits_ - k >= 2)) {
+                    units_.push_back({static_cast<std::uint32_t>(i),
+                                      static_cast<std::uint32_t>(j),
+                                      FuseKind::DiagTable,
+                                      static_cast<std::uint8_t>(k),
+                                      constant, 0, fold});
+                    i = j;
+                    continue;
+                }
+                i = j;
+                continue;
+            }
+            // Dense run: >= 2 consecutive ops confined to the low fcap
+            // qubits. Collapse the longest prefix whose summed per-op
+            // weight beats the matvec cost of 4 quarter-multiplies per
+            // amplitude per matrix dimension.
+            std::size_t d = i;
+            while (d < hi && denseFusable(ops_[d], fcap))
+                ++d;
+            bool fused = false;
+            if (fcap > 0 && d - i >= 2) {
+                std::vector<unsigned> wsum(d - i + 1, 0);
+                std::vector<int> maxq(d - i + 1, 0);
+                int q = 0;
+                for (std::size_t m = i; m < d; ++m) {
+                    const CompiledOp& op = ops_[m];
+                    q = std::max(q, int(op.q0));
+                    if (op.arity() == 2)
+                        q = std::max(q, int(op.q1));
+                    maxq[m - i + 1] = q;
+                    wsum[m - i + 1] = wsum[m - i] + denseWeight(op);
+                }
+                for (std::size_t n = d - i; n >= 2; --n) {
+                    const int fbits = maxq[n] + 1;
+                    bool constant = true;
+                    for (std::size_t m = i; m < i + n; ++m)
+                        constant = constant && ops_[m].paramIndex < 0;
+                    // Constant matrices are prebuilt, so fusing pays
+                    // as soon as the matvec beats the folded ops.
+                    // Parameterized ones are rebuilt every replay;
+                    // demand a 4x margin so small runs (e.g. a pair
+                    // of rotations, already served by the paired rot
+                    // kernels) are not slowed down by the rebuild.
+                    const unsigned need =
+                        constant ? (4u << fbits) : (16u << fbits);
+                    if (need > wsum[n])
+                        continue;
+                    units_.push_back(
+                        {static_cast<std::uint32_t>(i),
+                         static_cast<std::uint32_t>(i + n),
+                         FuseKind::Dense,
+                         static_cast<std::uint8_t>(fbits), constant, 0,
+                         static_cast<std::uint32_t>(n)});
+                    i += n;
+                    fused = true;
+                    break;
+                }
+            }
+            if (!fused)
+                ++i;
+        }
+        lo = hi;
+    }
+    seg.unitEnd = static_cast<std::uint32_t>(units_.size());
+}
+
+void
+CompiledCircuit::buildDiagTable(const FusedUnit& unit,
+                                const double* params,
+                                const kernels::KernelTable& t,
+                                cplx* table) const
+{
+    // The unit's kernels applied to a ones vector. Constant tables are
+    // prebuilt once through the scalar reference kernels and are thus
+    // ISA-independent; parameterized tables are rebuilt per replay
+    // through the active table, which is the same table every replay
+    // of a fixed (ISA, plan) pair uses — exactly the determinism
+    // contract the engine documents.
+    const std::size_t tdim = std::size_t{1} << blockBits_;
+    std::fill(table, table + tdim, cplx(1.0, 0.0));
+    for (std::size_t m = unit.begin; m < unit.end; ++m) {
+        const CompiledOp& op = ops_[m];
+        if (!diagFoldable(op, blockBits_))
+            continue; // per-block context, applied at replay time
+        const ResolvedPayload r = resolvePayload(op, params);
+        switch (op.op) {
+          case KernelOp::Diag1q:
+            t.diag1q(table, tdim, op.q0, r.p0, r.p1);
+            break;
+          case KernelOp::CZ:
+            t.cz(table, tdim, op.q0, op.q1);
+            break;
+          default: // PhaseZZ (the only other diagonal kind)
+            t.phaseZZ(table, tdim, op.q0, op.q1, r.p0, r.p1);
+            break;
+        }
+    }
+}
+
+void
+CompiledCircuit::buildDenseMatrix(const FusedUnit& unit,
+                                  const double* params,
+                                  cplx* matrix) const
+{
+    // Column c of the fused matrix is the op run applied to basis
+    // state |c>, via the scalar reference kernels (ISA-independent,
+    // as above). Column-major: matrix[c * fdim + r].
+    const std::size_t fdim = std::size_t{1} << unit.fbits;
+    std::fill(matrix, matrix + fdim * fdim, cplx(0.0, 0.0));
+    for (std::size_t c = 0; c < fdim; ++c)
+        matrix[c * fdim + c] = cplx(1.0, 0.0);
+    const kernels::KernelTable& t = kernels::scalarKernelTable();
+    for (std::size_t m = unit.begin; m < unit.end; ++m) {
+        for (std::size_t c = 0; c < fdim; ++c)
+            runOp(ops_[m], matrix + c * fdim, fdim, params, t, false);
     }
 }
 
@@ -410,26 +775,123 @@ CompiledCircuit::sharedPrefixLength(const std::vector<double>& a,
 
 void
 CompiledCircuit::runBlocked(cplx* amps, std::size_t dim,
-                            std::size_t begin, std::size_t end,
-                            const double* params,
-                            const kernels::KernelTable& table) const
+                            const PlanSegment& seg, std::size_t begin,
+                            std::size_t end, const double* params,
+                            const kernels::KernelTable& table,
+                            ReplayCounters* counters) const
 {
     const int k = blockBits_;
     const std::size_t bs = std::size_t{1} << k;
-    // Resolve payloads in bounded chunks (stack-local, keeps runRange
-    // thread-safe), then stream the statevector once per chunk,
-    // applying every op of the chunk while each block is cache-hot.
-    constexpr std::size_t kOpChunk = 24;
-    ResolvedPayload resolved[kOpChunk];
-    for (std::size_t cb = begin; cb < end; cb += kOpChunk) {
-        const std::size_t n = std::min(kOpChunk, end - cb);
-        for (std::size_t j = 0; j < n; ++j)
-            resolved[j] = resolvePayload(ops_[cb + j], params);
-        for (std::size_t base = 0; base < dim; base += bs) {
-            cplx* blk = amps + base;
+    const bool rotLower = fuseBits_ > 0;
+
+    // Super-kernel units wholly inside [begin, end); a unit cut by the
+    // range (possible only for non-frontier-aligned cuts) falls back
+    // to per-op replay below.
+    struct ActiveUnit
+    {
+        const FusedUnit* unit;
+        const cplx* payload;
+    };
+    std::vector<ActiveUnit> active;
+    for (std::uint32_t ui = seg.unitBegin; ui < seg.unitEnd; ++ui) {
+        const FusedUnit& u = units_[ui];
+        if (u.begin >= begin && u.end <= end)
+            active.push_back({&u, nullptr});
+    }
+
+    if (active.empty()) {
+        // Plain blocked pass: resolve payloads in bounded chunks
+        // (stack-local, keeps runRange thread-safe), then stream the
+        // statevector once per chunk, applying every op of the chunk
+        // while each block is cache-hot.
+        constexpr std::size_t kOpChunk = 24;
+        ResolvedPayload resolved[kOpChunk];
+        for (std::size_t cb = begin; cb < end; cb += kOpChunk) {
+            const std::size_t n = std::min(kOpChunk, end - cb);
             for (std::size_t j = 0; j < n; ++j)
-                applyToBlock(table, blk, bs, base, resolved[j], k);
+                resolved[j] =
+                    resolvePayload(ops_[cb + j], params, rotLower);
+            for (std::size_t base = 0; base < dim; base += bs) {
+                cplx* blk = amps + base;
+                applyRunToBlock(table, blk, bs, base, resolved, n, k);
+            }
         }
+        return;
+    }
+
+    // Parameterized unit payloads rebuild into call-local aligned
+    // scratch (disjoint offsets laid out at plan time); constant ones
+    // were prebuilt into constPayload_.
+    AlignedVector<cplx> scratch;
+    bool needScratch = false;
+    for (const ActiveUnit& a : active)
+        needScratch = needScratch || !a.unit->constant;
+    if (needScratch)
+        scratch.resize(paramScratchSize_);
+    for (ActiveUnit& a : active) {
+        const FusedUnit& u = *a.unit;
+        if (u.constant) {
+            a.payload = constPayload_.data() + u.payloadOffset;
+            continue;
+        }
+        cplx* payload = scratch.data() + u.payloadOffset;
+        if (u.kind == FuseKind::DiagTable)
+            buildDiagTable(u, params, table, payload);
+        else
+            buildDenseMatrix(u, params, payload);
+        a.payload = payload;
+    }
+    AlignedVector<cplx> mvScratch;
+    for (const ActiveUnit& a : active) {
+        if (a.unit->kind == FuseKind::Dense) {
+            mvScratch.resize(matvecScratchSize_);
+            break;
+        }
+    }
+
+    // Ops outside units (and diagonal context ops inside DiagTable
+    // units) still replay per block through their resolved payloads.
+    std::vector<ResolvedPayload> resolved(end - begin);
+    for (std::size_t m = begin; m < end; ++m)
+        resolved[m - begin] = resolvePayload(ops_[m], params, rotLower);
+
+    for (std::size_t base = 0; base < dim; base += bs) {
+        cplx* blk = amps + base;
+        std::size_t i = begin;
+        std::size_t ai = 0;
+        while (i < end) {
+            if (ai < active.size() && active[ai].unit->begin == i) {
+                const FusedUnit& u = *active[ai].unit;
+                if (u.kind == FuseKind::DiagTable) {
+                    table.applyDiagTable(blk, bs, active[ai].payload);
+                    for (std::size_t m = u.begin; m < u.end; ++m) {
+                        if (!diagFoldable(ops_[m], k))
+                            applyToBlock(table, blk, bs, base,
+                                         resolved[m - begin], k);
+                    }
+                } else {
+                    table.matvecDense(blk, bs, u.fbits,
+                                      active[ai].payload,
+                                      mvScratch.data());
+                }
+                i = u.end;
+                ++ai;
+                continue;
+            }
+            // Stretch of non-unit ops up to the next unit: replay it
+            // as one run so adjacent lowered rotations pair up.
+            const std::size_t stop = ai < active.size()
+                                         ? active[ai].unit->begin
+                                         : end;
+            applyRunToBlock(table, blk, bs, base,
+                            resolved.data() + (i - begin), stop - i, k);
+            i = stop;
+        }
+    }
+    if (counters) {
+        counters->fusedSuperKernels += active.size();
+        for (const ActiveUnit& a : active)
+            counters->fusedOpsCollapsed += a.unit->foldCount;
     }
 }
 
@@ -445,9 +907,9 @@ CompiledCircuit::runRange(cplx* amps, std::size_t dim, std::size_t begin,
     // dim != 2^numQubits, if any, degrade to the plain loop).
     const bool use_plan = blockBits_ > 0 && !plan_.empty() &&
                           (std::size_t{1} << blockBits_) <= dim;
+    const bool rotLower = fuseBits_ > 0;
     if (!use_plan) {
-        for (std::size_t k = begin; k < end; ++k)
-            runOp(ops_[k], amps, dim, params, table);
+        runOps(ops_, begin, end, amps, dim, params, table, rotLower);
         return;
     }
     for (const PlanSegment& seg : plan_) {
@@ -458,14 +920,13 @@ CompiledCircuit::runRange(cplx* amps, std::size_t dim, std::size_t begin,
         const std::size_t lo = std::max<std::size_t>(seg.begin, begin);
         const std::size_t hi = std::min<std::size_t>(seg.end, end);
         if (seg.blocked && hi - lo >= 2) {
-            runBlocked(amps, dim, lo, hi, params, table);
+            runBlocked(amps, dim, seg, lo, hi, params, table, counters);
             if (counters) {
                 ++counters->blockedGroupRuns;
                 counters->blockedOpsApplied += hi - lo;
             }
         } else {
-            for (std::size_t k = lo; k < hi; ++k)
-                runOp(ops_[k], amps, dim, params, table);
+            runOps(ops_, lo, hi, amps, dim, params, table, rotLower);
         }
     }
 }

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/aligned.h"
 #include "src/quantum/circuit.h"
 #include "src/quantum/gate.h"
 #include "src/quantum/kernels.h"
@@ -68,6 +69,31 @@ struct CompileOptions
      * ISA: per amplitude, the operation sequence is unchanged.
      */
     int blockWindow = kDefaultBlockWindow;
+
+    /**
+     * Super-kernel fusion window in qubits (0 disables). When > 0,
+     * the compile pass collapses eligible op runs inside blocked
+     * segments into fused super-kernels and lowers parameterized
+     * RX/RY payloads onto the specialized rotation kernels:
+     *
+     *  - runs of >= 2 consecutive diagonal ops whose qubits all sit
+     *    below the block window fold into one per-block diagonal
+     *    table (kernels::applyDiagTable), with ops touching higher
+     *    qubits kept as per-block context;
+     *  - runs of >= 2 consecutive ops confined to the low
+     *    min(fuseWindow, blockWindow, 6) qubits collapse into one
+     *    dense 2^f x 2^f column-major matrix replayed as a single
+     *    GEMM-like matvec per block (kernels::matvecDense).
+     *
+     * Both rewrites are compile-time decisions (recorded in the plan,
+     * never dependent on runtime state) and carry profitability gates
+     * so fusion never pessimizes. Unlike blocking, fusion reorders
+     * and reassociates arithmetic: replay is bit-identical across
+     * batching, checkpoint resume, and frontier-aligned segmentation
+     * for a fixed (ISA, fusion plan), but fused and unfused replays
+     * of the same circuit agree only to rounding.
+     */
+    int fuseWindow = 0;
 };
 
 /** Kernel selector for one compiled op (see quantum/kernels.h). */
@@ -122,6 +148,12 @@ struct ReplayCounters
 
     /** Ops that executed inside a blocked pass. */
     std::size_t blockedOpsApplied = 0;
+
+    /** Fused super-kernel executions (one per unit per replay). */
+    std::size_t fusedSuperKernels = 0;
+
+    /** Ops whose individual replay a super-kernel collapsed. */
+    std::size_t fusedOpsCollapsed = 0;
 };
 
 /** A Circuit lowered to a flat kernel schedule. */
@@ -197,6 +229,24 @@ class CompiledCircuit
     std::size_t blockedOpCount() const { return blockedOps_; }
 
     /**
+     * Rebuild the super-kernel fusion plan for a new window (see
+     * CompileOptions::fuseWindow; 0 disables). Changing the window
+     * changes the fusion plan and therefore the replay's rounding —
+     * only replays under the same (ISA, fusion plan) compare bitwise.
+     * Not thread-safe against concurrent replays of this instance.
+     */
+    void setFuseWindow(int window);
+
+    /** Effective fusion window in qubits (0 when disabled). */
+    int fuseWindow() const { return fuseBits_; }
+
+    /** Fused super-kernel units in the current plan. */
+    std::size_t numFusedUnits() const { return units_.size(); }
+
+    /** Ops collapsed into super-kernels (per full replay). */
+    std::size_t fusedOpCount() const { return fusedOps_; }
+
+    /**
      * Replay ops [begin, end) onto a raw amplitude array of length
      * `dim` (2^numQubits for a statevector). `params` may be null for
      * a parameter-free schedule. Thread-safe and const: parameterized
@@ -205,9 +255,14 @@ class CompiledCircuit
      * Kernels dispatch through `table` (the process default when
      * omitted); `counters`, when given, accumulates blocked-pass
      * activity. For any fixed table, the values written are
-     * independent of the blocking plan and of how [begin, end) is
-     * segmented across calls — the per-amplitude operation sequence
-     * never changes.
+     * independent of the blocking plan and — with fusion off — of how
+     * [begin, end) is segmented across calls. With fusion on, fused
+     * units never straddle frontier levels, so any segmentation whose
+     * cut points are frontier levels (checkpoint resume, batched
+     * suffix replay) executes the identical unit sequence and stays
+     * bit-exact; a cut in the middle of a unit makes that unit fall
+     * back to per-op replay for that call, which is deterministic but
+     * differs from the fused result by rounding.
      */
     void runRange(cplx* amps, std::size_t dim, std::size_t begin,
                   std::size_t end, const double* params,
@@ -236,6 +291,34 @@ class CompiledCircuit
         std::uint32_t begin;
         std::uint32_t end;
         bool blocked;
+        std::uint32_t unitBegin = 0; ///< into units_, empty when unfused
+        std::uint32_t unitEnd = 0;
+    };
+
+    enum class FuseKind : std::uint8_t
+    {
+        DiagTable, ///< per-block diagonal table over blockWindow qubits
+        Dense,     ///< dense 2^fbits x 2^fbits matvec per sub-block
+    };
+
+    /**
+     * One compile-time super-kernel: ops [begin, end) of a blocked
+     * segment collapse into a single payload (diagonal table or dense
+     * column-major matrix). Constant payloads are prebuilt into
+     * constPayload_ at plan time; parameterized payloads rebuild per
+     * replay call into 64-byte-aligned scratch at the same offset.
+     * Units never straddle frontier levels, so frontier-aligned
+     * segmentation (checkpointing) replays the identical sequence.
+     */
+    struct FusedUnit
+    {
+        std::uint32_t begin;
+        std::uint32_t end;
+        FuseKind kind;
+        std::uint8_t fbits;          ///< payload dimension = 2^fbits
+        bool constant;               ///< payload prebuilt at plan time
+        std::uint32_t payloadOffset; ///< into constPayload_ or scratch
+        std::uint32_t foldCount;     ///< ops collapsed into the payload
     };
 
     void finalizeFrontier();
@@ -243,10 +326,32 @@ class CompiledCircuit
     /** True when `op` can join a blocked run under window `k`. */
     static bool blockable(const CompiledOp& op, int k);
 
+    /** Rebuild plan_ + units_ from blockBits_ / fuseBits_. */
+    void rebuildPlan();
+
+    /** Form the fused units of one blocked segment. */
+    void formUnits(PlanSegment& seg);
+
+    /**
+     * Build a unit's diagonal table through the given kernel table.
+     * Constant prebuilds pass the scalar table (ISA-independent);
+     * parameterized replays pass the active one (per-ISA, but fixed
+     * for a fixed (ISA, plan) pair, so replays stay bit-identical).
+     */
+    void buildDiagTable(const FusedUnit& unit, const double* params,
+                        const kernels::KernelTable& t,
+                        cplx* table) const;
+
+    /** Build a unit's dense matrix (scalar math, ISA-independent). */
+    void buildDenseMatrix(const FusedUnit& unit, const double* params,
+                          cplx* matrix) const;
+
     /** Execute ops [begin, end) of a blocked run block-by-block. */
-    void runBlocked(cplx* amps, std::size_t dim, std::size_t begin,
-                    std::size_t end, const double* params,
-                    const kernels::KernelTable& table) const;
+    void runBlocked(cplx* amps, std::size_t dim, const PlanSegment& seg,
+                    std::size_t begin, std::size_t end,
+                    const double* params,
+                    const kernels::KernelTable& table,
+                    ReplayCounters* counters) const;
 
     int numQubits_ = 0;
     int numParams_ = 0;
@@ -260,6 +365,13 @@ class CompiledCircuit
     std::size_t blockedGroups_ = 0;
     std::size_t blockedOps_ = 0;
     std::vector<PlanSegment> plan_;
+
+    int fuseBits_ = 0; ///< effective fusion window, 0 = fusion off
+    std::size_t fusedOps_ = 0;
+    std::vector<FusedUnit> units_;
+    AlignedVector<cplx> constPayload_; ///< prebuilt unit payloads
+    std::size_t paramScratchSize_ = 0; ///< per-call scratch (complexes)
+    std::size_t matvecScratchSize_ = 0;
 };
 
 } // namespace oscar

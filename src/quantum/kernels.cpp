@@ -113,6 +113,93 @@ flipBit(cplx* amps, std::size_t dim, int target)
     }
 }
 
+void
+rotX(cplx* amps, std::size_t dim, int qubit, double c, double s)
+{
+    // [[c, -i s], [-i s, c]]: a0' = c a0 + s (-i a1) and symmetrically
+    // for a1', where -i (x + i y) = y - i x.
+    const std::size_t stride = std::size_t{1} << qubit;
+    for (std::size_t base = 0; base < dim; base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; ++off) {
+            const std::size_t i0 = base + off;
+            const std::size_t i1 = i0 + stride;
+            const cplx a0 = amps[i0];
+            const cplx a1 = amps[i1];
+            amps[i0] = cplx(c * a0.real() + s * a1.imag(),
+                            c * a0.imag() - s * a1.real());
+            amps[i1] = cplx(c * a1.real() + s * a0.imag(),
+                            c * a1.imag() - s * a0.real());
+        }
+    }
+}
+
+void
+rotY(cplx* amps, std::size_t dim, int qubit, double c, double s)
+{
+    // [[c, -s], [s, c]]: all-real matrix, componentwise arithmetic.
+    const std::size_t stride = std::size_t{1} << qubit;
+    for (std::size_t base = 0; base < dim; base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; ++off) {
+            const std::size_t i0 = base + off;
+            const std::size_t i1 = i0 + stride;
+            const cplx a0 = amps[i0];
+            const cplx a1 = amps[i1];
+            amps[i0] = cplx(c * a0.real() - s * a1.real(),
+                            c * a0.imag() - s * a1.imag());
+            amps[i1] = cplx(s * a0.real() + c * a1.real(),
+                            s * a0.imag() + c * a1.imag());
+        }
+    }
+}
+
+void
+rotX2(cplx* amps, std::size_t dim, int qa, int qb, double ca, double sa,
+      double cb, double sb)
+{
+    // The portable pair is literally the two single passes — the
+    // bit-identity contract holds by construction, and the scalar
+    // tier gains nothing from keeping intermediates in registers.
+    rotX(amps, dim, qa, ca, sa);
+    rotX(amps, dim, qb, cb, sb);
+}
+
+void
+rotY2(cplx* amps, std::size_t dim, int qa, int qb, double ca, double sa,
+      double cb, double sb)
+{
+    rotY(amps, dim, qa, ca, sa);
+    rotY(amps, dim, qb, cb, sb);
+}
+
+void
+applyDiagTable(cplx* amps, std::size_t dim, const cplx* table)
+{
+    for (std::size_t i = 0; i < dim; ++i)
+        amps[i] *= table[i];
+}
+
+void
+matvecDense(cplx* amps, std::size_t dim, int fbits, const cplx* matrix,
+            cplx* scratch)
+{
+    const std::size_t fdim = std::size_t{1} << fbits;
+    for (std::size_t base = 0; base < dim; base += fdim) {
+        cplx* blk = amps + base;
+        // Column-major accumulation in ascending column order: out
+        // starts at column 0 scaled by in[0], then folds the rest.
+        for (std::size_t r = 0; r < fdim; ++r)
+            scratch[r] = matrix[r] * blk[0];
+        for (std::size_t col = 1; col < fdim; ++col) {
+            const cplx in = blk[col];
+            const cplx* m = matrix + col * fdim;
+            for (std::size_t r = 0; r < fdim; ++r)
+                scratch[r] += m[r] * in;
+        }
+        for (std::size_t r = 0; r < fdim; ++r)
+            blk[r] = scratch[r];
+    }
+}
+
 double
 expectationDiagonal(const cplx* amps, const double* diag, std::size_t dim)
 {
@@ -160,6 +247,35 @@ expectationPauli(const cplx* amps, std::size_t dim,
     return (phase * acc).real();
 }
 
+void
+expectationPauliBatch(const cplx* const* states, std::size_t count,
+                      std::size_t dim, std::uint64_t flip_mask,
+                      std::uint64_t sign_mask, cplx phase, double* out)
+{
+    if (count == 0)
+        return;
+    if (count == 1) {
+        out[0] = expectationPauli(states[0], dim, flip_mask, sign_mask,
+                                  phase);
+        return;
+    }
+    // Shares the index/sign computation across states, but each
+    // state's accumulator adds terms in the same order as the
+    // single-state kernel, so out[s] is bit-identical to
+    // expectationPauli(states[s], ...).
+    const std::size_t flip = static_cast<std::size_t>(flip_mask);
+    std::vector<cplx> acc(count, cplx(0.0, 0.0));
+    for (std::size_t i = 0; i < dim; ++i) {
+        const std::size_t j = i ^ flip;
+        const double s =
+            (std::popcount(j & sign_mask) & 1) ? -1.0 : 1.0;
+        for (std::size_t st = 0; st < count; ++st)
+            acc[st] += std::conj(states[st][i]) * states[st][j] * s;
+    }
+    for (std::size_t st = 0; st < count; ++st)
+        out[st] = (phase * acc[st]).real();
+}
+
 // ---------------------------------------------------------------------
 // ISA dispatch
 // ---------------------------------------------------------------------
@@ -172,6 +288,12 @@ namespace detail {
  */
 const KernelTable* avx2KernelTableOrNull();
 
+/**
+ * Defined in kernels_avx512.cpp: the AVX-512 table when the build
+ * enables it (OSCAR_HAVE_AVX512), nullptr otherwise.
+ */
+const KernelTable* avx512KernelTableOrNull();
+
 } // namespace detail
 
 const char*
@@ -182,6 +304,8 @@ isaName(KernelIsa isa)
         return "scalar";
       case KernelIsa::Avx2:
         return "avx2";
+      case KernelIsa::Avx512:
+        return "avx512";
       case KernelIsa::Auto:
         return "auto";
     }
@@ -196,12 +320,14 @@ parseIsaName(const char* name)
             return KernelIsa::Scalar;
         if (std::strcmp(name, "avx2") == 0)
             return KernelIsa::Avx2;
+        if (std::strcmp(name, "avx512") == 0)
+            return KernelIsa::Avx512;
         if (std::strcmp(name, "auto") == 0)
             return KernelIsa::Auto;
     }
     throw std::invalid_argument(
         "unknown kernel ISA \"" + std::string(name ? name : "") +
-        "\" (valid: scalar, avx2, auto)");
+        "\" (valid: scalar, avx2, avx512, auto)");
 }
 
 const KernelTable&
@@ -219,8 +345,15 @@ scalarKernelTable()
         t.scale = &scale;
         t.negateMasked = &negateMasked;
         t.flipBit = &flipBit;
+        t.rotX = &rotX;
+        t.rotY = &rotY;
+        t.rotX2 = &rotX2;
+        t.rotY2 = &rotY2;
+        t.applyDiagTable = &applyDiagTable;
+        t.matvecDense = &matvecDense;
         t.expectationDiagonalBatch = &expectationDiagonalBatch;
         t.expectationPauli = &expectationPauli;
+        t.expectationPauliBatch = &expectationPauliBatch;
         return t;
     }();
     return table;
@@ -239,6 +372,30 @@ cpuHasAvx2Fma()
 #endif
 }
 
+bool
+cpuHasAvx512()
+{
+#if defined(__x86_64__) || defined(_M_X64)
+    // The AVX-512 TU is compiled -mavx512f -mavx512dq; gate on both
+    // feature bits so a CPU with F but not DQ never runs it.
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512dq");
+#else
+    return false;
+#endif
+}
+
+std::string
+availableIsaList()
+{
+    std::string s = "scalar";
+    if (avx2Available())
+        s += ", avx2";
+    if (avx512Available())
+        s += ", avx512";
+    return s;
+}
+
 } // namespace
 
 bool
@@ -249,14 +406,38 @@ avx2Available()
     return available;
 }
 
+bool
+avx512Available()
+{
+    static const bool available =
+        detail::avx512KernelTableOrNull() != nullptr && cpuHasAvx512();
+    return available;
+}
+
 const KernelTable&
 kernelTable(KernelIsa isa)
 {
-    if (isa == KernelIsa::Auto)
+    // Strict dispatch: a pinned ISA that cannot run here is an error,
+    // never a silent downgrade. A pinned ISA silently degrading would
+    // let distributed replicas drift from the coordinator by rounding.
+    switch (isa) {
+      case KernelIsa::Auto:
         return defaultKernelTable();
-    if (isa == KernelIsa::Avx2 && avx2Available())
-        return *detail::avx2KernelTableOrNull();
-    return scalarKernelTable();
+      case KernelIsa::Scalar:
+        return scalarKernelTable();
+      case KernelIsa::Avx2:
+        if (avx2Available())
+            return *detail::avx2KernelTableOrNull();
+        break;
+      case KernelIsa::Avx512:
+        if (avx512Available())
+            return *detail::avx512KernelTableOrNull();
+        break;
+    }
+    throw std::runtime_error(
+        std::string("kernel ISA \"") + isaName(isa) +
+        "\" is not available on this machine (available: " +
+        availableIsaList() + ")");
 }
 
 const KernelTable&
@@ -264,10 +445,10 @@ defaultKernelTable()
 {
     // A malformed OSCAR_KERNEL_ISA throws (every call, until the
     // environment is fixed): a user pinning the ISA for a determinism
-    // experiment must never silently run on a different one. A valid
-    // "avx2" on hardware without AVX2 still falls back to scalar --
-    // that degradation is part of the dispatch contract and the
-    // returned table's `isa` field reports it.
+    // experiment must never silently run on a different one, and a
+    // valid name the machine cannot execute throws too, via the
+    // strict kernelTable() dispatch above. `auto` (and no env at all)
+    // picks the widest tier the CPU and build both support.
     static const KernelTable& table = [&]() -> const KernelTable& {
         if (const char* env = std::getenv("OSCAR_KERNEL_ISA")) {
             KernelIsa isa;
@@ -278,12 +459,13 @@ defaultKernelTable()
                     std::string("OSCAR_KERNEL_ISA: ") + e.what());
             }
             if (isa != KernelIsa::Auto)
-                return isa == KernelIsa::Avx2
-                           ? kernelTable(KernelIsa::Avx2)
-                           : scalarKernelTable();
+                return kernelTable(isa);
         }
-        return avx2Available() ? *detail::avx2KernelTableOrNull()
-                               : scalarKernelTable();
+        if (avx512Available())
+            return *detail::avx512KernelTableOrNull();
+        if (avx2Available())
+            return *detail::avx2KernelTableOrNull();
+        return scalarKernelTable();
     }();
     return table;
 }

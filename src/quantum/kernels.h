@@ -15,19 +15,27 @@
  * function pointers:
  *
  *  - the *scalar* table is the portable reference implementation (the
- *    free functions below, compiled for the baseline target), and
+ *    free functions below, compiled for the baseline target),
  *  - the *AVX2* table (kernels_avx2.cpp, compiled with -mavx2 -mfma
  *    when OSCAR_ENABLE_AVX2 is on) vectorizes the complex arithmetic
- *    four doubles at a time.
+ *    four doubles at a time, and
+ *  - the *AVX-512* table (kernels_avx512.cpp, compiled with -mavx512f
+ *    -mavx512dq when OSCAR_ENABLE_AVX512 is on) widens to eight
+ *    doubles and uses masked loads/stores for arrays below the vector
+ *    width instead of scalar remainder loops.
  *
  * The table is selected once at startup via CPUID (defaultKernelTable)
  * and can be forced per evaluator through KernelOptions::isa or
  * process-wide with the OSCAR_KERNEL_ISA environment variable
- * ("scalar" / "avx2"). Within a fixed ISA every code path that applies
- * the same operation to the same bits produces bit-identical results —
- * the property the engine's determinism contract and the prefix cache
- * rest on. Different ISAs may round differently (FMA contraction), so
- * cross-ISA comparisons are tolerance-based, never bitwise.
+ * ("scalar" / "avx2" / "avx512"). Explicitly requesting a tier the
+ * build or CPU lacks throws (kernelTable below) — a pinned ISA must
+ * fail loudly, never silently degrade — while "auto" only ever
+ * resolves to a supported tier. Within a fixed ISA every code path
+ * that applies the same operation to the same bits produces
+ * bit-identical results — the property the engine's determinism
+ * contract and the prefix cache rest on. Different ISAs may round
+ * differently (FMA contraction), so cross-ISA comparisons are
+ * tolerance-based, never bitwise.
  */
 
 #ifndef OSCAR_QUANTUM_KERNELS_H
@@ -97,6 +105,59 @@ void negateMasked(cplx* amps, std::size_t dim, std::size_t mask);
 void flipBit(cplx* amps, std::size_t dim, int target);
 
 /**
+ * X-axis rotation RX(theta) with c = cos(theta/2), s = sin(theta/2):
+ * the matrix [[c, -i s], [-i s, c]]. A super-kernel specialization of
+ * matrix1q used by the fused replay plan (compiled_circuit.h): the
+ * real diagonal and purely imaginary off-diagonal cut the complex
+ * multiply count in half. Only dispatched when fusion is enabled —
+ * its rounding differs from the generic matrix1q path on FMA ISAs, so
+ * it is part of the (ISA, fusion plan) determinism key.
+ */
+void rotX(cplx* amps, std::size_t dim, int qubit, double c, double s);
+
+/** Y-axis rotation RY(theta): the all-real matrix [[c, -s], [s, c]]. */
+void rotY(cplx* amps, std::size_t dim, int qubit, double c, double s);
+
+/**
+ * Pair-fused rotations: apply rotX(qa, ca, sa) then rotX(qb, cb, sb)
+ * in one pass over the amplitudes (qa != qb). Guaranteed bit-identical
+ * per ISA to the two single-rotation calls in sequence: every
+ * amplitude sees the exact same multiply/FMA sequence, the fused
+ * kernel only keeps the intermediate values in registers instead of
+ * storing and reloading them. That exactness is what lets the fused
+ * replay pair adjacent lowered rotations opportunistically — at any
+ * segment, chunk or checkpoint boundary the pairing may differ without
+ * perturbing a single bit.
+ */
+void rotX2(cplx* amps, std::size_t dim, int qa, int qb, double ca,
+           double sa, double cb, double sb);
+
+/** Pair-fused RY rotations; same bit-identity contract as rotX2. */
+void rotY2(cplx* amps, std::size_t dim, int qa, int qb, double ca,
+           double sa, double cb, double sb);
+
+/**
+ * Fused diagonal super-kernel: amps[i] *= table[i]. The fused replay
+ * collapses a run of diagonal ops into one precomputed phase table
+ * per block (one pass over the amplitudes instead of one per op);
+ * `table` has length `dim` and should be 64-byte aligned
+ * (common/aligned.h) so the wide ISAs load it efficiently.
+ */
+void applyDiagTable(cplx* amps, std::size_t dim, const cplx* table);
+
+/**
+ * Fused dense super-kernel: apply one 2^fbits x 2^fbits matrix to
+ * every aligned 2^fbits-amplitude sub-block of `amps` — the GEMM-like
+ * replay of a whole op run collapsed at compile time. `matrix` is
+ * column-major (matrix[c * 2^fbits + r]); out[r] accumulates columns
+ * in ascending c for a fixed, ISA-deterministic order. `scratch`
+ * holds 2^fbits amplitudes (the sub-block is read and written in
+ * place). Both should be 64-byte aligned.
+ */
+void matvecDense(cplx* amps, std::size_t dim, int fbits,
+                 const cplx* matrix, cplx* scratch);
+
+/**
  * Expectation of a diagonal observable: sum_i |amps[i]|^2 * diag[i],
  * accumulated in index order.
  */
@@ -130,24 +191,44 @@ double expectationPauli(const cplx* amps, std::size_t dim,
                         std::uint64_t flip_mask, std::uint64_t sign_mask,
                         cplx phase);
 
+/**
+ * Batched general Pauli expectation: evaluate `count` states against
+ * the same mask-form string in one pass,
+ * out[s] = expectationPauli(states[s], ...) bit for bit — the
+ * per-state accumulation order is unchanged; batching only shares the
+ * index arithmetic, partner-permutation and sign computation across
+ * states. The non-diagonal analogue of expectationDiagonalBatch, so
+ * backends can fuse prefix-grouped batch points of non-diagonal
+ * Hamiltonians without perturbing values.
+ */
+void expectationPauliBatch(const cplx* const* states, std::size_t count,
+                           std::size_t dim, std::uint64_t flip_mask,
+                           std::uint64_t sign_mask, cplx phase,
+                           double* out);
+
 // ---------------------------------------------------------------------
 // ISA dispatch
 // ---------------------------------------------------------------------
 
-/** Instruction-set variants of the kernel layer. */
+/**
+ * Instruction-set variants of the kernel layer. Ordered by width:
+ * stats aggregation reports the max, so the numeric order must match
+ * the "wider is larger" convention.
+ */
 enum class KernelIsa : std::uint8_t
 {
     Scalar = 0, ///< portable reference (baseline target)
     Avx2 = 1,   ///< AVX2 + FMA, runtime-checked via CPUID
+    Avx512 = 2, ///< AVX-512 F+DQ, runtime-checked via CPUID
     Auto = 255, ///< resolve to the best supported ISA at startup
 };
 
-/** Short lowercase name ("scalar", "avx2") for logs and stats. */
+/** Short lowercase name ("scalar", "avx2", "avx512") for logs/stats. */
 const char* isaName(KernelIsa isa);
 
 /**
- * Parse an ISA name ("scalar", "avx2", "auto") as accepted by the
- * OSCAR_KERNEL_ISA environment variable. Unknown strings throw
+ * Parse an ISA name ("scalar", "avx2", "avx512", "auto") as accepted
+ * by the OSCAR_KERNEL_ISA environment variable. Unknown strings throw
  * std::invalid_argument listing the valid names — a typo'd override
  * must fail loudly, never silently fall back to a different ISA than
  * the one the user pinned.
@@ -174,11 +255,24 @@ struct KernelTable
     void (*scale)(cplx*, std::size_t, cplx) = nullptr;
     void (*negateMasked)(cplx*, std::size_t, std::size_t) = nullptr;
     void (*flipBit)(cplx*, std::size_t, int) = nullptr;
+    void (*rotX)(cplx*, std::size_t, int, double, double) = nullptr;
+    void (*rotY)(cplx*, std::size_t, int, double, double) = nullptr;
+    void (*rotX2)(cplx*, std::size_t, int, int, double, double, double,
+                  double) = nullptr;
+    void (*rotY2)(cplx*, std::size_t, int, int, double, double, double,
+                  double) = nullptr;
+    void (*applyDiagTable)(cplx*, std::size_t, const cplx*) = nullptr;
+    void (*matvecDense)(cplx*, std::size_t, int, const cplx*,
+                        cplx*) = nullptr;
     void (*expectationDiagonalBatch)(const cplx* const*, std::size_t,
                                      const double*, std::size_t,
                                      double*) = nullptr;
     double (*expectationPauli)(const cplx*, std::size_t, std::uint64_t,
                                std::uint64_t, cplx) = nullptr;
+    void (*expectationPauliBatch)(const cplx* const*, std::size_t,
+                                  std::size_t, std::uint64_t,
+                                  std::uint64_t, cplx,
+                                  double*) = nullptr;
 
     /** Single-state convenience over expectationDiagonalBatch. */
     double
@@ -201,10 +295,19 @@ const KernelTable& scalarKernelTable();
 bool avx2Available();
 
 /**
- * Table for a requested ISA. Auto resolves to the best available ISA,
- * honoring the OSCAR_KERNEL_ISA environment variable ("scalar" or
- * "avx2"); requesting Avx2 where unsupported falls back to scalar (the
- * returned table's `isa` field tells the truth).
+ * True when the AVX-512 table exists (built with OSCAR_ENABLE_AVX512)
+ * and this CPU reports AVX-512 F + DQ.
+ */
+bool avx512Available();
+
+/**
+ * Table for a requested ISA. Auto resolves to the widest available
+ * tier, honoring the OSCAR_KERNEL_ISA environment variable ("scalar",
+ * "avx2", "avx512"). Explicitly requesting a tier the build or CPU
+ * lacks throws std::runtime_error listing the available ISAs — the
+ * strict-dispatch counterpart of parseIsaName's strict parse; a
+ * pinned ISA silently degrading would let distributed replicas drift
+ * from the coordinator by rounding.
  */
 const KernelTable& kernelTable(KernelIsa isa);
 

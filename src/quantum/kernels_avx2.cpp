@@ -118,6 +118,245 @@ matrix1qAvx2(cplx* amps, std::size_t dim, int qubit,
     }
 }
 
+/**
+ * RX rotation, [[c, -i s], [-i s, c]]: a0' = c a0 + s rot(a1) with
+ * rot(x + i y) = y - i x. rot is a lane swap plus a sign pattern, so
+ * each output costs one shuffle, one multiply and one fmadd — versus
+ * four cmul (20 FMA-port ops) for the generic matrix1q path. The RX
+ * layer dominates QAOA suffix replay, which makes this the single
+ * highest-leverage kernel in the fused plan.
+ */
+void
+rotXAvx2(cplx* amps, std::size_t dim, int qubit, double c, double s)
+{
+    if (dim < 4) {
+        rotX(amps, dim, qubit, c, s);
+        return;
+    }
+    const std::size_t stride = std::size_t{1} << qubit;
+    const __m256d cv = _mm256_set1_pd(c);
+    const __m256d sx = _mm256_setr_pd(s, -s, s, -s);
+    if (stride >= 2) {
+        for (std::size_t base = 0; base < dim; base += 2 * stride) {
+            for (std::size_t off = 0; off < stride; off += 2) {
+                cplx* p0 = amps + base + off;
+                cplx* p1 = p0 + stride;
+                const __m256d a0 = ld(p0);
+                const __m256d a1 = ld(p1);
+                const __m256d r1 = _mm256_permute_pd(a1, 0x5);
+                const __m256d r0 = _mm256_permute_pd(a0, 0x5);
+                st(p0, _mm256_fmadd_pd(cv, a0, _mm256_mul_pd(sx, r1)));
+                st(p1, _mm256_fmadd_pd(cv, a1, _mm256_mul_pd(sx, r0)));
+            }
+        }
+        return;
+    }
+    // Qubit 0: deinterleave adjacent pairs as in matrix1qAvx2.
+    for (std::size_t i = 0; i < dim; i += 4) {
+        const __m256d v0 = ld(amps + i);
+        const __m256d v1 = ld(amps + i + 2);
+        const __m256d a0 = _mm256_permute2f128_pd(v0, v1, 0x20);
+        const __m256d a1 = _mm256_permute2f128_pd(v0, v1, 0x31);
+        const __m256d n0 = _mm256_fmadd_pd(
+            cv, a0, _mm256_mul_pd(sx, _mm256_permute_pd(a1, 0x5)));
+        const __m256d n1 = _mm256_fmadd_pd(
+            cv, a1, _mm256_mul_pd(sx, _mm256_permute_pd(a0, 0x5)));
+        st(amps + i, _mm256_permute2f128_pd(n0, n1, 0x20));
+        st(amps + i + 2, _mm256_permute2f128_pd(n0, n1, 0x31));
+    }
+}
+
+/**
+ * RY rotation, [[c, -s], [s, c]]: all-real matrix, so the complex
+ * update is plain componentwise arithmetic with no shuffles at all.
+ */
+void
+rotYAvx2(cplx* amps, std::size_t dim, int qubit, double c, double s)
+{
+    if (dim < 4) {
+        rotY(amps, dim, qubit, c, s);
+        return;
+    }
+    const std::size_t stride = std::size_t{1} << qubit;
+    const __m256d cv = _mm256_set1_pd(c);
+    const __m256d sv = _mm256_set1_pd(s);
+    if (stride >= 2) {
+        for (std::size_t base = 0; base < dim; base += 2 * stride) {
+            for (std::size_t off = 0; off < stride; off += 2) {
+                cplx* p0 = amps + base + off;
+                cplx* p1 = p0 + stride;
+                const __m256d a0 = ld(p0);
+                const __m256d a1 = ld(p1);
+                st(p0, _mm256_fnmadd_pd(sv, a1, _mm256_mul_pd(cv, a0)));
+                st(p1, _mm256_fmadd_pd(sv, a0, _mm256_mul_pd(cv, a1)));
+            }
+        }
+        return;
+    }
+    for (std::size_t i = 0; i < dim; i += 4) {
+        const __m256d v0 = ld(amps + i);
+        const __m256d v1 = ld(amps + i + 2);
+        const __m256d a0 = _mm256_permute2f128_pd(v0, v1, 0x20);
+        const __m256d a1 = _mm256_permute2f128_pd(v0, v1, 0x31);
+        const __m256d n0 =
+            _mm256_fnmadd_pd(sv, a1, _mm256_mul_pd(cv, a0));
+        const __m256d n1 =
+            _mm256_fmadd_pd(sv, a0, _mm256_mul_pd(cv, a1));
+        st(amps + i, _mm256_permute2f128_pd(n0, n1, 0x20));
+        st(amps + i + 2, _mm256_permute2f128_pd(n0, n1, 0x31));
+    }
+}
+
+/**
+ * Pair-fused RX: one pass applying rot(qa) then rot(qb). The quartet
+ * {base, base+2^qa, base+2^qb, base+2^qa+2^qb} is held in registers
+ * across both steps, halving the load/store traffic that bounds the
+ * single-rotation kernel. Each step issues the exact mul+fmadd
+ * sequence of rotXAvx2, so the result is bit-identical to the two
+ * single passes (the contract that lets the replay pair ops freely).
+ * Qubit 0 needs the deinterleave path, so such pairs (and tiny
+ * statevectors) fall back to two single calls.
+ */
+void
+rotX2Avx2(cplx* amps, std::size_t dim, int qa, int qb, double ca,
+          double sa, double cb, double sb)
+{
+    if (qa == 0 || qb == 0 || dim < 8) {
+        rotXAvx2(amps, dim, qa, ca, sa);
+        rotXAvx2(amps, dim, qb, cb, sb);
+        return;
+    }
+    const std::size_t stra = std::size_t{1} << qa;
+    const std::size_t strb = std::size_t{1} << qb;
+    const std::size_t slo = std::min(stra, strb);
+    const std::size_t shi = std::max(stra, strb);
+    const __m256d cva = _mm256_set1_pd(ca);
+    const __m256d sxa = _mm256_setr_pd(sa, -sa, sa, -sa);
+    const __m256d cvb = _mm256_set1_pd(cb);
+    const __m256d sxb = _mm256_setr_pd(sb, -sb, sb, -sb);
+    for (std::size_t hi = 0; hi < dim; hi += 2 * shi)
+        for (std::size_t mid = 0; mid < shi; mid += 2 * slo)
+            for (std::size_t off = 0; off < slo; off += 2) {
+                cplx* p00 = amps + hi + mid + off;
+                cplx* pa = p00 + stra;  // qa partner of base
+                cplx* pb = p00 + strb;  // qb partner of base
+                cplx* pab = p00 + stra + strb;
+                const __m256d a00 = ld(p00), aa = ld(pa), ab = ld(pb),
+                              aab = ld(pab);
+                // step A: rot(qa) on pairs (base, +stra) and (+strb,
+                // +stra+strb)
+                const __m256d n00 = _mm256_fmadd_pd(
+                    cva, a00,
+                    _mm256_mul_pd(sxa, _mm256_permute_pd(aa, 0x5)));
+                const __m256d na = _mm256_fmadd_pd(
+                    cva, aa,
+                    _mm256_mul_pd(sxa, _mm256_permute_pd(a00, 0x5)));
+                const __m256d nb = _mm256_fmadd_pd(
+                    cva, ab,
+                    _mm256_mul_pd(sxa, _mm256_permute_pd(aab, 0x5)));
+                const __m256d nab = _mm256_fmadd_pd(
+                    cva, aab,
+                    _mm256_mul_pd(sxa, _mm256_permute_pd(ab, 0x5)));
+                // step B: rot(qb) on pairs (base, +strb) and (+stra,
+                // +stra+strb)
+                st(p00, _mm256_fmadd_pd(
+                            cvb, n00,
+                            _mm256_mul_pd(
+                                sxb, _mm256_permute_pd(nb, 0x5))));
+                st(pb, _mm256_fmadd_pd(
+                           cvb, nb,
+                           _mm256_mul_pd(
+                               sxb, _mm256_permute_pd(n00, 0x5))));
+                st(pa, _mm256_fmadd_pd(
+                           cvb, na,
+                           _mm256_mul_pd(
+                               sxb, _mm256_permute_pd(nab, 0x5))));
+                st(pab, _mm256_fmadd_pd(
+                            cvb, nab,
+                            _mm256_mul_pd(
+                                sxb, _mm256_permute_pd(na, 0x5))));
+            }
+}
+
+/** Pair-fused RY; same structure and contract as rotX2Avx2. */
+void
+rotY2Avx2(cplx* amps, std::size_t dim, int qa, int qb, double ca,
+          double sa, double cb, double sb)
+{
+    if (qa == 0 || qb == 0 || dim < 8) {
+        rotYAvx2(amps, dim, qa, ca, sa);
+        rotYAvx2(amps, dim, qb, cb, sb);
+        return;
+    }
+    const std::size_t stra = std::size_t{1} << qa;
+    const std::size_t strb = std::size_t{1} << qb;
+    const std::size_t slo = std::min(stra, strb);
+    const std::size_t shi = std::max(stra, strb);
+    const __m256d cva = _mm256_set1_pd(ca);
+    const __m256d sva = _mm256_set1_pd(sa);
+    const __m256d cvb = _mm256_set1_pd(cb);
+    const __m256d svb = _mm256_set1_pd(sb);
+    for (std::size_t hi = 0; hi < dim; hi += 2 * shi)
+        for (std::size_t mid = 0; mid < shi; mid += 2 * slo)
+            for (std::size_t off = 0; off < slo; off += 2) {
+                cplx* p00 = amps + hi + mid + off;
+                cplx* pa = p00 + stra;
+                cplx* pb = p00 + strb;
+                cplx* pab = p00 + stra + strb;
+                const __m256d a00 = ld(p00), aa = ld(pa), ab = ld(pb),
+                              aab = ld(pab);
+                const __m256d n00 =
+                    _mm256_fnmadd_pd(sva, aa, _mm256_mul_pd(cva, a00));
+                const __m256d na =
+                    _mm256_fmadd_pd(sva, a00, _mm256_mul_pd(cva, aa));
+                const __m256d nb =
+                    _mm256_fnmadd_pd(sva, aab, _mm256_mul_pd(cva, ab));
+                const __m256d nab =
+                    _mm256_fmadd_pd(sva, ab, _mm256_mul_pd(cva, aab));
+                st(p00,
+                   _mm256_fnmadd_pd(svb, nb, _mm256_mul_pd(cvb, n00)));
+                st(pb,
+                   _mm256_fmadd_pd(svb, n00, _mm256_mul_pd(cvb, nb)));
+                st(pa,
+                   _mm256_fnmadd_pd(svb, nab, _mm256_mul_pd(cvb, na)));
+                st(pab,
+                   _mm256_fmadd_pd(svb, na, _mm256_mul_pd(cvb, nab)));
+            }
+}
+
+void
+applyDiagTableAvx2(cplx* amps, std::size_t dim, const cplx* table)
+{
+    // dim is a power of two >= 2, so pairs tile it exactly.
+    for (std::size_t i = 0; i < dim; i += 2)
+        st(amps + i, cmul(ld(amps + i), ld(table + i)));
+}
+
+void
+matvecDenseAvx2(cplx* amps, std::size_t dim, int fbits,
+                const cplx* matrix, cplx* scratch)
+{
+    const std::size_t fdim = std::size_t{1} << fbits;
+    for (std::size_t base = 0; base < dim; base += fdim) {
+        cplx* blk = amps + base;
+        // Ascending-column accumulation, two output rows per vector;
+        // matches the scalar kernel's summation order (per-lane) so
+        // the result is a pure function of (matrix, block) per ISA.
+        const __m256d in0 = bcast(blk[0]);
+        for (std::size_t r = 0; r < fdim; r += 2)
+            st(scratch + r, cmul(ld(matrix + r), in0));
+        for (std::size_t col = 1; col < fdim; ++col) {
+            const __m256d in = bcast(blk[col]);
+            const cplx* m = matrix + col * fdim;
+            for (std::size_t r = 0; r < fdim; r += 2)
+                st(scratch + r,
+                   _mm256_add_pd(ld(scratch + r), cmul(ld(m + r), in)));
+        }
+        for (std::size_t r = 0; r < fdim; r += 2)
+            st(blk + r, ld(scratch + r));
+    }
+}
+
 void
 diag1qAvx2(cplx* amps, std::size_t dim, int qubit, cplx phase0,
            cplx phase1)
@@ -254,6 +493,65 @@ expectationPauliAvx2(const cplx* amps, std::size_t dim,
     return (phase * total).real();
 }
 
+/**
+ * Batched Pauli expectation: the partner index, half-swap decision and
+ * sign vector are computed once per amplitude pair and shared across
+ * all states in the chunk. Each state's accumulator sees exactly the
+ * operation sequence of expectationPauliAvx2 above, so out[s] is
+ * bit-identical to the single-state kernel on states[s].
+ */
+void
+expectationPauliBatchAvx2(const cplx* const* states, std::size_t count,
+                          std::size_t dim, std::uint64_t flip_mask,
+                          std::uint64_t sign_mask, cplx phase,
+                          double* out)
+{
+    if (dim < 4 || count == 0) {
+        // The single-state kernel also falls back to scalar below the
+        // vector width, so delegating the whole batch keeps bitwise
+        // agreement with it.
+        expectationPauliBatch(states, count, dim, flip_mask, sign_mask,
+                              phase, out);
+        return;
+    }
+    const std::size_t flip = static_cast<std::size_t>(flip_mask);
+    const bool flip_low = (flip & 1) != 0;
+    const bool sign_low = (sign_mask & 1) != 0;
+    const __m256d conj_mask = _mm256_setr_pd(0.0, -0.0, 0.0, -0.0);
+    constexpr std::size_t kChunk = 8;
+    for (std::size_t s0 = 0; s0 < count; s0 += kChunk) {
+        const std::size_t nc = std::min(kChunk, count - s0);
+        __m256d acc[kChunk];
+        std::fill(acc, acc + nc, _mm256_setzero_pd());
+        for (std::size_t i = 0; i < dim; i += 2) {
+            const std::size_t j0 = i ^ flip;
+            const std::size_t jbase = j0 & ~std::size_t{1};
+            const double sg0 =
+                (__builtin_popcountll(j0 & sign_mask) & 1) ? -1.0 : 1.0;
+            const double sg1 = sign_low ? -sg0 : sg0;
+            const __m256d sv = _mm256_setr_pd(sg0, sg0, sg1, sg1);
+            for (std::size_t c = 0; c < nc; ++c) {
+                const cplx* amps = states[s0 + c];
+                const __m256d vi =
+                    _mm256_xor_pd(ld(amps + i), conj_mask);
+                __m256d vj = ld(amps + jbase);
+                if (flip_low)
+                    vj = _mm256_permute2f128_pd(vj, vj, 0x01);
+                acc[c] = _mm256_add_pd(
+                    acc[c], _mm256_mul_pd(cmul(vi, vj), sv));
+            }
+        }
+        for (std::size_t c = 0; c < nc; ++c) {
+            const __m128d lo = _mm256_castpd256_pd128(acc[c]);
+            const __m128d hi = _mm256_extractf128_pd(acc[c], 1);
+            const __m128d cc = _mm_add_pd(lo, hi);
+            const cplx total(_mm_cvtsd_f64(cc),
+                             _mm_cvtsd_f64(_mm_unpackhi_pd(cc, cc)));
+            out[s0 + c] = (phase * total).real();
+        }
+    }
+}
+
 } // namespace
 
 namespace detail {
@@ -273,8 +571,15 @@ avx2KernelTableOrNull()
         t.scale = &scaleAvx2;
         t.negateMasked = &negateMasked;
         t.flipBit = &flipBit;
+        t.rotX = &rotXAvx2;
+        t.rotY = &rotYAvx2;
+        t.rotX2 = &rotX2Avx2;
+        t.rotY2 = &rotY2Avx2;
+        t.applyDiagTable = &applyDiagTableAvx2;
+        t.matvecDense = &matvecDenseAvx2;
         t.expectationDiagonalBatch = &expectationDiagonalBatchAvx2;
         t.expectationPauli = &expectationPauliAvx2;
+        t.expectationPauliBatch = &expectationPauliBatchAvx2;
         return t;
     }();
     return &table;

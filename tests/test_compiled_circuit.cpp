@@ -10,6 +10,10 @@
  *    levels, shared prefix lengths) is correct,
  *  - segmented replay through checkpoints is bit-identical to a
  *    straight run (the prefix-cache determinism argument),
+ *  - super-kernel fusion: fused replay agrees with unfused replay
+ *    within rounding, is bit-identical to itself across
+ *    frontier-aligned segmentation (units never straddle frontier
+ *    levels), and degrades deterministically on mid-unit cuts,
  *  - the density-matrix bound path matches the legacy bind() path.
  */
 
@@ -23,6 +27,7 @@
 #include "src/graph/generators.h"
 #include "src/quantum/compiled_circuit.h"
 #include "src/quantum/density_matrix.h"
+#include "src/quantum/kernels.h"
 #include "src/quantum/statevector.h"
 
 namespace oscar {
@@ -208,6 +213,137 @@ TEST(CompiledCircuit, SegmentedReplayIsBitIdentical)
             EXPECT_EQ(straight.amp(i), resumed.amp(i))
                 << "level " << level << " amp " << i;
     }
+}
+
+TEST(CompiledCircuit, FusedReplayMatchesUnfusedWithinTolerance)
+{
+    // Fusion collapses op runs into dense / diagonal-table
+    // super-kernels; the collapsed arithmetic is reassociated, so
+    // fused and unfused replays agree to rounding, not bitwise.
+    Rng rng(13);
+    const Graph g = random3RegularGraph(8, rng);
+    for (const Circuit& circuit :
+         {qaoaCircuit(g, 2), twoLocalCircuit(6, 3)}) {
+        const auto params = rampParams(circuit.numParams());
+        CompiledCircuit plain(circuit,
+                              CompileOptions{.blockWindow = 5});
+        CompiledCircuit fused(
+            circuit, CompileOptions{.blockWindow = 5, .fuseWindow = 5});
+        ASSERT_GT(fused.numFusedUnits(), 0u);
+        ASSERT_GE(fused.fusedOpCount(), 2 * fused.numFusedUnits());
+        EXPECT_EQ(plain.numFusedUnits(), 0u);
+
+        Statevector a(circuit.numQubits()), b(circuit.numQubits());
+        plain.run(a, params);
+        fused.run(b, params);
+        expectStatesNear(a, b, 1e-12);
+    }
+}
+
+TEST(CompiledCircuit, FusedSegmentedReplayIsBitIdentical)
+{
+    // The fusion determinism contract: units never straddle frontier
+    // levels, so cutting the replay at any frontier level (checkpoint
+    // resume, batched suffix replay) executes the identical unit
+    // sequence and reproduces the straight fused run bit for bit.
+    Rng rng(17);
+    const Graph g = random3RegularGraph(8, rng);
+    const Circuit circuit = qaoaCircuit(g, 2);
+    CompiledCircuit fused(
+        circuit, CompileOptions{.blockWindow = 4, .fuseWindow = 4});
+    ASSERT_GT(fused.numFusedUnits(), 0u);
+    const auto params = rampParams(circuit.numParams());
+
+    Statevector straight(circuit.numQubits());
+    fused.run(straight, params);
+
+    for (std::size_t level : fused.frontierLevels()) {
+        Statevector resumed(circuit.numQubits());
+        fused.runRange(resumed.amps().data(), resumed.dim(), 0, level,
+                       params.data());
+        fused.runRange(resumed.amps().data(), resumed.dim(), level,
+                       fused.numOps(), params.data());
+        for (std::size_t i = 0; i < straight.dim(); ++i)
+            EXPECT_EQ(straight.amp(i), resumed.amp(i))
+                << "level " << level << " amp " << i;
+    }
+}
+
+TEST(CompiledCircuit, MidUnitCutFallsBackDeterministically)
+{
+    // A cut through the middle of a fused unit (never produced by the
+    // backends, which cut at frontier levels) makes that unit fall
+    // back to per-op replay for the clipped calls: the result is
+    // still correct to rounding and deterministic — the same cut
+    // twice is bitwise-identical.
+    const int n = 6;
+    Circuit circuit(n, 1);
+    for (int q = 0; q < n; ++q)
+        circuit.append(Gate::h(q)); // one constant dense unit
+    for (int q = 0; q + 1 < n; ++q)
+        circuit.append(Gate::rzz(q, q + 1, 0.3 + 0.1 * q));
+    circuit.append(Gate::rxParam(0, 0));
+    const std::vector<double> params = {0.77};
+
+    CompiledCircuit fused(
+        circuit, CompileOptions{.blockWindow = 4, .fuseWindow = 4});
+    ASSERT_GT(fused.numFusedUnits(), 0u);
+
+    Statevector straight(n);
+    fused.run(straight, params);
+
+    for (std::size_t cut = 1; cut + 1 < fused.numOps(); ++cut) {
+        Statevector first(n), second(n);
+        for (Statevector* sv : {&first, &second}) {
+            fused.runRange(sv->amps().data(), sv->dim(), 0, cut,
+                           params.data());
+            fused.runRange(sv->amps().data(), sv->dim(), cut,
+                           fused.numOps(), params.data());
+        }
+        for (std::size_t i = 0; i < straight.dim(); ++i) {
+            EXPECT_EQ(first.amp(i), second.amp(i))
+                << "cut " << cut << " amp " << i;
+            EXPECT_NEAR(straight.amp(i).real(), first.amp(i).real(),
+                        1e-12)
+                << "cut " << cut << " amp " << i;
+            EXPECT_NEAR(straight.amp(i).imag(), first.amp(i).imag(),
+                        1e-12)
+                << "cut " << cut << " amp " << i;
+        }
+    }
+}
+
+TEST(CompiledCircuit, FuseWindowCountsAndCounters)
+{
+    // Window bookkeeping: setFuseWindow rebuilds the plan, 0 clears
+    // it, and ReplayCounters records one super-kernel execution per
+    // active unit per replay with the collapsed op count.
+    const int n = 6;
+    Circuit circuit(n, 0);
+    for (int q = 0; q < n; ++q)
+        circuit.append(Gate::h(q));
+    for (int q = 0; q + 1 < n; ++q)
+        circuit.append(Gate::rzz(q, q + 1, 0.4));
+
+    CompiledCircuit compiled(circuit,
+                             CompileOptions{.blockWindow = 4});
+    EXPECT_EQ(compiled.numFusedUnits(), 0u);
+    compiled.setFuseWindow(4);
+    EXPECT_EQ(compiled.fuseWindow(), 4);
+    ASSERT_GT(compiled.numFusedUnits(), 0u);
+
+    Statevector sv(n);
+    ReplayCounters counters;
+    compiled.runRange(sv.amps().data(), sv.dim(), 0, compiled.numOps(),
+                      nullptr, kernels::defaultKernelTable(),
+                      &counters);
+    EXPECT_EQ(counters.fusedSuperKernels, compiled.numFusedUnits());
+    EXPECT_EQ(counters.fusedOpsCollapsed, compiled.fusedOpCount());
+
+    compiled.setFuseWindow(0);
+    EXPECT_EQ(compiled.fuseWindow(), 0);
+    EXPECT_EQ(compiled.numFusedUnits(), 0u);
+    EXPECT_EQ(compiled.fusedOpCount(), 0u);
 }
 
 TEST(CompiledCircuit, StatevectorBoundRunUsesCompiledSchedule)

@@ -2,8 +2,8 @@
  * @file
  * Tests for the ISA-dispatched, cache-blocked kernel layer:
  *
- *  - scalar-vs-AVX2 parity on randomized states and circuits
- *    (tolerance-based: different ISAs round differently),
+ *  - scalar vs AVX2 vs AVX-512 parity on randomized states and
+ *    circuits (tolerance-based: different ISAs round differently),
  *  - bit-identical replay within a fixed ISA — straight runs,
  *    segmented checkpoint replays, and blocked vs unblocked plans all
  *    produce the same bits,
@@ -13,9 +13,14 @@
  *  - the batched diagonal expectation is bit-identical to per-point
  *    evaluation for every ISA, in the statevector backend and the
  *    analytic QAOA closed form,
- *  - kernel ISA / blocked-pass counters surface through
+ *  - the super-kernel primitives (rotX/rotY, diagonal table, dense
+ *    matvec) and the batched Pauli contraction agree across tables,
+ *    with the batched Pauli kernel bit-identical to the single-state
+ *    kernel per state,
+ *  - requesting an unavailable ISA throws, naming the available ones,
+ *  - kernel ISA / blocked-pass / fusion counters surface through
  *    CostFunction::kernelStats and BatchHandle::stats,
- *  - amplitude storage is cache-line aligned.
+ *  - amplitude and fused-payload storage is cache-line aligned.
  */
 
 #include <gtest/gtest.h>
@@ -77,7 +82,7 @@ expectAmpsIdentical(const AlignedVector<cplx>& a,
         EXPECT_EQ(a[i], b[i]) << "amp " << i;
 }
 
-/** Tables to exercise: scalar always, AVX2 when this host has it. */
+/** Tables to exercise: scalar always, wide ISAs when this host has them. */
 std::vector<const KernelTable*>
 availableTables()
 {
@@ -85,6 +90,8 @@ availableTables()
         &kernels::scalarKernelTable()};
     if (kernels::avx2Available())
         tables.push_back(&kernels::kernelTable(KernelIsa::Avx2));
+    if (kernels::avx512Available())
+        tables.push_back(&kernels::kernelTable(KernelIsa::Avx512));
     return tables;
 }
 
@@ -333,6 +340,8 @@ TEST(Kernels, StatevectorCostBatchedPathsBitIdentical)
     std::vector<KernelIsa> isas = {KernelIsa::Scalar};
     if (kernels::avx2Available())
         isas.push_back(KernelIsa::Avx2);
+    if (kernels::avx512Available())
+        isas.push_back(KernelIsa::Avx512);
 
     for (KernelIsa isa : isas) {
         KernelOptions base;
@@ -623,23 +632,285 @@ TEST(Kernels, DiagonalPauliStringExpectationIsBitExactAcrossIsas)
     }
 }
 
+TEST(Kernels, SuperKernelPrimitivesAgreeAcrossTables)
+{
+    // rotX/rotY, the fused diagonal table, and the dense matvec match
+    // the scalar reference on every table, including dims at and below
+    // the AVX-512 vector width (2 and 4 amplitudes — the masked-tail
+    // paths) and payload dims smaller than one vector.
+    const KernelTable& scalar = kernels::scalarKernelTable();
+    Rng rng(57);
+    const double c = std::cos(0.41), sn = std::sin(0.41);
+    for (const KernelTable* table : availableTables()) {
+        for (int n = 1; n <= 6; ++n) {
+            const std::size_t dim = std::size_t{1} << n;
+            for (int q = 0; q < n; ++q) {
+                AlignedVector<cplx> a = randomAmps(dim, rng);
+                AlignedVector<cplx> b = a;
+                scalar.rotX(a.data(), dim, q, c, sn);
+                table->rotX(b.data(), dim, q, c, sn);
+                expectAmpsNear(a, b, 1e-14);
+
+                a = randomAmps(dim, rng);
+                b = a;
+                scalar.rotY(a.data(), dim, q, c, sn);
+                table->rotY(b.data(), dim, q, c, sn);
+                expectAmpsNear(a, b, 1e-14);
+            }
+            {
+                AlignedVector<cplx> diag(dim);
+                for (cplx& d : diag)
+                    d = std::exp(cplx(0.0, rng.uniform(-3.0, 3.0)));
+                AlignedVector<cplx> a = randomAmps(dim, rng);
+                AlignedVector<cplx> b = a;
+                scalar.applyDiagTable(a.data(), dim, diag.data());
+                table->applyDiagTable(b.data(), dim, diag.data());
+                expectAmpsNear(a, b, 1e-14);
+            }
+            for (int fbits = 1; fbits <= std::min(n, 3); ++fbits) {
+                const std::size_t fdim = std::size_t{1} << fbits;
+                AlignedVector<cplx> m(fdim * fdim);
+                for (cplx& e : m)
+                    e = cplx(rng.uniform(-1.0, 1.0),
+                             rng.uniform(-1.0, 1.0));
+                AlignedVector<cplx> a = randomAmps(dim, rng);
+                AlignedVector<cplx> b = a;
+                AlignedVector<cplx> scratch(fdim);
+                scalar.matvecDense(a.data(), dim, fbits, m.data(),
+                                   scratch.data());
+                table->matvecDense(b.data(), dim, fbits, m.data(),
+                                   scratch.data());
+                expectAmpsNear(a, b, 1e-13);
+            }
+        }
+    }
+}
+
+TEST(Kernels, PairedRotationsBitIdenticalToSingles)
+{
+    // rotX2/rotY2 promise bit-identity (not mere closeness) to the two
+    // single-rotation calls on the same table: the replay paths pair
+    // adjacent rotations opportunistically, so chunk and checkpoint
+    // boundaries may split a pair and the result must not move by one
+    // bit. Exercise every (qa, qb) pair in both orders, including the
+    // low qubits that take the in-vector fallback paths, and dims at
+    // and below the vector widths.
+    Rng rng(91);
+    const double ca = std::cos(0.37), sa = std::sin(0.37);
+    const double cb = std::cos(-1.21), sb = std::sin(-1.21);
+    for (const KernelTable* table : availableTables()) {
+        for (int n = 1; n <= 7; ++n) {
+            const std::size_t dim = std::size_t{1} << n;
+            for (int qa = 0; qa < n; ++qa) {
+                for (int qb = 0; qb < n; ++qb) {
+                    if (qa == qb)
+                        continue;
+                    AlignedVector<cplx> a = randomAmps(dim, rng);
+                    AlignedVector<cplx> b = a;
+                    table->rotX(a.data(), dim, qa, ca, sa);
+                    table->rotX(a.data(), dim, qb, cb, sb);
+                    table->rotX2(b.data(), dim, qa, qb, ca, sa, cb, sb);
+                    expectAmpsIdentical(a, b);
+
+                    a = randomAmps(dim, rng);
+                    b = a;
+                    table->rotY(a.data(), dim, qa, ca, sa);
+                    table->rotY(a.data(), dim, qb, cb, sb);
+                    table->rotY2(b.data(), dim, qa, qb, ca, sa, cb, sb);
+                    expectAmpsIdentical(a, b);
+                }
+            }
+        }
+    }
+}
+
+TEST(Kernels, BatchedPauliBitIdenticalToSinglePerTable)
+{
+    // The batched Pauli kernel runs the identical per-state operation
+    // sequence as the single-state kernel, so each lane reproduces the
+    // single-state bits exactly — including tail dims 2 and 4.
+    Rng rng(61);
+    static const cplx kPhases[4] = {
+        {1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.0}, {0.0, -1.0}};
+    for (const int n : {1, 2, 3, 6, 9}) {
+        const std::size_t dim = std::size_t{1} << n;
+        std::vector<AlignedVector<cplx>> states;
+        std::vector<const cplx*> ptrs;
+        for (int st = 0; st < 6; ++st) {
+            states.push_back(randomAmps(dim, rng));
+            ptrs.push_back(states.back().data());
+        }
+        for (int rep = 0; rep < 10; ++rep) {
+            const PauliString pauli = randomPauli(n, rng, false);
+            const PauliMasks m = pauli.masks();
+            const cplx phase = kPhases[m.numY & 3];
+            for (const KernelTable* table : availableTables()) {
+                std::vector<double> batched(ptrs.size());
+                table->expectationPauliBatch(ptrs.data(), ptrs.size(),
+                                             dim, m.flip, m.sign, phase,
+                                             batched.data());
+                for (std::size_t st = 0; st < ptrs.size(); ++st) {
+                    const double single = table->expectationPauli(
+                        ptrs[st], dim, m.flip, m.sign, phase);
+                    EXPECT_EQ(single, batched[st])
+                        << kernels::isaName(table->isa) << " n=" << n
+                        << " pauli=" << pauli.toLabel() << " state "
+                        << st;
+                }
+            }
+        }
+    }
+}
+
+TEST(Kernels, NonDiagonalBatchedExpectationBitIdentical)
+{
+    // The batched-expectation path of a non-diagonal Hamiltonian
+    // (expectationPauliBatch per term) is bit-identical to per-point
+    // evaluation and shows up in the batchedPauliPoints counter.
+    Rng rng(67);
+    const Graph g = random3RegularGraph(6, rng);
+    PauliSum mixed = maxcutHamiltonian(g);
+    for (int q = 0; q < 6; ++q)
+        mixed.add(0.35, PauliString::single(6, q, PauliOp::X));
+    ASSERT_FALSE(mixed.isDiagonal());
+    const Circuit circuit = qaoaCircuit(g, 2);
+
+    std::vector<KernelIsa> isas = {KernelIsa::Scalar};
+    if (kernels::avx2Available())
+        isas.push_back(KernelIsa::Avx2);
+    if (kernels::avx512Available())
+        isas.push_back(KernelIsa::Avx512);
+    for (const KernelIsa isa : isas) {
+        KernelOptions base;
+        base.isa = isa;
+        StatevectorCost one_by_one(circuit, mixed);
+        one_by_one.configureKernel(base);
+        const auto points = axisMajorPoints(one_by_one);
+        std::vector<double> reference;
+        for (const auto& p : points)
+            reference.push_back(one_by_one.evaluate(p));
+
+        StatevectorCost batched(circuit, mixed);
+        batched.configureKernel(base);
+        const auto values = batched.evaluateBatch(points);
+        EXPECT_GT(batched.kernelStats().batchedPauliPoints, 0u)
+            << kernels::isaName(isa);
+        for (std::size_t i = 0; i < points.size(); ++i)
+            EXPECT_EQ(reference[i], values[i])
+                << kernels::isaName(isa) << " point " << i;
+    }
+}
+
+TEST(Kernels, FusedReplayPathsBitIdenticalPerIsa)
+{
+    // With super-kernel fusion on, one-by-one evaluation, the grouped
+    // batched path, and the cache-off path still agree bit for bit per
+    // ISA (they replay the identical fusion plan), the fused counters
+    // surface, and fused values agree with the unfused replay within
+    // rounding.
+    Rng rng(71);
+    const Graph g = random3RegularGraph(6, rng);
+    const Circuit circuit = qaoaCircuit(g, 2);
+    const PauliSum ham = maxcutHamiltonian(g);
+
+    std::vector<KernelIsa> isas = {KernelIsa::Scalar};
+    if (kernels::avx2Available())
+        isas.push_back(KernelIsa::Avx2);
+    if (kernels::avx512Available())
+        isas.push_back(KernelIsa::Avx512);
+    for (const KernelIsa isa : isas) {
+        KernelOptions fused;
+        fused.isa = isa;
+        fused.blockWindow = 4;
+        fused.fuseWindow = 4;
+
+        StatevectorCost one_by_one(circuit, ham);
+        one_by_one.configureKernel(fused);
+        const auto points = axisMajorPoints(one_by_one);
+        std::vector<double> reference;
+        for (const auto& p : points)
+            reference.push_back(one_by_one.evaluate(p));
+        EXPECT_GT(one_by_one.kernelStats().fusedSuperKernels, 0u)
+            << kernels::isaName(isa);
+        EXPECT_GT(one_by_one.kernelStats().fusedOpsCollapsed,
+                  one_by_one.kernelStats().fusedSuperKernels);
+
+        StatevectorCost batched(circuit, ham);
+        batched.configureKernel(fused);
+        const auto grouped = batched.evaluateBatch(points);
+
+        KernelOptions no_cache = fused;
+        no_cache.prefixCache = false;
+        StatevectorCost uncached(circuit, ham);
+        uncached.configureKernel(no_cache);
+        const auto uncached_values = uncached.evaluateBatch(points);
+
+        KernelOptions plain = fused;
+        plain.fuseWindow = 0;
+        StatevectorCost unfused(circuit, ham);
+        unfused.configureKernel(plain);
+        const auto unfused_values = unfused.evaluateBatch(points);
+
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            EXPECT_EQ(reference[i], grouped[i])
+                << kernels::isaName(isa) << " point " << i;
+            EXPECT_EQ(reference[i], uncached_values[i])
+                << kernels::isaName(isa) << " point " << i;
+            EXPECT_NEAR(reference[i], unfused_values[i], 1e-11)
+                << kernels::isaName(isa) << " point " << i;
+        }
+    }
+}
+
 TEST(Kernels, ParseIsaNameAcceptsOnlyKnownNames)
 {
     EXPECT_EQ(kernels::parseIsaName("scalar"), KernelIsa::Scalar);
     EXPECT_EQ(kernels::parseIsaName("avx2"), KernelIsa::Avx2);
+    EXPECT_EQ(kernels::parseIsaName("avx512"), KernelIsa::Avx512);
     EXPECT_EQ(kernels::parseIsaName("auto"), KernelIsa::Auto);
     EXPECT_THROW(kernels::parseIsaName("AVX2"), std::invalid_argument);
     EXPECT_THROW(kernels::parseIsaName("sse"), std::invalid_argument);
     EXPECT_THROW(kernels::parseIsaName(""), std::invalid_argument);
     EXPECT_THROW(kernels::parseIsaName(nullptr), std::invalid_argument);
     try {
-        kernels::parseIsaName("avx512");
+        kernels::parseIsaName("avx1024");
+        FAIL() << "expected invalid_argument";
     } catch (const std::invalid_argument& e) {
         // The error must teach the valid vocabulary.
-        EXPECT_NE(std::string(e.what()).find("scalar"),
-                  std::string::npos);
-        EXPECT_NE(std::string(e.what()).find("avx2"),
-                  std::string::npos);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("scalar"), std::string::npos);
+        EXPECT_NE(what.find("avx2"), std::string::npos);
+        EXPECT_NE(what.find("avx512"), std::string::npos);
+    }
+}
+
+TEST(Kernels, UnavailableIsaRequestThrows)
+{
+    // kernelTable() is strict: a concrete ISA the host (or build)
+    // lacks throws instead of silently downgrading, and the message
+    // lists what is available. Auto never selects an unsupported tier.
+    EXPECT_EQ(kernels::kernelTable(KernelIsa::Scalar).isa,
+              KernelIsa::Scalar);
+    const KernelIsa resolved = kernels::defaultKernelTable().isa;
+    EXPECT_EQ(&kernels::kernelTable(resolved),
+              &kernels::defaultKernelTable());
+    for (const KernelIsa isa : {KernelIsa::Avx2, KernelIsa::Avx512}) {
+        const bool available = isa == KernelIsa::Avx2
+                                   ? kernels::avx2Available()
+                                   : kernels::avx512Available();
+        if (available) {
+            EXPECT_EQ(kernels::kernelTable(isa).isa, isa);
+            continue;
+        }
+        try {
+            kernels::kernelTable(isa);
+            FAIL() << "expected runtime_error for "
+                   << kernels::isaName(isa);
+        } catch (const std::runtime_error& e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("not available"), std::string::npos);
+            EXPECT_NE(what.find("scalar"), std::string::npos);
+        }
     }
 }
 

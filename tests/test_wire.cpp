@@ -78,10 +78,13 @@ randomKernelOptions(Rng& rng)
     KernelOptions options;
     options.prefixCache = rng.uniform() < 0.5;
     options.prefixCacheBudgetBytes = rng.uniformInt(1u << 28);
-    options.isa = rng.uniform() < 0.5 ? kernels::KernelIsa::Scalar
-                                      : kernels::KernelIsa::Avx2;
+    const kernels::KernelIsa isas[] = {kernels::KernelIsa::Scalar,
+                                       kernels::KernelIsa::Avx2,
+                                       kernels::KernelIsa::Avx512};
+    options.isa = isas[rng.uniformInt(3)];
     options.blockWindow = static_cast<int>(rng.uniformInt(12)) - 1;
     options.batchedExpectation = rng.uniform() < 0.5;
+    options.fuseWindow = static_cast<int>(rng.uniformInt(8));
     return options;
 }
 
@@ -92,11 +95,16 @@ randomKernelStats(Rng& rng)
     stats.cacheHits = rng.uniformInt(1000);
     stats.cacheLookups = stats.cacheHits + rng.uniformInt(1000);
     stats.cacheEvictions = rng.uniformInt(100);
-    stats.isa = rng.uniform() < 0.5 ? kernels::KernelIsa::Scalar
-                                    : kernels::KernelIsa::Avx2;
+    const kernels::KernelIsa isas[] = {kernels::KernelIsa::Scalar,
+                                       kernels::KernelIsa::Avx2,
+                                       kernels::KernelIsa::Avx512};
+    stats.isa = isas[rng.uniformInt(3)];
     stats.blockedGroupRuns = rng.uniformInt(500);
     stats.blockedOpsApplied = rng.uniformInt(5000);
     stats.batchedExpectationPoints = rng.uniformInt(500);
+    stats.fusedSuperKernels = rng.uniformInt(500);
+    stats.fusedOpsCollapsed = rng.uniformInt(5000);
+    stats.batchedPauliPoints = rng.uniformInt(500);
     return stats;
 }
 
@@ -153,6 +161,7 @@ TEST(WireTest, CostSpecRoundTripRandomized)
         EXPECT_EQ(back.kernel.blockWindow, spec.kernel.blockWindow);
         EXPECT_EQ(back.kernel.batchedExpectation,
                   spec.kernel.batchedExpectation);
+        EXPECT_EQ(back.kernel.fuseWindow, spec.kernel.fuseWindow);
     }
 }
 
@@ -224,6 +233,12 @@ TEST(WireTest, ResultRoundTripRandomized)
                   msg.kernel.blockedOpsApplied);
         EXPECT_EQ(back.kernel.batchedExpectationPoints,
                   msg.kernel.batchedExpectationPoints);
+        EXPECT_EQ(back.kernel.fusedSuperKernels,
+                  msg.kernel.fusedSuperKernels);
+        EXPECT_EQ(back.kernel.fusedOpsCollapsed,
+                  msg.kernel.fusedOpsCollapsed);
+        EXPECT_EQ(back.kernel.batchedPauliPoints,
+                  msg.kernel.batchedPauliPoints);
     }
 }
 
