@@ -241,8 +241,9 @@ runKernelStudy()
 
 /**
  * Distributed execution study on the acceptance sweep (axis-major 12q
- * p=2 QAOA): one serial process vs the same sweep sharded across 2 and
- * 4 oscar-worker processes through the distributed task queue, plus a
+ * p=2 QAOA): one serial process vs the same sweep sharded across a
+ * hybrid process x thread grid (workers x threadsPerWorker cells:
+ * 1x1, 1x2, 2x1, 2x2, 4x1) through the distributed task queue, plus a
  * sharded Oscar reconstruction for context. Every distributed run is
  * verified bit-identical to the in-process values (the distributed
  * determinism contract). Writes BENCH_dist.json. Caches run cold per
@@ -308,16 +309,23 @@ runDistStudy()
                   {"hardware_concurrency", static_cast<double>(hw)}});
     }
 
+    // Hybrid process x thread grid: each (workers, threads) cell runs
+    // the same sweep through T-threaded workers and is verified
+    // bit-identical to the serial reference -- the hybrid determinism
+    // contract is asserted, not assumed, on every row.
     bool spawn_failed = false;
-    for (const int workers : {2, 4}) {
+    const std::pair<int, int> grid[] = {
+        {1, 1}, {1, 2}, {2, 1}, {2, 2}, {4, 1}};
+    for (const auto& [workers, threads] : grid) {
         EngineOptions options;
         options.numThreads = 1;
         options.dist.numWorkers = workers;
+        options.dist.threadsPerWorker = threads;
         options.dist.minPointsToDistribute = 1;
         ExecutionEngine engine(options);
         StatevectorCost cost = sweep.make();
         std::vector<double> values;
-        std::size_t remote = 0, requeued = 0;
+        std::size_t remote = 0, requeued = 0, pipelined = 0;
         int rep = 0;
         const auto timing = bench::timeRepeated(kStudyReps, [&] {
             cost.configureKernel(coldOptions(rep++));
@@ -325,14 +333,15 @@ runDistStudy()
             values = handle.get();
             remote = handle.stats().pointsRemote;
             requeued = handle.stats().shardsRequeued;
+            pipelined = handle.stats().shardsPipelined;
         });
         const bool distributed = remote == num_points;
         if (!distributed)
             spawn_failed = true;
         const bool match = identical(values, reference);
         const double speedup = base_median / timing.median;
-        const std::string name =
-            "dist x" + std::to_string(workers) + " workers";
+        const std::string name = "dist " + std::to_string(workers) +
+                                 "p x " + std::to_string(threads) + "t";
         bench::row(name,
                    {static_cast<double>(num_points) / timing.median,
                     timing.median, timing.min, speedup,
@@ -340,10 +349,13 @@ runDistStudy()
                    " %10.4g");
         json.add(name, timing, num_points,
                  {{"workers", static_cast<double>(workers)},
+                  {"threads_per_worker", static_cast<double>(threads)},
                   {"speedup_vs_single", speedup},
                   {"match", match ? 1.0 : 0.0},
                   {"points_remote", static_cast<double>(remote)},
-                  {"shards_requeued", static_cast<double>(requeued)}});
+                  {"shards_requeued", static_cast<double>(requeued)},
+                  {"shards_pipelined",
+                   static_cast<double>(pipelined)}});
     }
     if (spawn_failed)
         std::printf("  (warning: distributed runs fell back "

@@ -30,6 +30,8 @@ struct EngineBatch final : BatchHandle::Control
     std::vector<std::unique_ptr<CostFunction>> replicas;
     std::vector<ExecutionEngine::Chunk> chunks;
     std::uint64_t baseOrdinal = 0;
+    /** submitAt batch: ordinals are external, never refund queries. */
+    bool pinnedOrdinals = false;
     SubmitOptions options;
 
     /** Next chunk index to claim (may overshoot chunks.size()). */
@@ -99,7 +101,7 @@ struct EngineBatch final : BatchHandle::Control
         std::size_t skipped = 0;
         for (std::size_t c = claimed; c < total; ++c)
             skipped += chunks[c].hi - chunks[c].lo;
-        if (cost)
+        if (cost && !pinnedOrdinals)
             cost->refundQueries(skipped);
         std::lock_guard<std::mutex> lock(m);
         progress.pointsCancelled += skipped;
@@ -257,6 +259,11 @@ ExecutionEngine::ExecutionEngine(const EngineOptions& options)
         }
     }
     distEnabled_ = dist_.numWorkers > 0;
+    // Resolve the per-worker thread count eagerly for the same
+    // fail-fast reason: a malformed OSCAR_DIST_THREADS throws here,
+    // at engine construction, not on the first distributed batch.
+    dist_.threadsPerWorker =
+        dist::resolveThreadsPerWorker(dist_.threadsPerWorker);
 
     // Threads spawn last: everything above may throw, and unwinding
     // with joinable workers would terminate. The submitting thread
@@ -387,7 +394,8 @@ BatchHandle
 ExecutionEngine::submitBatch(CostFunction* cost,
                              std::vector<std::vector<double>> points,
                              std::function<double(std::size_t)> map_fn,
-                             std::size_t count, SubmitOptions options)
+                             std::size_t count, SubmitOptions options,
+                             const std::uint64_t* pinned_base)
 {
     if (cost && count > 0) {
         // Validate every point before counting anything, exactly like
@@ -395,17 +403,22 @@ ExecutionEngine::submitBatch(CostFunction* cost,
         // by thread count or batch outcome. Distribution is tried
         // before the local batch state exists, so a remote submission
         // never pays for a count-sized output buffer it will discard.
+        // Pinned batches are already a distributed shard -- they must
+        // execute here, under the coordinator's ordinals.
         for (const auto& p : points)
             cost->checkParams(p);
-        BatchHandle remote = tryDistribute(*cost, points, options);
-        if (remote.valid())
-            return remote;
+        if (!pinned_base) {
+            BatchHandle remote = tryDistribute(*cost, points, options);
+            if (remote.valid())
+                return remote;
+        }
     }
 
     auto batch = std::make_shared<EngineBatch>();
     batch->points = std::move(points);
     batch->mapFn = std::move(map_fn);
     batch->cost = cost;
+    batch->pinnedOrdinals = pinned_base != nullptr;
     batch->options = std::move(options);
     batch->out.resize(count);
     batch->progress.pointsTotal = count;
@@ -439,7 +452,8 @@ ExecutionEngine::submitBatch(CostFunction* cost,
                 }
             }
         }
-        batch->baseOrdinal = cost->reserve(count);
+        batch->baseOrdinal =
+            pinned_base ? *pinned_base : cost->reserve(count);
     }
 
     if (enqueue)
@@ -466,6 +480,17 @@ ExecutionEngine::submit(CostFunction& cost,
     const std::size_t count = points.size();
     return submitBatch(&cost, std::move(points), nullptr, count,
                        std::move(options));
+}
+
+BatchHandle
+ExecutionEngine::submitAt(CostFunction& cost,
+                          std::vector<std::vector<double>> points,
+                          std::uint64_t base_ordinal,
+                          SubmitOptions options)
+{
+    const std::size_t count = points.size();
+    return submitBatch(&cost, std::move(points), nullptr, count,
+                       std::move(options), &base_ordinal);
 }
 
 BatchHandle

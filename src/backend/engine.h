@@ -113,8 +113,26 @@ struct BatchStats
      */
     std::size_t shardsRequeued = 0;
 
-    /** Kernel-layer (prefix cache) traffic attributed to this batch. */
+    /**
+     * Distributed shards dispatched to a worker that already had one
+     * in flight (depth-2 pipelining: the next shard rides the wire
+     * while the current one computes, hiding the dispatch round-trip).
+     */
+    std::size_t shardsPipelined = 0;
+
+    /**
+     * Kernel-layer (prefix cache) traffic attributed to this batch,
+     * local and remote combined: remote shards fold the per-shard
+     * KernelStats delta from each worker's Result frame in here too.
+     */
     KernelStats kernel;
+
+    /**
+     * The remote-only portion of `kernel`: counters aggregated from
+     * worker Result frames alone, so per-worker PrefixCache behavior
+     * is observable even when local and remote execution mix.
+     */
+    KernelStats remoteKernel;
 
     BatchStats&
     operator+=(const BatchStats& other)
@@ -124,7 +142,9 @@ struct BatchStats
         pointsCancelled += other.pointsCancelled;
         pointsRemote += other.pointsRemote;
         shardsRequeued += other.shardsRequeued;
+        shardsPipelined += other.shardsPipelined;
         kernel += other.kernel;
+        remoteKernel += other.remoteKernel;
         return *this;
     }
 };
@@ -281,6 +301,21 @@ class ExecutionEngine
                        std::vector<std::vector<double>> points,
                        SubmitOptions options = {});
 
+    /**
+     * Submit a batch whose ordinals are pinned externally: evaluation
+     * i runs with ordinal base_ordinal + i exactly, no queries are
+     * reserved or refunded, and the batch is never routed to the
+     * process pool. This is how a distributed worker replays a shard
+     * across its own thread pool: the coordinator reserved the
+     * ordinals at submission, so the shard must execute under them
+     * verbatim for distributed results to stay bit-identical to
+     * in-process execution.
+     */
+    BatchHandle submitAt(CostFunction& cost,
+                         std::vector<std::vector<double>> points,
+                         std::uint64_t base_ordinal,
+                         SubmitOptions options = {});
+
     /** Produces the i-th parameter point of a generated batch. */
     using PointFn = std::function<std::vector<double>(std::size_t)>;
 
@@ -345,11 +380,16 @@ class ExecutionEngine
     /** Split [0, count) into per-worker chunks; empty = run inline. */
     std::vector<Chunk> planChunks(std::size_t count) const;
 
-    /** Build the shared batch state; enqueue unless inline-only. */
+    /**
+     * Build the shared batch state; enqueue unless inline-only. A
+     * non-null `pinned_base` pins ordinals (submitAt): no query
+     * reservation, no refunds, no distribution.
+     */
     BatchHandle submitBatch(CostFunction* cost,
                             std::vector<std::vector<double>> points,
                             std::function<double(std::size_t)> map_fn,
-                            std::size_t count, SubmitOptions options);
+                            std::size_t count, SubmitOptions options,
+                            const std::uint64_t* pinned_base = nullptr);
 
     /**
      * Route a batch to the process pool when distribution is enabled,

@@ -32,7 +32,7 @@ StatevectorCost::StatevectorCost(Circuit circuit, PauliSum hamiltonian)
     : circuit_(std::move(circuit)), compiled_(circuit_),
       hamiltonian_(std::move(hamiltonian)), state_(circuit_.numQubits()),
       table_(&kernels::kernelTable(kernel_.isa)),
-      cache_(kernel_.prefixCacheBudgetBytes)
+      cache_(std::make_shared<PrefixCache>(kernel_.prefixCacheBudgetBytes))
 {
     if (hamiltonian_.numQubits() != circuit_.numQubits())
         throw std::invalid_argument(
@@ -41,6 +41,7 @@ StatevectorCost::StatevectorCost(Circuit circuit, PauliSum hamiltonian)
         diagonal_ = hamiltonian_.diagonalTable();
     for (std::size_t level : compiled_.frontierLevels())
         levelParams_.push_back(compiled_.paramsUsedBefore(level));
+    shapeCache();
 }
 
 StatevectorCost::StatevectorCost(const StatevectorCost& other)
@@ -49,7 +50,7 @@ StatevectorCost::StatevectorCost(const StatevectorCost& other)
       hamiltonian_(other.hamiltonian_), diagonal_(other.diagonal_),
       state_(other.circuit_.numQubits()), kernel_(other.kernel_),
       table_(&kernels::kernelTable(other.kernel_.isa)),
-      cache_(other.kernel_.prefixCacheBudgetBytes)
+      cache_(other.cache_)
 {
 }
 
@@ -65,12 +66,30 @@ StatevectorCost::operator=(const StatevectorCost& other)
     state_ = Statevector(other.circuit_.numQubits());
     kernel_ = other.kernel_;
     table_ = &kernels::kernelTable(other.kernel_.isa);
-    cache_.setBudget(other.kernel_.prefixCacheBudgetBytes);
+    cache_ = other.cache_;
     replay_ = {};
+    cacheHits_ = 0;
+    cacheLookups_ = 0;
+    cacheEvictions_ = 0;
     batchedPoints_ = 0;
     batchedPauliPoints_ = 0;
     groupScratch_.clear();
     return *this;
+}
+
+std::size_t
+StatevectorCost::maxKeyWords() const
+{
+    std::size_t words = 0;
+    for (const auto& level : levelParams_)
+        words = std::max(words, level.size());
+    return words;
+}
+
+void
+StatevectorCost::shapeCache()
+{
+    cache_->configure(state_.dim(), maxKeyWords());
 }
 
 std::unique_ptr<CostFunction>
@@ -83,7 +102,12 @@ void
 StatevectorCost::configureKernel(const KernelOptions& options)
 {
     kernel_ = options;
-    cache_.setBudget(options.prefixCacheBudgetBytes);
+    // The cache is shared with clones, so only a genuine budget change
+    // drops it (setBudget clears); reconfiguring replicas with the
+    // same options must not wipe each other's checkpoints.
+    if (cache_->budgetBytes() != options.prefixCacheBudgetBytes)
+        cache_->setBudget(options.prefixCacheBudgetBytes);
+    shapeCache();
     table_ = &kernels::kernelTable(options.isa);
     const int window = resolvedBlockWindow(options, compiled_.numQubits());
     if (window != compiled_.blockWindow())
@@ -113,9 +137,9 @@ KernelStats
 StatevectorCost::kernelStats() const
 {
     KernelStats stats;
-    stats.cacheHits = cache_.hits();
-    stats.cacheLookups = cache_.lookups();
-    stats.cacheEvictions = cache_.evictions();
+    stats.cacheHits = cacheHits_;
+    stats.cacheLookups = cacheLookups_;
+    stats.cacheEvictions = cacheEvictions_;
     stats.isa = table_->isa;
     stats.blockedGroupRuns = replay_.blockedGroupRuns;
     stats.blockedOpsApplied = replay_.blockedOpsApplied;
@@ -158,23 +182,24 @@ StatevectorCost::simulate(const std::vector<double>& params,
         return;
     }
     // Resume from the deepest cached checkpoint whose prefix
-    // parameters match this point bitwise.
-    std::size_t start_level = levels.size();
-    const AlignedVector<cplx>* checkpoint = nullptr;
+    // parameters match this point bitwise; find() copies the
+    // checkpoint straight into `amps` (seqlock-validated, so a copy
+    // torn by a concurrent reclaim reads as a miss, never as values).
+    std::size_t start_level = static_cast<std::size_t>(-1);
+    bool resumed = false;
     for (std::size_t l = levels.size(); l-- > 0;) {
-        checkpoint = cache_.find(keyFor(l, params));
-        if (checkpoint) {
+        ++cacheLookups_;
+        if (cache_->find(keyFor(l, params), amps)) {
+            ++cacheHits_;
             start_level = l;
+            resumed = true;
             break;
         }
     }
-    if (checkpoint) {
-        amps = *checkpoint;
+    if (resumed)
         pos = levels[start_level];
-    } else {
+    else
         reset();
-        start_level = static_cast<std::size_t>(-1);
-    }
     // Replay the remaining frontier segments, dropping a checkpoint
     // at each crossed level so later points (and later batches of
     // the same sweep) can resume there.
@@ -182,7 +207,8 @@ StatevectorCost::simulate(const std::vector<double>& params,
         compiled_.runRange(amps.data(), dim, pos, levels[l],
                            params.data(), *table_, &replay_);
         pos = levels[l];
-        cache_.insert(keyFor(l, params), amps);
+        if (cache_->insert(keyFor(l, params), amps).reclaimed)
+            ++cacheEvictions_;
     }
     compiled_.runRange(amps.data(), dim, pos, compiled_.numOps(),
                        params.data(), *table_, &replay_);

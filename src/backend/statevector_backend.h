@@ -41,6 +41,8 @@
 #ifndef OSCAR_BACKEND_STATEVECTOR_BACKEND_H
 #define OSCAR_BACKEND_STATEVECTOR_BACKEND_H
 
+#include <memory>
+
 #include "src/backend/executor.h"
 #include "src/backend/prefix_cache.h"
 #include "src/hamiltonian/pauli_sum.h"
@@ -60,7 +62,13 @@ class StatevectorCost : public CostFunction
   public:
     StatevectorCost(Circuit circuit, PauliSum hamiltonian);
 
-    /** Clones drop the cache (checkpoints are per replica). */
+    /**
+     * Copies share the checkpoint cache: the lock-free PrefixCache
+     * (prefix_cache.h) is safe under concurrent find/insert, and
+     * checkpoints are bit-exact, so engine replicas cloned from one
+     * evaluator pool their prefix work. Per-instance cache counters
+     * (kernelStats) start at zero in the copy.
+     */
     StatevectorCost(const StatevectorCost& other);
     StatevectorCost& operator=(const StatevectorCost& other);
 
@@ -82,8 +90,11 @@ class StatevectorCost : public CostFunction
      */
     std::optional<DistPayload> distPayload() const override;
 
-    /** Checkpoint cache counters (benchmark instrumentation). */
-    const PrefixCache& prefixCache() const { return cache_; }
+    /**
+     * Checkpoint cache counters (benchmark instrumentation),
+     * cumulative over every evaluator sharing this cache.
+     */
+    const PrefixCache& prefixCache() const { return *cache_; }
 
     /** The kernel table this evaluator dispatches through. */
     const kernels::KernelTable& kernelTable() const { return *table_; }
@@ -132,6 +143,12 @@ class StatevectorCost : public CostFunction
     const PrefixKey& keyFor(std::size_t level_index,
                             const std::vector<double>& params);
 
+    /** Widest prefix-parameter set across frontier levels (in words). */
+    std::size_t maxKeyWords() const;
+
+    /** Size the shared cache for this evaluator's checkpoint shape. */
+    void shapeCache();
+
     Circuit circuit_;
     CompiledCircuit compiled_;
     /** Params used before each frontier level (precomputed). */
@@ -141,10 +158,19 @@ class StatevectorCost : public CostFunction
     Statevector state_;
     KernelOptions kernel_;
     const kernels::KernelTable* table_;
-    PrefixCache cache_;
+    /** Shared with copies/clones; never null. */
+    std::shared_ptr<PrefixCache> cache_;
     PrefixKey scratchKey_;
 
     ReplayCounters replay_;
+    /**
+     * This instance's own cache traffic (the shared cache's counters
+     * aggregate every sharer, so per-replica stats deltas come from
+     * these instead).
+     */
+    std::size_t cacheHits_ = 0;
+    std::size_t cacheLookups_ = 0;
+    std::size_t cacheEvictions_ = 0;
     std::size_t batchedPoints_ = 0;
     std::size_t batchedPauliPoints_ = 0;
     /** Per-point final states of a fused expectation group. */

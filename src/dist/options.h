@@ -37,10 +37,26 @@ struct DistOptions
     int numWorkers = 0;
 
     /**
-     * Points per task shard. 0 = auto: roughly four shards per worker
-     * per batch, so a crashed worker forfeits at most ~1/(4W) of the
-     * batch and stragglers rebalance, while shards stay long enough to
-     * keep each worker's prefix cache hot. Purely a performance knob:
+     * Evaluation threads inside each worker process (the worker's own
+     * ExecutionEngine pool; hybrid process x thread execution).
+     * -1 = consult the OSCAR_DIST_THREADS environment variable, and
+     * when that is unset too, run single-threaded workers (the
+     * pre-hybrid default). 0 = the worker host's hardware concurrency,
+     * resolved worker-side and advertised back in its Hello frame.
+     * >= 1 = exactly that many threads. Thread count never changes
+     * values (the engine's determinism contract); it changes how much
+     * capacity the worker advertises and how the coordinator sizes
+     * shards.
+     */
+    int threadsPerWorker = -1;
+
+    /**
+     * Points per task shard. 0 = auto: roughly four shards per unit of
+     * advertised capacity per batch (a single-threaded worker counts
+     * 1, a T-thread worker T), so a crashed worker forfeits at most a
+     * small slice of the batch and stragglers rebalance, while shards
+     * stay long enough to keep each worker's prefix cache hot and wide
+     * enough to feed its thread pool. Purely a performance knob:
      * sharding never changes values.
      */
     std::size_t shardSize = 0;
@@ -71,6 +87,17 @@ struct DistOptions
      */
     std::string workerPath;
 };
+
+/**
+ * Resolve DistOptions::threadsPerWorker: a non-negative value is
+ * returned as-is; -1 consults the OSCAR_DIST_THREADS environment
+ * variable (unset = 1, the pre-hybrid single-threaded worker). Like
+ * OSCAR_DIST_WORKERS, a malformed or out-of-range value (valid range
+ * 0..256, 0 = worker-host hardware concurrency) throws
+ * std::runtime_error instead of silently running without the
+ * parallelism the user asked for. Defined in process_pool.cpp.
+ */
+int resolveThreadsPerWorker(int configured);
 
 } // namespace dist
 } // namespace oscar

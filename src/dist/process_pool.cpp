@@ -7,6 +7,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -77,6 +78,15 @@ struct Shard
     std::uint64_t taskId = 0;
 };
 
+/**
+ * Outstanding shards per worker. Depth 2 pipelines the dispatch
+ * round-trip: the next shard rides the wire (and sits in the worker's
+ * socket buffer) while the current one computes, so a worker never
+ * idles between shards. Deeper queues would only grow the amount of
+ * work a crash requeues.
+ */
+constexpr std::size_t kPipelineDepth = 2;
+
 /** One forked worker process (all fields monitor-owned; pid/alive
  *  also read by workerPids()/healthy() under the core mutex). */
 struct WorkerProc
@@ -85,9 +95,12 @@ struct WorkerProc
     int fd = -1;
     bool alive = false;
     bool helloSeen = false;
+    /** Evaluation threads the worker advertised in its Hello (>= 1). */
+    std::uint16_t capacity = 1;
     FrameDecoder decoder;
     Clock::time_point lastHeard;
-    std::optional<Shard> inflight;
+    /** In dispatch order, at most kPipelineDepth deep. */
+    std::vector<Shard> inflight;
     std::unordered_set<std::uint64_t> loadedCosts;
 };
 
@@ -253,10 +266,21 @@ namespace {
 
 void requeueNoSurvivorsLocked(PoolCore& core);
 
+/** Points currently assigned to a worker (all pipelined shards). */
+std::size_t
+inflightPoints(const WorkerProc& worker)
+{
+    std::size_t points = 0;
+    for (const Shard& shard : worker.inflight)
+        points += shard.hi - shard.lo;
+    return points;
+}
+
 /**
  * Declare a worker dead: close its pipe, make sure the process is
- * gone, and put its in-flight shard back at the head of the queue so
- * recovery preempts new work. Call with the core mutex held.
+ * gone, and put ALL of its in-flight (pipelined) shards back at the
+ * head of the queue -- in their original dispatch order -- so recovery
+ * preempts new work. Call with the core mutex held.
  */
 void
 markWorkerDeadLocked(PoolCore& core, WorkerProc& worker)
@@ -276,9 +300,11 @@ markWorkerDeadLocked(PoolCore& core, WorkerProc& worker)
         worker.pid = -1;
     }
     core.stats.workersLost++;
-    if (worker.inflight) {
-        Shard shard = std::move(*worker.inflight);
-        worker.inflight.reset();
+    while (!worker.inflight.empty()) {
+        // Back to front, each pushed at the head: the queue ends up
+        // [first dispatched, second dispatched, older pending...].
+        Shard shard = std::move(worker.inflight.back());
+        worker.inflight.pop_back();
         core.stats.tasksRequeued++;
         {
             std::lock_guard<std::mutex> lock(shard.batch->m);
@@ -310,15 +336,34 @@ requeueNoSurvivorsLocked(PoolCore& core)
     }
 }
 
-/** Hand queued shards to idle workers. Call with the core mutex held. */
+/**
+ * Hand queued shards to workers with pipeline room, least-loaded
+ * (in-flight points per unit of advertised capacity) first, so a
+ * 4-thread worker draws proportionally more of the queue than a
+ * single-threaded one. Call with the core mutex held.
+ */
 void
 dispatchLocked(PoolCore& core)
 {
-    for (WorkerProc& worker : core.workers) {
-        if (!worker.alive || worker.inflight)
-            continue;
-        if (core.pending.empty())
-            return;
+    while (!core.pending.empty()) {
+        WorkerProc* best = nullptr;
+        double best_load = 0.0;
+        for (WorkerProc& worker : core.workers) {
+            if (!worker.alive ||
+                worker.inflight.size() >= kPipelineDepth)
+                continue;
+            const double load =
+                static_cast<double>(inflightPoints(worker)) /
+                static_cast<double>(worker.capacity);
+            if (!best || load < best_load ||
+                (load == best_load && worker.capacity > best->capacity)) {
+                best = &worker;
+                best_load = load;
+            }
+        }
+        if (!best)
+            return; // every live worker's pipeline is full
+        WorkerProc& worker = *best;
         Shard shard = std::move(core.pending.front());
         core.pending.pop_front();
 
@@ -357,13 +402,17 @@ dispatchLocked(PoolCore& core)
         }
         if (!ok) {
             // Put the shard back first so the death path cannot race
-            // it away, then retire the worker (which requeues nothing:
-            // inflight was never set).
+            // it away, then retire the worker (which also requeues
+            // anything already pipelined to it).
             core.pending.push_front(std::move(shard));
             markWorkerDeadLocked(core, worker);
             continue;
         }
-        worker.inflight = std::move(shard);
+        if (!worker.inflight.empty()) {
+            std::lock_guard<std::mutex> lock(shard.batch->m);
+            shard.batch->progress.shardsPipelined++;
+        }
+        worker.inflight.push_back(std::move(shard));
         core.stats.tasksDispatched++;
     }
 }
@@ -391,18 +440,22 @@ handleFrameLocked(PoolCore& core, WorkerProc& worker, Frame&& frame,
       case FrameType::Hello: {
         const HelloMsg hello = decodeHello(frame.payload);
         worker.helloSeen = true;
+        worker.capacity = std::max<std::uint16_t>(1, hello.threads);
         return hello.wireVersion == kWireVersion;
       }
       case FrameType::Heartbeat:
         return true;
       case FrameType::Result: {
         ResultMsg msg = decodeResult(frame.payload);
-        if (!worker.inflight || worker.inflight->taskId != msg.taskId)
+        const auto it = std::find_if(
+            worker.inflight.begin(), worker.inflight.end(),
+            [&](const Shard& s) { return s.taskId == msg.taskId; });
+        if (it == worker.inflight.end())
             return true; // stale result; ignore
-        if (msg.values.size() != worker.inflight->hi - worker.inflight->lo)
+        if (msg.values.size() != it->hi - it->lo)
             return false; // wrong shard size: retire + requeue inflight
-        Shard shard = std::move(*worker.inflight);
-        worker.inflight.reset();
+        Shard shard = std::move(*it);
+        worker.inflight.erase(it);
         Completion done;
         done.batch = std::move(shard.batch);
         done.lo = shard.lo;
@@ -413,10 +466,13 @@ handleFrameLocked(PoolCore& core, WorkerProc& worker, Frame&& frame,
       }
       case FrameType::TaskError: {
         const TaskErrorMsg msg = decodeTaskError(frame.payload);
-        if (!worker.inflight || worker.inflight->taskId != msg.taskId)
+        const auto it = std::find_if(
+            worker.inflight.begin(), worker.inflight.end(),
+            [&](const Shard& s) { return s.taskId == msg.taskId; });
+        if (it == worker.inflight.end())
             return true;
-        Shard shard = std::move(*worker.inflight);
-        worker.inflight.reset();
+        Shard shard = std::move(*it);
+        worker.inflight.erase(it);
         if (msg.code == kTaskErrorUnknownCost) {
             // The worker's bounded spec cache evicted this cost:
             // forget that it was loaded (the next dispatch re-sends
@@ -464,6 +520,7 @@ applyCompletion(Completion& done)
     done.batch->progress.pointsCompleted += n;
     done.batch->progress.pointsRemote += n;
     done.batch->progress.kernel += done.kernel;
+    done.batch->progress.remoteKernel += done.kernel;
     if (callback_failure && !done.batch->error)
         done.batch->error = callback_failure;
     done.batch->accountShardsLocked(1);
@@ -526,7 +583,8 @@ namespace {
 
 /** Fork + exec one worker; returns its parent-side fd. */
 int
-spawnWorker(const std::string& worker_path, int heartbeat_ms, int* pid_out)
+spawnWorker(const std::string& worker_path, int heartbeat_ms, int threads,
+            int* pid_out)
 {
     int sv[2];
     if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
@@ -540,12 +598,16 @@ spawnWorker(const std::string& worker_path, int heartbeat_ms, int* pid_out)
     // async-signal-safe calls between fork and exec.
     const std::string fd_arg = std::to_string(sv[1]);
     const std::string hb_arg = std::to_string(heartbeat_ms);
+    // 0 = hardware concurrency, resolved on the worker host (the
+    // worker advertises the resolved count back in its Hello frame).
+    const std::string threads_arg = std::to_string(threads);
 
     const int pid = ::fork();
     if (pid == 0) {
         ::close(sv[0]);
         ::execl(worker_path.c_str(), "oscar-worker", "--worker-fd",
                 fd_arg.c_str(), "--heartbeat-ms", hb_arg.c_str(),
+                "--threads", threads_arg.c_str(),
                 static_cast<char*>(nullptr));
         ::_exit(127); // exec failed; parent sees EOF
     }
@@ -560,6 +622,24 @@ spawnWorker(const std::string& worker_path, int heartbeat_ms, int* pid_out)
 
 } // namespace
 
+int
+resolveThreadsPerWorker(int configured)
+{
+    if (configured >= 0)
+        return configured;
+    const char* env = std::getenv("OSCAR_DIST_THREADS");
+    if (!env)
+        return 1; // pre-hybrid default: single-threaded workers
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || parsed < 0 || parsed > 256)
+        throw std::runtime_error(
+            "OSCAR_DIST_THREADS: expected a per-worker thread count "
+            "(0..256, 0 = hardware), got \"" +
+            std::string(env) + "\"");
+    return static_cast<int>(parsed);
+}
+
 ProcessPool::ProcessPool(const DistOptions& options)
 {
     if (options.numWorkers < 1)
@@ -573,6 +653,8 @@ ProcessPool::ProcessPool(const DistOptions& options)
     core_->options.heartbeatTimeoutMs =
         std::max(3 * core_->options.heartbeatIntervalMs,
                  options.heartbeatTimeoutMs);
+    core_->options.threadsPerWorker =
+        resolveThreadsPerWorker(options.threadsPerWorker);
     core_->workerPath = resolveWorkerPath(options.workerPath);
 
     int wake[2];
@@ -600,6 +682,7 @@ ProcessPool::ProcessPool(const DistOptions& options)
         for (WorkerProc& w : core_->workers) {
             w.fd = spawnWorker(core_->workerPath,
                                core_->options.heartbeatIntervalMs,
+                               core_->options.threadsPerWorker,
                                &w.pid);
             w.alive = true;
             w.lastHeard = Clock::now();
@@ -651,6 +734,8 @@ ProcessPool::ProcessPool(const DistOptions& options)
                         if (hello.wireVersion != kWireVersion)
                             throw WireError("wire version mismatch");
                         w.helloSeen = true;
+                        w.capacity =
+                            std::max<std::uint16_t>(1, hello.threads);
                         w.lastHeard = Clock::now();
                     }
                 }
@@ -713,7 +798,7 @@ ProcessPool::monitorLoop(const std::shared_ptr<PoolCore>& core_ptr)
             // through the survivors before the workers are released.
             bool inflight = false;
             for (const WorkerProc& w : core.workers)
-                inflight |= w.alive && w.inflight.has_value();
+                inflight |= w.alive && !w.inflight.empty();
             if (!inflight && core.pending.empty())
                 break;
         }
@@ -863,8 +948,15 @@ ProcessPool::submit(CostFunction& cost,
         throw std::runtime_error(
             "ProcessPool::submit: pool is shutting down");
     std::size_t alive = 0;
-    for (const WorkerProc& w : core_->workers)
-        alive += w.alive ? 1 : 0;
+    std::size_t total_capacity = 0;
+    std::size_t max_capacity = 1;
+    for (const WorkerProc& w : core_->workers) {
+        if (!w.alive)
+            continue;
+        alive++;
+        total_capacity += w.capacity;
+        max_capacity = std::max<std::size_t>(max_capacity, w.capacity);
+    }
     if (alive == 0)
         throw std::runtime_error(
             "ProcessPool::submit: no live workers");
@@ -897,8 +989,8 @@ ProcessPool::submit(CostFunction& cost,
         for (const Shard& s : core_->pending)
             live.insert(s.batch->costId);
         for (const WorkerProc& w : core_->workers) {
-            if (w.inflight)
-                live.insert(w.inflight->batch->costId);
+            for (const Shard& s : w.inflight)
+                live.insert(s.batch->costId);
         }
         for (auto it = core_->costs.begin();
              it != core_->costs.end();) {
@@ -908,13 +1000,17 @@ ProcessPool::submit(CostFunction& cost,
     }
     batch->baseOrdinal = cost.reserve(count);
 
-    // Shards: contiguous slices, roughly four per worker by default --
-    // small enough that a crash forfeits little and stragglers
-    // rebalance, large enough to amortize the frame round-trip and
-    // keep worker-side prefix caches warm.
+    // Shards: contiguous slices, roughly four per unit of advertised
+    // capacity by default (a T-thread worker counts T) -- small enough
+    // that a crash forfeits little and stragglers rebalance, large
+    // enough to amortize the frame round-trip, keep worker-side prefix
+    // caches warm, and feed the widest worker's thread pool. With
+    // homogeneous single-threaded workers this degenerates to the
+    // pre-hybrid count / (4 * workers).
     std::size_t shard_size = core_->options.shardSize;
     if (shard_size == 0)
-        shard_size = std::max<std::size_t>(1, count / (4 * alive));
+        shard_size = std::max<std::size_t>(
+            1, count * max_capacity / (4 * total_capacity));
     for (std::size_t lo = 0; lo < count; lo += shard_size) {
         Shard shard;
         shard.batch = batch;

@@ -230,6 +230,7 @@ encodeHello(WireWriter& w, const HelloMsg& msg)
     w.i32(msg.pid);
     w.u16(msg.wireVersion);
     w.u8(static_cast<std::uint8_t>(msg.isa));
+    w.u16(msg.threads);
 }
 
 HelloMsg
@@ -240,6 +241,11 @@ decodeHello(std::span<const std::uint8_t> payload)
     msg.pid = r.i32();
     msg.wireVersion = r.u16();
     msg.isa = static_cast<kernels::KernelIsa>(r.u8());
+    // The capacity field arrived in v3; a v2-shaped payload ends here
+    // and decodes as a single-threaded worker.
+    msg.threads = r.atEnd() ? 1 : r.u16();
+    if (msg.threads == 0)
+        throw WireError("hello advertises zero capacity");
     r.expectEnd();
     return msg;
 }

@@ -52,7 +52,10 @@ class WireError : public std::runtime_error
 constexpr std::uint32_t kWireMagic = 0x4F534357u; // "OSCW"
 // v2: KernelOptions carries fuseWindow, KernelStats carries the
 // super-kernel/batched-Pauli counters, and the ISA byte admits avx512.
-constexpr std::uint16_t kWireVersion = 2;
+// v3: Hello advertises the worker's evaluation capacity (resolved
+// thread count) so the coordinator can size and route shards
+// proportionally to hybrid process x thread workers.
+constexpr std::uint16_t kWireVersion = 3;
 
 /** Fixed frame header size (magic + version + type + payload length). */
 constexpr std::size_t kFrameHeaderSize = 16;
@@ -174,6 +177,13 @@ struct HelloMsg
     std::int32_t pid = 0;
     std::uint16_t wireVersion = kWireVersion;
     kernels::KernelIsa isa = kernels::KernelIsa::Scalar;
+    /**
+     * v3: evaluation threads the worker resolved for its own
+     * ExecutionEngine pool (its advertised capacity; >= 1). A v2-shaped
+     * payload without the field decodes as 1 -- the pre-hybrid
+     * single-threaded worker.
+     */
+    std::uint16_t threads = 1;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -16,6 +17,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "src/backend/engine.h"
 #include "src/backend/statevector_backend.h"
 #include "src/dist/wire.h"
 
@@ -113,16 +115,35 @@ class Heartbeat
 } // namespace
 
 int
-workerMain(int fd, int heartbeat_ms)
+workerMain(int fd, int heartbeat_ms, int threads)
 {
     FrameSender sender(fd);
 
+    // The worker's own evaluation pool (hybrid process x thread
+    // execution). 0 resolves to this host's hardware concurrency --
+    // worker-side, since the coordinator may run on a different
+    // machine class than its workers some day. Distribution is pinned
+    // off: a worker forking worker pools of its own would fork-bomb
+    // under a process-wide OSCAR_DIST_WORKERS.
+    if (threads < 0)
+        threads = 1;
+    const int resolved = ExecutionEngine::resolveThreads(threads);
+    EngineOptions engine_options;
+    engine_options.numThreads = resolved;
+    engine_options.dist.numWorkers = -1;
+    ExecutionEngine engine(engine_options);
+
     // Greet first, then start heartbeating: the pool's construction
-    // handshake keys on Hello arriving before anything else.
+    // handshake keys on Hello arriving before anything else. The
+    // Hello advertises the resolved thread count as this worker's
+    // capacity, so the coordinator can size and route shards
+    // proportionally.
     {
         HelloMsg hello;
         hello.pid = static_cast<std::int32_t>(::getpid());
         hello.isa = kernels::defaultKernelTable().isa;
+        hello.threads = static_cast<std::uint16_t>(
+            std::min(resolved, 65535));
         WireWriter w;
         encodeHello(w, hello);
         if (!sender.send(FrameType::Hello, w.bytes()))
@@ -177,7 +198,7 @@ workerMain(int fd, int heartbeat_ms)
                     break;
                   }
                   case FrameType::Task: {
-                    const TaskMsg task = decodeTask(frame->payload);
+                    TaskMsg task = decodeTask(frame->payload);
                     const auto it = costs.find(task.costId);
                     if (it == costs.end()) {
                         TaskErrorMsg err;
@@ -192,13 +213,18 @@ workerMain(int fd, int heartbeat_ms)
                     CostFunction& cost = *it->second;
                     ResultMsg result;
                     result.taskId = task.taskId;
-                    result.values.resize(task.points.size());
                     try {
-                        const KernelStats before = cost.kernelStats();
-                        cost.evaluateBatchAt(task.points,
-                                             task.baseOrdinal,
-                                             result.values.data());
-                        result.kernel = cost.kernelStats() - before;
+                        // Replay the shard across the worker's own
+                        // thread pool at its reserved ordinals; the
+                        // batch stats carry the kernel-counter delta
+                        // (per-chunk replicas share the cost's prefix
+                        // cache, so checkpoints stay warm across
+                        // shards and threads alike).
+                        BatchHandle handle = engine.submitAt(
+                            cost, std::move(task.points),
+                            task.baseOrdinal);
+                        result.values = handle.get();
+                        result.kernel = handle.stats().kernel;
                     } catch (const std::exception& e) {
                         TaskErrorMsg err;
                         err.taskId = task.taskId;
@@ -235,21 +261,24 @@ workerEntry(int argc, char** argv)
 {
     int fd = -1;
     int heartbeat_ms = 100;
+    int threads = 1;
     for (int i = 1; i + 1 < argc; i += 2) {
         if (std::strcmp(argv[i], "--worker-fd") == 0)
             fd = std::atoi(argv[i + 1]);
         else if (std::strcmp(argv[i], "--heartbeat-ms") == 0)
             heartbeat_ms = std::atoi(argv[i + 1]);
+        else if (std::strcmp(argv[i], "--threads") == 0)
+            threads = std::atoi(argv[i + 1]);
     }
     if (fd < 0) {
         std::fprintf(stderr,
                      "usage: oscar-worker --worker-fd N "
-                     "[--heartbeat-ms M]\n"
+                     "[--heartbeat-ms M] [--threads T]\n"
                      "(spawned by the oscar distributed execution "
                      "subsystem; not meant to be run by hand)\n");
         return 64;
     }
-    return workerMain(fd, heartbeat_ms);
+    return workerMain(fd, heartbeat_ms, threads);
 }
 
 } // namespace dist

@@ -23,14 +23,19 @@ namespace dist {
 
 /**
  * Run the worker protocol on `fd` until shutdown/EOF, heartbeating
- * every `heartbeat_ms`. Returns the process exit code (0 on a clean
- * shutdown, nonzero on a protocol error).
+ * every `heartbeat_ms`. `threads` sizes the worker's own
+ * ExecutionEngine pool for shard evaluation (hybrid process x thread
+ * execution): 0 = this host's hardware concurrency, >= 1 = exactly
+ * that many. The resolved count is advertised back to the pool in the
+ * Hello frame as the worker's capacity. Returns the process exit code
+ * (0 on a clean shutdown, nonzero on a protocol error).
  */
-int workerMain(int fd, int heartbeat_ms);
+int workerMain(int fd, int heartbeat_ms, int threads = 1);
 
 /**
  * Entry point of the `oscar-worker` binary: parses
- * `--worker-fd N [--heartbeat-ms M]` and runs workerMain.
+ * `--worker-fd N [--heartbeat-ms M] [--threads T]` and runs
+ * workerMain.
  */
 int workerEntry(int argc, char** argv);
 

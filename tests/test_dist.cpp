@@ -14,6 +14,11 @@
  *    remote (BatchStats::pointsRemote), everything else stays on the
  *    thread pool, and a broken worker setup degrades to in-process
  *    execution instead of failing;
+ *  - hybrid process x thread execution: values stay bit-identical
+ *    across the workers x threadsPerWorker grid, depth-2 shard
+ *    pipelining keeps workers fed (BatchStats::shardsPipelined), and
+ *    worker-side kernel/prefix-cache counters aggregate into
+ *    BatchStats::remoteKernel;
  *  - Oscar::reconstruct with OscarOptions::distributed produces the
  *    same samples and reconstruction as the in-process pipeline.
  */
@@ -421,6 +426,101 @@ TEST(DistEngineTest, MalformedDistWorkersEnvThrows)
         ::setenv("OSCAR_DIST_WORKERS", restore.c_str(), 1);
     else
         ::unsetenv("OSCAR_DIST_WORKERS");
+}
+
+TEST(DistPoolTest, HybridProcessThreadGridBitIdentical)
+{
+    // The hybrid determinism contract: for a fixed ISA the values are
+    // bit-identical to in-process evaluation at EVERY point of the
+    // process x thread grid -- worker threading changes capacity and
+    // shard routing, never arithmetic.
+    const Graph graph = distGraph(8);
+    StatevectorCost reference = makeCost(graph, 1);
+    const auto points = randomPoints(48, reference.numParams(), 13);
+    const std::vector<double> want = reference.evaluateBatch(points);
+
+    const std::pair<int, int> grid[] = {{1, 4}, {2, 2}, {4, 1}};
+    for (const auto& [workers, threads] : grid) {
+        dist::DistOptions options;
+        options.numWorkers = workers;
+        options.threadsPerWorker = threads;
+        options.shardSize = 5;
+        dist::ProcessPool pool(options);
+        StatevectorCost cost = makeCost(graph, 1);
+        auto pts = points;
+        const std::vector<double> got =
+            pool.submit(cost, std::move(pts)).get();
+        expectBitIdentical(got, want);
+        EXPECT_EQ(cost.numQueries(), points.size())
+            << workers << "x" << threads;
+    }
+}
+
+TEST(DistPoolTest, PipelinedDispatchAndRemoteKernelStats)
+{
+    // Depth-2 pipelining: with many more shards than workers, later
+    // shards must be sent while earlier ones are still evaluating.
+    // The Result frames' kernel-counter deltas (including the
+    // worker-side prefix-cache traffic) aggregate into the batch's
+    // remoteKernel.
+    const Graph graph = distGraph(8);
+    StatevectorCost reference = makeCost(graph, 1);
+    const auto points = randomPoints(32, reference.numParams(), 17);
+    const std::vector<double> want = reference.evaluateBatch(points);
+
+    dist::DistOptions options;
+    options.numWorkers = 1;
+    options.threadsPerWorker = 2;
+    options.shardSize = 2;
+    dist::ProcessPool pool(options);
+    StatevectorCost cost = makeCost(graph, 1);
+    auto pts = points;
+    BatchHandle handle = pool.submit(cost, std::move(pts));
+    expectBitIdentical(handle.get(), want);
+
+    const BatchStats stats = handle.stats();
+    EXPECT_GT(stats.shardsPipelined, 0u);
+    EXPECT_EQ(stats.pointsRemote, points.size());
+    // Everything ran remotely, so the remote-only kernel aggregate
+    // matches the full one, and the workers' prefix caches saw
+    // traffic.
+    EXPECT_GT(stats.remoteKernel.cacheLookups, 0u);
+    EXPECT_EQ(stats.remoteKernel.cacheLookups, stats.kernel.cacheLookups);
+    EXPECT_EQ(stats.remoteKernel.cacheHits, stats.kernel.cacheHits);
+}
+
+TEST(DistEngineTest, MalformedDistThreadsEnvThrows)
+{
+    // OSCAR_DIST_THREADS follows the OSCAR_DIST_WORKERS convention:
+    // resolved eagerly at engine construction, failing loudly on a
+    // typo instead of silently running single-threaded workers.
+    const char* saved = std::getenv("OSCAR_DIST_THREADS");
+    const std::string restore = saved ? saved : "";
+    ::setenv("OSCAR_DIST_THREADS", "fast", 1);
+    {
+        EngineOptions plain;
+        plain.numThreads = 1;
+        plain.dist.numWorkers = -1;
+        EXPECT_THROW(ExecutionEngine engine{plain}, std::runtime_error);
+    }
+    ::setenv("OSCAR_DIST_THREADS", "300", 1); // above the 0..256 range
+    {
+        EngineOptions plain;
+        plain.numThreads = 1;
+        plain.dist.numWorkers = -1;
+        EXPECT_THROW(ExecutionEngine engine{plain}, std::runtime_error);
+    }
+    // An explicit per-engine thread count never consults the
+    // environment.
+    EngineOptions pinned;
+    pinned.numThreads = 1;
+    pinned.dist.numWorkers = -1;
+    pinned.dist.threadsPerWorker = 2;
+    EXPECT_NO_THROW(ExecutionEngine engine(pinned));
+    if (saved)
+        ::setenv("OSCAR_DIST_THREADS", restore.c_str(), 1);
+    else
+        ::unsetenv("OSCAR_DIST_THREADS");
 }
 
 TEST(DistEngineTest, OscarReconstructDistributedMatchesInProcess)

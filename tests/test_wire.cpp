@@ -272,12 +272,54 @@ TEST(WireTest, HelloRoundTrip)
     HelloMsg msg;
     msg.pid = 12345;
     msg.isa = kernels::KernelIsa::Avx2;
+    msg.threads = 16; // v3: advertised hybrid capacity
     WireWriter w;
     encodeHello(w, msg);
     const HelloMsg back = decodeHello(w.bytes());
     EXPECT_EQ(back.pid, 12345);
     EXPECT_EQ(back.wireVersion, kWireVersion);
     EXPECT_EQ(back.isa, kernels::KernelIsa::Avx2);
+    EXPECT_EQ(back.threads, 16);
+}
+
+TEST(WireTest, HelloWithoutCapacityDecodesAsSingleThreaded)
+{
+    // A v2-shaped Hello body ends after the ISA byte; it must decode
+    // as a pre-hybrid single-threaded worker, not fail.
+    WireWriter w;
+    w.i32(777);
+    w.u16(2);
+    w.u8(0); // scalar ISA
+    const HelloMsg back = decodeHello(w.bytes());
+    EXPECT_EQ(back.pid, 777);
+    EXPECT_EQ(back.wireVersion, 2);
+    EXPECT_EQ(back.threads, 1);
+}
+
+TEST(WireTest, HelloWithZeroCapacityIsRejected)
+{
+    // Capacity is resolved worker-side before the greeting; zero can
+    // only mean a corrupt or buggy peer, and the coordinator's
+    // proportional dispatch divides by it.
+    HelloMsg msg;
+    msg.pid = 1;
+    msg.threads = 0;
+    WireWriter w;
+    encodeHello(w, msg);
+    EXPECT_THROW(decodeHello(w.bytes()), WireError);
+}
+
+TEST(WireTest, PriorVersionFramesAreRejected)
+{
+    // Frame-level version negotiation is all-or-nothing: a v2 frame
+    // header (offset 4 holds the little-endian version) is torn down,
+    // not parsed leniently -- both ends come from the same build.
+    std::vector<std::uint8_t> bytes = encodeFrame(FrameType::Heartbeat, {});
+    bytes[4] = 2;
+    bytes[5] = 0;
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    EXPECT_THROW(decoder.next(), WireError);
 }
 
 // ------------------------------------------------------------ framing
