@@ -1,0 +1,56 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial, reflected), shared by the distributed
+ * wire framing (src/dist/wire.cpp) and the on-disk landscape archive
+ * (src/store/archive.cpp).
+ *
+ * One implementation on purpose: a frame CRC computed here and an
+ * archive stream CRC computed here are directly comparable, and the
+ * check vector ("123456789" -> 0xCBF43926, asserted in
+ * tests/test_wire.cpp) pins both users to the standard polynomial at
+ * once.
+ */
+
+#ifndef OSCAR_COMMON_CRC32_H
+#define OSCAR_COMMON_CRC32_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace oscar {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>&
+crc32Table()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace detail
+
+/** CRC-32 (IEEE 802.3 polynomial) of a byte span. */
+inline std::uint32_t
+crc32(std::span<const std::uint8_t> data)
+{
+    const auto& table = detail::crc32Table();
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::uint8_t b : data)
+        c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace oscar
+
+#endif // OSCAR_COMMON_CRC32_H

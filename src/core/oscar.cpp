@@ -1,6 +1,8 @@
 #include "src/core/oscar.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <stdexcept>
 
 #include "src/cs/reconstructor.h"
@@ -34,6 +36,26 @@ PipelineEngine::PipelineEngine(ExecutionEngine* caller,
 }
 
 namespace {
+
+/**
+ * Adapt OscarOptions::progress to a SubmitOptions::onComplete: count
+ * completed points (atomically -- streaming shards may complete
+ * concurrently) and report (completed, total). The shared counter
+ * outlives the submitting scope, so capture it by shared_ptr.
+ */
+SubmitOptions
+progressSubmitOptions(const OscarOptions& options, std::size_t total)
+{
+    SubmitOptions submit;
+    if (!options.progress)
+        return submit;
+    auto done = std::make_shared<std::atomic<std::size_t>>(0);
+    submit.onComplete = [progress = options.progress, done,
+                         total](std::size_t, double) {
+        progress(done->fetch_add(1) + 1, total);
+    };
+    return submit;
+}
 
 OscarResult
 finalize(const GridSpec& grid, SampleSet samples, const CsOptions& cs)
@@ -74,14 +96,20 @@ reconstructStreaming(const GridSpec& grid, CostFunction& cost,
     std::vector<BatchHandle> handles;
     std::vector<std::size_t> shard_lo;
     handles.reserve(shards);
+    // One progress adapter for all shards: the copies handed to each
+    // submission share the completed-point counter, so the reported
+    // count is monotonic over the whole sample batch.
+    const SubmitOptions submit = progressSubmitOptions(options, n);
     for (std::size_t s = 0; s < shards; ++s) {
         const std::size_t lo = s * n / shards;
         const std::size_t hi = (s + 1) * n / shards;
         shard_lo.push_back(lo);
         handles.push_back(eng.submitGenerated(
-            cost, hi - lo, [&grid, &indices, &perm, lo](std::size_t i) {
+            cost, hi - lo,
+            [&grid, &indices, &perm, lo](std::size_t i) {
                 return grid.pointAt(indices[perm[lo + i]]);
-            }));
+            },
+            submit));
     }
 
     SampleSet samples;
@@ -166,7 +194,9 @@ Oscar::reconstruct(const GridSpec& grid, CostFunction& cost,
     if (options.streaming.shards > 1)
         return reconstructStreaming(grid, cost, indices, options,
                                     eng.get());
-    SampleSet samples = gatherCost(grid, cost, indices, eng.get());
+    SampleSet samples =
+        gatherCost(grid, cost, indices, eng.get(),
+                   progressSubmitOptions(options, indices.size()));
     return finalize(grid, std::move(samples), options.cs);
 }
 

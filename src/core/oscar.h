@@ -21,6 +21,7 @@
 #define OSCAR_CORE_OSCAR_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -118,6 +119,17 @@ struct OscarOptions
      * its own engine (that engine's own dist options govern).
      */
     dist::DistOptions distributed;
+
+    /**
+     * Execution-phase progress callback: (points completed, total
+     * points to sample), invoked as sampled points finish. Purely
+     * observational -- it never affects values or scheduling. Calls
+     * are serialized within one submission batch but may interleave
+     * across streaming shards; the completed count is monotonic
+     * either way. Used by oscar-serve to stream Progress frames to
+     * waiting clients.
+     */
+    std::function<void(std::size_t completed, std::size_t total)> progress;
 
     /**
      * Sample-to-device policy of reconstructParallel. FractionSplit

@@ -1,52 +1,18 @@
 #include "src/dist/wire.h"
 
-#include <array>
 #include <bit>
 #include <cstring>
+
+#include "src/common/crc32.h"
+#include "src/common/fnv1a.h"
 
 namespace oscar {
 namespace dist {
 
-namespace {
-
-/** FNV-1a over a byte span (content address of cost specs). */
-std::uint64_t
-fnv1a(std::span<const std::uint8_t> data)
-{
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (std::uint8_t b : data) {
-        h ^= b;
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-const std::array<std::uint32_t, 256>&
-crcTable()
-{
-    static const std::array<std::uint32_t, 256> table = [] {
-        std::array<std::uint32_t, 256> t{};
-        for (std::uint32_t i = 0; i < 256; ++i) {
-            std::uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-            t[i] = c;
-        }
-        return t;
-    }();
-    return table;
-}
-
-} // namespace
-
 std::uint32_t
 crc32(std::span<const std::uint8_t> data)
 {
-    const auto& table = crcTable();
-    std::uint32_t c = 0xFFFFFFFFu;
-    for (std::uint8_t b : data)
-        c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
-    return c ^ 0xFFFFFFFFu;
+    return ::oscar::crc32(data);
 }
 
 // ------------------------------------------------------------ writer
@@ -202,7 +168,7 @@ FrameDecoder::next()
                         std::to_string(version));
     const std::uint16_t raw_type = header.u16();
     if (raw_type < static_cast<std::uint16_t>(FrameType::Hello) ||
-        raw_type > static_cast<std::uint16_t>(FrameType::Shutdown))
+        raw_type > static_cast<std::uint16_t>(FrameType::Progress))
         throw WireError("unknown frame type " + std::to_string(raw_type));
     const std::uint64_t len = header.u64();
     if (len > kMaxFramePayload)

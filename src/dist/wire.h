@@ -55,7 +55,10 @@ constexpr std::uint32_t kWireMagic = 0x4F534357u; // "OSCW"
 // v3: Hello advertises the worker's evaluation capacity (resolved
 // thread count) so the coordinator can size and route shards
 // proportionally to hybrid process x thread workers.
-constexpr std::uint16_t kWireVersion = 3;
+// v4: the serving frames (Request/Response/Progress, payload schemas
+// in src/serve/protocol.h) join the protocol, carried over the same
+// framing on the oscar-serve daemon's Unix socket.
+constexpr std::uint16_t kWireVersion = 4;
 
 /** Fixed frame header size (magic + version + type + payload length). */
 constexpr std::size_t kFrameHeaderSize = 16;
@@ -63,7 +66,7 @@ constexpr std::size_t kFrameHeaderSize = 16;
 /** Hard upper bound on one frame's payload (sanity, not a target). */
 constexpr std::size_t kMaxFramePayload = std::size_t{1} << 30;
 
-/** Message kinds of protocol version 1. */
+/** Message kinds of the protocol. */
 enum class FrameType : std::uint16_t
 {
     Hello = 1,     ///< worker -> pool: pid + wire version + kernel ISA
@@ -73,9 +76,17 @@ enum class FrameType : std::uint16_t
     Heartbeat = 5, ///< worker -> pool: liveness beacon
     TaskError = 6, ///< worker -> pool: shard evaluation failed
     Shutdown = 7,  ///< pool -> worker: drain and exit
+    // v4: client <-> oscar-serve daemon (src/serve/protocol.h).
+    Request = 8,   ///< client -> serve: reconstruction/query/stats
+    Response = 9,  ///< serve -> client: terminal answer to a Request
+    Progress = 10, ///< serve -> client: sampling progress of a Request
 };
 
-/** CRC-32 (IEEE 802.3 polynomial) of a byte span. */
+/**
+ * CRC-32 (IEEE 802.3 polynomial) of a byte span. The implementation
+ * lives in src/common/crc32.h, shared with the on-disk landscape
+ * archive; this alias keeps the historical wire-layer entry point.
+ */
 std::uint32_t crc32(std::span<const std::uint8_t> data);
 
 // ---------------------------------------------------------------------

@@ -97,9 +97,11 @@ evaluateGridIndices(const GridSpec& grid, CostFunction& cost,
 
 SampleSet
 gatherCost(const GridSpec& grid, CostFunction& cost,
-           const std::vector<std::size_t>& indices, ExecutionEngine* engine)
+           const std::vector<std::size_t>& indices, ExecutionEngine* engine,
+           SubmitOptions options)
 {
-    GridBatch batch = submitGridIndices(grid, cost, indices, engine);
+    GridBatch batch = submitGridIndices(grid, cost, indices, engine,
+                                        std::move(options));
     SampleSet set;
     set.indices = indices;
     set.values = batch.collect();

@@ -108,11 +108,14 @@ std::vector<double> evaluateGridIndices(
 /**
  * Evaluate a live cost function at specific grid indices as one batch
  * through the engine (evaluateGridIndices wrapped in a SampleSet,
- * execution stats included).
+ * execution stats included). `options` is forwarded to the submission
+ * (streaming onComplete callbacks fire per completed point, in
+ * submission order -- i.e. prefix-friendly order, not index order).
  */
 SampleSet gatherCost(const GridSpec& grid, CostFunction& cost,
                      const std::vector<std::size_t>& indices,
-                     ExecutionEngine* engine = nullptr);
+                     ExecutionEngine* engine = nullptr,
+                     SubmitOptions options = {});
 
 /** Sample a precomputed landscape (dataset replay). */
 SampleSet sampleLandscape(const Landscape& landscape, double fraction,

@@ -1,0 +1,309 @@
+#include "src/store/archive.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/crc32.h"
+#include "src/dist/wire.h"
+
+namespace oscar {
+namespace store {
+
+namespace {
+
+using dist::WireReader;
+using dist::WireWriter;
+
+/** Hard cap on one stream's raw size (sanity against crafted sizes). */
+constexpr std::uint64_t kMaxStreamBytes = std::uint64_t{1} << 32;
+
+/**
+ * Byte-plane split of an f64 (or any 8-byte-record) array: plane j
+ * holds byte j of every record. High exponent bytes of smooth
+ * landscape data barely change between neighbours, so the split turns
+ * them into long runs PackBits can collapse.
+ */
+std::vector<std::uint8_t>
+planeSplit(std::span<const std::uint8_t> raw)
+{
+    const std::size_t n = raw.size() / 8;
+    std::vector<std::uint8_t> out(raw.size());
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < 8; ++j)
+            out[j * n + i] = raw[i * 8 + j];
+    return out;
+}
+
+std::vector<std::uint8_t>
+planeJoin(std::span<const std::uint8_t> planes)
+{
+    const std::size_t n = planes.size() / 8;
+    std::vector<std::uint8_t> out(planes.size());
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < 8; ++j)
+            out[i * 8 + j] = planes[j * n + i];
+    return out;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+packBits(std::span<const std::uint8_t> raw)
+{
+    // Classic PackBits: control byte c in 0..127 announces c+1 literal
+    // bytes; c in 129..255 announces 257-c repeats of the next byte;
+    // 128 is unused. Repeat runs only pay off from length 3.
+    std::vector<std::uint8_t> out;
+    out.reserve(raw.size() / 2 + 16);
+    std::size_t i = 0;
+    while (i < raw.size()) {
+        // Measure the run starting at i.
+        std::size_t run = 1;
+        while (i + run < raw.size() && run < 128 &&
+               raw[i + run] == raw[i])
+            ++run;
+        if (run >= 3) {
+            out.push_back(static_cast<std::uint8_t>(257 - run));
+            out.push_back(raw[i]);
+            i += run;
+            continue;
+        }
+        // Literal run: until the next >=3 repeat or 128 bytes.
+        std::size_t lit = 0;
+        while (i + lit < raw.size() && lit < 128) {
+            const std::size_t at = i + lit;
+            if (at + 2 < raw.size() && raw[at] == raw[at + 1] &&
+                raw[at] == raw[at + 2])
+                break;
+            ++lit;
+        }
+        out.push_back(static_cast<std::uint8_t>(lit - 1));
+        out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(i),
+                   raw.begin() + static_cast<std::ptrdiff_t>(i + lit));
+        i += lit;
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+unpackBits(std::span<const std::uint8_t> packed, std::size_t raw_size)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(raw_size);
+    std::size_t i = 0;
+    while (i < packed.size()) {
+        const std::uint8_t c = packed[i++];
+        if (c < 128) {
+            const std::size_t lit = static_cast<std::size_t>(c) + 1;
+            if (i + lit > packed.size())
+                throw ArchiveError("packbits literal run truncated");
+            out.insert(out.end(),
+                       packed.begin() + static_cast<std::ptrdiff_t>(i),
+                       packed.begin() +
+                           static_cast<std::ptrdiff_t>(i + lit));
+            i += lit;
+        } else if (c > 128) {
+            if (i >= packed.size())
+                throw ArchiveError("packbits repeat run truncated");
+            out.insert(out.end(), 257 - static_cast<std::size_t>(c),
+                       packed[i++]);
+        } else {
+            throw ArchiveError("packbits control byte 128 is invalid");
+        }
+        if (out.size() > raw_size)
+            throw ArchiveError("packbits output exceeds declared size");
+    }
+    if (out.size() != raw_size)
+        throw ArchiveError("packbits output shorter than declared size");
+    return out;
+}
+
+const std::vector<std::uint8_t>*
+Archive::find(const std::string& name) const
+{
+    for (const ArchiveStream& s : streams)
+        if (s.name == name)
+            return &s.bytes;
+    return nullptr;
+}
+
+void
+ArchiveWriter::add(std::string name, std::vector<std::uint8_t> bytes)
+{
+    if (name.empty())
+        throw ArchiveError("stream name must be non-empty");
+    if (bytes.size() > kMaxStreamBytes)
+        throw ArchiveError("stream exceeds size limit");
+    for (const ArchiveStream& s : streams_)
+        if (s.name == name)
+            throw ArchiveError("duplicate stream name: " + name);
+    streams_.push_back({std::move(name), std::move(bytes)});
+}
+
+std::vector<std::uint8_t>
+ArchiveWriter::serialize() const
+{
+    std::vector<std::uint8_t> out;
+    {
+        WireWriter w;
+        w.u32(kArchiveMagic);
+        w.u16(kArchiveVersion);
+        w.u16(static_cast<std::uint16_t>(streams_.size()));
+        out = w.take();
+    }
+    for (const ArchiveStream& s : streams_) {
+        // Pick the smallest encoding; ties keep the simpler codec.
+        StreamCodec codec = StreamCodec::Raw;
+        std::vector<std::uint8_t> stored;
+        std::vector<std::uint8_t> packed = packBits(s.bytes);
+        if (packed.size() < s.bytes.size()) {
+            codec = StreamCodec::PackBits;
+            stored = std::move(packed);
+        }
+        if (!s.bytes.empty() && s.bytes.size() % 8 == 0) {
+            std::vector<std::uint8_t> planar =
+                packBits(planeSplit(s.bytes));
+            const std::size_t best = codec == StreamCodec::Raw
+                                         ? s.bytes.size()
+                                         : stored.size();
+            if (planar.size() < best) {
+                codec = StreamCodec::PlanePackBits;
+                stored = std::move(planar);
+            }
+        }
+        const std::span<const std::uint8_t> payload =
+            codec == StreamCodec::Raw ? std::span(s.bytes)
+                                      : std::span(stored);
+        WireWriter w;
+        w.str(s.name);
+        w.u8(static_cast<std::uint8_t>(codec));
+        w.u64(s.bytes.size());
+        w.u64(payload.size());
+        w.u32(::oscar::crc32(s.bytes));
+        const std::vector<std::uint8_t> head = w.take();
+        out.insert(out.end(), head.begin(), head.end());
+        out.insert(out.end(), payload.begin(), payload.end());
+    }
+    {
+        WireWriter w;
+        w.u32(kArchiveFooter);
+        const std::vector<std::uint8_t> tail = w.take();
+        out.insert(out.end(), tail.begin(), tail.end());
+    }
+    return out;
+}
+
+void
+ArchiveWriter::write(const std::string& path) const
+{
+    const std::vector<std::uint8_t> bytes = serialize();
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw ArchiveError("cannot create " + tmp + ": " +
+                           std::strerror(errno));
+    const bool wrote =
+        bytes.empty() ||
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    // Flush through to disk before publishing: rename() makes the
+    // container visible, and a visible container must be complete.
+    const bool flushed =
+        wrote && std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+    std::fclose(f);
+    if (!flushed) {
+        std::remove(tmp.c_str());
+        throw ArchiveError("cannot write " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw ArchiveError("cannot publish " + path + ": " +
+                           std::strerror(errno));
+    }
+}
+
+Archive
+decodeArchive(std::span<const std::uint8_t> bytes)
+{
+    try {
+        WireReader r(bytes);
+        if (r.u32() != kArchiveMagic)
+            throw ArchiveError("bad container magic");
+        const std::uint16_t version = r.u16();
+        if (version != kArchiveVersion)
+            throw ArchiveError("unsupported container version " +
+                               std::to_string(version));
+        const std::uint16_t count = r.u16();
+        Archive archive;
+        archive.streams.reserve(count);
+        for (std::uint16_t i = 0; i < count; ++i) {
+            ArchiveStream s;
+            s.name = r.str();
+            const std::uint8_t codec = r.u8();
+            if (codec > static_cast<std::uint8_t>(
+                            StreamCodec::PlanePackBits))
+                throw ArchiveError("unknown stream codec");
+            const std::uint64_t raw_size = r.u64();
+            const std::uint64_t stored_size = r.u64();
+            const std::uint32_t crc = r.u32();
+            if (raw_size > kMaxStreamBytes ||
+                stored_size > r.remaining())
+                throw ArchiveError("stream runs past container end");
+            std::vector<std::uint8_t> stored(stored_size);
+            for (std::uint64_t b = 0; b < stored_size; ++b)
+                stored[b] = r.u8();
+            switch (static_cast<StreamCodec>(codec)) {
+              case StreamCodec::Raw:
+                if (stored.size() != raw_size)
+                    throw ArchiveError("raw stream size mismatch");
+                s.bytes = std::move(stored);
+                break;
+              case StreamCodec::PackBits:
+                s.bytes = unpackBits(stored, raw_size);
+                break;
+              case StreamCodec::PlanePackBits:
+                if (raw_size % 8 != 0)
+                    throw ArchiveError(
+                        "plane-split stream size not a multiple of 8");
+                s.bytes = planeJoin(unpackBits(stored, raw_size));
+                break;
+            }
+            if (::oscar::crc32(s.bytes) != crc)
+                throw ArchiveError("stream CRC mismatch: " + s.name);
+            archive.streams.push_back(std::move(s));
+        }
+        if (r.u32() != kArchiveFooter)
+            throw ArchiveError("bad container footer");
+        r.expectEnd();
+        return archive;
+    } catch (const dist::WireError& e) {
+        // Bounds overruns inside the reader mean a truncated or
+        // mis-sized container; surface them as archive corruption.
+        throw ArchiveError(e.what());
+    }
+}
+
+Archive
+readArchive(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw ArchiveError("cannot open " + path + ": " +
+                           std::strerror(errno));
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error)
+        throw ArchiveError("cannot read " + path);
+    return decodeArchive(bytes);
+}
+
+} // namespace store
+} // namespace oscar

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Persistent, content-addressed landscape store.
+ *
+ * Every OSCAR reconstruction is a pure function of (cost spec, grid
+ * spec, sampling config) per fixed kernel ISA and fusion plan -- so a
+ * finished reconstruction can be memoized on disk and served again
+ * bit-identically, without touching the execution pool. The store
+ * keeps one archive container (src/store/archive.h) per key:
+ *
+ *   key = (CostSpec FNV-1a content hash      -- src/dist/wire.h,
+ *          canonical GridSpec FNV-1a hash,
+ *          sampling-config FNV-1a hash        -- fraction + seed)
+ *
+ * holding the sampled points, the reconstructed values, the kernel
+ * stats, and the grid spec as named streams. All doubles are stored as
+ * raw IEEE-754 bit patterns, so a warm hit returns exactly the bytes a
+ * fresh computation would produce.
+ *
+ * Robustness contract: a container that is truncated, bit-flipped,
+ * version-stale, or mid-write (temp file) NEVER crashes the caller or
+ * yields a wrong value -- load() reports a miss (corrupt containers
+ * are additionally unlinked so the rewrite is clean), and the caller
+ * recomputes and rewrites.
+ *
+ * The store is bounded by an LRU byte budget: load() touches the
+ * container's mtime, and gc() (run after every put) deletes
+ * least-recently-used containers until the directory fits the budget.
+ */
+
+#ifndef OSCAR_STORE_LANDSCAPE_STORE_H
+#define OSCAR_STORE_LANDSCAPE_STORE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/backend/executor.h"
+#include "src/dist/wire.h"
+#include "src/landscape/grid.h"
+
+namespace oscar {
+namespace store {
+
+/** Content address of one stored reconstruction. */
+struct StoreKey
+{
+    std::uint64_t costId = 0;   ///< CostSpec content hash (dist wire)
+    std::uint64_t gridHash = 0; ///< canonical GridSpec hash
+    std::uint64_t cfgHash = 0;  ///< sampling config (fraction, seed)
+};
+
+/** One memoized reconstruction (the container's stream contents). */
+struct StoredLandscape
+{
+    GridSpec grid;
+    std::vector<std::uint64_t> sampleIndices;
+    std::vector<double> sampleValues;
+    /** Reconstructed value at every grid point (row-major). */
+    std::vector<double> reconstructed;
+    KernelStats kernel;
+    double samplingFraction = 0.0;
+    std::uint64_t sampleSeed = 0;
+    std::uint64_t queriesUsed = 0;
+    double querySpeedup = 0.0;
+};
+
+/** Monotonic store counters (safe to poll anytime). */
+struct StoreStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;        ///< includes corruptMisses
+    std::uint64_t corruptMisses = 0; ///< load found a damaged container
+    std::uint64_t puts = 0;
+    std::uint64_t containersRemoved = 0; ///< by gc()
+};
+
+struct StoreOptions
+{
+    /** Container directory (created on demand). Must be non-empty. */
+    std::string dir;
+
+    /**
+     * LRU byte budget over all containers; gc() evicts
+     * least-recently-used containers beyond it.
+     */
+    std::size_t budgetBytes = std::size_t{1024} << 20;
+};
+
+/** Content-addressed on-disk archive of finished reconstructions. */
+class LandscapeStore
+{
+  public:
+    /**
+     * Opens (and creates, if needed) the store directory.
+     * @throws std::runtime_error when the directory cannot be created
+     */
+    explicit LandscapeStore(StoreOptions options);
+
+    const std::string& dir() const { return options_.dir; }
+    std::size_t budgetBytes() const { return options_.budgetBytes; }
+
+    /**
+     * Load the entry for `key`, or nullopt on a miss -- where "miss"
+     * includes every form of container damage (see file comment). A
+     * hit bumps the container's LRU recency.
+     */
+    std::optional<StoredLandscape> load(const StoreKey& key);
+
+    /**
+     * Publish an entry atomically (write-then-rename), then enforce
+     * the byte budget via gc().
+     * @throws ArchiveError when the container cannot be written
+     */
+    void put(const StoreKey& key, const StoredLandscape& entry);
+
+    /**
+     * Delete least-recently-used containers until the store fits the
+     * byte budget; returns the number removed. Runs automatically
+     * after every put(); public for explicit maintenance.
+     */
+    std::size_t gc();
+
+    /** Bytes currently used by containers (directory scan). */
+    std::size_t totalBytes() const;
+
+    StoreStats stats() const;
+
+    /** Container path of a key (for tests and tooling). */
+    std::string containerPath(const StoreKey& key) const;
+
+  private:
+    std::size_t gcLocked();
+
+    mutable std::mutex mutex_; ///< serializes directory access + stats
+
+    StoreOptions options_;
+    StoreStats stats_;
+};
+
+/** Canonical FNV-1a hash of a grid spec (axis bounds bits + counts). */
+std::uint64_t gridHash(const GridSpec& grid);
+
+/** FNV-1a hash of the sampling config (StoreKey::cfgHash). */
+std::uint64_t configHash(double sampling_fraction, std::uint64_t seed);
+
+/** Canonical GridSpec encoding (shared with the serve protocol). */
+void encodeGridSpec(dist::WireWriter& w, const GridSpec& grid);
+
+/**
+ * Inverse of encodeGridSpec.
+ * @throws dist::WireError on out-of-range axes
+ */
+GridSpec decodeGridSpec(dist::WireReader& r);
+
+/**
+ * Resolve a store directory: a non-empty `configured` wins, else the
+ * OSCAR_STORE_DIR environment variable, else "" (store disabled). An
+ * OSCAR_STORE_DIR that is set but empty throws std::runtime_error
+ * listing the valid form -- like OSCAR_DIST_THREADS, a malformed
+ * setting must fail loudly, never silently disable persistence.
+ */
+std::string resolveStoreDir(const std::string& configured);
+
+/**
+ * Resolve the LRU budget in bytes: `configured_mb` >= 1 wins; -1
+ * consults OSCAR_STORE_BUDGET_MB (unset = 1024 MB). Malformed or
+ * out-of-range values (valid: 1..1048576 MB) throw
+ * std::runtime_error listing the valid form.
+ */
+std::size_t resolveStoreBudgetBytes(long long configured_mb);
+
+} // namespace store
+} // namespace oscar
+
+#endif // OSCAR_STORE_LANDSCAPE_STORE_H

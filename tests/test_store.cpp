@@ -1,0 +1,585 @@
+/**
+ * @file
+ * Persistent landscape store tests:
+ *
+ *  - PackBits codec round trips (empty, runs, literals, run-length
+ *    boundaries) and rejection of every malformed encoding;
+ *  - archive containers: multi-stream round trips in memory and on
+ *    disk, smallest-codec selection, atomic publication;
+ *  - the robustness contract: a container that is truncated at ANY
+ *    length, bit-flipped at ANY byte, version-stale, or half-written
+ *    loads as a clean miss -- never a crash, never a wrong value;
+ *  - LandscapeStore put/load bit-identity (doubles compared as
+ *    IEEE-754 bit patterns, including NaN and -0.0), key validation
+ *    of a renamed container, LRU eviction under the byte budget, and
+ *    the stats counters;
+ *  - strict OSCAR_STORE_DIR / OSCAR_STORE_BUDGET_MB parsing in the
+ *    resolveThreadsPerWorker style: malformed settings throw and list
+ *    the valid form instead of silently disabling persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/store/archive.h"
+#include "src/store/landscape_store.h"
+
+namespace oscar {
+namespace store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A unique scratch directory, removed on scope exit. */
+struct TempDir
+{
+    TempDir()
+    {
+        char tmpl[] = "/tmp/oscar-test-store-XXXXXX";
+        if (!::mkdtemp(tmpl))
+            throw std::runtime_error("mkdtemp failed");
+        path = tmpl;
+    }
+
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+
+    std::string path;
+};
+
+/** Set (or clear, value == nullptr) an env var, restoring on exit. */
+struct ScopedEnv
+{
+    ScopedEnv(const char* name_in, const char* value) : name(name_in)
+    {
+        const char* old = ::getenv(name);
+        hadOld = old != nullptr;
+        if (hadOld)
+            oldValue = old;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadOld)
+            ::setenv(name, oldValue.c_str(), 1);
+        else
+            ::unsetenv(name);
+    }
+
+    const char* name;
+    bool hadOld = false;
+    std::string oldValue;
+};
+
+std::vector<std::uint8_t>
+randomBytes(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> bytes(n);
+    for (std::uint8_t& b : bytes)
+        b = static_cast<std::uint8_t>(rng.uniformInt(256));
+    return bytes;
+}
+
+void
+writeFile(const std::string& path, const std::vector<std::uint8_t>& bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>());
+}
+
+void
+expectBitIdentical(const std::vector<double>& got,
+                   const std::vector<double>& want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(got[i]),
+                  std::bit_cast<std::uint64_t>(want[i]))
+            << "value " << i;
+}
+
+/** A small but fully-populated entry (container ~1 KB). */
+StoredLandscape
+sampleEntry(std::uint64_t seed = 11)
+{
+    Rng rng(seed);
+    StoredLandscape entry;
+    entry.grid = GridSpec({{-0.785, 0.785, 4}, {-1.571, 1.571, 6}});
+    for (std::size_t i = 0; i < 5; ++i) {
+        entry.sampleIndices.push_back(rng.uniformInt(24));
+        entry.sampleValues.push_back(rng.uniform(-4.0, 4.0));
+    }
+    entry.reconstructed.resize(entry.grid.numPoints());
+    for (double& v : entry.reconstructed)
+        v = rng.uniform(-4.0, 4.0);
+    // The bit-identity contract covers the values doubles don't
+    // round-trip through operator==: NaN and negative zero.
+    entry.reconstructed[0] = std::bit_cast<double>(
+        std::uint64_t{0x7FF8DEADBEEF0001ull}); // a payload-carrying NaN
+    entry.reconstructed[1] = -0.0;
+    entry.kernel.cacheHits = 3;
+    entry.kernel.cacheLookups = 5;
+    entry.samplingFraction = 0.2;
+    entry.sampleSeed = seed;
+    entry.queriesUsed = 5;
+    entry.querySpeedup = 4.8;
+    return entry;
+}
+
+StoreKey
+keyFor(const StoredLandscape& entry, std::uint64_t cost_id = 0x1234)
+{
+    StoreKey key;
+    key.costId = cost_id;
+    key.gridHash = gridHash(entry.grid);
+    key.cfgHash = configHash(entry.samplingFraction, entry.sampleSeed);
+    return key;
+}
+
+void
+expectEntriesEqual(const StoredLandscape& got, const StoredLandscape& want)
+{
+    ASSERT_EQ(got.grid.rank(), want.grid.rank());
+    for (std::size_t d = 0; d < got.grid.rank(); ++d) {
+        EXPECT_EQ(got.grid.axis(d).lo, want.grid.axis(d).lo);
+        EXPECT_EQ(got.grid.axis(d).hi, want.grid.axis(d).hi);
+        EXPECT_EQ(got.grid.axis(d).count, want.grid.axis(d).count);
+    }
+    EXPECT_EQ(got.sampleIndices, want.sampleIndices);
+    expectBitIdentical(got.sampleValues, want.sampleValues);
+    expectBitIdentical(got.reconstructed, want.reconstructed);
+    EXPECT_EQ(got.kernel.cacheHits, want.kernel.cacheHits);
+    EXPECT_EQ(got.kernel.cacheLookups, want.kernel.cacheLookups);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got.samplingFraction),
+              std::bit_cast<std::uint64_t>(want.samplingFraction));
+    EXPECT_EQ(got.sampleSeed, want.sampleSeed);
+    EXPECT_EQ(got.queriesUsed, want.queriesUsed);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got.querySpeedup),
+              std::bit_cast<std::uint64_t>(want.querySpeedup));
+}
+
+// ---------------------------------------------------------------------
+// PackBits codec
+// ---------------------------------------------------------------------
+
+TEST(PackBitsTest, RoundTripsRepresentativeInputs)
+{
+    const std::vector<std::vector<std::uint8_t>> cases = {
+        {},                                    // empty
+        {42},                                  // single byte
+        {1, 2, 3, 4, 5},                       // all literals
+        std::vector<std::uint8_t>(3, 7),       // minimal run
+        std::vector<std::uint8_t>(128, 9),     // one max-length run
+        std::vector<std::uint8_t>(129, 9),     // run + remainder
+        std::vector<std::uint8_t>(1000, 0),    // long run
+        randomBytes(1000, 3),                  // incompressible
+    };
+    for (const auto& raw : cases) {
+        const std::vector<std::uint8_t> packed = packBits(raw);
+        EXPECT_EQ(unpackBits(packed, raw.size()), raw)
+            << "input size " << raw.size();
+    }
+}
+
+TEST(PackBitsTest, CompressesRuns)
+{
+    const std::vector<std::uint8_t> raw(4096, 0xAB);
+    const std::vector<std::uint8_t> packed = packBits(raw);
+    EXPECT_LT(packed.size(), raw.size() / 16);
+}
+
+TEST(PackBitsTest, RejectsMalformedEncodings)
+{
+    // The reserved control byte 128 is never produced and never
+    // accepted.
+    EXPECT_THROW(unpackBits(std::vector<std::uint8_t>{128, 1}, 1),
+                 ArchiveError);
+    // Literal control promising more bytes than follow.
+    EXPECT_THROW(unpackBits(std::vector<std::uint8_t>{4, 1, 2}, 5),
+                 ArchiveError);
+    // Repeat control with no value byte.
+    EXPECT_THROW(unpackBits(std::vector<std::uint8_t>{255}, 2),
+                 ArchiveError);
+    // Decoded size must match exactly -- short and long.
+    const std::vector<std::uint8_t> packed =
+        packBits(std::vector<std::uint8_t>(10, 5));
+    EXPECT_THROW(unpackBits(packed, 9), ArchiveError);
+    EXPECT_THROW(unpackBits(packed, 11), ArchiveError);
+}
+
+// ---------------------------------------------------------------------
+// Archive container
+// ---------------------------------------------------------------------
+
+TEST(ArchiveTest, MultiStreamRoundTrip)
+{
+    ArchiveWriter writer;
+    const std::vector<std::uint8_t> a = randomBytes(300, 1);
+    const std::vector<std::uint8_t> b(2000, 0); // compressible
+    const std::vector<std::uint8_t> empty;
+    writer.add("alpha", a);
+    writer.add("beta", b);
+    writer.add("empty", empty);
+
+    const std::vector<std::uint8_t> bytes = writer.serialize();
+    const Archive archive = decodeArchive(bytes);
+    ASSERT_EQ(archive.streams.size(), 3u);
+    EXPECT_EQ(archive.streams[0].name, "alpha");
+    ASSERT_NE(archive.find("alpha"), nullptr);
+    EXPECT_EQ(*archive.find("alpha"), a);
+    ASSERT_NE(archive.find("beta"), nullptr);
+    EXPECT_EQ(*archive.find("beta"), b);
+    ASSERT_NE(archive.find("empty"), nullptr);
+    EXPECT_TRUE(archive.find("empty")->empty());
+    EXPECT_EQ(archive.find("missing"), nullptr);
+
+    // The compressible stream must actually have been compressed: the
+    // whole container is far smaller than its raw payload.
+    EXPECT_LT(bytes.size(), a.size() + b.size());
+}
+
+TEST(ArchiveTest, FileRoundTripIsAtomic)
+{
+    TempDir dir;
+    const std::string path = dir.path + "/container.oscar";
+
+    ArchiveWriter writer;
+    writer.add("data", randomBytes(100, 2));
+    writer.write(path);
+
+    // The temp file was renamed away; only the container remains.
+    std::size_t entries = 0;
+    for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir.path))
+        entries++;
+    EXPECT_EQ(entries, 1u);
+
+    const Archive archive = readArchive(path);
+    ASSERT_EQ(archive.streams.size(), 1u);
+    EXPECT_EQ(archive.streams[0].bytes, randomBytes(100, 2));
+}
+
+TEST(ArchiveTest, EveryTruncationIsRejected)
+{
+    ArchiveWriter writer;
+    writer.add("data", randomBytes(64, 4));
+    const std::vector<std::uint8_t> bytes = writer.serialize();
+
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_THROW(decodeArchive({bytes.data(), len}), ArchiveError)
+            << "prefix " << len;
+    }
+    // Trailing garbage after the footer is also a defect.
+    std::vector<std::uint8_t> extra = bytes;
+    extra.push_back(0);
+    EXPECT_THROW(decodeArchive(extra), ArchiveError);
+}
+
+TEST(ArchiveTest, StaleVersionIsRejected)
+{
+    ArchiveWriter writer;
+    writer.add("data", randomBytes(16, 6));
+    std::vector<std::uint8_t> bytes = writer.serialize();
+    bytes[4] = kArchiveVersion + 1; // version u16 LE at offset 4
+    EXPECT_THROW(decodeArchive(bytes), ArchiveError);
+    bytes[4] = 0;
+    EXPECT_THROW(decodeArchive(bytes), ArchiveError);
+}
+
+TEST(ArchiveTest, MissingFileIsRejected)
+{
+    TempDir dir;
+    EXPECT_THROW(readArchive(dir.path + "/absent.oscar"), ArchiveError);
+}
+
+// ---------------------------------------------------------------------
+// LandscapeStore
+// ---------------------------------------------------------------------
+
+TEST(LandscapeStoreTest, PutThenLoadIsBitIdentical)
+{
+    TempDir dir;
+    LandscapeStore store({dir.path + "/store", std::size_t{64} << 20});
+    const StoredLandscape entry = sampleEntry();
+    const StoreKey key = keyFor(entry);
+
+    EXPECT_FALSE(store.load(key).has_value()); // cold miss
+    store.put(key, entry);
+    EXPECT_TRUE(fs::exists(store.containerPath(key)));
+
+    const std::optional<StoredLandscape> loaded = store.load(key);
+    ASSERT_TRUE(loaded.has_value());
+    expectEntriesEqual(*loaded, entry);
+
+    const StoreStats stats = store.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.corruptMisses, 0u);
+    EXPECT_EQ(stats.puts, 1u);
+    EXPECT_GT(store.totalBytes(), 0u);
+}
+
+TEST(LandscapeStoreTest, DistinctKeysAreIndependent)
+{
+    TempDir dir;
+    LandscapeStore store({dir.path + "/store", std::size_t{64} << 20});
+    const StoredLandscape entry = sampleEntry();
+
+    // Same bits, three distinct addresses: cost, grid, and sampling
+    // config each contribute to the key.
+    const StoreKey a = keyFor(entry, 1);
+    const StoreKey b = keyFor(entry, 2);
+    StoreKey c = keyFor(entry, 1);
+    c.cfgHash = configHash(entry.samplingFraction, entry.sampleSeed + 1);
+
+    store.put(a, entry);
+    EXPECT_TRUE(store.load(a).has_value());
+    EXPECT_FALSE(store.load(b).has_value());
+    EXPECT_FALSE(store.load(c).has_value());
+}
+
+TEST(LandscapeStoreTest, EveryBitFlipLoadsAsCleanMiss)
+{
+    TempDir dir;
+    LandscapeStore store({dir.path + "/store", std::size_t{64} << 20});
+    const StoredLandscape entry = sampleEntry();
+    const StoreKey key = keyFor(entry);
+    store.put(key, entry);
+    const std::string path = store.containerPath(key);
+    const std::vector<std::uint8_t> good = readFile(path);
+    ASSERT_FALSE(good.empty());
+
+    for (std::size_t i = 0; i < good.size(); ++i) {
+        std::vector<std::uint8_t> bad = good;
+        bad[i] ^= static_cast<std::uint8_t>(1u << (i % 8));
+        writeFile(path, bad);
+        std::optional<StoredLandscape> loaded;
+        ASSERT_NO_THROW(loaded = store.load(key)) << "byte " << i;
+        EXPECT_FALSE(loaded.has_value()) << "byte " << i;
+        // The corrupt container was unlinked so the rewrite is clean.
+        EXPECT_FALSE(fs::exists(path)) << "byte " << i;
+    }
+    EXPECT_EQ(store.stats().corruptMisses, good.size());
+
+    // After all that damage, the store still works.
+    store.put(key, entry);
+    ASSERT_TRUE(store.load(key).has_value());
+}
+
+TEST(LandscapeStoreTest, EveryTruncationLoadsAsCleanMiss)
+{
+    TempDir dir;
+    LandscapeStore store({dir.path + "/store", std::size_t{64} << 20});
+    const StoredLandscape entry = sampleEntry();
+    const StoreKey key = keyFor(entry);
+    store.put(key, entry);
+    const std::string path = store.containerPath(key);
+    const std::vector<std::uint8_t> good = readFile(path);
+
+    for (std::size_t len = 0; len < good.size(); ++len) {
+        writeFile(path, {good.begin(), good.begin() +
+                                           static_cast<long>(len)});
+        std::optional<StoredLandscape> loaded;
+        ASSERT_NO_THROW(loaded = store.load(key)) << "prefix " << len;
+        EXPECT_FALSE(loaded.has_value()) << "prefix " << len;
+    }
+}
+
+TEST(LandscapeStoreTest, HalfWrittenTempFileIsIgnored)
+{
+    TempDir dir;
+    LandscapeStore store({dir.path + "/store", std::size_t{64} << 20});
+    const StoredLandscape entry = sampleEntry();
+    const StoreKey key = keyFor(entry);
+
+    // A crash mid-write leaves `<container>.tmp.<pid>` behind; the
+    // final path never existed, so the key is a plain miss and the
+    // stray temp file must not disturb put/load/gc.
+    ArchiveWriter writer;
+    writer.add("partial", randomBytes(50, 8));
+    std::vector<std::uint8_t> half = writer.serialize();
+    half.resize(half.size() / 2);
+    writeFile(store.containerPath(key) + ".tmp.9999", half);
+
+    EXPECT_FALSE(store.load(key).has_value());
+    store.put(key, entry);
+    ASSERT_TRUE(store.load(key).has_value());
+    EXPECT_EQ(store.gc(), 0u);
+}
+
+TEST(LandscapeStoreTest, RenamedContainerFailsKeyValidation)
+{
+    TempDir dir;
+    LandscapeStore store({dir.path + "/store", std::size_t{64} << 20});
+    const StoredLandscape entry = sampleEntry();
+    const StoreKey key = keyFor(entry);
+    store.put(key, entry);
+
+    // Move the (internally consistent) container to a key addressing a
+    // different sampling config: the content no longer matches the
+    // address, so serving it would violate the determinism contract.
+    StoreKey wrong = key;
+    wrong.cfgHash = configHash(entry.samplingFraction, entry.sampleSeed + 1);
+    fs::rename(store.containerPath(key), store.containerPath(wrong));
+
+    EXPECT_FALSE(store.load(wrong).has_value());
+    EXPECT_EQ(store.stats().corruptMisses, 1u);
+    EXPECT_FALSE(fs::exists(store.containerPath(wrong)));
+}
+
+TEST(LandscapeStoreTest, GcEvictsLeastRecentlyUsed)
+{
+    TempDir dir;
+
+    // Measure one container's size with an unbounded store first.
+    std::size_t container_bytes = 0;
+    {
+        LandscapeStore probe(
+            {dir.path + "/probe", std::size_t{64} << 20});
+        const StoredLandscape entry = sampleEntry(1);
+        probe.put(keyFor(entry, 1), entry);
+        container_bytes = probe.totalBytes();
+    }
+    ASSERT_GT(container_bytes, 0u);
+
+    // Budget for two containers (plus slack), then store three.
+    LandscapeStore store(
+        {dir.path + "/store", 2 * container_bytes + container_bytes / 2});
+    const StoredLandscape a = sampleEntry(1);
+    const StoredLandscape b = sampleEntry(2);
+    const StoredLandscape c = sampleEntry(3);
+    store.put(keyFor(a, 1), a);
+    store.put(keyFor(b, 2), b);
+    // Spread LRU recency out explicitly: mtime ties would make the
+    // eviction order depend on filesystem timestamp granularity.
+    using namespace std::chrono_literals;
+    fs::last_write_time(store.containerPath(keyFor(a, 1)),
+                        fs::file_time_type::clock::now() - 2h);
+    fs::last_write_time(store.containerPath(keyFor(b, 2)),
+                        fs::file_time_type::clock::now() - 1h);
+    store.put(keyFor(c, 3), c); // runs gc() past the budget
+
+    EXPECT_FALSE(fs::exists(store.containerPath(keyFor(a, 1))));
+    EXPECT_TRUE(fs::exists(store.containerPath(keyFor(b, 2))));
+    EXPECT_TRUE(fs::exists(store.containerPath(keyFor(c, 3))));
+    EXPECT_EQ(store.stats().containersRemoved, 1u);
+    EXPECT_LE(store.totalBytes(), store.budgetBytes());
+
+    // A hit refreshes recency: touch b, add d, and now c (stale) goes.
+    fs::last_write_time(store.containerPath(keyFor(c, 3)),
+                        fs::file_time_type::clock::now() - 1h);
+    ASSERT_TRUE(store.load(keyFor(b, 2)).has_value());
+    const StoredLandscape d = sampleEntry(4);
+    store.put(keyFor(d, 4), d);
+    EXPECT_TRUE(fs::exists(store.containerPath(keyFor(b, 2))));
+    EXPECT_FALSE(fs::exists(store.containerPath(keyFor(c, 3))));
+}
+
+// ---------------------------------------------------------------------
+// Grid canonicalization
+// ---------------------------------------------------------------------
+
+TEST(LandscapeStoreTest, GridSpecRoundTripsAndHashesCanonically)
+{
+    const GridSpec grid({{-0.785, 0.785, 50}, {-1.571, 1.571, 100}});
+    dist::WireWriter w;
+    encodeGridSpec(w, grid);
+    std::vector<std::uint8_t> bytes = w.take();
+    dist::WireReader r(bytes);
+    const GridSpec decoded = decodeGridSpec(r);
+    ASSERT_EQ(decoded.rank(), grid.rank());
+    EXPECT_EQ(decoded.numPoints(), grid.numPoints());
+    EXPECT_EQ(gridHash(decoded), gridHash(grid));
+
+    // Any axis change moves the hash.
+    EXPECT_NE(gridHash(grid),
+              gridHash(GridSpec({{-0.785, 0.785, 50},
+                                 {-1.571, 1.571, 101}})));
+    EXPECT_NE(gridHash(grid),
+              gridHash(GridSpec({{-0.786, 0.785, 50},
+                                 {-1.571, 1.571, 100}})));
+
+    // Sampling config: fraction and seed both address.
+    EXPECT_NE(configHash(0.1, 42), configHash(0.1, 43));
+    EXPECT_NE(configHash(0.1, 42), configHash(0.2, 42));
+
+    // A rank-0 grid encoding is rejected.
+    dist::WireWriter bad;
+    bad.u32(0);
+    std::vector<std::uint8_t> bad_bytes = bad.take();
+    dist::WireReader bad_reader(bad_bytes);
+    EXPECT_THROW(decodeGridSpec(bad_reader), dist::WireError);
+}
+
+// ---------------------------------------------------------------------
+// Environment resolvers
+// ---------------------------------------------------------------------
+
+TEST(LandscapeStoreTest, ResolveStoreDir)
+{
+    {
+        ScopedEnv env("OSCAR_STORE_DIR", nullptr);
+        EXPECT_EQ(resolveStoreDir(""), "");          // store disabled
+        EXPECT_EQ(resolveStoreDir("/a/b"), "/a/b");  // explicit config
+    }
+    {
+        ScopedEnv env("OSCAR_STORE_DIR", "/from/env");
+        EXPECT_EQ(resolveStoreDir(""), "/from/env");
+        EXPECT_EQ(resolveStoreDir("/explicit"), "/explicit"); // wins
+    }
+    {
+        // Set-but-empty is malformed, not "disabled": fail loudly.
+        ScopedEnv env("OSCAR_STORE_DIR", "");
+        EXPECT_THROW(resolveStoreDir(""), std::runtime_error);
+    }
+}
+
+TEST(LandscapeStoreTest, ResolveStoreBudgetBytes)
+{
+    {
+        ScopedEnv env("OSCAR_STORE_BUDGET_MB", nullptr);
+        EXPECT_EQ(resolveStoreBudgetBytes(-1), std::size_t{1024} << 20);
+        EXPECT_EQ(resolveStoreBudgetBytes(7), std::size_t{7} << 20);
+    }
+    {
+        ScopedEnv env("OSCAR_STORE_BUDGET_MB", "256");
+        EXPECT_EQ(resolveStoreBudgetBytes(-1), std::size_t{256} << 20);
+        EXPECT_EQ(resolveStoreBudgetBytes(2), std::size_t{2} << 20);
+    }
+    for (const char* bad : {"", "abc", "12abc", "0", "-3", "1048577"}) {
+        ScopedEnv env("OSCAR_STORE_BUDGET_MB", bad);
+        EXPECT_THROW(resolveStoreBudgetBytes(-1), std::runtime_error)
+            << "OSCAR_STORE_BUDGET_MB=" << bad;
+    }
+}
+
+} // namespace
+} // namespace store
+} // namespace oscar

@@ -18,6 +18,7 @@
 
 #include <cstring>
 
+#include "src/common/crc32.h"
 #include "src/common/rng.h"
 #include "src/dist/wire.h"
 
@@ -474,6 +475,37 @@ TEST(WireTest, Crc32KnownVector)
     const char* s = "123456789";
     EXPECT_EQ(crc32({reinterpret_cast<const std::uint8_t*>(s), 9}),
               0xCBF43926u);
+    // The wire-layer entry point and the shared implementation the
+    // landscape archive uses (src/common/crc32.h) are the same code.
+    EXPECT_EQ(oscar::crc32({reinterpret_cast<const std::uint8_t*>(s), 9}),
+              crc32({reinterpret_cast<const std::uint8_t*>(s), 9}));
+}
+
+TEST(WireTest, ServeFrameTypesRoundTrip)
+{
+    // v4 extends the frame-type range with the serving protocol's
+    // Request / Response / Progress; the decoder accepts all three.
+    const std::vector<std::uint8_t> payload = {1, 2, 3, 4};
+    for (const FrameType type :
+         {FrameType::Request, FrameType::Response, FrameType::Progress}) {
+        const std::vector<std::uint8_t> bytes =
+            encodeFrame(type, payload);
+        FrameDecoder decoder;
+        decoder.feed(bytes.data(), bytes.size());
+        const std::optional<Frame> frame = decoder.next();
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_EQ(frame->type, type);
+        EXPECT_EQ(frame->payload, payload);
+    }
+
+    // The type one past Progress is still unknown.
+    std::vector<std::uint8_t> bad =
+        encodeFrame(FrameType::Progress, payload);
+    bad[6] = static_cast<std::uint8_t>(
+        static_cast<std::uint16_t>(FrameType::Progress) + 1);
+    FrameDecoder decoder;
+    decoder.feed(bad.data(), bad.size());
+    EXPECT_THROW(decoder.next(), WireError);
 }
 
 } // namespace

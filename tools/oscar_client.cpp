@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The oscar-client executable: command-line client for oscar-serve.
+ *
+ *   oscar-client submit [workload flags] [--progress]   reconstruct
+ *                                                       (store, dedupe,
+ *                                                       or compute)
+ *   oscar-client fetch  [workload flags]                store only;
+ *                                                       miss never
+ *                                                       computes
+ *   oscar-client query  [workload flags]                hit/miss probe
+ *   oscar-client stats                                  daemon counters
+ *
+ * Workload flags (shared with the daemon-side determinism contract):
+ *   --qubits N (default 8)   --depth 1|2 (default 1)
+ *   --graph-seed S (default 3)
+ *   --fraction F (default 0.1)   --seed S (default 42)
+ * Common: --socket PATH (default OSCAR_SERVE_SOCKET or
+ * /tmp/oscar-serve.sock).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "src/serve/client.h"
+#include "tools/serve_common.h"
+
+namespace {
+
+using namespace oscar;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: oscar-client submit|fetch|query|stats\n"
+                 "  [--socket PATH] [--qubits N] [--depth 1|2]\n"
+                 "  [--graph-seed S] [--fraction F] [--seed S] "
+                 "[--progress]\n");
+    return 64;
+}
+
+void
+printLandscape(const serve::ResponseMsg& response)
+{
+    const store::StoredLandscape& entry = response.landscape;
+    std::size_t argmin = 0;
+    for (std::size_t i = 1; i < entry.reconstructed.size(); ++i) {
+        if (entry.reconstructed[i] < entry.reconstructed[argmin])
+            argmin = i;
+    }
+    std::printf("served from: %s\n",
+                response.servedFrom == serve::ServedFrom::Store
+                    ? "store"
+                    : "computed");
+    std::printf("grid points: %zu, samples: %zu (fraction %.4f, "
+                "seed %llu)\n",
+                entry.reconstructed.size(), entry.sampleValues.size(),
+                entry.samplingFraction,
+                static_cast<unsigned long long>(entry.sampleSeed));
+    std::printf("queries used: %llu, query speedup: %.2fx\n",
+                static_cast<unsigned long long>(entry.queriesUsed),
+                entry.querySpeedup);
+    const std::vector<double> params = entry.grid.pointAt(argmin);
+    std::printf("minimum %.12g at index %zu (",
+                entry.reconstructed[argmin], argmin);
+    for (std::size_t d = 0; d < params.size(); ++d)
+        std::printf("%s%.6g", d ? ", " : "", params[d]);
+    std::printf(")\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    try {
+        tools::ServeWorkload workload;
+        std::string socket_arg;
+        double fraction = 0.1;
+        std::uint64_t seed = 42;
+        bool progress = false;
+        for (int i = 2; i < argc; ++i) {
+            const char* val = nullptr;
+            if (tools::flagValue(argc, argv, i, "--socket", val))
+                socket_arg = val;
+            else if (tools::flagValue(argc, argv, i, "--qubits", val))
+                workload.qubits = static_cast<int>(
+                    tools::parseInt("--qubits", val, 4, 24));
+            else if (tools::flagValue(argc, argv, i, "--depth", val))
+                workload.depth = static_cast<int>(
+                    tools::parseInt("--depth", val, 1, 2));
+            else if (tools::flagValue(argc, argv, i, "--graph-seed", val))
+                workload.graphSeed = static_cast<std::uint64_t>(
+                    tools::parseInt("--graph-seed", val, 0, 1LL << 62));
+            else if (tools::flagValue(argc, argv, i, "--fraction", val))
+                fraction = tools::parseFraction("--fraction", val);
+            else if (tools::flagValue(argc, argv, i, "--seed", val))
+                seed = static_cast<std::uint64_t>(
+                    tools::parseInt("--seed", val, 0, 1LL << 62));
+            else if (std::strcmp(argv[i], "--progress") == 0)
+                progress = true;
+            else
+                return usage();
+        }
+        serve::ServeClient client(
+            serve::resolveSocketPath(socket_arg));
+
+        if (command == "stats") {
+            serve::RequestMsg msg;
+            msg.kind = serve::RequestKind::Stats;
+            const serve::ResponseMsg response = client.call(msg);
+            const serve::ServeCounters& c = response.counters;
+            std::printf("requests:      %llu\n"
+                        "responses:     %llu\n"
+                        "evaluations:   %llu\n"
+                        "store hits:    %llu\n"
+                        "dedup waiters: %llu\n"
+                        "errors:        %llu\n"
+                        "store: hits=%llu misses=%llu corrupt=%llu "
+                        "puts=%llu removed=%llu\n",
+                        static_cast<unsigned long long>(c.requests),
+                        static_cast<unsigned long long>(c.responses),
+                        static_cast<unsigned long long>(c.evaluations),
+                        static_cast<unsigned long long>(c.storeHits),
+                        static_cast<unsigned long long>(c.dedupWaiters),
+                        static_cast<unsigned long long>(c.errors),
+                        static_cast<unsigned long long>(c.store.hits),
+                        static_cast<unsigned long long>(c.store.misses),
+                        static_cast<unsigned long long>(
+                            c.store.corruptMisses),
+                        static_cast<unsigned long long>(c.store.puts),
+                        static_cast<unsigned long long>(
+                            c.store.containersRemoved));
+            return 0;
+        }
+
+        if (command != "submit" && command != "fetch" && command != "query")
+            return usage();
+
+        serve::RequestMsg msg;
+        msg.kind = command == "submit" ? serve::RequestKind::Reconstruct
+                                       : serve::RequestKind::Fetch;
+        workload.apply(msg);
+        msg.samplingFraction = fraction;
+        msg.sampleSeed = seed;
+        msg.wantProgress = progress && command == "submit";
+
+        const serve::ResponseMsg response = client.call(
+            msg, [](const serve::ProgressMsg& p) {
+                std::fprintf(stderr, "\rsampling: %llu/%llu",
+                             static_cast<unsigned long long>(p.completed),
+                             static_cast<unsigned long long>(p.total));
+                if (p.completed == p.total)
+                    std::fprintf(stderr, "\n");
+            });
+
+        switch (response.status) {
+          case serve::ResponseStatus::Ok:
+            if (command == "query") {
+                std::printf("hit\n");
+            } else {
+                printLandscape(response);
+            }
+            return 0;
+          case serve::ResponseStatus::Miss:
+            std::printf("miss\n");
+            return command == "query" ? 0 : 3;
+          case serve::ResponseStatus::Error:
+            std::fprintf(stderr, "oscar-client: daemon error: %s\n",
+                         response.error.c_str());
+            return 1;
+          default:
+            std::fprintf(stderr, "oscar-client: unexpected response\n");
+            return 1;
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "oscar-client: %s\n", e.what());
+        return 1;
+    }
+}

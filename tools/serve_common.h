@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared bits of the oscar-serve / oscar-client command-line tools:
+ * the standard QAOA MaxCut workload both sides agree on (so a client
+ * request names exactly the computation the daemon would run) and
+ * tiny flag-parsing helpers.
+ */
+
+#ifndef OSCAR_TOOLS_SERVE_COMMON_H
+#define OSCAR_TOOLS_SERVE_COMMON_H
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "src/ansatz/qaoa.h"
+#include "src/common/rng.h"
+#include "src/graph/generators.h"
+#include "src/hamiltonian/maxcut.h"
+#include "src/landscape/grid.h"
+#include "src/serve/protocol.h"
+
+namespace oscar {
+namespace tools {
+
+/** The CLI workload: p-layer QAOA MaxCut on a random 3-regular graph. */
+struct ServeWorkload
+{
+    int qubits = 8;
+    int depth = 1;
+    std::uint64_t graphSeed = 3;
+
+    /** Fill a request's cost + grid from the workload parameters. */
+    void
+    apply(serve::RequestMsg& msg) const
+    {
+        if (qubits < 4 || qubits > 24)
+            throw std::runtime_error("--qubits: expected 4..24");
+        if (depth != 1 && depth != 2)
+            throw std::runtime_error("--depth: expected 1 or 2");
+        Rng rng(graphSeed);
+        const Graph graph = random3RegularGraph(qubits, rng);
+        msg.cost.circuit = qaoaCircuit(graph, depth);
+        msg.cost.hamiltonian = maxcutHamiltonian(graph);
+        msg.grid = depth == 1 ? GridSpec::qaoaP1() : GridSpec::qaoaP2();
+    }
+};
+
+/** True when argv[i] is `flag` and a value follows; val = argv[++i]. */
+inline bool
+flagValue(int argc, char** argv, int& i, const char* flag,
+          const char*& val)
+{
+    if (std::strcmp(argv[i], flag) != 0)
+        return false;
+    if (i + 1 >= argc)
+        throw std::runtime_error(std::string(flag) + ": missing value");
+    val = argv[++i];
+    return true;
+}
+
+inline long long
+parseInt(const char* flag, const char* text, long long lo, long long hi)
+{
+    char* end = nullptr;
+    const long long v = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || v < lo || v > hi)
+        throw std::runtime_error(std::string(flag) + ": expected an "
+                                 "integer in " + std::to_string(lo) +
+                                 ".." + std::to_string(hi) + ", got \"" +
+                                 text + "\"");
+    return v;
+}
+
+inline double
+parseFraction(const char* flag, const char* text)
+{
+    char* end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !(v > 0.0) || v > 1.0)
+        throw std::runtime_error(std::string(flag) + ": expected a "
+                                 "fraction in (0, 1], got \"" +
+                                 text + "\"");
+    return v;
+}
+
+} // namespace tools
+} // namespace oscar
+
+#endif // OSCAR_TOOLS_SERVE_COMMON_H
