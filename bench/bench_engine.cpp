@@ -17,8 +17,12 @@
  *     dispatch, batched diagonal expectation.
  *
  *  3. Distributed sharding (BENCH_dist.json): one serial process vs
- *     the sweep sharded over 2/4 oscar-worker processes, plus a
- *     sharded reconstruction; bit-identity asserted.
+ *     the sweep sharded over 2/4 oscar-worker processes -- over
+ *     socketpairs and over loopback TCP with compressed framing
+ *     (on-wire raw vs stored bytes reported per row) -- plus a
+ *     deliberate-straggler case with per-point work stealing on/off
+ *     (steal counts and tail-latency improvement) and a sharded
+ *     reconstruction; bit-identity asserted on every row.
  *
  *  4. Overlap: Oscar::reconstruct with the synchronous barrier
  *     (execute everything, then run FISTA) vs the streaming pipeline
@@ -36,18 +40,26 @@
  * the engine can only match the serial path.
  */
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/ansatz/qaoa.h"
 #include "src/backend/engine.h"
 #include "src/backend/statevector_backend.h"
+#include "src/dist/process_pool.h"
 #include "src/hamiltonian/maxcut.h"
+
+extern char** environ;
 
 #ifdef OSCAR_HAVE_GBENCH
 #include <benchmark/benchmark.h>
@@ -240,6 +252,57 @@ runKernelStudy()
 }
 
 /**
+ * fork/exec an `oscar-worker --connect 127.0.0.1:port` joiner whose
+ * evaluation is throttled by the OSCAR_WORKER_SLOW_US hook -- the
+ * deliberate straggler of the steal study. The fleet secret travels in
+ * the child environment, never argv. Returns the child pid (reaped by
+ * the caller after the pool shuts the worker down), or -1 on failure.
+ */
+int
+spawnStragglerWorker(std::uint16_t port, const std::string& secret,
+                     long slow_us)
+{
+    std::string worker;
+    try {
+        worker = dist::ProcessPool::resolveWorkerPath("");
+    } catch (const std::exception&) {
+        return -1;
+    }
+    const std::string connect = "127.0.0.1:" + std::to_string(port);
+
+    std::vector<std::string> env_store;
+    for (char** e = environ; e && *e; ++e) {
+        const std::string entry(*e);
+        if (entry.rfind("OSCAR_DIST_SECRET=", 0) == 0 ||
+            entry.rfind("OSCAR_DIST_CONNECT=", 0) == 0 ||
+            entry.rfind("OSCAR_WORKER_SLOW_US=", 0) == 0)
+            continue;
+        env_store.push_back(entry);
+    }
+    env_store.push_back("OSCAR_DIST_SECRET=" + secret);
+    env_store.push_back("OSCAR_WORKER_SLOW_US=" +
+                        std::to_string(slow_us));
+    std::vector<std::string> arg_store = {"oscar-worker", "--connect",
+                                          connect, "--heartbeat-ms",
+                                          "50", "--threads", "1"};
+    std::vector<char*> argv;
+    std::vector<char*> envp;
+    for (std::string& s : arg_store)
+        argv.push_back(s.data());
+    argv.push_back(nullptr);
+    for (std::string& s : env_store)
+        envp.push_back(s.data());
+    envp.push_back(nullptr);
+
+    const int pid = ::fork();
+    if (pid == 0) {
+        ::execve(worker.c_str(), argv.data(), envp.data());
+        ::_exit(127);
+    }
+    return pid;
+}
+
+/**
  * Distributed execution study on the acceptance sweep (axis-major 12q
  * p=2 QAOA): one serial process vs the same sweep sharded across a
  * hybrid process x thread grid (workers x threadsPerWorker cells:
@@ -322,6 +385,9 @@ runDistStudy()
         options.dist.numWorkers = workers;
         options.dist.threadsPerWorker = threads;
         options.dist.minPointsToDistribute = 1;
+        // These rows measure the socketpair transport; pin it so an
+        // exported OSCAR_DIST_LISTEN cannot silently turn them TCP.
+        options.dist.listen = "none";
         ExecutionEngine engine(options);
         StatevectorCost cost = sweep.make();
         std::vector<double> values;
@@ -360,6 +426,160 @@ runDistStudy()
     if (spawn_failed)
         std::printf("  (warning: distributed runs fell back "
                     "in-process; is oscar-worker built?)\n");
+
+    // Loopback-TCP rows: the same sweep through an elastic TCP fleet
+    // coordinator (workers dial 127.0.0.1 and pass the authenticated
+    // Hello handshake) with compressed framing. Reported per row: the
+    // bytes the frames would have cost raw vs what the wire actually
+    // carried.
+    for (const auto& [workers, threads] :
+         {std::pair<int, int>{2, 1}, std::pair<int, int>{2, 2}}) {
+        EngineOptions options;
+        options.numThreads = 1;
+        options.dist.numWorkers = workers;
+        options.dist.threadsPerWorker = threads;
+        options.dist.minPointsToDistribute = 1;
+        options.dist.listen = "127.0.0.1:0";
+        options.dist.secret = "bench-fleet";
+        ExecutionEngine engine(options);
+        StatevectorCost cost = sweep.make();
+        std::vector<double> values;
+        std::size_t remote = 0, raw_bytes = 0, wire_bytes = 0;
+        int rep = 0;
+        const auto timing = bench::timeRepeated(kStudyReps, [&] {
+            cost.configureKernel(coldOptions(rep++));
+            BatchHandle handle = engine.submit(cost, sweep.points);
+            values = handle.get();
+            remote = handle.stats().pointsRemote;
+            raw_bytes = handle.stats().bytesOnWireRaw;
+            wire_bytes = handle.stats().bytesOnWireCompressed;
+        });
+        const bool distributed = remote == num_points;
+        const bool match = identical(values, reference);
+        const double speedup = base_median / timing.median;
+        const std::string name = "tcp " + std::to_string(workers) +
+                                 "p x " + std::to_string(threads) + "t";
+        bench::row(name,
+                   {static_cast<double>(num_points) / timing.median,
+                    timing.median, timing.min, speedup,
+                    match && distributed ? 1.0 : 0.0},
+                   " %10.4g");
+        if (raw_bytes > 0)
+            std::printf("    %s: %.1f%% of raw bytes on the wire "
+                        "(%zu -> %zu)\n",
+                        name.c_str(),
+                        100.0 * static_cast<double>(wire_bytes) /
+                            static_cast<double>(raw_bytes),
+                        raw_bytes, wire_bytes);
+        json.add(name, timing, num_points,
+                 {{"workers", static_cast<double>(workers)},
+                  {"threads_per_worker", static_cast<double>(threads)},
+                  {"transport_tcp", 1.0},
+                  {"speedup_vs_single", speedup},
+                  {"match", match ? 1.0 : 0.0},
+                  {"points_remote", static_cast<double>(remote)},
+                  {"bytes_on_wire_raw", static_cast<double>(raw_bytes)},
+                  {"bytes_on_wire_compressed",
+                   static_cast<double>(wire_bytes)},
+                  {"wire_bytes_fraction",
+                   raw_bytes > 0 ? static_cast<double>(wire_bytes) /
+                                       static_cast<double>(raw_bytes)
+                                 : 1.0}});
+    }
+
+    // Deliberate-straggler case: one fast local member plus a joiner
+    // throttled by the OSCAR_WORKER_SLOW_US hook, each initially
+    // holding half the batch. With stealing off the batch ends when
+    // the straggler crawls through its shard; with stealing on the
+    // idle member takes the straggler's unrun tail. The steal-on row's
+    // speedup column is its tail-latency improvement over steal-off.
+    {
+        const std::size_t count =
+            std::min<std::size_t>(96, num_points);
+        const std::vector<std::vector<double>> pts(
+            sweep.points.begin(),
+            sweep.points.begin() + static_cast<std::ptrdiff_t>(count));
+        const std::vector<double> want(
+            reference.begin(),
+            reference.begin() + static_cast<std::ptrdiff_t>(count));
+        double off_median = 0.0;
+        for (const bool steal : {false, true}) {
+            int pid = -1;
+            bool joined = false;
+            {
+                dist::DistOptions options;
+                options.numWorkers = 1;
+                options.listen = "127.0.0.1:0";
+                options.secret = "bench-fleet";
+                options.shardSize = count / 2;
+                options.steal = steal;
+                dist::ProcessPool pool(options);
+                pid = spawnStragglerWorker(pool.listenPort(),
+                                           "bench-fleet",
+                                           /*slow_us=*/5000);
+                for (int i = 0; pid > 0 && i < 50000 && !joined; ++i) {
+                    joined = pool.stats().workersJoined >= 2;
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(200));
+                }
+                if (joined) {
+                    StatevectorCost cost = sweep.make();
+                    std::vector<double> values;
+                    std::size_t stolen = 0, requeued = 0;
+                    int rep = 0;
+                    const auto timing =
+                        bench::timeRepeated(kStudyReps, [&] {
+                            cost.configureKernel(coldOptions(rep++));
+                            auto batch = pts;
+                            BatchHandle handle =
+                                pool.submit(cost, std::move(batch));
+                            values = handle.get();
+                            stolen = handle.stats().shardsStolen;
+                            requeued = handle.stats().shardsRequeued;
+                        });
+                    const bool match = identical(values, want);
+                    if (!steal)
+                        off_median = timing.median;
+                    const double vs_off =
+                        steal && timing.median > 0.0
+                            ? off_median / timing.median
+                            : 1.0;
+                    const std::string name =
+                        steal ? "straggler steal on"
+                              : "straggler steal off";
+                    bench::row(
+                        name,
+                        {static_cast<double>(count) / timing.median,
+                         timing.median, timing.min, vs_off,
+                         match ? 1.0 : 0.0},
+                        " %10.4g");
+                    json.add(
+                        name, timing, count,
+                        {{"steal", steal ? 1.0 : 0.0},
+                         {"shards_stolen",
+                          static_cast<double>(stolen)},
+                         {"shards_requeued",
+                          static_cast<double>(requeued)},
+                         {"tail_speedup_vs_no_steal", vs_off},
+                         {"match", match ? 1.0 : 0.0},
+                         {"straggler_slow_us_per_point", 5000.0}});
+                    if (steal && stolen > 0)
+                        std::printf("    steal on: %zu tail(s) "
+                                    "relocated, %.2fx faster than "
+                                    "steal off\n",
+                                    stolen, vs_off);
+                }
+            }
+            // The pool's shutdown told the straggler to exit.
+            if (pid > 0)
+                ::waitpid(pid, nullptr, 0);
+            if (!joined) {
+                std::printf("  (straggler worker failed to join; "
+                            "skipping steal study)\n");
+                break;
+            }
+        }
+    }
 
     // Sharded reconstruction for context: the full pipeline (sampling
     // + distributed execution + FISTA solve) on the same circuit.

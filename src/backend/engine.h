@@ -134,6 +134,29 @@ struct BatchStats
      */
     KernelStats remoteKernel;
 
+    /**
+     * Distributed shards whose unrun tail was stolen from a busy
+     * worker and re-dispatched to an idle one (StealRequest /
+     * StealGrant). Ordinals are reserved at submission, so stealing
+     * never changes values; the counter makes straggler recovery
+     * observable.
+     */
+    std::size_t shardsStolen = 0;
+
+    /**
+     * Bytes this batch's frames would have occupied on the wire
+     * uncompressed (frame header + raw payload + CRC), coordinator
+     * side: LoadCost/Task sends plus Result receipts.
+     */
+    std::size_t bytesOnWireRaw = 0;
+
+    /**
+     * Bytes those same frames actually occupied after the per-frame
+     * smallest-of codec selection. Never exceeds bytesOnWireRaw; the
+     * gap is the framing layer's compression saving.
+     */
+    std::size_t bytesOnWireCompressed = 0;
+
     BatchStats&
     operator+=(const BatchStats& other)
     {
@@ -143,6 +166,9 @@ struct BatchStats
         pointsRemote += other.pointsRemote;
         shardsRequeued += other.shardsRequeued;
         shardsPipelined += other.shardsPipelined;
+        shardsStolen += other.shardsStolen;
+        bytesOnWireRaw += other.bytesOnWireRaw;
+        bytesOnWireCompressed += other.bytesOnWireCompressed;
         kernel += other.kernel;
         remoteKernel += other.remoteKernel;
         return *this;

@@ -51,6 +51,22 @@ crc32(std::span<const std::uint8_t> data)
     return c ^ 0xFFFFFFFFu;
 }
 
+/**
+ * CRC-32 of two spans as if concatenated (the wire framing checks
+ * header + raw payload in one pass without copying them together).
+ */
+inline std::uint32_t
+crc32(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b)
+{
+    const auto& table = detail::crc32Table();
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::uint8_t x : a)
+        c = table[(c ^ x) & 0xFFu] ^ (c >> 8);
+    for (std::uint8_t x : b)
+        c = table[(c ^ x) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
 } // namespace oscar
 
 #endif // OSCAR_COMMON_CRC32_H

@@ -1,0 +1,149 @@
+#include "src/common/packbits.h"
+
+namespace oscar {
+namespace packbits {
+
+std::vector<std::uint8_t>
+pack(std::span<const std::uint8_t> raw)
+{
+    // Classic PackBits: control byte c in 0..127 announces c+1 literal
+    // bytes; c in 129..255 announces 257-c repeats of the next byte;
+    // 128 is unused. Repeat runs only pay off from length 3.
+    std::vector<std::uint8_t> out;
+    out.reserve(raw.size() / 2 + 16);
+    std::size_t i = 0;
+    while (i < raw.size()) {
+        // Measure the run starting at i.
+        std::size_t run = 1;
+        while (i + run < raw.size() && run < 128 &&
+               raw[i + run] == raw[i])
+            ++run;
+        if (run >= 3) {
+            out.push_back(static_cast<std::uint8_t>(257 - run));
+            out.push_back(raw[i]);
+            i += run;
+            continue;
+        }
+        // Literal run: until the next >=3 repeat or 128 bytes.
+        std::size_t lit = 0;
+        while (i + lit < raw.size() && lit < 128) {
+            const std::size_t at = i + lit;
+            if (at + 2 < raw.size() && raw[at] == raw[at + 1] &&
+                raw[at] == raw[at + 2])
+                break;
+            ++lit;
+        }
+        out.push_back(static_cast<std::uint8_t>(lit - 1));
+        out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(i),
+                   raw.begin() + static_cast<std::ptrdiff_t>(i + lit));
+        i += lit;
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+unpack(std::span<const std::uint8_t> packed, std::size_t raw_size)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(raw_size);
+    std::size_t i = 0;
+    while (i < packed.size()) {
+        const std::uint8_t c = packed[i++];
+        if (c < 128) {
+            const std::size_t lit = static_cast<std::size_t>(c) + 1;
+            if (i + lit > packed.size())
+                throw CodecError("literal run truncated");
+            out.insert(out.end(),
+                       packed.begin() + static_cast<std::ptrdiff_t>(i),
+                       packed.begin() +
+                           static_cast<std::ptrdiff_t>(i + lit));
+            i += lit;
+        } else if (c > 128) {
+            if (i >= packed.size())
+                throw CodecError("repeat run truncated");
+            out.insert(out.end(), 257 - static_cast<std::size_t>(c),
+                       packed[i++]);
+        } else {
+            throw CodecError("control byte 128 is invalid");
+        }
+        if (out.size() > raw_size)
+            throw CodecError("output exceeds declared size");
+    }
+    if (out.size() != raw_size)
+        throw CodecError("output shorter than declared size");
+    return out;
+}
+
+std::vector<std::uint8_t>
+planeSplit(std::span<const std::uint8_t> raw)
+{
+    if (raw.size() % 8 != 0)
+        throw CodecError("plane split input not a multiple of 8");
+    const std::size_t n = raw.size() / 8;
+    std::vector<std::uint8_t> out(raw.size());
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < 8; ++j)
+            out[j * n + i] = raw[i * 8 + j];
+    return out;
+}
+
+std::vector<std::uint8_t>
+planeJoin(std::span<const std::uint8_t> planes)
+{
+    if (planes.size() % 8 != 0)
+        throw CodecError("plane join input not a multiple of 8");
+    const std::size_t n = planes.size() / 8;
+    std::vector<std::uint8_t> out(planes.size());
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < 8; ++j)
+            out[i * 8 + j] = planes[j * n + i];
+    return out;
+}
+
+Encoded
+pickSmallest(std::span<const std::uint8_t> raw)
+{
+    // Pick the smallest encoding; ties keep the simpler codec.
+    Encoded best;
+    std::size_t best_size = raw.size();
+    std::vector<std::uint8_t> packed = pack(raw);
+    if (packed.size() < best_size) {
+        best_size = packed.size();
+        best.codec = Codec::PackBits;
+        best.bytes = std::move(packed);
+    }
+    if (!raw.empty() && raw.size() % 8 == 0) {
+        std::vector<std::uint8_t> planar = pack(planeSplit(raw));
+        if (planar.size() < best_size) {
+            best.codec = Codec::PlanePackBits;
+            best.bytes = std::move(planar);
+        }
+    }
+    if (best.codec == Codec::Raw)
+        best.bytes.clear();
+    return best;
+}
+
+std::vector<std::uint8_t>
+decode(std::uint8_t codec, std::span<const std::uint8_t> stored,
+       std::size_t raw_size)
+{
+    switch (codec) {
+      case static_cast<std::uint8_t>(Codec::Raw):
+        if (stored.size() != raw_size)
+            throw CodecError("raw stored size mismatch");
+        return std::vector<std::uint8_t>(stored.begin(), stored.end());
+      case static_cast<std::uint8_t>(Codec::PackBits):
+        return unpack(stored, raw_size);
+      case static_cast<std::uint8_t>(Codec::PlanePackBits):
+        if (raw_size % 8 != 0)
+            throw CodecError(
+                "plane-split stream size not a multiple of 8");
+        return planeJoin(unpack(stored, raw_size));
+      default:
+        throw CodecError("unknown codec byte " + std::to_string(codec));
+    }
+}
+
+} // namespace packbits
+} // namespace oscar

@@ -86,6 +86,41 @@ struct DistOptions
      * current executable.
      */
     std::string workerPath;
+
+    /**
+     * TCP listen address, "host:port" (port 0 = kernel-assigned,
+     * readable back via ProcessPool::listenPort()). Non-empty turns
+     * the pool into an elastic TCP fleet coordinator: local workers
+     * connect over loopback instead of socketpairs, and remote
+     * `oscar-worker --connect host:port` processes may join or leave
+     * at any time -- mid-batch included. Empty = consult the
+     * OSCAR_DIST_LISTEN environment variable (resolveDistListen); the
+     * literal "none" forces socketpair transport even when the
+     * environment names a listener. With a listener, numWorkers may
+     * be 0: a coordinator that serves only remote joiners.
+     */
+    std::string listen;
+
+    /**
+     * Shared fleet secret for the authenticated Hello handshake on
+     * TCP accepts (an HMAC-style challenge tag; see
+     * dist::helloAuthTag). Empty = consult OSCAR_DIST_SECRET
+     * (resolveDistSecret); when that is unset too, the fleet runs
+     * unauthenticated (the challenge is still issued, with an
+     * empty-secret key). Every member must agree on the secret.
+     */
+    std::string secret;
+
+    /**
+     * Per-point work stealing: when the queue drains and a worker
+     * goes idle, the coordinator asks the worker holding the largest
+     * in-flight shard to yield its unrun tail (StealRequest /
+     * StealGrant) and re-dispatches that tail to the idle worker.
+     * Ordinals are reserved at submission, so stealing never changes
+     * values; it only shortens the straggler tail. On by default;
+     * off is mainly for benchmarking the unstolen baseline.
+     */
+    bool steal = true;
 };
 
 /**
@@ -98,6 +133,37 @@ struct DistOptions
  * parallelism the user asked for. Defined in process_pool.cpp.
  */
 int resolveThreadsPerWorker(int configured);
+
+/**
+ * Resolve DistOptions::listen: a non-empty configured value wins
+ * (validated); empty consults OSCAR_DIST_LISTEN (unset = "", no
+ * listener). The literal "none" -- configured or in the environment --
+ * resolves to "" (socketpair transport), so callers can pin the
+ * transport against an inherited environment. Anything else must be
+ * "host:port" with a numeric port 0..65535 (0 = kernel-assigned);
+ * malformed input throws std::runtime_error naming the valid form.
+ * Defined in process_pool.cpp.
+ */
+std::string resolveDistListen(const std::string& configured);
+
+/**
+ * Resolve a worker's connect address: a non-empty configured value
+ * wins (validated); empty consults OSCAR_DIST_CONNECT (unset = "").
+ * Must be "host:port" with a numeric port 1..65535 (a worker cannot
+ * connect to port 0); malformed input throws std::runtime_error
+ * naming the valid form. Defined in process_pool.cpp.
+ */
+std::string resolveDistConnect(const std::string& configured);
+
+/**
+ * Resolve DistOptions::secret: a non-empty configured value wins;
+ * empty consults OSCAR_DIST_SECRET (unset = "", unauthenticated
+ * fleet). A set-but-empty or over-long (> 256 bytes) secret throws
+ * std::runtime_error naming the valid form -- an empty exported
+ * secret is a misconfiguration, not a choice. Defined in
+ * process_pool.cpp.
+ */
+std::string resolveDistSecret(const std::string& configured);
 
 } // namespace dist
 } // namespace oscar

@@ -1,6 +1,9 @@
 #include "src/dist/process_pool.h"
 
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -10,16 +13,20 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <optional>
+#include <random>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "src/dist/wire.h"
+
+extern char** environ;
 
 namespace oscar {
 namespace dist {
@@ -65,7 +72,107 @@ sendAll(int fd, const std::uint8_t* data, std::size_t n,
     return true;
 }
 
+/** "host:port" with a numeric port inside [min_port, max_port]? */
+bool
+parseHostPort(const std::string& spec, long min_port, long max_port)
+{
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == spec.size())
+        return false;
+    const std::string port = spec.substr(colon + 1);
+    char* end = nullptr;
+    const long parsed = std::strtol(port.c_str(), &end, 10);
+    return end != port.c_str() && *end == '\0' && parsed >= min_port &&
+           parsed <= max_port;
+}
+
 } // namespace
+
+// --------------------------------------------------------- resolvers
+
+int
+resolveThreadsPerWorker(int configured)
+{
+    if (configured >= 0)
+        return configured;
+    const char* env = std::getenv("OSCAR_DIST_THREADS");
+    if (!env)
+        return 1; // pre-hybrid default: single-threaded workers
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || parsed < 0 || parsed > 256)
+        throw std::runtime_error(
+            "OSCAR_DIST_THREADS: expected a per-worker thread count "
+            "(0..256, 0 = hardware), got \"" +
+            std::string(env) + "\"");
+    return static_cast<int>(parsed);
+}
+
+std::string
+resolveDistListen(const std::string& configured)
+{
+    std::string value = configured;
+    std::string source = "DistOptions::listen";
+    if (value.empty()) {
+        const char* env = std::getenv("OSCAR_DIST_LISTEN");
+        if (!env)
+            return "";
+        value = env;
+        source = "OSCAR_DIST_LISTEN";
+    }
+    if (value == "none")
+        return "";
+    if (!parseHostPort(value, 0, 65535))
+        throw std::runtime_error(
+            source +
+            ": expected \"host:port\" (numeric port 0..65535, 0 = "
+            "kernel-assigned) or \"none\", got \"" +
+            value + "\"");
+    return value;
+}
+
+std::string
+resolveDistConnect(const std::string& configured)
+{
+    std::string value = configured;
+    std::string source = "--connect";
+    if (value.empty()) {
+        const char* env = std::getenv("OSCAR_DIST_CONNECT");
+        if (!env)
+            return "";
+        value = env;
+        source = "OSCAR_DIST_CONNECT";
+    }
+    if (!parseHostPort(value, 1, 65535))
+        throw std::runtime_error(
+            source +
+            ": expected \"host:port\" (numeric port 1..65535), got \"" +
+            value + "\"");
+    return value;
+}
+
+std::string
+resolveDistSecret(const std::string& configured)
+{
+    constexpr std::size_t kMaxSecretBytes = 256;
+    if (!configured.empty()) {
+        if (configured.size() > kMaxSecretBytes)
+            throw std::runtime_error(
+                "DistOptions::secret: expected a shared secret of at "
+                "most 256 bytes");
+        return configured;
+    }
+    const char* env = std::getenv("OSCAR_DIST_SECRET");
+    if (!env)
+        return "";
+    const std::string value(env);
+    if (value.empty() || value.size() > kMaxSecretBytes)
+        throw std::runtime_error(
+            "OSCAR_DIST_SECRET: expected a non-empty shared secret of "
+            "at most 256 bytes");
+    return value;
+}
 
 // ------------------------------------------------------------- state
 
@@ -76,6 +183,8 @@ struct Shard
     std::size_t lo = 0;
     std::size_t hi = 0;
     std::uint64_t taskId = 0;
+    /** A StealRequest for this shard is on the wire, grant pending. */
+    bool stealPending = false;
 };
 
 /**
@@ -87,14 +196,20 @@ struct Shard
  */
 constexpr std::size_t kPipelineDepth = 2;
 
-/** One forked worker process (all fields monitor-owned; pid/alive
- *  also read by workerPids()/healthy() under the core mutex). */
+/** One pool member: a forked local worker (socketpair or loopback
+ *  TCP) or a remote TCP joiner. All fields monitor-owned; pid/alive
+ *  also read by workerPids()/healthy() under the core mutex. */
 struct WorkerProc
 {
     int pid = -1;
     int fd = -1;
     bool alive = false;
     bool helloSeen = false;
+    /** TCP member not (yet) bound to a pid this pool spawned. */
+    bool remote = false;
+    /** Challenge issued; the Hello must carry the matching auth tag. */
+    bool needsAuth = false;
+    std::uint64_t nonce = 0;
     /** Evaluation threads the worker advertised in its Hello (>= 1). */
     std::uint16_t capacity = 1;
     FrameDecoder decoder;
@@ -102,6 +217,13 @@ struct WorkerProc
     /** In dispatch order, at most kPipelineDepth deep. */
     std::vector<Shard> inflight;
     std::unordered_set<std::uint64_t> loadedCosts;
+};
+
+/** A pid this pool forked in TCP mode; bound once its Hello arrives. */
+struct SpawnedPid
+{
+    int pid = -1;
+    bool bound = false;
 };
 
 /**
@@ -119,12 +241,26 @@ struct PoolCore
 
     mutable std::mutex mutex;
     std::deque<Shard> pending;
-    std::vector<WorkerProc> workers;
+    /** Deque: joiners push_back without invalidating member refs. */
+    std::deque<WorkerProc> workers;
     bool stop = false;
     PoolStats stats;
     std::uint64_t nextTaskId = 1;
     /** Content-addressed cost specs (LoadCost payloads) by costId. */
     std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> costs;
+
+    // Elastic TCP fleet state.
+    bool listening = false;
+    int listenFd = -1;
+    std::uint16_t boundPort = 0;
+    /** Locals forked in TCP mode, bound to members by Hello pid. */
+    std::vector<SpawnedPid> spawned;
+    /** Local membership progress; the constructor waits on these. */
+    std::size_t localHelloCount = 0;
+    std::size_t localDeadCount = 0;
+    std::condition_variable membershipCv;
+    /** Challenge nonces (membership gating, not cryptography). */
+    std::mt19937_64 rng{std::random_device{}()};
 
     int wakeRead = -1;
     int wakeWrite = -1;
@@ -249,12 +385,18 @@ struct RemoteBatch final : BatchHandle::Control
 
 namespace {
 
-/** Encode-and-send one frame; false on failure. */
+/**
+ * Encode-and-send one frame; false on failure. `wire_bytes_out`, when
+ * given, reports the encoded (possibly compressed) on-wire size.
+ */
 bool
 sendFrame(const PoolCore& core, WorkerProc& worker,
-          FrameType type, std::span<const std::uint8_t> payload)
+          FrameType type, std::span<const std::uint8_t> payload,
+          std::size_t* wire_bytes_out = nullptr)
 {
     const std::vector<std::uint8_t> bytes = encodeFrame(type, payload);
+    if (wire_bytes_out)
+        *wire_bytes_out = bytes.size();
     return sendAll(worker.fd, bytes.data(), bytes.size(),
                    core.sendDeadline());
 }
@@ -277,10 +419,10 @@ inflightPoints(const WorkerProc& worker)
 }
 
 /**
- * Declare a worker dead: close its pipe, make sure the process is
- * gone, and put ALL of its in-flight (pipelined) shards back at the
- * head of the queue -- in their original dispatch order -- so recovery
- * preempts new work. Call with the core mutex held.
+ * Declare a worker dead: close its socket, make sure any local
+ * process is gone, and put ALL of its in-flight (pipelined) shards
+ * back at the head of the queue -- in their original dispatch order --
+ * so recovery preempts new work. Call with the core mutex held.
  */
 void
 markWorkerDeadLocked(PoolCore& core, WorkerProc& worker)
@@ -299,12 +441,20 @@ markWorkerDeadLocked(PoolCore& core, WorkerProc& worker)
         // later cleanup pass must not SIGKILL an innocent process.
         worker.pid = -1;
     }
-    core.stats.workersLost++;
+    // A TCP accept that never authenticated was not a member; don't
+    // count it as a lost worker.
+    if (worker.helloSeen || !worker.remote)
+        core.stats.workersLost++;
+    // A local worker that died before its Hello still settles the
+    // constructor's membership wait.
+    if (!worker.remote && !worker.helloSeen)
+        core.localDeadCount++;
     while (!worker.inflight.empty()) {
         // Back to front, each pushed at the head: the queue ends up
         // [first dispatched, second dispatched, older pending...].
         Shard shard = std::move(worker.inflight.back());
         worker.inflight.pop_back();
+        shard.stealPending = false; // any granted tail re-runs anyway
         core.stats.tasksRequeued++;
         {
             std::lock_guard<std::mutex> lock(shard.batch->m);
@@ -312,35 +462,47 @@ markWorkerDeadLocked(PoolCore& core, WorkerProc& worker)
         }
         core.pending.push_front(std::move(shard));
     }
+    core.membershipCv.notify_all();
     requeueNoSurvivorsLocked(core);
+}
+
+/** Fail every queued shard's batch. Call with the core mutex held. */
+void
+failAllPendingLocked(PoolCore& core, const char* message)
+{
+    while (!core.pending.empty()) {
+        Shard shard = std::move(core.pending.front());
+        core.pending.pop_front();
+        std::lock_guard<std::mutex> lock(shard.batch->m);
+        shard.batch->failShardLocked(message, 1);
+    }
 }
 
 /**
  * With no survivors the queue can never drain: fail every queued
- * shard's batch instead of hanging its waiters. Call with the core
+ * shard's batch instead of hanging its waiters. A listening pool is
+ * exempt while running -- a joiner may still arrive -- but not during
+ * shutdown, when no new members are accepted. Call with the core
  * mutex held.
  */
 void
 requeueNoSurvivorsLocked(PoolCore& core)
 {
+    if (core.listening && !core.stop)
+        return;
     for (const WorkerProc& w : core.workers) {
         if (w.alive)
             return;
     }
-    while (!core.pending.empty()) {
-        Shard shard = std::move(core.pending.front());
-        core.pending.pop_front();
-        std::lock_guard<std::mutex> lock(shard.batch->m);
-        shard.batch->failShardLocked(
-            "distributed execution: all worker processes died", 1);
-    }
+    failAllPendingLocked(
+        core, "distributed execution: all worker processes died");
 }
 
 /**
- * Hand queued shards to workers with pipeline room, least-loaded
- * (in-flight points per unit of advertised capacity) first, so a
- * 4-thread worker draws proportionally more of the queue than a
- * single-threaded one. Call with the core mutex held.
+ * Hand queued shards to fully-handshaken workers with pipeline room,
+ * least-loaded (in-flight points per unit of advertised capacity)
+ * first, so a 4-thread worker draws proportionally more of the queue
+ * than a single-threaded one. Call with the core mutex held.
  */
 void
 dispatchLocked(PoolCore& core)
@@ -349,7 +511,7 @@ dispatchLocked(PoolCore& core)
         WorkerProc* best = nullptr;
         double best_load = 0.0;
         for (WorkerProc& worker : core.workers) {
-            if (!worker.alive ||
+            if (!worker.alive || !worker.helloSeen ||
                 worker.inflight.size() >= kPipelineDepth)
                 continue;
             const double load =
@@ -368,13 +530,23 @@ dispatchLocked(PoolCore& core)
         core.pending.pop_front();
 
         const std::uint64_t cost_id = shard.batch->costId;
+        // Raw vs on-wire bytes for the frames this dispatch sends;
+        // the delta is the framing compressor's saving.
+        std::size_t sent_raw = 0;
+        std::size_t sent_wire = 0;
         bool ok = true;
         try {
             if (!worker.loadedCosts.count(cost_id)) {
-                ok = sendFrame(core, worker, FrameType::LoadCost,
-                               core.costs.at(cost_id));
-                if (ok)
+                const std::vector<std::uint8_t>& spec =
+                    core.costs.at(cost_id);
+                std::size_t wire = 0;
+                ok = sendFrame(core, worker, FrameType::LoadCost, spec,
+                               &wire);
+                if (ok) {
                     worker.loadedCosts.insert(cost_id);
+                    sent_raw += kFrameHeaderSize + spec.size() + 4;
+                    sent_wire += wire;
+                }
             }
             if (ok) {
                 TaskMsg task;
@@ -386,8 +558,15 @@ dispatchLocked(PoolCore& core)
                         static_cast<std::ptrdiff_t>(shard.lo),
                     shard.batch->points.begin() +
                         static_cast<std::ptrdiff_t>(shard.hi));
-                ok = sendFrame(core, worker, FrameType::Task,
-                               encodeTask(task));
+                const std::vector<std::uint8_t> payload =
+                    encodeTask(task);
+                std::size_t wire = 0;
+                ok = sendFrame(core, worker, FrameType::Task, payload,
+                               &wire);
+                if (ok) {
+                    sent_raw += kFrameHeaderSize + payload.size() + 4;
+                    sent_wire += wire;
+                }
             }
         } catch (const WireError& e) {
             // Unencodable shard (e.g. a payload past the frame size
@@ -408,13 +587,69 @@ dispatchLocked(PoolCore& core)
             markWorkerDeadLocked(core, worker);
             continue;
         }
-        if (!worker.inflight.empty()) {
+        {
             std::lock_guard<std::mutex> lock(shard.batch->m);
-            shard.batch->progress.shardsPipelined++;
+            if (!worker.inflight.empty())
+                shard.batch->progress.shardsPipelined++;
+            shard.batch->progress.bytesOnWireRaw += sent_raw;
+            shard.batch->progress.bytesOnWireCompressed += sent_wire;
         }
+        if (worker.remote)
+            core.stats.tasksToRemote++;
         worker.inflight.push_back(std::move(shard));
         core.stats.tasksDispatched++;
     }
+}
+
+/**
+ * Per-point work stealing: with the queue drained and a handshaken
+ * worker idle, ask the worker holding the largest in-flight shard to
+ * yield its unrun tail. At most one steal is outstanding pool-wide --
+ * the grant requeues the tail, and the regular dispatch pass moves it
+ * to the idle worker. Call with the core mutex held.
+ */
+void
+maybeStealLocked(PoolCore& core)
+{
+    if (!core.options.steal || core.stop || !core.pending.empty())
+        return;
+    bool idle = false;
+    for (const WorkerProc& w : core.workers) {
+        if (w.alive && w.helloSeen && w.inflight.empty()) {
+            idle = true;
+            break;
+        }
+    }
+    if (!idle)
+        return;
+    WorkerProc* victim = nullptr;
+    Shard* target = nullptr;
+    for (WorkerProc& w : core.workers) {
+        if (!w.alive || !w.helloSeen)
+            continue;
+        for (Shard& s : w.inflight) {
+            if (s.stealPending)
+                return; // a steal is already in flight; let it land
+            // A 1-point shard has no tail to split.
+            if (s.hi - s.lo < 2)
+                continue;
+            if (!target || s.hi - s.lo > target->hi - target->lo) {
+                victim = &w;
+                target = &s;
+            }
+        }
+    }
+    if (!target)
+        return;
+    StealRequestMsg msg;
+    msg.taskId = target->taskId;
+    WireWriter w;
+    encodeStealRequest(w, msg);
+    if (!sendFrame(core, *victim, FrameType::StealRequest, w.bytes())) {
+        markWorkerDeadLocked(core, *victim);
+        return;
+    }
+    target->stealPending = true;
 }
 
 /** One completed shard, carried out of the lock for callback work. */
@@ -424,6 +659,9 @@ struct Completion
     std::size_t lo = 0;
     std::vector<double> values;
     KernelStats kernel;
+    /** Result frame size before/after wire compression. */
+    std::size_t rawBytes = 0;
+    std::size_t wireBytes = 0;
 };
 
 /**
@@ -439,9 +677,34 @@ handleFrameLocked(PoolCore& core, WorkerProc& worker, Frame&& frame,
     switch (frame.type) {
       case FrameType::Hello: {
         const HelloMsg hello = decodeHello(frame.payload);
+        if (worker.helloSeen)
+            return false; // one Hello per connection
+        if (hello.wireVersion != kWireVersion)
+            return false;
+        if (worker.needsAuth &&
+            hello.authTag !=
+                helloAuthTag(core.options.secret, worker.nonce, hello))
+            return false; // wrong fleet secret: drop before any work
         worker.helloSeen = true;
         worker.capacity = std::max<std::uint16_t>(1, hello.threads);
-        return hello.wireVersion == kWireVersion;
+        if (worker.needsAuth) {
+            core.stats.workersJoined++;
+            // A TCP member whose Hello pid matches a pid this pool
+            // forked is one of our own loopback locals: bind it so
+            // workerPids() fault hooks and the membership wait see it.
+            for (SpawnedPid& sp : core.spawned) {
+                if (!sp.bound && sp.pid == hello.pid) {
+                    sp.bound = true;
+                    worker.pid = sp.pid;
+                    worker.remote = false;
+                    break;
+                }
+            }
+        }
+        if (!worker.remote)
+            core.localHelloCount++;
+        core.membershipCv.notify_all();
+        return true;
       }
       case FrameType::Heartbeat:
         return true;
@@ -461,7 +724,47 @@ handleFrameLocked(PoolCore& core, WorkerProc& worker, Frame&& frame,
         done.lo = shard.lo;
         done.values = std::move(msg.values);
         done.kernel = msg.kernel;
+        done.rawBytes = kFrameHeaderSize + frame.payload.size() + 4;
+        done.wireBytes = frame.wireBytes;
         completed.push_back(std::move(done));
+        return true;
+      }
+      case FrameType::StealGrant: {
+        const StealGrantMsg msg = decodeStealGrant(frame.payload);
+        const auto it = std::find_if(
+            worker.inflight.begin(), worker.inflight.end(),
+            [&](const Shard& s) { return s.taskId == msg.taskId; });
+        if (it == worker.inflight.end())
+            return true; // shard already completed or requeued
+        Shard& shard = *it;
+        shard.stealPending = false;
+        const std::size_t size = shard.hi - shard.lo;
+        const std::size_t keep = std::min<std::size_t>(
+            static_cast<std::size_t>(msg.keep), size);
+        if (keep == size)
+            return true; // worker finished before the request landed
+        // Split: the worker keeps [lo, lo+keep) -- its Result for
+        // exactly those points is already ahead of this grant on the
+        // wire (or never coming, when keep == 0) -- and the unrun
+        // tail goes back on the queue under a fresh task id. Ordinals
+        // were reserved at submission, so the stolen points evaluate
+        // bit-identically wherever they land.
+        Shard tail;
+        tail.batch = shard.batch;
+        tail.lo = shard.lo + keep;
+        tail.hi = shard.hi;
+        tail.taskId = core.nextTaskId++;
+        shard.hi = shard.lo + keep;
+        core.stats.tasksStolen++;
+        {
+            std::lock_guard<std::mutex> lock(tail.batch->m);
+            tail.batch->progress.shardsStolen++;
+            if (keep > 0)
+                tail.batch->shardsTotal++;
+        }
+        if (keep == 0)
+            worker.inflight.erase(it); // no Result follows
+        core.pending.push_front(std::move(tail));
         return true;
       }
       case FrameType::TaskError: {
@@ -479,6 +782,7 @@ handleFrameLocked(PoolCore& core, WorkerProc& worker, Frame&& frame,
             // the spec) and retry the shard. Self-healing, never a
             // batch failure.
             worker.loadedCosts.erase(shard.batch->costId);
+            shard.stealPending = false;
             core.stats.tasksRequeued++;
             core.pending.push_front(std::move(shard));
             return true;
@@ -490,6 +794,42 @@ handleFrameLocked(PoolCore& core, WorkerProc& worker, Frame&& frame,
       }
       default:
         return false; // pool-bound frames only
+    }
+}
+
+/**
+ * Accept every pending TCP connection and challenge it: the joiner
+ * may not receive work until its Hello answers the nonce with the
+ * fleet-secret tag. Call with the core mutex held.
+ */
+void
+acceptJoinersLocked(PoolCore& core)
+{
+    for (;;) {
+        const int fd = ::accept4(core.listenFd, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0)
+            break;
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        WorkerProc w;
+        w.fd = fd;
+        w.alive = true;
+        w.remote = true;
+        w.needsAuth = true;
+        w.nonce = core.rng();
+        // The heartbeat timeout doubles as the handshake deadline: a
+        // connection that never answers the challenge times out.
+        w.lastHeard = Clock::now();
+        ChallengeMsg challenge;
+        challenge.nonce = w.nonce;
+        WireWriter writer;
+        encodeChallenge(writer, challenge);
+        if (!sendFrame(core, w, FrameType::Challenge, writer.bytes())) {
+            ::close(fd);
+            continue;
+        }
+        core.workers.push_back(std::move(w));
     }
 }
 
@@ -521,6 +861,8 @@ applyCompletion(Completion& done)
     done.batch->progress.pointsRemote += n;
     done.batch->progress.kernel += done.kernel;
     done.batch->progress.remoteKernel += done.kernel;
+    done.batch->progress.bytesOnWireRaw += done.rawBytes;
+    done.batch->progress.bytesOnWireCompressed += done.wireBytes;
     if (callback_failure && !done.batch->error)
         done.batch->error = callback_failure;
     done.batch->accountShardsLocked(1);
@@ -581,7 +923,7 @@ ProcessPool::resolveWorkerPath(const std::string& override_path)
 
 namespace {
 
-/** Fork + exec one worker; returns its parent-side fd. */
+/** Fork + exec one socketpair worker; returns its parent-side fd. */
 int
 spawnWorker(const std::string& worker_path, int heartbeat_ms, int threads,
             int* pid_out)
@@ -620,32 +962,124 @@ spawnWorker(const std::string& worker_path, int heartbeat_ms, int threads,
     return sv[0];
 }
 
-} // namespace
-
+/**
+ * Fork + exec one local worker that joins back over loopback TCP,
+ * exactly like a remote member would. The fleet secret travels via
+ * the child's environment, never argv (ps would leak it).
+ */
 int
-resolveThreadsPerWorker(int configured)
+spawnConnectWorker(const std::string& worker_path,
+                   const std::string& connect_to, int heartbeat_ms,
+                   int threads, const std::string& secret)
 {
-    if (configured >= 0)
-        return configured;
-    const char* env = std::getenv("OSCAR_DIST_THREADS");
-    if (!env)
-        return 1; // pre-hybrid default: single-threaded workers
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end == env || *end != '\0' || parsed < 0 || parsed > 256)
-        throw std::runtime_error(
-            "OSCAR_DIST_THREADS: expected a per-worker thread count "
-            "(0..256, 0 = hardware), got \"" +
-            std::string(env) + "\"");
-    return static_cast<int>(parsed);
+    std::vector<std::string> env_store;
+    for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+        const std::string entry(*e);
+        if (entry.rfind("OSCAR_DIST_SECRET=", 0) == 0 ||
+            entry.rfind("OSCAR_DIST_CONNECT=", 0) == 0 ||
+            entry.rfind("OSCAR_DIST_LISTEN=", 0) == 0 ||
+            entry.rfind("OSCAR_DIST_WORKERS=", 0) == 0)
+            continue; // the child must not re-coordinate or re-listen
+        env_store.push_back(entry);
+    }
+    if (!secret.empty())
+        env_store.push_back("OSCAR_DIST_SECRET=" + secret);
+
+    std::vector<std::string> arg_store = {
+        "oscar-worker",   "--connect", connect_to,
+        "--heartbeat-ms", std::to_string(heartbeat_ms),
+        "--threads",      std::to_string(threads)};
+
+    std::vector<char*> argv;
+    argv.reserve(arg_store.size() + 1);
+    for (std::string& s : arg_store)
+        argv.push_back(s.data());
+    argv.push_back(nullptr);
+    std::vector<char*> envp;
+    envp.reserve(env_store.size() + 1);
+    for (std::string& s : env_store)
+        envp.push_back(s.data());
+    envp.push_back(nullptr);
+
+    const int pid = ::fork();
+    if (pid == 0) {
+        ::execve(worker_path.c_str(), argv.data(), envp.data());
+        ::_exit(127); // exec failed; the waitpid scan notices
+    }
+    if (pid < 0)
+        throw std::runtime_error("ProcessPool: fork failed");
+    return pid;
 }
+
+/**
+ * Bind + listen on a validated "host:port" spec; reports the actual
+ * bound port (for ":0" specs) through `port_out`.
+ */
+int
+openListener(const std::string& spec, std::uint16_t* port_out)
+{
+    const std::size_t colon = spec.rfind(':');
+    const std::string host = spec.substr(0, colon);
+    const std::string port = spec.substr(colon + 1);
+
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    struct addrinfo* res = nullptr;
+    if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &res) != 0 ||
+        res == nullptr)
+        throw std::runtime_error(
+            "ProcessPool: cannot resolve listen address " + spec);
+
+    int fd = -1;
+    for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family,
+                      ai->ai_socktype | SOCK_CLOEXEC | SOCK_NONBLOCK,
+                      ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(fd, 64) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0)
+        throw std::runtime_error("ProcessPool: cannot listen on " +
+                                 spec);
+
+    struct sockaddr_storage ss;
+    socklen_t slen = sizeof(ss);
+    std::memset(&ss, 0, sizeof(ss));
+    ::getsockname(fd, reinterpret_cast<struct sockaddr*>(&ss), &slen);
+    if (ss.ss_family == AF_INET6)
+        *port_out = ntohs(
+            reinterpret_cast<struct sockaddr_in6*>(&ss)->sin6_port);
+    else
+        *port_out =
+            ntohs(reinterpret_cast<struct sockaddr_in*>(&ss)->sin_port);
+    return fd;
+}
+
+/** Where the pool's own loopback locals should connect. */
+std::string
+connectAddressFor(const std::string& listen_spec, std::uint16_t port)
+{
+    std::string host = listen_spec.substr(0, listen_spec.rfind(':'));
+    if (host == "0.0.0.0" || host == "::" || host == "*")
+        host = "127.0.0.1"; // wildcard bind: dial loopback
+    return host + ":" + std::to_string(port);
+}
+
+} // namespace
 
 ProcessPool::ProcessPool(const DistOptions& options)
 {
-    if (options.numWorkers < 1)
-        throw std::invalid_argument(
-            "ProcessPool: numWorkers must be >= 1");
-
     core_ = std::make_shared<PoolCore>();
     core_->options = options;
     core_->options.heartbeatIntervalMs =
@@ -655,7 +1089,16 @@ ProcessPool::ProcessPool(const DistOptions& options)
                  options.heartbeatTimeoutMs);
     core_->options.threadsPerWorker =
         resolveThreadsPerWorker(options.threadsPerWorker);
-    core_->workerPath = resolveWorkerPath(options.workerPath);
+    core_->options.listen = resolveDistListen(options.listen);
+    core_->options.secret = resolveDistSecret(options.secret);
+    const bool tcp = !core_->options.listen.empty();
+    if (core_->options.numWorkers < 0 ||
+        (core_->options.numWorkers == 0 && !tcp))
+        throw std::invalid_argument(
+            "ProcessPool: numWorkers must be >= 1 (or >= 0 with "
+            "DistOptions::listen set, for an elastic fleet)");
+    if (core_->options.numWorkers > 0)
+        core_->workerPath = resolveWorkerPath(options.workerPath);
 
     int wake[2];
     if (::pipe2(wake, O_CLOEXEC | O_NONBLOCK) != 0)
@@ -672,20 +1115,47 @@ ProcessPool::ProcessPool(const DistOptions& options)
                 ::waitpid(w.pid, nullptr, 0);
             }
         }
+        for (SpawnedPid& sp : core_->spawned) {
+            if (!sp.bound && sp.pid > 0) {
+                ::kill(sp.pid, SIGKILL);
+                ::waitpid(sp.pid, nullptr, 0);
+            }
+        }
+        if (core_->listenFd >= 0)
+            ::close(core_->listenFd);
         ::close(core_->wakeRead);
         ::close(core_->wakeWrite);
     };
 
-    core_->workers.resize(
-        static_cast<std::size_t>(core_->options.numWorkers));
     try {
-        for (WorkerProc& w : core_->workers) {
-            w.fd = spawnWorker(core_->workerPath,
-                               core_->options.heartbeatIntervalMs,
-                               core_->options.threadsPerWorker,
-                               &w.pid);
-            w.alive = true;
-            w.lastHeard = Clock::now();
+        if (tcp) {
+            core_->listenFd =
+                openListener(core_->options.listen, &core_->boundPort);
+            core_->listening = true;
+        }
+        for (int i = 0; i < core_->options.numWorkers; ++i) {
+            if (tcp) {
+                // Local workers take the same authenticated loopback
+                // path a remote joiner would -- one transport, one
+                // handshake, one code path to trust.
+                const int pid = spawnConnectWorker(
+                    core_->workerPath,
+                    connectAddressFor(core_->options.listen,
+                                      core_->boundPort),
+                    core_->options.heartbeatIntervalMs,
+                    core_->options.threadsPerWorker,
+                    core_->options.secret);
+                core_->spawned.push_back({pid, false});
+            } else {
+                WorkerProc w;
+                w.fd = spawnWorker(core_->workerPath,
+                                   core_->options.heartbeatIntervalMs,
+                                   core_->options.threadsPerWorker,
+                                   &w.pid);
+                w.alive = true;
+                w.lastHeard = Clock::now();
+                core_->workers.push_back(std::move(w));
+            }
             core_->stats.workersSpawned++;
         }
     } catch (...) {
@@ -693,66 +1163,41 @@ ProcessPool::ProcessPool(const DistOptions& options)
         throw;
     }
 
-    // Wait for each worker's Hello (or its immediate death, e.g. an
-    // exec failure) so a broken worker setup surfaces here -- where
-    // the engine can still fall back to in-process execution --
-    // instead of failing the first submitted batch.
-    const auto deadline = Clock::now() + std::chrono::seconds(10);
-    for (;;) {
-        std::vector<struct pollfd> fds;
-        std::vector<std::size_t> idx;
-        for (std::size_t i = 0; i < core_->workers.size(); ++i) {
-            WorkerProc& w = core_->workers[i];
-            if (w.alive && !w.helloSeen) {
-                fds.push_back({w.fd, POLLIN, 0});
-                idx.push_back(i);
-            }
-        }
-        if (fds.empty())
-            break;
-        if (Clock::now() >= deadline)
-            break;
-        ::poll(fds.data(), fds.size(), 100);
-        for (std::size_t k = 0; k < fds.size(); ++k) {
-            if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
-                continue;
-            WorkerProc& w = core_->workers[idx[k]];
-            std::uint8_t buf[4096];
-            const ssize_t r = ::recv(w.fd, buf, sizeof(buf), 0);
-            if (r <= 0) {
-                if (r < 0 && (errno == EAGAIN || errno == EINTR))
-                    continue;
-                std::lock_guard<std::mutex> lock(core_->mutex);
-                markWorkerDeadLocked(*core_, w);
-                continue;
-            }
-            try {
-                w.decoder.feed(buf, static_cast<std::size_t>(r));
-                while (auto frame = w.decoder.next()) {
-                    if (frame->type == FrameType::Hello) {
-                        const HelloMsg hello = decodeHello(frame->payload);
-                        if (hello.wireVersion != kWireVersion)
-                            throw WireError("wire version mismatch");
-                        w.helloSeen = true;
-                        w.capacity =
-                            std::max<std::uint16_t>(1, hello.threads);
-                        w.lastHeard = Clock::now();
-                    }
-                }
-            } catch (const WireError&) {
-                std::lock_guard<std::mutex> lock(core_->mutex);
-                markWorkerDeadLocked(*core_, w);
-            }
-        }
-    }
-    if (!healthy()) {
-        cleanup();
-        throw std::runtime_error(
-            "ProcessPool: no worker came up (path: " + core_->workerPath +
-            ")");
-    }
-
+    // The monitor owns accepts and handshakes from here on; wait for
+    // the local membership to settle (every spawned worker has either
+    // completed its Hello or died) so a broken worker setup surfaces
+    // here -- where the engine can still fall back to in-process
+    // execution -- instead of failing the first submitted batch.
     monitor_ = std::thread(&ProcessPool::monitorLoop, core_);
+    {
+        std::unique_lock<std::mutex> lock(core_->mutex);
+        const auto deadline = Clock::now() + std::chrono::seconds(10);
+        core_->membershipCv.wait_until(lock, deadline, [&] {
+            return core_->localHelloCount + core_->localDeadCount >=
+                   static_cast<std::size_t>(core_->options.numWorkers);
+        });
+    }
+    bool up = false;
+    {
+        std::lock_guard<std::mutex> lock(core_->mutex);
+        up = core_->listening;
+        for (const WorkerProc& w : core_->workers)
+            up = up || (w.alive && w.helloSeen);
+    }
+    if (!up) {
+        {
+            std::lock_guard<std::mutex> lock(core_->mutex);
+            core_->stop = true;
+        }
+        const std::uint8_t wake_byte = 0;
+        (void)!::write(core_->wakeWrite, &wake_byte, 1);
+        monitor_.join();
+        ::close(core_->wakeRead);
+        ::close(core_->wakeWrite);
+        throw std::runtime_error(
+            "ProcessPool: no worker came up (path: " +
+            core_->workerPath + ")");
+    }
 }
 
 ProcessPool::~ProcessPool()
@@ -793,21 +1238,54 @@ ProcessPool::monitorLoop(const std::shared_ptr<PoolCore>& core_ptr)
         // them; crash-requeues drain through the survivors), so once
         // nothing is in flight the workers can be released.
         if (core.stop) {
-            // pending may hold crash-requeued shards even after the
-            // destructor retired the submitted queue; they drain
-            // through the survivors before the workers are released.
+            bool any_alive = false;
             bool inflight = false;
-            for (const WorkerProc& w : core.workers)
+            for (const WorkerProc& w : core.workers) {
+                any_alive |= w.alive;
                 inflight |= w.alive && !w.inflight.empty();
+            }
+            // No joiners are accepted during shutdown, so an empty
+            // elastic pool can never drain crash-requeued shards:
+            // fail them rather than hang the join below.
+            if (!any_alive && !core.pending.empty())
+                failAllPendingLocked(
+                    core,
+                    "distributed execution: all worker processes died");
             if (!inflight && core.pending.empty())
                 break;
         }
 
+        // Garbage-collect fully-retired members so a long-lived
+        // elastic pool doesn't accumulate dead entries.
+        core.workers.erase(
+            std::remove_if(core.workers.begin(), core.workers.end(),
+                           [](const WorkerProc& w) { return !w.alive; }),
+            core.workers.end());
+
+        // Reap TCP-mode locals that died before ever connecting
+        // (e.g. exec failure): no socket exists to raise EOF, so the
+        // constructor's membership wait settles through this scan.
+        for (SpawnedPid& sp : core.spawned) {
+            if (sp.bound || sp.pid <= 0)
+                continue;
+            if (::waitpid(sp.pid, nullptr, WNOHANG) != 0) {
+                sp.pid = -1;
+                core.localDeadCount++;
+                core.stats.workersLost++;
+                core.membershipCv.notify_all();
+            }
+        }
+
         dispatchLocked(core);
+        maybeStealLocked(core);
 
         std::vector<struct pollfd> fds;
         std::vector<std::size_t> idx; // worker index per pollfd tail
         fds.push_back({core.wakeRead, POLLIN, 0});
+        const bool accepting = core.listening && !core.stop;
+        if (accepting)
+            fds.push_back({core.listenFd, POLLIN, 0});
+        const std::size_t head = fds.size();
         for (std::size_t i = 0; i < core.workers.size(); ++i) {
             if (core.workers[i].alive) {
                 fds.push_back({core.workers[i].fd, POLLIN, 0});
@@ -827,10 +1305,12 @@ ProcessPool::monitorLoop(const std::shared_ptr<PoolCore>& core_ptr)
 
         std::vector<Completion> completed;
         lock.lock();
-        for (std::size_t k = 1; k < fds.size(); ++k) {
+        if (accepting && (fds[1].revents & POLLIN))
+            acceptJoinersLocked(core);
+        for (std::size_t k = head; k < fds.size(); ++k) {
             if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
                 continue;
-            WorkerProc& w = core.workers[idx[k - 1]];
+            WorkerProc& w = core.workers[idx[k - head]];
             if (!w.alive)
                 continue;
             bool dead = false;
@@ -872,7 +1352,8 @@ ProcessPool::monitorLoop(const std::shared_ptr<PoolCore>& core_ptr)
         // stale timestamps — their heartbeats were just drained, so
         // lastHeard is fresh here. Silent workers past the timeout
         // are dead (their shard requeues and re-dispatches next
-        // iteration).
+        // iteration). The same timeout bounds how long an accepted
+        // connection may dawdle before answering its challenge.
         const auto now = Clock::now();
         for (WorkerProc& w : core.workers) {
             if (w.alive &&
@@ -891,11 +1372,16 @@ ProcessPool::monitorLoop(const std::shared_ptr<PoolCore>& core_ptr)
         lock.lock();
     }
 
-    // Release the workers: a Shutdown frame lets them exit cleanly
-    // and closing the pipe backs it up with EOF, but neither reaches
-    // a stopped/wedged process — after a short grace period the
-    // worker is SIGKILLed so the blocking reap (and therefore
-    // ~ProcessPool's join) can never hang.
+    // Stop accepting joiners, then release the members: a Shutdown
+    // frame lets each exit cleanly and closing the socket backs it up
+    // with EOF, but neither reaches a stopped/wedged process — after
+    // a short grace period a local worker is SIGKILLed so the
+    // blocking reap (and therefore ~ProcessPool's join) can never
+    // hang. Remote members get the frame + EOF and are on their own.
+    if (core.listenFd >= 0) {
+        ::close(core.listenFd);
+        core.listenFd = -1;
+    }
     for (WorkerProc& w : core.workers) {
         if (!w.alive)
             continue;
@@ -903,6 +1389,8 @@ ProcessPool::monitorLoop(const std::shared_ptr<PoolCore>& core_ptr)
         ::close(w.fd);
         w.fd = -1;
         w.alive = false;
+        if (w.pid <= 0)
+            continue;
         bool reaped = false;
         for (int spin = 0; spin < 50 && !reaped; ++spin) {
             if (::waitpid(w.pid, nullptr, WNOHANG) != 0)
@@ -916,6 +1404,13 @@ ProcessPool::monitorLoop(const std::shared_ptr<PoolCore>& core_ptr)
             ::waitpid(w.pid, nullptr, 0);
         }
         w.pid = -1;
+    }
+    for (SpawnedPid& sp : core.spawned) {
+        if (sp.bound || sp.pid <= 0)
+            continue;
+        ::kill(sp.pid, SIGKILL);
+        ::waitpid(sp.pid, nullptr, 0);
+        sp.pid = -1;
     }
 }
 
@@ -947,19 +1442,24 @@ ProcessPool::submit(CostFunction& cost,
     if (core_->stop)
         throw std::runtime_error(
             "ProcessPool::submit: pool is shutting down");
-    std::size_t alive = 0;
+    std::size_t ready = 0;
     std::size_t total_capacity = 0;
     std::size_t max_capacity = 1;
     for (const WorkerProc& w : core_->workers) {
-        if (!w.alive)
+        if (!w.alive || !w.helloSeen)
             continue;
-        alive++;
+        ready++;
         total_capacity += w.capacity;
         max_capacity = std::max<std::size_t>(max_capacity, w.capacity);
     }
-    if (alive == 0)
+    // A listening pool accepts work while momentarily empty -- shards
+    // queue until a member joins. Size them for a single-threaded
+    // joiner; stealing rebalances if a wider fleet shows up.
+    if (ready == 0 && !core_->listening)
         throw std::runtime_error(
             "ProcessPool::submit: no live workers");
+    if (total_capacity == 0)
+        total_capacity = 1;
 
     // Nothing below throws: commit the batch.
     auto batch = std::make_shared<RemoteBatch>();
@@ -1039,8 +1539,10 @@ bool
 ProcessPool::healthy() const
 {
     std::lock_guard<std::mutex> lock(core_->mutex);
+    if (core_->listening && !core_->stop)
+        return true;
     for (const WorkerProc& w : core_->workers) {
-        if (w.alive)
+        if (w.alive && w.helloSeen)
             return true;
     }
     return false;
@@ -1052,10 +1554,17 @@ ProcessPool::workerPids() const
     std::lock_guard<std::mutex> lock(core_->mutex);
     std::vector<int> pids;
     for (const WorkerProc& w : core_->workers) {
-        if (w.alive)
+        if (w.alive && w.pid > 0)
             pids.push_back(w.pid);
     }
     return pids;
+}
+
+std::uint16_t
+ProcessPool::listenPort() const
+{
+    std::lock_guard<std::mutex> lock(core_->mutex);
+    return core_->listening ? core_->boundPort : 0;
 }
 
 PoolStats

@@ -11,6 +11,18 @@
  * shards to idle workers, collects result frames, and watches
  * liveness.
  *
+ * Elastic TCP fleets: with DistOptions::listen set, the pool binds a
+ * TCP listener instead of (only) socketpairs. Local workers connect
+ * over loopback, and any `oscar-worker --connect host:port` process
+ * -- on this machine or another -- may join at any time, mid-batch
+ * included. Every TCP accept is challenged (a nonce frame); the
+ * worker's Hello must carry the HMAC-style tag keyed by the shared
+ * fleet secret, or the connection is dropped before it can receive
+ * work. A joiner is simply another dispatch target: queued shards
+ * flow to it on the next dispatch pass. Departure is the existing
+ * death path below. A listening pool with zero members keeps batches
+ * queued until someone joins rather than failing them.
+ *
  * Fault tolerance: every worker heartbeats on a fixed period. A
  * worker that closes its pipe (crash, SIGKILL) is detected
  * immediately; one that goes silent past the heartbeat timeout (hang,
@@ -18,8 +30,19 @@
  * queue -- head first, so recovery preempts new work -- and runs on a
  * surviving worker; BatchStats::shardsRequeued counts these. When no
  * workers survive, outstanding batches fail with an error rather than
- * hanging, and the engine falls back to in-process execution for
+ * hanging (unless the pool is listening, where new members can still
+ * arrive), and the engine falls back to in-process execution for
  * later submissions.
+ *
+ * Work stealing: when the queue drains and a member goes idle while
+ * another still holds a large in-flight shard, the coordinator sends
+ * a StealRequest; the busy worker grants its unrun tail between
+ * evaluation sub-batches, and the tail is re-sharded onto the queue
+ * for the idle worker (BatchStats::shardsStolen). Per-frame payload
+ * compression (smallest-of {raw, PackBits, plane PackBits}, shared
+ * with the landscape store's codec) keeps cost specs and f64 arrays
+ * small on the wire; BatchStats::bytesOnWire{Raw,Compressed} report
+ * the saving per batch.
  *
  * Determinism contract: queries and ordinals are reserved at
  * submission in the coordinating process (exactly like the thread
@@ -54,8 +77,14 @@ struct PoolStats
 {
     std::size_t workersSpawned = 0;
     std::size_t workersLost = 0;
+    /** TCP members that passed the authenticated Hello handshake. */
+    std::size_t workersJoined = 0;
     std::size_t tasksDispatched = 0;
     std::size_t tasksRequeued = 0;
+    /** Shard tails split off busy workers via StealRequest/Grant. */
+    std::size_t tasksStolen = 0;
+    /** Dispatches to TCP members that were not spawned by this pool. */
+    std::size_t tasksToRemote = 0;
 };
 
 /** Fork/exec worker-process pool with the engine submission surface. */
@@ -84,11 +113,25 @@ class ProcessPool
     /** Workers spawned at construction. */
     int numWorkers() const;
 
-    /** True while at least one worker is alive. */
+    /**
+     * True while at least one fully-handshaken worker is alive, or
+     * the pool is listening for joiners (an elastic fleet is healthy
+     * even while momentarily empty).
+     */
     bool healthy() const;
 
-    /** Pids of the currently-alive workers (fault injection hooks). */
+    /**
+     * Pids of the currently-alive local workers (fault injection
+     * hooks). Remote TCP members run in other processes -- possibly
+     * on other hosts -- and are not listed.
+     */
     std::vector<int> workerPids() const;
+
+    /**
+     * The TCP listener's bound port (useful with a ":0" listen spec),
+     * or 0 when the pool is not listening.
+     */
+    std::uint16_t listenPort() const;
 
     PoolStats stats() const;
 

@@ -5,6 +5,7 @@
 
 #include "src/common/crc32.h"
 #include "src/common/fnv1a.h"
+#include "src/common/packbits.h"
 
 namespace oscar {
 namespace dist {
@@ -126,14 +127,27 @@ encodeFrame(FrameType type, std::span<const std::uint8_t> payload)
 {
     if (payload.size() > kMaxFramePayload)
         throw WireError("payload exceeds frame size limit");
+    // Smallest-of codec selection (shared with the store's on-disk
+    // archive): a compressed frame is always strictly smaller than
+    // raw, so framing never expands a payload.
+    const packbits::Encoded enc = packbits::pickSmallest(payload);
+    const std::span<const std::uint8_t> stored =
+        enc.codec == packbits::Codec::Raw ? payload
+                                          : std::span(enc.bytes);
     WireWriter w;
     w.u32(kWireMagic);
     w.u16(kWireVersion);
     w.u16(static_cast<std::uint16_t>(type));
     w.u64(payload.size());
+    w.u64(stored.size());
+    w.u8(static_cast<std::uint8_t>(enc.codec));
     std::vector<std::uint8_t> out = w.take();
-    out.insert(out.end(), payload.begin(), payload.end());
-    const std::uint32_t crc = crc32(payload);
+    // The trailer checks header + RAW payload: a bit flip anywhere in
+    // the frame -- type, lengths, codec, or compressed bytes -- fails
+    // either a structural check or this CRC, never decoding silently.
+    const std::uint32_t crc = ::oscar::crc32(
+        std::span<const std::uint8_t>(out.data(), out.size()), payload);
+    out.insert(out.end(), stored.begin(), stored.end());
     for (int i = 0; i < 4; ++i)
         out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
     return out;
@@ -168,23 +182,56 @@ FrameDecoder::next()
                         std::to_string(version));
     const std::uint16_t raw_type = header.u16();
     if (raw_type < static_cast<std::uint16_t>(FrameType::Hello) ||
-        raw_type > static_cast<std::uint16_t>(FrameType::Progress))
+        raw_type > static_cast<std::uint16_t>(FrameType::StealGrant))
         throw WireError("unknown frame type " + std::to_string(raw_type));
-    const std::uint64_t len = header.u64();
-    if (len > kMaxFramePayload)
+    const std::uint64_t raw_len = header.u64();
+    if (raw_len > kMaxFramePayload)
         throw WireError("frame payload too large");
-    if (avail < kFrameHeaderSize + len + 4)
+    const std::uint64_t stored_len = header.u64();
+    const std::uint8_t codec = header.u8();
+    if (codec > static_cast<std::uint8_t>(packbits::Codec::PlanePackBits))
+        throw WireError("unknown frame codec " + std::to_string(codec));
+    // The length pair must be self-consistent before any allocation:
+    // a raw frame stores exactly its payload, a compressed frame is
+    // strictly smaller (the encoder never picks a codec that fails to
+    // shrink), and a plane split only exists for 8-byte records.
+    if (codec == static_cast<std::uint8_t>(packbits::Codec::Raw)) {
+        if (stored_len != raw_len)
+            throw WireError("raw frame stored/raw length mismatch");
+    } else {
+        if (stored_len >= raw_len)
+            throw WireError("compressed frame does not shrink");
+        if (codec ==
+                static_cast<std::uint8_t>(packbits::Codec::PlanePackBits) &&
+            raw_len % 8 != 0)
+            throw WireError("plane-split frame not a multiple of 8");
+    }
+    if (avail < kFrameHeaderSize + stored_len + 4)
         return std::nullopt; // truncated: wait for more bytes
-    const std::uint8_t* payload = buf_.data() + pos_ + kFrameHeaderSize;
-    std::uint32_t stored = 0;
-    for (int i = 0; i < 4; ++i)
-        stored |= static_cast<std::uint32_t>(payload[len + i]) << (8 * i);
-    if (crc32({payload, static_cast<std::size_t>(len)}) != stored)
-        throw WireError("frame CRC mismatch");
+    const std::uint8_t* stored = buf_.data() + pos_ + kFrameHeaderSize;
     Frame frame;
     frame.type = static_cast<FrameType>(raw_type);
-    frame.payload.assign(payload, payload + len);
-    pos_ += kFrameHeaderSize + len + 4;
+    if (codec == static_cast<std::uint8_t>(packbits::Codec::Raw)) {
+        frame.payload.assign(stored, stored + raw_len);
+    } else {
+        try {
+            frame.payload = packbits::decode(
+                codec, {stored, static_cast<std::size_t>(stored_len)},
+                static_cast<std::size_t>(raw_len));
+        } catch (const packbits::CodecError& e) {
+            throw WireError(e.what());
+        }
+    }
+    std::uint32_t trailer = 0;
+    for (int i = 0; i < 4; ++i)
+        trailer |=
+            static_cast<std::uint32_t>(stored[stored_len + i]) << (8 * i);
+    if (::oscar::crc32(std::span<const std::uint8_t>(buf_.data() + pos_,
+                                                     kFrameHeaderSize),
+                       frame.payload) != trailer)
+        throw WireError("frame CRC mismatch");
+    frame.wireBytes = kFrameHeaderSize + stored_len + 4;
+    pos_ += frame.wireBytes;
     return frame;
 }
 
@@ -197,6 +244,7 @@ encodeHello(WireWriter& w, const HelloMsg& msg)
     w.u16(msg.wireVersion);
     w.u8(static_cast<std::uint8_t>(msg.isa));
     w.u16(msg.threads);
+    w.u64(msg.authTag);
 }
 
 HelloMsg
@@ -212,6 +260,89 @@ decodeHello(std::span<const std::uint8_t> payload)
     msg.threads = r.atEnd() ? 1 : r.u16();
     if (msg.threads == 0)
         throw WireError("hello advertises zero capacity");
+    // The auth tag arrived in v5; a v3-shaped payload ends here and
+    // decodes untagged (the pool rejects untagged Hellos on
+    // challenged transports, so tolerance here costs nothing).
+    msg.authTag = r.atEnd() ? 0 : r.u64();
+    r.expectEnd();
+    return msg;
+}
+
+std::uint64_t
+helloAuthTag(const std::string& secret, std::uint64_t nonce,
+             const HelloMsg& msg)
+{
+    // HMAC-style two-pass FNV-1a: tag = H(k^opad || H(k^ipad || body)),
+    // body = nonce plus the Hello's identity fields, so a tag cannot
+    // be replayed for a different nonce or a rewritten capacity. A
+    // membership gate, not cryptographic security (see wire.h).
+    constexpr std::uint64_t kIpad = 0x3636363636363636ull;
+    constexpr std::uint64_t kOpad = 0x5c5c5c5c5c5c5c5cull;
+    const std::uint64_t key = fnv1a(
+        {reinterpret_cast<const std::uint8_t*>(secret.data()),
+         secret.size()});
+    std::uint64_t inner = kFnv1aOffsetBasis;
+    inner = fnv1aAppendU64(inner, key ^ kIpad);
+    inner = fnv1aAppendU64(inner, nonce);
+    inner = fnv1aAppendU64(inner,
+                           static_cast<std::uint64_t>(
+                               static_cast<std::uint32_t>(msg.pid)));
+    inner = fnv1aAppendU64(inner, msg.wireVersion);
+    inner = fnv1aAppendU64(inner,
+                           static_cast<std::uint64_t>(msg.isa));
+    inner = fnv1aAppendU64(inner, msg.threads);
+    std::uint64_t outer = kFnv1aOffsetBasis;
+    outer = fnv1aAppendU64(outer, key ^ kOpad);
+    outer = fnv1aAppendU64(outer, inner);
+    return outer;
+}
+
+void
+encodeChallenge(WireWriter& w, const ChallengeMsg& msg)
+{
+    w.u64(msg.nonce);
+}
+
+ChallengeMsg
+decodeChallenge(std::span<const std::uint8_t> payload)
+{
+    WireReader r(payload);
+    ChallengeMsg msg;
+    msg.nonce = r.u64();
+    r.expectEnd();
+    return msg;
+}
+
+void
+encodeStealRequest(WireWriter& w, const StealRequestMsg& msg)
+{
+    w.u64(msg.taskId);
+}
+
+StealRequestMsg
+decodeStealRequest(std::span<const std::uint8_t> payload)
+{
+    WireReader r(payload);
+    StealRequestMsg msg;
+    msg.taskId = r.u64();
+    r.expectEnd();
+    return msg;
+}
+
+void
+encodeStealGrant(WireWriter& w, const StealGrantMsg& msg)
+{
+    w.u64(msg.taskId);
+    w.u64(msg.keep);
+}
+
+StealGrantMsg
+decodeStealGrant(std::span<const std::uint8_t> payload)
+{
+    WireReader r(payload);
+    StealGrantMsg msg;
+    msg.taskId = r.u64();
+    msg.keep = r.u64();
     r.expectEnd();
     return msg;
 }

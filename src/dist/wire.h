@@ -5,14 +5,30 @@
  * Every message between the coordinating process and an oscar-worker
  * is one *frame*:
  *
- *   [magic u32 "OSCW"][version u16][type u16][payload length u64]
- *   [payload bytes][crc32 u32 of the payload]
+ *   [magic u32 "OSCW"][version u16][type u16][raw length u64]
+ *   [stored length u64][codec u8]
+ *   [stored bytes][crc32 u32 of header + RAW payload]
+ *
+ * v5 layers per-frame compression under the framing: the encoder
+ * picks the smallest of {raw, PackBits, byte-plane PackBits} (the
+ * shared codec in src/common/packbits.h, the same one the landscape
+ * store uses on disk) and records the choice in the codec byte. A
+ * compressed frame's stored length is always strictly smaller than
+ * its raw length; incompressible payloads ship raw, so framing never
+ * expands beyond the fixed header. The CRC covers the header and the
+ * RAW payload: corruption is detected after decode whichever codec
+ * was used, a flipped header field (even one that still parses, like
+ * a valid neighbouring frame type) fails the trailer check, and
+ * decode itself is bounds-checked (a crafted stored stream that
+ * overruns or undershoots the declared raw length is a WireError, not
+ * an allocation).
  *
  * All integers are little-endian; doubles travel as their IEEE-754
  * bit pattern (the same build runs on both ends, so bitwise transport
  * is what keeps distributed values identical to in-process values).
- * A frame is rejected -- WireError -- on bad magic, unknown version or
- * type, an oversized length, a CRC mismatch, or payload decode
+ * A frame is rejected -- WireError -- on bad magic, unknown version,
+ * type, or codec, an oversized or inconsistent length pair, a CRC
+ * mismatch, malformed compressed bytes, or payload decode
  * overrun/trailing bytes; a truncated frame is simply "not complete
  * yet" and never yields a message.
  *
@@ -58,10 +74,18 @@ constexpr std::uint32_t kWireMagic = 0x4F534357u; // "OSCW"
 // v4: the serving frames (Request/Response/Progress, payload schemas
 // in src/serve/protocol.h) join the protocol, carried over the same
 // framing on the oscar-serve daemon's Unix socket.
-constexpr std::uint16_t kWireVersion = 4;
+// v5: compressed framing (stored length + codec byte in the header,
+// smallest-of {raw, PackBits, plane PackBits} per frame), the
+// authenticated TCP handshake (Challenge frame, Hello carries an
+// HMAC-style tag over the challenge nonce), and per-point work
+// stealing (StealRequest/StealGrant).
+constexpr std::uint16_t kWireVersion = 5;
 
-/** Fixed frame header size (magic + version + type + payload length). */
-constexpr std::size_t kFrameHeaderSize = 16;
+/**
+ * Fixed frame header size (magic + version + type + raw length +
+ * stored length + codec byte).
+ */
+constexpr std::size_t kFrameHeaderSize = 25;
 
 /** Hard upper bound on one frame's payload (sanity, not a target). */
 constexpr std::size_t kMaxFramePayload = std::size_t{1} << 30;
@@ -80,6 +104,10 @@ enum class FrameType : std::uint16_t
     Request = 8,   ///< client -> serve: reconstruction/query/stats
     Response = 9,  ///< serve -> client: terminal answer to a Request
     Progress = 10, ///< serve -> client: sampling progress of a Request
+    // v5: elastic TCP membership and work stealing.
+    Challenge = 11,    ///< pool -> worker: auth nonce (TCP accept)
+    StealRequest = 12, ///< pool -> worker: yield a shard's unrun tail
+    StealGrant = 13,   ///< worker -> pool: how much of it was kept
 };
 
 /**
@@ -151,9 +179,19 @@ struct Frame
 {
     FrameType type = FrameType::Heartbeat;
     std::vector<std::uint8_t> payload;
+    /**
+     * Bytes this frame occupied on the wire (header + stored bytes +
+     * CRC), as consumed by the decoder. With compression this is at
+     * most kFrameHeaderSize + payload.size() + 4; the delta is the
+     * framing layer's on-wire saving (BatchStats::bytesOnWire*).
+     */
+    std::size_t wireBytes = 0;
 };
 
-/** Serialize a complete frame (header + payload + CRC). */
+/**
+ * Serialize a complete frame (header + stored payload + CRC over the
+ * raw payload), compressing the payload when that strictly shrinks it.
+ */
 std::vector<std::uint8_t> encodeFrame(FrameType type,
                                       std::span<const std::uint8_t> payload);
 
@@ -195,6 +233,45 @@ struct HelloMsg
      * single-threaded worker.
      */
     std::uint16_t threads = 1;
+    /**
+     * v5: HMAC-style tag over the pool's Challenge nonce and this
+     * Hello's identity fields, keyed by the shared fleet secret
+     * (helloAuthTag). Zero on unchallenged transports (the pool's own
+     * socketpair workers) and in v3-shaped payloads without the field.
+     */
+    std::uint64_t authTag = 0;
+};
+
+/** Authentication challenge the pool sends on a fresh TCP accept. */
+struct ChallengeMsg
+{
+    std::uint64_t nonce = 0;
+};
+
+/**
+ * Pool -> worker: the named in-flight shard should yield its unrun
+ * tail to an idle worker. The worker answers with a StealGrant naming
+ * how many leading points it keeps (its completed prefix) and then
+ * sends a Result for exactly that prefix; a worker that already
+ * finished (or never knew) the shard simply ignores the request --
+ * its full Result is already on the wire ahead of any grant.
+ */
+struct StealRequestMsg
+{
+    std::uint64_t taskId = 0;
+};
+
+/**
+ * Worker -> pool: the shard keeps its first `keep` points; the pool
+ * re-shards [keep, size) onto the queue under a fresh task id. keep=0
+ * means the worker had not started the shard (no Result will follow).
+ * Ordinals were reserved at submission, so the stolen tail evaluates
+ * bit-identically wherever it lands.
+ */
+struct StealGrantMsg
+{
+    std::uint64_t taskId = 0;
+    std::uint64_t keep = 0;
 };
 
 /**
@@ -251,6 +328,26 @@ struct TaskErrorMsg
 
 void encodeHello(WireWriter& w, const HelloMsg& msg);
 HelloMsg decodeHello(std::span<const std::uint8_t> payload);
+
+/**
+ * The v5 membership tag: an HMAC-style FNV-1a construction over the
+ * challenge nonce and the Hello's identity fields (pid, wire version,
+ * ISA, capacity), keyed by the shared fleet secret. This gates
+ * membership against accidental cross-fleet joins and stray
+ * connections -- it is NOT cryptographic security; run fleets on
+ * trusted networks.
+ */
+std::uint64_t helloAuthTag(const std::string& secret, std::uint64_t nonce,
+                           const HelloMsg& msg);
+
+void encodeChallenge(WireWriter& w, const ChallengeMsg& msg);
+ChallengeMsg decodeChallenge(std::span<const std::uint8_t> payload);
+
+void encodeStealRequest(WireWriter& w, const StealRequestMsg& msg);
+StealRequestMsg decodeStealRequest(std::span<const std::uint8_t> payload);
+
+void encodeStealGrant(WireWriter& w, const StealGrantMsg& msg);
+StealGrantMsg decodeStealGrant(std::span<const std::uint8_t> payload);
 
 void encodeCircuit(WireWriter& w, const Circuit& circuit);
 Circuit decodeCircuit(WireReader& r);

@@ -3,20 +3,35 @@
  * The oscar-worker process loop.
  *
  * A worker is the child half of the distributed execution subsystem:
- * it reads LoadCost / Task frames from the pool over an inherited
- * socketpair fd, rebuilds cost evaluators from their wire specs,
- * evaluates parameter-point shards at their reserved ordinals, and
- * writes Result frames back. A detached heartbeat thread keeps
- * liveness flowing even while a long shard is evaluating, so the pool
- * can tell "busy" from "hung".
+ * it reads LoadCost / Task frames from the pool -- over an inherited
+ * socketpair fd, or over TCP after `--connect host:port` -- rebuilds
+ * cost evaluators from their wire specs, evaluates parameter-point
+ * shards at their reserved ordinals, and writes Result frames back. A
+ * detached heartbeat thread keeps liveness flowing even while a long
+ * shard is evaluating, so the pool can tell "busy" from "hung".
  *
- * The loop exits on a Shutdown frame or pipe EOF (the pool died); a
- * wire error is fatal by design -- the pool tears the connection down
- * and requeues, it never resynchronizes a corrupt stream.
+ * Shards are evaluated in small sub-batches with a socket poll
+ * between them, so a coordinator StealRequest is answered promptly:
+ * the worker grants its unrun tail (StealGrant carrying how many
+ * points it keeps), sends the Result for the points it already
+ * evaluated, and the coordinator re-dispatches the tail elsewhere.
+ * Ordinals were reserved at submission, so a stolen tail evaluates
+ * bit-identically wherever it lands.
+ *
+ * On TCP transports the pool challenges every connection with a nonce
+ * frame before accepting work from it; the worker answers inside its
+ * Hello with an HMAC-style tag over the nonce keyed by the shared
+ * fleet secret (OSCAR_DIST_SECRET).
+ *
+ * The loop exits on a Shutdown frame or EOF (the pool died); a wire
+ * error is fatal by design -- the pool tears the connection down and
+ * requeues, it never resynchronizes a corrupt stream.
  */
 
 #ifndef OSCAR_DIST_WORKER_H
 #define OSCAR_DIST_WORKER_H
+
+#include <string>
 
 namespace oscar {
 namespace dist {
@@ -27,15 +42,25 @@ namespace dist {
  * ExecutionEngine pool for shard evaluation (hybrid process x thread
  * execution): 0 = this host's hardware concurrency, >= 1 = exactly
  * that many. The resolved count is advertised back to the pool in the
- * Hello frame as the worker's capacity. Returns the process exit code
+ * Hello frame as the worker's capacity. With `await_challenge` the
+ * worker first blocks for the pool's Challenge frame and tags its
+ * Hello with helloAuthTag(secret, nonce, hello) -- the TCP handshake;
+ * socketpair workers greet untagged. Returns the process exit code
  * (0 on a clean shutdown, nonzero on a protocol error).
  */
-int workerMain(int fd, int heartbeat_ms, int threads = 1);
+int workerMain(int fd, int heartbeat_ms, int threads = 1,
+               const std::string& secret = "",
+               bool await_challenge = false);
 
 /**
  * Entry point of the `oscar-worker` binary: parses
- * `--worker-fd N [--heartbeat-ms M] [--threads T]` and runs
- * workerMain.
+ * `--worker-fd N | --connect host:port [--heartbeat-ms M]
+ * [--threads T]` and runs workerMain. Without --connect the
+ * OSCAR_DIST_CONNECT environment variable is consulted
+ * (resolveDistConnect); the fleet secret always comes from
+ * OSCAR_DIST_SECRET, never argv (ps would leak it). A TCP connect is
+ * retried for a few seconds, so a worker may be started slightly
+ * before its coordinator.
  */
 int workerEntry(int argc, char** argv);
 

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "src/common/crc32.h"
+#include "src/common/packbits.h"
 #include "src/dist/wire.h"
 
 namespace oscar {
@@ -20,105 +21,24 @@ using dist::WireWriter;
 /** Hard cap on one stream's raw size (sanity against crafted sizes). */
 constexpr std::uint64_t kMaxStreamBytes = std::uint64_t{1} << 32;
 
-/**
- * Byte-plane split of an f64 (or any 8-byte-record) array: plane j
- * holds byte j of every record. High exponent bytes of smooth
- * landscape data barely change between neighbours, so the split turns
- * them into long runs PackBits can collapse.
- */
-std::vector<std::uint8_t>
-planeSplit(std::span<const std::uint8_t> raw)
-{
-    const std::size_t n = raw.size() / 8;
-    std::vector<std::uint8_t> out(raw.size());
-    for (std::size_t i = 0; i < n; ++i)
-        for (std::size_t j = 0; j < 8; ++j)
-            out[j * n + i] = raw[i * 8 + j];
-    return out;
-}
-
-std::vector<std::uint8_t>
-planeJoin(std::span<const std::uint8_t> planes)
-{
-    const std::size_t n = planes.size() / 8;
-    std::vector<std::uint8_t> out(planes.size());
-    for (std::size_t i = 0; i < n; ++i)
-        for (std::size_t j = 0; j < 8; ++j)
-            out[i * 8 + j] = planes[j * n + i];
-    return out;
-}
-
 } // namespace
 
 std::vector<std::uint8_t>
 packBits(std::span<const std::uint8_t> raw)
 {
-    // Classic PackBits: control byte c in 0..127 announces c+1 literal
-    // bytes; c in 129..255 announces 257-c repeats of the next byte;
-    // 128 is unused. Repeat runs only pay off from length 3.
-    std::vector<std::uint8_t> out;
-    out.reserve(raw.size() / 2 + 16);
-    std::size_t i = 0;
-    while (i < raw.size()) {
-        // Measure the run starting at i.
-        std::size_t run = 1;
-        while (i + run < raw.size() && run < 128 &&
-               raw[i + run] == raw[i])
-            ++run;
-        if (run >= 3) {
-            out.push_back(static_cast<std::uint8_t>(257 - run));
-            out.push_back(raw[i]);
-            i += run;
-            continue;
-        }
-        // Literal run: until the next >=3 repeat or 128 bytes.
-        std::size_t lit = 0;
-        while (i + lit < raw.size() && lit < 128) {
-            const std::size_t at = i + lit;
-            if (at + 2 < raw.size() && raw[at] == raw[at + 1] &&
-                raw[at] == raw[at + 2])
-                break;
-            ++lit;
-        }
-        out.push_back(static_cast<std::uint8_t>(lit - 1));
-        out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(i),
-                   raw.begin() + static_cast<std::ptrdiff_t>(i + lit));
-        i += lit;
-    }
-    return out;
+    return packbits::pack(raw);
 }
 
 std::vector<std::uint8_t>
 unpackBits(std::span<const std::uint8_t> packed, std::size_t raw_size)
 {
-    std::vector<std::uint8_t> out;
-    out.reserve(raw_size);
-    std::size_t i = 0;
-    while (i < packed.size()) {
-        const std::uint8_t c = packed[i++];
-        if (c < 128) {
-            const std::size_t lit = static_cast<std::size_t>(c) + 1;
-            if (i + lit > packed.size())
-                throw ArchiveError("packbits literal run truncated");
-            out.insert(out.end(),
-                       packed.begin() + static_cast<std::ptrdiff_t>(i),
-                       packed.begin() +
-                           static_cast<std::ptrdiff_t>(i + lit));
-            i += lit;
-        } else if (c > 128) {
-            if (i >= packed.size())
-                throw ArchiveError("packbits repeat run truncated");
-            out.insert(out.end(), 257 - static_cast<std::size_t>(c),
-                       packed[i++]);
-        } else {
-            throw ArchiveError("packbits control byte 128 is invalid");
-        }
-        if (out.size() > raw_size)
-            throw ArchiveError("packbits output exceeds declared size");
+    try {
+        return packbits::unpack(packed, raw_size);
+    } catch (const packbits::CodecError& e) {
+        // Malformed compressed data inside a container is container
+        // corruption; keep the store-layer error type.
+        throw ArchiveError(e.what());
     }
-    if (out.size() != raw_size)
-        throw ArchiveError("packbits output shorter than declared size");
-    return out;
 }
 
 const std::vector<std::uint8_t>*
@@ -155,31 +75,15 @@ ArchiveWriter::serialize() const
         out = w.take();
     }
     for (const ArchiveStream& s : streams_) {
-        // Pick the smallest encoding; ties keep the simpler codec.
-        StreamCodec codec = StreamCodec::Raw;
-        std::vector<std::uint8_t> stored;
-        std::vector<std::uint8_t> packed = packBits(s.bytes);
-        if (packed.size() < s.bytes.size()) {
-            codec = StreamCodec::PackBits;
-            stored = std::move(packed);
-        }
-        if (!s.bytes.empty() && s.bytes.size() % 8 == 0) {
-            std::vector<std::uint8_t> planar =
-                packBits(planeSplit(s.bytes));
-            const std::size_t best = codec == StreamCodec::Raw
-                                         ? s.bytes.size()
-                                         : stored.size();
-            if (planar.size() < best) {
-                codec = StreamCodec::PlanePackBits;
-                stored = std::move(planar);
-            }
-        }
+        // Smallest of {raw, PackBits, plane-split PackBits}; ties keep
+        // the simpler codec (shared logic in src/common/packbits.h).
+        const packbits::Encoded enc = packbits::pickSmallest(s.bytes);
         const std::span<const std::uint8_t> payload =
-            codec == StreamCodec::Raw ? std::span(s.bytes)
-                                      : std::span(stored);
+            enc.codec == StreamCodec::Raw ? std::span(s.bytes)
+                                          : std::span(enc.bytes);
         WireWriter w;
         w.str(s.name);
-        w.u8(static_cast<std::uint8_t>(codec));
+        w.u8(static_cast<std::uint8_t>(enc.codec));
         w.u64(s.bytes.size());
         w.u64(payload.size());
         w.u32(::oscar::crc32(s.bytes));
@@ -255,21 +159,10 @@ decodeArchive(std::span<const std::uint8_t> bytes)
             std::vector<std::uint8_t> stored(stored_size);
             for (std::uint64_t b = 0; b < stored_size; ++b)
                 stored[b] = r.u8();
-            switch (static_cast<StreamCodec>(codec)) {
-              case StreamCodec::Raw:
-                if (stored.size() != raw_size)
-                    throw ArchiveError("raw stream size mismatch");
-                s.bytes = std::move(stored);
-                break;
-              case StreamCodec::PackBits:
-                s.bytes = unpackBits(stored, raw_size);
-                break;
-              case StreamCodec::PlanePackBits:
-                if (raw_size % 8 != 0)
-                    throw ArchiveError(
-                        "plane-split stream size not a multiple of 8");
-                s.bytes = planeJoin(unpackBits(stored, raw_size));
-                break;
+            try {
+                s.bytes = packbits::decode(codec, stored, raw_size);
+            } catch (const packbits::CodecError& e) {
+                throw ArchiveError(e.what());
             }
             if (::oscar::crc32(s.bytes) != crc)
                 throw ArchiveError("stream CRC mismatch: " + s.name);

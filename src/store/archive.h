@@ -43,6 +43,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/packbits.h"
+
 namespace oscar {
 namespace store {
 
@@ -66,19 +68,23 @@ constexpr std::uint32_t kArchiveFooter = 0x41444E45u; // "ENDA"
  */
 constexpr std::uint16_t kArchiveVersion = 1;
 
-/** Per-stream storage codec. */
-enum class StreamCodec : std::uint8_t
-{
-    Raw = 0,           ///< stored bytes == raw bytes
-    PackBits = 1,      ///< PackBits run-length coding
-    PlanePackBits = 2, ///< byte-plane split, then PackBits (f64 arrays)
-};
+/**
+ * Per-stream storage codec. The codec itself lives in
+ * src/common/packbits.h, shared with the distributed wire layer's
+ * compressed framing; the alias keeps the historical store-layer name
+ * (and its on-disk byte values: Raw=0, PackBits=1, PlanePackBits=2).
+ */
+using StreamCodec = ::oscar::packbits::Codec;
 
-/** PackBits-compress a byte span (always decodable, may expand). */
+/**
+ * PackBits-compress a byte span (always decodable, may expand).
+ * Delegates to the shared codec in src/common/packbits.h.
+ */
 std::vector<std::uint8_t> packBits(std::span<const std::uint8_t> raw);
 
 /**
  * Inverse of packBits; `raw_size` is the expected output size.
+ * Delegates to the shared codec in src/common/packbits.h.
  * @throws ArchiveError on malformed input or a size mismatch
  */
 std::vector<std::uint8_t> unpackBits(std::span<const std::uint8_t> packed,

@@ -20,16 +20,32 @@
  *    worker-side kernel/prefix-cache counters aggregate into
  *    BatchStats::remoteKernel;
  *  - Oscar::reconstruct with OscarOptions::distributed produces the
- *    same samples and reconstruction as the in-process pipeline.
+ *    same samples and reconstruction as the in-process pipeline;
+ *  - elastic TCP fleets: loopback-TCP pools stay bit-identical to
+ *    in-process execution (with measured on-wire compression), a
+ *    worker that joins mid-batch receives queued work, a SIGKILLed
+ *    remote member's shards requeue onto survivors, per-point work
+ *    stealing moves a straggler's unrun tail without changing a bit,
+ *    a joiner with the wrong fleet secret is rejected before it can
+ *    receive work, and the OSCAR_DIST_LISTEN / OSCAR_DIST_CONNECT /
+ *    OSCAR_DIST_SECRET resolvers reject malformed input loudly.
  */
 
 #include <gtest/gtest.h>
 
 #include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
+#include <functional>
+#include <string>
 #include <thread>
+#include <vector>
+
+extern char** environ;
 
 #include "src/ansatz/qaoa.h"
 #include "src/backend/engine.h"
@@ -549,6 +565,359 @@ TEST(DistEngineTest, OscarReconstructDistributedMatchesInProcess)
     // Identical samples reconstruct identically.
     for (std::size_t i = 0; i < a.reconstructed.numPoints(); ++i)
         EXPECT_EQ(a.reconstructed.value(i), b.reconstructed.value(i));
+}
+
+// ------------------------------------------------ elastic TCP fleets
+
+/** Set (or clear, with nullptr) an env var for one scope. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char* name, const char* value) : name_(name)
+    {
+        const char* old = std::getenv(name);
+        had_ = old != nullptr;
+        saved_ = had_ ? old : "";
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), saved_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string saved_;
+    bool had_ = false;
+};
+
+/**
+ * fork/exec an `oscar-worker --connect 127.0.0.1:port` joiner, the way
+ * an operator would start one on another machine. The fleet secret
+ * travels in the child environment (never argv); slow_us throttles the
+ * worker via the OSCAR_WORKER_SLOW_US test hook to fake a straggler.
+ * Returns the child pid (the caller reaps it).
+ */
+int
+spawnRemoteWorker(std::uint16_t port, const std::string& secret,
+                  long slow_us = 0)
+{
+    const std::string worker = dist::ProcessPool::resolveWorkerPath("");
+    const std::string connect = "127.0.0.1:" + std::to_string(port);
+
+    std::vector<std::string> env_store;
+    for (char** e = environ; e && *e; ++e) {
+        const std::string entry(*e);
+        if (entry.rfind("OSCAR_DIST_SECRET=", 0) == 0 ||
+            entry.rfind("OSCAR_DIST_CONNECT=", 0) == 0 ||
+            entry.rfind("OSCAR_WORKER_SLOW_US=", 0) == 0)
+            continue;
+        env_store.push_back(entry);
+    }
+    if (!secret.empty())
+        env_store.push_back("OSCAR_DIST_SECRET=" + secret);
+    if (slow_us > 0)
+        env_store.push_back("OSCAR_WORKER_SLOW_US=" +
+                            std::to_string(slow_us));
+
+    std::vector<std::string> arg_store = {"oscar-worker", "--connect",
+                                          connect, "--heartbeat-ms",
+                                          "50", "--threads", "1"};
+    std::vector<char*> argv;
+    std::vector<char*> envp;
+    for (std::string& s : arg_store)
+        argv.push_back(s.data());
+    argv.push_back(nullptr);
+    for (std::string& s : env_store)
+        envp.push_back(s.data());
+    envp.push_back(nullptr);
+
+    const int pid = ::fork();
+    if (pid == 0) {
+        ::execve(worker.c_str(), argv.data(), envp.data());
+        ::_exit(127);
+    }
+    return pid;
+}
+
+/** Reap a test-spawned worker once it exits (pool gone / SIGKILLed). */
+void
+reapWorker(int pid)
+{
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+}
+
+bool
+waitUntil(const std::function<bool()>& done, int timeout_ms = 10000)
+{
+    for (int i = 0; i < timeout_ms * 5; ++i) {
+        if (done())
+            return true;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return done();
+}
+
+TEST(DistFleetTest, TcpLoopbackPoolBitIdenticalWithCompressedFraming)
+{
+    const Graph graph = distGraph(8);
+    StatevectorCost reference = makeCost(graph, 1);
+    const auto points = randomPoints(48, reference.numParams(), 19);
+    const std::vector<double> want = reference.evaluateBatch(points);
+
+    dist::DistOptions options;
+    options.numWorkers = 2;
+    options.listen = "127.0.0.1:0";
+    options.secret = "tcp-test-secret";
+    options.shardSize = 5;
+    dist::ProcessPool pool(options);
+    EXPECT_NE(pool.listenPort(), 0);
+    EXPECT_TRUE(pool.healthy());
+    // TCP-mode locals are pid-bound to their connections, so fault
+    // injection via workerPids keeps working on this transport.
+    EXPECT_EQ(pool.workerPids().size(), 2u);
+    EXPECT_EQ(pool.stats().workersJoined, 2u);
+
+    StatevectorCost cost = makeCost(graph, 1);
+    auto pts = points;
+    BatchHandle handle = pool.submit(cost, std::move(pts));
+    expectBitIdentical(handle.get(), want);
+    EXPECT_EQ(cost.numQueries(), points.size());
+
+    const BatchStats stats = handle.stats();
+    EXPECT_EQ(stats.pointsRemote, points.size());
+    // Compressed framing: the wire carried measurably fewer bytes
+    // than the raw frames (cost specs are full of zero byte-planes).
+    EXPECT_GT(stats.bytesOnWireRaw, 0u);
+    EXPECT_GT(stats.bytesOnWireCompressed, 0u);
+    EXPECT_LT(stats.bytesOnWireCompressed, stats.bytesOnWireRaw);
+    // Pool-spawned locals never count as remote dispatch targets.
+    EXPECT_EQ(pool.stats().tasksToRemote, 0u);
+}
+
+TEST(DistFleetTest, WorkerJoinsMidBatchAndReceivesQueuedWork)
+{
+    const Graph graph = distGraph(8);
+    StatevectorCost reference = makeCost(graph, 1);
+    const auto points = randomPoints(48, reference.numParams(), 23);
+    const std::vector<double> want = reference.evaluateBatch(points);
+
+    int pid = -1;
+    {
+        // An elastic coordinator with zero members: batches queue
+        // until someone joins.
+        dist::DistOptions options;
+        options.numWorkers = 0;
+        options.listen = "127.0.0.1:0";
+        options.secret = "join-test-secret";
+        options.shardSize = 6;
+        dist::ProcessPool pool(options);
+        EXPECT_TRUE(pool.healthy());
+        EXPECT_EQ(pool.workerPids().size(), 0u);
+
+        StatevectorCost cost = makeCost(graph, 1);
+        auto pts = points;
+        BatchHandle handle = pool.submit(cost, std::move(pts));
+        EXPECT_FALSE(handle.done());
+
+        pid = spawnRemoteWorker(pool.listenPort(), "join-test-secret");
+        ASSERT_GT(pid, 0);
+        expectBitIdentical(handle.get(), want);
+        EXPECT_EQ(cost.numQueries(), points.size());
+        EXPECT_EQ(pool.stats().workersJoined, 1u);
+        EXPECT_GE(pool.stats().tasksToRemote, 1u);
+        EXPECT_EQ(handle.stats().pointsRemote, points.size());
+    }
+    // Pool shutdown tells the joiner to exit; it leaves cleanly.
+    reapWorker(pid);
+}
+
+TEST(DistFleetTest, SigkilledRemoteMemberRequeuesOntoSurvivors)
+{
+    const Graph graph = distGraph(8);
+    StatevectorCost reference = makeCost(graph, 1);
+    const auto points = randomPoints(48, reference.numParams(), 29);
+    const std::vector<double> want = reference.evaluateBatch(points);
+
+    dist::DistOptions options;
+    options.numWorkers = 1;
+    options.listen = "127.0.0.1:0";
+    options.secret = "kill-test-secret";
+    options.shardSize = 4;
+    dist::ProcessPool pool(options);
+
+    // A deliberately slow joiner: it holds its in-flight shard long
+    // enough to be killed mid-evaluation.
+    const int pid = spawnRemoteWorker(pool.listenPort(),
+                                      "kill-test-secret",
+                                      /*slow_us=*/20000);
+    ASSERT_GT(pid, 0);
+    ASSERT_TRUE(waitUntil(
+        [&] { return pool.stats().workersJoined >= 2; }));
+
+    StatevectorCost cost = makeCost(graph, 1);
+    auto pts = points;
+    BatchHandle handle = pool.submit(cost, std::move(pts));
+    ASSERT_TRUE(waitUntil(
+        [&] { return pool.stats().tasksToRemote >= 1; }));
+    ::kill(pid, SIGKILL);
+    reapWorker(pid);
+
+    expectBitIdentical(handle.get(), want);
+    EXPECT_EQ(cost.numQueries(), points.size());
+    EXPECT_GE(handle.stats().shardsRequeued, 1u);
+    EXPECT_GE(pool.stats().workersLost, 1u);
+}
+
+TEST(DistFleetTest, StolenStragglerTailIsBitIdentical)
+{
+    const Graph graph = distGraph(8);
+    StatevectorCost reference = makeCost(graph, 1);
+    const auto points = randomPoints(48, reference.numParams(), 37);
+    const std::vector<double> want = reference.evaluateBatch(points);
+
+    int pid = -1;
+    {
+        dist::DistOptions options;
+        options.numWorkers = 1; // the fast member
+        options.listen = "127.0.0.1:0";
+        options.secret = "steal-test-secret";
+        options.shardSize = 24; // two big shards, one per member
+        dist::ProcessPool pool(options);
+
+        // ~20ms per point: whichever member draws the straggler pins
+        // its shard for ~half a second while the other idles.
+        pid = spawnRemoteWorker(pool.listenPort(), "steal-test-secret",
+                                /*slow_us=*/20000);
+        ASSERT_GT(pid, 0);
+        ASSERT_TRUE(waitUntil(
+            [&] { return pool.stats().workersJoined >= 2; }));
+
+        StatevectorCost cost = makeCost(graph, 1);
+        auto pts = points;
+        BatchHandle handle = pool.submit(cost, std::move(pts));
+        expectBitIdentical(handle.get(), want);
+        EXPECT_EQ(cost.numQueries(), points.size());
+        // The idle member stole the straggler's unrun tail, and the
+        // relocation changed no values (ordinals were reserved at
+        // submission).
+        EXPECT_GE(handle.stats().shardsStolen, 1u);
+        EXPECT_GE(pool.stats().tasksStolen, 1u);
+    }
+    reapWorker(pid);
+}
+
+TEST(DistFleetTest, WrongSecretJoinerIsRejectedBeforeReceivingWork)
+{
+    const Graph graph = distGraph(8);
+    StatevectorCost reference = makeCost(graph, 1);
+    const auto points = randomPoints(24, reference.numParams(), 43);
+    const std::vector<double> want = reference.evaluateBatch(points);
+
+    int pid = -1;
+    {
+        dist::DistOptions options;
+        options.numWorkers = 1;
+        options.listen = "127.0.0.1:0";
+        options.secret = "right-secret";
+        options.shardSize = 4;
+        dist::ProcessPool pool(options);
+        ASSERT_TRUE(waitUntil(
+            [&] { return pool.stats().workersJoined >= 1; }));
+
+        pid = spawnRemoteWorker(pool.listenPort(), "wrong-secret");
+        ASSERT_GT(pid, 0);
+        // The impostor's tagged Hello fails verification and the
+        // connection is dropped; it never becomes a member.
+        reapWorker(pid);
+        pid = -1;
+        EXPECT_EQ(pool.stats().workersJoined, 1u);
+
+        // The fleet keeps working on its authenticated member.
+        StatevectorCost cost = makeCost(graph, 1);
+        auto pts = points;
+        expectBitIdentical(pool.submit(cost, std::move(pts)).get(),
+                           want);
+        EXPECT_EQ(pool.stats().workersJoined, 1u);
+        EXPECT_EQ(pool.stats().tasksToRemote, 0u);
+    }
+    if (pid > 0)
+        reapWorker(pid);
+}
+
+TEST(DistOptionsTest, ListenConnectSecretResolverMatrix)
+{
+    // Explicit configuration wins without consulting the environment.
+    {
+        ScopedEnv env("OSCAR_DIST_LISTEN", "not-an-address");
+        EXPECT_EQ(dist::resolveDistListen("127.0.0.1:0"),
+                  "127.0.0.1:0");
+        EXPECT_EQ(dist::resolveDistListen("none"), "");
+        EXPECT_THROW(dist::resolveDistListen(""), std::runtime_error);
+    }
+    // The environment is consulted only on the empty sentinel.
+    {
+        ScopedEnv env("OSCAR_DIST_LISTEN", "0.0.0.0:7777");
+        EXPECT_EQ(dist::resolveDistListen(""), "0.0.0.0:7777");
+    }
+    {
+        ScopedEnv env("OSCAR_DIST_LISTEN", "none");
+        EXPECT_EQ(dist::resolveDistListen(""), "");
+    }
+    {
+        ScopedEnv env("OSCAR_DIST_LISTEN", nullptr);
+        EXPECT_EQ(dist::resolveDistListen(""), "");
+    }
+    // Malformed listen specs fail loudly, whatever the source.
+    EXPECT_THROW(dist::resolveDistListen("nohost"), std::runtime_error);
+    EXPECT_THROW(dist::resolveDistListen("host:"), std::runtime_error);
+    EXPECT_THROW(dist::resolveDistListen(":1234"), std::runtime_error);
+    EXPECT_THROW(dist::resolveDistListen("host:99999"),
+                 std::runtime_error);
+    EXPECT_THROW(dist::resolveDistListen("host:12x"),
+                 std::runtime_error);
+
+    // Connect accepts real ports only (a worker cannot dial port 0).
+    EXPECT_EQ(dist::resolveDistConnect("127.0.0.1:80"), "127.0.0.1:80");
+    EXPECT_THROW(dist::resolveDistConnect("127.0.0.1:0"),
+                 std::runtime_error);
+    {
+        ScopedEnv env("OSCAR_DIST_CONNECT", "10.0.0.1:4242");
+        EXPECT_EQ(dist::resolveDistConnect(""), "10.0.0.1:4242");
+    }
+    {
+        ScopedEnv env("OSCAR_DIST_CONNECT", "10.0.0.1:0");
+        EXPECT_THROW(dist::resolveDistConnect(""), std::runtime_error);
+    }
+    {
+        ScopedEnv env("OSCAR_DIST_CONNECT", nullptr);
+        EXPECT_EQ(dist::resolveDistConnect(""), "");
+    }
+
+    // Secrets: explicit wins; a set-but-empty or over-long secret is
+    // a misconfiguration, not a choice.
+    {
+        ScopedEnv env("OSCAR_DIST_SECRET", "from-env");
+        EXPECT_EQ(dist::resolveDistSecret("explicit"), "explicit");
+        EXPECT_EQ(dist::resolveDistSecret(""), "from-env");
+    }
+    {
+        ScopedEnv env("OSCAR_DIST_SECRET", "");
+        EXPECT_THROW(dist::resolveDistSecret(""), std::runtime_error);
+    }
+    {
+        ScopedEnv env("OSCAR_DIST_SECRET", nullptr);
+        EXPECT_EQ(dist::resolveDistSecret(""), "");
+        EXPECT_THROW(dist::resolveDistSecret(std::string(300, 'x')),
+                     std::runtime_error);
+    }
 }
 
 } // namespace

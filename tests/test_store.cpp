@@ -28,8 +28,10 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "src/common/packbits.h"
 #include "src/common/rng.h"
 #include "src/store/archive.h"
 #include "src/store/landscape_store.h"
@@ -233,6 +235,47 @@ TEST(PackBitsTest, RejectsMalformedEncodings)
         packBits(std::vector<std::uint8_t>(10, 5));
     EXPECT_THROW(unpackBits(packed, 9), ArchiveError);
     EXPECT_THROW(unpackBits(packed, 11), ArchiveError);
+}
+
+TEST(PackBitsTest, StoreCodecIsTheSharedCodec)
+{
+    // The store delegates to src/common/packbits.h (the codec the
+    // distributed wire layer also uses for compressed framing). The
+    // encodings must be byte-for-byte identical -- a divergence would
+    // silently fork the on-disk and on-wire formats.
+    const std::vector<std::vector<std::uint8_t>> cases = {
+        {},
+        {42},
+        std::vector<std::uint8_t>(64, 7),
+        randomBytes(512, 9),
+        [] {
+            std::vector<std::uint8_t> mixed(256, 0);
+            for (std::size_t i = 64; i < 128; ++i)
+                mixed[i] = static_cast<std::uint8_t>(i);
+            return mixed;
+        }(),
+    };
+    for (const auto& raw : cases) {
+        const std::vector<std::uint8_t> via_store = packBits(raw);
+        const std::vector<std::uint8_t> via_common =
+            ::oscar::packbits::pack(raw);
+        EXPECT_EQ(via_store, via_common) << "input size " << raw.size();
+        EXPECT_EQ(unpackBits(via_common, raw.size()), raw);
+        EXPECT_EQ(::oscar::packbits::unpack(via_store, raw.size()), raw);
+    }
+    // StreamCodec values ARE the shared codec values (on-disk bytes
+    // and on-wire codec bytes agree by construction).
+    static_assert(std::is_same_v<StreamCodec, ::oscar::packbits::Codec>);
+    // pickSmallest never expands, and its choice decodes back exactly.
+    const std::vector<std::uint8_t> zeros(1024, 0);
+    const ::oscar::packbits::Encoded enc =
+        ::oscar::packbits::pickSmallest(zeros);
+    ASSERT_NE(enc.codec, ::oscar::packbits::Codec::Raw);
+    EXPECT_LT(enc.bytes.size(), zeros.size());
+    EXPECT_EQ(::oscar::packbits::decode(
+                  static_cast<std::uint8_t>(enc.codec), enc.bytes,
+                  zeros.size()),
+              zeros);
 }
 
 // ---------------------------------------------------------------------

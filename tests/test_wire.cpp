@@ -498,14 +498,206 @@ TEST(WireTest, ServeFrameTypesRoundTrip)
         EXPECT_EQ(frame->payload, payload);
     }
 
-    // The type one past Progress is still unknown.
+    // The type one past the v5 range (StealGrant) is still unknown.
     std::vector<std::uint8_t> bad =
         encodeFrame(FrameType::Progress, payload);
     bad[6] = static_cast<std::uint8_t>(
-        static_cast<std::uint16_t>(FrameType::Progress) + 1);
+        static_cast<std::uint16_t>(FrameType::StealGrant) + 1);
     FrameDecoder decoder;
     decoder.feed(bad.data(), bad.size());
     EXPECT_THROW(decoder.next(), WireError);
+}
+
+TEST(WireTest, FleetFrameTypesRoundTrip)
+{
+    // v5 adds the elastic-fleet handshake and steal protocol frames.
+    const std::vector<std::uint8_t> payload = {9, 8, 7};
+    for (const FrameType type : {FrameType::Challenge,
+                                 FrameType::StealRequest,
+                                 FrameType::StealGrant}) {
+        const std::vector<std::uint8_t> bytes =
+            encodeFrame(type, payload);
+        FrameDecoder decoder;
+        decoder.feed(bytes.data(), bytes.size());
+        const std::optional<Frame> frame = decoder.next();
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_EQ(frame->type, type);
+        EXPECT_EQ(frame->payload, payload);
+        EXPECT_EQ(frame->wireBytes, bytes.size());
+    }
+}
+
+TEST(WireTest, ChallengeAndStealMessagesRoundTrip)
+{
+    {
+        ChallengeMsg msg;
+        msg.nonce = 0x0123456789ABCDEFull;
+        WireWriter w;
+        encodeChallenge(w, msg);
+        EXPECT_EQ(decodeChallenge(w.bytes()).nonce, msg.nonce);
+        std::vector<std::uint8_t> extra = w.bytes();
+        extra.push_back(0);
+        EXPECT_THROW(decodeChallenge(extra), WireError);
+    }
+    {
+        StealRequestMsg msg;
+        msg.taskId = 42;
+        WireWriter w;
+        encodeStealRequest(w, msg);
+        EXPECT_EQ(decodeStealRequest(w.bytes()).taskId, 42u);
+    }
+    {
+        StealGrantMsg msg;
+        msg.taskId = 43;
+        msg.keep = 7;
+        WireWriter w;
+        encodeStealGrant(w, msg);
+        const StealGrantMsg back = decodeStealGrant(w.bytes());
+        EXPECT_EQ(back.taskId, 43u);
+        EXPECT_EQ(back.keep, 7u);
+    }
+}
+
+TEST(WireTest, HelloAuthTagRoundTripAndKeying)
+{
+    HelloMsg msg;
+    msg.pid = 4321;
+    msg.isa = kernels::KernelIsa::Avx2;
+    msg.threads = 8;
+    msg.authTag = helloAuthTag("fleet-secret", 0xDEADBEEFull, msg);
+    EXPECT_NE(msg.authTag, 0u);
+
+    WireWriter w;
+    encodeHello(w, msg);
+    const HelloMsg back = decodeHello(w.bytes());
+    EXPECT_EQ(back.authTag, msg.authTag);
+
+    // The tag keys on the secret, the nonce, and every Hello field,
+    // so a replay under a different challenge (or a different fleet)
+    // never verifies.
+    EXPECT_EQ(helloAuthTag("fleet-secret", 0xDEADBEEFull, msg),
+              msg.authTag);
+    EXPECT_NE(helloAuthTag("other-secret", 0xDEADBEEFull, msg),
+              msg.authTag);
+    EXPECT_NE(helloAuthTag("fleet-secret", 0xDEADBEEEull, msg),
+              msg.authTag);
+    HelloMsg tweaked = msg;
+    tweaked.threads = 9;
+    EXPECT_NE(helloAuthTag("fleet-secret", 0xDEADBEEFull, tweaked),
+              msg.authTag);
+}
+
+TEST(WireTest, HelloWithoutAuthTagDecodesAsUntagged)
+{
+    // A v3-shaped Hello body ends after the capacity field; it must
+    // decode with authTag 0 (socketpair workers never tag), not fail.
+    WireWriter w;
+    w.i32(555);
+    w.u16(kWireVersion);
+    w.u8(0); // scalar ISA
+    w.u16(4);
+    const HelloMsg back = decodeHello(w.bytes());
+    EXPECT_EQ(back.pid, 555);
+    EXPECT_EQ(back.threads, 4);
+    EXPECT_EQ(back.authTag, 0u);
+}
+
+// ------------------------------------------------- compressed framing
+
+/** A frame whose payload the byte-plane/PackBits codec shrinks. */
+std::vector<std::uint8_t>
+compressibleFrame(std::vector<std::uint8_t>* payload_out = nullptr)
+{
+    // A realistic compressible payload: a Task full of repeated point
+    // coordinates (f64s with long runs of equal bytes).
+    TaskMsg task;
+    task.taskId = 11;
+    task.costId = 22;
+    task.baseOrdinal = 33;
+    for (int i = 0; i < 32; ++i)
+        task.points.push_back({0.5, 0.5, 0.25, 0.25});
+    const std::vector<std::uint8_t> payload = encodeTask(task);
+    if (payload_out)
+        *payload_out = payload;
+    return encodeFrame(FrameType::Task, payload);
+}
+
+TEST(WireTest, CompressedFrameShrinksAndRoundTrips)
+{
+    std::vector<std::uint8_t> payload;
+    const std::vector<std::uint8_t> bytes = compressibleFrame(&payload);
+
+    // Smaller on the wire than raw framing, and flagged as such.
+    EXPECT_LT(bytes.size(), kFrameHeaderSize + payload.size() + 4);
+    EXPECT_NE(bytes[24], 0u); // codec byte: not Raw
+
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    const std::optional<Frame> frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, FrameType::Task);
+    EXPECT_EQ(frame->payload, payload); // decompression is bit-exact
+    EXPECT_EQ(frame->wireBytes, bytes.size());
+
+    const TaskMsg back = decodeTask(frame->payload);
+    EXPECT_EQ(back.points.size(), 32u);
+    EXPECT_EQ(back.points[7], (std::vector<double>{0.5, 0.5, 0.25,
+                                                   0.25}));
+}
+
+TEST(WireTest, CompressedFrameEveryByteFlipIsRejected)
+{
+    // Flipping ANY bit of a compressed frame -- header, codec byte,
+    // stored payload, or CRC trailer -- must never yield a valid
+    // frame: either the decoder throws, or it (safely) waits for more
+    // bytes that will never arrive (a length-field flip).
+    const std::vector<std::uint8_t> bytes = compressibleFrame();
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        std::vector<std::uint8_t> bad = bytes;
+        bad[i] ^= 0x01;
+        FrameDecoder decoder;
+        decoder.feed(bad.data(), bad.size());
+        bool yielded = false;
+        try {
+            yielded = decoder.next().has_value();
+        } catch (const WireError&) {
+            // rejected loudly: fine
+        }
+        EXPECT_FALSE(yielded) << "flipped byte " << i;
+    }
+}
+
+TEST(WireTest, CompressedFrameEveryTruncationIsRejected)
+{
+    const std::vector<std::uint8_t> bytes = compressibleFrame();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        FrameDecoder decoder;
+        decoder.feed(bytes.data(), len);
+        std::optional<Frame> frame;
+        EXPECT_NO_THROW(frame = decoder.next()) << "prefix " << len;
+        EXPECT_FALSE(frame.has_value()) << "prefix " << len;
+    }
+}
+
+TEST(WireTest, IncompressiblePayloadStaysRaw)
+{
+    // High-entropy payloads must ride unchanged (codec byte 0) with
+    // identical stored and raw lengths -- compression is smallest-of,
+    // never an expansion.
+    Rng rng(17);
+    std::vector<std::uint8_t> payload(256);
+    for (std::uint8_t& b : payload)
+        b = static_cast<std::uint8_t>(rng.uniformInt(256));
+    const std::vector<std::uint8_t> bytes =
+        encodeFrame(FrameType::Request, payload);
+    EXPECT_EQ(bytes.size(), kFrameHeaderSize + payload.size() + 4);
+    EXPECT_EQ(bytes[24], 0u); // Raw
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    const std::optional<Frame> frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->payload, payload);
+    EXPECT_EQ(frame->wireBytes, bytes.size());
 }
 
 } // namespace
