@@ -24,7 +24,12 @@
  *     (steal counts and tail-latency improvement) and a sharded
  *     reconstruction; bit-identity asserted on every row.
  *
- *  4. Overlap: Oscar::reconstruct with the synchronous barrier
+ *  4. Observability (BENCH_obs.json): the same sweep untraced vs with
+ *     tracing + metrics on -- the traced row reports its overhead
+ *     ratio and p50/p95/p99 per-batch latency read back from the live
+ *     engine.batch.latency.ns histogram (src/obs/).
+ *
+ *  5. Overlap: Oscar::reconstruct with the synchronous barrier
  *     (execute everything, then run FISTA) vs the streaming pipeline
  *     (sharded async submission, FISTA warm-ups on finished shards
  *     while later shards execute). Samples are asserted identical;
@@ -58,6 +63,8 @@
 #include "src/backend/statevector_backend.h"
 #include "src/dist/process_pool.h"
 #include "src/hamiltonian/maxcut.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 extern char** environ;
 
@@ -635,6 +642,100 @@ runDistStudy()
     json.write("BENCH_dist.json");
 }
 
+/**
+ * Observability study (BENCH_obs.json): the same engine sweep with
+ * instrumentation off and on. The untraced row is the baseline; the
+ * traced row reports its overhead ratio plus per-batch latency
+ * percentiles read from the live engine.batch.latency.ns histogram
+ * (the log2-bucket registry the metrics half of src/obs/ keeps), so
+ * the p50/p95/p99 columns exercise exactly the code path `oscar-client
+ * metrics` scrapes. Acceptance guard: instrumentation must not cost a
+ * measurable slowdown when disabled, and single-digit percent when on.
+ */
+void
+runObsStudy()
+{
+    constexpr int kStudyReps = 5;
+    const SweepCase sweep(12, 1, GridSpec::qaoaP1(30, 60));
+    const std::size_t num_points = sweep.points.size();
+
+    bench::header("observability overhead: p=1 QAOA, 12 qubits, " +
+                  std::to_string(num_points) +
+                  "-point engine sweep (median of " +
+                  std::to_string(kStudyReps) + ")");
+    bench::columns("mode", {"pts/s", "median_s", "p50_ms", "p95_ms",
+                            "p99_ms", "overhead"});
+    bench::JsonReport json("bench_engine/obs");
+
+    ExecutionEngine engine(2);
+
+    obs::setTracing(false);
+    obs::setMetrics(false);
+    std::vector<double> reference;
+    bench::TimingStats untraced;
+    {
+        StatevectorCost cost = sweep.make();
+        untraced = bench::timeRepeated(kStudyReps, [&] {
+            cost.configureKernel(KernelOptions{}); // cold cache per rep
+            reference = engine.submit(cost, sweep.points).get();
+        });
+        bench::row("untraced",
+                   {static_cast<double>(num_points) / untraced.median,
+                    untraced.median, 0.0, 0.0, 0.0, 1.0},
+                   " %10.4g");
+        json.add("untraced", untraced, num_points,
+                 {{"overhead_vs_untraced", 1.0}});
+    }
+
+    obs::setTracing(true);
+    obs::setMetrics(true);
+    obs::Histogram& latency =
+        obs::Registry::global().histogram("engine.batch.latency.ns");
+    const obs::HistogramSnapshot before = latency.snapshot();
+    const std::uint64_t dropped_before =
+        obs::Tracer::global().droppedSpans();
+    std::vector<double> values;
+    bench::TimingStats traced;
+    {
+        StatevectorCost cost = sweep.make();
+        traced = bench::timeRepeated(kStudyReps, [&] {
+            cost.configureKernel(KernelOptions{});
+            values = engine.submit(cost, sweep.points).get();
+        });
+    }
+    obs::setTracing(false);
+    obs::setMetrics(false);
+
+    const obs::HistogramSnapshot delta = latency.snapshot() - before;
+    const double p50_ms = delta.quantile(0.50) / 1e6;
+    const double p95_ms = delta.quantile(0.95) / 1e6;
+    const double p99_ms = delta.quantile(0.99) / 1e6;
+    const double overhead = traced.median / untraced.median;
+    const bool match = identical(values, reference);
+    bench::row("traced",
+               {static_cast<double>(num_points) / traced.median,
+                traced.median, p50_ms, p95_ms, p99_ms, overhead},
+               " %10.4g");
+    std::printf("  (batch latency from the metrics histogram: "
+                "p50 %.2f ms, p95 %.2f ms, p99 %.2f ms over %llu "
+                "batches; %llu span(s) dropped by ring wrap; "
+                "values %s)\n",
+                p50_ms, p95_ms, p99_ms,
+                static_cast<unsigned long long>(delta.count),
+                static_cast<unsigned long long>(
+                    obs::Tracer::global().droppedSpans() -
+                    dropped_before),
+                match ? "bit-identical" : "DIVERGED");
+    json.add("traced", traced, num_points,
+             {{"overhead_vs_untraced", overhead},
+              {"p50_batch_ms", p50_ms},
+              {"p95_batch_ms", p95_ms},
+              {"p99_batch_ms", p99_ms},
+              {"batches_observed", static_cast<double>(delta.count)},
+              {"match", match ? 1.0 : 0.0}});
+    json.write("BENCH_obs.json");
+}
+
 /** Overlap workload: reconstruct options for barrier vs streaming. */
 struct OverlapCase
 {
@@ -958,6 +1059,8 @@ main(int argc, char** argv)
         oscar::runKernelStudy();
     if (oscar::benchEnabled("dist"))
         oscar::runDistStudy();
+    if (oscar::benchEnabled("obs"))
+        oscar::runObsStudy();
     if (std::getenv("OSCAR_BENCH_ONLY"))
         return 0;
     ::benchmark::RunSpecifiedBenchmarks();
@@ -995,6 +1098,11 @@ main()
     // Multi-process sharding; writes BENCH_dist.json.
     if (oscar::benchEnabled("dist"))
         oscar::runDistStudy();
+
+    // Instrumentation overhead + live latency percentiles; writes
+    // BENCH_obs.json.
+    if (oscar::benchEnabled("obs"))
+        oscar::runObsStudy();
 
     // Async pipeline overlap vs synchronous barrier.
     if (oscar::benchEnabled("overlap"))

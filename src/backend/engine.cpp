@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "src/dist/process_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace oscar {
 
@@ -33,6 +35,9 @@ struct EngineBatch final : BatchHandle::Control
     /** submitAt batch: ordinals are external, never refund queries. */
     bool pinnedOrdinals = false;
     SubmitOptions options;
+    /** Submission timestamp; feeds the batch-latency histogram when
+     *  the last chunk accounts. 0 when metrics are off. */
+    std::uint64_t submittedNs = 0;
 
     /** Next chunk index to claim (may overshoot chunks.size()). */
     std::atomic<std::size_t> nextChunk{0};
@@ -126,6 +131,7 @@ struct EngineBatch final : BatchHandle::Control
     {
         const ExecutionEngine::Chunk chunk = chunks[c];
         const std::size_t n = chunk.hi - chunk.lo;
+        obs::ScopedSpan span(obs::SpanCategory::Engine, "chunk", c, n);
         std::exception_ptr failure;
         KernelStats delta;
         try {
@@ -163,6 +169,22 @@ struct EngineBatch final : BatchHandle::Control
             }
         }
 
+        if (obs::metricsEnabled()) {
+            static obs::Counter& points_done =
+                obs::Registry::global().counter(
+                    "engine.points.completed");
+            static obs::Counter& cache_hits =
+                obs::Registry::global().counter("engine.cache.hits");
+            static obs::Counter& cache_lookups =
+                obs::Registry::global().counter(
+                    "engine.cache.lookups");
+            if (!failure) {
+                points_done.add(n);
+                cache_hits.add(delta.cacheHits);
+                cache_lookups.add(delta.cacheLookups);
+            }
+        }
+
         std::lock_guard<std::mutex> lock(m);
         if (failure) {
             if (!error)
@@ -176,6 +198,12 @@ struct EngineBatch final : BatchHandle::Control
         if (++chunksAccounted == chunks.size()) {
             finished = true;
             cv.notify_all();
+            if (submittedNs != 0 && obs::metricsEnabled()) {
+                static obs::Histogram& latency =
+                    obs::Registry::global().histogram(
+                        "engine.batch.latency.ns");
+                latency.observe(obs::Tracer::nowNs() - submittedNs);
+            }
         }
     }
 };
@@ -238,6 +266,10 @@ ExecutionEngine::ExecutionEngine(const EngineOptions& options)
                                                 options.minPointsPerThread)),
       dist_(options.dist)
 {
+    // Resolve OSCAR_TRACE / OSCAR_METRICS / OSCAR_TRACE_BUFFER_KB
+    // once, fail-fast like the distribution knobs below (a malformed
+    // toggle throws here, not on the first recorded span).
+    obs::applyEnv();
     // Distribution is opt-in per engine (EngineOptions::dist) or
     // process-wide via OSCAR_DIST_WORKERS; a negative worker count
     // pins it off regardless of the environment. Like
@@ -433,6 +465,8 @@ ExecutionEngine::submitBatch(CostFunction* cost,
     batch->cost = cost;
     batch->pinnedOrdinals = pinned_base != nullptr;
     batch->options = std::move(options);
+    if (obs::metricsEnabled())
+        batch->submittedNs = obs::Tracer::nowNs();
     batch->out.resize(count);
     batch->progress.pointsTotal = count;
 

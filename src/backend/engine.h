@@ -35,6 +35,7 @@
 #ifndef OSCAR_BACKEND_ENGINE_H
 #define OSCAR_BACKEND_ENGINE_H
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -157,6 +158,18 @@ struct BatchStats
      */
     std::size_t bytesOnWireCompressed = 0;
 
+    /**
+     * Pool-lifetime membership/routing counters, snapshotted from
+     * PoolStats as this batch's shards complete (so callers holding
+     * only a BatchHandle can observe fleet behavior): TCP members that
+     * had passed the authenticated handshake, and dispatches that went
+     * to members this pool did not spawn. Both are cumulative pool
+     * counters, not per-batch deltas -- aggregation takes the max,
+     * like KernelStats::isa, never the sum.
+     */
+    std::size_t workersJoined = 0;
+    std::size_t tasksToRemote = 0;
+
     BatchStats&
     operator+=(const BatchStats& other)
     {
@@ -169,6 +182,8 @@ struct BatchStats
         shardsStolen += other.shardsStolen;
         bytesOnWireRaw += other.bytesOnWireRaw;
         bytesOnWireCompressed += other.bytesOnWireCompressed;
+        workersJoined = std::max(workersJoined, other.workersJoined);
+        tasksToRemote = std::max(tasksToRemote, other.tasksToRemote);
         kernel += other.kernel;
         remoteKernel += other.remoteKernel;
         return *this;

@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "src/obs/trace.h"
+
 namespace oscar {
 
 namespace {
@@ -177,6 +179,8 @@ StatevectorCost::simulate(const std::vector<double>& params,
 
     if (!kernel_.prefixCache || levels.empty()) {
         reset();
+        obs::ScopedSpan span(obs::SpanCategory::Replay, "replay", 0,
+                             compiled_.numOps());
         compiled_.runRange(amps.data(), dim, 0, compiled_.numOps(),
                            params.data(), *table_, &replay_);
         return;
@@ -196,6 +200,12 @@ StatevectorCost::simulate(const std::vector<double>& params,
             break;
         }
     }
+    if (obs::tracingEnabled()) {
+        const std::uint64_t now = obs::Tracer::nowNs();
+        obs::Tracer::global().record(
+            obs::SpanCategory::Cache, resumed ? "hit" : "miss", now,
+            now, resumed ? start_level : levels.size(), dim);
+    }
     if (resumed)
         pos = levels[start_level];
     else
@@ -204,12 +214,18 @@ StatevectorCost::simulate(const std::vector<double>& params,
     // at each crossed level so later points (and later batches of
     // the same sweep) can resume there.
     for (std::size_t l = start_level + 1; l < levels.size(); ++l) {
-        compiled_.runRange(amps.data(), dim, pos, levels[l],
-                           params.data(), *table_, &replay_);
+        {
+            obs::ScopedSpan span(obs::SpanCategory::Replay, "segment",
+                                 pos, levels[l]);
+            compiled_.runRange(amps.data(), dim, pos, levels[l],
+                               params.data(), *table_, &replay_);
+        }
         pos = levels[l];
         if (cache_->insert(keyFor(l, params), amps).reclaimed)
             ++cacheEvictions_;
     }
+    obs::ScopedSpan span(obs::SpanCategory::Replay, "tail", pos,
+                         compiled_.numOps());
     compiled_.runRange(amps.data(), dim, pos, compiled_.numOps(),
                        params.data(), *table_, &replay_);
 }

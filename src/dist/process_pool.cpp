@@ -25,6 +25,8 @@
 #include <utility>
 
 #include "src/dist/wire.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 extern char** environ;
 
@@ -185,6 +187,9 @@ struct Shard
     std::uint64_t taskId = 0;
     /** A StealRequest for this shard is on the wire, grant pending. */
     bool stealPending = false;
+    /** When the shard (re)entered the queue; feeds the queue-wait
+     *  histogram at dispatch time. */
+    std::uint64_t enqueuedNs = 0;
 };
 
 /**
@@ -212,6 +217,10 @@ struct WorkerProc
     std::uint64_t nonce = 0;
     /** Evaluation threads the worker advertised in its Hello (>= 1). */
     std::uint16_t capacity = 1;
+    /** The pid the worker reported in its Hello -- the key its
+     *  Telemetry frames use (equals `pid` for plain locals; set even
+     *  for remote members, whose `pid` stays -1). */
+    std::int32_t telemetryPid = 0;
     FrameDecoder decoder;
     Clock::time_point lastHeard;
     /** In dispatch order, at most kPipelineDepth deep. */
@@ -445,6 +454,11 @@ markWorkerDeadLocked(PoolCore& core, WorkerProc& worker)
     // count it as a lost worker.
     if (worker.helloSeen || !worker.remote)
         core.stats.workersLost++;
+    // Forget the dead worker's metrics contribution: its unfinished
+    // shards requeue and re-execute elsewhere, so keeping its last
+    // cumulative snapshot would double-count that work in merged().
+    if (worker.telemetryPid != 0)
+        obs::Registry::global().dropWorkerSnapshot(worker.telemetryPid);
     // A local worker that died before its Hello still settles the
     // constructor's membership wait.
     if (!worker.remote && !worker.helloSeen)
@@ -460,6 +474,14 @@ markWorkerDeadLocked(PoolCore& core, WorkerProc& worker)
             std::lock_guard<std::mutex> lock(shard.batch->m);
             shard.batch->progress.shardsRequeued++;
         }
+        if (obs::tracingEnabled()) {
+            const std::uint64_t now = obs::Tracer::nowNs();
+            obs::Tracer::global().record(obs::SpanCategory::Dist,
+                                         "requeue", now, now,
+                                         shard.taskId,
+                                         shard.hi - shard.lo);
+        }
+        shard.enqueuedNs = obs::Tracer::nowNs();
         core.pending.push_front(std::move(shard));
     }
     core.membershipCv.notify_all();
@@ -528,6 +550,21 @@ dispatchLocked(PoolCore& core)
         WorkerProc& worker = *best;
         Shard shard = std::move(core.pending.front());
         core.pending.pop_front();
+
+        obs::ScopedSpan dispatch_span(obs::SpanCategory::Dist,
+                                      "dispatch", shard.taskId,
+                                      shard.hi - shard.lo);
+        if (obs::metricsEnabled()) {
+            static obs::Histogram& queue_wait =
+                obs::Registry::global().histogram(
+                    "dist.queue.wait.ns");
+            static obs::Histogram& shard_points =
+                obs::Registry::global().histogram("dist.shard.points");
+            if (shard.enqueuedNs != 0)
+                queue_wait.observe(obs::Tracer::nowNs() -
+                                   shard.enqueuedNs);
+            shard_points.observe(shard.hi - shard.lo);
+        }
 
         const std::uint64_t cost_id = shard.batch->costId;
         // Raw vs on-wire bytes for the frames this dispatch sends;
@@ -662,6 +699,10 @@ struct Completion
     /** Result frame size before/after wire compression. */
     std::size_t rawBytes = 0;
     std::size_t wireBytes = 0;
+    /** Pool membership/routing counters at completion time, folded
+     *  into BatchStats (max-aggregated) so handle holders see them. */
+    std::size_t workersJoined = 0;
+    std::size_t tasksToRemote = 0;
 };
 
 /**
@@ -687,6 +728,7 @@ handleFrameLocked(PoolCore& core, WorkerProc& worker, Frame&& frame,
             return false; // wrong fleet secret: drop before any work
         worker.helloSeen = true;
         worker.capacity = std::max<std::uint16_t>(1, hello.threads);
+        worker.telemetryPid = hello.pid;
         if (worker.needsAuth) {
             core.stats.workersJoined++;
             // A TCP member whose Hello pid matches a pid this pool
@@ -726,6 +768,8 @@ handleFrameLocked(PoolCore& core, WorkerProc& worker, Frame&& frame,
         done.kernel = msg.kernel;
         done.rawBytes = kFrameHeaderSize + frame.payload.size() + 4;
         done.wireBytes = frame.wireBytes;
+        done.workersJoined = core.stats.workersJoined;
+        done.tasksToRemote = core.stats.tasksToRemote;
         completed.push_back(std::move(done));
         return true;
       }
@@ -762,9 +806,35 @@ handleFrameLocked(PoolCore& core, WorkerProc& worker, Frame&& frame,
             if (keep > 0)
                 tail.batch->shardsTotal++;
         }
+        if (obs::tracingEnabled()) {
+            const std::uint64_t now = obs::Tracer::nowNs();
+            obs::Tracer::global().record(obs::SpanCategory::Dist,
+                                         "steal", now, now,
+                                         tail.taskId, size - keep);
+        }
+        if (obs::metricsEnabled()) {
+            static obs::Histogram& steal_tail =
+                obs::Registry::global().histogram(
+                    "dist.steal.tail.points");
+            steal_tail.observe(size - keep);
+        }
         if (keep == 0)
             worker.inflight.erase(it); // no Result follows
+        tail.enqueuedNs = obs::Tracer::nowNs();
         core.pending.push_front(std::move(tail));
+        return true;
+      }
+      case FrameType::Telemetry: {
+        // Worker observability shipment: spans join the coordinator's
+        // trace under the sender's pid; the cumulative metrics
+        // snapshot *replaces* this worker's previous one (merged() is
+        // therefore deterministic however often workers report).
+        const TelemetryMsg msg = decodeTelemetry(frame.payload);
+        if (!msg.spans.empty())
+            obs::Tracer::global().addRemoteSpans(msg.pid, msg.spans);
+        if (!msg.metrics.empty())
+            obs::Registry::global().setWorkerSnapshot(msg.pid,
+                                                      msg.metrics);
         return true;
       }
       case FrameType::TaskError: {
@@ -863,6 +933,10 @@ applyCompletion(Completion& done)
     done.batch->progress.remoteKernel += done.kernel;
     done.batch->progress.bytesOnWireRaw += done.rawBytes;
     done.batch->progress.bytesOnWireCompressed += done.wireBytes;
+    done.batch->progress.workersJoined = std::max(
+        done.batch->progress.workersJoined, done.workersJoined);
+    done.batch->progress.tasksToRemote = std::max(
+        done.batch->progress.tasksToRemote, done.tasksToRemote);
     if (callback_failure && !done.batch->error)
         done.batch->error = callback_failure;
     done.batch->accountShardsLocked(1);
@@ -1511,12 +1585,14 @@ ProcessPool::submit(CostFunction& cost,
     if (shard_size == 0)
         shard_size = std::max<std::size_t>(
             1, count * max_capacity / (4 * total_capacity));
+    const std::uint64_t enqueued_ns = obs::Tracer::nowNs();
     for (std::size_t lo = 0; lo < count; lo += shard_size) {
         Shard shard;
         shard.batch = batch;
         shard.lo = lo;
         shard.hi = std::min(count, lo + shard_size);
         shard.taskId = core_->nextTaskId++;
+        shard.enqueuedNs = enqueued_ns;
         core_->pending.push_back(std::move(shard));
         batch->shardsTotal++;
     }

@@ -6,6 +6,8 @@
 #include "src/common/crc32.h"
 #include "src/common/fnv1a.h"
 #include "src/common/packbits.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace oscar {
 namespace dist {
@@ -127,6 +129,8 @@ encodeFrame(FrameType type, std::span<const std::uint8_t> payload)
 {
     if (payload.size() > kMaxFramePayload)
         throw WireError("payload exceeds frame size limit");
+    obs::ScopedSpan span(obs::SpanCategory::Wire, "encode",
+                         static_cast<std::uint64_t>(type));
     // Smallest-of codec selection (shared with the store's on-disk
     // archive): a compressed frame is always strictly smaller than
     // raw, so framing never expands a payload.
@@ -150,6 +154,18 @@ encodeFrame(FrameType type, std::span<const std::uint8_t> payload)
     out.insert(out.end(), stored.begin(), stored.end());
     for (int i = 0; i < 4; ++i)
         out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+    span.setArgs(payload.size(), out.size());
+    if (obs::metricsEnabled()) {
+        static obs::Counter& raw_bytes =
+            obs::Registry::global().counter("wire.bytes.raw");
+        static obs::Counter& stored_bytes =
+            obs::Registry::global().counter("wire.bytes.stored");
+        static obs::Counter& frames =
+            obs::Registry::global().counter("wire.frames.encoded");
+        raw_bytes.add(kFrameHeaderSize + payload.size() + 4);
+        stored_bytes.add(out.size());
+        frames.add();
+    }
     return out;
 }
 
@@ -182,7 +198,7 @@ FrameDecoder::next()
                         std::to_string(version));
     const std::uint16_t raw_type = header.u16();
     if (raw_type < static_cast<std::uint16_t>(FrameType::Hello) ||
-        raw_type > static_cast<std::uint16_t>(FrameType::StealGrant))
+        raw_type > static_cast<std::uint16_t>(FrameType::MetricsResponse))
         throw WireError("unknown frame type " + std::to_string(raw_type));
     const std::uint64_t raw_len = header.u64();
     if (raw_len > kMaxFramePayload)
@@ -208,6 +224,8 @@ FrameDecoder::next()
     }
     if (avail < kFrameHeaderSize + stored_len + 4)
         return std::nullopt; // truncated: wait for more bytes
+    obs::ScopedSpan span(obs::SpanCategory::Wire, "decode", raw_type,
+                         raw_len);
     const std::uint8_t* stored = buf_.data() + pos_ + kFrameHeaderSize;
     Frame frame;
     frame.type = static_cast<FrameType>(raw_type);
@@ -613,6 +631,168 @@ decodeTaskError(std::span<const std::uint8_t> payload)
     msg.taskId = r.u64();
     msg.code = r.u8();
     msg.message = r.str();
+    r.expectEnd();
+    return msg;
+}
+
+// --------------------------------------------------- v6 observability
+
+void
+encodeMetricsSnapshot(WireWriter& w, const obs::MetricsSnapshot& snapshot)
+{
+    w.u32(static_cast<std::uint32_t>(snapshot.counters.size()));
+    for (const auto& [name, value] : snapshot.counters) {
+        w.str(name);
+        w.u64(value);
+    }
+    w.u32(static_cast<std::uint32_t>(snapshot.gauges.size()));
+    for (const auto& [name, value] : snapshot.gauges) {
+        w.str(name);
+        w.u64(value);
+    }
+    w.u32(static_cast<std::uint32_t>(snapshot.histograms.size()));
+    for (const auto& [name, hist] : snapshot.histograms) {
+        w.str(name);
+        // Sparse buckets: 65 log2 classes, few ever occupied.
+        std::uint32_t occupied = 0;
+        for (std::size_t i = 0; i < obs::kHistogramBuckets; ++i)
+            if (hist.buckets[i] != 0)
+                ++occupied;
+        w.u32(occupied);
+        for (std::size_t i = 0; i < obs::kHistogramBuckets; ++i) {
+            if (hist.buckets[i] == 0)
+                continue;
+            w.u8(static_cast<std::uint8_t>(i));
+            w.u64(hist.buckets[i]);
+        }
+        w.u64(hist.count);
+        w.u64(hist.sum);
+    }
+}
+
+obs::MetricsSnapshot
+decodeMetricsSnapshot(WireReader& r)
+{
+    obs::MetricsSnapshot snapshot;
+    const std::uint32_t num_counters = r.u32();
+    for (std::uint32_t i = 0; i < num_counters; ++i) {
+        const std::string name = r.str();
+        snapshot.counters[name] = r.u64();
+    }
+    const std::uint32_t num_gauges = r.u32();
+    for (std::uint32_t i = 0; i < num_gauges; ++i) {
+        const std::string name = r.str();
+        snapshot.gauges[name] = r.u64();
+    }
+    const std::uint32_t num_histograms = r.u32();
+    for (std::uint32_t i = 0; i < num_histograms; ++i) {
+        const std::string name = r.str();
+        obs::HistogramSnapshot hist;
+        const std::uint32_t occupied = r.u32();
+        if (occupied > obs::kHistogramBuckets)
+            throw WireError("histogram bucket count out of range");
+        for (std::uint32_t b = 0; b < occupied; ++b) {
+            const std::uint8_t index = r.u8();
+            if (index >= obs::kHistogramBuckets)
+                throw WireError("histogram bucket index out of range");
+            hist.buckets[index] = r.u64();
+        }
+        hist.count = r.u64();
+        hist.sum = r.u64();
+        snapshot.histograms[name] = hist;
+    }
+    return snapshot;
+}
+
+std::vector<std::uint8_t>
+encodeTelemetry(const TelemetryMsg& msg)
+{
+    WireWriter w;
+    w.i32(msg.pid);
+    w.u32(static_cast<std::uint32_t>(msg.spans.size()));
+    for (const obs::SpanRecord& span : msg.spans) {
+        w.u64(span.t0Ns);
+        w.u64(span.durNs);
+        w.u8(static_cast<std::uint8_t>(span.category));
+        w.str(span.name);
+        w.u64(span.arg0);
+        w.u64(span.arg1);
+        w.u32(span.tid);
+    }
+    encodeMetricsSnapshot(w, msg.metrics);
+    return w.take();
+}
+
+TelemetryMsg
+decodeTelemetry(std::span<const std::uint8_t> payload)
+{
+    WireReader r(payload);
+    TelemetryMsg msg;
+    msg.pid = r.i32();
+    const std::uint32_t num_spans = r.u32();
+    // Each span occupies at least 45 payload bytes; bound the reserve
+    // from what is actually present, like decodeTask does.
+    if (num_spans > r.remaining() / 45)
+        throw WireError("telemetry spans run past payload end");
+    msg.spans.reserve(num_spans);
+    for (std::uint32_t i = 0; i < num_spans; ++i) {
+        obs::SpanRecord span;
+        span.t0Ns = r.u64();
+        span.durNs = r.u64();
+        const std::uint8_t cat = r.u8();
+        if (cat > static_cast<std::uint8_t>(obs::SpanCategory::Serve))
+            throw WireError("unknown span category");
+        span.category = static_cast<obs::SpanCategory>(cat);
+        const std::string name = r.str();
+        if (name.size() > obs::kSpanNameChars)
+            throw WireError("span name too long");
+        std::memcpy(span.name, name.data(), name.size());
+        span.arg0 = r.u64();
+        span.arg1 = r.u64();
+        span.tid = r.u32();
+        // The sender's pid names the recording process fleet-wide.
+        span.pid = msg.pid;
+        msg.spans.push_back(span);
+    }
+    msg.metrics = decodeMetricsSnapshot(r);
+    r.expectEnd();
+    return msg;
+}
+
+std::vector<std::uint8_t>
+encodeMetricsRequest(const MetricsRequestMsg& msg)
+{
+    WireWriter w;
+    w.u64(msg.tag);
+    return w.take();
+}
+
+MetricsRequestMsg
+decodeMetricsRequest(std::span<const std::uint8_t> payload)
+{
+    WireReader r(payload);
+    MetricsRequestMsg msg;
+    msg.tag = r.u64();
+    r.expectEnd();
+    return msg;
+}
+
+std::vector<std::uint8_t>
+encodeMetricsResponse(const MetricsResponseMsg& msg)
+{
+    WireWriter w;
+    w.u64(msg.tag);
+    w.str(msg.text);
+    return w.take();
+}
+
+MetricsResponseMsg
+decodeMetricsResponse(std::span<const std::uint8_t> payload)
+{
+    WireReader r(payload);
+    MetricsResponseMsg msg;
+    msg.tag = r.u64();
+    msg.text = r.str();
     r.expectEnd();
     return msg;
 }

@@ -50,6 +50,8 @@
 
 #include "src/backend/executor.h"
 #include "src/hamiltonian/pauli_sum.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/quantum/circuit.h"
 
 namespace oscar {
@@ -79,7 +81,12 @@ constexpr std::uint32_t kWireMagic = 0x4F534357u; // "OSCW"
 // authenticated TCP handshake (Challenge frame, Hello carries an
 // HMAC-style tag over the challenge nonce), and per-point work
 // stealing (StealRequest/StealGrant).
-constexpr std::uint16_t kWireVersion = 5;
+// v6: the observability frames. Telemetry ships a worker's trace
+// spans and its cumulative metrics snapshot to the coordinator
+// (piggybacked on the heartbeat cadence and before each Result);
+// MetricsRequest/MetricsResponse let a client scrape a live
+// oscar-serve daemon's Prometheus text exposition.
+constexpr std::uint16_t kWireVersion = 6;
 
 /**
  * Fixed frame header size (magic + version + type + raw length +
@@ -108,6 +115,10 @@ enum class FrameType : std::uint16_t
     Challenge = 11,    ///< pool -> worker: auth nonce (TCP accept)
     StealRequest = 12, ///< pool -> worker: yield a shard's unrun tail
     StealGrant = 13,   ///< worker -> pool: how much of it was kept
+    // v6: observability (src/obs/).
+    Telemetry = 14,       ///< worker -> pool: spans + metrics snapshot
+    MetricsRequest = 15,  ///< client -> serve: scrape live metrics
+    MetricsResponse = 16, ///< serve -> client: Prometheus exposition
 };
 
 /**
@@ -326,6 +337,36 @@ struct TaskErrorMsg
     std::string message;
 };
 
+/**
+ * v6: one observability report from a worker process -- the spans its
+ * tracer drained since the last report (each span ships exactly once)
+ * plus its *cumulative* metrics snapshot. Cumulative is what makes
+ * the coordinator-side merge deterministic: the pool replaces the
+ * worker's previous snapshot instead of accumulating deltas, so lost
+ * or reordered reports never double-count. Suppressed entirely when
+ * both tracing and metrics are disabled.
+ */
+struct TelemetryMsg
+{
+    std::int32_t pid = 0;
+    std::vector<obs::SpanRecord> spans;
+    obs::MetricsSnapshot metrics;
+};
+
+/** v6: client -> oscar-serve metrics scrape. */
+struct MetricsRequestMsg
+{
+    /** Client-chosen id echoed by the MetricsResponse. */
+    std::uint64_t tag = 0;
+};
+
+/** v6: the daemon's answer -- Prometheus text exposition. */
+struct MetricsResponseMsg
+{
+    std::uint64_t tag = 0;
+    std::string text;
+};
+
 void encodeHello(WireWriter& w, const HelloMsg& msg);
 HelloMsg decodeHello(std::span<const std::uint8_t> payload);
 
@@ -376,6 +417,21 @@ ResultMsg decodeResult(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encodeTaskError(const TaskErrorMsg& msg);
 TaskErrorMsg decodeTaskError(std::span<const std::uint8_t> payload);
+
+void encodeMetricsSnapshot(WireWriter& w,
+                           const obs::MetricsSnapshot& snapshot);
+obs::MetricsSnapshot decodeMetricsSnapshot(WireReader& r);
+
+std::vector<std::uint8_t> encodeTelemetry(const TelemetryMsg& msg);
+TelemetryMsg decodeTelemetry(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encodeMetricsRequest(const MetricsRequestMsg& msg);
+MetricsRequestMsg decodeMetricsRequest(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t>
+encodeMetricsResponse(const MetricsResponseMsg& msg);
+MetricsResponseMsg
+decodeMetricsResponse(std::span<const std::uint8_t> payload);
 
 } // namespace dist
 } // namespace oscar

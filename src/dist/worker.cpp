@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -28,6 +29,8 @@
 #include "src/backend/statevector_backend.h"
 #include "src/dist/options.h"
 #include "src/dist/wire.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace oscar {
 namespace dist {
@@ -74,12 +77,19 @@ class FrameSender
     std::mutex mutex_;
 };
 
-/** Periodic heartbeat until stopped (or the pipe breaks). */
+/**
+ * Periodic heartbeat until stopped (or the pipe breaks). `on_beat`
+ * runs before each beat on the heartbeat thread -- the telemetry
+ * shipping hook (FrameSender's mutex keeps its frames whole against
+ * the main loop's).
+ */
 class Heartbeat
 {
   public:
-    Heartbeat(FrameSender& sender, int period_ms)
-        : sender_(sender), periodMs_(std::max(10, period_ms)),
+    Heartbeat(FrameSender& sender, int period_ms,
+              std::function<bool()> on_beat = {})
+        : sender_(sender), onBeat_(std::move(on_beat)),
+          periodMs_(std::max(10, period_ms)),
           thread_([this] { run(); })
     {
     }
@@ -101,6 +111,10 @@ class Heartbeat
         std::unique_lock<std::mutex> lock(mutex_);
         while (!stop_) {
             lock.unlock();
+            if (onBeat_ && !onBeat_()) {
+                lock.lock();
+                return;
+            }
             if (!sender_.send(FrameType::Heartbeat, {})) {
                 // Pool gone; the main loop will see EOF and exit.
                 lock.lock();
@@ -113,6 +127,7 @@ class Heartbeat
     }
 
     FrameSender& sender_;
+    std::function<bool()> onBeat_;
     int periodMs_;
     std::mutex mutex_;
     std::condition_variable cv_;
@@ -160,8 +175,32 @@ int
 workerMain(int fd, int heartbeat_ms, int threads,
            const std::string& secret, bool await_challenge)
 {
+    obs::applyEnv(); // OSCAR_TRACE / OSCAR_METRICS travel via env
+
     FrameSender sender(fd);
     const long slow_us = resolveWorkerSlowUs();
+
+    // Ship accumulated spans (drained: each span exactly once) and
+    // the *cumulative* metrics snapshot (the coordinator replaces,
+    // never accumulates, this worker's contribution). Piggybacked on
+    // the heartbeat cadence and flushed before every Result so a
+    // shard's spans never trail its values by more than one beat.
+    const std::int32_t self_pid =
+        static_cast<std::int32_t>(::getpid());
+    const auto sendTelemetry = [&sender, self_pid]() -> bool {
+        if (!obs::tracingEnabled() && !obs::metricsEnabled())
+            return true;
+        TelemetryMsg msg;
+        msg.pid = self_pid;
+        if (obs::tracingEnabled())
+            msg.spans = obs::Tracer::global().drain();
+        if (obs::metricsEnabled())
+            msg.metrics = obs::Registry::global().snapshot();
+        if (msg.spans.empty() && msg.metrics.empty())
+            return true;
+        return sender.send(FrameType::Telemetry,
+                           encodeTelemetry(msg));
+    };
 
     // The worker's own evaluation pool (hybrid process x thread
     // execution). 0 resolves to this host's hardware concurrency --
@@ -239,7 +278,7 @@ workerMain(int fd, int heartbeat_ms, int threads,
         if (!sender.send(FrameType::Hello, w.bytes()))
             return 1;
     }
-    Heartbeat heartbeat(sender, heartbeat_ms);
+    Heartbeat heartbeat(sender, heartbeat_ms, sendTelemetry);
 
     // Rebuilt evaluators, content-addressed by cost spec hash. The
     // pool sends each spec to each worker at most once; a spec's
@@ -272,6 +311,8 @@ workerMain(int fd, int heartbeat_ms, int threads,
         result.values = std::move(active->values);
         result.kernel = active->kernel;
         active.reset();
+        if (!sendTelemetry())
+            return false;
         return sender.send(FrameType::Result, encodeResult(result));
     };
 

@@ -111,5 +111,48 @@ ServeClient::call(RequestMsg msg,
     }
 }
 
+std::string
+ServeClient::metrics()
+{
+    dist::MetricsRequestMsg req;
+    req.tag = nextTag_++;
+    const std::vector<std::uint8_t> frame = dist::encodeFrame(
+        dist::FrameType::MetricsRequest, dist::encodeMetricsRequest(req));
+    if (!writeAll(fd_, frame.data(), frame.size()))
+        throw std::runtime_error("oscar-client: send failed "
+                                 "(daemon hung up?)");
+    for (;;) {
+        while (auto got = decoder_.next()) {
+            switch (got->type) {
+              case dist::FrameType::MetricsResponse: {
+                dist::MetricsResponseMsg resp =
+                    dist::decodeMetricsResponse(got->payload);
+                if (resp.tag == req.tag)
+                    return std::move(resp.text);
+                break; // stale tag: drop
+              }
+              case dist::FrameType::Response:
+              case dist::FrameType::Progress:
+                break; // leftovers of an abandoned call(): drop
+              default:
+                throw dist::WireError(
+                    "unexpected frame type from oscar-serve");
+            }
+        }
+        std::uint8_t buf[65536];
+        const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+        if (r == 0)
+            throw std::runtime_error(
+                "oscar-client: daemon closed the connection");
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            throw std::runtime_error(std::string("oscar-client: recv: ") +
+                                     std::strerror(errno));
+        }
+        decoder_.feed(buf, static_cast<std::size_t>(r));
+    }
+}
+
 } // namespace serve
 } // namespace oscar

@@ -48,6 +48,13 @@ class ServeClient
         RequestMsg msg,
         const std::function<void(const ProgressMsg&)>& on_progress = {});
 
+    /**
+     * Fetch the daemon's live Prometheus-style metrics exposition
+     * (one MetricsRequest / MetricsResponse round-trip). Same error
+     * behavior as call().
+     */
+    std::string metrics();
+
   private:
     int fd_ = -1;
     std::uint64_t nextTag_ = 1;

@@ -12,6 +12,8 @@
 #include <utility>
 
 #include "src/backend/statevector_backend.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/quantum/kernels.h"
 #include "src/store/archive.h"
 
@@ -216,6 +218,27 @@ ServeServer::counters() const
     return c;
 }
 
+std::string
+ServeServer::metricsText() const
+{
+    // The registry (local + any telemetry-reporting workers) carries
+    // the opt-in metrics; the serve/store counters are injected from
+    // their authoritative mutex-guarded structs so the exposition
+    // matches counters() exactly regardless of OSCAR_METRICS.
+    obs::MetricsSnapshot snap = obs::Registry::global().merged();
+    const ServeCounters c = counters();
+    snap.counters["serve.requests"] = c.requests;
+    snap.counters["serve.responses"] = c.responses;
+    snap.counters["serve.evaluations"] = c.evaluations;
+    snap.counters["serve.store.hits"] = c.storeHits;
+    snap.counters["serve.dedup.waiters"] = c.dedupWaiters;
+    snap.counters["serve.errors"] = c.errors;
+    snap.counters["store.container.hits"] = c.store.hits;
+    snap.counters["store.container.misses"] = c.store.misses;
+    snap.counters["store.container.puts"] = c.store.puts;
+    return obs::renderPrometheus(snap);
+}
+
 void
 ServeServer::run()
 {
@@ -284,6 +307,18 @@ ServeServer::readClient(const std::shared_ptr<Conn>& conn)
     try {
         conn->decoder.feed(buf, static_cast<std::size_t>(r));
         while (auto frame = conn->decoder.next()) {
+            if (frame->type == FrameType::MetricsRequest) {
+                // Live exposition: answered inline on the event-loop
+                // thread (snapshots never block writers).
+                const dist::MetricsRequestMsg req =
+                    dist::decodeMetricsRequest(frame->payload);
+                dist::MetricsResponseMsg resp;
+                resp.tag = req.tag;
+                resp.text = metricsText();
+                conn->send(FrameType::MetricsResponse,
+                           dist::encodeMetricsResponse(resp));
+                continue;
+            }
             if (frame->type != FrameType::Request)
                 throw dist::WireError("client sent a non-Request frame");
             handleRequest(conn, decodeRequest(frame->payload));
@@ -443,6 +478,24 @@ ServeServer::respond(const std::shared_ptr<Job>& job, ResponseMsg base,
 void
 ServeServer::execute(const std::shared_ptr<Job>& job)
 {
+    obs::ScopedSpan span(obs::SpanCategory::Serve, "execute",
+                         job->key.costId);
+    const std::uint64_t t0 =
+        obs::metricsEnabled() ? obs::Tracer::nowNs() : 0;
+    struct LatencyGuard
+    {
+        std::uint64_t t0;
+        ~LatencyGuard()
+        {
+            if (t0 == 0 || !obs::metricsEnabled())
+                return;
+            static obs::Histogram& latency =
+                obs::Registry::global().histogram(
+                    "serve.request.latency.ns");
+            latency.observe(obs::Tracer::nowNs() - t0);
+        }
+    } latency_guard{t0};
+
     // 1. The store answers without touching the pool.
     if (store_) {
         if (auto hit = store_->load(job->key)) {

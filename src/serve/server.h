@@ -110,6 +110,16 @@ class ServeServer
 
     ServeCounters counters() const;
 
+    /**
+     * Prometheus text exposition answered to MetricsRequest frames:
+     * the process-wide obs::Registry merged across any distributed
+     * workers, plus the authoritative ServeCounters (and store
+     * counters) rendered as `oscar_serve_*` / `oscar_store_*` series
+     * -- so scraped values always match what counters() reports, even
+     * with OSCAR_METRICS off.
+     */
+    std::string metricsText() const;
+
     const std::string& socketPath() const { return options_.socketPath; }
 
     /** The landscape store, or nullptr when persistence is off. */

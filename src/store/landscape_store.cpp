@@ -9,6 +9,8 @@
 #include <stdexcept>
 
 #include "src/common/fnv1a.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/store/archive.h"
 
 namespace fs = std::filesystem;
@@ -168,6 +170,12 @@ LandscapeStore::containerPath(const StoreKey& key) const
 std::optional<StoredLandscape>
 LandscapeStore::load(const StoreKey& key)
 {
+    obs::ScopedSpan span(obs::SpanCategory::Store, "get", key.costId);
+    if (obs::metricsEnabled()) {
+        static obs::Counter& gets =
+            obs::Registry::global().counter("store.gets");
+        gets.add();
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     const std::string path = containerPath(key);
     std::error_code ec;
@@ -215,6 +223,11 @@ LandscapeStore::load(const StoreKey& key)
         // LRU recency: a hit makes this container the newest.
         fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
         stats_.hits++;
+        if (obs::metricsEnabled()) {
+            static obs::Counter& hits =
+                obs::Registry::global().counter("store.hits");
+            hits.add();
+        }
         return entry;
     } catch (const ArchiveError&) {
         // Damaged container: unlink so the rewrite starts clean, and
@@ -234,6 +247,13 @@ LandscapeStore::load(const StoreKey& key)
 void
 LandscapeStore::put(const StoreKey& key, const StoredLandscape& entry)
 {
+    obs::ScopedSpan span(obs::SpanCategory::Store, "put", key.costId,
+                         entry.reconstructed.size());
+    if (obs::metricsEnabled()) {
+        static obs::Counter& puts =
+            obs::Registry::global().counter("store.puts");
+        puts.add();
+    }
     ArchiveWriter writer;
     {
         WireWriter w;

@@ -693,6 +693,11 @@ TEST(DistFleetTest, TcpLoopbackPoolBitIdenticalWithCompressedFraming)
 
     const BatchStats stats = handle.stats();
     EXPECT_EQ(stats.pointsRemote, points.size());
+    // Fleet-membership counters surface per batch too (satellite of
+    // the observability subsystem): both members were joined while
+    // this batch ran, and neither dispatch target was remote.
+    EXPECT_EQ(stats.workersJoined, 2u);
+    EXPECT_EQ(stats.tasksToRemote, 0u);
     // Compressed framing: the wire carried measurably fewer bytes
     // than the raw frames (cost specs are full of zero byte-planes).
     EXPECT_GT(stats.bytesOnWireRaw, 0u);
@@ -734,6 +739,8 @@ TEST(DistFleetTest, WorkerJoinsMidBatchAndReceivesQueuedWork)
         EXPECT_EQ(pool.stats().workersJoined, 1u);
         EXPECT_GE(pool.stats().tasksToRemote, 1u);
         EXPECT_EQ(handle.stats().pointsRemote, points.size());
+        EXPECT_EQ(handle.stats().workersJoined, 1u);
+        EXPECT_GE(handle.stats().tasksToRemote, 1u);
     }
     // Pool shutdown tells the joiner to exit; it leaves cleanly.
     reapWorker(pid);

@@ -144,6 +144,22 @@ expectBitIdentical(const std::vector<double>& got,
             << "value " << i;
 }
 
+/** Value of one metric line (`name value`) in a Prometheus text
+ * exposition; fails the test when the metric is absent. */
+std::uint64_t
+promValue(const std::string& text, const std::string& name)
+{
+    const std::string needle = name + " ";
+    std::size_t at = text.find(needle);
+    while (at != std::string::npos && at != 0 && text[at - 1] != '\n')
+        at = text.find(needle, at + 1);
+    EXPECT_NE(at, std::string::npos) << "metric " << name << " missing:\n"
+                                     << text;
+    if (at == std::string::npos)
+        return 0;
+    return ::strtoull(text.c_str() + at + needle.size(), nullptr, 10);
+}
+
 /** A running daemon on a scratch socket + store, torn down in order. */
 struct ServerFixture
 {
@@ -423,6 +439,23 @@ TEST(ServeServerTest, ConcurrentIdenticalRequestsShareOneEvaluation)
     EXPECT_EQ(counters.storeHits + counters.dedupWaiters,
               static_cast<std::uint64_t>(kClients - 1));
     EXPECT_EQ(counters.responses, static_cast<std::uint64_t>(kClients));
+
+    // The live metrics exposition must agree with the authoritative
+    // counters -- same daemon, scraped over the wire.
+    ServeClient scraper(fixture.socket());
+    const std::string text = scraper.metrics();
+    EXPECT_NE(text.find("# TYPE oscar_serve_requests_total counter"),
+              std::string::npos)
+        << text;
+    EXPECT_EQ(promValue(text, "oscar_serve_requests_total"),
+              counters.requests);
+    EXPECT_EQ(promValue(text, "oscar_serve_responses_total"),
+              counters.responses);
+    EXPECT_EQ(promValue(text, "oscar_serve_evaluations_total"), 1u);
+    EXPECT_EQ(promValue(text, "oscar_serve_store_hits_total") +
+                  promValue(text, "oscar_serve_dedup_waiters_total"),
+              static_cast<std::uint64_t>(kClients - 1));
+    EXPECT_EQ(promValue(text, "oscar_serve_errors_total"), 0u);
 }
 
 TEST(ServeServerTest, ProgressFramesAreMonotonicAndComplete)

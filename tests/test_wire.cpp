@@ -11,7 +11,11 @@
  *    length, CRC damage, trailing payload bytes -- is rejected with
  *    WireError;
  *  - streamed decode: frames split at arbitrary byte boundaries
- *    reassemble exactly.
+ *    reassemble exactly;
+ *  - v6 observability frames: Telemetry (spans + cumulative metrics
+ *    snapshot) and MetricsRequest / MetricsResponse round-trip, and
+ *    the telemetry decoder rejects implausible span counts, unknown
+ *    categories, and oversized span names.
  */
 
 #include <gtest/gtest.h>
@@ -498,11 +502,12 @@ TEST(WireTest, ServeFrameTypesRoundTrip)
         EXPECT_EQ(frame->payload, payload);
     }
 
-    // The type one past the v5 range (StealGrant) is still unknown.
+    // The type one past the v6 range (MetricsResponse) is still
+    // unknown.
     std::vector<std::uint8_t> bad =
         encodeFrame(FrameType::Progress, payload);
     bad[6] = static_cast<std::uint8_t>(
-        static_cast<std::uint16_t>(FrameType::StealGrant) + 1);
+        static_cast<std::uint16_t>(FrameType::MetricsResponse) + 1);
     FrameDecoder decoder;
     decoder.feed(bad.data(), bad.size());
     EXPECT_THROW(decoder.next(), WireError);
@@ -556,6 +561,135 @@ TEST(WireTest, ChallengeAndStealMessagesRoundTrip)
         EXPECT_EQ(back.taskId, 43u);
         EXPECT_EQ(back.keep, 7u);
     }
+}
+
+TEST(WireTest, ObservabilityFrameTypesRoundTrip)
+{
+    // v6 adds the telemetry and metrics-scrape frames.
+    const std::vector<std::uint8_t> payload = {5, 6};
+    for (const FrameType type : {FrameType::Telemetry,
+                                 FrameType::MetricsRequest,
+                                 FrameType::MetricsResponse}) {
+        const std::vector<std::uint8_t> bytes =
+            encodeFrame(type, payload);
+        FrameDecoder decoder;
+        decoder.feed(bytes.data(), bytes.size());
+        const std::optional<Frame> frame = decoder.next();
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_EQ(frame->type, type);
+        EXPECT_EQ(frame->payload, payload);
+    }
+}
+
+TEST(WireTest, TelemetryMessageRoundTrip)
+{
+    TelemetryMsg msg;
+    msg.pid = 31337;
+    obs::SpanRecord span;
+    span.t0Ns = 123456789;
+    span.durNs = 987;
+    span.category = obs::SpanCategory::Dist;
+    std::strcpy(span.name, "dispatch");
+    span.arg0 = 7;
+    span.arg1 = 48;
+    span.tid = 3;
+    msg.spans.push_back(span);
+    span.category = obs::SpanCategory::Wire;
+    std::strcpy(span.name, "fifteen-chars..");
+    span.tid = 4;
+    msg.spans.push_back(span);
+    msg.metrics.counters["cache.hits"] = 42;
+    msg.metrics.gauges["queue.depth"] = 5;
+    obs::Histogram h;
+    h.observe(0);
+    h.observe(300);
+    h.observe(~std::uint64_t{0});
+    msg.metrics.histograms["latency.ns"] = h.snapshot();
+
+    const TelemetryMsg back = decodeTelemetry(encodeTelemetry(msg));
+    EXPECT_EQ(back.pid, 31337);
+    ASSERT_EQ(back.spans.size(), 2u);
+    EXPECT_EQ(back.spans[0].t0Ns, 123456789u);
+    EXPECT_EQ(back.spans[0].durNs, 987u);
+    EXPECT_EQ(back.spans[0].category, obs::SpanCategory::Dist);
+    EXPECT_STREQ(back.spans[0].name, "dispatch");
+    EXPECT_EQ(back.spans[0].arg0, 7u);
+    EXPECT_EQ(back.spans[0].arg1, 48u);
+    EXPECT_EQ(back.spans[0].tid, 3u);
+    // The span's pid is stamped from the message, not the record.
+    EXPECT_EQ(back.spans[0].pid, 31337);
+    EXPECT_STREQ(back.spans[1].name, "fifteen-chars..");
+    EXPECT_EQ(back.metrics.counters.at("cache.hits"), 42u);
+    EXPECT_EQ(back.metrics.gauges.at("queue.depth"), 5u);
+    const obs::HistogramSnapshot hist =
+        back.metrics.histograms.at("latency.ns");
+    EXPECT_EQ(hist.count, 3u);
+    EXPECT_EQ(hist.sum, h.snapshot().sum);
+    EXPECT_EQ(hist.buckets[0], 1u);
+    EXPECT_EQ(hist.buckets[obs::histogramBucketOf(300)], 1u);
+    EXPECT_EQ(hist.buckets[64], 1u);
+
+    // An empty telemetry message survives too (heartbeat cadence
+    // with nothing new to report).
+    TelemetryMsg empty;
+    empty.pid = 1;
+    const TelemetryMsg empty_back =
+        decodeTelemetry(encodeTelemetry(empty));
+    EXPECT_EQ(empty_back.pid, 1);
+    EXPECT_TRUE(empty_back.spans.empty());
+    EXPECT_TRUE(empty_back.metrics.empty());
+}
+
+TEST(WireTest, TelemetryDecoderRejectsMalformedPayloads)
+{
+    TelemetryMsg msg;
+    msg.pid = 7;
+    obs::SpanRecord span;
+    std::strcpy(span.name, "x");
+    msg.spans.push_back(span);
+    const std::vector<std::uint8_t> good = encodeTelemetry(msg);
+
+    // Truncation never yields a message.
+    for (std::size_t keep = 0; keep < good.size(); ++keep) {
+        const std::vector<std::uint8_t> cut(good.begin(),
+                                            good.begin() + keep);
+        EXPECT_THROW(decodeTelemetry(cut), WireError) << keep;
+    }
+    // Trailing garbage is rejected (expectEnd).
+    std::vector<std::uint8_t> extra = good;
+    extra.push_back(0);
+    EXPECT_THROW(decodeTelemetry(extra), WireError);
+    // An implausible span count is rejected before allocation: bytes
+    // 4..7 hold the LE span count.
+    std::vector<std::uint8_t> huge = good;
+    huge[4] = huge[5] = huge[6] = huge[7] = 0xFF;
+    EXPECT_THROW(decodeTelemetry(huge), WireError);
+    // An unknown span category is rejected. The category byte sits
+    // right after pid (i32) + count (u32) + t0 (u64) + dur (u64).
+    std::vector<std::uint8_t> badcat = good;
+    badcat[4 + 4 + 8 + 8] = 0xEE;
+    EXPECT_THROW(decodeTelemetry(badcat), WireError);
+}
+
+TEST(WireTest, MetricsRequestAndResponseRoundTrip)
+{
+    MetricsRequestMsg req;
+    req.tag = 0xDEADBEEFCAFEF00Dull;
+    EXPECT_EQ(decodeMetricsRequest(encodeMetricsRequest(req)).tag,
+              req.tag);
+
+    MetricsResponseMsg resp;
+    resp.tag = 99;
+    resp.text = "# TYPE oscar_serve_requests_total counter\n"
+                "oscar_serve_requests_total 12\n";
+    const MetricsResponseMsg back =
+        decodeMetricsResponse(encodeMetricsResponse(resp));
+    EXPECT_EQ(back.tag, 99u);
+    EXPECT_EQ(back.text, resp.text);
+
+    std::vector<std::uint8_t> extra = encodeMetricsRequest(req);
+    extra.push_back(0);
+    EXPECT_THROW(decodeMetricsRequest(extra), WireError);
 }
 
 TEST(WireTest, HelloAuthTagRoundTripAndKeying)

@@ -10,6 +10,8 @@
  *                                                       computes
  *   oscar-client query  [workload flags]                hit/miss probe
  *   oscar-client stats                                  daemon counters
+ *   oscar-client metrics                                live Prometheus
+ *                                                       exposition
  *
  * Workload flags (shared with the daemon-side determinism contract):
  *   --qubits N (default 8)   --depth 1|2 (default 1)
@@ -35,7 +37,7 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: oscar-client submit|fetch|query|stats\n"
+                 "usage: oscar-client submit|fetch|query|stats|metrics\n"
                  "  [--socket PATH] [--qubits N] [--depth 1|2]\n"
                  "  [--graph-seed S] [--fraction F] [--seed S] "
                  "[--progress]\n");
@@ -110,6 +112,11 @@ main(int argc, char** argv)
         }
         serve::ServeClient client(
             serve::resolveSocketPath(socket_arg));
+
+        if (command == "metrics") {
+            std::fputs(client.metrics().c_str(), stdout);
+            return 0;
+        }
 
         if (command == "stats") {
             serve::RequestMsg msg;

@@ -19,6 +19,7 @@
 #include <exception>
 #include <string>
 
+#include "src/obs/trace.h"
 #include "src/serve/server.h"
 #include "tools/serve_common.h"
 
@@ -73,6 +74,12 @@ main(int argc, char** argv)
         options.socketPath = serve::resolveSocketPath(socket_arg);
         options.storeDir = store::resolveStoreDir(store_arg);
         options.storeBudgetBytes = store::resolveStoreBudgetBytes(budget_mb);
+
+        // A serving daemon keeps its metrics on by default (the
+        // exposition endpoint is the point); OSCAR_METRICS=0 still
+        // pins them off, and OSCAR_TRACE opts tracing in.
+        obs::setMetrics(true);
+        obs::applyEnv();
 
         serve::ServeServer server(options);
         g_server = &server;
